@@ -1,0 +1,41 @@
+// Shared helpers for the experiment binaries.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "algo/runner.hpp"
+#include "sim/experiment.hpp"
+#include "sim/table.hpp"
+
+namespace anon::bench {
+
+// Runs the experiment tables first, then google-benchmark.
+// Usage:  int main(int argc, char** argv) { return anon::bench::main_with_tables(argc, argv, &print_tables); }
+inline int main_with_tables(int argc, char** argv, void (*print_tables)()) {
+  print_tables();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+inline ConsensusConfig consensus_config(EnvKind kind, std::size_t n,
+                                        Round stab, std::uint64_t seed,
+                                        std::size_t crashes = 0) {
+  ConsensusConfig cfg;
+  cfg.env.kind = kind;
+  cfg.env.n = n;
+  cfg.env.seed = seed;
+  cfg.env.stabilization = stab;
+  cfg.initial = distinct_values(n);
+  cfg.net.seed = seed;
+  cfg.net.max_rounds = 60000;
+  cfg.net.record_deliveries = false;  // perf: traces can be huge
+  cfg.validate_env = false;
+  if (crashes > 0)
+    cfg.crashes = random_crashes(n, crashes, std::max<Round>(2, stab), seed + 7);
+  return cfg;
+}
+
+}  // namespace anon::bench

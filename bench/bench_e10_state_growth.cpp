@@ -1,0 +1,170 @@
+// E10 — state growth (§4.1's unbounded-space caveat) and the
+// digest-chain compression extension.  Algorithm 3's wire size grows
+// quadratically with rounds (histories grow linearly AND the counter map
+// accumulates ~1 surviving prefix entry per round); the digest-chain
+// encoding makes the per-round increment O(#counter entries); the Ω
+// baseline is O(n) regardless.
+#include "bench_common.hpp"
+
+#include "algo/compressed_history.hpp"
+#include "algo/ess_consensus.hpp"
+
+namespace anon {
+namespace {
+
+void print_tables() {
+  {
+    Table t("E10.a  Algorithm 3 message size vs rounds executed (n=5, no decision)",
+            {"round", "|C| plain", "plain bytes", "digest-chain bytes",
+             "compression", "|C| with GC", "GC'd plain bytes"});
+    // Two identical runs: paper-faithful vs the counter-GC extension.
+    HistoryArena arena_plain, arena_gc;
+    EnvParams env;
+    env.kind = EnvKind::kESS;
+    env.n = 5;
+    env.seed = 23;
+    env.stabilization = 6;
+    EnvDelayModel delays(env, CrashPlan{});
+    LockstepOptions opt;
+    opt.max_rounds = 800;
+    opt.record_trace = false;
+    auto build = [&](bool gc, HistoryArena* arena) {
+      EssConsensus::Options o;
+      o.decide = false;
+      o.gc_counters = gc;
+      std::vector<std::unique_ptr<Automaton<EssMessage>>> autos;
+      for (auto v : distinct_values(5))
+        autos.push_back(std::make_unique<EssConsensus>(v, arena, o));
+      return std::make_unique<LockstepNet<EssMessage>>(std::move(autos), delays,
+                                                       CrashPlan{}, opt);
+    };
+    auto plain_net = build(false, &arena_plain);
+    auto gc_net = build(true, &arena_gc);
+
+    for (Round target : {25u, 50u, 100u, 200u, 400u, 750u}) {
+      plain_net->run([&](const LockstepNet<EssMessage>& nn) {
+        return nn.round() >= target;
+      });
+      gc_net->run([&](const LockstepNet<EssMessage>& nn) {
+        return nn.round() >= target;
+      });
+      const auto& a =
+          dynamic_cast<const EssConsensus&>(plain_net->process(0).automaton());
+      const auto& g =
+          dynamic_cast<const EssConsensus&>(gc_net->process(0).automaton());
+      EssMessage m{a.proposed(), a.history(), a.counters()};
+      EssMessage mg{g.proposed(), g.history(), g.counters()};
+      const std::size_t plain = MessageSizeOf<EssMessage>::size(m);
+      const std::size_t comp =
+          compressed_wire_size(m.proposed.size(), m.counters.size());
+      t.add_row({Table::num(target),
+                 Table::num(static_cast<std::uint64_t>(a.counters().size())),
+                 Table::num(static_cast<std::uint64_t>(plain)),
+                 Table::num(static_cast<std::uint64_t>(comp)),
+                 Table::ratio(static_cast<double>(plain) /
+                              static_cast<double>(comp)),
+                 Table::num(static_cast<std::uint64_t>(g.counters().size())),
+                 Table::num(static_cast<std::uint64_t>(
+                     MessageSizeOf<EssMessage>::size(mg)))});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E10.b  history interning: arena nodes vs naive copies (n=6, 400 rounds)",
+            {"workload", "rounds", "interned nodes", "naive (n×rounds)",
+             "sharing"});
+    for (bool clustered : {false, true}) {
+      for (Round rounds : {100u, 400u}) {
+        EnvParams env;
+        env.kind = EnvKind::kESS;
+        env.n = 6;
+        env.seed = 7;
+        env.stabilization = 0;
+        HistoryArena arena;
+        EssConsensus::Options no_decide;
+        no_decide.decide = false;
+        std::vector<std::unique_ptr<Automaton<EssMessage>>> autos;
+        // Clustered: three pairs of identical clones — their histories are
+        // shared in the arena until (if ever) they diverge.
+        std::vector<Value> init =
+            clustered ? std::vector<Value>{Value(1), Value(1), Value(2),
+                                           Value(2), Value(3), Value(3)}
+                      : distinct_values(6);
+        for (auto v : init)
+          autos.push_back(std::make_unique<EssConsensus>(v, &arena, no_decide));
+        EnvDelayModel delays(env, CrashPlan{});
+        LockstepOptions opt;
+        opt.max_rounds = rounds + 5;
+        opt.record_trace = false;
+        LockstepNet<EssMessage> net(std::move(autos), delays, CrashPlan{}, opt);
+        net.run_rounds(rounds);
+        const std::uint64_t naive = 6ull * rounds;
+        t.add_row({clustered ? "3 clone pairs" : "all distinct",
+                   Table::num(rounds),
+                   Table::num(static_cast<std::uint64_t>(arena.interned_nodes())),
+                   Table::num(naive),
+                   Table::ratio(static_cast<double>(naive) /
+                                static_cast<double>(arena.interned_nodes()))});
+      }
+    }
+    t.print();
+  }
+
+  {
+    Table t("E10.c  digest-chain codec: decode success & table size (one sender)",
+            {"rounds", "increments decoded", "full fallbacks", "decoder table"});
+    for (int rounds : {100, 1000}) {
+      HistoryArena sender, receiver;
+      HistoryDecoder dec(&receiver);
+      History h = sender.singleton(Value(1));
+      std::size_t ok = 0, fallback = 0;
+      for (int i = 0; i < rounds; ++i) {
+        auto got = dec.decode_increment(encode_increment(h));
+        if (got.has_value()) {
+          ++ok;
+        } else {
+          dec.decode_full(encode_full(h));
+          ++fallback;
+        }
+        h = sender.append(h, Value(i % 3));
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(rounds)),
+                 Table::num(static_cast<std::uint64_t>(ok)),
+                 Table::num(static_cast<std::uint64_t>(fallback)),
+                 Table::num(static_cast<std::uint64_t>(dec.table_size()))});
+    }
+    t.print();
+  }
+}
+
+void BM_Alg3LongRun(benchmark::State& state) {
+  const Round rounds = static_cast<Round>(state.range(0));
+  for (auto _ : state) {
+    EnvParams env;
+    env.kind = EnvKind::kESS;
+    env.n = 5;
+    env.seed = 3;
+    HistoryArena arena;
+    EssConsensus::Options no_decide;
+    no_decide.decide = false;
+    std::vector<std::unique_ptr<Automaton<EssMessage>>> autos;
+    for (auto v : distinct_values(5))
+      autos.push_back(std::make_unique<EssConsensus>(v, &arena, no_decide));
+    EnvDelayModel delays(env, CrashPlan{});
+    LockstepOptions opt;
+    opt.max_rounds = rounds + 5;
+    opt.record_trace = false;
+    LockstepNet<EssMessage> net(std::move(autos), delays, CrashPlan{}, opt);
+    net.run_rounds(rounds);
+    benchmark::DoNotOptimize(net.bytes_sent());
+  }
+}
+BENCHMARK(BM_Alg3LongRun)->Arg(100)->Arg(400);
+
+}  // namespace
+}  // namespace anon
+
+int main(int argc, char** argv) {
+  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
+}

@@ -1,0 +1,141 @@
+// E1 — Theorem 1: Algorithm 2 solves consensus in ES.
+//
+// Tables: decision round vs n; decision round vs GST (shape: GST + small
+// constant); decision round vs crash count (any minority/majority — no
+// quorum).  Timings: full runs.
+#include "bench_common.hpp"
+
+#include "algo/es_consensus.hpp"
+
+namespace anon {
+namespace {
+
+using bench::consensus_config;
+
+// A genuinely adversarial ES schedule: the bivalent two-camp MS adversary
+// (E8) rules until GST, full synchrony afterwards.  Under it Algorithm 2
+// cannot decide before GST, so the decision round tracks GST + a small
+// constant — the paper's termination shape, with the promise made tight.
+class BivalentUntilGst final : public DelayModel {
+ public:
+  BivalentUntilGst(std::size_t n, Round gst) : camps_(n), gst_(gst) {}
+  Round delay(Round k, ProcId s, ProcId r) const override {
+    return k > gst_ ? 0 : camps_.delay(k, s, r);
+  }
+  std::optional<ProcId> planned_source(Round k) const override {
+    return camps_.planned_source(k);
+  }
+
+ private:
+  BivalentMsModel camps_;
+  Round gst_;
+};
+
+void print_tables() {
+  const auto seeds = experiment_seeds(10);
+
+  {
+    Table t("E1.a  Algorithm 2 in ES: decision round vs n (GST=0, distinct values)",
+            {"n", "last decision round", "messages", "bytes/process"});
+    for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+      std::vector<double> rounds, msgs, bytes;
+      for (auto seed : seeds) {
+        auto rep = run_consensus(ConsensusAlgo::kEs,
+                                 consensus_config(EnvKind::kES, n, 0, seed));
+        rounds.push_back(static_cast<double>(rep.last_decision_round));
+        msgs.push_back(static_cast<double>(rep.deliveries));
+        bytes.push_back(static_cast<double>(rep.bytes_sent) /
+                        static_cast<double>(n));
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                 aggregate(rounds).to_string(),
+                 Table::num(aggregate(msgs).mean, 0),
+                 Table::num(aggregate(bytes).mean, 0)});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E1.b  decision round vs GST under the adversarial (bivalent-until-GST) schedule (n=8)",
+            {"GST", "last decision round", "decision - GST"});
+    for (Round gst : {0u, 8u, 16u, 32u, 64u, 128u}) {
+      std::vector<std::unique_ptr<Automaton<EsMessage>>> autos;
+      for (auto v : BivalentMsModel::initial_values(8))
+        autos.push_back(std::make_unique<EsConsensus>(v));
+      BivalentUntilGst delays(8, gst);
+      LockstepOptions opt;
+      opt.max_rounds = gst + 200;
+      opt.record_trace = false;
+      LockstepNet<EsMessage> net(std::move(autos), delays, CrashPlan{}, opt);
+      net.run_until_all_correct_decided();
+      Round last = 0;
+      for (ProcId p = 0; p < 8; ++p)
+        last = std::max(last, net.decision_round(p));
+      t.add_row({Table::num(static_cast<std::uint64_t>(gst)),
+                 Table::num(last),
+                 Table::num(static_cast<std::uint64_t>(last - gst))});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E1.c' decision round vs GST with a RANDOMIZED pre-GST prefix (n=8) — often early",
+            {"GST", "last decision round"});
+    for (Round gst : {0u, 16u, 64u}) {
+      std::vector<double> rounds;
+      for (auto seed : seeds) {
+        auto rep = run_consensus(ConsensusAlgo::kEs,
+                                 consensus_config(EnvKind::kES, 8, gst, seed));
+        rounds.push_back(static_cast<double>(rep.last_decision_round));
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(gst)),
+                 aggregate(rounds).to_string()});
+    }
+    t.print();
+    std::cout << "  (Randomized benign prefixes let decisions land before\n"
+                 "   GST — ES only bounds the WORST case, shown in E1.b.)\n";
+  }
+
+  {
+    Table t("E1.c  crash tolerance (n=8, GST=12): ANY number of crashes < n",
+            {"crashes f", "all correct decided", "agreement", "last decision round"});
+    for (std::size_t f : {0u, 2u, 4u, 7u}) {
+      std::size_t decided = 0, agree = 0;
+      std::vector<double> rounds;
+      for (auto seed : seeds) {
+        auto rep = run_consensus(
+            ConsensusAlgo::kEs, consensus_config(EnvKind::kES, 8, 12, seed, f));
+        decided += rep.all_correct_decided ? 1 : 0;
+        agree += rep.agreement ? 1 : 0;
+        rounds.push_back(static_cast<double>(rep.last_decision_round));
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(f)),
+                 Table::num(static_cast<std::uint64_t>(decided)) + "/" +
+                     Table::num(static_cast<std::uint64_t>(seeds.size())),
+                 Table::num(static_cast<std::uint64_t>(agree)) + "/" +
+                     Table::num(static_cast<std::uint64_t>(seeds.size())),
+                 aggregate(rounds).to_string()});
+    }
+    t.print();
+  }
+}
+
+void BM_EsConsensus(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto rep = run_consensus(ConsensusAlgo::kEs,
+                             consensus_config(EnvKind::kES, n, 8, seed++));
+    benchmark::DoNotOptimize(rep);
+    state.counters["rounds"] = static_cast<double>(rep.last_decision_round);
+    state.counters["msgs"] = static_cast<double>(rep.deliveries);
+  }
+}
+BENCHMARK(BM_EsConsensus)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace anon
+
+int main(int argc, char** argv) {
+  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
+}

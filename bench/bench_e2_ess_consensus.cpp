@@ -1,0 +1,114 @@
+// E2 — Theorem 2: Algorithm 3 solves consensus in ESS via pseudo leader
+// election.  Decision rounds vs n / stabilization / crashes; identical vs
+// distinct initial values (identical = fully symmetric anonymity case).
+#include "bench_common.hpp"
+
+namespace anon {
+namespace {
+
+using bench::consensus_config;
+
+void print_tables() {
+  const auto seeds = experiment_seeds(10);
+
+  {
+    Table t("E2.a  Algorithm 3 in ESS: decision round vs n (stabilization=0)",
+            {"n", "last decision round", "messages", "bytes/process"});
+    for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+      std::vector<double> rounds, msgs, bytes;
+      for (auto seed : seeds) {
+        auto rep = run_consensus(ConsensusAlgo::kEss,
+                                 consensus_config(EnvKind::kESS, n, 0, seed));
+        rounds.push_back(static_cast<double>(rep.last_decision_round));
+        msgs.push_back(static_cast<double>(rep.deliveries));
+        bytes.push_back(static_cast<double>(rep.bytes_sent) /
+                        static_cast<double>(n));
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                 aggregate(rounds).to_string(),
+                 Table::num(aggregate(msgs).mean, 0),
+                 Table::num(aggregate(bytes).mean, 0)});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E2.b  decision round vs stabilization round (n=8)",
+            {"stabilization", "last decision round", "decision - stab"});
+    for (Round stab : {0u, 8u, 16u, 32u, 64u}) {
+      std::vector<double> rounds, slack;
+      for (auto seed : seeds) {
+        auto rep = run_consensus(ConsensusAlgo::kEss,
+                                 consensus_config(EnvKind::kESS, 8, stab, seed));
+        rounds.push_back(static_cast<double>(rep.last_decision_round));
+        slack.push_back(static_cast<double>(rep.last_decision_round) -
+                        static_cast<double>(stab));
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(stab)),
+                 aggregate(rounds).to_string(),
+                 aggregate(slack).to_string()});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E2.c  crash tolerance (n=8, stabilization=12)",
+            {"crashes f", "all correct decided", "agreement",
+             "last decision round"});
+    for (std::size_t f : {0u, 2u, 4u, 7u}) {
+      std::size_t decided = 0, agree = 0;
+      std::vector<double> rounds;
+      for (auto seed : seeds) {
+        auto rep = run_consensus(
+            ConsensusAlgo::kEss,
+            consensus_config(EnvKind::kESS, 8, 12, seed, f));
+        decided += rep.all_correct_decided ? 1 : 0;
+        agree += rep.agreement ? 1 : 0;
+        rounds.push_back(static_cast<double>(rep.last_decision_round));
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(f)),
+                 Table::num(static_cast<std::uint64_t>(decided)) + "/" +
+                     Table::num(static_cast<std::uint64_t>(seeds.size())),
+                 Table::num(static_cast<std::uint64_t>(agree)) + "/" +
+                     Table::num(static_cast<std::uint64_t>(seeds.size())),
+                 aggregate(rounds).to_string()});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E2.d  symmetric (identical values) vs distinct proposals (n=8, stab=0)",
+            {"workload", "last decision round"});
+    for (bool identical : {true, false}) {
+      std::vector<double> rounds;
+      for (auto seed : seeds) {
+        auto cfg = consensus_config(EnvKind::kESS, 8, 0, seed);
+        if (identical) cfg.initial = identical_values(8, 42);
+        auto rep = run_consensus(ConsensusAlgo::kEss, cfg);
+        rounds.push_back(static_cast<double>(rep.last_decision_round));
+      }
+      t.add_row({identical ? "identical (symmetric)" : "distinct",
+                 aggregate(rounds).to_string()});
+    }
+    t.print();
+  }
+}
+
+void BM_EssConsensus(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto rep = run_consensus(ConsensusAlgo::kEss,
+                             consensus_config(EnvKind::kESS, n, 8, seed++));
+    benchmark::DoNotOptimize(rep);
+    state.counters["rounds"] = static_cast<double>(rep.last_decision_round);
+  }
+}
+BENCHMARK(BM_EssConsensus)->Arg(4)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace anon
+
+int main(int argc, char** argv) {
+  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
+}

@@ -1,0 +1,141 @@
+// E3 — pseudo leader election convergence (Lemmas 4–6): rounds until the
+// self-considered-leader set stabilizes on the eventual source's history,
+// compared against the ID-based Ω accusation tracker.  Decisions are
+// disabled to observe the election in steady state.
+#include "bench_common.hpp"
+
+#include "algo/ess_consensus.hpp"
+#include "baseline/omega_consensus.hpp"
+
+namespace anon {
+namespace {
+
+// Rounds after stabilization until leaders == {source history} and stay so.
+Round pseudo_leader_convergence(std::size_t n, Round stab, std::uint64_t seed,
+                                Round horizon) {
+  EnvParams env;
+  env.kind = EnvKind::kESS;
+  env.n = n;
+  env.seed = seed;
+  env.stabilization = stab;
+  HistoryArena arena;
+  EssConsensus::Options no_decide;
+  no_decide.decide = false;
+  std::vector<std::unique_ptr<Automaton<EssMessage>>> autos;
+  for (auto v : distinct_values(n))
+    autos.push_back(std::make_unique<EssConsensus>(v, &arena, no_decide));
+  EnvDelayModel delays(env, CrashPlan{});
+  const ProcId src = delays.stable_source();
+  LockstepOptions opt;
+  opt.max_rounds = horizon;
+  opt.record_trace = false;
+  LockstepNet<EssMessage> net(std::move(autos), delays, CrashPlan{}, opt);
+
+  Round last_bad = 0;
+  net.run([&](const LockstepNet<EssMessage>& nn) {
+    if (nn.round() < 2) return false;
+    const auto& s = dynamic_cast<const EssConsensus&>(nn.process(src).automaton());
+    bool good = s.considers_self_leader();
+    for (ProcId p = 0; p < nn.n(); ++p) {
+      const auto& a = dynamic_cast<const EssConsensus&>(nn.process(p).automaton());
+      if (a.considers_self_leader() && !(a.history() == s.history()))
+        good = false;
+    }
+    if (!good) last_bad = nn.round();
+    return false;
+  });
+  return last_bad + 1;  // first round of the converged suffix
+}
+
+// Rounds until everyone's Ω estimate equals the source and stays so.
+Round omega_convergence(std::size_t n, Round stab, std::uint64_t seed,
+                        Round horizon) {
+  EnvParams env;
+  env.kind = EnvKind::kESS;
+  env.n = n;
+  env.seed = seed;
+  env.stabilization = stab;
+  std::vector<std::unique_ptr<Automaton<OmegaMessage>>> autos;
+  for (std::size_t i = 0; i < n; ++i)
+    autos.push_back(std::make_unique<OmegaConsensus>(
+        Value(100 + static_cast<std::int64_t>(i)), i, 2, /*decide=*/false));
+  EnvDelayModel delays(env, CrashPlan{});
+  const ProcId src = delays.stable_source();
+  LockstepOptions opt;
+  opt.max_rounds = horizon;
+  opt.record_trace = false;
+  LockstepNet<OmegaMessage> net(std::move(autos), delays, CrashPlan{}, opt);
+
+  Round last_bad = 0;
+  net.run([&](const LockstepNet<OmegaMessage>& nn) {
+    for (ProcId p = 0; p < nn.n(); ++p) {
+      const auto& a =
+          dynamic_cast<const OmegaConsensus&>(nn.process(p).automaton());
+      if (a.current_leader() != src) last_bad = nn.round();
+    }
+    return false;
+  });
+  return last_bad + 1;
+}
+
+void print_tables() {
+  const auto seeds = experiment_seeds(8);
+  const Round horizon = 300;
+
+  {
+    Table t("E3.a  leader convergence round vs n (stabilization=0, horizon=300)",
+            {"n", "pseudo-leaders (histories, anonymous)",
+             "Ω accusations (IDs)"});
+    for (std::size_t n : {3u, 5u, 9u, 17u}) {
+      std::vector<double> pseudo, omega;
+      for (auto seed : seeds) {
+        pseudo.push_back(static_cast<double>(
+            pseudo_leader_convergence(n, 0, seed, horizon)));
+        omega.push_back(
+            static_cast<double>(omega_convergence(n, 0, seed, horizon)));
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                 aggregate(pseudo).to_string(), aggregate(omega).to_string()});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E3.b  leader convergence vs stabilization round (n=5)",
+            {"stabilization", "pseudo-leaders", "Ω (IDs)",
+             "pseudo - stabilization"});
+    for (Round stab : {0u, 10u, 40u, 100u}) {
+      std::vector<double> pseudo, omega, slack;
+      for (auto seed : seeds) {
+        const double p = static_cast<double>(
+            pseudo_leader_convergence(5, stab, seed, horizon + stab));
+        pseudo.push_back(p);
+        omega.push_back(static_cast<double>(
+            omega_convergence(5, stab, seed, horizon + stab)));
+        slack.push_back(p - static_cast<double>(stab));
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(stab)),
+                 aggregate(pseudo).to_string(), aggregate(omega).to_string(),
+                 aggregate(slack).to_string()});
+    }
+    t.print();
+  }
+}
+
+void BM_PseudoLeaderElection(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Round r = pseudo_leader_convergence(n, 0, seed++, 200);
+    benchmark::DoNotOptimize(r);
+    state.counters["conv_round"] = static_cast<double>(r);
+  }
+}
+BENCHMARK(BM_PseudoLeaderElection)->Arg(5)->Arg(17);
+
+}  // namespace
+}  // namespace anon
+
+int main(int argc, char** argv) {
+  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
+}

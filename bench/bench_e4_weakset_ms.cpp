@@ -1,0 +1,117 @@
+// E4 — Theorem 3: Algorithm 4 implements a weak-set in MS.  Spec
+// violations (always 0), add latency in rounds vs n / link quality /
+// crashes; gets are free (local).
+#include "bench_common.hpp"
+
+#include "weakset/ms_weak_set.hpp"
+
+namespace anon {
+namespace {
+
+std::vector<WsScriptOp> workload(std::size_t n, int ops) {
+  std::vector<WsScriptOp> script;
+  for (int i = 0; i < ops; ++i) {
+    script.push_back({static_cast<Round>(2 + 3 * i),
+                      static_cast<std::size_t>(i % n), true, Value(100 + i)});
+    script.push_back({static_cast<Round>(3 + 3 * i),
+                      static_cast<std::size_t>((i + 1) % n), false, Value()});
+  }
+  return script;
+}
+
+void print_tables() {
+  const auto seeds = experiment_seeds(10);
+
+  {
+    Table t("E4.a  weak-set in MS: add latency (rounds) vs n",
+            {"n", "add latency (rounds)", "spec violations", "env=MS certified"});
+    for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+      std::vector<double> lat;
+      std::size_t violations = 0, certified = 0;
+      for (auto seed : seeds) {
+        EnvParams env;
+        env.kind = EnvKind::kMS;
+        env.n = n;
+        env.seed = seed;
+        auto run = run_ms_weak_set(env, CrashPlan{}, workload(n, 12));
+        lat.push_back(static_cast<double>(run.add_latency_rounds_total) /
+                      static_cast<double>(run.adds));
+        if (!check_weak_set_spec(run.records).ok) ++violations;
+        if (run.env_check.ms_ok) ++certified;
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                 aggregate(lat).to_string(),
+                 Table::num(static_cast<std::uint64_t>(violations)),
+                 Table::num(static_cast<std::uint64_t>(certified)) + "/" +
+                     Table::num(static_cast<std::uint64_t>(seeds.size()))});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E4.b  add latency vs link quality (n=8; timely_prob of non-source links)",
+            {"timely_prob", "add latency (rounds)"});
+    for (double p : {0.0, 0.1, 0.25, 0.5, 1.0}) {
+      std::vector<double> lat;
+      for (auto seed : seeds) {
+        EnvParams env;
+        env.kind = EnvKind::kMS;
+        env.n = 8;
+        env.seed = seed;
+        env.timely_prob = p;
+        auto run = run_ms_weak_set(env, CrashPlan{}, workload(8, 12));
+        lat.push_back(static_cast<double>(run.add_latency_rounds_total) /
+                      static_cast<double>(run.adds));
+      }
+      t.add_row({Table::num(p, 2), aggregate(lat).to_string()});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E4.c  crash resilience (n=8): adds by survivors still complete",
+            {"crashes f", "all survivor adds completed", "spec violations"});
+    for (std::size_t f : {0u, 3u, 6u}) {
+      std::size_t completed = 0, violations = 0;
+      for (auto seed : seeds) {
+        EnvParams env;
+        env.kind = EnvKind::kMS;
+        env.n = 8;
+        env.seed = seed;
+        auto crashes = random_crashes(8, f, 20, seed + 3);
+        auto run = run_ms_weak_set(env, crashes, workload(8, 12));
+        completed += run.all_adds_completed ? 1 : 0;
+        if (!check_weak_set_spec(run.records).ok) ++violations;
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(f)),
+                 Table::num(static_cast<std::uint64_t>(completed)) + "/" +
+                     Table::num(static_cast<std::uint64_t>(seeds.size())),
+                 Table::num(static_cast<std::uint64_t>(violations))});
+    }
+    t.print();
+  }
+}
+
+void BM_WeakSetMs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    EnvParams env;
+    env.kind = EnvKind::kMS;
+    env.n = n;
+    env.seed = seed++;
+    auto run = run_ms_weak_set(env, CrashPlan{}, workload(n, 12), 50, false);
+    benchmark::DoNotOptimize(run);
+    state.counters["add_rounds"] =
+        static_cast<double>(run.add_latency_rounds_total) /
+        static_cast<double>(run.adds);
+  }
+}
+BENCHMARK(BM_WeakSetMs)->Arg(4)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace anon
+
+int main(int argc, char** argv) {
+  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
+}

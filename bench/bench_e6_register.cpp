@@ -1,0 +1,137 @@
+// E6 — Proposition 1: the weak-set register (anonymous, MS, tolerates ANY
+// crash count) vs the ABD majority register (IDs, async, needs f < n/2).
+// Shape: ABD is cheaper per op in its comfort zone; the weak-set register
+// keeps working where ABD blocks forever.
+#include "bench_common.hpp"
+
+#include "baseline/abd.hpp"
+#include "weakset/ws_register.hpp"
+
+namespace anon {
+namespace {
+
+void print_tables() {
+  const auto seeds = experiment_seeds(10);
+
+  {
+    Table t("E6.a  write latency & regularity over MS (weak-set register) vs n",
+            {"n", "write latency (rounds)", "regularity violations"});
+    for (std::size_t n : {3u, 5u, 9u, 17u}) {
+      std::vector<double> lat;
+      std::size_t violations = 0;
+      for (auto seed : seeds) {
+        EnvParams env;
+        env.kind = EnvKind::kMS;
+        env.n = n;
+        env.seed = seed;
+        std::vector<RegScriptOp> script;
+        for (int i = 0; i < 8; ++i) {
+          script.push_back({static_cast<Round>(2 + 5 * i),
+                            static_cast<std::size_t>(i % 2), true,
+                            Value(10 + i)});
+          script.push_back({static_cast<Round>(4 + 5 * i), 2, false, Value()});
+        }
+        auto run = run_register_over_ms(env, CrashPlan{}, script);
+        if (!run.check.ok) ++violations;
+        lat.push_back(static_cast<double>(run.write_latency_rounds_total) /
+                      static_cast<double>(run.writes_completed));
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                 aggregate(lat).to_string(),
+                 Table::num(static_cast<std::uint64_t>(violations))});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E6.b  ABD (IDs, async, majority) per-op cost vs n",
+            {"n", "messages/write", "virtual time/write"});
+    for (std::size_t n : {3u, 5u, 9u, 17u}) {
+      std::vector<double> msgs, vtime;
+      for (auto seed : seeds) {
+        AsyncNet net(n, seed);
+        AbdRegister reg(&net);
+        std::uint64_t end = 0;
+        reg.write(0, Value(1), [&](std::uint64_t e) { end = e; });
+        net.events().run();
+        msgs.push_back(static_cast<double>(reg.messages()));
+        vtime.push_back(static_cast<double>(end));
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                 Table::num(aggregate(msgs).mean, 0),
+                 aggregate(vtime).to_string()});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E6.c  crash tolerance head-to-head (n=5): who still completes a write?",
+            {"crashes f", "weak-set register (MS)", "ABD (majority)"});
+    for (std::size_t f : {0u, 2u, 3u, 4u}) {
+      // Weak-set register over MS.
+      std::size_t ws_ok = 0, abd_ok = 0;
+      for (auto seed : seeds) {
+        EnvParams env;
+        env.kind = EnvKind::kMS;
+        env.n = 5;
+        env.seed = seed;
+        CrashPlan crashes;  // crash early, before the write
+        for (std::size_t i = 0; i < f; ++i) crashes.crash_at(4 - i, 1);
+        std::vector<RegScriptOp> script{{5, 0, true, Value(7)},
+                                        {30, 1, false, Value()}};
+        auto run = run_register_over_ms(env, crashes, script, 80);
+        if (run.writes_completed == 1 && run.check.ok) ++ws_ok;
+
+        AsyncNet net(5, seed);
+        for (std::size_t i = 0; i < f; ++i) net.crash(4 - i);
+        AbdRegister reg(&net);
+        bool done = false;
+        reg.write(0, Value(7), [&](std::uint64_t) { done = true; });
+        net.events().run();
+        if (done) ++abd_ok;
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(f)),
+                 Table::num(static_cast<std::uint64_t>(ws_ok)) + "/" +
+                     Table::num(static_cast<std::uint64_t>(seeds.size())),
+                 Table::num(static_cast<std::uint64_t>(abd_ok)) + "/" +
+                     Table::num(static_cast<std::uint64_t>(seeds.size()))});
+    }
+    t.print();
+    std::cout << "  (weak-set register keeps completing with f = n-1; ABD "
+                 "blocks as soon as the majority is gone — the paper's "
+                 "synchrony-for-quorums trade.)\n";
+  }
+}
+
+void BM_WsRegisterWrite(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    EnvParams env;
+    env.kind = EnvKind::kMS;
+    env.n = static_cast<std::size_t>(state.range(0));
+    env.seed = seed++;
+    std::vector<RegScriptOp> script{{2, 0, true, Value(7)}};
+    auto run = run_register_over_ms(env, CrashPlan{}, script, 40);
+    benchmark::DoNotOptimize(run);
+  }
+}
+BENCHMARK(BM_WsRegisterWrite)->Arg(5)->Arg(17);
+
+void BM_AbdWrite(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    AsyncNet net(static_cast<std::size_t>(state.range(0)), seed++);
+    AbdRegister reg(&net);
+    reg.write(0, Value(1), [](std::uint64_t) {});
+    net.events().run();
+    benchmark::DoNotOptimize(reg);
+  }
+}
+BENCHMARK(BM_AbdWrite)->Arg(5)->Arg(17);
+
+}  // namespace
+}  // namespace anon
+
+int main(int argc, char** argv) {
+  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
+}

@@ -1,0 +1,122 @@
+// E8 — the impossibility results, executable:
+//  (a) consensus is impossible in MS (FLP corollary via Theorem 4): the
+//      bivalent two-camp MS schedule blocks Algorithm 2 forever, while the
+//      trace stays a certified MS run;
+//  (b) Σ is not emulable in MS even with IDs (Proposition 4): the two-run
+//      adversary defeats every candidate emulator.
+//  Also documents the lock-step finding: naive "hostile" MS schedules let
+//  Algorithm 2 converge — bivalence needs the two-camp structure.
+#include "bench_common.hpp"
+
+#include "algo/es_consensus.hpp"
+#include "emul/sigma_adversary.hpp"
+#include "env/validate.hpp"
+
+namespace anon {
+namespace {
+
+void print_tables() {
+  {
+    Table t("E8.a  bivalent two-camp MS schedule vs Algorithm 2 (horizon 4000 rounds)",
+            {"n", "decided?", "camps intact?", "trace MS-certified?"});
+    for (std::size_t n : {3u, 5u, 9u, 17u}) {
+      std::vector<std::unique_ptr<Automaton<EsMessage>>> autos;
+      for (auto v : BivalentMsModel::initial_values(n))
+        autos.push_back(std::make_unique<EsConsensus>(v));
+      BivalentMsModel delays(n);
+      LockstepOptions opt;
+      opt.max_rounds = 4000;
+      LockstepNet<EsMessage> net(std::move(autos), delays, CrashPlan{}, opt);
+      auto res = net.run_until_all_correct_decided();
+      bool camps = dynamic_cast<const EsConsensus&>(net.process(0).automaton())
+                           .val() == Value(1);
+      for (ProcId p = 1; p < n; ++p)
+        if (!(dynamic_cast<const EsConsensus&>(net.process(p).automaton())
+                  .val() == Value(2)))
+          camps = false;
+      auto env = check_environment(net.trace(), n, CrashPlan{}.correct(n));
+      t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                 res.stopped ? "DECIDED (unexpected!)" : "no (forever)",
+                 camps ? "yes" : "no", env.ms_ok ? "yes" : "NO"});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E8.b  naive hostile MS schedules DO converge in lock-step (context)",
+            {"schedule", "n", "decision round"});
+    for (std::size_t n : {4u, 8u}) {
+      std::vector<std::unique_ptr<Automaton<EsMessage>>> autos;
+      for (auto v : distinct_values(n))
+        autos.push_back(std::make_unique<EsConsensus>(v));
+      HostileMsModel delays(n, 21);
+      LockstepOptions opt;
+      opt.max_rounds = 2000;
+      LockstepNet<EsMessage> net(std::move(autos), delays, CrashPlan{}, opt);
+      auto res = net.run_until_all_correct_decided();
+      t.add_row({"rotating source, rest late",
+                 Table::num(static_cast<std::uint64_t>(n)),
+                 res.stopped ? Table::num(net.round()) : "none"});
+    }
+    t.print();
+    std::cout
+        << "  (The per-round source relays one value to everybody and the\n"
+           "   max-adoption rule collapses bivalence; only the two-camp\n"
+           "   asymmetric schedule of E8.a keeps two estimates alive.)\n";
+  }
+
+  {
+    Table t("E8.c  Proposition 4: every Σ candidate loses a property (horizon 300)",
+            {"candidate", "completeness r1", "completeness r2",
+             "intersection", "witness t"});
+    std::vector<std::unique_ptr<SigmaFactory>> factories;
+    factories.push_back(std::make_unique<RecentlyHeardSigmaFactory>(2));
+    factories.push_back(std::make_unique<RecentlyHeardSigmaFactory>(25));
+    factories.push_back(std::make_unique<CumulativeSigmaFactory>());
+    factories.push_back(std::make_unique<FullSetSigmaFactory>());
+    for (const auto& f : factories) {
+      auto v = run_prop4_scenario(*f, 300);
+      t.add_row({f->name(), v.completeness_r1 ? "ok" : "VIOLATED",
+                 v.completeness_r1
+                     ? (v.completeness_r2 ? "ok" : "VIOLATED")
+                     : "-",
+                 v.completeness_r1 && v.completeness_r2
+                     ? (v.intersection_violated ? "VIOLATED" : "held?!")
+                     : "-",
+                 v.completeness_r1 ? Table::num(v.t) : "-"});
+    }
+    t.print();
+  }
+}
+
+void BM_BivalentSchedule(benchmark::State& state) {
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<Automaton<EsMessage>>> autos;
+    for (auto v : BivalentMsModel::initial_values(5))
+      autos.push_back(std::make_unique<EsConsensus>(v));
+    BivalentMsModel delays(5);
+    LockstepOptions opt;
+    opt.max_rounds = 1000;
+    opt.record_trace = false;
+    LockstepNet<EsMessage> net(std::move(autos), delays, CrashPlan{}, opt);
+    auto res = net.run_until_all_correct_decided();
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_BivalentSchedule);
+
+void BM_SigmaScenario(benchmark::State& state) {
+  RecentlyHeardSigmaFactory f(4);
+  for (auto _ : state) {
+    auto v = run_prop4_scenario(f, 300);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_SigmaScenario);
+
+}  // namespace
+}  // namespace anon
+
+int main(int argc, char** argv) {
+  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
+}

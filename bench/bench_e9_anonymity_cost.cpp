@@ -1,0 +1,125 @@
+// E9 — the cost of anonymity (ablation): Algorithm 3 (anonymous pseudo
+// leaders) vs the Ω-with-IDs baseline on the SAME environment sweep, plus
+// Algorithm 2 where ES holds.  Shape: IDs buy faster convergence and
+// bounded state; anonymity costs rounds and (without compression) bytes.
+#include "bench_common.hpp"
+
+#include "baseline/omega_consensus.hpp"
+
+namespace anon {
+namespace {
+
+using bench::consensus_config;
+
+struct Outcome {
+  double rounds;
+  double bytes_per_proc;
+};
+
+Outcome run_omega(std::size_t n, Round stab, std::uint64_t seed,
+                  EnvKind kind) {
+  EnvParams env;
+  env.kind = kind;
+  env.n = n;
+  env.seed = seed;
+  env.stabilization = stab;
+  std::vector<std::unique_ptr<Automaton<OmegaMessage>>> autos;
+  for (std::size_t i = 0; i < n; ++i)
+    autos.push_back(std::make_unique<OmegaConsensus>(
+        Value(100 + static_cast<std::int64_t>(i)), i));
+  EnvDelayModel delays(env, CrashPlan{});
+  LockstepOptions opt;
+  opt.max_rounds = 60000;
+  opt.record_trace = false;
+  LockstepNet<OmegaMessage> net(std::move(autos), delays, CrashPlan{}, opt);
+  net.run_until_all_correct_decided();
+  Round last = 0;
+  for (ProcId p = 0; p < n; ++p) last = std::max(last, net.decision_round(p));
+  return {static_cast<double>(last),
+          static_cast<double>(net.bytes_sent()) / static_cast<double>(n)};
+}
+
+Outcome run_alg(ConsensusAlgo algo, std::size_t n, Round stab,
+                std::uint64_t seed, EnvKind kind) {
+  auto rep = run_consensus(algo, consensus_config(kind, n, stab, seed));
+  return {static_cast<double>(rep.last_decision_round),
+          static_cast<double>(rep.bytes_sent) / static_cast<double>(n)};
+}
+
+void print_tables() {
+  const auto seeds = experiment_seeds(10);
+
+  {
+    Table t("E9.a  decision round in ESS (stab=10): anonymous vs IDs",
+            {"n", "Alg 3 (anonymous)", "Ω-consensus (IDs)", "anonymity cost"});
+    for (std::size_t n : {3u, 5u, 9u, 17u}) {
+      std::vector<double> a3, om;
+      for (auto seed : seeds) {
+        a3.push_back(run_alg(ConsensusAlgo::kEss, n, 10, seed, EnvKind::kESS).rounds);
+        om.push_back(run_omega(n, 10, seed, EnvKind::kESS).rounds);
+      }
+      const double cost = aggregate(a3).mean / std::max(1.0, aggregate(om).mean);
+      t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                 aggregate(a3).to_string(), aggregate(om).to_string(),
+                 Table::ratio(cost)});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E9.b  decision round in ES (GST=10): all three algorithms",
+            {"n", "Alg 2 (anonymous, ES)", "Alg 3 (anonymous, ESS-style)",
+             "Ω-consensus (IDs)"});
+    for (std::size_t n : {3u, 5u, 9u, 17u}) {
+      std::vector<double> a2, a3, om;
+      for (auto seed : seeds) {
+        a2.push_back(run_alg(ConsensusAlgo::kEs, n, 10, seed, EnvKind::kES).rounds);
+        a3.push_back(run_alg(ConsensusAlgo::kEss, n, 10, seed, EnvKind::kES).rounds);
+        om.push_back(run_omega(n, 10, seed, EnvKind::kES).rounds);
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                 aggregate(a2).to_string(), aggregate(a3).to_string(),
+                 aggregate(om).to_string()});
+    }
+    t.print();
+  }
+
+  {
+    Table t("E9.c  bytes sent per process until decision (ESS, stab=10)",
+            {"n", "Alg 3 (histories+counters)", "Ω-consensus (bounded state)",
+             "ratio"});
+    for (std::size_t n : {3u, 5u, 9u, 17u}) {
+      std::vector<double> a3, om;
+      for (auto seed : seeds) {
+        a3.push_back(run_alg(ConsensusAlgo::kEss, n, 10, seed, EnvKind::kESS)
+                         .bytes_per_proc);
+        om.push_back(run_omega(n, 10, seed, EnvKind::kESS).bytes_per_proc);
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                 Table::num(aggregate(a3).mean, 0),
+                 Table::num(aggregate(om).mean, 0),
+                 Table::ratio(aggregate(a3).mean /
+                              std::max(1.0, aggregate(om).mean))});
+    }
+    t.print();
+  }
+}
+
+void BM_Alg3VsOmega(benchmark::State& state) {
+  const bool omega = state.range(0) == 1;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Outcome o = omega ? run_omega(9, 10, seed++, EnvKind::kESS)
+                      : run_alg(ConsensusAlgo::kEss, 9, 10, seed++, EnvKind::kESS);
+    benchmark::DoNotOptimize(o);
+    state.counters["rounds"] = o.rounds;
+  }
+}
+BENCHMARK(BM_Alg3VsOmega)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace anon
+
+int main(int argc, char** argv) {
+  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
+}

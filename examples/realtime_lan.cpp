@@ -1,0 +1,47 @@
+// Real threads, real clock: anonymous consensus over an in-process
+// broadcast bus with per-link jitter — the deployment-shaped runtime.
+// Six OS threads (no IDs exchanged anywhere on the wire!) agree on a
+// value; one of them dies three rounds in.
+#include <chrono>
+#include <iostream>
+
+#include "runtime/realtime.hpp"
+
+int main() {
+  using namespace anon;
+  const std::size_t n = 6;
+
+  // 2 ms of per-link jitter; a 10 ms round period keeps links timely
+  // (that's how a round period realizes the ES assumption in practice).
+  BroadcastBus bus(n, std::make_unique<JitterPolicy>(
+                          2026, std::chrono::milliseconds(2)));
+
+  std::vector<RealtimeEsCluster::AutomatonFactory> factories;
+  const std::int64_t proposals[n] = {12, 55, 31, 55, 8, 47};
+  for (std::size_t i = 0; i < n; ++i)
+    factories.push_back([v = proposals[i]](HistoryArena*) {
+      return std::make_unique<EsConsensus>(Value(v));
+    });
+
+  RealtimeOptions opt;
+  opt.round_period = std::chrono::milliseconds(10);
+  opt.max_rounds = 1000;
+  RealtimeEsCluster cluster(std::move(factories), &bus, opt);
+  cluster.crash_before_round(4, 3);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool ok = cluster.run();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+  std::cout << "threads: " << n << " (thread 4 crashed before round 3)\n";
+  for (std::size_t p = 0; p < n; ++p) {
+    auto d = cluster.decision(p);
+    std::cout << "  thread " << p << ": rounds=" << cluster.rounds_executed(p)
+              << " decision=" << (d ? d->to_string() : "(crashed)") << "\n";
+  }
+  std::cout << "all alive threads decided: " << (ok ? "yes" : "NO") << " in "
+            << ms << " ms, " << bus.broadcasts() << " broadcasts\n";
+  return ok ? 0 : 1;
+}

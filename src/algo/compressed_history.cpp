@@ -1,0 +1,61 @@
+#include "algo/compressed_history.hpp"
+
+#include "common/check.hpp"
+
+namespace anon {
+
+WireHistory encode_increment(const History& h) {
+  ANON_CHECK(!h.empty());
+  WireHistory w;
+  w.digest = h.digest();
+  w.parent_digest = h.parent().digest();
+  w.last = h.last();
+  w.length = h.length();
+  return w;
+}
+
+std::vector<Value> encode_full(const History& h) { return h.values(); }
+
+HistoryDecoder::HistoryDecoder(HistoryArena* arena) : arena_(arena) {
+  ANON_CHECK(arena_ != nullptr);
+}
+
+void HistoryDecoder::remember(const History& h) {
+  if (!h.empty()) table_.emplace(h.digest(), h);
+}
+
+std::optional<History> HistoryDecoder::decode_increment(const WireHistory& w) {
+  if (w.length == 1) {
+    History h = arena_->singleton(w.last);
+    if (h.digest() != w.digest) return std::nullopt;  // corrupted
+    remember(h);
+    return h;
+  }
+  auto it = table_.find(w.parent_digest);
+  if (it == table_.end()) return std::nullopt;  // gap: need full encoding
+  const History& parent = it->second;
+  if (parent.length() + 1 != w.length) return std::nullopt;
+  History h = arena_->append(parent, w.last);
+  if (h.digest() != w.digest) return std::nullopt;
+  remember(h);
+  return h;
+}
+
+History HistoryDecoder::decode_full(const std::vector<Value>& values) {
+  History h;
+  for (const Value& v : values) {
+    h = arena_->append(h, v);
+    remember(h);
+  }
+  return h;
+}
+
+std::size_t compressed_wire_size(std::size_t proposed_values,
+                                 std::size_t counter_entries) {
+  // PROPOSED values + one increment for the sender's own history + one
+  // (digest, counter) pair per counter entry.
+  return 16 + 8 * proposed_values + WireHistory::kWireBytes +
+         counter_entries * (8 + 8);
+}
+
+}  // namespace anon

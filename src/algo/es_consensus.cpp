@@ -1,0 +1,58 @@
+#include "algo/es_consensus.hpp"
+
+#include "common/check.hpp"
+
+namespace anon {
+
+EsConsensus::EsConsensus(Value initial) : EsConsensus(initial, Variants{}) {}
+
+EsConsensus::EsConsensus(Value initial, Variants variants)
+    : initial_(initial), variants_(variants) {
+  ANON_CHECK_MSG(!initial.is_bottom(), "⊥ is not a proposable value");
+}
+
+EsMessage EsConsensus::initialize() {
+  val_ = initial_;
+  written_.clear();
+  written_old_.clear();
+  proposed_.clear();
+  return proposed_;
+}
+
+EsMessage EsConsensus::compute(Round k, const Inboxes<EsMessage>& inboxes) {
+  if (decision_.has_value()) return proposed_;  // frozen after decide
+
+  const std::set<EsMessage>& msgs = inbox_at(inboxes, k);
+  ANON_CHECK_MSG(!msgs.empty(), "own round message must be present");
+
+  // Line 6: WRITTEN := ∩ m.
+  auto it = msgs.begin();
+  written_ = *it;
+  for (++it; it != msgs.end(); ++it) written_ = set_intersect(written_, *it);
+
+  // Line 7: PROPOSED := (∪ m) ∪ PROPOSED.
+  for (const EsMessage& m : msgs) proposed_.insert(m.begin(), m.end());
+
+  if (k % 2 == 0) {
+    // Line 9: decide when the proposal state is unanimous and stable.
+    if (proposed_ == ValueSet{val_} && written_old_ == ValueSet{val_}) {
+      decision_ = val_;
+      proposed_ = {val_};     // frozen final message
+      written_old_ = written_;
+      return proposed_;
+    }
+    // Line 11–12: adopt the maximum written value.
+    if (!written_.empty()) val_ = *written_.rbegin();
+    // Line 13: fresh proposal for the next (odd) round.
+    proposed_ = {val_};
+  } else if (variants_.reset_proposed_every_round) {
+    proposed_ = {val_};  // deliberately broken variant (ablation)
+  }
+
+  // Line 14 — every round (see header note).
+  if (variants_.written_old_every_round || k % 2 == 0) written_old_ = written_;
+
+  return proposed_;
+}
+
+}  // namespace anon

@@ -1,0 +1,95 @@
+#include "algo/ess_consensus.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace anon {
+
+EssConsensus::EssConsensus(Value initial, HistoryArena* arena, Options opts)
+    : initial_(initial), arena_(arena), opts_(opts) {
+  ANON_CHECK_MSG(!initial.is_bottom(), "⊥ is not a proposable value");
+  ANON_CHECK(arena_ != nullptr);
+}
+
+EssMessage EssConsensus::initialize() {
+  // Lines 1–4: VAL := initial; ∀H C[H] := 0; HISTORY := VAL; sets empty.
+  val_ = initial_;
+  counters_ = CounterMap();
+  history_ = arena_->singleton(val_);
+  written_.clear();
+  written_old_.clear();
+  proposed_.clear();
+  return EssMessage{proposed_, history_, counters_};
+}
+
+EssMessage EssConsensus::compute(Round k, const Inboxes<EssMessage>& inboxes) {
+  if (decision_.has_value()) return frozen_;  // decide VAL; halt
+
+  const std::set<EssMessage>& msgs = inbox_at(inboxes, k);
+  ANON_CHECK_MSG(!msgs.empty(), "own round message must be present");
+
+  // Line 6: WRITTEN := ∩ m.PROPOSED.
+  auto it = msgs.begin();
+  written_ = it->proposed;
+  for (++it; it != msgs.end(); ++it)
+    written_ = set_intersect(written_, it->proposed);
+
+  // Line 7: PROPOSED := (∪ m.PROPOSED) ∪ PROPOSED.
+  for (const EssMessage& m : msgs)
+    proposed_.insert(m.proposed.begin(), m.proposed.end());
+
+  // Line 8: ∀H, C[H] := min over messages (absent = 0).
+  std::vector<const CounterMap*> maps;
+  maps.reserve(msgs.size());
+  for (const EssMessage& m : msgs) maps.push_back(&m.counters);
+  counters_ = CounterMap::min_merge(maps);
+
+  // Line 9: snapshot-bump each received history to 1 + its prefix max.
+  {
+    const CounterMap snapshot = counters_;
+    for (const EssMessage& m : msgs)
+      counters_.set(m.history, 1 + snapshot.prefix_max(m.history));
+  }
+  // Extension: drop counter entries dominated by one of their extensions.
+  if (opts_.gc_counters) counters_.gc_dominated_prefixes();
+  // The line-15 leader predicate, captured now for observability (after
+  // line 21 below, history_ is one value longer than any counter key).
+  self_leader_ = counters_.is_max(history_);
+
+  if (k % 2 == 0) {
+    // Line 11: decide when last round's writes were exactly {VAL} and no
+    // foreign value is circulating.
+    if (opts_.decide && written_old_ == ValueSet{val_} &&
+        subset_of(proposed_, ValueSet{val_, Value::Bottom()})) {
+      decision_ = val_;
+      // Halt with a frozen final message; history/counters stop evolving.
+      proposed_ = {val_};
+      frozen_ = EssMessage{proposed_, history_, counters_};
+      written_old_ = written_;
+      return frozen_;
+    }
+    // Lines 13–14: adopt the maximal non-⊥ written value.
+    const ValueSet non_bottom = minus_bottom(written_);
+    if (!non_bottom.empty()) val_ = *non_bottom.rbegin();
+    // Lines 15–18: leaders (or processes whose view is already clean)
+    // propose VAL; everybody else proposes ⊥ to keep the rounds flowing.
+    if (self_leader_ ||
+        subset_of(proposed_, ValueSet{val_, Value::Bottom()})) {
+      proposed_ = {val_};
+    } else {
+      proposed_ = {Value::Bottom()};
+    }
+  }
+
+  // Line 19 (every round; see header).
+  written_old_ = written_;
+  // Line 20 — dead but faithful: line 6 recomputes WRITTEN next round.
+  written_ = proposed_;
+  // Line 21: the proposal history grows by VAL every round.
+  history_ = arena_->append(history_, val_);
+
+  return EssMessage{proposed_, history_, counters_};
+}
+
+}  // namespace anon

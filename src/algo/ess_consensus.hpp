@@ -1,0 +1,123 @@
+// Algorithm 3 — consensus in the ESS (eventually stable source) environment
+// via *pseudo leader election* (§4).
+//
+// Anonymity forbids electing a leader by ID, so processes are identified by
+// the HISTORY of their proposal values (one appended per round).  Every
+// message carries ⟨PROPOSED, HISTORY, C⟩ where C counts, per history heard
+// of, how often it has been "seen to make progress":
+//   * line 8 min-merges the counters across all round messages (absent = 0,
+//     so only histories relayed by everybody survive),
+//   * line 9 bumps the counter of each received history to 1 + the max
+//     counter over its prefixes.
+// The eventual source's history is received timely by everyone every round,
+// so its counter grows by one per round at all processes (Lemma 4) and
+// eventually dominates; processes whose own history carries a maximal
+// counter consider themselves leaders and propose their VAL, everyone else
+// proposes ⊥ — keeping the per-round message flow alive (required for the
+// written-value safety argument) without polluting the value space.
+//
+// Faithfulness notes:
+//  * Line 9 is applied with snapshot semantics: all bumps are computed from
+//    the post-min-merge counters, then applied.  The paper's ∀m-loop is
+//    order-dependent when several histories arrive in one round; snapshot
+//    semantics match the prose ("counter of the old one, increased by one")
+//    and are deterministic.
+//  * Line 20 (`WRITTEN := PROPOSED`) is executed although it is dead code —
+//    line 6 recomputes WRITTEN before any use (kept for fidelity).
+//  * `WRITTENOLD := WRITTEN` (line 19) is outside the even-round block in
+//    the paper's listing, i.e. executes every round; Lemma 2 needs this.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/counters.hpp"
+#include "common/history.hpp"
+#include "common/value.hpp"
+#include "giraf/automaton.hpp"
+#include "net/lockstep.hpp"
+
+namespace anon {
+
+struct EssMessage {
+  ValueSet proposed;
+  History history;
+  CounterMap counters;
+
+  friend bool operator==(const EssMessage& a, const EssMessage& b) {
+    return a.proposed == b.proposed && a.history == b.history &&
+           a.counters == b.counters;
+  }
+  friend bool operator<(const EssMessage& a, const EssMessage& b) {
+    if (a.proposed != b.proposed) return a.proposed < b.proposed;
+    if (!(a.history == b.history)) return a.history < b.history;
+    return a.counters < b.counters;
+  }
+};
+
+template <>
+struct MessageSizeOf<EssMessage> {
+  static std::size_t size(const EssMessage& m) {
+    std::size_t bytes = 16 + 8 * m.proposed.size();
+    bytes += 8 + 8 * m.history.length();  // full value sequence on the wire
+    for (const auto& [h, c] : m.counters.entries()) {
+      (void)c;
+      bytes += 8 + 8 + 8 * h.length();
+    }
+    return bytes;
+  }
+};
+
+class EssConsensus final : public Automaton<EssMessage> {
+ public:
+  struct Options {
+    // Disable the decision test (lines 11–12).  Used to observe the
+    // pseudo-leader-election machinery (Lemmas 4–6) in steady state, which
+    // a decision would otherwise freeze within a few rounds (E3).
+    // (Explicit constructor rather than an NSDMI: GCC rejects NSDMI types
+    // as default arguments within the enclosing class.)
+    bool decide;
+    // Extension (default off = paper-faithful): garbage-collect counter
+    // entries dominated by an extension after each round.  Bounds the
+    // counter map to O(#live history branches) instead of O(rounds); the
+    // leader-election behaviour is preserved (see CounterMap and E10).
+    bool gc_counters;
+    Options() : decide(true), gc_counters(false) {}
+  };
+
+  // All automatons of one simulation must share one arena.
+  EssConsensus(Value initial, HistoryArena* arena, Options opts = Options());
+
+  EssMessage initialize() override;
+  EssMessage compute(Round k, const Inboxes<EssMessage>& inboxes) override;
+  std::optional<Value> decision() const override { return decision_; }
+
+  // Introspection (tests / metrics / leader-convergence experiments).
+  const Value& val() const { return val_; }
+  const History& history() const { return history_; }
+  const CounterMap& counters() const { return counters_; }
+  const ValueSet& proposed() const { return proposed_; }
+  const ValueSet& written() const { return written_; }
+  // Definition: p ∈ leader(k) iff its own history's counter is maximal —
+  // the line-15 predicate, captured during compute() *before* line 21
+  // appends to HISTORY (afterwards the probe key would be one round newer
+  // than the counters and always read 0).
+  bool considers_self_leader() const { return self_leader_; }
+
+ private:
+  Value initial_;
+  HistoryArena* arena_;
+  Options opts_;
+
+  Value val_;
+  History history_;
+  CounterMap counters_;
+  ValueSet proposed_;
+  ValueSet written_;
+  ValueSet written_old_;
+  bool self_leader_ = true;  // empty counters: everyone starts as a leader
+  std::optional<Value> decision_;
+  EssMessage frozen_;
+};
+
+}  // namespace anon

@@ -1,0 +1,130 @@
+#include "algo/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "algo/es_consensus.hpp"
+#include "algo/ess_consensus.hpp"
+#include "common/check.hpp"
+#include "common/history.hpp"
+
+namespace anon {
+
+const char* to_string(ConsensusAlgo a) {
+  return a == ConsensusAlgo::kEs ? "ES/Alg2" : "ESS/Alg3";
+}
+
+std::string ConsensusReport::to_string() const {
+  std::ostringstream os;
+  os << "consensus{decided=" << (all_correct_decided ? "all" : "NOT-all")
+     << ", agreement=" << (agreement ? "ok" : "VIOLATED")
+     << ", validity=" << (validity ? "ok" : "VIOLATED");
+  if (value) os << ", value=" << value->to_string();
+  os << ", rounds=" << rounds_executed
+     << ", last_decision_r=" << last_decision_round << ", msgs=" << deliveries
+     << ", bytes=" << bytes_sent << "}";
+  return os.str();
+}
+
+namespace {
+
+template <typename M>
+ConsensusReport finish_report(LockstepNet<M>& net, const ConsensusConfig& cfg,
+                              RunResult run) {
+  ConsensusReport rep;
+  rep.rounds_executed = run.rounds;
+  rep.hit_round_limit = !run.stopped;
+  rep.all_correct_decided = net.all_correct_decided();
+  rep.deliveries = net.deliveries();
+  rep.sends = net.sends();
+  rep.bytes_sent = net.bytes_sent();
+
+  const std::set<Value> proposed(cfg.initial.begin(), cfg.initial.end());
+  for (ProcId p = 0; p < net.n(); ++p) {
+    auto d = net.decision(p);
+    if (!d.has_value()) continue;
+    if (rep.value.has_value() && !(*rep.value == *d)) rep.agreement = false;
+    if (!rep.value.has_value()) rep.value = d;
+    if (proposed.count(*d) == 0) rep.validity = false;
+    const Round r = net.decision_round(p);
+    if (rep.first_decision_round == kNoRound || r < rep.first_decision_round)
+      rep.first_decision_round = r;
+    if (net.is_correct(p)) rep.last_decision_round =
+        std::max(rep.last_decision_round, r);
+  }
+  if (cfg.validate_env) {
+    rep.env_check =
+        check_environment(net.trace(), net.n(), cfg.crashes.correct(net.n()));
+  }
+  return rep;
+}
+
+}  // namespace
+
+ConsensusReport run_consensus(ConsensusAlgo algo, const ConsensusConfig& cfg) {
+  ANON_CHECK(cfg.initial.size() == cfg.env.n);
+  EnvDelayModel delays(cfg.env, cfg.crashes);
+
+  if (algo == ConsensusAlgo::kEs) {
+    std::vector<std::unique_ptr<Automaton<EsMessage>>> autos;
+    autos.reserve(cfg.env.n);
+    for (const Value& v : cfg.initial)
+      autos.push_back(std::make_unique<EsConsensus>(v));
+    LockstepNet<EsMessage> net(std::move(autos), delays, cfg.crashes, cfg.net);
+    return finish_report(net, cfg, net.run_until_all_correct_decided());
+  }
+
+  HistoryArena arena;
+  std::vector<std::unique_ptr<Automaton<EssMessage>>> autos;
+  autos.reserve(cfg.env.n);
+  for (const Value& v : cfg.initial)
+    autos.push_back(std::make_unique<EssConsensus>(v, &arena));
+  LockstepNet<EssMessage> net(std::move(autos), delays, cfg.crashes, cfg.net);
+  return finish_report(net, cfg, net.run_until_all_correct_decided());
+}
+
+std::vector<Value> distinct_values(std::size_t n) {
+  std::vector<Value> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(Value(100 + static_cast<std::int64_t>(i)));
+  return out;
+}
+
+std::vector<Value> identical_values(std::size_t n, std::int64_t v) {
+  return std::vector<Value>(n, Value(v));
+}
+
+std::vector<Value> random_values(std::size_t n, std::uint64_t seed,
+                                 std::int64_t lo, std::int64_t hi) {
+  Rng rng(seed);
+  std::vector<Value> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(Value(rng.range(lo, hi)));
+  return out;
+}
+
+CrashPlan random_crashes(std::size_t n, std::size_t f, Round horizon,
+                         std::uint64_t seed) {
+  ANON_CHECK_MSG(f < n, "at least one process must stay correct");
+  Rng rng(seed);
+  CrashPlan plan;
+  // Choose f distinct victims.
+  std::vector<ProcId> ids(n);
+  for (ProcId p = 0; p < n; ++p) ids[p] = p;
+  for (std::size_t i = 0; i < f; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.below(n - i));
+    std::swap(ids[i], ids[j]);
+  }
+  for (std::size_t i = 0; i < f; ++i) {
+    CrashSpec spec;
+    spec.crash_round = static_cast<Round>(rng.range(1, static_cast<std::int64_t>(horizon)));
+    spec.final_fraction = rng.real();
+    plan.set(ids[i], spec);
+  }
+  return plan;
+}
+
+}  // namespace anon

@@ -1,0 +1,63 @@
+// Convenience harness: build a consensus instance (automatons + environment
+// + crash plan + lock-step net), run it, and report the paper's three
+// consensus properties plus performance metrics.  Used by tests, benches
+// and examples; for bespoke instrumentation use LockstepNet directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.hpp"
+#include "env/generate.hpp"
+#include "env/validate.hpp"
+#include "net/lockstep.hpp"
+
+namespace anon {
+
+enum class ConsensusAlgo { kEs, kEss };
+
+const char* to_string(ConsensusAlgo a);
+
+struct ConsensusConfig {
+  EnvParams env;                // env.n = number of processes
+  CrashPlan crashes;
+  std::vector<Value> initial;   // one per process; must have size env.n
+  LockstepOptions net;
+  bool validate_env = true;     // run the trace validator afterwards
+};
+
+struct ConsensusReport {
+  // Consensus properties over the observed run.
+  bool all_correct_decided = false;
+  bool agreement = true;   // no two decided processes decided differently
+  bool validity = true;    // every decided value was proposed
+  std::optional<Value> value;       // the decided value (if any)
+  Round first_decision_round = kNoRound;
+  Round last_decision_round = kNoRound;  // over correct processes
+  // Run metrics.
+  Round rounds_executed = 0;
+  bool hit_round_limit = false;
+  std::uint64_t deliveries = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t bytes_sent = 0;
+  // Environment certification of the recorded trace.
+  EnvCheckResult env_check;
+
+  std::string to_string() const;
+};
+
+ConsensusReport run_consensus(ConsensusAlgo algo, const ConsensusConfig& cfg);
+
+// Helpers for building workloads.
+std::vector<Value> distinct_values(std::size_t n);          // 100, 101, …
+std::vector<Value> identical_values(std::size_t n, std::int64_t v);
+std::vector<Value> random_values(std::size_t n, std::uint64_t seed,
+                                 std::int64_t lo, std::int64_t hi);
+
+// A crash plan hitting `f` processes at hash-chosen rounds in [1, horizon].
+CrashPlan random_crashes(std::size_t n, std::size_t f, Round horizon,
+                         std::uint64_t seed);
+
+}  // namespace anon

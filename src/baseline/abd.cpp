@@ -1,0 +1,82 @@
+#include "baseline/abd.hpp"
+
+namespace anon {
+
+AbdRegister::AbdRegister(AsyncNet* net) : net_(net), replicas_(net->n()) {}
+
+void AbdRegister::query(
+    ProcId client, std::function<void(Tag, std::optional<Value>)> collected) {
+  // Shared per-phase state: counts acks until majority, keeps the max.
+  struct Phase {
+    std::size_t acks = 0;
+    bool fired = false;
+    Tag best;
+    std::optional<Value> best_value;
+  };
+  auto ph = std::make_shared<Phase>();
+  const std::size_t need = majority();
+  for (ProcId r = 0; r < net_->n(); ++r) {
+    net_->send(client, r, [this, client, r, ph, need, collected] {
+      // Replica r answers (request delivery); the ack travels back.
+      const Replica snapshot = replicas_[r];
+      net_->send(r, client, [snapshot, ph, need, collected] {
+        if (ph->fired) return;
+        ++ph->acks;
+        if (ph->acks == 1 || snapshot.tag > ph->best) {
+          ph->best = snapshot.tag;
+          ph->best_value = snapshot.value;
+        }
+        if (ph->acks >= need) {
+          ph->fired = true;
+          collected(ph->best, ph->best_value);
+        }
+      });
+    });
+  }
+}
+
+void AbdRegister::store(ProcId client, Tag tag, std::optional<Value> v,
+                        std::function<void()> acked) {
+  struct Phase {
+    std::size_t acks = 0;
+    bool fired = false;
+  };
+  auto ph = std::make_shared<Phase>();
+  const std::size_t need = majority();
+  for (ProcId r = 0; r < net_->n(); ++r) {
+    net_->send(client, r, [this, client, r, tag, v, ph, need, acked] {
+      if (tag > replicas_[r].tag) {
+        replicas_[r].tag = tag;
+        replicas_[r].value = v;
+      }
+      net_->send(r, client, [ph, need, acked] {
+        if (ph->fired) return;
+        if (++ph->acks >= need) {
+          ph->fired = true;
+          acked();
+        }
+      });
+    });
+  }
+}
+
+void AbdRegister::write(ProcId client, Value v,
+                        std::function<void(std::uint64_t)> done) {
+  query(client, [this, client, v, done](Tag best, std::optional<Value>) {
+    Tag next{best.ts + 1, client};
+    store(client, next, v,
+          [this, done] { done(net_->events().now()); });
+  });
+}
+
+void AbdRegister::read(
+    ProcId client,
+    std::function<void(std::optional<Value>, std::uint64_t)> done) {
+  query(client, [this, client, done](Tag best, std::optional<Value> v) {
+    // Write-back for atomicity, then return.
+    store(client, best, v,
+          [this, v, done] { done(v, net_->events().now()); });
+  });
+}
+
+}  // namespace anon

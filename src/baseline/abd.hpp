@@ -1,0 +1,59 @@
+// ABD majority-quorum atomic register emulation [2], the classic
+// known-network baseline: requires IDs, knowledge of n, and a correct
+// MAJORITY — everything Algorithm 4's weak-set register does without
+// (the weak-set tolerates any number of crashes, given MS synchrony).
+//
+// Write(v): query a majority for timestamps; write (max_ts+1, writer_id, v)
+//           to a majority.
+// Read():   query a majority; pick the (ts, wid)-maximal value; write it
+//           back to a majority (the classic atomicity fix); return it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "baseline/async_net.hpp"
+#include "common/value.hpp"
+
+namespace anon {
+
+class AbdRegister {
+ public:
+  AbdRegister(AsyncNet* net);
+
+  // Client operations; callbacks fire at completion (never, if a majority
+  // is unreachable — exactly ABD's liveness limit, see tests/E6).
+  void write(ProcId client, Value v, std::function<void(std::uint64_t end_time)> done);
+  void read(ProcId client,
+            std::function<void(std::optional<Value>, std::uint64_t end_time)> done);
+
+  std::uint64_t messages() const { return net_->messages_sent(); }
+
+ private:
+  struct Tag {
+    std::uint64_t ts = 0;
+    ProcId wid = 0;
+    friend auto operator<=>(const Tag&, const Tag&) = default;
+  };
+  struct Replica {
+    Tag tag;
+    std::optional<Value> value;
+  };
+
+  std::size_t majority() const { return net_->n() / 2 + 1; }
+
+  // Phase helper: ask all replicas, invoke `collected` once a majority of
+  // answers arrived (with the max tag/value seen).
+  void query(ProcId client,
+             std::function<void(Tag, std::optional<Value>)> collected);
+  void store(ProcId client, Tag tag, std::optional<Value> v,
+             std::function<void()> acked);
+
+  AsyncNet* net_;
+  std::vector<Replica> replicas_;
+};
+
+}  // namespace anon

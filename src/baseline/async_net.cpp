@@ -1,0 +1,7 @@
+#include "baseline/async_net.hpp"
+
+// Header-only; this TU exists to give the target a compiled artifact.
+
+namespace anon {
+static_assert(sizeof(EventQueue) > 0);
+}  // namespace anon

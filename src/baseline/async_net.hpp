@@ -1,0 +1,95 @@
+// A minimal ID-based asynchronous point-to-point network (discrete-event),
+// the substrate for the ABD baseline [Attiya, Bar-Noy, Dolev 1995].
+//
+// This is everything the paper's anonymous model takes away: processes have
+// IDs, know n, and address each other — included as the known-network
+// comparison point (E6/E9).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "giraf/types.hpp"
+
+namespace anon {
+
+class EventQueue {
+ public:
+  using Fn = std::function<void()>;
+
+  void at(std::uint64_t time, Fn fn) {
+    ANON_CHECK(time >= now_);
+    q_.push({time, seq_++, std::move(fn)});
+  }
+  void after(std::uint64_t delay, Fn fn) { at(now_ + delay, std::move(fn)); }
+
+  std::uint64_t now() const { return now_; }
+
+  // Executes events in time order; returns executed count.
+  std::uint64_t run(std::uint64_t max_events = 1000000) {
+    std::uint64_t done = 0;
+    while (!q_.empty() && done < max_events) {
+      Item it = q_.top();
+      q_.pop();
+      now_ = it.time;
+      it.fn();
+      ++done;
+    }
+    return done;
+  }
+
+  bool empty() const { return q_.empty(); }
+
+ private:
+  struct Item {
+    std::uint64_t time;
+    std::uint64_t seq;  // FIFO tie-break for determinism
+    Fn fn;
+    bool operator>(const Item& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> q_;
+  std::uint64_t now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+class AsyncNet {
+ public:
+  AsyncNet(std::size_t n, std::uint64_t seed, std::uint64_t max_delay = 8)
+      : n_(n), rng_(seed), max_delay_(max_delay), crashed_(n, false) {}
+
+  EventQueue& events() { return eq_; }
+  std::size_t n() const { return n_; }
+
+  void crash(ProcId p) { crashed_[p] = true; }
+  bool crashed(ProcId p) const { return crashed_[p]; }
+
+  // Sends a message; `deliver` runs at the receiver unless it crashed by
+  // delivery time (sender crash-mid-send is modeled by just not calling).
+  void send(ProcId from, ProcId to, std::function<void()> deliver) {
+    (void)from;
+    ++messages_;
+    const std::uint64_t d = 1 + rng_.below(max_delay_);
+    eq_.after(d, [this, to, deliver = std::move(deliver)] {
+      if (!crashed_[to]) deliver();
+    });
+  }
+
+  std::uint64_t messages_sent() const { return messages_; }
+
+ private:
+  std::size_t n_;
+  Rng rng_;
+  std::uint64_t max_delay_;
+  std::vector<bool> crashed_;
+  EventQueue eq_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace anon

@@ -1,0 +1,38 @@
+#include "baseline/omega.hpp"
+
+namespace anon {
+
+void OmegaTracker::observe_round(Round k, const std::set<ProcId>& heard) {
+  for (ProcId p : heard) last_heard_[p] = k;
+  if (accusations_.count(self_) == 0) accusations_[self_] = 0;
+  for (auto& [p, last] : last_heard_) {
+    if (p == self_) continue;
+    if (k >= last + threshold_) {
+      ++accusations_[p];
+      last = k;  // restart the silence window (one accusation per lapse)
+    } else if (accusations_.count(p) == 0) {
+      accusations_[p] = 0;
+    }
+  }
+}
+
+void OmegaTracker::merge(const Accusations& other) {
+  for (const auto& [p, c] : other) {
+    auto it = accusations_.find(p);
+    if (it == accusations_.end() || it->second < c) accusations_[p] = c;
+  }
+}
+
+ProcId OmegaTracker::leader() const {
+  ProcId best = self_;
+  std::uint64_t best_acc = ~0ULL;
+  for (const auto& [p, c] : accusations_) {
+    if (c < best_acc || (c == best_acc && p < best)) {
+      best = p;
+      best_acc = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace anon

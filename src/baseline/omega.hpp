@@ -1,0 +1,50 @@
+// The Ω leader failure detector, implemented with IDs by accusation
+// counting (in the spirit of Aguilera et al. [1]) — the classic approach
+// the paper's pseudo leader election replaces for anonymous systems.
+//
+// Each process tracks, per known ID, how often that process has been
+// "accused" of silence (not heard from for `threshold` consecutive
+// rounds).  Accusation counts are max-merged across messages.  Under ESS
+// the eventual source stops being accused, everyone else accumulates
+// accusations forever, and `leader()` (min accusations, tie-break min ID)
+// stabilizes on an eventually-timely process.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "giraf/types.hpp"
+
+namespace anon {
+
+class OmegaTracker {
+ public:
+  using Accusations = std::map<ProcId, std::uint64_t>;
+
+  OmegaTracker() = default;
+  OmegaTracker(ProcId self, Round threshold)
+      : self_(self), threshold_(threshold) {
+    last_heard_[self] = 0;
+  }
+
+  // Feed one round's observations (the IDs whose round-k messages arrived).
+  void observe_round(Round k, const std::set<ProcId>& heard);
+
+  // Max-merge accusation counts carried by a peer's message.
+  void merge(const Accusations& other);
+
+  // Current leader estimate: least-accused known ID (ties: smallest ID).
+  ProcId leader() const;
+  bool self_is_leader() const { return leader() == self_; }
+
+  const Accusations& accusations() const { return accusations_; }
+
+ private:
+  ProcId self_ = 0;
+  Round threshold_ = 2;
+  std::map<ProcId, Round> last_heard_;
+  Accusations accusations_;
+};
+
+}  // namespace anon

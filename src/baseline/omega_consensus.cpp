@@ -1,0 +1,69 @@
+#include "baseline/omega_consensus.hpp"
+
+#include "common/check.hpp"
+
+namespace anon {
+
+OmegaConsensus::OmegaConsensus(Value initial, ProcId self,
+                               Round silence_threshold, bool decide)
+    : initial_(initial),
+      self_(self),
+      threshold_(silence_threshold),
+      decide_(decide) {
+  ANON_CHECK_MSG(!initial.is_bottom(), "⊥ is not a proposable value");
+}
+
+OmegaMessage OmegaConsensus::initialize() {
+  val_ = initial_;
+  omega_ = OmegaTracker(self_, threshold_);
+  proposed_.clear();
+  written_.clear();
+  written_old_.clear();
+  return OmegaMessage{proposed_, self_, omega_.accusations()};
+}
+
+OmegaMessage OmegaConsensus::compute(Round k,
+                                     const Inboxes<OmegaMessage>& inboxes) {
+  if (decision_.has_value()) return frozen_;
+
+  const std::set<OmegaMessage>& msgs = inbox_at(inboxes, k);
+  ANON_CHECK(!msgs.empty());
+
+  auto it = msgs.begin();
+  written_ = it->proposed;
+  for (++it; it != msgs.end(); ++it)
+    written_ = set_intersect(written_, it->proposed);
+
+  std::set<ProcId> heard;
+  for (const OmegaMessage& m : msgs) {
+    proposed_.insert(m.proposed.begin(), m.proposed.end());
+    heard.insert(m.id);
+    omega_.merge(m.accusations);
+  }
+  omega_.observe_round(k, heard);
+
+  if (k % 2 == 0) {
+    if (decide_ && written_old_ == ValueSet{val_} &&
+        subset_of(proposed_, ValueSet{val_, Value::Bottom()})) {
+      decision_ = val_;
+      proposed_ = {val_};
+      frozen_ = OmegaMessage{proposed_, self_, omega_.accusations()};
+      written_old_ = written_;
+      return frozen_;
+    }
+    const ValueSet non_bottom = minus_bottom(written_);
+    if (!non_bottom.empty()) val_ = *non_bottom.rbegin();
+    // The oracle replaces the pseudo election: leaders propose, others ⊥.
+    if (omega_.self_is_leader() ||
+        subset_of(proposed_, ValueSet{val_, Value::Bottom()})) {
+      proposed_ = {val_};
+    } else {
+      proposed_ = {Value::Bottom()};
+    }
+  }
+  written_old_ = written_;
+
+  return OmegaMessage{proposed_, self_, omega_.accusations()};
+}
+
+}  // namespace anon

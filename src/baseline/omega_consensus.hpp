@@ -1,0 +1,75 @@
+// Ω-based consensus WITH process IDs — the baseline that quantifies the
+// cost of anonymity (E9).
+//
+// Same skeleton as Algorithm 3 (written values, ⊥ for non-leaders, decide
+// on a stable unanimous estimate) but the leader predicate comes from the
+// OmegaTracker oracle over IDs instead of the history-counter pseudo
+// election.  Everything Algorithm 3 pays for anonymity — growing
+// histories, per-history counters — disappears; messages carry an ID and
+// a bounded accusation map.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "baseline/omega.hpp"
+#include "common/value.hpp"
+#include "giraf/automaton.hpp"
+#include "net/lockstep.hpp"
+
+namespace anon {
+
+struct OmegaMessage {
+  ValueSet proposed;
+  ProcId id = 0;
+  OmegaTracker::Accusations accusations;
+
+  friend bool operator==(const OmegaMessage& a, const OmegaMessage& b) {
+    return a.proposed == b.proposed && a.id == b.id &&
+           a.accusations == b.accusations;
+  }
+  friend bool operator<(const OmegaMessage& a, const OmegaMessage& b) {
+    if (a.id != b.id) return a.id < b.id;
+    if (a.proposed != b.proposed) return a.proposed < b.proposed;
+    return a.accusations < b.accusations;
+  }
+};
+
+template <>
+struct MessageSizeOf<OmegaMessage> {
+  static std::size_t size(const OmegaMessage& m) {
+    return 16 + 8 * m.proposed.size() + 8 + 16 * m.accusations.size();
+  }
+};
+
+class OmegaConsensus final : public Automaton<OmegaMessage> {
+ public:
+  // `decide=false` disables the decision test (leader-convergence
+  // experiments, mirroring EssConsensus::Options).
+  OmegaConsensus(Value initial, ProcId self, Round silence_threshold = 2,
+                 bool decide = true);
+
+  OmegaMessage initialize() override;
+  OmegaMessage compute(Round k, const Inboxes<OmegaMessage>& inboxes) override;
+  std::optional<Value> decision() const override { return decision_; }
+
+  ProcId current_leader() const { return omega_.leader(); }
+  const Value& val() const { return val_; }
+
+ private:
+  Value initial_;
+  ProcId self_;
+  Round threshold_;
+  bool decide_;
+
+  OmegaTracker omega_;
+  Value val_;
+  ValueSet proposed_;
+  ValueSet written_;
+  ValueSet written_old_;
+  std::optional<Value> decision_;
+  OmegaMessage frozen_;
+};
+
+}  // namespace anon

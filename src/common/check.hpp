@@ -1,0 +1,37 @@
+// Lightweight invariant checking used throughout the library.
+//
+// ANON_CHECK is active in all build types: simulator correctness is the
+// product here, so we never compile assertions out.  Failures throw
+// `anon::CheckFailure` (rather than aborting) so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace anon {
+
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ANON_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace anon
+
+#define ANON_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::anon::check_fail(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define ANON_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) ::anon::check_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

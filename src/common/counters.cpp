@@ -1,0 +1,97 @@
+#include "common/counters.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace anon {
+
+CounterMap CounterMap::min_merge(const std::vector<const CounterMap*>& maps) {
+  CounterMap out;
+  if (maps.empty()) return out;
+  // Keys present in every map survive with the min value; a key absent from
+  // any map reads 0 there, so its min is 0 ≡ absent.
+  for (const auto& [h, c] : maps[0]->m_) {
+    std::uint64_t mn = c;
+    bool everywhere = true;
+    for (std::size_t i = 1; i < maps.size() && everywhere; ++i) {
+      auto it = maps[i]->m_.find(h);
+      if (it == maps[i]->m_.end())
+        everywhere = false;
+      else
+        mn = std::min(mn, it->second);
+    }
+    if (everywhere && mn > 0) out.m_[h] = mn;
+  }
+  return out;
+}
+
+std::uint64_t CounterMap::prefix_max(const History& h) const {
+  ANON_CHECK(!h.empty());
+  std::uint64_t best = 0;
+  // Walk the ancestor chain (all prefixes, newest to oldest, incl. h).
+  for (History p = h; !p.empty(); p = p.parent()) {
+    best = std::max(best, get(p));
+  }
+  return best;
+}
+
+void CounterMap::bump_prefix_max(const History& h) {
+  set(h, 1 + prefix_max(h));
+}
+
+bool CounterMap::is_max(const History& h) const {
+  const std::uint64_t mine = get(h);
+  for (const auto& [other, c] : m_)
+    if (c > mine) return false;
+  return true;
+}
+
+std::size_t CounterMap::gc_dominated_prefixes() {
+  std::size_t erased = 0;
+  for (auto it = m_.begin(); it != m_.end();) {
+    bool dominated = false;
+    for (const auto& [other, c] : m_) {
+      if (other == it->first) continue;
+      if (it->first.is_prefix_of(other) && c >= it->second) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) {
+      it = m_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
+}
+
+std::uint64_t CounterMap::max_value() const {
+  std::uint64_t best = 0;
+  for (const auto& [h, c] : m_) best = std::max(best, c);
+  return best;
+}
+
+std::vector<History> CounterMap::argmax() const {
+  std::vector<History> out;
+  const std::uint64_t best = max_value();
+  if (best == 0) return out;
+  for (const auto& [h, c] : m_)
+    if (c == best) out.push_back(h);
+  return out;
+}
+
+std::string CounterMap::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [h, c] : m_) {
+    if (!first) out += ", ";
+    out += h.to_string() + ":" + std::to_string(c);
+    first = false;
+  }
+  return out + "}";
+}
+
+}  // namespace anon

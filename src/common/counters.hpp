@@ -1,0 +1,95 @@
+// Per-history counters C[H] of Algorithm 3 (§4.1).
+//
+// Semantics from the paper:
+//   * C maps every history to a natural number, defaulting to 0; "no memory
+//     is allocated for histories it has not yet heard of".
+//   * Line 8:  ∀H, C[H] := min over all round messages m of m.C[H]
+//     (absent entries read as 0, so the min-merge keeps exactly the keys
+//     present in *every* message, with the minimum value — everything else
+//     collapses to the default 0 and is dropped).
+//   * Line 9:  for every message m, C[m.HISTORY] := 1 + max{ C[H] :
+//     H prefix of m.HISTORY }.  Because histories are cons lists, the
+//     prefixes of m.HISTORY are exactly its ancestor chain, so the max is a
+//     walk up the chain probing the map.
+//
+// The map is small in steady state: min-merge intersects key sets, so only
+// histories relayed by everybody (the live ⋄-proposer histories) survive.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/history.hpp"
+
+namespace anon {
+
+class CounterMap {
+ public:
+  using Map = std::map<History, std::uint64_t>;
+
+  CounterMap() = default;
+
+  // C[H] with default 0.
+  std::uint64_t get(const History& h) const {
+    auto it = m_.find(h);
+    return it == m_.end() ? 0 : it->second;
+  }
+
+  // Sets C[H]; storing 0 erases (0 ≡ absent, keeps equality canonical).
+  void set(const History& h, std::uint64_t c) {
+    if (c == 0)
+      m_.erase(h);
+    else
+      m_[h] = c;
+  }
+
+  bool empty() const { return m_.empty(); }
+  std::size_t size() const { return m_.size(); }
+  const Map& entries() const { return m_; }
+
+  // Line 8: pointwise min over `maps` (absent = 0).  With k maps the result
+  // keeps only keys present in all k, at the min value.
+  static CounterMap min_merge(const std::vector<const CounterMap*>& maps);
+
+  // Line 9 for one message history: C[h] := 1 + max{C[p] : p prefix of h}
+  // (reflexive — h itself counts as one of its prefixes).
+  void bump_prefix_max(const History& h);
+
+  // max{C[p] : p prefix of h, including h}; 0 if none recorded.
+  std::uint64_t prefix_max(const History& h) const;
+
+  // True iff C[h] >= C[H] for all H (the leader predicate of Line 15 /
+  // Definition "leader(k)").
+  bool is_max(const History& h) const;
+
+  // Largest counter value present (0 if empty).
+  std::uint64_t max_value() const;
+
+  // Extension (not in the paper): drops every entry H dominated by a
+  // strict extension H' (H prefix of H', C[H'] >= C[H]).  A dominated
+  // prefix can never become the argmax again, and prefix_max inheritance
+  // still works through the surviving extension — so the leader-election
+  // semantics are preserved while the map stays O(#live branches) instead
+  // of accumulating one stale source-prefix per round (see E10).
+  // Returns the number of erased entries.
+  std::size_t gc_dominated_prefixes();
+
+  // Histories whose counter equals max_value() (empty map → none).
+  std::vector<History> argmax() const;
+
+  friend bool operator==(const CounterMap& a, const CounterMap& b) {
+    return a.m_ == b.m_;
+  }
+  friend bool operator<(const CounterMap& a, const CounterMap& b) {
+    return a.m_ < b.m_;
+  }
+
+  std::string to_string() const;
+
+ private:
+  Map m_;
+};
+
+}  // namespace anon

@@ -1,0 +1,84 @@
+#include "common/history.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace anon {
+
+namespace {
+std::uint64_t mix(std::uint64_t h, std::uint64_t x) {
+  // 128-bit-ish mixing of a rolling digest with the next element hash.
+  h ^= x + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+}  // namespace
+
+bool operator<(const History& a, const History& b) {
+  if (a.node_ == b.node_) return false;
+  if (a.length() != b.length()) return a.length() < b.length();
+  if (a.digest() != b.digest()) return a.digest() < b.digest();
+  // Equal length and digest but different nodes: compare sequences.
+  std::vector<Value> va = a.values(), vb = b.values();
+  return std::lexicographical_compare(va.begin(), va.end(), vb.begin(),
+                                      vb.end());
+}
+
+bool History::is_prefix_of(const History& other) const {
+  if (empty()) return true;
+  if (length() > other.length()) return false;
+  const detail::HistNode* n = other.node_;
+  for (std::uint32_t d = other.length(); d > length(); --d) n = n->parent;
+  return n == node_;
+}
+
+History History::prefix(std::uint32_t len) const {
+  ANON_CHECK(len > 0 && len <= length());
+  const detail::HistNode* n = node_;
+  for (std::uint32_t d = length(); d > len; --d) n = n->parent;
+  return History(n);
+}
+
+std::vector<Value> History::values() const {
+  std::vector<Value> out;
+  out.reserve(length());
+  for (const detail::HistNode* n = node_; n != nullptr; n = n->parent)
+    out.push_back(n->last);
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string History::to_string() const {
+  std::string out = "[";
+  bool first = true;
+  for (const Value& v : values()) {
+    if (!first) out += ",";
+    out += v.to_string();
+    first = false;
+  }
+  return out + "]";
+}
+
+History HistoryArena::append(const History& h, Value v) {
+  Key key{h.node_, v};
+  auto it = nodes_.find(key);
+  if (it == nodes_.end()) {
+    auto node = std::make_unique<detail::HistNode>();
+    node->last = v;
+    node->parent = h.node_;
+    node->length = h.length() + 1;
+    node->digest = mix(h.digest(), v.stable_hash());
+    it = nodes_.emplace(key, std::move(node)).first;
+  }
+  return History(it->second.get());
+}
+
+History HistoryArena::of(const std::vector<Value>& vals) {
+  History h;
+  for (const Value& v : vals) h = append(h, v);
+  return h;
+}
+
+}  // namespace anon

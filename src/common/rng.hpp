@@ -1,0 +1,75 @@
+// Deterministic, splittable pseudo-random number generator.
+//
+// All simulations are seeded; results must be bit-reproducible across runs
+// and platforms, so we avoid std::mt19937's distribution portability issues
+// by implementing xoshiro256** plus our own bounded-int / real draws.
+#pragma once
+
+#include <cstdint>
+
+namespace anon {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& si : s_) si = splitmix(x);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    // Debiased modulo (Lemire-style rejection is overkill here; the bounds
+    // used in simulations are tiny compared to 2^64).
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform real in [0, 1).
+  double real() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) { return real() < p; }
+
+  // Derive an independent child generator (for per-process / per-module
+  // streams that must not perturb each other when one draws more numbers).
+  Rng split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static std::uint64_t splitmix(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace anon

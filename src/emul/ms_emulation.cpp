@@ -1,0 +1,7 @@
+#include "emul/ms_emulation.hpp"
+
+// MsEmulation is header-only (templated on the inner message type).
+
+namespace anon {
+static_assert(sizeof(MsEmulationOptions) > 0);
+}  // namespace anon

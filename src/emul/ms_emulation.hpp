@@ -1,0 +1,163 @@
+// Algorithm 5 — emulating the MS environment from a weak-set (Theorem 4).
+//
+// Round progression is driven by weak-set operations instead of timers:
+//   on initialization: DELIVERED := ∅; trigger end-of-round;
+//   on send(m_i, k_i):  addS(⟨m_i, k_i⟩);                     (blocking)
+//                       for all ⟨m,k⟩ ∈ getS \ DELIVERED: deliver;
+//                       trigger end-of-round.
+//
+// Why this satisfies MS: for every round k, let s be the FIRST process to
+// complete its round-k add.  Any process that ends round k did so after its
+// own round-k add completed (≥ s's completion), and its getS — which
+// happens before that end-of-round — therefore returns s's element: s has a
+// timely link in round k.  The proof is executable here: the emitted trace
+// is certified by check_environment (tests, E5).
+//
+// The weak-set is an in-memory linearizable set with adversarially-timed
+// operations (per-process latency ranges — slow processes produce genuine
+// round skew, something the lock-step engine cannot express).  Elements
+// are ⟨message-batch, round⟩ pairs; identical elements merge (anonymity).
+// Sender provenance is tracked by the SIMULATOR only (for the validator);
+// the processes never see it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "giraf/process.hpp"
+#include "giraf/trace.hpp"
+
+namespace anon {
+
+struct MsEmulationOptions {
+  std::uint64_t seed = 1;
+  // Per-op add latency is drawn uniformly from [min, max] ticks; a
+  // per-process multiplier (skew) lets some processes crawl.
+  std::uint64_t min_add_latency = 1;
+  std::uint64_t max_add_latency = 6;
+  std::vector<std::uint64_t> skew;  // per-process multiplier (default 1)
+  std::uint64_t max_ticks = 1000000;
+};
+
+template <GirafMessage M>
+class MsEmulation {
+ public:
+  using Element = std::pair<Round, std::set<M>>;
+
+  MsEmulation(std::vector<std::unique_ptr<Automaton<M>>> automatons,
+              MsEmulationOptions opt)
+      : opt_(opt), rng_(opt.seed) {
+    ANON_CHECK(!automatons.empty());
+    n_ = automatons.size();
+    if (opt_.skew.empty()) opt_.skew.assign(n_, 1);
+    ANON_CHECK(opt_.skew.size() == n_);
+    for (auto& a : automatons)
+      procs_.push_back(std::make_unique<GirafProcess<M>>(std::move(a)));
+    states_.resize(n_);
+    // Line 3: trigger the first end-of-round, then start the round-1 add.
+    for (ProcId p = 0; p < n_; ++p) trigger_eor_and_add(p);
+  }
+
+  // Runs until every process has completed `rounds` rounds.
+  // Returns false if max_ticks elapsed first.
+  bool run_until_round(Round rounds) {
+    for (; tick_ < opt_.max_ticks; ++tick_) {
+      bool all_done = true;
+      for (ProcId p = 0; p < n_; ++p)
+        if (procs_[p]->round() < rounds + 1) all_done = false;
+      if (all_done) return true;
+      // Two phases per tick: first make the elements of ALL adds completing
+      // now visible, then run the gets/end-of-rounds.  (Same-tick
+      // completers must see each other's elements, otherwise no process
+      // would have a timely link in that round — a tie would break MS.)
+      std::vector<ProcId> completing;
+      for (ProcId p = 0; p < n_; ++p) {
+        PerProcess& st = states_[p];
+        if (st.add_complete_tick != 0 && st.add_complete_tick <= tick_)
+          completing.push_back(p);
+      }
+      make_visible(tick_);
+      for (ProcId p : completing) visible_.insert(states_[p].in_flight);
+      for (ProcId p : completing) finish_round_step(p);
+    }
+    return false;
+  }
+
+  std::size_t n() const { return n_; }
+  const Trace& trace() const { return trace_; }
+  const GirafProcess<M>& process(ProcId p) const { return *procs_[p]; }
+  Round round(ProcId p) const { return procs_[p]->round(); }
+
+  // Content of the emulating weak-set (visible part), for tests.
+  std::size_t weak_set_size() const { return visible_.size(); }
+
+ private:
+  struct PerProcess {
+    std::uint64_t add_complete_tick = 0;  // 0 = no add in flight
+    Element in_flight;
+    std::set<Element> delivered;  // DELIVERED
+  };
+
+  void trigger_eor_and_add(ProcId p) {
+    auto out = procs_[p]->end_of_round();
+    trace_.record_end_of_round(p, out.round, tick_);
+    PerProcess& st = states_[p];
+    st.in_flight = Element{out.round, out.batch};
+    const std::uint64_t lat =
+        opt_.min_add_latency +
+        rng_.below(opt_.max_add_latency - opt_.min_add_latency + 1);
+    st.add_complete_tick = tick_ + 1 + lat * opt_.skew[p];
+    // The element may become visible to concurrent gets any time between
+    // now and completion (weak-set: concurrent adds are maybe-visible).
+    const std::uint64_t vis = tick_ + 1 + rng_.below(lat * opt_.skew[p] + 1);
+    pending_visible_.insert({vis, st.in_flight});
+    adders_[st.in_flight].insert(p);
+  }
+
+  void finish_round_step(ProcId p) {
+    PerProcess& st = states_[p];
+    st.add_complete_tick = 0;
+    // (The element was made visible in the tick's first phase.)
+    // getS \ DELIVERED → deliver.
+    for (const Element& e : visible_) {
+      if (st.delivered.count(e) > 0) continue;
+      st.delivered.insert(e);
+      procs_[p]->receive(e.second, e.first);
+      for (ProcId adder : adders_[e]) {
+        if (adder == p) continue;
+        trace_.record_delivery(adder, e.first, p, procs_[p]->round(), tick_);
+      }
+    }
+    // trigger end-of-round; then the next round's add begins.
+    trigger_eor_and_add(p);
+  }
+
+  void make_visible(std::uint64_t now) {
+    for (auto it = pending_visible_.begin(); it != pending_visible_.end();) {
+      if (it->first <= now) {
+        visible_.insert(it->second);
+        it = pending_visible_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::size_t n_;
+  MsEmulationOptions opt_;
+  Rng rng_;
+  std::vector<std::unique_ptr<GirafProcess<M>>> procs_;
+  std::vector<PerProcess> states_;
+  std::set<Element> visible_;
+  std::multimap<std::uint64_t, Element> pending_visible_;
+  std::map<Element, std::set<ProcId>> adders_;
+  Trace trace_;
+  std::uint64_t tick_ = 1;
+};
+
+}  // namespace anon

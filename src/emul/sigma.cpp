@@ -1,0 +1,75 @@
+#include "emul/sigma.hpp"
+
+#include <map>
+
+namespace anon {
+
+namespace {
+
+class RecentlyHeard final : public SigmaEmulator {
+ public:
+  RecentlyHeard(ProcId self, Round window) : self_(self), window_(window) {}
+  void observe_round(Round k, const std::set<ProcId>& heard) override {
+    now_ = k;
+    for (ProcId p : heard) last_heard_[p] = k;
+  }
+  std::set<ProcId> trusted() const override {
+    std::set<ProcId> out{self_};
+    for (const auto& [p, k] : last_heard_)
+      if (now_ <= k + window_) out.insert(p);
+    return out;
+  }
+
+ private:
+  ProcId self_;
+  Round window_;
+  Round now_ = 0;
+  std::map<ProcId, Round> last_heard_;
+};
+
+class Cumulative final : public SigmaEmulator {
+ public:
+  explicit Cumulative(ProcId self) : all_{self} {}
+  void observe_round(Round, const std::set<ProcId>& heard) override {
+    all_.insert(heard.begin(), heard.end());
+  }
+  std::set<ProcId> trusted() const override { return all_; }
+
+ private:
+  std::set<ProcId> all_;
+};
+
+class FullSet final : public SigmaEmulator {
+ public:
+  explicit FullSet(std::size_t n) {
+    for (ProcId p = 0; p < n; ++p) all_.insert(p);
+  }
+  void observe_round(Round, const std::set<ProcId>&) override {}
+  std::set<ProcId> trusted() const override { return all_; }
+
+ private:
+  std::set<ProcId> all_;
+};
+
+}  // namespace
+
+std::unique_ptr<SigmaEmulator> RecentlyHeardSigmaFactory::make(
+    ProcId self, std::size_t) const {
+  return std::make_unique<RecentlyHeard>(self, window_);
+}
+
+std::string RecentlyHeardSigmaFactory::name() const {
+  return "recently-heard(w=" + std::to_string(window_) + ")";
+}
+
+std::unique_ptr<SigmaEmulator> CumulativeSigmaFactory::make(ProcId self,
+                                                            std::size_t) const {
+  return std::make_unique<Cumulative>(self);
+}
+
+std::unique_ptr<SigmaEmulator> FullSetSigmaFactory::make(ProcId,
+                                                         std::size_t n) const {
+  return std::make_unique<FullSet>(n);
+}
+
+}  // namespace anon

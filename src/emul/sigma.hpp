@@ -1,0 +1,71 @@
+// The quorum failure detector Σ (§6) and candidate emulators.
+//
+// Σ outputs lists of trusted process IDs satisfying:
+//   Intersection: any two outputs, at any times and processes, share at
+//                 least one process.
+//   Completeness: eventually every trusted process is correct.
+//
+// Σ is the weakest failure detector for registers in known asynchronous
+// networks; Proposition 4 shows it CANNOT be emulated in the MS
+// environment, even with known n and IDs.  The candidates below are
+// reasonable attempts; the two-run adversary (sigma_adversary.hpp) defeats
+// each of them, executing the paper's indistinguishability argument.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "giraf/types.hpp"
+
+namespace anon {
+
+// A candidate Σ emulator for ONE process in a known network of n processes
+// with IDs 0..n−1.  Each round the harness feeds the set of processes heard
+// from (the paper's Prop-4 setting grants IDs); the candidate maintains its
+// trusted set.
+class SigmaEmulator {
+ public:
+  virtual ~SigmaEmulator() = default;
+  virtual void observe_round(Round k, const std::set<ProcId>& heard_from) = 0;
+  virtual std::set<ProcId> trusted() const = 0;
+};
+
+class SigmaFactory {
+ public:
+  virtual ~SigmaFactory() = default;
+  virtual std::unique_ptr<SigmaEmulator> make(ProcId self,
+                                              std::size_t n) const = 0;
+  virtual std::string name() const = 0;
+};
+
+// Trusts self + everyone heard from within the last `window` rounds.
+// Plausible: silence looks like a crash.  Defeated by Prop 4's r1/r2.
+class RecentlyHeardSigmaFactory final : public SigmaFactory {
+ public:
+  explicit RecentlyHeardSigmaFactory(Round window) : window_(window) {}
+  std::unique_ptr<SigmaEmulator> make(ProcId self, std::size_t n) const override;
+  std::string name() const override;
+
+ private:
+  Round window_;
+};
+
+// Trusts self + everyone EVER heard from.  Satisfies intersection trivially
+// in these runs but can never drop a crashed process: completeness fails.
+class CumulativeSigmaFactory final : public SigmaFactory {
+ public:
+  std::unique_ptr<SigmaEmulator> make(ProcId self, std::size_t n) const override;
+  std::string name() const override { return "cumulative"; }
+};
+
+// Always trusts the full process set — the "never give up" strategy;
+// completeness fails as soon as anybody crashes.
+class FullSetSigmaFactory final : public SigmaFactory {
+ public:
+  std::unique_ptr<SigmaEmulator> make(ProcId self, std::size_t n) const override;
+  std::string name() const override { return "full-set"; }
+};
+
+}  // namespace anon

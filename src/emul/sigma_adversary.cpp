@@ -1,0 +1,71 @@
+#include "emul/sigma_adversary.hpp"
+
+#include <sstream>
+
+namespace anon {
+
+SigmaVerdict run_prop4_scenario(const SigmaFactory& factory, Round horizon) {
+  SigmaVerdict v;
+  const std::size_t n = 2;
+
+  // --- Run r1: p0 sole correct process, hears only itself. ---
+  {
+    auto p0 = factory.make(0, n);
+    for (Round k = 1; k <= horizon; ++k) {
+      p0->observe_round(k, {0});  // own heartbeat only
+      if (p0->trusted() == std::set<ProcId>{0}) {
+        v.completeness_r1 = true;
+        v.t = k;
+        break;
+      }
+    }
+  }
+  if (!v.completeness_r1) {
+    v.summary = factory.name() +
+                ": completeness VIOLATED in r1 (p0 never trusted only "
+                "itself although p1 crashed at the start)";
+    return v;
+  }
+
+  // --- Run r2: p1 sole correct; p0 behaves as in r1 up to t, then crashes.
+  {
+    auto p0 = factory.make(0, n);
+    auto p1 = factory.make(1, n);
+    std::set<ProcId> p0_at_t;
+    for (Round k = 1; k <= v.t; ++k) {
+      p0->observe_round(k, {0});       // indistinguishable from r1
+      p1->observe_round(k, {0, 1});    // p0 is the source until t
+    }
+    p0_at_t = p0->trusted();           // = {p0} by indistinguishability
+    // p0 crashes; p1 runs on alone.
+    std::set<ProcId> p1_final;
+    for (Round k = v.t + 1; k <= v.t + horizon; ++k) {
+      p1->observe_round(k, {1});
+      p1_final = p1->trusted();
+      if (p1_final == std::set<ProcId>{1}) {
+        v.completeness_r2 = true;
+        break;
+      }
+    }
+    if (!v.completeness_r2) {
+      v.summary = factory.name() +
+                  ": completeness VIOLATED in r2 (p1 kept trusting the "
+                  "crashed p0 forever)";
+      return v;
+    }
+    // Both completeness clauses hold → Intersection must break.
+    bool intersect = false;
+    for (ProcId p : p0_at_t)
+      if (p1_final.count(p) > 0) intersect = true;
+    v.intersection_violated = !intersect;
+    std::ostringstream os;
+    os << factory.name() << ": p0 output {p0} at round " << v.t
+       << " of r2, p1 later output {p1} — intersection "
+       << (v.intersection_violated ? "VIOLATED (as Prop 4 predicts)"
+                                   : "unexpectedly held");
+    v.summary = os.str();
+  }
+  return v;
+}
+
+}  // namespace anon

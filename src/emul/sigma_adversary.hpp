@@ -1,0 +1,38 @@
+// The two-run indistinguishability adversary of Proposition 4.
+//
+// Setting: n = 2, IDs known (the impossibility holds even so), MS
+// environment.
+//   Run r1: p0 is the only correct process, is the source in every round,
+//           and receives no messages from p1.  Completeness forces some
+//           round t with trusted(p0) = {p0}.
+//   Run r2: p1 is the only correct process; p0 is the source until round t
+//           (then crashes) and receives nothing up to t — for p0, r2 is
+//           indistinguishable from r1, so at round t it outputs {p0}.
+//           Completeness eventually forces trusted(p1) = {p1} forever.
+//   The outputs {p0} (p0, round t, r2) and {p1} (p1, later, r2) violate
+//   Intersection.
+//
+// For a candidate emulator the harness therefore reports which property
+// broke: completeness in r1 (never narrowed to {p0}), completeness in r2
+// (p1 never narrowed to {p1}), or — for candidates passing both —
+// Intersection.  Proposition 4 says every candidate lands somewhere.
+#pragma once
+
+#include <string>
+
+#include "emul/sigma.hpp"
+
+namespace anon {
+
+struct SigmaVerdict {
+  bool completeness_r1 = false;   // p0 eventually output {p0} in r1
+  Round t = 0;                    // the witness round in r1
+  bool completeness_r2 = false;   // p1 eventually output {p1} in r2
+  bool intersection_violated = false;
+  std::string summary;
+};
+
+// Drives the candidate through r1 and r2 with the given horizon.
+SigmaVerdict run_prop4_scenario(const SigmaFactory& factory, Round horizon);
+
+}  // namespace anon

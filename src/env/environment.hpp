@@ -1,0 +1,34 @@
+// Environment definitions (§2.3 of the paper).
+//
+//   MS  — moving source: every round k has *some* process with a timely
+//         link (completes round k; its round-k message reaches every
+//         correct process within their round k).  The source may change
+//         arbitrarily, every round.
+//   ES  — eventual synchrony: MS + after some round (GST) every correct
+//         process has a timely link in every round.
+//   ESS — eventually stable source: MS + after some round the source is
+//         the same process forever.
+#pragma once
+
+#include <cstdint>
+
+#include "giraf/types.hpp"
+
+namespace anon {
+
+enum class EnvKind { kMS, kES, kESS };
+
+const char* to_string(EnvKind k);
+
+struct EnvParams {
+  EnvKind kind = EnvKind::kES;
+  std::size_t n = 3;          // number of processes (unknown to them!)
+  std::uint64_t seed = 1;     // adversary randomness
+  Round stabilization = 0;    // ES: GST (all timely from round GST+1);
+                              // ESS: source fixed from round stabilization+1
+  Round max_delay = 3;        // extra delay drawn in [1, max_delay] for
+                              // links the adversary makes non-timely
+  double timely_prob = 0.25;  // chance a non-guaranteed link is timely anyway
+};
+
+}  // namespace anon

@@ -1,0 +1,127 @@
+#include "env/validate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "net/schedule.hpp"
+
+namespace anon {
+
+std::string EnvCheckResult::to_string() const {
+  std::ostringstream os;
+  os << "env{ms=" << (ms_ok ? "ok" : "VIOLATED") << " over " << checked_rounds
+     << " rounds";
+  if (!ms_ok) os << " (first violation r" << first_ms_violation << ")";
+  if (es_from) os << ", ES from r" << *es_from;
+  if (ess_from) os << ", ESS from r" << *ess_from << " (source p" << *ess_source << ")";
+  os << "}";
+  return os.str();
+}
+
+EnvCheckResult check_environment(const Trace& trace, std::size_t n,
+                                 const std::vector<ProcId>& correct) {
+  EnvCheckResult res;
+  ANON_CHECK(!correct.empty());
+
+  // Rounds completed per process.
+  std::vector<Round> completed(n, 0);
+  for (const auto& e : trace.end_of_rounds())
+    completed[e.process] = std::max(completed[e.process], e.round);
+
+  Round K = kNeverCrashes;
+  for (ProcId p : correct) K = std::min(K, completed[p]);
+  if (K == kNeverCrashes || K <= 1) return res;  // nothing checkable
+  K -= 1;  // the slowest process's current round is still open
+  res.checked_rounds = K;
+
+  // timely[(sender, k)] = receivers that got sender's round-k message no
+  // later than their own round k (early receipt — receiver still in an
+  // older round — is fine: the message sits in M[k] in time for
+  // compute(k); only receiver_round > k misses the round).
+  std::map<std::pair<ProcId, Round>, std::set<ProcId>> timely;
+  for (const auto& d : trace.deliveries())
+    if (d.receiver_round <= d.msg_round && d.msg_round <= K)
+      timely[{d.sender, d.msg_round}].insert(d.receiver);
+
+  // Which processes executed end-of-round k (sent a round-k message).
+  std::set<std::pair<ProcId, Round>> eor;
+  for (const auto& e : trace.end_of_rounds()) eor.insert({e.process, e.round});
+
+  const std::set<ProcId> correct_set(correct.begin(), correct.end());
+
+  auto is_timely_source = [&](ProcId s, Round k) {
+    if (eor.count({s, k}) == 0) return false;
+    auto it = timely.find({s, k});
+    for (ProcId j : correct) {
+      if (j == s) continue;  // own message is local
+      if (it == timely.end() || it->second.count(j) == 0) return false;
+    }
+    return true;
+  };
+
+  // Per-round: all timely sources; whether all correct processes are timely.
+  std::vector<std::vector<ProcId>> sources_per_round(K + 1);
+  std::vector<bool> all_correct_timely(K + 1, false);
+  res.ms_ok = true;
+  for (Round k = 1; k <= K; ++k) {
+    for (ProcId s = 0; s < n; ++s)
+      if (is_timely_source(s, k)) sources_per_round[k].push_back(s);
+    if (sources_per_round[k].empty() && res.ms_ok) {
+      res.ms_ok = false;
+      res.first_ms_violation = k;
+    }
+    bool all = true;
+    for (ProcId j : correct)
+      if (!is_timely_source(j, k)) {
+        all = false;
+        break;
+      }
+    all_correct_timely[k] = all;
+    if (!sources_per_round[k].empty())
+      res.sources.push_back(sources_per_round[k].front());
+    else
+      res.sources.push_back(n);  // sentinel: no source
+  }
+  if (!res.ms_ok) return res;
+
+  // ES witness: smallest k0 with all_correct_timely on [k0, K].
+  for (Round k0 = K;; --k0) {
+    if (!all_correct_timely[k0]) {
+      if (k0 < K) res.es_from = k0 + 1;
+      break;
+    }
+    if (k0 == 1) {
+      res.es_from = 1;
+      break;
+    }
+  }
+
+  // ESS witness: some process s timely-source on all of [k0, K]; take the
+  // smallest such k0 over all s.
+  std::optional<Round> best_k0;
+  std::optional<ProcId> best_s;
+  for (ProcId s = 0; s < n; ++s) {
+    // Walk back from K while s stays a source.
+    Round k0 = K + 1;
+    for (Round k = K;; --k) {
+      bool src = std::find(sources_per_round[k].begin(),
+                           sources_per_round[k].end(),
+                           s) != sources_per_round[k].end();
+      if (!src) break;
+      k0 = k;
+      if (k == 1) break;
+    }
+    if (k0 <= K && (!best_k0 || k0 < *best_k0)) {
+      best_k0 = k0;
+      best_s = s;
+    }
+  }
+  res.ess_from = best_k0;
+  res.ess_source = best_s;
+  return res;
+}
+
+}  // namespace anon

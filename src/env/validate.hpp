@@ -1,0 +1,43 @@
+// Trace validators: certify that a recorded run satisfies the round-based
+// properties of MS / ES / ESS (§2.3).  These are the executable counterpart
+// of the paper's environment definitions, and double as the acceptance test
+// for Algorithm 5's *emulated* MS environment (Theorem 4).
+//
+// Checked prefix: rounds 1..K−1 where K = min rounds completed over correct
+// processes — round k's timely-delivery window only closes once a process
+// has executed end-of-round k+1, so the last completed round of the
+// slowest correct process is still open and cannot be judged.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "giraf/trace.hpp"
+
+namespace anon {
+
+struct EnvCheckResult {
+  // MS: every checked round has at least one timely source.
+  bool ms_ok = false;
+  Round checked_rounds = 0;       // K
+  Round first_ms_violation = 0;   // round lacking a source (if !ms_ok)
+  // Earliest round k0 such that every correct process has a timely link in
+  // every checked round >= k0 (ES witness), if any.
+  std::optional<Round> es_from;
+  // Earliest round k0 such that one fixed process is a timely source in
+  // every checked round >= k0 (ESS witness), if any.
+  std::optional<Round> ess_from;
+  std::optional<ProcId> ess_source;
+  // One timely source per checked round (first found), for diagnostics.
+  std::vector<ProcId> sources;
+
+  std::string to_string() const;
+};
+
+// `correct`: the processes that never crash in this run (the properties'
+// "every correct process receives…" quantifier ranges over these).
+EnvCheckResult check_environment(const Trace& trace, std::size_t n,
+                                 const std::vector<ProcId>& correct);
+
+}  // namespace anon

@@ -1,0 +1,64 @@
+// The algorithm-facing half of the extended GIRAF framework (Algorithm 1).
+//
+// An algorithm instantiates the framework with two non-blocking functions,
+// `initialize()` and `compute(k, M)`.  Because the network is anonymous,
+// the round-k inbox `M[k]` is a *set* of messages: identical messages from
+// behaviourally-identical processes collapse into one element.
+//
+// A message type must be regular and strictly ordered (usable in std::set).
+#pragma once
+
+#include <concepts>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/value.hpp"
+#include "giraf/types.hpp"
+
+namespace anon {
+
+template <typename M>
+concept GirafMessage = std::regular<M> && requires(const M& a, const M& b) {
+  { a < b } -> std::convertible_to<bool>;
+};
+
+// The state variable M_i of Algorithm 1: one set of messages per round.
+// compute() receives the whole map because some algorithms (Algorithm 4's
+// weak-set, line 15) union over *all* rounds, picking up late deliveries.
+template <GirafMessage M>
+using Inboxes = std::map<Round, std::set<M>>;
+
+// M_i[k] (empty set if nothing received for round k).
+template <GirafMessage M>
+const std::set<M>& inbox_at(const Inboxes<M>& inboxes, Round k) {
+  static const std::set<M> kEmpty;
+  auto it = inboxes.find(k);
+  return it == inboxes.end() ? kEmpty : it->second;
+}
+
+// Interface implemented by the paper's algorithms (Algorithms 2, 3, 4).
+//
+// Ownership/lifetime: an automaton belongs to exactly one GirafProcess.
+// The framework calls initialize() exactly once (first end-of-round) and
+// compute() once per subsequent end-of-round, passing the inbox of the
+// round being completed.
+template <GirafMessage M>
+class Automaton {
+ public:
+  virtual ~Automaton() = default;
+
+  // Round-0 action; the returned message is this process's round-1 message.
+  virtual M initialize() = 0;
+
+  // End of round k: `inboxes` is M_i; `inbox_at(inboxes, k)` is the set of
+  // round-k messages received so far (always contains the process's own
+  // round-k message).  Returns the round-(k+1) message.
+  virtual M compute(Round k, const Inboxes<M>& inboxes) = 0;
+
+  // Consensus-style decision, if this automaton decides (nullopt otherwise /
+  // before deciding).  Once set it must never change — the framework checks.
+  virtual std::optional<Value> decision() const { return std::nullopt; }
+};
+
+}  // namespace anon

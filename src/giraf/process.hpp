@@ -1,0 +1,93 @@
+// Per-process engine of the extended GIRAF framework (Algorithm 1).
+//
+// States:    k_i ∈ ℕ (round), M_i[ℕ] ⊆ Messages (set-valued inboxes).
+// Actions:   input end-of-round_i  — runs initialize()/compute(), stores the
+//            produced message into M_i[k_i+1], advances k_i and *outputs*
+//            send(⟨M_i[k_i], k_i⟩): note the whole round-k_i *set* is sent,
+//            so a process relays every round-k message it has already
+//            received (this matters when rounds are not synchronized).
+//   input receive(⟨M, k⟩)_i — merges M into M_i[k].
+//
+// The environment (our network simulators in src/net, src/emul) decides when
+// these actions fire; rounds need not be synchronized across processes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "common/check.hpp"
+#include "giraf/automaton.hpp"
+#include "giraf/types.hpp"
+
+namespace anon {
+
+template <GirafMessage M>
+class GirafProcess {
+ public:
+  struct Outgoing {
+    std::set<M> batch;  // M_i[k_i] — own round message plus relayed ones
+    Round round;        // k_i
+  };
+
+  explicit GirafProcess(std::unique_ptr<Automaton<M>> automaton)
+      : automaton_(std::move(automaton)) {
+    ANON_CHECK(automaton_ != nullptr);
+  }
+
+  // input end-of-round_i (Algorithm 1 lines 5–12).
+  Outgoing end_of_round() {
+    M m = (k_ == 0) ? automaton_->initialize() : automaton_->compute(k_, inboxes_);
+    inboxes_[k_ + 1].insert(m);
+    ++k_;
+    check_decision_stability();
+    return Outgoing{inboxes_[k_], k_};
+  }
+
+  // input receive(⟨M, k⟩)_i (Algorithm 1 lines 13–14).
+  void receive(const std::set<M>& batch, Round k) {
+    ANON_CHECK(k >= 1);
+    inboxes_[k].insert(batch.begin(), batch.end());
+  }
+
+  Round round() const { return k_; }
+
+  // M_i[k]; empty set if nothing received for round k.
+  const std::set<M>& inbox(Round k) const { return inbox_at(inboxes_, k); }
+
+  const Inboxes<M>& inboxes() const { return inboxes_; }
+
+  std::optional<Value> decision() const { return automaton_->decision(); }
+
+  const Automaton<M>& automaton() const { return *automaton_; }
+  Automaton<M>& automaton() { return *automaton_; }
+
+  // Drop inboxes for rounds < `round` (memory hygiene for long benches;
+  // Algorithm 2/3 never reread old rounds.  Algorithm 4 unions over all
+  // rounds but keeps its own running union, see MsWeakSetAutomaton).
+  void forget_rounds_before(Round round) {
+    inboxes_.erase(inboxes_.begin(), inboxes_.lower_bound(round));
+  }
+
+ private:
+  void check_decision_stability() {
+    auto d = automaton_->decision();
+    if (decided_once_) {
+      ANON_CHECK_MSG(d.has_value() && *d == first_decision_,
+                     "decision changed after being set");
+    } else if (d.has_value()) {
+      decided_once_ = true;
+      first_decision_ = *d;
+    }
+  }
+
+  std::unique_ptr<Automaton<M>> automaton_;
+  Round k_ = 0;
+  Inboxes<M> inboxes_;
+  bool decided_once_ = false;
+  Value first_decision_;
+};
+
+}  // namespace anon

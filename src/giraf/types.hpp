@@ -1,0 +1,19 @@
+// Basic identifiers for the round framework and the simulator.
+//
+// IMPORTANT ANONYMITY NOTE: `ProcId` indexes processes *inside the
+// simulator* (for scheduling, crash injection, traces, metrics).  The
+// algorithms themselves never see a ProcId — GIRAF hands them only round
+// numbers and *sets* of messages, exactly as in the paper's anonymous model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace anon {
+
+using ProcId = std::size_t;   // simulator-only process index
+using Round = std::uint64_t;  // 1-based round number (0 = not started)
+
+inline constexpr Round kNoRound = 0;
+
+}  // namespace anon

@@ -1,0 +1,8 @@
+#include "net/lockstep.hpp"
+
+// LockstepNet is header-only (templated on the message type); this
+// translation unit pins the vtable-free build and hosts nothing else.
+
+namespace anon {
+static_assert(sizeof(LockstepOptions) > 0);
+}  // namespace anon

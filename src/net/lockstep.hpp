@@ -1,0 +1,221 @@
+// Lock-step round simulator.
+//
+// All alive processes advance rounds together; the adversary acts through
+// the `DelayModel` (per-link, per-round delays; 0 = timely) and the
+// `CrashPlan` (a crashing process's final broadcast reaches only a subset).
+//
+// One engine round r:
+//   1. deliver every message batch due in round r (into the receivers'
+//      round-indexed inboxes; timely messages have msg_round == r),
+//   2. evaluate the stop condition,
+//   3. every alive process executes end-of-round #(r+1): compute(r) runs
+//      and its round-(r+1) message is broadcast.  A process whose crash
+//      round is r+1 broadcasts to its final audience only and is dead
+//      afterwards.
+//
+// Reliable broadcast: if `relay_partial_broadcast` is set (default), the
+// non-audience of a crashed sender still receives the final message, late —
+// modelling the relay performed by a uniform reliable broadcast layer.
+// Disabling it yields best-effort broadcast for crashing senders; the
+// paper's safety properties must (and do — see tests) hold either way.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "giraf/process.hpp"
+#include "giraf/trace.hpp"
+#include "net/schedule.hpp"
+
+namespace anon {
+
+// What a decided process does next (see DESIGN.md, "decide/halt").
+enum class HaltPolicy {
+  // Keep executing rounds, re-broadcasting the frozen final message
+  // (standard reading; keeps ES/ESS satisfiable and laggards alive).
+  kContinueForever,
+  // Literal "decide; halt": stop sending and receiving.  Provided to
+  // demonstrate laggard starvation; not recommended.
+  kStopAfterDecide,
+};
+
+struct LockstepOptions {
+  std::uint64_t seed = 1;
+  Round max_rounds = 100000;
+  bool relay_partial_broadcast = true;
+  Round relay_extra_delay = 2;  // extra rounds for relayed final messages
+  bool record_trace = true;     // end-of-round / crash events
+  bool record_deliveries = true;  // delivery events (can be voluminous)
+  bool forget_old_rounds = true;  // drop inboxes of completed rounds
+  HaltPolicy halt_policy = HaltPolicy::kContinueForever;
+};
+
+struct RunResult {
+  Round rounds = 0;    // engine rounds executed
+  bool stopped = false;  // stop condition met (vs. max_rounds exhausted)
+};
+
+// Approximate wire size of a message, for state-growth experiments (E10).
+// Specialize alongside each message type.
+template <typename M>
+struct MessageSizeOf {
+  static std::size_t size(const M&) { return sizeof(M); }
+};
+
+template <GirafMessage M>
+class LockstepNet {
+ public:
+  LockstepNet(std::vector<std::unique_ptr<Automaton<M>>> automatons,
+              const DelayModel& delays, CrashPlan crashes,
+              LockstepOptions opt = {})
+      : delays_(delays), crashes_(std::move(crashes)), opt_(opt) {
+    ANON_CHECK(!automatons.empty());
+    n_ = automatons.size();
+    procs_.reserve(n_);
+    for (auto& a : automatons)
+      procs_.push_back(std::make_unique<GirafProcess<M>>(std::move(a)));
+    halted_.assign(n_, false);
+    for (ProcId p = 0; p < n_; ++p)
+      if (Round c = crashes_.crash_round(p); c != kNeverCrashes)
+        trace_.record_crash(p, c + 1);
+  }
+
+  std::size_t n() const { return n_; }
+  Round round() const { return round_; }
+  const Trace& trace() const { return trace_; }
+  const GirafProcess<M>& process(ProcId p) const { return *procs_[p]; }
+  GirafProcess<M>& process(ProcId p) { return *procs_[p]; }
+
+  std::optional<Value> decision(ProcId p) const { return procs_[p]->decision(); }
+
+  bool is_correct(ProcId p) const { return !crashes_.ever_crashes(p); }
+
+  bool all_correct_decided() const {
+    for (ProcId p = 0; p < n_; ++p)
+      if (is_correct(p) && !decision(p).has_value()) return false;
+    return true;
+  }
+
+  // First engine round at which process p was decided (kNoRound if never).
+  Round decision_round(ProcId p) const { return decision_round_[p]; }
+
+  std::uint64_t deliveries() const { return deliveries_; }
+  std::uint64_t sends() const { return sends_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  // Runs until stop(net) is true (checked after deliveries, before the next
+  // end-of-round wave) or until max_rounds engine rounds have executed.
+  template <typename StopFn>
+  RunResult run(StopFn stop) {
+    if (round_ == 0) bootstrap();
+    while (round_ < opt_.max_rounds) {
+      deliver_due(round_);
+      if (stop(*this)) return {round_, true};
+      advance_round();   // runs compute(round_ - 1 … ) for every process
+      note_decisions();  // decisions made by the computes just executed
+    }
+    return {round_, false};
+  }
+
+  RunResult run_until_all_correct_decided() {
+    return run([](const LockstepNet& net) { return net.all_correct_decided(); });
+  }
+
+  RunResult run_rounds(Round rounds) {
+    const Round target = round_ + rounds;
+    return run([target](const LockstepNet& net) { return net.round() >= target; });
+  }
+
+ private:
+  struct Pending {
+    ProcId receiver;
+    ProcId sender;
+    Round msg_round;
+    M msg;
+  };
+
+  void bootstrap() {
+    decision_round_.assign(n_, kNoRound);
+    for (ProcId p = 0; p < n_; ++p) step_eor(p, /*k=*/1);
+    round_ = 1;
+  }
+
+  void advance_round() {
+    const Round next = round_ + 1;
+    for (ProcId p = 0; p < n_; ++p) {
+      if (!crashes_.executes_eor(p, next)) continue;  // crashed earlier
+      if (halted_[p]) continue;                       // literal halt
+      step_eor(p, next);
+    }
+    round_ = next;
+  }
+
+  void step_eor(ProcId p, Round k) {
+    auto out = procs_[p]->end_of_round();
+    ANON_CHECK(out.round == k);
+    if (opt_.record_trace) trace_.record_end_of_round(p, k, k);
+    if (opt_.halt_policy == HaltPolicy::kStopAfterDecide &&
+        procs_[p]->decision().has_value())
+      halted_[p] = true;
+
+    const bool crashing = crashes_.crash_round(p) == k;
+    for (ProcId q = 0; q < n_; ++q) {
+      if (q == p) continue;
+      Round d = delays_.delay(k, p, q);
+      if (crashing && !crashes_.in_final_audience(p, q, n_, opt_.seed)) {
+        if (!opt_.relay_partial_broadcast) continue;  // lost forever
+        d = std::max<Round>(d, 1) + opt_.relay_extra_delay;
+      }
+      ++sends_;
+      for (const M& m : out.batch) {
+        bytes_sent_ += MessageSizeOf<M>::size(m);
+        pending_[k + d].push_back(Pending{q, p, k, m});
+      }
+    }
+    if (opt_.forget_old_rounds && k >= 2)
+      procs_[p]->forget_rounds_before(k - 1);
+  }
+
+  void deliver_due(Round r) {
+    auto it = pending_.find(r);
+    if (it == pending_.end()) return;
+    for (const Pending& d : it->second) {
+      if (!crashes_.receives_in_round(d.receiver, r)) continue;  // dead
+      if (halted_[d.receiver]) continue;
+      procs_[d.receiver]->receive({d.msg}, d.msg_round);
+      ++deliveries_;
+      if (opt_.record_trace && opt_.record_deliveries)
+        trace_.record_delivery(d.sender, d.msg_round, d.receiver,
+                               procs_[d.receiver]->round(), r);
+    }
+    pending_.erase(it);
+  }
+
+  void note_decisions() {
+    // Called right after advance_round(): the computes that just ran were
+    // compute(round_ - 1), so that is the deciding round.
+    for (ProcId p = 0; p < n_; ++p)
+      if (decision_round_[p] == kNoRound && procs_[p]->decision().has_value())
+        decision_round_[p] = round_ - 1;
+  }
+
+  std::size_t n_ = 0;
+  std::vector<std::unique_ptr<GirafProcess<M>>> procs_;
+  const DelayModel& delays_;
+  CrashPlan crashes_;
+  LockstepOptions opt_;
+  Trace trace_;
+  Round round_ = 0;
+  std::map<Round, std::vector<Pending>> pending_;
+  std::vector<bool> halted_;
+  std::vector<Round> decision_round_;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t sends_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace anon

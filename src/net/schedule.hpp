@@ -1,0 +1,111 @@
+// Delivery timing and crash plans for the simulated broadcast network.
+//
+// The paper assumes a reliable broadcast primitive with adversarial timing.
+// We factor the adversary into two orthogonal pieces:
+//
+//   * `DelayModel` — for every (round k, sender, receiver) link, how many
+//     rounds the round-k message takes to arrive.  0 means *timely*: the
+//     receiver gets it while still in round k, in time for its compute(k).
+//     Environments (MS/ES/ESS, src/env) are concrete DelayModels that
+//     guarantee the paper's round-based properties by construction.
+//
+//   * `CrashPlan` — which processes crash and when.  A process with crash
+//     round c executes its c-th end-of-round (so compute(c−1) runs) but its
+//     round-c broadcast reaches only a chosen subset, and it takes no
+//     further steps.  This models a crash *during* a broadcast, the hard
+//     case for fault tolerance.
+//
+// Delay models are usually stateless functions of (seed, k, sender,
+// receiver) so that multi-thousand-round runs need no per-round storage.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "giraf/types.hpp"
+
+namespace anon {
+
+inline constexpr Round kNeverCrashes = std::numeric_limits<Round>::max();
+
+// Stateless deterministic mixing of (seed, a, b, c) into a uint64; the
+// building block for memory-free randomized delay models.
+std::uint64_t hash_mix(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                       std::uint64_t c);
+
+// Uniform draw in [0, bound) from a hash (bound > 0).
+std::uint64_t hash_below(std::uint64_t h, std::uint64_t bound);
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  // Rounds of delay for sender's round-k message on the link to receiver.
+  // Must be finite (reliable broadcast).  0 = timely.
+  virtual Round delay(Round k, ProcId sender, ProcId receiver) const = 0;
+
+  // The process this model guarantees as the round-k source, if any
+  // (informational; used by tests and metrics, never by algorithms).
+  virtual std::optional<ProcId> planned_source(Round k) const {
+    (void)k;
+    return std::nullopt;
+  }
+};
+
+// Everything timely: the fully synchronous baseline model.
+class SynchronousDelays final : public DelayModel {
+ public:
+  Round delay(Round, ProcId, ProcId) const override { return 0; }
+};
+
+struct CrashSpec {
+  Round crash_round = kNeverCrashes;
+  // Receivers of the final (round-`crash_round`) broadcast.  If unset, a
+  // pseudo-random subset of `final_fraction` of the processes is chosen.
+  std::optional<std::vector<ProcId>> final_recipients;
+  double final_fraction = 0.5;
+};
+
+class CrashPlan {
+ public:
+  CrashPlan() = default;
+
+  void set(ProcId p, CrashSpec spec) { specs_[p] = spec; }
+
+  // Convenience: p crashes at `round` with a hash-chosen half audience.
+  void crash_at(ProcId p, Round round) { specs_[p] = CrashSpec{round, {}, 0.5}; }
+
+  Round crash_round(ProcId p) const {
+    auto it = specs_.find(p);
+    return it == specs_.end() ? kNeverCrashes : it->second.crash_round;
+  }
+
+  bool ever_crashes(ProcId p) const { return crash_round(p) != kNeverCrashes; }
+
+  // Alive to execute its k-th end-of-round?  (The crash-round EOR itself
+  // still executes — with a partial broadcast.)
+  bool executes_eor(ProcId p, Round k) const { return k <= crash_round(p); }
+
+  // Alive to *receive* during round k?  A process crashed at round c stops
+  // taking receive steps after its c-th end-of-round, i.e. during round c.
+  bool receives_in_round(ProcId p, Round k) const { return k < crash_round(p); }
+
+  // Does `receiver` belong to the final-broadcast audience of `sender`
+  // (only meaningful when k == crash_round(sender))?
+  bool in_final_audience(ProcId sender, ProcId receiver, std::size_t n,
+                         std::uint64_t seed) const;
+
+  // Processes that never crash, out of n.
+  std::vector<ProcId> correct(std::size_t n) const;
+
+  std::size_t crash_count() const { return specs_.size(); }
+
+ private:
+  std::map<ProcId, CrashSpec> specs_;
+};
+
+}  // namespace anon

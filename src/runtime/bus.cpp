@@ -1,0 +1,45 @@
+#include "runtime/bus.hpp"
+
+namespace anon {
+
+BroadcastBus::BroadcastBus(std::size_t subscribers,
+                           std::unique_ptr<LinkPolicy> policy)
+    : queues_(subscribers), policy_(std::move(policy)) {
+  if (!policy_) policy_ = std::make_unique<LinkPolicy>();
+}
+
+void BroadcastBus::broadcast(const Bytes& payload) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++broadcasts_;
+  for (std::size_t s = 0; s < queues_.size(); ++s) {
+    auto delay = policy_->delivery_delay(s);
+    if (!delay.has_value()) continue;  // dropped
+    queues_[s].push_back(Item{now + *delay, payload});
+  }
+}
+
+std::vector<Bytes> BroadcastBus::drain(std::size_t subscriber) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Bytes> out;
+  auto& q = queues_[subscriber];
+  // Due items can be interleaved with not-yet-due ones (per-link jitter);
+  // collect the due ones and keep the rest.
+  std::deque<Item> keep;
+  for (auto& item : q) {
+    if (item.due <= now)
+      out.push_back(std::move(item.payload));
+    else
+      keep.push_back(std::move(item));
+  }
+  q.swap(keep);
+  return out;
+}
+
+std::uint64_t BroadcastBus::broadcasts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return broadcasts_;
+}
+
+}  // namespace anon

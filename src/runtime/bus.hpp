@@ -1,0 +1,87 @@
+// An in-process broadcast bus with real threads and wall-clock delays —
+// the deployment-shaped substrate (think UDP broadcast on a LAN, or a
+// sensor radio).  Subscribers are ANONYMOUS: the bus carries no sender
+// identity, only bytes.
+//
+// Delivery policy per (subscriber, message): an optional delay and an
+// optional drop, decided by a pluggable `LinkPolicy` (the real-time
+// analogue of the simulator's DelayModel).  The default policy delivers
+// immediately and reliably.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/codec.hpp"
+
+namespace anon {
+
+class LinkPolicy {
+ public:
+  virtual ~LinkPolicy() = default;
+  // Delay before `subscriber` sees a message broadcast now; nullopt = drop.
+  // Called under the bus lock: keep it cheap.
+  virtual std::optional<std::chrono::milliseconds> delivery_delay(
+      std::size_t subscriber) {
+    (void)subscriber;
+    return std::chrono::milliseconds(0);
+  }
+};
+
+// Random per-link jitter with optional loss (loss breaks the reliable-
+// broadcast assumption — useful for demonstrating what the algorithms'
+// safety tolerates even off-spec).
+class JitterPolicy final : public LinkPolicy {
+ public:
+  JitterPolicy(std::uint64_t seed, std::chrono::milliseconds max_jitter,
+               double loss = 0.0)
+      : rng_(seed), max_jitter_(max_jitter), loss_(loss) {}
+  std::optional<std::chrono::milliseconds> delivery_delay(std::size_t) override {
+    if (loss_ > 0 && rng_.chance(loss_)) return std::nullopt;
+    return std::chrono::milliseconds(
+        static_cast<std::int64_t>(rng_.below(
+            static_cast<std::uint64_t>(max_jitter_.count()) + 1)));
+  }
+
+ private:
+  Rng rng_;
+  std::chrono::milliseconds max_jitter_;
+  double loss_;
+};
+
+class BroadcastBus {
+ public:
+  explicit BroadcastBus(std::size_t subscribers,
+                        std::unique_ptr<LinkPolicy> policy = nullptr);
+
+  std::size_t subscribers() const { return queues_.size(); }
+
+  // Anonymous broadcast: every subscriber (including the sender's own
+  // queue — callers typically skip self-delivery at a higher layer, but
+  // GIRAF tolerates duplicates anyway) receives the payload.
+  void broadcast(const Bytes& payload);
+
+  // Drains every message due for `subscriber` (non-blocking).
+  std::vector<Bytes> drain(std::size_t subscriber);
+
+  std::uint64_t broadcasts() const;
+
+ private:
+  struct Item {
+    std::chrono::steady_clock::time_point due;
+    Bytes payload;
+  };
+  mutable std::mutex mu_;
+  std::vector<std::deque<Item>> queues_;
+  std::unique_ptr<LinkPolicy> policy_;
+  std::uint64_t broadcasts_ = 0;
+};
+
+}  // namespace anon

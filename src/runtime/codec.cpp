@@ -1,0 +1,146 @@
+#include "runtime/codec.hpp"
+
+namespace anon {
+
+namespace {
+constexpr std::uint8_t kTagEs = 'E';
+constexpr std::uint8_t kTagEss = 'S';
+constexpr std::uint32_t kMaxCount = 1u << 24;  // sanity bound for decoding
+
+void put_value(ByteWriter& w, const Value& v) {
+  if (v.is_bottom()) {
+    w.u8(0);
+  } else {
+    w.u8(1);
+    w.i64(v.get());
+  }
+}
+
+std::optional<Value> get_value(ByteReader& r) {
+  auto kind = r.u8();
+  if (!kind) return std::nullopt;
+  if (*kind == 0) return Value::Bottom();
+  if (*kind != 1) return std::nullopt;
+  auto payload = r.i64();
+  if (!payload) return std::nullopt;
+  return Value(*payload);
+}
+
+void put_value_set(ByteWriter& w, const ValueSet& s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  for (const Value& v : s) put_value(w, v);
+}
+
+std::optional<ValueSet> get_value_set(ByteReader& r) {
+  auto n = r.u32();
+  if (!n || *n > kMaxCount) return std::nullopt;
+  ValueSet out;
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto v = get_value(r);
+    if (!v) return std::nullopt;
+    out.insert(*v);
+  }
+  return out;
+}
+
+void put_history(ByteWriter& w, const History& h) {
+  const auto vals = h.values();
+  w.u32(static_cast<std::uint32_t>(vals.size()));
+  for (const Value& v : vals) put_value(w, v);
+}
+
+std::optional<History> get_history(ByteReader& r, HistoryArena* arena) {
+  auto n = r.u32();
+  if (!n || *n > kMaxCount) return std::nullopt;
+  History h;
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto v = get_value(r);
+    if (!v) return std::nullopt;
+    h = arena->append(h, *v);
+  }
+  return h;
+}
+}  // namespace
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::optional<std::uint8_t> ByteReader::u8() {
+  if (pos_ >= in_.size()) return std::nullopt;
+  return in_[pos_++];
+}
+std::optional<std::uint32_t> ByteReader::u32() {
+  if (pos_ + 4 > in_.size()) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in_[pos_++]) << (8 * i);
+  return v;
+}
+std::optional<std::uint64_t> ByteReader::u64() {
+  if (pos_ + 8 > in_.size()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in_[pos_++]) << (8 * i);
+  return v;
+}
+std::optional<std::int64_t> ByteReader::i64() {
+  auto v = u64();
+  if (!v) return std::nullopt;
+  return static_cast<std::int64_t>(*v);
+}
+
+Bytes encode_es_message(const EsMessage& m) {
+  ByteWriter w;
+  w.u8(kTagEs);
+  put_value_set(w, m);
+  return w.take();
+}
+
+std::optional<EsMessage> decode_es_message(const Bytes& in) {
+  ByteReader r(in);
+  auto tag = r.u8();
+  if (!tag || *tag != kTagEs) return std::nullopt;
+  auto s = get_value_set(r);
+  if (!s || !r.exhausted()) return std::nullopt;
+  return s;
+}
+
+Bytes encode_ess_message(const EssMessage& m) {
+  ByteWriter w;
+  w.u8(kTagEss);
+  put_value_set(w, m.proposed);
+  put_history(w, m.history);
+  w.u32(static_cast<std::uint32_t>(m.counters.size()));
+  for (const auto& [h, c] : m.counters.entries()) {
+    put_history(w, h);
+    w.u64(c);
+  }
+  return w.take();
+}
+
+std::optional<EssMessage> decode_ess_message(const Bytes& in,
+                                             HistoryArena* arena) {
+  ByteReader r(in);
+  auto tag = r.u8();
+  if (!tag || *tag != kTagEss) return std::nullopt;
+  auto proposed = get_value_set(r);
+  if (!proposed) return std::nullopt;
+  auto history = get_history(r, arena);
+  if (!history) return std::nullopt;
+  auto n = r.u32();
+  if (!n || *n > (1u << 24)) return std::nullopt;
+  CounterMap counters;
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto h = get_history(r, arena);
+    if (!h) return std::nullopt;
+    auto c = r.u64();
+    if (!c) return std::nullopt;
+    counters.set(*h, *c);
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return EssMessage{*proposed, *history, counters};
+}
+
+}  // namespace anon

@@ -1,0 +1,62 @@
+// Binary wire codecs for the algorithm messages — what a deployment off
+// the simulator actually puts on the network.  Self-delimiting, versioned
+// by a one-byte tag, with defensive decoding (a malformed buffer yields
+// nullopt, never UB).
+//
+// Formats (all integers little-endian):
+//   EsMessage   := u8 tag('E') u32 count {i64 value-or-⊥-marker}*
+//   EssMessage  := u8 tag('S') u32 nprop {val}* history counters
+//     history   := u32 len {val}*
+//     counters  := u32 n {history u64 count}*
+//   val         := u8 kind(0=⊥,1=payload) [i64 payload]
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "algo/es_consensus.hpp"
+#include "algo/ess_consensus.hpp"
+
+namespace anon {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Low-level primitives (exposed for tests and other codecs).
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  Bytes take() { return std::move(out_); }
+  const Bytes& bytes() const { return out_; }
+
+ private:
+  Bytes out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& in) : in_(in) {}
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<std::int64_t> i64();
+  bool exhausted() const { return pos_ == in_.size(); }
+
+ private:
+  const Bytes& in_;
+  std::size_t pos_ = 0;
+};
+
+// EsMessage (a ValueSet).
+Bytes encode_es_message(const EsMessage& m);
+std::optional<EsMessage> decode_es_message(const Bytes& in);
+
+// EssMessage; decoding interns histories into the provided arena.
+Bytes encode_ess_message(const EssMessage& m);
+std::optional<EssMessage> decode_ess_message(const Bytes& in,
+                                             HistoryArena* arena);
+
+}  // namespace anon

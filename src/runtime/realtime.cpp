@@ -1,0 +1,7 @@
+#include "runtime/realtime.hpp"
+
+// RealtimeCluster is header-only (templated on message type and codec).
+
+namespace anon {
+static_assert(sizeof(RealtimeOptions) > 0);
+}  // namespace anon

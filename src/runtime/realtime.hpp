@@ -1,0 +1,181 @@
+// A wall-clock, multi-threaded runtime for the paper's algorithms — the
+// deployment-shaped entry point.  Each anonymous process runs on its own
+// thread, paces GIRAF rounds with a fixed period, and exchanges encoded
+// messages over the BroadcastBus.
+//
+// Synchrony story: choosing a round period comfortably above the network's
+// jitter bound realizes the ES environment in the classic way (timeouts ≈
+// eventual synchrony); shrinking the period below the jitter turns links
+// non-timely and the algorithms fall back to safety-only — which they
+// keep unconditionally.
+//
+// Wire frame:  u64 round | u32 batch_count | { u32 len | message bytes }*
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "giraf/process.hpp"
+#include "runtime/bus.hpp"
+
+namespace anon {
+
+struct RealtimeOptions {
+  std::chrono::milliseconds round_period{5};
+  Round max_rounds = 3000;
+};
+
+// Codec trait: how a message type crosses the wire.  `Arena` state is
+// per-process (histories must be interned locally — arenas are not
+// thread-safe and never shared across threads).
+struct EsWireCodec {
+  static Bytes encode(const EsMessage& m, HistoryArena*) {
+    return encode_es_message(m);
+  }
+  static std::optional<EsMessage> decode(const Bytes& b, HistoryArena*) {
+    return decode_es_message(b);
+  }
+};
+
+struct EssWireCodec {
+  static Bytes encode(const EssMessage& m, HistoryArena*) {
+    return encode_ess_message(m);
+  }
+  static std::optional<EssMessage> decode(const Bytes& b, HistoryArena* arena) {
+    return decode_ess_message(b, arena);
+  }
+};
+
+template <GirafMessage M, typename Codec>
+class RealtimeCluster {
+ public:
+  // `factories` build each process's automaton given its private arena.
+  using AutomatonFactory =
+      std::function<std::unique_ptr<Automaton<M>>(HistoryArena*)>;
+
+  RealtimeCluster(std::vector<AutomatonFactory> factories, BroadcastBus* bus,
+                  RealtimeOptions opt)
+      : bus_(bus), opt_(opt), n_(factories.size()) {
+    ANON_CHECK(bus_ != nullptr && n_ >= 1 && bus_->subscribers() == n_);
+    arenas_.reserve(n_);
+    procs_.reserve(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      arenas_.push_back(std::make_unique<HistoryArena>());
+      procs_.push_back(std::make_unique<GirafProcess<M>>(
+          factories[i](arenas_.back().get())));
+    }
+    crash_at_.assign(n_, kNeverCrashes);
+    decisions_.resize(n_);
+  }
+
+  // Schedule process p to stop (crash) before executing round `r`.
+  void crash_before_round(std::size_t p, Round r) { crash_at_[p] = r; }
+
+  // Runs all processes until every non-crashed one decided (plus a few
+  // grace rounds of frozen re-broadcasts), or max_rounds.
+  // Returns true if all running processes decided.
+  bool run() {
+    live_target_ = 0;
+    for (std::size_t p = 0; p < n_; ++p)
+      if (crash_at_[p] == kNeverCrashes) ++live_target_;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(n_);
+    for (std::size_t p = 0; p < n_; ++p)
+      threads.emplace_back([this, p, start] { worker(p, start); });
+    for (auto& t : threads) t.join();
+    bool all = true;
+    for (std::size_t p = 0; p < n_; ++p)
+      if (crash_at_[p] == kNeverCrashes && !decisions_[p].has_value())
+        all = false;
+    return all;
+  }
+
+  // Valid after run() returned (worker threads own these slots meanwhile).
+  std::optional<Value> decision(std::size_t p) const { return decisions_[p]; }
+  Round rounds_executed(std::size_t p) const { return procs_[p]->round(); }
+
+ private:
+  void worker(std::size_t p, std::chrono::steady_clock::time_point start) {
+    GirafProcess<M>& proc = *procs_[p];
+    HistoryArena* arena = arenas_[p].get();
+    bool noted = false;
+    Round grace = 0;
+    for (Round r = 1; r <= opt_.max_rounds; ++r) {
+      if (r >= crash_at_[p]) return;  // crash: silent stop
+      std::this_thread::sleep_until(start + r * opt_.round_period);
+      // Drain the bus: decode frames into round-indexed inboxes.
+      for (const Bytes& frame : bus_->drain(p)) ingest(proc, arena, frame);
+      // End of round: compute and broadcast the batch.
+      auto out = proc.end_of_round();
+      bus_->broadcast(encode_frame(out, arena));
+      if (!noted && proc.decision().has_value()) {
+        decisions_[p] = proc.decision();
+        noted = true;
+        decided_count_.fetch_add(1, std::memory_order_acq_rel);
+      }
+      // Once everybody alive has decided, a few more frozen re-broadcasts
+      // (HaltPolicy::kContinueForever in spirit) and we are done.
+      if (decided_count_.load(std::memory_order_acquire) >= live_target_) {
+        if (++grace >= 3) return;
+      }
+    }
+  }
+
+  Bytes encode_frame(const typename GirafProcess<M>::Outgoing& out,
+                     HistoryArena* arena) {
+    ByteWriter w;
+    w.u64(out.round);
+    w.u32(static_cast<std::uint32_t>(out.batch.size()));
+    for (const M& m : out.batch) {
+      Bytes b = Codec::encode(m, arena);
+      w.u32(static_cast<std::uint32_t>(b.size()));
+      for (std::uint8_t byte : b) w.u8(byte);
+    }
+    return w.take();
+  }
+
+  void ingest(GirafProcess<M>& proc, HistoryArena* arena, const Bytes& frame) {
+    ByteReader r(frame);
+    auto round = r.u64();
+    auto count = r.u32();
+    if (!round || !count || *round == 0) return;  // malformed: drop
+    std::set<M> batch;
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto len = r.u32();
+      if (!len) return;
+      Bytes body;
+      body.reserve(*len);
+      for (std::uint32_t j = 0; j < *len; ++j) {
+        auto byte = r.u8();
+        if (!byte) return;
+        body.push_back(*byte);
+      }
+      auto m = Codec::decode(body, arena);
+      if (!m) return;
+      batch.insert(*m);
+    }
+    proc.receive(batch, *round);
+  }
+
+  BroadcastBus* bus_;
+  RealtimeOptions opt_;
+  std::size_t n_;
+  std::vector<std::unique_ptr<HistoryArena>> arenas_;
+  std::vector<std::unique_ptr<GirafProcess<M>>> procs_;
+  std::vector<Round> crash_at_;
+  std::vector<std::optional<Value>> decisions_;
+  std::atomic<std::size_t> decided_count_{0};
+  std::size_t live_target_ = 0;
+};
+
+using RealtimeEsCluster = RealtimeCluster<EsMessage, EsWireCodec>;
+using RealtimeEssCluster = RealtimeCluster<EssMessage, EssWireCodec>;
+
+}  // namespace anon

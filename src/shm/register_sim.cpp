@@ -1,0 +1,39 @@
+#include "shm/register_sim.hpp"
+
+namespace anon {
+
+void StepScheduler::inject(std::uint64_t start_tick,
+                           std::unique_ptr<StepOp> op, DoneFn done) {
+  ops_.push_back({start_tick, std::move(op), std::move(done)});
+}
+
+std::uint64_t StepScheduler::run() {
+  for (;;) {
+    // Collect runnable ops (injected and not completed).
+    std::vector<std::size_t> runnable;
+    bool any_future = false;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (!ops_[i].op) continue;  // completed
+      if (ops_[i].start_tick > tick_) {
+        any_future = true;
+        continue;
+      }
+      runnable.push_back(i);
+    }
+    if (runnable.empty()) {
+      if (!any_future) return tick_;
+      ++tick_;  // idle tick until the next injection time
+      continue;
+    }
+    const std::size_t pick =
+        runnable[rng_.below(runnable.size())];
+    ++tick_;
+    if (ops_[pick].op->step()) {
+      auto done = std::move(ops_[pick].done);
+      ops_[pick].op.reset();
+      if (done) done(tick_);
+    }
+  }
+}
+
+}  // namespace anon

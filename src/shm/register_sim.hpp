@@ -1,0 +1,84 @@
+// Simulated linearizable (atomic) shared-memory registers with an
+// adversarial step scheduler.
+//
+// Propositions 2 and 3 implement weak-sets FROM registers; to exercise
+// their constructions under genuine concurrency we model each operation as
+// a small state machine whose steps are single atomic register accesses,
+// and let a seeded adversary interleave the steps of concurrent operations
+// arbitrarily.  The global step counter doubles as the virtual clock for
+// specification checking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace anon {
+
+// An array of atomic registers holding Cell values.  Every read/write is
+// one indivisible scheduler step (that is what "atomic register" means).
+template <typename Cell>
+class SharedMemory {
+ public:
+  SharedMemory(std::size_t count, Cell initial)
+      : cells_(count, initial) {}
+
+  // Returns by value: a register read is a copy-out (and std::vector<bool>
+  // has no stable element references anyway).
+  Cell read(std::size_t i) const {
+    ANON_CHECK(i < cells_.size());
+    return cells_[i];
+  }
+  void write(std::size_t i, Cell v) {
+    ANON_CHECK(i < cells_.size());
+    cells_[i] = std::move(v);
+  }
+  std::size_t size() const { return cells_.size(); }
+
+ private:
+  std::vector<Cell> cells_;
+};
+
+// One in-flight operation: step() performs one register access and returns
+// true when the operation has completed.
+class StepOp {
+ public:
+  virtual ~StepOp() = default;
+  virtual bool step() = 0;
+};
+
+// Interleaves in-flight operations: each scheduler tick picks one pending
+// op (seeded-uniformly) and executes one of its steps.  Ops can be
+// injected at chosen ticks; completion times are reported to the caller.
+class StepScheduler {
+ public:
+  explicit StepScheduler(std::uint64_t seed) : rng_(seed) {}
+
+  using DoneFn = std::function<void(std::uint64_t end_tick)>;
+
+  // Registers an op to start at `start_tick` (ticks count executed steps).
+  void inject(std::uint64_t start_tick, std::unique_ptr<StepOp> op,
+              DoneFn done);
+
+  // Runs until all injected ops completed; returns ticks executed.
+  std::uint64_t run();
+
+  std::uint64_t now() const { return tick_; }
+
+ private:
+  struct Pending {
+    std::uint64_t start_tick;
+    std::unique_ptr<StepOp> op;
+    DoneFn done;
+    bool started = false;
+  };
+  Rng rng_;
+  std::uint64_t tick_ = 0;
+  std::vector<Pending> ops_;
+};
+
+}  // namespace anon

@@ -1,0 +1,38 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace anon {
+
+SeriesStat aggregate(std::vector<double> samples) {
+  SeriesStat s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p50 = samples[samples.size() / 2];
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  return s;
+}
+
+std::string SeriesStat::to_string(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << mean << " [" << min << ".." << max << "]";
+  return os.str();
+}
+
+std::vector<std::uint64_t> experiment_seeds(std::size_t count) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) seeds.push_back(1000 + 37 * i);
+  return seeds;
+}
+
+}  // namespace anon

@@ -1,0 +1,26 @@
+// Multi-seed aggregation utilities for the experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anon {
+
+struct SeriesStat {
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  std::size_t count = 0;
+
+  std::string to_string(int precision = 1) const;
+};
+
+SeriesStat aggregate(std::vector<double> samples);
+
+// The standard seed list used across experiments (kept small enough for
+// quick runs, large enough to expose variance).
+std::vector<std::uint64_t> experiment_seeds(std::size_t count = 10);
+
+}  // namespace anon

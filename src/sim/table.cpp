@@ -1,0 +1,49 @@
+#include "sim/table.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace anon {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ANON_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  os << "\n== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    os << "\n";
+  };
+  print_row(headers_);
+  std::size_t total = headers_.size() * 2;
+  for (std::size_t w : widths) total += w;
+  os << "  " << std::string(total - 2, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+}  // namespace anon

@@ -1,0 +1,31 @@
+// Plain-text table printing for the benchmark harnesses: every bench binary
+// first prints its experiment's series (the paper-style rows) and then runs
+// the google-benchmark timings.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace anon {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os = std::cout) const;
+
+  // Cell formatting helpers.
+  static std::string num(std::uint64_t v);
+  static std::string num(double v, int precision = 2);
+  static std::string ratio(double v) { return num(v, 2) + "x"; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace anon

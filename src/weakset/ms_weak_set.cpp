@@ -1,0 +1,142 @@
+#include "weakset/ms_weak_set.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "common/check.hpp"
+#include "env/validate.hpp"
+
+namespace anon {
+
+ValueSet MsWeakSetAutomaton::initialize() {
+  // Lines 1–4: VAL := ⊥; PROPOSED := WRITTEN := ∅; BLOCK := false.
+  val_ = Value::Bottom();
+  proposed_.clear();
+  written_.clear();
+  block_ = false;
+  return proposed_;
+}
+
+void MsWeakSetAutomaton::start_add(Value v) {
+  // Lines 7–10 (the wait of line 11 is realized by the harness polling
+  // add_blocked() after each compute).
+  ANON_CHECK_MSG(!block_, "Algorithm 4 serializes adds per process");
+  proposed_.insert(v);
+  val_ = v;
+  block_ = true;
+}
+
+ValueSet MsWeakSetAutomaton::compute(Round k, const Inboxes<ValueSet>& inboxes) {
+  // Line 14: WRITTEN := ∩ of this round's messages.
+  const std::set<ValueSet>& msgs = inbox_at(inboxes, k);
+  ANON_CHECK(!msgs.empty());
+  auto it = msgs.begin();
+  written_ = *it;
+  for (++it; it != msgs.end(); ++it) written_ = set_intersect(written_, *it);
+
+  // Line 15: PROPOSED ∪= messages of ALL rounds (late deliveries count;
+  // the engine may forget old inboxes only after this compute has seen
+  // them, so unioning the currently-present map is lossless).
+  for (const auto& [round, batch] : inboxes) {
+    (void)round;
+    for (const ValueSet& m : batch) proposed_.insert(m.begin(), m.end());
+  }
+
+  // Line 16: an in-flight add completes once its value is written.
+  if (block_ && written_.count(val_) > 0) block_ = false;
+
+  return proposed_;
+}
+
+MsWeakSetRunResult run_ms_weak_set(const EnvParams& env,
+                                   const CrashPlan& crashes,
+                                   std::vector<WsScriptOp> script,
+                                   Round extra_rounds, bool validate_env) {
+  const std::size_t n = env.n;
+  std::vector<std::unique_ptr<Automaton<ValueSet>>> autos;
+  autos.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    autos.push_back(std::make_unique<MsWeakSetAutomaton>());
+  EnvDelayModel delays(env, crashes);
+
+  Round last_round = 1;
+  for (const auto& op : script) last_round = std::max(last_round, op.round);
+  LockstepOptions opt;
+  opt.seed = env.seed;
+  opt.max_rounds = last_round + extra_rounds;
+
+  LockstepNet<ValueSet> net(std::move(autos), delays, crashes, opt);
+  std::sort(script.begin(), script.end(),
+            [](const WsScriptOp& a, const WsScriptOp& b) {
+              return a.round < b.round;
+            });
+
+  MsWeakSetRunResult out;
+  std::size_t next_op = 0;
+  // In-flight adds: process -> (record index, inject round).
+  std::map<std::size_t, std::pair<std::size_t, Round>> in_flight;
+
+  auto automaton_of = [&net](std::size_t p) -> MsWeakSetAutomaton& {
+    return dynamic_cast<MsWeakSetAutomaton&>(net.process(p).automaton());
+  };
+
+  auto observe = [&](const LockstepNet<ValueSet>& nn) {
+    const Round r = nn.round();
+    // Completion phase: round r's computes have run for round r-1… poll
+    // blocked adds first (phase 3 of the previous round).
+    for (auto it = in_flight.begin(); it != in_flight.end();) {
+      if (!automaton_of(it->first).add_blocked()) {
+        out.records[it->second.first].end = (r - 1) * 4 + 3;
+        out.add_latency_rounds_total += (r - 1) - it->second.second;
+        it = in_flight.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Injection phase (phase 1 of round r): start scripted ops.
+    while (next_op < script.size() && script[next_op].round <= r) {
+      const WsScriptOp& op = script[next_op];
+      ++next_op;
+      if (crashes.crash_round(op.process) <= r) continue;  // process dead
+      MsWeakSetAutomaton& a = automaton_of(op.process);
+      WsOpRecord rec;
+      rec.process = op.process;
+      rec.start = r * 4 + 1;
+      if (op.is_add) {
+        if (a.add_blocked()) continue;  // previous add still in flight: skip
+        rec.kind = WsOpRecord::Kind::kAdd;
+        rec.value = op.value;
+        a.start_add(op.value);
+        out.records.push_back(rec);
+        in_flight[op.process] = {out.records.size() - 1, r};
+        ++out.adds;
+      } else {
+        rec.kind = WsOpRecord::Kind::kGet;
+        rec.result = a.get();
+        rec.end = rec.start;  // instantaneous
+        out.records.push_back(rec);
+      }
+    }
+    return false;
+  };
+
+  net.run([&](const LockstepNet<ValueSet>& nn) { return observe(nn); });
+  out.rounds_executed = net.round();
+
+  // Adds still blocked at the end (only possible for crashed processes —
+  // Theorem 3's termination says correct processes never block forever).
+  for (const auto& [p, rec] : in_flight) {
+    out.records[rec.first].end = opt.max_rounds * 4 + 3;
+    if (!crashes.ever_crashes(p)) out.all_adds_completed = false;
+  }
+  // Drop in-flight add records of crashed processes from spec checking:
+  // their adds never completed, so the spec imposes nothing for them (the
+  // record keeps end = horizon, which the checker treats as not-completed
+  // relative to all gets).
+  if (validate_env)
+    out.env_check = check_environment(net.trace(), n, crashes.correct(n));
+  return out;
+}
+
+}  // namespace anon

@@ -1,0 +1,82 @@
+// Algorithm 4 — a weak-set in the MS environment (Theorem 3).
+//
+// Per round, every process broadcasts its accumulated PROPOSED set.
+//   add(v): PROPOSED ∪= {v}; VAL := v; BLOCK := true; wait until a later
+//           compute observes VAL ∈ WRITTEN (v appeared in EVERY message of
+//           a round — in particular in the moving source's, hence it is
+//           known to everybody and line 15's all-rounds union keeps it
+//           everywhere forever, Lemmas 8–9).
+//   get():  return PROPOSED immediately (non-blocking).
+//
+// Note line 15 unions over the messages of ALL rounds 1..k_i — unlike the
+// consensus algorithms, late deliveries do count here.
+//
+// `MsWeakSetAutomaton` is the GIRAF automaton; `MsWeakSetHarness` runs n of
+// them on a LockstepNet under an environment schedule, injects a scripted
+// workload of add/get operations, tracks blocking-add completions, and
+// emits timestamped WsOpRecords for the specification checker.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/value.hpp"
+#include "env/generate.hpp"
+#include "env/validate.hpp"
+#include "weakset/weak_set.hpp"
+#include "giraf/automaton.hpp"
+#include "net/lockstep.hpp"
+
+namespace anon {
+
+class MsWeakSetAutomaton final : public Automaton<ValueSet> {
+ public:
+  MsWeakSetAutomaton() = default;
+
+  ValueSet initialize() override;
+  ValueSet compute(Round k, const Inboxes<ValueSet>& inboxes) override;
+
+  // Operation inputs (driven by the harness / application layer).
+  void start_add(Value v);         // non-reentrant: one add at a time
+  bool add_blocked() const { return block_; }
+  const ValueSet& get() const { return proposed_; }
+
+  const ValueSet& written() const { return written_; }
+
+ private:
+  Value val_ = Value::Bottom();
+  ValueSet proposed_;
+  ValueSet written_;
+  bool block_ = false;
+};
+
+// A scripted workload operation.
+struct WsScriptOp {
+  Round round;        // injected while the process is in this round
+  std::size_t process;
+  bool is_add;
+  Value value;        // for adds
+};
+
+struct MsWeakSetRunResult {
+  std::vector<WsOpRecord> records;  // timestamped ops (checker input)
+  bool all_adds_completed = true;
+  Round rounds_executed = 0;
+  std::uint64_t add_latency_rounds_total = 0;  // summed over completed adds
+  std::size_t adds = 0;
+  EnvCheckResult env_check;
+};
+
+// Runs Algorithm 4 under `env`/`crashes` with the given script; executes
+// `extra_rounds` beyond the last scripted round (so trailing adds can
+// complete).  Timestamps: round*4+1 = injection phase, round*4+3 =
+// completion/observation phase.
+MsWeakSetRunResult run_ms_weak_set(const EnvParams& env,
+                                   const CrashPlan& crashes,
+                                   std::vector<WsScriptOp> script,
+                                   Round extra_rounds = 50,
+                                   bool validate_env = true);
+
+}  // namespace anon

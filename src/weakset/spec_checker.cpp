@@ -1,0 +1,45 @@
+#include <sstream>
+
+#include "weakset/weak_set.hpp"
+
+namespace anon {
+
+WsCheckResult check_weak_set_spec(const std::vector<WsOpRecord>& ops) {
+  WsCheckResult res;
+  for (const WsOpRecord& get : ops) {
+    if (get.kind != WsOpRecord::Kind::kGet) continue;
+    // (1) Every add completed before the get started must be visible.
+    for (const WsOpRecord& add : ops) {
+      if (add.kind != WsOpRecord::Kind::kAdd) continue;
+      if (add.end < get.start && get.result.count(add.value) == 0) {
+        std::ostringstream os;
+        os << "get@[" << get.start << "," << get.end << ") by p"
+           << get.process << " missed value " << add.value.to_string()
+           << " whose add by p" << add.process << " completed at " << add.end;
+        return {false, os.str()};
+      }
+    }
+    // (2) No value may appear out of thin air: some add of it must have
+    // started before the get ended.
+    for (const Value& v : get.result) {
+      bool justified = false;
+      for (const WsOpRecord& add : ops) {
+        if (add.kind == WsOpRecord::Kind::kAdd && add.value == v &&
+            add.start <= get.end) {
+          justified = true;
+          break;
+        }
+      }
+      if (!justified) {
+        std::ostringstream os;
+        os << "get@[" << get.start << "," << get.end << ") by p"
+           << get.process << " returned value " << v.to_string()
+           << " with no add started before the get ended";
+        return {false, os.str()};
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace anon

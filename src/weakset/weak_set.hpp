@@ -1,0 +1,46 @@
+// The weak-set shared data structure (§5, after Delporte-Gallet &
+// Fauconnier [4]).
+//
+// A weak-set S holds a set of values and offers two operations:
+//   * addS(v) — adds v (no removal exists),
+//   * getS()  — returns a subset of the values in S such that
+//       - every value whose add COMPLETED before the get STARTED is
+//         returned, and
+//       - no value whose add had NOT STARTED before the get ended is
+//         returned;
+//       adds concurrent with the get may or may not be visible.
+// Weak-sets are not necessarily linearizable, which is exactly what makes
+// them implementable in unknown/anonymous networks: unlike a register,
+// adding never overwrites and needs no identity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.hpp"
+
+namespace anon {
+
+// Timestamped operation records; `start`/`end` come from whatever virtual
+// clock the harness uses (lock-step phases, driver steps, …) — the spec
+// only needs the happens-before order they induce.
+struct WsOpRecord {
+  enum class Kind { kAdd, kGet };
+  Kind kind;
+  Value value;      // the added value (kAdd)
+  ValueSet result;  // the returned set (kGet)
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  std::size_t process = 0;  // informational (diagnostics only)
+};
+
+struct WsCheckResult {
+  bool ok = true;
+  std::string violation;  // human-readable description of the first failure
+};
+
+// Validates a whole history of operations against the weak-set spec.
+WsCheckResult check_weak_set_spec(const std::vector<WsOpRecord>& ops);
+
+}  // namespace anon

@@ -1,0 +1,89 @@
+#include "weakset/ws_from_mwmr.hpp"
+
+#include "common/check.hpp"
+
+namespace anon {
+
+namespace {
+
+class AddOp final : public StepOp {
+ public:
+  AddOp(SharedMemory<bool>* mem, std::size_t idx) : mem_(mem), idx_(idx) {}
+  bool step() override {
+    mem_->write(idx_, true);
+    return true;
+  }
+
+ private:
+  SharedMemory<bool>* mem_;
+  std::size_t idx_;
+};
+
+class GetOp final : public StepOp {
+ public:
+  GetOp(SharedMemory<bool>* mem, const std::vector<Value>* domain,
+        ValueSet* out)
+      : mem_(mem), domain_(domain), out_(out) {}
+  bool step() override {
+    if (mem_->read(next_)) out_->insert((*domain_)[next_]);
+    ++next_;
+    return next_ == mem_->size();
+  }
+
+ private:
+  SharedMemory<bool>* mem_;
+  const std::vector<Value>* domain_;
+  ValueSet* out_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+std::size_t WsFromMwmr::index_of(Value v) const {
+  for (std::size_t i = 0; i < domain_.size(); ++i)
+    if (domain_[i] == v) return i;
+  ANON_CHECK_MSG(false, "value outside the finite domain");
+  return 0;
+}
+
+std::unique_ptr<StepOp> WsFromMwmr::make_add(Value v) {
+  return std::make_unique<AddOp>(&mem_, index_of(v));
+}
+
+std::unique_ptr<StepOp> WsFromMwmr::make_get(ValueSet* out) {
+  return std::make_unique<GetOp>(&mem_, &domain_, out);
+}
+
+std::vector<WsOpRecord> run_ws_from_mwmr(
+    const std::vector<Value>& domain,
+    const std::vector<MwmrWsScriptOp>& script, std::uint64_t seed) {
+  WsFromMwmr ws(domain);
+  StepScheduler sched(seed);
+  std::vector<WsOpRecord> records(script.size());
+  std::vector<std::unique_ptr<ValueSet>> outs;
+
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const MwmrWsScriptOp& op = script[i];
+    records[i].process = op.process;
+    records[i].start = op.at_tick;
+    if (op.is_add) {
+      records[i].kind = WsOpRecord::Kind::kAdd;
+      records[i].value = op.value;
+      sched.inject(op.at_tick, ws.make_add(op.value),
+                   [&records, i](std::uint64_t end) { records[i].end = end; });
+    } else {
+      records[i].kind = WsOpRecord::Kind::kGet;
+      outs.push_back(std::make_unique<ValueSet>());
+      ValueSet* out = outs.back().get();
+      sched.inject(op.at_tick, ws.make_get(out),
+                   [&records, i, out](std::uint64_t end) {
+                     records[i].end = end;
+                     records[i].result = *out;
+                   });
+    }
+  }
+  sched.run();
+  return records;
+}
+
+}  // namespace anon

@@ -1,0 +1,49 @@
+// Proposition 3 — with a FINITE value domain, a weak-set is implementable
+// from multi-writer multi-reader registers, for an unknown and anonymous
+// set of processes.
+//
+// Construction: one boolean MWMR register B[v] per domain value v.
+// add(v): write B[v] := true (one atomic step; writers need no identity —
+// everybody writes the same constant, so concurrent writers are harmless).
+// get(): read every B[v] (|domain| atomic steps) and return the set values.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/value.hpp"
+#include "shm/register_sim.hpp"
+#include "weakset/weak_set.hpp"
+
+namespace anon {
+
+class WsFromMwmr {
+ public:
+  // The fixed, finite value domain (known to everybody a priori).
+  explicit WsFromMwmr(std::vector<Value> domain)
+      : domain_(std::move(domain)), mem_(domain_.size(), false) {}
+
+  const std::vector<Value>& domain() const { return domain_; }
+
+  std::unique_ptr<StepOp> make_add(Value v);                // 1 step
+  std::unique_ptr<StepOp> make_get(ValueSet* out);          // |domain| steps
+
+ private:
+  std::size_t index_of(Value v) const;
+  std::vector<Value> domain_;
+  SharedMemory<bool> mem_;
+};
+
+struct MwmrWsScriptOp {
+  std::uint64_t at_tick;
+  std::size_t process;  // informational only — the construction is anonymous
+  bool is_add;
+  Value value;
+};
+
+std::vector<WsOpRecord> run_ws_from_mwmr(
+    const std::vector<Value>& domain,
+    const std::vector<MwmrWsScriptOp>& script, std::uint64_t seed);
+
+}  // namespace anon

@@ -1,0 +1,86 @@
+#include "weakset/ws_from_swmr.hpp"
+
+namespace anon {
+
+namespace {
+
+class AddOp final : public StepOp {
+ public:
+  AddOp(SharedMemory<ValueSet>* mem, ValueSet* local, std::size_t pid, Value v)
+      : mem_(mem), local_(local), pid_(pid), v_(v) {}
+  bool step() override {
+    local_->insert(v_);
+    mem_->write(pid_, *local_);  // the single atomic write
+    return true;
+  }
+
+ private:
+  SharedMemory<ValueSet>* mem_;
+  ValueSet* local_;
+  std::size_t pid_;
+  Value v_;
+};
+
+class GetOp final : public StepOp {
+ public:
+  GetOp(SharedMemory<ValueSet>* mem, ValueSet* out)
+      : mem_(mem), out_(out) {}
+  bool step() override {
+    const ValueSet r = mem_->read(next_);
+    out_->insert(r.begin(), r.end());
+    ++next_;
+    return next_ == mem_->size();
+  }
+
+ private:
+  SharedMemory<ValueSet>* mem_;
+  ValueSet* out_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<StepOp> WsFromSwmr::make_add(std::size_t pid, Value v) {
+  ANON_CHECK(pid < n_);
+  return std::make_unique<AddOp>(&mem_, &local_[pid], pid, v);
+}
+
+std::unique_ptr<StepOp> WsFromSwmr::make_get(std::size_t pid, ValueSet* out) {
+  ANON_CHECK(pid < n_);
+  return std::make_unique<GetOp>(&mem_, out);
+}
+
+std::vector<WsOpRecord> run_ws_from_swmr(
+    std::size_t n, const std::vector<ShmWsScriptOp>& script,
+    std::uint64_t seed) {
+  WsFromSwmr ws(n);
+  StepScheduler sched(seed);
+  std::vector<WsOpRecord> records(script.size());
+  // Get results must outlive the scheduler run.
+  std::vector<std::unique_ptr<ValueSet>> outs;
+
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const ShmWsScriptOp& op = script[i];
+    records[i].process = op.process;
+    records[i].start = op.at_tick;
+    if (op.is_add) {
+      records[i].kind = WsOpRecord::Kind::kAdd;
+      records[i].value = op.value;
+      sched.inject(op.at_tick, ws.make_add(op.process, op.value),
+                   [&records, i](std::uint64_t end) { records[i].end = end; });
+    } else {
+      records[i].kind = WsOpRecord::Kind::kGet;
+      outs.push_back(std::make_unique<ValueSet>());
+      ValueSet* out = outs.back().get();
+      sched.inject(op.at_tick, ws.make_get(op.process, out),
+                   [&records, i, out](std::uint64_t end) {
+                     records[i].end = end;
+                     records[i].result = *out;
+                   });
+    }
+  }
+  sched.run();
+  return records;
+}
+
+}  // namespace anon

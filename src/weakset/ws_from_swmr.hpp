@@ -1,0 +1,51 @@
+// Proposition 2 — with a KNOWN set of processes (IDs and count), a
+// weak-set is implementable from single-writer multi-reader registers.
+//
+// Construction: process i owns SWMR register R_i holding the set of values
+// it has added.  add(v): S_i := S_i ∪ {v}; write R_i (one atomic step) —
+// once the write returns, any later get's read of R_i sees v.  get():
+// read R_0 … R_{n−1} (n atomic steps) and return the union.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/value.hpp"
+#include "shm/register_sim.hpp"
+#include "weakset/weak_set.hpp"
+
+namespace anon {
+
+class WsFromSwmr {
+ public:
+  explicit WsFromSwmr(std::size_t n)
+      : n_(n), mem_(n, ValueSet{}), local_(n) {}
+
+  std::size_t n() const { return n_; }
+
+  // One-step add op for process `pid`.
+  std::unique_ptr<StepOp> make_add(std::size_t pid, Value v);
+  // n-step get op; the result is written into *out on completion.
+  std::unique_ptr<StepOp> make_get(std::size_t pid, ValueSet* out);
+
+ private:
+  std::size_t n_;
+  SharedMemory<ValueSet> mem_;
+  std::vector<ValueSet> local_;  // S_i
+};
+
+// Workload runner: a scripted mix of adds/gets under a seeded adversarial
+// interleaving; returns timestamped records for check_weak_set_spec.
+struct ShmWsScriptOp {
+  std::uint64_t at_tick;
+  std::size_t process;
+  bool is_add;
+  Value value;
+};
+
+std::vector<WsOpRecord> run_ws_from_swmr(std::size_t n,
+                                         const std::vector<ShmWsScriptOp>& script,
+                                         std::uint64_t seed);
+
+}  // namespace anon

@@ -1,0 +1,164 @@
+#include "weakset/ws_register.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "weakset/ms_weak_set.hpp"
+
+namespace anon {
+
+Value WsRegElement::encode() const {
+  const std::int64_t payload = value.is_bottom() ? 0 : value.get();
+  ANON_CHECK_MSG(payload >= 0 && payload < (1LL << 31),
+                 "register payloads must fit 31 bits for packing");
+  return Value((static_cast<std::int64_t>(rank) << 31) | payload);
+}
+
+WsRegElement WsRegElement::decode(Value packed) {
+  const std::int64_t raw = packed.get();
+  return {Value(raw & ((1LL << 31) - 1)),
+          static_cast<std::uint32_t>(raw >> 31)};
+}
+
+WsRegElement make_write_element(Value v,
+                                const std::set<WsRegElement>& snapshot) {
+  return {v, static_cast<std::uint32_t>(snapshot.size())};
+}
+
+std::optional<Value> register_read(const std::set<WsRegElement>& snapshot) {
+  if (snapshot.empty()) return std::nullopt;
+  std::uint32_t best_rank = 0;
+  for (const auto& e : snapshot) best_rank = std::max(best_rank, e.rank);
+  std::optional<Value> best;
+  for (const auto& e : snapshot)
+    if (e.rank == best_rank && (!best || *best < e.value)) best = e.value;
+  return best;
+}
+
+RegCheckResult check_regular_register(const std::vector<RegOpRecord>& ops) {
+  auto precedes = [](const RegOpRecord& a, const RegOpRecord& b) {
+    return a.end < b.start;
+  };
+  for (const RegOpRecord& r : ops) {
+    if (r.kind != RegOpRecord::Kind::kRead) continue;
+    // Valid sources: writes started before the read ended and not strictly
+    // superseded by another write that completed before the read started.
+    bool initial_ok = true;  // reading ⊥/initial is fine iff no write ≺ read
+    std::set<std::optional<Value>> valid;
+    for (const RegOpRecord& w : ops) {
+      if (w.kind != RegOpRecord::Kind::kWrite) continue;
+      if (precedes(w, r)) initial_ok = false;
+      if (w.start > r.end) continue;
+      bool superseded = false;
+      for (const RegOpRecord& w2 : ops) {
+        if (w2.kind != RegOpRecord::Kind::kWrite) continue;
+        if (precedes(w, w2) && precedes(w2, r)) {
+          superseded = true;
+          break;
+        }
+      }
+      if (!superseded) valid.insert(w.value);
+    }
+    if (initial_ok) valid.insert(std::nullopt);
+    if (valid.count(r.value) == 0) {
+      std::ostringstream os;
+      os << "read@[" << r.start << "," << r.end << ") by p" << r.process
+         << " returned "
+         << (r.value ? r.value->to_string() : std::string("⊥"))
+         << " which is neither a current nor a concurrent write";
+      return {false, os.str()};
+    }
+  }
+  return {};
+}
+
+RegisterRunResult run_register_over_ms(const EnvParams& env,
+                                       const CrashPlan& crashes,
+                                       std::vector<RegScriptOp> script,
+                                       Round extra_rounds) {
+  const std::size_t n = env.n;
+  std::vector<std::unique_ptr<Automaton<ValueSet>>> autos;
+  autos.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    autos.push_back(std::make_unique<MsWeakSetAutomaton>());
+  EnvDelayModel delays(env, crashes);
+
+  Round last_round = 1;
+  for (const auto& op : script) last_round = std::max(last_round, op.round);
+  LockstepOptions opt;
+  opt.seed = env.seed;
+  opt.max_rounds = last_round + extra_rounds;
+
+  LockstepNet<ValueSet> net(std::move(autos), delays, crashes, opt);
+  std::sort(script.begin(), script.end(),
+            [](const RegScriptOp& a, const RegScriptOp& b) {
+              return a.round < b.round;
+            });
+
+  RegisterRunResult out;
+  std::size_t next_op = 0;
+  std::map<std::size_t, std::pair<std::size_t, Round>> in_flight;
+
+  auto automaton_of = [&net](std::size_t p) -> MsWeakSetAutomaton& {
+    return dynamic_cast<MsWeakSetAutomaton&>(net.process(p).automaton());
+  };
+  auto snapshot_of = [&](std::size_t p) {
+    std::set<WsRegElement> snap;
+    for (const Value& v : automaton_of(p).get())
+      snap.insert(WsRegElement::decode(v));
+    return snap;
+  };
+
+  net.run([&](const LockstepNet<ValueSet>& nn) {
+    const Round r = nn.round();
+    for (auto it = in_flight.begin(); it != in_flight.end();) {
+      if (!automaton_of(it->first).add_blocked()) {
+        out.records[it->second.first].end = (r - 1) * 4 + 3;
+        out.write_latency_rounds_total += (r - 1) - it->second.second;
+        ++out.writes_completed;
+        it = in_flight.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    while (next_op < script.size() && script[next_op].round <= r) {
+      const RegScriptOp& op = script[next_op];
+      ++next_op;
+      if (crashes.crash_round(op.process) <= r) continue;
+      RegOpRecord rec;
+      rec.process = op.process;
+      rec.start = r * 4 + 1;
+      if (op.is_write) {
+        MsWeakSetAutomaton& a = automaton_of(op.process);
+        if (a.add_blocked()) continue;  // previous write still in flight
+        rec.kind = RegOpRecord::Kind::kWrite;
+        rec.value = op.value;
+        a.start_add(make_write_element(op.value, snapshot_of(op.process))
+                        .encode());
+        out.records.push_back(rec);
+        in_flight[op.process] = {out.records.size() - 1, r};
+      } else {
+        rec.kind = RegOpRecord::Kind::kRead;
+        rec.value = register_read(snapshot_of(op.process));
+        rec.end = rec.start;
+        out.records.push_back(rec);
+      }
+    }
+    return false;
+  });
+  out.rounds_executed = net.round();
+
+  // Writes never completed (crashed writers): leave end at the horizon so
+  // the checker treats them as concurrent-with-everything-later.
+  for (const auto& [p, rec] : in_flight) {
+    (void)p;
+    out.records[rec.first].end = opt.max_rounds * 4 + 3;
+  }
+  out.check = check_regular_register(out.records);
+  return out;
+}
+
+}  // namespace anon

@@ -1,0 +1,87 @@
+// Proposition 1 — a weak-set implements a regular multi-writer
+// multi-reader register.
+//
+// Construction (§5.1): to write v, a process reads the weak-set, stores the
+// content as HISTORY, and adds (v, HISTORY) to the set.  To read, it reads
+// the weak-set and returns the highest value among those accompanied by a
+// HISTORY of maximal length.  We carry |HISTORY| as an integer rank —
+// "maximal length" only ever compares sizes.
+//
+// Regularity (MWMR): a read not concurrent with any write returns the value
+// of a most-recently-completed write; a read concurrent with writes may
+// return any of their values instead.  `check_regular_register` validates
+// whole histories against this.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/value.hpp"
+#include "env/environment.hpp"
+#include "net/schedule.hpp"
+
+namespace anon {
+
+struct WsRegElement {
+  Value value;
+  std::uint32_t rank;  // |HISTORY| at write time
+
+  friend auto operator<=>(const WsRegElement&, const WsRegElement&) = default;
+
+  // Packing into a plain weak-set Value so the construction runs unchanged
+  // over the MS weak-set of Algorithm 4 (payload must fit 31 bits).
+  Value encode() const;
+  static WsRegElement decode(Value packed);
+};
+
+// The pure transformation of Proposition 1.
+WsRegElement make_write_element(Value v, const std::set<WsRegElement>& snapshot);
+std::optional<Value> register_read(const std::set<WsRegElement>& snapshot);
+
+// ---------- regularity checking ----------
+
+struct RegOpRecord {
+  enum class Kind { kRead, kWrite };
+  Kind kind;
+  std::optional<Value> value;  // written value / read result (nullopt: ⊥)
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  std::size_t process = 0;
+};
+
+struct RegCheckResult {
+  bool ok = true;
+  std::string violation;
+};
+
+RegCheckResult check_regular_register(const std::vector<RegOpRecord>& ops);
+
+// ---------- harness over the MS weak-set (Algorithm 4) ----------
+
+struct RegScriptOp {
+  Round round;
+  std::size_t process;
+  bool is_write;
+  Value value;  // for writes
+};
+
+struct RegisterRunResult {
+  std::vector<RegOpRecord> records;
+  RegCheckResult check;
+  Round rounds_executed = 0;
+  std::uint64_t write_latency_rounds_total = 0;
+  std::size_t writes_completed = 0;
+};
+
+// Runs the Prop-1 register over Algorithm 4 in the given MS-class
+// environment; returns the timestamped operation history plus its
+// regularity verdict.
+RegisterRunResult run_register_over_ms(const EnvParams& env,
+                                       const CrashPlan& crashes,
+                                       std::vector<RegScriptOp> script,
+                                       Round extra_rounds = 60);
+
+}  // namespace anon

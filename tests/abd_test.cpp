@@ -1,0 +1,115 @@
+// The ABD majority-register baseline (known IDs, correct majority).
+#include "baseline/abd.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anon {
+namespace {
+
+TEST(EventQueue, OrdersByTimeThenFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  q.at(5, [&] { order.push_back(2); });
+  q.at(1, [&] { order.push_back(1); });
+  q.at(5, [&] { order.push_back(3); });  // same time: FIFO
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 5u);
+}
+
+TEST(Abd, WriteThenReadReturnsValue) {
+  AsyncNet net(5, 42);
+  AbdRegister reg(&net);
+  std::optional<Value> got;
+  reg.write(0, Value(7), [&](std::uint64_t) {
+    reg.read(1, [&](std::optional<Value> v, std::uint64_t) { got = v; });
+  });
+  net.events().run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, Value(7));
+}
+
+TEST(Abd, FreshRegisterReadsInitial) {
+  AsyncNet net(3, 7);
+  AbdRegister reg(&net);
+  std::optional<Value> got = Value(99);
+  bool done = false;
+  reg.read(0, [&](std::optional<Value> v, std::uint64_t) {
+    got = v;
+    done = true;
+  });
+  net.events().run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(got, std::nullopt);
+}
+
+TEST(Abd, LaterWriteSupersedesEarlier) {
+  AsyncNet net(5, 3);
+  AbdRegister reg(&net);
+  std::optional<Value> got;
+  reg.write(0, Value(1), [&](std::uint64_t) {
+    reg.write(1, Value(2), [&](std::uint64_t) {
+      reg.read(2, [&](std::optional<Value> v, std::uint64_t) { got = v; });
+    });
+  });
+  net.events().run();
+  EXPECT_EQ(got, Value(2));
+}
+
+TEST(Abd, ToleratesMinorityCrashes) {
+  AsyncNet net(5, 11);
+  net.crash(3);
+  net.crash(4);  // 3 of 5 alive: still a majority
+  AbdRegister reg(&net);
+  std::optional<Value> got;
+  reg.write(0, Value(5), [&](std::uint64_t) {
+    reg.read(1, [&](std::optional<Value> v, std::uint64_t) { got = v; });
+  });
+  net.events().run();
+  EXPECT_EQ(got, Value(5));
+}
+
+TEST(Abd, BlocksWithoutMajority) {
+  // THE contrast with the weak-set register (E6): lose the majority and
+  // ABD's operations never return.
+  AsyncNet net(5, 13);
+  net.crash(2);
+  net.crash(3);
+  net.crash(4);  // only 2 of 5 alive
+  AbdRegister reg(&net);
+  bool done = false;
+  reg.write(0, Value(5), [&](std::uint64_t) { done = true; });
+  net.events().run();
+  EXPECT_FALSE(done);
+}
+
+TEST(Abd, ConcurrentWritersConvergeByTag) {
+  AsyncNet net(5, 17);
+  AbdRegister reg(&net);
+  int writes_done = 0;
+  reg.write(0, Value(10), [&](std::uint64_t) { ++writes_done; });
+  reg.write(1, Value(20), [&](std::uint64_t) { ++writes_done; });
+  net.events().run();
+  EXPECT_EQ(writes_done, 2);
+  // After both complete, every subsequent read returns the same winner.
+  std::optional<Value> r1, r2;
+  reg.read(2, [&](std::optional<Value> v, std::uint64_t) { r1 = v; });
+  reg.read(3, [&](std::optional<Value> v, std::uint64_t) { r2 = v; });
+  net.events().run();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1, r2);
+}
+
+TEST(Abd, MessageCountPerOpIsLinearInN) {
+  for (std::size_t n : {3u, 5u, 9u}) {
+    AsyncNet net(n, 23);
+    AbdRegister reg(&net);
+    reg.write(0, Value(1), [](std::uint64_t) {});
+    net.events().run();
+    // Two phases, each n requests + n replies = 4n messages.
+    EXPECT_EQ(reg.messages(), 4 * n);
+  }
+}
+
+}  // namespace
+}  // namespace anon

@@ -1,0 +1,192 @@
+// Property sweeps (parameterized): agreement and validity must hold on
+// EVERY run — any environment, any crash pattern, any seed; termination
+// must hold on admissible ES/ESS runs.  This is the executable form of
+// Theorems 1 and 2 quantifying over runs.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "algo/runner.hpp"
+
+namespace anon {
+namespace {
+
+struct SweepCase {
+  ConsensusAlgo algo;
+  std::size_t n;
+  std::size_t crashes;
+  Round stabilization;
+  std::uint64_t seed;
+  bool identical_values;
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  const SweepCase& c = info.param;
+  std::string s = c.algo == ConsensusAlgo::kEs ? "Es" : "Ess";
+  s += "_n" + std::to_string(c.n) + "_f" + std::to_string(c.crashes) +
+       "_st" + std::to_string(c.stabilization) + "_s" +
+       std::to_string(c.seed) + (c.identical_values ? "_ident" : "_dist");
+  return s;
+}
+
+class ConsensusSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ConsensusSweep, SafetyAndTermination) {
+  const SweepCase& c = GetParam();
+  ConsensusConfig cfg;
+  cfg.env.kind = c.algo == ConsensusAlgo::kEs ? EnvKind::kES : EnvKind::kESS;
+  cfg.env.n = c.n;
+  cfg.env.seed = c.seed;
+  cfg.env.stabilization = c.stabilization;
+  cfg.initial = c.identical_values ? identical_values(c.n, 5)
+                                   : random_values(c.n, c.seed * 7 + 1, -50, 50);
+  if (c.crashes > 0)
+    cfg.crashes = random_crashes(c.n, c.crashes,
+                                 std::max<Round>(2, c.stabilization),
+                                 c.seed * 13 + 3);
+  cfg.net.seed = c.seed;
+  cfg.net.max_rounds = 30000;
+
+  auto rep = run_consensus(c.algo, cfg);
+  // Safety: unconditional.
+  EXPECT_TRUE(rep.agreement) << rep.to_string();
+  EXPECT_TRUE(rep.validity) << rep.to_string();
+  // Liveness: the generated schedule is admissible for the algorithm's
+  // environment, so everyone correct must decide.
+  EXPECT_TRUE(rep.all_correct_decided) << rep.to_string();
+  // The trace must certify its environment.
+  EXPECT_TRUE(rep.env_check.ms_ok) << rep.env_check.to_string();
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (ConsensusAlgo algo : {ConsensusAlgo::kEs, ConsensusAlgo::kEss}) {
+    for (std::size_t n : {2u, 3u, 5u, 9u, 17u}) {
+      const std::set<std::size_t> fs{0, 1, n / 2, n - 1};  // dedup (n=2)
+      for (std::size_t f : fs) {
+        if (f >= n) continue;
+        for (Round stab : {0u, 7u, 25u}) {
+          for (std::uint64_t seed : {1u, 42u}) {
+            cases.push_back({algo, n, f, stab, seed, false});
+          }
+        }
+      }
+    }
+  }
+  // A few fully symmetric (identical-value) instances — the anonymity
+  // stress case where every inbox is a singleton.
+  for (ConsensusAlgo algo : {ConsensusAlgo::kEs, ConsensusAlgo::kEss})
+    for (std::size_t n : {3u, 8u})
+      cases.push_back({algo, n, 0, 5, 77, true});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConsensusSweep,
+                         ::testing::ValuesIn(sweep_cases()), case_name);
+
+// Safety must also hold on schedules the algorithm was NOT designed for:
+// Algorithm 2 under a hostile MS-only adversary never decides wrongly —
+// in fact never decides (FLP corollary); Algorithm 3 likewise keeps safety
+// under ES-without-stable-source.
+class HostileSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HostileSweep, Alg2SafeUnderMovingSourceOnly) {
+  ConsensusConfig cfg;
+  cfg.env.kind = EnvKind::kMS;
+  cfg.env.n = 5;
+  cfg.env.seed = GetParam();
+  cfg.env.timely_prob = 0.15;
+  cfg.initial = random_values(5, GetParam(), 0, 9);
+  cfg.net.max_rounds = 1500;
+  auto rep = run_consensus(ConsensusAlgo::kEs, cfg);
+  EXPECT_TRUE(rep.agreement) << rep.to_string();
+  EXPECT_TRUE(rep.validity) << rep.to_string();
+  // NOTE: with a randomized MS schedule long benign stretches can occur,
+  // so deciding is possible; non-termination is asserted separately under
+  // the adversarial HostileMsModel (es_consensus_test / E8).
+}
+
+TEST_P(HostileSweep, Alg3SafeUnderMovingSourceOnly) {
+  ConsensusConfig cfg;
+  cfg.env.kind = EnvKind::kMS;
+  cfg.env.n = 5;
+  cfg.env.seed = GetParam() ^ 0xf00d;
+  cfg.env.timely_prob = 0.15;
+  cfg.initial = random_values(5, GetParam(), 0, 9);
+  cfg.net.max_rounds = 1500;
+  auto rep = run_consensus(ConsensusAlgo::kEss, cfg);
+  EXPECT_TRUE(rep.agreement) << rep.to_string();
+  EXPECT_TRUE(rep.validity) << rep.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HostileSweep,
+                         ::testing::Values(3, 1337, 2026, 555, 90210));
+
+// Crash exactly around the decision round: the classic agreement hazard.
+class CrashAtDecisionSweep : public ::testing::TestWithParam<Round> {};
+
+TEST_P(CrashAtDecisionSweep, AgreementSurvivesCrashNearDecision) {
+  // First, find the natural decision round without crashes.
+  ConsensusConfig cfg;
+  cfg.env.kind = EnvKind::kES;
+  cfg.env.n = 5;
+  cfg.env.seed = 8;
+  cfg.env.stabilization = 0;
+  cfg.initial = distinct_values(5);
+  cfg.net.max_rounds = 4000;
+  auto base = run_consensus(ConsensusAlgo::kEs, cfg);
+  ASSERT_TRUE(base.all_correct_decided);
+
+  // Now crash one process at/near that round with a partial broadcast.
+  const Round target = base.first_decision_round + GetParam();
+  CrashSpec spec;
+  spec.crash_round = std::max<Round>(1, target);
+  spec.final_fraction = 0.34;
+  cfg.crashes.set(0, spec);
+  auto rep = run_consensus(ConsensusAlgo::kEs, cfg);
+  EXPECT_TRUE(rep.agreement) << rep.to_string();
+  EXPECT_TRUE(rep.validity) << rep.to_string();
+  EXPECT_TRUE(rep.all_correct_decided) << rep.to_string();
+  // If the crashed process decided before dying, its value must agree too
+  // (covered by rep.agreement since decisions of crashed processes count).
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, CrashAtDecisionSweep,
+                         ::testing::Values(0, 1, 2));
+
+// The literal decide-and-halt reading starves laggards (DESIGN.md).
+TEST(HaltPolicy, LiteralHaltCanStarveLaggards) {
+  ConsensusConfig cfg;
+  cfg.env.kind = EnvKind::kES;
+  cfg.env.n = 4;
+  cfg.env.seed = 5;
+  cfg.env.stabilization = 0;
+  cfg.initial = distinct_values(4);
+  cfg.net.max_rounds = 800;
+  cfg.net.halt_policy = HaltPolicy::kStopAfterDecide;
+  cfg.validate_env = false;  // halted processes void the env promises
+  auto rep = run_consensus(ConsensusAlgo::kEs, cfg);
+  // Under full synchrony everyone decides simultaneously, so literal halt
+  // is harmless here…
+  EXPECT_TRUE(rep.all_correct_decided);
+
+  // …but with a GST and asymmetric delays, early deciders go silent and a
+  // laggard can stall forever.  (This motivates kContinueForever.)
+  ConsensusConfig lag = cfg;
+  lag.env.stabilization = 9;
+  lag.env.seed = 12;
+  lag.env.timely_prob = 0.05;
+  auto rep2 = run_consensus(ConsensusAlgo::kEs, lag);
+  EXPECT_TRUE(rep2.agreement);
+  // Not asserting starvation for every seed — just that safety held and
+  // the default policy decides where the literal one may not.
+  ConsensusConfig cont = lag;
+  cont.net.halt_policy = HaltPolicy::kContinueForever;
+  cont.validate_env = true;
+  auto rep3 = run_consensus(ConsensusAlgo::kEs, cont);
+  EXPECT_TRUE(rep3.all_correct_decided) << rep3.to_string();
+}
+
+}  // namespace
+}  // namespace anon

@@ -1,0 +1,153 @@
+#include "common/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anon {
+namespace {
+
+class CountersTest : public ::testing::Test {
+ protected:
+  HistoryArena arena;
+  Value v(std::int64_t x) { return Value(x); }
+};
+
+TEST_F(CountersTest, DefaultIsZeroAndZeroMeansAbsent) {
+  CounterMap c;
+  History h = arena.singleton(v(1));
+  EXPECT_EQ(c.get(h), 0u);
+  c.set(h, 5);
+  EXPECT_EQ(c.get(h), 5u);
+  EXPECT_EQ(c.size(), 1u);
+  c.set(h, 0);  // storing 0 erases — canonical form
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST_F(CountersTest, MinMergeIntersectsKeys) {
+  // Line 8: a history absent from any message reads 0 there, so the merge
+  // keeps only histories present in every message.
+  History ha = arena.singleton(v(1));
+  History hb = arena.singleton(v(2));
+  CounterMap m1, m2;
+  m1.set(ha, 3);
+  m1.set(hb, 7);
+  m2.set(ha, 5);  // hb absent from m2
+  CounterMap merged = CounterMap::min_merge({&m1, &m2});
+  EXPECT_EQ(merged.get(ha), 3u);
+  EXPECT_EQ(merged.get(hb), 0u);
+  EXPECT_EQ(merged.size(), 1u);
+}
+
+TEST_F(CountersTest, MinMergeSingleMapIsIdentity) {
+  History ha = arena.singleton(v(1));
+  CounterMap m;
+  m.set(ha, 9);
+  EXPECT_EQ(CounterMap::min_merge({&m}), m);
+}
+
+TEST_F(CountersTest, MinMergeEmptyInput) {
+  EXPECT_TRUE(CounterMap::min_merge({}).empty());
+}
+
+TEST_F(CountersTest, PrefixMaxWalksAncestors) {
+  History h1 = arena.of({v(1)});
+  History h2 = arena.of({v(1), v(2)});
+  History h3 = arena.of({v(1), v(2), v(3)});
+  CounterMap c;
+  c.set(h1, 4);
+  c.set(h2, 2);
+  EXPECT_EQ(c.prefix_max(h3), 4u);  // best among {h1:4, h2:2, h3:0}
+  c.set(h3, 9);
+  EXPECT_EQ(c.prefix_max(h3), 9u);  // reflexive: h3 itself counts
+  // A diverged history shares only the length-1 prefix.
+  History d = arena.of({v(1), v(9), v(9)});
+  EXPECT_EQ(c.prefix_max(d), 4u);
+}
+
+TEST_F(CountersTest, BumpPrefixMaxIncrements) {
+  History h = arena.of({v(1), v(2)});
+  CounterMap c;
+  c.bump_prefix_max(h);
+  EXPECT_EQ(c.get(h), 1u);
+  // Growing history keeps inheriting + incrementing (Lemma 4 mechanics).
+  History h2 = arena.append(h, v(3));
+  c.bump_prefix_max(h2);
+  EXPECT_EQ(c.get(h2), 2u);
+  History h3 = arena.append(h2, v(4));
+  c.bump_prefix_max(h3);
+  EXPECT_EQ(c.get(h3), 3u);
+}
+
+TEST_F(CountersTest, IsMaxOnEmptyMapIsTrue) {
+  // Initially all counters are 0, so every process considers itself a
+  // leader (everyone proposes at the start — required for safety).
+  CounterMap c;
+  EXPECT_TRUE(c.is_max(arena.singleton(v(1))));
+}
+
+TEST_F(CountersTest, IsMaxComparesAgainstAllEntries) {
+  History mine = arena.singleton(v(1));
+  History other = arena.singleton(v(2));
+  CounterMap c;
+  c.set(other, 5);
+  EXPECT_FALSE(c.is_max(mine));
+  c.set(mine, 5);
+  EXPECT_TRUE(c.is_max(mine));  // ties count as maximal (≥)
+  c.set(mine, 6);
+  EXPECT_TRUE(c.is_max(mine));
+}
+
+TEST_F(CountersTest, MaxValueAndArgmax) {
+  CounterMap c;
+  EXPECT_EQ(c.max_value(), 0u);
+  EXPECT_TRUE(c.argmax().empty());
+  History a = arena.singleton(v(1));
+  History b = arena.singleton(v(2));
+  c.set(a, 3);
+  c.set(b, 3);
+  EXPECT_EQ(c.max_value(), 3u);
+  EXPECT_EQ(c.argmax().size(), 2u);
+  c.set(b, 4);
+  ASSERT_EQ(c.argmax().size(), 1u);
+  EXPECT_EQ(c.argmax()[0], b);
+}
+
+TEST_F(CountersTest, GcDropsDominatedPrefixesOnly) {
+  History h1 = arena.of({v(1)});
+  History h2 = arena.of({v(1), v(2)});
+  History h3 = arena.of({v(1), v(2), v(3)});
+  History d = arena.of({v(9)});  // unrelated branch
+  CounterMap c;
+  c.set(h1, 3);
+  c.set(h2, 5);
+  c.set(h3, 7);
+  c.set(d, 2);
+  EXPECT_EQ(c.gc_dominated_prefixes(), 2u);  // h1, h2 dominated by h3
+  EXPECT_EQ(c.get(h3), 7u);
+  EXPECT_EQ(c.get(d), 2u);
+  EXPECT_EQ(c.size(), 2u);
+  // prefix_max through the survivor is unchanged for extensions of h3.
+  EXPECT_EQ(c.prefix_max(arena.append(h3, v(4))), 7u);
+}
+
+TEST_F(CountersTest, GcKeepsPrefixWithStrictlyHigherCount) {
+  History h1 = arena.of({v(1)});
+  History h2 = arena.of({v(1), v(2)});
+  CounterMap c;
+  c.set(h1, 9);  // higher than its extension: NOT dominated
+  c.set(h2, 5);
+  EXPECT_EQ(c.gc_dominated_prefixes(), 0u);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST_F(CountersTest, EqualityAndOrdering) {
+  History a = arena.singleton(v(1));
+  CounterMap c1, c2;
+  EXPECT_EQ(c1, c2);
+  c1.set(a, 1);
+  EXPECT_NE(c1, c2);
+  EXPECT_TRUE(c2 < c1 || c1 < c2);
+}
+
+}  // namespace
+}  // namespace anon

@@ -1,0 +1,162 @@
+// Randomized (seeded, reproducible) property sweeps across the whole
+// stack: codecs must never crash or mis-round-trip, random weak-set /
+// register workloads must satisfy their specs, random consensus
+// configurations must keep safety — hundreds of generated scenarios per
+// run, all deterministic.
+#include <gtest/gtest.h>
+
+#include "algo/runner.hpp"
+#include "common/rng.hpp"
+#include "runtime/codec.hpp"
+#include "weakset/ms_weak_set.hpp"
+#include "weakset/ws_register.hpp"
+
+namespace anon {
+namespace {
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, EsCodecRoundTripsRandomMessages) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    EsMessage m;
+    const std::size_t k = rng.below(12);
+    for (std::size_t i = 0; i < k; ++i)
+      m.insert(Value(rng.range(-1000000, 1000000)));
+    if (rng.chance(0.3)) m.insert(Value::Bottom());
+    auto back = decode_es_message(encode_es_message(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST_P(FuzzSweep, EssCodecRoundTripsRandomMessages) {
+  Rng rng(GetParam() ^ 0xe55);
+  HistoryArena tx, rx;
+  for (int iter = 0; iter < 100; ++iter) {
+    EssMessage m;
+    const std::size_t k = rng.below(5);
+    for (std::size_t i = 0; i < k; ++i) m.proposed.insert(Value(rng.range(0, 50)));
+    History h;
+    const std::size_t len = 1 + rng.below(20);
+    for (std::size_t i = 0; i < len; ++i)
+      h = tx.append(h, Value(rng.range(0, 5)));
+    m.history = h;
+    const std::size_t nc = rng.below(6);
+    for (std::size_t i = 0; i < nc; ++i)
+      m.counters.set(h.prefix(1 + static_cast<std::uint32_t>(
+                         rng.below(h.length()))),
+                     1 + rng.below(100));
+    auto back = decode_ess_message(encode_ess_message(m), &rx);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->proposed, m.proposed);
+    EXPECT_EQ(back->history.values(), m.history.values());
+    EXPECT_EQ(back->counters.size(), m.counters.size());
+  }
+}
+
+TEST_P(FuzzSweep, DecodersSurviveRandomBytes) {
+  // Defensive decoding: arbitrary garbage must yield nullopt, never UB or
+  // a throw.
+  Rng rng(GetParam() ^ 0xbad);
+  HistoryArena rx;
+  for (int iter = 0; iter < 500; ++iter) {
+    Bytes junk;
+    const std::size_t len = rng.below(64);
+    for (std::size_t i = 0; i < len; ++i)
+      junk.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    (void)decode_es_message(junk);
+    (void)decode_ess_message(junk, &rx);
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzSweep, DecodersSurviveTruncatedValidMessages) {
+  Rng rng(GetParam() ^ 0x7a1);
+  HistoryArena tx, rx;
+  History h = tx.of({Value(1), Value(2), Value(3)});
+  CounterMap c;
+  c.set(h, 5);
+  EssMessage m{ValueSet{Value(7)}, h, c};
+  const Bytes full = encode_ess_message(m);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes truncated(full.begin(), full.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(decode_ess_message(truncated, &rx).has_value());
+  }
+}
+
+TEST_P(FuzzSweep, RandomWeakSetWorkloadsMeetTheSpec) {
+  Rng rng(GetParam() * 13 + 5);
+  const std::size_t n = 2 + rng.below(6);
+  EnvParams env;
+  env.kind = EnvKind::kMS;
+  env.n = n;
+  env.seed = rng.next_u64();
+  env.timely_prob = rng.real() * 0.6;
+  CrashPlan crashes;
+  const std::size_t f = rng.below(n);  // up to n-1 crashes
+  for (std::size_t i = 0; i < f; ++i)
+    crashes.crash_at(n - 1 - i, 1 + rng.below(25));
+  std::vector<WsScriptOp> script;
+  const int ops = 6 + static_cast<int>(rng.below(20));
+  for (int i = 0; i < ops; ++i) {
+    script.push_back({1 + rng.below(40), rng.below(n), rng.chance(0.5),
+                      Value(rng.range(0, 30))});
+  }
+  auto run = run_ms_weak_set(env, crashes, script);
+  auto check = check_weak_set_spec(run.records);
+  EXPECT_TRUE(check.ok) << check.violation;
+  EXPECT_TRUE(run.all_adds_completed);
+}
+
+TEST_P(FuzzSweep, RandomRegisterWorkloadsStayRegular) {
+  Rng rng(GetParam() * 29 + 3);
+  const std::size_t n = 3 + rng.below(4);
+  EnvParams env;
+  env.kind = EnvKind::kMS;
+  env.n = n;
+  env.seed = rng.next_u64();
+  CrashPlan crashes;
+  if (rng.chance(0.5)) crashes.crash_at(n - 1, 1 + rng.below(20));
+  std::vector<RegScriptOp> script;
+  const int ops = 6 + static_cast<int>(rng.below(14));
+  for (int i = 0; i < ops; ++i) {
+    script.push_back({1 + rng.below(60), rng.below(n), rng.chance(0.4),
+                      Value(rng.range(0, 100))});
+  }
+  auto run = run_register_over_ms(env, crashes, script);
+  EXPECT_TRUE(run.check.ok) << run.check.violation;
+}
+
+TEST_P(FuzzSweep, RandomConsensusConfigsKeepSafety) {
+  Rng rng(GetParam() * 31 + 7);
+  for (int iter = 0; iter < 3; ++iter) {
+    ConsensusConfig cfg;
+    cfg.env.kind = rng.chance(0.5) ? EnvKind::kES : EnvKind::kESS;
+    cfg.env.n = 2 + rng.below(10);
+    cfg.env.seed = rng.next_u64();
+    cfg.env.stabilization = rng.below(30);
+    cfg.env.timely_prob = rng.real();
+    cfg.env.max_delay = 1 + rng.below(5);
+    cfg.initial = random_values(cfg.env.n, rng.next_u64(), -9, 9);
+    const std::size_t f = rng.below(cfg.env.n);
+    if (f > 0)
+      cfg.crashes = random_crashes(cfg.env.n, f, 1 + rng.below(20),
+                                   rng.next_u64());
+    cfg.net.max_rounds = 30000;
+    cfg.net.record_deliveries = false;
+    cfg.validate_env = false;
+    const auto algo =
+        cfg.env.kind == EnvKind::kES ? ConsensusAlgo::kEs : ConsensusAlgo::kEss;
+    auto rep = run_consensus(algo, cfg);
+    EXPECT_TRUE(rep.agreement) << rep.to_string();
+    EXPECT_TRUE(rep.validity) << rep.to_string();
+    EXPECT_TRUE(rep.all_correct_decided) << rep.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace anon

@@ -1,0 +1,162 @@
+// Semantics of the extended GIRAF framework (Algorithm 1): set-valued
+// inboxes (anonymity!), round progression, batch relaying, late delivery.
+#include "giraf/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include "giraf/trace.hpp"
+
+#include <memory>
+
+#include "common/value.hpp"
+
+namespace anon {
+namespace {
+
+// A trivial automaton over ValueSet messages: proposes {seed} initially and
+// echoes the union of everything received each round.
+class EchoUnion final : public Automaton<ValueSet> {
+ public:
+  explicit EchoUnion(std::int64_t seed) : seed_(seed) {}
+  ValueSet initialize() override { return ValueSet{Value(seed_)}; }
+  ValueSet compute(Round k, const Inboxes<ValueSet>& inboxes) override {
+    ValueSet out;
+    for (const ValueSet& m : inbox_at(inboxes, k))
+      out.insert(m.begin(), m.end());
+    last_inbox_size_ = inbox_at(inboxes, k).size();
+    return out;
+  }
+  std::size_t last_inbox_size_ = 0;
+  std::int64_t seed_;
+};
+
+TEST(Giraf, RoundZeroRunsInitialize) {
+  GirafProcess<ValueSet> p(std::make_unique<EchoUnion>(7));
+  EXPECT_EQ(p.round(), 0u);
+  auto out = p.end_of_round();
+  EXPECT_EQ(out.round, 1u);
+  EXPECT_EQ(p.round(), 1u);
+  // The round-1 batch contains exactly the own initialize() message.
+  ASSERT_EQ(out.batch.size(), 1u);
+  EXPECT_EQ(*out.batch.begin(), ValueSet{Value(7)});
+}
+
+TEST(Giraf, IdenticalMessagesMergeInSetInbox) {
+  // Anonymity: two processes sending the same message are indistinguishable
+  // — the inbox is a set, so the receiver sees ONE message.
+  GirafProcess<ValueSet> p(std::make_unique<EchoUnion>(1));
+  p.end_of_round();  // enter round 1
+  p.receive({ValueSet{Value(5)}}, 1);
+  p.receive({ValueSet{Value(5)}}, 1);  // identical → merges
+  p.receive({ValueSet{Value(6)}}, 1);
+  EXPECT_EQ(p.inbox(1).size(), 3u);  // own {1}, {5}, {6}
+}
+
+TEST(Giraf, OwnMessageAlwaysInInbox) {
+  GirafProcess<ValueSet> p(std::make_unique<EchoUnion>(3));
+  p.end_of_round();
+  EXPECT_EQ(p.inbox(1).count(ValueSet{Value(3)}), 1u);
+}
+
+TEST(Giraf, ComputeSeesRoundInbox) {
+  GirafProcess<ValueSet> p(std::make_unique<EchoUnion>(1));
+  p.end_of_round();
+  p.receive({ValueSet{Value(2)}}, 1);
+  auto out = p.end_of_round();  // compute(1) runs
+  EXPECT_EQ(out.round, 2u);
+  // Round-2 message = union {1,2}; batch contains it.
+  EXPECT_EQ(out.batch.count(ValueSet{Value(1), Value(2)}), 1u);
+}
+
+TEST(Giraf, BatchRelaysReceivedRoundMessages) {
+  // A process that already received round-k messages from others includes
+  // them in its own round-k send (Algorithm 1 line 12 sends M_i[k_i]) —
+  // the relay that makes unsynchronized rounds work.
+  GirafProcess<ValueSet> p(std::make_unique<EchoUnion>(1));
+  p.end_of_round();  // now in round 1
+  p.receive({ValueSet{Value(9)}}, 2);  // early round-2 message from a peer
+  auto out = p.end_of_round();         // enter round 2
+  EXPECT_EQ(out.round, 2u);
+  EXPECT_EQ(out.batch.size(), 2u);  // own round-2 message + relayed {9}
+  EXPECT_EQ(out.batch.count(ValueSet{Value(9)}), 1u);
+}
+
+TEST(Giraf, LateDeliveryLandsInOldRoundSlot) {
+  GirafProcess<ValueSet> p(std::make_unique<EchoUnion>(1));
+  p.end_of_round();
+  p.end_of_round();  // now in round 2
+  p.receive({ValueSet{Value(4)}}, 1);  // late round-1 message
+  EXPECT_EQ(p.inbox(1).count(ValueSet{Value(4)}), 1u);
+  EXPECT_EQ(p.inbox(2).count(ValueSet{Value(4)}), 0u);
+}
+
+TEST(Giraf, ForgetRoundsBefore) {
+  GirafProcess<ValueSet> p(std::make_unique<EchoUnion>(1));
+  p.end_of_round();
+  p.end_of_round();
+  p.end_of_round();  // round 3
+  EXPECT_FALSE(p.inbox(1).empty());
+  p.forget_rounds_before(3);
+  EXPECT_TRUE(p.inbox(1).empty());
+  EXPECT_TRUE(p.inbox(2).empty());
+  EXPECT_FALSE(p.inbox(3).empty());
+  // Late messages for forgotten rounds still land (slot re-created).
+  p.receive({ValueSet{Value(8)}}, 1);
+  EXPECT_EQ(p.inbox(1).size(), 1u);
+}
+
+// An automaton that decides and must keep its decision stable.
+class DecideOnce final : public Automaton<ValueSet> {
+ public:
+  ValueSet initialize() override { return {}; }
+  ValueSet compute(Round k, const Inboxes<ValueSet>&) override {
+    if (k >= 2) decision_ = Value(1);
+    return {};
+  }
+  std::optional<Value> decision() const override { return decision_; }
+  std::optional<Value> decision_;
+};
+
+TEST(Giraf, DecisionIsObservable) {
+  GirafProcess<ValueSet> p(std::make_unique<DecideOnce>());
+  p.end_of_round();
+  p.end_of_round();
+  EXPECT_FALSE(p.decision().has_value());
+  p.end_of_round();  // compute(2) decides
+  ASSERT_TRUE(p.decision().has_value());
+  EXPECT_EQ(*p.decision(), Value(1));
+}
+
+// A buggy automaton that flips its decision; the framework must catch it.
+class FlipFlop final : public Automaton<ValueSet> {
+ public:
+  ValueSet initialize() override { return {}; }
+  ValueSet compute(Round k, const Inboxes<ValueSet>&) override {
+    decision_ = Value(static_cast<std::int64_t>(k));
+    return {};
+  }
+  std::optional<Value> decision() const override { return decision_; }
+  std::optional<Value> decision_;
+};
+
+TEST(Giraf, ChangingDecisionIsRejected) {
+  GirafProcess<ValueSet> p(std::make_unique<FlipFlop>());
+  p.end_of_round();
+  p.end_of_round();  // decides 1
+  EXPECT_THROW(p.end_of_round(), CheckFailure);  // tries to decide 2
+}
+
+TEST(Trace, SummaryAndMaxRound) {
+  Trace t;
+  t.record_end_of_round(0, 1, 1);
+  t.record_end_of_round(0, 2, 2);
+  t.record_end_of_round(1, 1, 1);
+  t.record_delivery(0, 1, 1, 1, 1);
+  EXPECT_EQ(t.max_round(), 2u);
+  EXPECT_EQ(t.rounds_completed(0, 2), 2u);
+  EXPECT_EQ(t.rounds_completed(1, 2), 1u);
+  EXPECT_NE(t.summary().find("max_round=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anon

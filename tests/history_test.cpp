@@ -1,0 +1,125 @@
+#include "common/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace anon {
+namespace {
+
+class HistoryTest : public ::testing::Test {
+ protected:
+  HistoryArena arena;
+  Value v(std::int64_t x) { return Value(x); }
+};
+
+TEST_F(HistoryTest, EmptyHistory) {
+  History h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.length(), 0u);
+  EXPECT_EQ(h.digest(), 0u);
+}
+
+TEST_F(HistoryTest, SingletonAndAppend) {
+  History h1 = arena.singleton(v(7));
+  EXPECT_FALSE(h1.empty());
+  EXPECT_EQ(h1.length(), 1u);
+  EXPECT_EQ(h1.last(), v(7));
+
+  History h2 = arena.append(h1, v(8));
+  EXPECT_EQ(h2.length(), 2u);
+  EXPECT_EQ(h2.last(), v(8));
+  EXPECT_EQ(h2.parent(), h1);
+}
+
+TEST_F(HistoryTest, InterningGivesPointerEquality) {
+  History a = arena.of({v(1), v(2), v(3)});
+  History b = arena.of({v(1), v(2), v(3)});
+  EXPECT_EQ(a, b);  // O(1) pointer compare under the hood
+  History c = arena.of({v(1), v(2), v(4)});
+  EXPECT_FALSE(a == c);
+}
+
+TEST_F(HistoryTest, StructuralSharing) {
+  History a = arena.of({v(1), v(2)});
+  std::size_t before = arena.interned_nodes();
+  History b = arena.of({v(1), v(2)});  // fully shared
+  EXPECT_EQ(arena.interned_nodes(), before);
+  arena.append(a, v(9));  // one new node
+  EXPECT_EQ(arena.interned_nodes(), before + 1);
+  (void)b;
+}
+
+TEST_F(HistoryTest, PrefixOfIsReflexiveAndCorrect) {
+  History a = arena.of({v(1), v(2)});
+  History b = arena.of({v(1), v(2), v(3)});
+  History c = arena.of({v(1), v(9), v(3)});
+
+  EXPECT_TRUE(a.is_prefix_of(a));
+  EXPECT_TRUE(a.is_prefix_of(b));
+  EXPECT_FALSE(b.is_prefix_of(a));
+  EXPECT_FALSE(a.is_prefix_of(c));  // diverged at position 2
+  EXPECT_FALSE(c.is_prefix_of(b));
+  EXPECT_TRUE(History().is_prefix_of(a));  // empty is a prefix of all
+}
+
+TEST_F(HistoryTest, DivergedHistoriesNeverReconverge) {
+  // Two processes with different round-k values have different histories
+  // forever, even if they propose identically afterwards (§4: "their
+  // histories diverge and will never become identical again").
+  History a = arena.of({v(1), v(2)});
+  History b = arena.of({v(1), v(3)});
+  for (int i = 0; i < 50; ++i) {
+    a = arena.append(a, v(7));
+    b = arena.append(b, v(7));
+    EXPECT_FALSE(a == b);
+    EXPECT_FALSE(a.is_prefix_of(b));
+    EXPECT_FALSE(b.is_prefix_of(a));
+  }
+}
+
+TEST_F(HistoryTest, PrefixExtraction) {
+  History h = arena.of({v(1), v(2), v(3), v(4)});
+  EXPECT_EQ(h.prefix(4), h);
+  EXPECT_EQ(h.prefix(2), arena.of({v(1), v(2)}));
+  EXPECT_EQ(h.prefix(1), arena.singleton(v(1)));
+}
+
+TEST_F(HistoryTest, ValuesRoundTrip) {
+  std::vector<Value> seq{v(5), v(4), v(3)};
+  History h = arena.of(seq);
+  EXPECT_EQ(h.values(), seq);
+}
+
+TEST_F(HistoryTest, OrderingIsStrictWeakAndLengthFirst) {
+  History a = arena.of({v(9)});
+  History b = arena.of({v(1), v(1)});
+  EXPECT_TRUE(a < b);  // shorter first
+  EXPECT_FALSE(b < a);
+  History c = arena.of({v(1), v(2)});
+  // Same length: some deterministic order, antisymmetric.
+  EXPECT_NE(b < c, c < b);
+  EXPECT_FALSE(b < b);
+}
+
+TEST_F(HistoryTest, DigestsDifferForDifferentSequences) {
+  EXPECT_NE(arena.of({v(1), v(2)}).digest(), arena.of({v(2), v(1)}).digest());
+  EXPECT_NE(arena.of({v(1)}).digest(), arena.of({v(1), v(1)}).digest());
+}
+
+TEST_F(HistoryTest, ToString) {
+  EXPECT_EQ(arena.of({v(1), v(2)}).to_string(), "[1,2]");
+  EXPECT_EQ(History().to_string(), "[]");
+}
+
+TEST_F(HistoryTest, LongChainsArePracticable) {
+  History h = arena.singleton(v(0));
+  for (int i = 1; i < 5000; ++i) h = arena.append(h, v(i % 3));
+  EXPECT_EQ(h.length(), 5000u);
+  History p = h.prefix(1);
+  EXPECT_EQ(p, arena.singleton(v(0)));
+  EXPECT_TRUE(p.is_prefix_of(h));
+}
+
+}  // namespace
+}  // namespace anon

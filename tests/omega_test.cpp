@@ -1,0 +1,147 @@
+// The Ω baseline (IDs + accusation counting) and Ω-oracle consensus.
+#include "baseline/omega_consensus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "env/generate.hpp"
+#include "env/validate.hpp"
+
+namespace anon {
+namespace {
+
+TEST(OmegaTracker, LeaderDefaultsToSelf) {
+  OmegaTracker t(3, 2);
+  EXPECT_EQ(t.leader(), 3u);
+}
+
+TEST(OmegaTracker, SilentProcessAccumulatesAccusations) {
+  OmegaTracker t(0, 2);
+  t.observe_round(1, {0, 1});
+  for (Round k = 2; k <= 10; ++k) t.observe_round(k, {0});  // p1 silent
+  EXPECT_GT(t.accusations().at(1), 0u);
+  EXPECT_EQ(t.accusations().at(0), 0u);
+  EXPECT_EQ(t.leader(), 0u);
+}
+
+TEST(OmegaTracker, TimelyProcessStaysUnaccused) {
+  OmegaTracker t(1, 2);
+  for (Round k = 1; k <= 20; ++k) t.observe_round(k, {0, 1});
+  EXPECT_EQ(t.accusations().at(0), 0u);
+  EXPECT_EQ(t.leader(), 0u);  // tie on 0 accusations → min id
+}
+
+TEST(OmegaTracker, MergeTakesMax) {
+  OmegaTracker t(0, 2);
+  t.observe_round(1, {0, 1});
+  t.merge({{1, 7}});
+  EXPECT_EQ(t.accusations().at(1), 7u);
+  t.merge({{1, 3}});  // lower: ignored
+  EXPECT_EQ(t.accusations().at(1), 7u);
+}
+
+std::vector<std::unique_ptr<Automaton<OmegaMessage>>> omega_autos(
+    std::size_t n) {
+  std::vector<std::unique_ptr<Automaton<OmegaMessage>>> autos;
+  for (std::size_t i = 0; i < n; ++i)
+    autos.push_back(std::make_unique<OmegaConsensus>(
+        Value(100 + static_cast<std::int64_t>(i)), i));
+  return autos;
+}
+
+class OmegaConsensusSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OmegaConsensusSweep, DecidesInEss) {
+  EnvParams env;
+  env.kind = EnvKind::kESS;
+  env.n = 5;
+  env.seed = GetParam();
+  env.stabilization = 8;
+  EnvDelayModel delays(env, CrashPlan{});
+  LockstepOptions opt;
+  opt.max_rounds = 20000;
+  LockstepNet<OmegaMessage> net(omega_autos(5), delays, CrashPlan{}, opt);
+  auto res = net.run_until_all_correct_decided();
+  ASSERT_TRUE(res.stopped);
+  std::optional<Value> v;
+  for (ProcId p = 0; p < 5; ++p) {
+    auto d = net.decision(p);
+    ASSERT_TRUE(d.has_value());
+    if (!v) v = d;
+    EXPECT_EQ(*v, *d);
+    EXPECT_GE(d->get(), 100);
+    EXPECT_LE(d->get(), 104);
+  }
+}
+
+TEST_P(OmegaConsensusSweep, DecidesWithCrashes) {
+  EnvParams env;
+  env.kind = EnvKind::kESS;
+  env.n = 6;
+  env.seed = GetParam() * 3 + 1;
+  env.stabilization = 10;
+  CrashPlan crashes;
+  crashes.crash_at(0, 4);
+  crashes.crash_at(5, 9);
+  EnvDelayModel delays(env, crashes);
+  LockstepOptions opt;
+  opt.max_rounds = 20000;
+  LockstepNet<OmegaMessage> net(omega_autos(6), delays, crashes, opt);
+  auto res = net.run_until_all_correct_decided();
+  EXPECT_TRUE(res.stopped);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OmegaConsensusSweep,
+                         ::testing::Values(2, 5, 19, 101, 555));
+
+TEST(OmegaConsensus, LeaderStabilizesOnTheSource) {
+  EnvParams env;
+  env.kind = EnvKind::kESS;
+  env.n = 4;
+  env.seed = 9;
+  env.stabilization = 5;
+  EnvDelayModel delays(env, CrashPlan{});
+  const ProcId src = delays.stable_source();
+  LockstepOptions opt;
+  opt.max_rounds = 400;
+  LockstepNet<OmegaMessage> net(omega_autos(4), delays, CrashPlan{}, opt);
+
+  // Track the last round where any process disagreed with `src` as leader.
+  Round last_disagreement = 0;
+  net.run([&](const LockstepNet<OmegaMessage>& n) {
+    if (n.all_correct_decided()) return n.round() >= 100;
+    for (ProcId p = 0; p < n.n(); ++p) {
+      const auto& a =
+          dynamic_cast<const OmegaConsensus&>(n.process(p).automaton());
+      if (!a.decision().has_value() && a.current_leader() != src)
+        last_disagreement = n.round();
+    }
+    return false;
+  });
+  // Well before the end, everyone's Ω estimate settled on the source (or
+  // they decided, which is just as good).
+  EXPECT_LT(last_disagreement, 100u);
+}
+
+TEST(OmegaConsensus, MessageSizeStaysBounded) {
+  // The point of the baseline: with IDs, state does not grow with rounds
+  // (contrast: Algorithm 3's histories/counters — see E10).
+  EnvParams env;
+  env.kind = EnvKind::kESS;
+  env.n = 4;
+  env.seed = 21;
+  env.stabilization = 0;
+  EnvDelayModel delays(env, CrashPlan{});
+  LockstepOptions opt;
+  opt.max_rounds = 500;
+  LockstepNet<OmegaMessage> net(omega_autos(4), delays, CrashPlan{}, opt);
+  net.run_rounds(400);
+  for (ProcId p = 0; p < 4; ++p) {
+    const auto& a =
+        dynamic_cast<const OmegaConsensus&>(net.process(p).automaton());
+    OmegaMessage m{ValueSet{a.val()}, p, {}};
+    EXPECT_LE(MessageSizeOf<OmegaMessage>::size(m), 200u);
+  }
+}
+
+}  // namespace
+}  // namespace anon

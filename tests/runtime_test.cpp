@@ -1,0 +1,179 @@
+// Wire codecs, the broadcast bus, and the threaded real-time clusters.
+#include "runtime/realtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anon {
+namespace {
+
+// ---------- byte primitives ----------
+
+TEST(ByteCodec, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.u8(7);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  Bytes b = w.take();
+  ByteReader r(b);
+  EXPECT_EQ(r.u8(), 7u);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(r.u8(), std::nullopt);  // past the end
+}
+
+// ---------- message codecs ----------
+
+TEST(EsCodec, RoundTrip) {
+  for (const EsMessage& m :
+       {EsMessage{}, EsMessage{Value(1)}, EsMessage{Value(-5), Value(7)},
+        EsMessage{Value::Bottom(), Value(0)}}) {
+    auto back = decode_es_message(encode_es_message(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST(EsCodec, RejectsGarbage) {
+  EXPECT_FALSE(decode_es_message({}).has_value());
+  EXPECT_FALSE(decode_es_message({'X', 1, 2, 3}).has_value());
+  Bytes good = encode_es_message(EsMessage{Value(1)});
+  good.pop_back();  // truncated
+  EXPECT_FALSE(decode_es_message(good).has_value());
+  good = encode_es_message(EsMessage{Value(1)});
+  good.push_back(0);  // trailing junk
+  EXPECT_FALSE(decode_es_message(good).has_value());
+}
+
+TEST(EssCodec, RoundTripWithHistoriesAndCounters) {
+  HistoryArena tx, rx;
+  History h = tx.of({Value(1), Value(2), Value(3)});
+  CounterMap c;
+  c.set(tx.of({Value(1)}), 4);
+  c.set(h, 9);
+  EssMessage m{ValueSet{Value(2), Value::Bottom()}, h, c};
+  auto back = decode_ess_message(encode_ess_message(m), &rx);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->proposed, m.proposed);
+  EXPECT_EQ(back->history.values(), m.history.values());
+  EXPECT_EQ(back->counters.size(), 2u);
+  EXPECT_EQ(back->counters.get(rx.of({Value(1)})), 4u);
+  EXPECT_EQ(back->counters.get(rx.of({Value(1), Value(2), Value(3)})), 9u);
+}
+
+TEST(EssCodec, DecodedHistoriesInternIntoReceiverArena) {
+  HistoryArena tx, rx;
+  EssMessage m{ValueSet{}, tx.of({Value(1), Value(2)}), CounterMap{}};
+  auto a = decode_ess_message(encode_ess_message(m), &rx);
+  auto b = decode_ess_message(encode_ess_message(m), &rx);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->history, b->history);  // pointer-equal via rx interning
+}
+
+TEST(EssCodec, RejectsGarbage) {
+  HistoryArena rx;
+  EXPECT_FALSE(decode_ess_message({}, &rx).has_value());
+  EXPECT_FALSE(decode_ess_message({'S'}, &rx).has_value());
+}
+
+// ---------- bus ----------
+
+TEST(BroadcastBus, DeliversToAllSubscribers) {
+  BroadcastBus bus(3);
+  bus.broadcast({1, 2, 3});
+  for (std::size_t s = 0; s < 3; ++s) {
+    auto msgs = bus.drain(s);
+    ASSERT_EQ(msgs.size(), 1u);
+    EXPECT_EQ(msgs[0], (Bytes{1, 2, 3}));
+  }
+  EXPECT_TRUE(bus.drain(0).empty());  // drained
+  EXPECT_EQ(bus.broadcasts(), 1u);
+}
+
+TEST(BroadcastBus, LossPolicyDrops) {
+  BroadcastBus bus(2, std::make_unique<JitterPolicy>(
+                          1, std::chrono::milliseconds(0), /*loss=*/1.0));
+  bus.broadcast({9});
+  EXPECT_TRUE(bus.drain(0).empty());
+  EXPECT_TRUE(bus.drain(1).empty());
+}
+
+// ---------- real-time clusters (threads + wall clock) ----------
+
+TEST(RealtimeCluster, EsConsensusDecidesOverTheBus) {
+  const std::size_t n = 4;
+  BroadcastBus bus(n, std::make_unique<JitterPolicy>(
+                          7, std::chrono::milliseconds(1)));
+  std::vector<RealtimeEsCluster::AutomatonFactory> factories;
+  for (std::size_t i = 0; i < n; ++i)
+    factories.push_back([i](HistoryArena*) {
+      return std::make_unique<EsConsensus>(Value(10 + static_cast<std::int64_t>(i)));
+    });
+  RealtimeOptions opt;
+  opt.round_period = std::chrono::milliseconds(8);  // >> jitter: ES holds
+  opt.max_rounds = 500;
+  RealtimeEsCluster cluster(std::move(factories), &bus, opt);
+  ASSERT_TRUE(cluster.run());
+  std::optional<Value> v;
+  for (std::size_t p = 0; p < n; ++p) {
+    auto d = cluster.decision(p);
+    ASSERT_TRUE(d.has_value());
+    if (!v) v = d;
+    EXPECT_EQ(*v, *d);  // agreement
+    EXPECT_GE(d->get(), 10);
+    EXPECT_LE(d->get(), 13);  // validity
+  }
+}
+
+TEST(RealtimeCluster, EssConsensusDecidesOverTheBus) {
+  const std::size_t n = 3;
+  BroadcastBus bus(n, std::make_unique<JitterPolicy>(
+                          11, std::chrono::milliseconds(1)));
+  std::vector<RealtimeEssCluster::AutomatonFactory> factories;
+  for (std::size_t i = 0; i < n; ++i)
+    factories.push_back([i](HistoryArena* arena) {
+      return std::make_unique<EssConsensus>(
+          Value(100 + static_cast<std::int64_t>(i)), arena);
+    });
+  RealtimeOptions opt;
+  opt.round_period = std::chrono::milliseconds(8);
+  opt.max_rounds = 500;
+  RealtimeEssCluster cluster(std::move(factories), &bus, opt);
+  ASSERT_TRUE(cluster.run());
+  std::optional<Value> v;
+  for (std::size_t p = 0; p < n; ++p) {
+    auto d = cluster.decision(p);
+    ASSERT_TRUE(d.has_value());
+    if (!v) v = d;
+    EXPECT_EQ(*v, *d);
+  }
+}
+
+TEST(RealtimeCluster, ToleratesThreadCrash) {
+  const std::size_t n = 4;
+  BroadcastBus bus(n);
+  std::vector<RealtimeEsCluster::AutomatonFactory> factories;
+  for (std::size_t i = 0; i < n; ++i)
+    factories.push_back([i](HistoryArena*) {
+      return std::make_unique<EsConsensus>(Value(static_cast<std::int64_t>(i)));
+    });
+  RealtimeOptions opt;
+  opt.round_period = std::chrono::milliseconds(6);
+  opt.max_rounds = 500;
+  RealtimeEsCluster cluster(std::move(factories), &bus, opt);
+  cluster.crash_before_round(0, 3);  // dies early
+  ASSERT_TRUE(cluster.run());
+  EXPECT_FALSE(cluster.decision(0).has_value());
+  std::optional<Value> v;
+  for (std::size_t p = 1; p < n; ++p) {
+    auto d = cluster.decision(p);
+    ASSERT_TRUE(d.has_value());
+    if (!v) v = d;
+    EXPECT_EQ(*v, *d);
+  }
+}
+
+}  // namespace
+}  // namespace anon

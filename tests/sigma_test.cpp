@@ -1,0 +1,65 @@
+// Proposition 4 — Σ cannot be emulated in MS (even with known n and IDs):
+// the two-run indistinguishability adversary defeats every candidate.
+#include "emul/sigma_adversary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anon {
+namespace {
+
+TEST(SigmaCandidates, RecentlyHeardPassesCompletenessButBreaksIntersection) {
+  // The "reasonable" candidate: trusts whoever it heard from recently.  It
+  // satisfies completeness in both runs — so the adversary extracts an
+  // intersection violation, exactly as the paper's proof constructs it.
+  for (Round window : {1u, 3u, 10u}) {
+    RecentlyHeardSigmaFactory f(window);
+    auto v = run_prop4_scenario(f, 200);
+    EXPECT_TRUE(v.completeness_r1) << v.summary;
+    EXPECT_TRUE(v.completeness_r2) << v.summary;
+    EXPECT_TRUE(v.intersection_violated) << v.summary;
+    EXPECT_GE(v.t, 1u);
+  }
+}
+
+TEST(SigmaCandidates, CumulativeBreaksCompleteness) {
+  // Trusting everyone ever heard keeps intersection but can never drop the
+  // crashed process: completeness fails in r2 (p1 heard p0 before t).
+  CumulativeSigmaFactory f;
+  auto v = run_prop4_scenario(f, 200);
+  // r1: p0 never heard p1, so {p0} is reached immediately.
+  EXPECT_TRUE(v.completeness_r1) << v.summary;
+  EXPECT_FALSE(v.completeness_r2) << v.summary;
+}
+
+TEST(SigmaCandidates, FullSetBreaksCompleteness) {
+  FullSetSigmaFactory f;
+  auto v = run_prop4_scenario(f, 200);
+  EXPECT_FALSE(v.completeness_r1) << v.summary;
+}
+
+TEST(SigmaProp4, EveryCandidateLosesSomething) {
+  // The dichotomy of Proposition 4, mechanically: each candidate violates
+  // completeness (in r1 or r2) or intersection.
+  std::vector<std::unique_ptr<SigmaFactory>> factories;
+  factories.push_back(std::make_unique<RecentlyHeardSigmaFactory>(2));
+  factories.push_back(std::make_unique<RecentlyHeardSigmaFactory>(25));
+  factories.push_back(std::make_unique<CumulativeSigmaFactory>());
+  factories.push_back(std::make_unique<FullSetSigmaFactory>());
+  for (const auto& f : factories) {
+    auto v = run_prop4_scenario(*f, 300);
+    const bool completeness_ok = v.completeness_r1 && v.completeness_r2;
+    EXPECT_TRUE(!completeness_ok || v.intersection_violated)
+        << f->name() << ": " << v.summary;
+  }
+}
+
+TEST(SigmaAdversary, WitnessRoundIsDeterministic) {
+  RecentlyHeardSigmaFactory f(4);
+  auto v1 = run_prop4_scenario(f, 100);
+  auto v2 = run_prop4_scenario(f, 100);
+  EXPECT_EQ(v1.t, v2.t);
+  EXPECT_EQ(v1.intersection_violated, v2.intersection_violated);
+}
+
+}  // namespace
+}  // namespace anon

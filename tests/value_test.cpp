@@ -1,0 +1,76 @@
+#include "common/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anon {
+namespace {
+
+TEST(Value, BottomOrdersBelowEverything) {
+  EXPECT_LT(Value::Bottom(), Value(-1000000));
+  EXPECT_LT(Value::Bottom(), Value(0));
+  EXPECT_EQ(Value::Bottom(), Value::Bottom());
+  EXPECT_EQ(Value(), Value::Bottom());
+}
+
+TEST(Value, OrderingMatchesPayload) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(-5), Value(5));
+  EXPECT_EQ(Value(7), Value(7));
+  EXPECT_NE(Value(7), Value(8));
+  EXPECT_GT(Value(8), Value(7));
+}
+
+TEST(Value, IsBottomAndGet) {
+  EXPECT_TRUE(Value::Bottom().is_bottom());
+  EXPECT_FALSE(Value(3).is_bottom());
+  EXPECT_EQ(Value(3).get(), 3);
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value(42).to_string(), "42");
+  EXPECT_EQ(Value::Bottom().to_string(), "⊥");
+}
+
+TEST(Value, StableHashDistinguishes) {
+  EXPECT_NE(Value(1).stable_hash(), Value(2).stable_hash());
+  EXPECT_NE(Value::Bottom().stable_hash(), Value(0).stable_hash());
+  EXPECT_EQ(Value(9).stable_hash(), Value(9).stable_hash());
+}
+
+TEST(ValueSet, UnionIntersect) {
+  ValueSet a{Value(1), Value(2), Value(3)};
+  ValueSet b{Value(2), Value(3), Value(4)};
+  EXPECT_EQ(set_union(a, b), (ValueSet{Value(1), Value(2), Value(3), Value(4)}));
+  EXPECT_EQ(set_intersect(a, b), (ValueSet{Value(2), Value(3)}));
+  EXPECT_EQ(set_intersect(a, ValueSet{}), ValueSet{});
+  EXPECT_EQ(set_union(a, ValueSet{}), a);
+}
+
+TEST(ValueSet, MinusBottom) {
+  ValueSet s{Value::Bottom(), Value(5)};
+  EXPECT_EQ(minus_bottom(s), ValueSet{Value(5)});
+  EXPECT_EQ(minus_bottom(ValueSet{Value::Bottom()}), ValueSet{});
+  EXPECT_EQ(minus_bottom(ValueSet{}), ValueSet{});
+}
+
+TEST(ValueSet, SubsetOf) {
+  ValueSet allowed{Value(1), Value::Bottom()};
+  EXPECT_TRUE(subset_of(ValueSet{}, allowed));
+  EXPECT_TRUE(subset_of(ValueSet{Value(1)}, allowed));
+  EXPECT_TRUE(subset_of(allowed, allowed));
+  EXPECT_FALSE(subset_of(ValueSet{Value(2)}, allowed));
+  EXPECT_FALSE(subset_of(ValueSet{Value(1), Value(2)}, allowed));
+}
+
+TEST(ValueSet, MaxViaRbegin) {
+  ValueSet s{Value(3), Value(1), Value(9), Value::Bottom()};
+  EXPECT_EQ(*s.rbegin(), Value(9));
+}
+
+TEST(ValueSet, ToString) {
+  EXPECT_EQ(to_string(ValueSet{Value(1), Value(2)}), "{1,2}");
+  EXPECT_EQ(to_string(ValueSet{}), "{}");
+}
+
+}  // namespace
+}  // namespace anon

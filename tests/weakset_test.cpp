@@ -1,0 +1,164 @@
+// Algorithm 4 — the weak-set in MS (Theorem 3) — plus the spec checker.
+#include "weakset/ms_weak_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anon {
+namespace {
+
+// --- Spec checker unit tests (hand-built histories). ---
+
+WsOpRecord add_rec(Value v, std::uint64_t s, std::uint64_t e, std::size_t p = 0) {
+  WsOpRecord r;
+  r.kind = WsOpRecord::Kind::kAdd;
+  r.value = v;
+  r.start = s;
+  r.end = e;
+  r.process = p;
+  return r;
+}
+WsOpRecord get_rec(ValueSet res, std::uint64_t s, std::uint64_t e,
+                   std::size_t p = 0) {
+  WsOpRecord r;
+  r.kind = WsOpRecord::Kind::kGet;
+  r.result = std::move(res);
+  r.start = s;
+  r.end = e;
+  r.process = p;
+  return r;
+}
+
+TEST(WsSpecChecker, AcceptsSequentialHistory) {
+  std::vector<WsOpRecord> ops{add_rec(Value(1), 0, 5),
+                              get_rec({Value(1)}, 10, 11)};
+  EXPECT_TRUE(check_weak_set_spec(ops).ok);
+}
+
+TEST(WsSpecChecker, RejectsMissedCompletedAdd) {
+  std::vector<WsOpRecord> ops{add_rec(Value(1), 0, 5), get_rec({}, 10, 11)};
+  auto res = check_weak_set_spec(ops);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.violation.find("missed"), std::string::npos);
+}
+
+TEST(WsSpecChecker, RejectsValueFromThinAir) {
+  std::vector<WsOpRecord> ops{add_rec(Value(1), 0, 5),
+                              get_rec({Value(1), Value(9)}, 10, 11)};
+  auto res = check_weak_set_spec(ops);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.violation.find("no add started"), std::string::npos);
+  (void)res;
+}
+
+TEST(WsSpecChecker, ConcurrentAddMayOrMayNotBeVisible) {
+  std::vector<WsOpRecord> with{add_rec(Value(1), 5, 20),
+                               get_rec({Value(1)}, 10, 12)};
+  std::vector<WsOpRecord> without{add_rec(Value(1), 5, 20),
+                                  get_rec({}, 10, 12)};
+  EXPECT_TRUE(check_weak_set_spec(with).ok);
+  EXPECT_TRUE(check_weak_set_spec(without).ok);
+}
+
+// --- Algorithm 4 under generated MS schedules. ---
+
+class MsWeakSetSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MsWeakSetSweep, SpecHoldsAndAddsComplete) {
+  EnvParams env;
+  env.kind = EnvKind::kMS;
+  env.n = 5;
+  env.seed = GetParam();
+  // Workload: interleaved adds and gets across processes and rounds.
+  std::vector<WsScriptOp> script;
+  for (int i = 0; i < 10; ++i) {
+    script.push_back({static_cast<Round>(2 + 3 * i),
+                      static_cast<std::size_t>(i % 5), true,
+                      Value(100 + i)});
+    script.push_back({static_cast<Round>(4 + 3 * i),
+                      static_cast<std::size_t>((i + 2) % 5), false, Value()});
+  }
+  auto run = run_ms_weak_set(env, CrashPlan{}, script);
+  EXPECT_TRUE(run.all_adds_completed);
+  auto check = check_weak_set_spec(run.records);
+  EXPECT_TRUE(check.ok) << check.violation;
+  EXPECT_TRUE(run.env_check.ms_ok) << run.env_check.to_string();
+  EXPECT_GT(run.adds, 0u);
+}
+
+TEST_P(MsWeakSetSweep, SurvivesCrashes) {
+  EnvParams env;
+  env.kind = EnvKind::kMS;
+  env.n = 6;
+  env.seed = GetParam() ^ 0xc0ffee;
+  CrashPlan crashes;
+  crashes.crash_at(1, 6);
+  crashes.crash_at(4, 11);
+  std::vector<WsScriptOp> script;
+  for (int i = 0; i < 12; ++i) {
+    script.push_back({static_cast<Round>(2 + 2 * i),
+                      static_cast<std::size_t>(i % 6), true, Value(50 + i)});
+    script.push_back({static_cast<Round>(3 + 2 * i),
+                      static_cast<std::size_t>((i + 3) % 6), false, Value()});
+  }
+  auto run = run_ms_weak_set(env, crashes, script);
+  // Adds by surviving processes complete; the spec holds regardless.
+  EXPECT_TRUE(run.all_adds_completed);
+  auto check = check_weak_set_spec(run.records);
+  EXPECT_TRUE(check.ok) << check.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsWeakSetSweep,
+                         ::testing::Values(1, 7, 42, 1234, 777, 31337));
+
+TEST(MsWeakSet, GetIsNonBlockingAndMonotone) {
+  EnvParams env;
+  env.kind = EnvKind::kMS;
+  env.n = 3;
+  env.seed = 5;
+  std::vector<WsScriptOp> script;
+  script.push_back({2, 0, true, Value(1)});
+  for (Round r = 3; r <= 20; ++r) script.push_back({r, 1, false, Value()});
+  auto run = run_ms_weak_set(env, CrashPlan{}, script);
+  // Once the value appears in a get at p1, it never disappears (Lemma 9).
+  bool seen = false;
+  for (const auto& rec : run.records) {
+    if (rec.kind != WsOpRecord::Kind::kGet) continue;
+    if (seen) {
+      EXPECT_EQ(rec.result.count(Value(1)), 1u);
+    }
+    if (rec.result.count(Value(1)) > 0) seen = true;
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(MsWeakSet, AddLatencyIsBoundedUnderFullSynchrony) {
+  EnvParams env;
+  env.kind = EnvKind::kES;  // all timely after GST 0: best case
+  env.n = 4;
+  env.seed = 3;
+  env.stabilization = 0;
+  std::vector<WsScriptOp> script{{2, 0, true, Value(9)}};
+  auto run = run_ms_weak_set(env, CrashPlan{}, script, 30);
+  ASSERT_TRUE(run.all_adds_completed);
+  ASSERT_EQ(run.adds, 1u);
+  // One round to broadcast, one to observe it written.
+  EXPECT_LE(run.add_latency_rounds_total, 3u);
+}
+
+TEST(MsWeakSet, SerializesAddsPerProcess) {
+  MsWeakSetAutomaton a;
+  a.initialize();
+  a.start_add(Value(1));
+  EXPECT_TRUE(a.add_blocked());
+  EXPECT_THROW(a.start_add(Value(2)), CheckFailure);
+}
+
+TEST(MsWeakSet, GetReflectsLocalAddImmediately) {
+  MsWeakSetAutomaton a;
+  a.initialize();
+  a.start_add(Value(7));
+  EXPECT_EQ(a.get().count(Value(7)), 1u);  // line 8 inserts before blocking
+}
+
+}  // namespace
+}  // namespace anon

@@ -1,0 +1,132 @@
+// Propositions 2 and 3 — weak-sets FROM registers, under adversarial
+// interleavings of atomic register steps.
+#include <gtest/gtest.h>
+
+#include "weakset/ws_from_mwmr.hpp"
+#include "weakset/ws_from_swmr.hpp"
+
+namespace anon {
+namespace {
+
+// ---------- Proposition 2: SWMR registers, known process set ----------
+
+class SwmrSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SwmrSweep, SpecHoldsUnderConcurrency) {
+  const std::size_t n = 4;
+  std::vector<ShmWsScriptOp> script;
+  // Dense overlapping workload: adds and gets interleave heavily.
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    script.push_back({i * 3, static_cast<std::size_t>(i % n), true,
+                      Value(static_cast<std::int64_t>(i))});
+    script.push_back({i * 3 + 1, static_cast<std::size_t>((i + 1) % n), false,
+                      Value()});
+  }
+  auto records = run_ws_from_swmr(n, script, GetParam());
+  auto check = check_weak_set_spec(records);
+  EXPECT_TRUE(check.ok) << check.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwmrSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(WsFromSwmr, SequentialAddThenGet) {
+  std::vector<ShmWsScriptOp> script{
+      {0, 0, true, Value(42)},
+      {100, 1, false, Value()},
+  };
+  auto records = run_ws_from_swmr(3, script, 7);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].result, ValueSet{Value(42)});
+}
+
+TEST(WsFromSwmr, GetUnionsAllWriters) {
+  std::vector<ShmWsScriptOp> script{
+      {0, 0, true, Value(1)},
+      {1, 1, true, Value(2)},
+      {2, 2, true, Value(3)},
+      {100, 0, false, Value()},
+  };
+  auto records = run_ws_from_swmr(3, script, 11);
+  EXPECT_EQ(records[3].result, (ValueSet{Value(1), Value(2), Value(3)}));
+}
+
+TEST(WsFromSwmr, ReAddingSameValueIsIdempotent) {
+  std::vector<ShmWsScriptOp> script{
+      {0, 0, true, Value(5)},
+      {10, 1, true, Value(5)},
+      {100, 2, false, Value()},
+  };
+  auto records = run_ws_from_swmr(3, script, 3);
+  EXPECT_EQ(records[2].result, ValueSet{Value(5)});
+}
+
+// ---------- Proposition 3: MWMR registers, finite domain ----------
+
+std::vector<Value> domain10() {
+  std::vector<Value> d;
+  for (int i = 0; i < 10; ++i) d.push_back(Value(i));
+  return d;
+}
+
+class MwmrSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MwmrSweep, SpecHoldsUnderConcurrency) {
+  std::vector<MwmrWsScriptOp> script;
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    script.push_back({i * 2, i % 7, true, Value(static_cast<std::int64_t>(i % 10))});
+    script.push_back({i * 2 + 1, (i + 3) % 7, false, Value()});
+  }
+  auto records = run_ws_from_mwmr(domain10(), script, GetParam());
+  auto check = check_weak_set_spec(records);
+  EXPECT_TRUE(check.ok) << check.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MwmrSweep,
+                         ::testing::Values(4, 9, 16, 25, 36, 49));
+
+TEST(WsFromMwmr, AnonymousConcurrentAddsOfSameValue) {
+  // Two anonymous processes adding the same value concurrently write the
+  // same constant: indistinguishable and harmless.
+  std::vector<MwmrWsScriptOp> script{
+      {0, 0, true, Value(3)},
+      {0, 1, true, Value(3)},
+      {50, 2, false, Value()},
+  };
+  auto records = run_ws_from_mwmr(domain10(), script, 1);
+  EXPECT_EQ(records[2].result, ValueSet{Value(3)});
+}
+
+TEST(WsFromMwmr, RejectsValueOutsideDomain) {
+  WsFromMwmr ws(domain10());
+  EXPECT_THROW(ws.make_add(Value(999)), CheckFailure);
+}
+
+TEST(WsFromMwmr, EmptyGetOnFreshSet) {
+  std::vector<MwmrWsScriptOp> script{{0, 0, false, Value()}};
+  auto records = run_ws_from_mwmr(domain10(), script, 2);
+  EXPECT_TRUE(records[0].result.empty());
+}
+
+// ---------- StepScheduler determinism ----------
+
+TEST(StepScheduler, SameSeedSameSchedule) {
+  auto run_once = [](std::uint64_t seed) {
+    std::vector<ShmWsScriptOp> script;
+    for (std::uint64_t i = 0; i < 12; ++i) {
+      script.push_back({i, i % 3, true, Value(static_cast<std::int64_t>(i))});
+      script.push_back({i + 1, (i + 1) % 3, false, Value()});
+    }
+    return run_ws_from_swmr(3, script, seed);
+  };
+  auto a = run_once(99);
+  auto b = run_once(99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].end, b[i].end);
+    EXPECT_EQ(a[i].result, b[i].result);
+  }
+}
+
+}  // namespace
+}  // namespace anon

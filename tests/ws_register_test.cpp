@@ -1,0 +1,146 @@
+// Proposition 1 — the regular register built from a weak-set.
+#include "weakset/ws_register.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace anon {
+namespace {
+
+TEST(WsRegElement, EncodeDecodeRoundTrip) {
+  for (std::int64_t v : {0LL, 1LL, 77LL, (1LL << 31) - 1}) {
+    for (std::uint32_t rank : {0u, 1u, 900u}) {
+      WsRegElement e{Value(v), rank};
+      WsRegElement back = WsRegElement::decode(e.encode());
+      EXPECT_EQ(back.value, e.value);
+      EXPECT_EQ(back.rank, e.rank);
+    }
+  }
+}
+
+TEST(WsRegElement, EncodeRejectsOutOfRange) {
+  WsRegElement e{Value(1LL << 40), 0};
+  EXPECT_THROW(e.encode(), CheckFailure);
+}
+
+TEST(WsRegisterTransform, ReadPicksMaxRankThenMaxValue) {
+  std::set<WsRegElement> snap;
+  EXPECT_EQ(register_read(snap), std::nullopt);
+  snap.insert({Value(5), 0});
+  EXPECT_EQ(register_read(snap), Value(5));
+  snap.insert({Value(3), 1});
+  EXPECT_EQ(register_read(snap), Value(3));  // higher rank wins over value
+  snap.insert({Value(9), 1});
+  EXPECT_EQ(register_read(snap), Value(9));  // rank tie: max value
+}
+
+TEST(WsRegisterTransform, WriteRankIsSnapshotSize) {
+  std::set<WsRegElement> snap{{Value(1), 0}, {Value(2), 1}};
+  EXPECT_EQ(make_write_element(Value(7), snap).rank, 2u);
+}
+
+// --- Regularity checker unit tests. ---
+
+RegOpRecord wr(Value v, std::uint64_t s, std::uint64_t e) {
+  return {RegOpRecord::Kind::kWrite, v, s, e, 0};
+}
+RegOpRecord rd(std::optional<Value> v, std::uint64_t s, std::uint64_t e) {
+  return {RegOpRecord::Kind::kRead, v, s, e, 1};
+}
+
+TEST(RegChecker, SequentialReadsSeeLastWrite) {
+  EXPECT_TRUE(check_regular_register({wr(Value(1), 0, 2), rd(Value(1), 5, 6)}).ok);
+  EXPECT_FALSE(
+      check_regular_register({wr(Value(1), 0, 2), rd(Value(2), 5, 6)}).ok);
+  EXPECT_FALSE(
+      check_regular_register({wr(Value(1), 0, 2), rd(std::nullopt, 5, 6)}).ok);
+}
+
+TEST(RegChecker, StaleReadAfterSupersedingWriteRejected) {
+  EXPECT_FALSE(check_regular_register({wr(Value(1), 0, 2), wr(Value(2), 3, 4),
+                                       rd(Value(1), 7, 8)})
+                   .ok);
+}
+
+TEST(RegChecker, ConcurrentWriteEitherValueAllowed) {
+  // Write of 2 overlaps the read: old or new value both fine.
+  EXPECT_TRUE(check_regular_register({wr(Value(1), 0, 2), wr(Value(2), 5, 9),
+                                      rd(Value(1), 6, 7)})
+                  .ok);
+  EXPECT_TRUE(check_regular_register({wr(Value(1), 0, 2), wr(Value(2), 5, 9),
+                                      rd(Value(2), 6, 7)})
+                  .ok);
+}
+
+TEST(RegChecker, InitialReadOnlyBeforeAnyCompletedWrite) {
+  EXPECT_TRUE(check_regular_register({rd(std::nullopt, 0, 1)}).ok);
+  EXPECT_TRUE(
+      check_regular_register({wr(Value(1), 5, 9), rd(std::nullopt, 6, 7)}).ok);
+}
+
+// --- The full construction over Algorithm 4 in MS. ---
+
+class RegOverMsSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegOverMsSweep, RegularityHolds) {
+  EnvParams env;
+  env.kind = EnvKind::kMS;
+  env.n = 4;
+  env.seed = GetParam();
+  std::vector<RegScriptOp> script;
+  // Writers 0 and 1 alternate; readers 2 and 3 poll.
+  for (int i = 0; i < 8; ++i) {
+    script.push_back({static_cast<Round>(2 + 5 * i),
+                      static_cast<std::size_t>(i % 2), true, Value(10 + i)});
+    script.push_back(
+        {static_cast<Round>(4 + 5 * i), 2, false, Value()});
+    script.push_back(
+        {static_cast<Round>(5 + 5 * i), 3, false, Value()});
+  }
+  auto run = run_register_over_ms(env, CrashPlan{}, script);
+  EXPECT_TRUE(run.check.ok) << run.check.violation;
+  EXPECT_GT(run.writes_completed, 0u);
+}
+
+TEST_P(RegOverMsSweep, RegularityHoldsUnderCrashes) {
+  EnvParams env;
+  env.kind = EnvKind::kMS;
+  env.n = 5;
+  env.seed = GetParam() * 31 + 1;
+  CrashPlan crashes;
+  crashes.crash_at(0, 12);  // a writer dies mid-history
+  std::vector<RegScriptOp> script;
+  for (int i = 0; i < 10; ++i) {
+    script.push_back({static_cast<Round>(2 + 4 * i),
+                      static_cast<std::size_t>(i % 2), true, Value(10 + i)});
+    script.push_back({static_cast<Round>(3 + 4 * i), 2 + (i % 3 == 0 ? 1u : 0u),
+                      false, Value()});
+  }
+  auto run = run_register_over_ms(env, crashes, script);
+  EXPECT_TRUE(run.check.ok) << run.check.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegOverMsSweep,
+                         ::testing::Values(2, 11, 23, 4242, 555));
+
+TEST(RegOverMs, SequentialWritesAreObservedInOrder) {
+  EnvParams env;
+  env.kind = EnvKind::kES;
+  env.n = 3;
+  env.seed = 9;
+  env.stabilization = 0;
+  std::vector<RegScriptOp> script{
+      {2, 0, true, Value(1)}, {20, 0, true, Value(2)},
+      {40, 1, true, Value(3)}, {60, 2, false, Value()},
+  };
+  auto run = run_register_over_ms(env, CrashPlan{}, script);
+  ASSERT_TRUE(run.check.ok) << run.check.violation;
+  // The last read must return the last completed write.
+  const RegOpRecord& last = run.records.back();
+  ASSERT_EQ(last.kind, RegOpRecord::Kind::kRead);
+  EXPECT_EQ(last.value, Value(3));
+}
+
+}  // namespace
+}  // namespace anon
