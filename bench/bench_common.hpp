@@ -3,7 +3,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "algo/runner.hpp"
+#include "core/sweep.hpp"
 #include "sim/experiment.hpp"
 #include "sim/table.hpp"
 
@@ -36,6 +39,26 @@ inline ConsensusConfig consensus_config(EnvKind kind, std::size_t n,
   if (crashes > 0)
     cfg.crashes = random_crashes(n, crashes, std::max<Round>(2, stab), seed + 7);
   return cfg;
+}
+
+// One config per seed, for the parallel sweep runner.
+inline std::vector<ConsensusConfig> seed_grid(
+    EnvKind kind, std::size_t n, Round stab,
+    const std::vector<std::uint64_t>& seeds, std::size_t crashes = 0) {
+  std::vector<ConsensusConfig> grid;
+  grid.reserve(seeds.size());
+  for (auto seed : seeds)
+    grid.push_back(consensus_config(kind, n, stab, seed, crashes));
+  return grid;
+}
+
+// Wall-clock seconds of `fn()`.
+template <typename Fn>
+double timed_seconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace anon::bench

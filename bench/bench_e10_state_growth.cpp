@@ -74,39 +74,49 @@ void print_tables() {
     Table t("E10.b  history interning: arena nodes vs naive copies (n=6, 400 rounds)",
             {"workload", "rounds", "interned nodes", "naive (n×rounds)",
              "sharing"});
-    for (bool clustered : {false, true}) {
-      for (Round rounds : {100u, 400u}) {
-        EnvParams env;
-        env.kind = EnvKind::kESS;
-        env.n = 6;
-        env.seed = 7;
-        env.stabilization = 0;
-        HistoryArena arena;
-        EssConsensus::Options no_decide;
-        no_decide.decide = false;
-        std::vector<std::unique_ptr<Automaton<EssMessage>>> autos;
-        // Clustered: three pairs of identical clones — their histories are
-        // shared in the arena until (if ever) they diverge.
-        std::vector<Value> init =
-            clustered ? std::vector<Value>{Value(1), Value(1), Value(2),
-                                           Value(2), Value(3), Value(3)}
-                      : distinct_values(6);
-        for (auto v : init)
-          autos.push_back(std::make_unique<EssConsensus>(v, &arena, no_decide));
-        EnvDelayModel delays(env, CrashPlan{});
-        LockstepOptions opt;
-        opt.max_rounds = rounds + 5;
-        opt.record_trace = false;
-        LockstepNet<EssMessage> net(std::move(autos), delays, CrashPlan{}, opt);
-        net.run_rounds(rounds);
-        const std::uint64_t naive = 6ull * rounds;
-        t.add_row({clustered ? "3 clone pairs" : "all distinct",
-                   Table::num(rounds),
-                   Table::num(static_cast<std::uint64_t>(arena.interned_nodes())),
-                   Table::num(naive),
-                   Table::ratio(static_cast<double>(naive) /
-                                static_cast<double>(arena.interned_nodes()))});
-      }
+    // The four (workload × horizon) cells are independent runs with their
+    // own arena and net, so they shard across the core sweep runner; rows
+    // stay in grid order regardless of thread count.
+    struct Cell {
+      bool clustered;
+      Round rounds;
+    };
+    const std::vector<Cell> cells = {
+        {false, 100u}, {false, 400u}, {true, 100u}, {true, 400u}};
+    const auto interned = parallel_sweep(cells.size(), [&](std::size_t i) {
+      const Cell& cell = cells[i];
+      EnvParams env;
+      env.kind = EnvKind::kESS;
+      env.n = 6;
+      env.seed = 7;
+      env.stabilization = 0;
+      HistoryArena arena;
+      EssConsensus::Options no_decide;
+      no_decide.decide = false;
+      std::vector<std::unique_ptr<Automaton<EssMessage>>> autos;
+      // Clustered: three pairs of identical clones — their histories are
+      // shared in the arena until (if ever) they diverge.
+      std::vector<Value> init =
+          cell.clustered ? std::vector<Value>{Value(1), Value(1), Value(2),
+                                              Value(2), Value(3), Value(3)}
+                         : distinct_values(6);
+      for (auto v : init)
+        autos.push_back(std::make_unique<EssConsensus>(v, &arena, no_decide));
+      EnvDelayModel delays(env, CrashPlan{});
+      LockstepOptions opt;
+      opt.max_rounds = cell.rounds + 5;
+      opt.record_trace = false;
+      LockstepNet<EssMessage> net(std::move(autos), delays, CrashPlan{}, opt);
+      net.run_rounds(cell.rounds);
+      return static_cast<std::uint64_t>(arena.interned_nodes());
+    });
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const std::uint64_t naive = 6ull * cells[i].rounds;
+      t.add_row({cells[i].clustered ? "3 clone pairs" : "all distinct",
+                 Table::num(cells[i].rounds), Table::num(interned[i]),
+                 Table::num(naive),
+                 Table::ratio(static_cast<double>(naive) /
+                              static_cast<double>(interned[i]))});
     }
     t.print();
   }

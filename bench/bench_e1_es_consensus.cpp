@@ -11,6 +11,8 @@ namespace anon {
 namespace {
 
 using bench::consensus_config;
+using bench::seed_grid;
+using bench::timed_seconds;
 
 // A genuinely adversarial ES schedule: the bivalent two-camp MS adversary
 // (E8) rules until GST, full synchrony afterwards.  Under it Algorithm 2
@@ -39,9 +41,8 @@ void print_tables() {
             {"n", "last decision round", "messages", "bytes/process"});
     for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
       std::vector<double> rounds, msgs, bytes;
-      for (auto seed : seeds) {
-        auto rep = run_consensus(ConsensusAlgo::kEs,
-                                 consensus_config(EnvKind::kES, n, 0, seed));
+      for (const auto& rep : run_consensus_sweep(
+               ConsensusAlgo::kEs, seed_grid(EnvKind::kES, n, 0, seeds))) {
         rounds.push_back(static_cast<double>(rep.last_decision_round));
         msgs.push_back(static_cast<double>(rep.deliveries));
         bytes.push_back(static_cast<double>(rep.bytes_sent) /
@@ -83,9 +84,8 @@ void print_tables() {
             {"GST", "last decision round"});
     for (Round gst : {0u, 16u, 64u}) {
       std::vector<double> rounds;
-      for (auto seed : seeds) {
-        auto rep = run_consensus(ConsensusAlgo::kEs,
-                                 consensus_config(EnvKind::kES, 8, gst, seed));
+      for (const auto& rep : run_consensus_sweep(
+               ConsensusAlgo::kEs, seed_grid(EnvKind::kES, 8, gst, seeds))) {
         rounds.push_back(static_cast<double>(rep.last_decision_round));
       }
       t.add_row({Table::num(static_cast<std::uint64_t>(gst)),
@@ -102,9 +102,8 @@ void print_tables() {
     for (std::size_t f : {0u, 2u, 4u, 7u}) {
       std::size_t decided = 0, agree = 0;
       std::vector<double> rounds;
-      for (auto seed : seeds) {
-        auto rep = run_consensus(
-            ConsensusAlgo::kEs, consensus_config(EnvKind::kES, 8, 12, seed, f));
+      for (const auto& rep : run_consensus_sweep(
+               ConsensusAlgo::kEs, seed_grid(EnvKind::kES, 8, 12, seeds, f))) {
         decided += rep.all_correct_decided ? 1 : 0;
         agree += rep.agreement ? 1 : 0;
         rounds.push_back(static_cast<double>(rep.last_decision_round));
@@ -117,6 +116,40 @@ void print_tables() {
                  aggregate(rounds).to_string()});
     }
     t.print();
+  }
+
+  {
+    // The whole (n × seed) grid of E1.a as one flat sweep, serial vs
+    // sharded: the parallel runner must reproduce the serial results
+    // report-for-report while cutting wall clock with available cores.
+    std::vector<ConsensusConfig> grid;
+    for (std::size_t n : {8u, 16u, 32u, 64u}) {
+      auto rows = seed_grid(EnvKind::kES, n, 0, seeds);
+      grid.insert(grid.end(), std::make_move_iterator(rows.begin()),
+                  std::make_move_iterator(rows.end()));
+    }
+
+    std::vector<ConsensusReport> serial, parallel;
+    const double serial_s = timed_seconds([&] {
+      serial = run_consensus_sweep(ConsensusAlgo::kEs, grid, {.threads = 1});
+    });
+    const double parallel_s = timed_seconds([&] {
+      parallel = run_consensus_sweep(ConsensusAlgo::kEs, grid, {.threads = 4});
+    });
+    bool identical = serial.size() == parallel.size();
+    for (std::size_t i = 0; identical && i < serial.size(); ++i)
+      identical = serial[i].to_string() == parallel[i].to_string();
+
+    Table t("E1.d  sweep runner: serial vs 4-thread shard over the E1.a grid (" +
+                Table::num(static_cast<std::uint64_t>(grid.size())) + " cells)",
+            {"runner", "wall-clock s", "speedup", "results identical"});
+    t.add_row({"serial (1 thread)", Table::num(serial_s, 3), "1.00x", "-"});
+    t.add_row({"sharded (4 threads)", Table::num(parallel_s, 3),
+               Table::ratio(serial_s / parallel_s),
+               identical ? "yes" : "NO — BUG"});
+    t.print();
+    std::cout << "  (hardware threads available: "
+              << resolve_sweep_threads(0) << ")\n";
   }
 }
 

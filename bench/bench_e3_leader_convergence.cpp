@@ -87,15 +87,18 @@ void print_tables() {
             {"n", "pseudo-leaders (histories, anonymous)",
              "Ω accusations (IDs)"});
     for (std::size_t n : {3u, 5u, 9u, 17u}) {
-      std::vector<double> pseudo, omega;
-      for (auto seed : seeds) {
-        pseudo.push_back(static_cast<double>(
-            pseudo_leader_convergence(n, 0, seed, horizon)));
-        omega.push_back(
-            static_cast<double>(omega_convergence(n, 0, seed, horizon)));
-      }
+      // Both election races sweep their seeds in parallel (core/sweep.hpp);
+      // every cell builds its own net, so sharding cannot perturb results.
+      const SeriesStat pseudo =
+          sweep_aggregate(seeds, [&](std::uint64_t seed) {
+            return static_cast<double>(
+                pseudo_leader_convergence(n, 0, seed, horizon));
+          });
+      const SeriesStat omega = sweep_aggregate(seeds, [&](std::uint64_t seed) {
+        return static_cast<double>(omega_convergence(n, 0, seed, horizon));
+      });
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
-                 aggregate(pseudo).to_string(), aggregate(omega).to_string()});
+                 pseudo.to_string(), omega.to_string()});
     }
     t.print();
   }
@@ -105,17 +108,19 @@ void print_tables() {
             {"stabilization", "pseudo-leaders", "Ω (IDs)",
              "pseudo - stabilization"});
     for (Round stab : {0u, 10u, 40u, 100u}) {
-      std::vector<double> pseudo, omega, slack;
-      for (auto seed : seeds) {
-        const double p = static_cast<double>(
-            pseudo_leader_convergence(5, stab, seed, horizon + stab));
-        pseudo.push_back(p);
-        omega.push_back(static_cast<double>(
-            omega_convergence(5, stab, seed, horizon + stab)));
-        slack.push_back(p - static_cast<double>(stab));
-      }
+      const std::vector<double> pseudo = parallel_sweep(
+          seeds.size(), [&](std::size_t i) {
+            return static_cast<double>(
+                pseudo_leader_convergence(5, stab, seeds[i], horizon + stab));
+          });
+      const SeriesStat omega = sweep_aggregate(seeds, [&](std::uint64_t seed) {
+        return static_cast<double>(
+            omega_convergence(5, stab, seed, horizon + stab));
+      });
+      std::vector<double> slack;
+      for (double p : pseudo) slack.push_back(p - static_cast<double>(stab));
       t.add_row({Table::num(static_cast<std::uint64_t>(stab)),
-                 aggregate(pseudo).to_string(), aggregate(omega).to_string(),
+                 aggregate(pseudo).to_string(), omega.to_string(),
                  aggregate(slack).to_string()});
     }
     t.print();

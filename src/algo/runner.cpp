@@ -32,7 +32,8 @@ namespace {
 
 template <typename M>
 ConsensusReport finish_report(LockstepNet<M>& net, const ConsensusConfig& cfg,
-                              RunResult run) {
+                              RunResult run, Trace* trace_out) {
+  if (trace_out) *trace_out = net.trace();
   ConsensusReport rep;
   rep.rounds_executed = run.rounds;
   rep.hit_round_limit = !run.stopped;
@@ -63,7 +64,8 @@ ConsensusReport finish_report(LockstepNet<M>& net, const ConsensusConfig& cfg,
 
 }  // namespace
 
-ConsensusReport run_consensus(ConsensusAlgo algo, const ConsensusConfig& cfg) {
+ConsensusReport run_consensus(ConsensusAlgo algo, const ConsensusConfig& cfg,
+                              Trace* trace_out) {
   ANON_CHECK(cfg.initial.size() == cfg.env.n);
   EnvDelayModel delays(cfg.env, cfg.crashes);
 
@@ -73,7 +75,8 @@ ConsensusReport run_consensus(ConsensusAlgo algo, const ConsensusConfig& cfg) {
     for (const Value& v : cfg.initial)
       autos.push_back(std::make_unique<EsConsensus>(v));
     LockstepNet<EsMessage> net(std::move(autos), delays, cfg.crashes, cfg.net);
-    return finish_report(net, cfg, net.run_until_all_correct_decided());
+    return finish_report(net, cfg, net.run_until_all_correct_decided(),
+                         trace_out);
   }
 
   HistoryArena arena;
@@ -82,7 +85,16 @@ ConsensusReport run_consensus(ConsensusAlgo algo, const ConsensusConfig& cfg) {
   for (const Value& v : cfg.initial)
     autos.push_back(std::make_unique<EssConsensus>(v, &arena));
   LockstepNet<EssMessage> net(std::move(autos), delays, cfg.crashes, cfg.net);
-  return finish_report(net, cfg, net.run_until_all_correct_decided());
+  return finish_report(net, cfg, net.run_until_all_correct_decided(),
+                       trace_out);
+}
+
+std::vector<ConsensusReport> run_consensus_sweep(
+    ConsensusAlgo algo, const std::vector<ConsensusConfig>& configs,
+    SweepOptions opt) {
+  return parallel_sweep(
+      configs.size(),
+      [&](std::size_t i) { return run_consensus(algo, configs[i]); }, opt);
 }
 
 std::vector<Value> distinct_values(std::size_t n) {

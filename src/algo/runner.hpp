@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/value.hpp"
+#include "core/sweep.hpp"
 #include "env/generate.hpp"
 #include "env/validate.hpp"
 #include "net/lockstep.hpp"
@@ -48,7 +49,18 @@ struct ConsensusReport {
   std::string to_string() const;
 };
 
-ConsensusReport run_consensus(ConsensusAlgo algo, const ConsensusConfig& cfg);
+// `trace_out`, when given, receives the full execution trace of the run
+// (used by the determinism regression tests; traces can be voluminous).
+ConsensusReport run_consensus(ConsensusAlgo algo, const ConsensusConfig& cfg,
+                              Trace* trace_out = nullptr);
+
+// Runs one consensus instance per config, sharded across worker threads
+// (core/sweep.hpp).  Each instance builds its own net/arena/RNGs, so cells
+// are independent; the result vector is index-aligned with `configs` and
+// identical for any thread count.
+std::vector<ConsensusReport> run_consensus_sweep(
+    ConsensusAlgo algo, const std::vector<ConsensusConfig>& configs,
+    SweepOptions opt = {});
 
 // Helpers for building workloads.
 std::vector<Value> distinct_values(std::size_t n);          // 100, 101, …

@@ -8,23 +8,25 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <queue>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "core/calendar.hpp"
 #include "giraf/types.hpp"
 
 namespace anon {
 
+// Discrete-event loop over the shared ring-buffer calendar (core/
+// calendar.hpp).  Events at the same time run in scheduling order — the
+// calendar buckets are FIFO, so no explicit sequence tie-break is needed.
 class EventQueue {
  public:
   using Fn = std::function<void()>;
 
   void at(std::uint64_t time, Fn fn) {
     ANON_CHECK(time >= now_);
-    q_.push({time, seq_++, std::move(fn)});
+    calendar_.schedule(time, std::move(fn));
   }
   void after(std::uint64_t delay, Fn fn) { at(now_ + delay, std::move(fn)); }
 
@@ -33,30 +35,35 @@ class EventQueue {
   // Executes events in time order; returns executed count.
   std::uint64_t run(std::uint64_t max_events = 1000000) {
     std::uint64_t done = 0;
-    while (!q_.empty() && done < max_events) {
-      Item it = q_.top();
-      q_.pop();
-      now_ = it.time;
-      it.fn();
+    while (done < max_events) {
+      if (due_head_ >= due_.size()) {
+        const auto next = calendar_.next_key();
+        if (!next) break;
+        now_ = *next;
+        calendar_.advance_to(now_);
+        due_ = calendar_.take_due();
+        due_head_ = 0;
+      }
+      // Events an fn schedules at the current time land back in the
+      // calendar bucket and run after this batch — FIFO preserved.
+      Fn fn = std::move(due_[due_head_++]);
+      if (due_head_ >= due_.size()) {
+        due_.clear();
+        due_head_ = 0;
+      }
+      fn();
       ++done;
     }
     return done;
   }
 
-  bool empty() const { return q_.empty(); }
+  bool empty() const { return calendar_.empty() && due_head_ >= due_.size(); }
 
  private:
-  struct Item {
-    std::uint64_t time;
-    std::uint64_t seq;  // FIFO tie-break for determinism
-    Fn fn;
-    bool operator>(const Item& o) const {
-      return time != o.time ? time > o.time : seq > o.seq;
-    }
-  };
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> q_;
+  RoundCalendar<Fn> calendar_;
+  std::vector<Fn> due_;       // batch taken for time now_, partially run
+  std::size_t due_head_ = 0;  // next unexecuted entry in due_
   std::uint64_t now_ = 0;
-  std::uint64_t seq_ = 0;
 };
 
 class AsyncNet {

@@ -1,0 +1,8 @@
+#include "core/calendar.hpp"
+
+// RoundCalendar is header-only (templated on the item type); this TU pins
+// the build target.
+
+namespace anon {
+static_assert(sizeof(RoundCalendar<int>) > 0);
+}  // namespace anon

@@ -1,0 +1,11 @@
+#include "core/sweep.hpp"
+
+namespace anon {
+
+std::size_t resolve_sweep_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace anon

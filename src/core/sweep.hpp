@@ -1,0 +1,86 @@
+// Sharded parallel experiment runner (see DESIGN.md, "core layer").
+//
+// Every bench/experiment in this repo is a grid of independent simulations
+// — (seed × config) cells — whose per-cell work is a pure function of its
+// inputs (all simulations are seeded and allocate their own nets, arenas
+// and RNGs).  `parallel_sweep` shards such a grid across worker threads
+// with a shared atomic cursor and writes each result into its own index,
+// so the returned vector is identical for any thread count or OS schedule:
+// aggregation stays deterministic while the wall clock drops with cores.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace anon {
+
+struct SweepOptions {
+  std::size_t threads = 0;           // 0 = one per hardware thread
+  std::size_t min_items_per_thread = 1;  // don't over-spawn on tiny grids
+};
+
+// Resolved worker count: `requested`, or the hardware concurrency when
+// `requested` is 0 (at least 1 either way).
+std::size_t resolve_sweep_threads(std::size_t requested);
+
+// Runs fn(i) for every i in [0, count) and returns the results indexed by
+// i.  `fn` must be thread-safe across distinct indices; results must be
+// default-constructible (they are written into a presized vector).  The
+// first exception thrown by any cell aborts the remaining work and is
+// rethrown on the calling thread.
+template <typename Fn>
+auto parallel_sweep(std::size_t count, Fn&& fn, SweepOptions opt = {})
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+  using R = std::decay_t<decltype(fn(std::size_t{0}))>;
+  static_assert(std::is_default_constructible_v<R>,
+                "sweep results are written into a presized vector");
+  static_assert(!std::is_same_v<R, bool>,
+                "std::vector<bool> bit-packs elements: concurrent writes "
+                "would race — return an int/char instead");
+  std::vector<R> results(count);
+  if (count == 0) return results;
+
+  const std::size_t per_thread =
+      opt.min_items_per_thread == 0 ? 1 : opt.min_items_per_thread;
+  std::size_t threads = resolve_sweep_threads(opt.threads);
+  threads = std::min(threads, (count + per_thread - 1) / per_thread);
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        results[i] = fn(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        next.store(count, std::memory_order_relaxed);  // drain the others
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace anon

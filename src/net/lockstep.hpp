@@ -21,12 +21,13 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "common/check.hpp"
+#include "core/calendar.hpp"
 #include "giraf/process.hpp"
 #include "giraf/trace.hpp"
 #include "net/schedule.hpp"
@@ -131,11 +132,15 @@ class LockstepNet {
   }
 
  private:
+  // A sender's round-k batch is stored once (shared immutable payload);
+  // each receiver's calendar entry is pointer-sized.  Delivering round-k
+  // broadcasts therefore costs O(n²) entries, not O(n² · sizeof(M)) copies.
+  using Batch = std::set<M>;
   struct Pending {
     ProcId receiver;
     ProcId sender;
     Round msg_round;
-    M msg;
+    std::shared_ptr<const Batch> payload;
   };
 
   void bootstrap() {
@@ -162,6 +167,10 @@ class LockstepNet {
         procs_[p]->decision().has_value())
       halted_[p] = true;
 
+    std::size_t batch_bytes = 0;
+    for (const M& m : out.batch) batch_bytes += MessageSizeOf<M>::size(m);
+    const auto payload = std::make_shared<const Batch>(std::move(out.batch));
+
     const bool crashing = crashes_.crash_round(p) == k;
     for (ProcId q = 0; q < n_; ++q) {
       if (q == p) continue;
@@ -170,29 +179,27 @@ class LockstepNet {
         if (!opt_.relay_partial_broadcast) continue;  // lost forever
         d = std::max<Round>(d, 1) + opt_.relay_extra_delay;
       }
-      ++sends_;
-      for (const M& m : out.batch) {
-        bytes_sent_ += MessageSizeOf<M>::size(m);
-        pending_[k + d].push_back(Pending{q, p, k, m});
-      }
+      // Both counters are per message on the link, so multi-message
+      // batches keep the sends/bytes ratio honest (E10).
+      sends_ += payload->size();
+      bytes_sent_ += batch_bytes;
+      calendar_.schedule(k + d, Pending{q, p, k, payload});
     }
     if (opt_.forget_old_rounds && k >= 2)
       procs_[p]->forget_rounds_before(k - 1);
   }
 
   void deliver_due(Round r) {
-    auto it = pending_.find(r);
-    if (it == pending_.end()) return;
-    for (const Pending& d : it->second) {
+    calendar_.advance_to(r);
+    for (const Pending& d : calendar_.take_due()) {
       if (!crashes_.receives_in_round(d.receiver, r)) continue;  // dead
       if (halted_[d.receiver]) continue;
-      procs_[d.receiver]->receive({d.msg}, d.msg_round);
-      ++deliveries_;
+      procs_[d.receiver]->receive(*d.payload, d.msg_round);
+      deliveries_ += d.payload->size();
       if (opt_.record_trace && opt_.record_deliveries)
         trace_.record_delivery(d.sender, d.msg_round, d.receiver,
                                procs_[d.receiver]->round(), r);
     }
-    pending_.erase(it);
   }
 
   void note_decisions() {
@@ -210,7 +217,7 @@ class LockstepNet {
   LockstepOptions opt_;
   Trace trace_;
   Round round_ = 0;
-  std::map<Round, std::vector<Pending>> pending_;
+  RoundCalendar<Pending> calendar_;
   std::vector<bool> halted_;
   std::vector<Round> decision_round_;
   std::uint64_t deliveries_ = 0;

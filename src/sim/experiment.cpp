@@ -28,6 +28,13 @@ std::string SeriesStat::to_string(int precision) const {
   return os.str();
 }
 
+SeriesStat sweep_aggregate(const std::vector<std::uint64_t>& seeds,
+                           const std::function<double(std::uint64_t)>& sample,
+                           SweepOptions opt) {
+  return aggregate(parallel_sweep(
+      seeds.size(), [&](std::size_t i) { return sample(seeds[i]); }, opt));
+}
+
 std::vector<std::uint64_t> experiment_seeds(std::size_t count) {
   std::vector<std::uint64_t> seeds;
   seeds.reserve(count);

@@ -2,8 +2,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
+
+#include "core/sweep.hpp"
 
 namespace anon {
 
@@ -18,6 +21,14 @@ struct SeriesStat {
 };
 
 SeriesStat aggregate(std::vector<double> samples);
+
+// Runs sample(seed) for every seed — sharded across threads via the core
+// sweep runner — and aggregates the series.  `sample` must be thread-safe
+// (every simulation in this repo is: each run owns its net/arena/RNGs).
+// The aggregate is identical for any thread count.
+SeriesStat sweep_aggregate(const std::vector<std::uint64_t>& seeds,
+                           const std::function<double(std::uint64_t)>& sample,
+                           SweepOptions opt = {});
 
 // The standard seed list used across experiments (kept small enough for
 // quick runs, large enough to expose variance).

@@ -1,0 +1,183 @@
+// The shared simulation core: ring-buffer calendar and parallel sweep.
+#include "core/calendar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "baseline/async_net.hpp"
+#include "core/sweep.hpp"
+
+namespace anon {
+namespace {
+
+TEST(RoundCalendar, StartsEmpty) {
+  RoundCalendar<int> cal;
+  EXPECT_TRUE(cal.empty());
+  EXPECT_EQ(cal.size(), 0u);
+  EXPECT_EQ(cal.base(), 0u);
+  EXPECT_FALSE(cal.next_key().has_value());
+}
+
+TEST(RoundCalendar, TakesItemsInKeyOrder) {
+  RoundCalendar<int> cal;
+  cal.schedule(3, 30);
+  cal.schedule(1, 10);
+  cal.schedule(2, 20);
+  std::vector<int> got;
+  while (auto key = cal.next_key()) {
+    cal.advance_to(*key);
+    for (int v : cal.take_due()) got.push_back(v);
+  }
+  EXPECT_EQ(got, (std::vector<int>{10, 20, 30}));
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(RoundCalendar, SameKeyIsFifo) {
+  RoundCalendar<int> cal;
+  for (int i = 0; i < 100; ++i) cal.schedule(5, i);
+  cal.advance_to(5);
+  const auto due = cal.take_due();
+  ASSERT_EQ(due.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(due[i], i);
+}
+
+TEST(RoundCalendar, FarFutureKeysGoThroughOverflow) {
+  RoundCalendar<int> cal(8);  // tiny window to force the overflow path
+  cal.schedule(2, 1);
+  cal.schedule(1000, 3);  // far beyond the 8-slot window
+  cal.schedule(500, 2);
+  std::vector<std::uint64_t> keys;
+  std::vector<int> got;
+  while (auto key = cal.next_key()) {
+    cal.advance_to(*key);
+    keys.push_back(*key);
+    for (int v : cal.take_due()) got.push_back(v);
+  }
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{2, 500, 1000}));
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RoundCalendar, OverflowPreservesFifoWithinKey) {
+  RoundCalendar<int> cal(4);
+  for (int i = 0; i < 10; ++i) cal.schedule(100, i);  // all via overflow
+  cal.advance_to(100);
+  const auto due = cal.take_due();
+  ASSERT_EQ(due.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(due[i], i);
+}
+
+TEST(RoundCalendar, SchedulingIntoThePastThrows) {
+  RoundCalendar<int> cal;
+  cal.schedule(4, 1);
+  cal.advance_to(4);
+  EXPECT_THROW(cal.schedule(3, 2), CheckFailure);
+  cal.schedule(4, 3);  // the current key is still open
+  EXPECT_EQ(cal.take_due(), (std::vector<int>{1, 3}));
+}
+
+TEST(RoundCalendar, LockstepStyleRoundByRoundDrain) {
+  RoundCalendar<int> cal;
+  for (std::uint64_t r = 1; r <= 200; ++r) cal.schedule(r, static_cast<int>(r));
+  for (std::uint64_t r = 1; r <= 200; ++r) {
+    cal.advance_to(r);
+    const auto due = cal.take_due();
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0], static_cast<int>(r));
+  }
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(EventQueue, FarFutureEventsStillFire) {
+  EventQueue q;  // exercises overflow migration through the event loop
+  std::vector<int> order;
+  q.at(1u << 20, [&] { order.push_back(3); });
+  q.at(2, [&] { order.push_back(1); });
+  q.at(70, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 1u << 20);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EventsScheduledAtNowRunAfterCurrentBatch) {
+  EventQueue q;
+  std::vector<int> order;
+  q.at(5, [&] {
+    order.push_back(1);
+    q.at(5, [&] { order.push_back(3); });
+  });
+  q.at(5, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, MaxEventsCutoffKeepsLeftoversRunnable) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i)
+    q.at(7, [&order, i] { order.push_back(i); });
+  EXPECT_EQ(q.run(4), 4u);
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.run(), 2u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Sweep, ResolveThreadsIsAtLeastOne) {
+  EXPECT_GE(resolve_sweep_threads(0), 1u);
+  EXPECT_EQ(resolve_sweep_threads(3), 3u);
+}
+
+TEST(Sweep, EmptyGrid) {
+  const auto out = parallel_sweep(0, [](std::size_t i) { return i; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Sweep, ResultsAreIndexAligned) {
+  const auto out =
+      parallel_sweep(100, [](std::size_t i) { return i * i; }, {.threads = 4});
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Sweep, ThreadCountDoesNotChangeResults) {
+  auto cell = [](std::size_t i) {
+    // A little deterministic work per cell.
+    std::uint64_t acc = i;
+    for (int k = 0; k < 1000; ++k) acc = acc * 6364136223846793005ull + 1;
+    return acc;
+  };
+  const auto serial = parallel_sweep(64, cell, {.threads = 1});
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    const auto sharded = parallel_sweep(64, cell, {.threads = threads});
+    EXPECT_EQ(sharded, serial) << threads << " threads";
+  }
+}
+
+TEST(Sweep, AllCellsRunExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_sweep(
+      hits.size(),
+      [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        return 0;
+      },
+      {.threads = 4});
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Sweep, FirstExceptionPropagates) {
+  EXPECT_THROW(parallel_sweep(
+                   32,
+                   [](std::size_t i) {
+                     if (i == 7) throw std::runtime_error("cell failed");
+                     return i;
+                   },
+                   {.threads = 4}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace anon

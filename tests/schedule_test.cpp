@@ -204,6 +204,19 @@ TEST(Lockstep, MetricsCount) {
   EXPECT_GT(net.bytes_sent(), 0u);
 }
 
+TEST(Lockstep, MetricsCountPerMessageOnEveryLink) {
+  // sends and bytes_sent are both per message per link, so their ratio is
+  // the true mean wire size even for multi-message batches (E10).  Here
+  // every batch is a single ValueSet, all delivered before the run stops:
+  // 2 waves × 3 processes × 2 links.
+  SynchronousDelays delays;
+  LockstepNet<ValueSet> net(collectors(3), delays, CrashPlan{});
+  net.run_rounds(2);
+  EXPECT_EQ(net.sends(), 12u);
+  EXPECT_EQ(net.deliveries(), net.sends());
+  EXPECT_EQ(net.bytes_sent(), net.sends() * sizeof(ValueSet));
+}
+
 TEST(Lockstep, MaxRoundsStopsRun) {
   SynchronousDelays delays;
   LockstepOptions opt;
