@@ -4,13 +4,32 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <string>
 
 #include "algo/runner.hpp"
 #include "core/sweep.hpp"
+#include "sim/bench_json.hpp"
 #include "sim/experiment.hpp"
 #include "sim/table.hpp"
 
 namespace anon::bench {
+
+// CI smoke mode (ANON_BENCH_SMOKE=1): benches shrink their grids to a
+// seconds-long configuration that still exercises every code path, so the
+// Release bench job catches regressions without the full table cost.
+inline bool smoke() {
+  const char* v = std::getenv("ANON_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// Where the machine-readable results go (BENCH_E1.json etc.).  Defaults to
+// the working directory; override with ANON_BENCH_JSON_DIR.
+inline std::string json_path(const std::string& filename) {
+  const char* dir = std::getenv("ANON_BENCH_JSON_DIR");
+  if (dir == nullptr || dir[0] == '\0') return filename;
+  return std::string(dir) + "/" + filename;
+}
 
 // Runs the experiment tables first, then google-benchmark.
 // Usage:  int main(int argc, char** argv) { return anon::bench::main_with_tables(argc, argv, &print_tables); }

@@ -12,7 +12,12 @@
 namespace anon {
 namespace {
 
+using bench::timed_seconds;
+
 void print_tables() {
+  const Round horizon = bench::smoke() ? 150u : 750u;
+  double table_a_s = 0;
+  std::uint64_t table_a_bytes = 0, table_a_sends = 0, table_a_rounds = 0;
   {
     Table t("E10.a  Algorithm 3 message size vs rounds executed (n=5, no decision)",
             {"round", "|C| plain", "plain bytes", "digest-chain bytes",
@@ -26,7 +31,7 @@ void print_tables() {
     env.stabilization = 6;
     EnvDelayModel delays(env, CrashPlan{});
     LockstepOptions opt;
-    opt.max_rounds = 800;
+    opt.max_rounds = horizon + 50;
     opt.record_trace = false;
     auto build = [&](bool gc, HistoryArena* arena) {
       EssConsensus::Options o;
@@ -41,7 +46,11 @@ void print_tables() {
     auto plain_net = build(false, &arena_plain);
     auto gc_net = build(true, &arena_gc);
 
-    for (Round target : {25u, 50u, 100u, 200u, 400u, 750u}) {
+    std::vector<Round> targets = {25u, 50u, 100u, 200u, 400u, 750u};
+    while (targets.back() > horizon) targets.pop_back();
+    if (targets.back() != horizon) targets.push_back(horizon);
+    table_a_s = timed_seconds([&] {
+    for (Round target : targets) {
       plain_net->run([&](const LockstepNet<EssMessage>& nn) {
         return nn.round() >= target;
       });
@@ -67,6 +76,10 @@ void print_tables() {
                  Table::num(static_cast<std::uint64_t>(
                      MessageSizeOf<EssMessage>::size(mg)))});
     }
+    });
+    table_a_bytes = plain_net->bytes_sent() + gc_net->bytes_sent();
+    table_a_sends = plain_net->sends() + gc_net->sends();
+    table_a_rounds = plain_net->round() + gc_net->round();
     t.print();
   }
 
@@ -81,8 +94,9 @@ void print_tables() {
       bool clustered;
       Round rounds;
     };
+    const Round long_run = bench::smoke() ? 150u : 400u;
     const std::vector<Cell> cells = {
-        {false, 100u}, {false, 400u}, {true, 100u}, {true, 400u}};
+        {false, 100u}, {false, long_run}, {true, 100u}, {true, long_run}};
     const auto interned = parallel_sweep(cells.size(), [&](std::size_t i) {
       const Cell& cell = cells[i];
       EnvParams env;
@@ -145,6 +159,24 @@ void print_tables() {
                  Table::num(static_cast<std::uint64_t>(dec.table_size()))});
     }
     t.print();
+  }
+
+  // Machine-readable result: the tracked hot path is the E10.a dual run
+  // (paper-faithful + GC variant) to the horizon.
+  {
+    BenchJson j;
+    j.set("experiment", std::string("E10"));
+    j.set("workload",
+          std::string("ESS no-decide state growth, n=5, plain+GC runs"));
+    j.set("horizon", static_cast<std::uint64_t>(horizon));
+    j.set("wall_s", table_a_s);
+    j.set("rounds", table_a_rounds);
+    j.set("sends", table_a_sends);
+    j.set("bytes", table_a_bytes);
+    j.set("smoke", static_cast<std::uint64_t>(bench::smoke() ? 1 : 0));
+    const std::string path = bench::json_path("BENCH_E10.json");
+    if (j.write(path))
+      std::cout << "  [" << path << " written: wall_s=" << table_a_s << "]\n";
   }
 }
 

@@ -1,0 +1,173 @@
+// E11 — set-operation microbenchmark: isolates the FlatSet (sorted
+// small-buffer flat set) win over the previous `std::set<Value>`
+// representation from simulation noise.  Union / intersection / subset at
+// |V| ∈ {2, 8, 64}, plus the in-place variants the consensus hot path uses
+// (WRITTEN ∩= m, PROPOSED ∪= m).
+#include "bench_common.hpp"
+
+#include <set>
+
+#include "common/value.hpp"
+
+namespace anon {
+namespace {
+
+// Two half-overlapping sets of size n: a = {0..n-1}, b = {n/2..n/2+n-1}.
+ValueSet flat_input(std::size_t n, std::int64_t offset) {
+  ValueSet s;
+  for (std::size_t i = 0; i < n; ++i)
+    s.insert(Value(offset + static_cast<std::int64_t>(i)));
+  return s;
+}
+
+std::set<Value> std_input(std::size_t n, std::int64_t offset) {
+  std::set<Value> s;
+  for (std::size_t i = 0; i < n; ++i)
+    s.insert(Value(offset + static_cast<std::int64_t>(i)));
+  return s;
+}
+
+void BM_FlatUnion(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ValueSet a = flat_input(n, 0), b = flat_input(n, static_cast<std::int64_t>(n / 2));
+  for (auto _ : state) {
+    ValueSet out = set_union(a, b);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FlatUnion)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_StdUnion(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = std_input(n, 0), b = std_input(n, static_cast<std::int64_t>(n / 2));
+  for (auto _ : state) {
+    std::set<Value> out = a;  // the pre-refactor set_union
+    out.insert(b.begin(), b.end());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_StdUnion)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_FlatUnionInplace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ValueSet a = flat_input(n, 0), b = flat_input(n, static_cast<std::int64_t>(n / 2));
+  ValueSet acc;
+  for (auto _ : state) {
+    acc = a;  // capacity is retained: steady state allocates nothing
+    set_union_inplace(acc, b);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FlatUnionInplace)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_FlatIntersect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ValueSet a = flat_input(n, 0), b = flat_input(n, static_cast<std::int64_t>(n / 2));
+  for (auto _ : state) {
+    ValueSet out = set_intersect(a, b);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FlatIntersect)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_StdIntersect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = std_input(n, 0), b = std_input(n, static_cast<std::int64_t>(n / 2));
+  for (auto _ : state) {
+    std::set<Value> out;  // the pre-refactor set_intersect
+    for (const Value& v : a)
+      if (b.count(v) > 0) out.insert(v);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_StdIntersect)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_FlatIntersectInplace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ValueSet a = flat_input(n, 0), b = flat_input(n, static_cast<std::int64_t>(n / 2));
+  ValueSet acc;
+  for (auto _ : state) {
+    acc = a;
+    set_intersect_inplace(acc, b);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FlatIntersectInplace)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_FlatSubset(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ValueSet a = flat_input(n, 0), big = flat_input(2 * n, 0);
+  for (auto _ : state) {
+    bool sub = subset_of(a, big);
+    benchmark::DoNotOptimize(sub);
+  }
+}
+BENCHMARK(BM_FlatSubset)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_StdSubset(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = std_input(n, 0), big = std_input(2 * n, 0);
+  for (auto _ : state) {
+    bool sub = true;  // the pre-refactor subset_of
+    for (const Value& v : a)
+      if (big.count(v) == 0) {
+        sub = false;
+        break;
+      }
+    benchmark::DoNotOptimize(sub);
+  }
+}
+BENCHMARK(BM_StdSubset)->Arg(2)->Arg(8)->Arg(64);
+
+void print_tables() {
+  // Quick comparative table (wall clock of 200k op pairs), so the flat-set
+  // win is visible without the google-benchmark pass.
+  Table t("E11  set ops: FlatSet (flat/merge) vs std::set (tree/probe), 200k ops",
+          {"|V|", "flat union ms", "std union ms", "flat intersect ms",
+           "std intersect ms"});
+  const int iters = bench::smoke() ? 20000 : 200000;
+  for (std::size_t n : {2u, 8u, 64u}) {
+    const ValueSet fa = flat_input(n, 0),
+                   fb = flat_input(n, static_cast<std::int64_t>(n / 2));
+    const auto sa = std_input(n, 0),
+               sb = std_input(n, static_cast<std::int64_t>(n / 2));
+    const double flat_u = bench::timed_seconds([&] {
+      for (int i = 0; i < iters; ++i) {
+        ValueSet out = set_union(fa, fb);
+        benchmark::DoNotOptimize(out);
+      }
+    });
+    const double std_u = bench::timed_seconds([&] {
+      for (int i = 0; i < iters; ++i) {
+        std::set<Value> out = sa;
+        out.insert(sb.begin(), sb.end());
+        benchmark::DoNotOptimize(out);
+      }
+    });
+    const double flat_i = bench::timed_seconds([&] {
+      for (int i = 0; i < iters; ++i) {
+        ValueSet out = set_intersect(fa, fb);
+        benchmark::DoNotOptimize(out);
+      }
+    });
+    const double std_i = bench::timed_seconds([&] {
+      for (int i = 0; i < iters; ++i) {
+        std::set<Value> out;
+        for (const Value& v : sa)
+          if (sb.count(v) > 0) out.insert(v);
+        benchmark::DoNotOptimize(out);
+      }
+    });
+    t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+               Table::num(flat_u * 1e3, 2), Table::num(std_u * 1e3, 2),
+               Table::num(flat_i * 1e3, 2), Table::num(std_i * 1e3, 2)});
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace anon
+
+int main(int argc, char** argv) {
+  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
+}

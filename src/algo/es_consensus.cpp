@@ -22,16 +22,18 @@ EsMessage EsConsensus::initialize() {
 EsMessage EsConsensus::compute(Round k, const Inboxes<EsMessage>& inboxes) {
   if (decision_.has_value()) return proposed_;  // frozen after decide
 
-  const std::set<EsMessage>& msgs = inbox_at(inboxes, k);
+  const InboxView<EsMessage>& msgs = inbox_at(inboxes, k);
   ANON_CHECK_MSG(!msgs.empty(), "own round message must be present");
 
-  // Line 6: WRITTEN := ∩ m.
+  // Line 6: WRITTEN := ∩ m.  Flat-set assignment reuses WRITTEN's
+  // capacity and the intersections run in place: no allocation in steady
+  // state (the old std::set version allocated a tree per message).
   auto it = msgs.begin();
   written_ = *it;
-  for (++it; it != msgs.end(); ++it) written_ = set_intersect(written_, *it);
+  for (++it; it != msgs.end(); ++it) set_intersect_inplace(written_, *it);
 
   // Line 7: PROPOSED := (∪ m) ∪ PROPOSED.
-  for (const EsMessage& m : msgs) proposed_.insert(m.begin(), m.end());
+  for (const EsMessage& m : msgs) set_union_inplace(proposed_, m);
 
   if (k % 2 == 0) {
     // Line 9: decide when the proposal state is unanimous and stable.

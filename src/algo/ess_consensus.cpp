@@ -26,18 +26,18 @@ EssMessage EssConsensus::initialize() {
 EssMessage EssConsensus::compute(Round k, const Inboxes<EssMessage>& inboxes) {
   if (decision_.has_value()) return frozen_;  // decide VAL; halt
 
-  const std::set<EssMessage>& msgs = inbox_at(inboxes, k);
+  const InboxView<EssMessage>& msgs = inbox_at(inboxes, k);
   ANON_CHECK_MSG(!msgs.empty(), "own round message must be present");
 
-  // Line 6: WRITTEN := ∩ m.PROPOSED.
+  // Line 6: WRITTEN := ∩ m.PROPOSED (capacity-reusing assignment, then
+  // in-place intersections — no allocation in steady state).
   auto it = msgs.begin();
   written_ = it->proposed;
   for (++it; it != msgs.end(); ++it)
-    written_ = set_intersect(written_, it->proposed);
+    set_intersect_inplace(written_, it->proposed);
 
   // Line 7: PROPOSED := (∪ m.PROPOSED) ∪ PROPOSED.
-  for (const EssMessage& m : msgs)
-    proposed_.insert(m.proposed.begin(), m.proposed.end());
+  for (const EssMessage& m : msgs) set_union_inplace(proposed_, m.proposed);
 
   // Line 8: ∀H, C[H] := min over messages (absent = 0).
   std::vector<const CounterMap*> maps;
@@ -46,10 +46,14 @@ EssMessage EssConsensus::compute(Round k, const Inboxes<EssMessage>& inboxes) {
   counters_ = CounterMap::min_merge(maps);
 
   // Line 9: snapshot-bump each received history to 1 + its prefix max.
+  // Snapshot semantics without copying the whole map: all bumps are read
+  // from the post-min-merge state first, then applied (two messages with
+  // the same history read the same prefix max, so write order is moot).
   {
-    const CounterMap snapshot = counters_;
+    bumps_.clear();
     for (const EssMessage& m : msgs)
-      counters_.set(m.history, 1 + snapshot.prefix_max(m.history));
+      bumps_.emplace_back(m.history, 1 + counters_.prefix_max(m.history));
+    for (const auto& [h, c] : bumps_) counters_.set(h, c);
   }
   // Extension: drop counter entries dominated by one of their extensions.
   if (opts_.gc_counters) counters_.gc_dominated_prefixes();

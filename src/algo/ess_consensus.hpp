@@ -30,6 +30,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "common/counters.hpp"
 #include "common/history.hpp"
@@ -52,6 +54,23 @@ struct EssMessage {
     if (a.proposed != b.proposed) return a.proposed < b.proposed;
     if (!(a.history == b.history)) return a.history < b.history;
     return a.counters < b.counters;
+  }
+};
+
+// Content digest for payload interning: proposed set, history identity,
+// counter entries.  Collisions are harmless (the interner and the inbox
+// view fall back to content comparison on digest ties).
+template <>
+struct MessageDigest<EssMessage> {
+  static std::uint64_t of(const EssMessage& m) {
+    std::uint64_t h = stable_hash(m.proposed);
+    h = detail::mix_digest(h, m.history.digest());
+    h = detail::mix_digest(h, m.history.length());
+    for (const auto& [hist, c] : m.counters.entries()) {
+      h = detail::mix_digest(h, hist.digest());
+      h = detail::mix_digest(h, c);
+    }
+    return h;
   }
 };
 
@@ -118,6 +137,9 @@ class EssConsensus final : public Automaton<EssMessage> {
   bool self_leader_ = true;  // empty counters: everyone starts as a leader
   std::optional<Value> decision_;
   EssMessage frozen_;
+  // Scratch for the line-9 snapshot bumps (avoids copying the counter map
+  // every round just to get snapshot reads).
+  std::vector<std::pair<History, std::uint64_t>> bumps_;
 };
 
 }  // namespace anon

@@ -26,17 +26,17 @@ OmegaMessage OmegaConsensus::compute(Round k,
                                      const Inboxes<OmegaMessage>& inboxes) {
   if (decision_.has_value()) return frozen_;
 
-  const std::set<OmegaMessage>& msgs = inbox_at(inboxes, k);
+  const InboxView<OmegaMessage>& msgs = inbox_at(inboxes, k);
   ANON_CHECK(!msgs.empty());
 
   auto it = msgs.begin();
   written_ = it->proposed;
   for (++it; it != msgs.end(); ++it)
-    written_ = set_intersect(written_, it->proposed);
+    set_intersect_inplace(written_, it->proposed);
 
   std::set<ProcId> heard;
   for (const OmegaMessage& m : msgs) {
-    proposed_.insert(m.proposed.begin(), m.proposed.end());
+    set_union_inplace(proposed_, m.proposed);
     heard.insert(m.id);
     omega_.merge(m.accusations);
   }

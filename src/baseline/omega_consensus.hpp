@@ -37,6 +37,19 @@ struct OmegaMessage {
 };
 
 template <>
+struct MessageDigest<OmegaMessage> {
+  static std::uint64_t of(const OmegaMessage& m) {
+    std::uint64_t h = stable_hash(m.proposed);
+    h = detail::mix_digest(h, m.id);
+    for (const auto& [p, c] : m.accusations) {
+      h = detail::mix_digest(h, p);
+      h = detail::mix_digest(h, c);
+    }
+    return h;
+  }
+};
+
+template <>
 struct MessageSizeOf<OmegaMessage> {
   static std::size_t size(const OmegaMessage& m) {
     return 16 + 8 * m.proposed.size() + 8 + 16 * m.accusations.size();

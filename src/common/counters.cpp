@@ -10,18 +10,27 @@ CounterMap CounterMap::min_merge(const std::vector<const CounterMap*>& maps) {
   CounterMap out;
   if (maps.empty()) return out;
   // Keys present in every map survive with the min value; a key absent from
-  // any map reads 0 there, so its min is 0 ≡ absent.
+  // any map reads 0 there, so its min is 0 ≡ absent.  All operands are
+  // sorted the same way, so each map contributes one monotone cursor and
+  // the whole merge is linear in the operand sizes.
+  // cursor[0] is unused — maps[0] is the iteration driver below.
+  std::vector<Map::const_iterator> cursor(maps.size());
+  for (std::size_t i = 1; i < maps.size(); ++i) cursor[i] = maps[i]->m_.begin();
+  out.m_.reserve(maps[0]->m_.size());
   for (const auto& [h, c] : maps[0]->m_) {
     std::uint64_t mn = c;
     bool everywhere = true;
-    for (std::size_t i = 1; i < maps.size() && everywhere; ++i) {
-      auto it = maps[i]->m_.find(h);
-      if (it == maps[i]->m_.end())
+    for (std::size_t i = 1; i < maps.size(); ++i) {
+      auto& it = cursor[i];
+      const auto end = maps[i]->m_.end();
+      while (it != end && it->first < h) ++it;
+      if (it == end || !(it->first == h)) {
         everywhere = false;
-      else
-        mn = std::min(mn, it->second);
+        break;
+      }
+      mn = std::min(mn, it->second);
     }
-    if (everywhere && mn > 0) out.m_[h] = mn;
+    if (everywhere && mn > 0) out.m_.emplace_back(h, mn);
   }
   return out;
 }

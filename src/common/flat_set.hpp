@@ -1,0 +1,245 @@
+// A sorted small-buffer flat set — the hot-path replacement for the
+// red-black-tree `std::set` in message payloads and algorithm state.
+//
+// Storage is a single contiguous, always-sorted array of unique elements.
+// The first `InlineN` elements live inside the object (no allocation at
+// all for the small sets the paper's algorithms exchange: |PROPOSED| is
+// bounded by the number of distinct initial values, usually 2–8); larger
+// sets spill to one heap block.  `clear()` keeps capacity, so a set that
+// is rebuilt every round (WRITTEN, the per-round intersection) reaches a
+// zero-allocation steady state.
+//
+// Set algebra (union / intersection / subset) is merge-based: linear
+// two-pointer passes over the sorted arrays instead of per-element tree
+// probes — O(|a|+|b|) comparisons, no node allocations.  See DESIGN.md
+// ("message representation") for the before/after complexity table.
+//
+// Restricted to trivially copyable element types so inserts can memmove
+// and growth can memcpy; `Value` (16 bytes) qualifies.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <iterator>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace anon {
+
+template <typename T, std::size_t InlineN = 4>
+class FlatSet {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "FlatSet requires trivially copyable elements");
+  static_assert(InlineN >= 1);
+
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+  using const_reverse_iterator = std::reverse_iterator<const T*>;
+
+  FlatSet() = default;
+
+  FlatSet(std::initializer_list<T> init) {
+    for (const T& v : init) insert(v);
+  }
+
+  FlatSet(const FlatSet& other) { assign(other); }
+
+  FlatSet(FlatSet&& other) noexcept { steal(std::move(other)); }
+
+  FlatSet& operator=(const FlatSet& other) {
+    if (this != &other) assign(other);
+    return *this;
+  }
+
+  FlatSet& operator=(FlatSet&& other) noexcept {
+    if (this != &other) steal(std::move(other));
+    return *this;
+  }
+
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+  const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Keeps capacity: a set rebuilt every round stops allocating.
+  void clear() { size_ = 0; }
+
+  std::pair<const_iterator, bool> insert(const T& v) {
+    T* base = data();
+    T* pos = std::lower_bound(base, base + size_, v);
+    if (pos != base + size_ && *pos == v) return {pos, false};
+    const std::size_t at = static_cast<std::size_t>(pos - base);
+    if (size_ == cap_) {
+      grow(cap_ * 2);
+      base = data();
+      pos = base + at;
+    }
+    std::memmove(static_cast<void*>(pos + 1), static_cast<const void*>(pos),
+                 (size_ - at) * sizeof(T));
+    *pos = v;
+    ++size_;
+    return {pos, true};
+  }
+
+  template <typename It>
+  void insert(It first, It last) {
+    for (; first != last; ++first) insert(*first);
+  }
+
+  std::size_t erase(const T& v) {
+    T* base = data();
+    T* pos = std::lower_bound(base, base + size_, v);
+    if (pos == base + size_ || !(*pos == v)) return 0;
+    std::memmove(static_cast<void*>(pos), static_cast<const void*>(pos + 1),
+                 (size_ - static_cast<std::size_t>(pos - base) - 1) * sizeof(T));
+    --size_;
+    return 1;
+  }
+
+  bool contains(const T& v) const {
+    const T* pos = std::lower_bound(begin(), end(), v);
+    return pos != end() && *pos == v;
+  }
+
+  std::size_t count(const T& v) const { return contains(v) ? 1 : 0; }
+
+  // --- Merge-based set algebra (all operands sorted-unique by invariant).
+
+  // this := this ∪ other, via one backward in-place merge (no temporary).
+  void union_with(const FlatSet& other) {
+    if (other.empty()) return;
+    if (empty()) {
+      assign(other);
+      return;
+    }
+    // Count elements of `other` not already present.
+    std::size_t fresh = 0;
+    {
+      const T* a = begin();
+      const T* ae = end();
+      for (const T& v : other) {
+        while (a != ae && *a < v) ++a;
+        if (a == ae || v < *a) ++fresh;
+      }
+    }
+    if (fresh == 0) return;
+    reserve(size_ + fresh);
+    // Merge from the back so nothing is overwritten before it is read.
+    T* base = data();
+    std::ptrdiff_t i = static_cast<std::ptrdiff_t>(size_) - 1;
+    std::ptrdiff_t j = static_cast<std::ptrdiff_t>(other.size()) - 1;
+    std::ptrdiff_t out = static_cast<std::ptrdiff_t>(size_ + fresh) - 1;
+    const T* ob = other.begin();
+    while (j >= 0) {
+      if (i >= 0 && ob[j] < base[i]) {
+        base[out--] = base[i--];
+      } else if (i >= 0 && !(base[i] < ob[j])) {  // equal: keep one
+        base[out--] = base[i--];
+        --j;
+      } else {
+        base[out--] = ob[j--];
+      }
+    }
+    size_ += fresh;
+  }
+
+  // this := this ∩ other, by in-place compaction (no allocation).
+  void intersect_with(const FlatSet& other) {
+    T* base = data();
+    const T* b = other.begin();
+    const T* be = other.end();
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      while (b != be && *b < base[i]) ++b;
+      if (b == be) break;
+      if (!(base[i] < *b)) base[out++] = base[i];
+    }
+    size_ = out;
+  }
+
+  // True iff this ⊆ other.
+  bool subset_of(const FlatSet& other) const {
+    const T* b = other.begin();
+    const T* be = other.end();
+    for (const T& v : *this) {
+      while (b != be && *b < v) ++b;
+      if (b == be || v < *b) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const FlatSet& a, const FlatSet& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+  // Lexicographic, matching std::set's container order.
+  friend bool operator<(const FlatSet& a, const FlatSet& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+
+ private:
+  const T* data() const { return heap_ ? heap_.get() : inline_; }
+  T* data() { return heap_ ? heap_.get() : inline_; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(std::max(n, cap_ * 2));
+  }
+
+  void grow(std::size_t new_cap) {
+    // for_overwrite: the capacity is filled by memcpy, don't zero it first.
+    auto bigger = std::make_unique_for_overwrite<T[]>(new_cap);
+    std::memcpy(static_cast<void*>(bigger.get()),
+                static_cast<const void*>(data()), size_ * sizeof(T));
+    heap_ = std::move(bigger);
+    cap_ = new_cap;
+  }
+
+  void assign(const FlatSet& other) {
+    if (other.size_ > cap_) {
+      heap_ = std::make_unique_for_overwrite<T[]>(other.size_);
+      cap_ = other.size_;
+    }
+    std::memcpy(static_cast<void*>(data()),
+                static_cast<const void*>(other.data()),
+                other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  void steal(FlatSet&& other) {
+    if (other.heap_) {
+      heap_ = std::move(other.heap_);
+      cap_ = other.cap_;
+      size_ = other.size_;
+    } else {
+      heap_.reset();
+      cap_ = InlineN;
+      size_ = other.size_;
+      std::memcpy(static_cast<void*>(inline_),
+                  static_cast<const void*>(other.inline_),
+                  other.size_ * sizeof(T));
+    }
+    other.heap_.reset();
+    other.cap_ = InlineN;
+    other.size_ = 0;
+  }
+
+  std::size_t size_ = 0;
+  std::size_t cap_ = InlineN;
+  std::unique_ptr<T[]> heap_;  // engaged iff cap_ > InlineN
+  T inline_[InlineN];
+};
+
+}  // namespace anon

@@ -11,8 +11,9 @@
 #include <cstdint>
 #include <functional>
 #include <ostream>
-#include <set>
 #include <string>
+
+#include "common/flat_set.hpp"
 
 namespace anon {
 
@@ -63,21 +64,33 @@ class Value {
   bool bottom_;
 };
 
-using ValueSet = std::set<Value>;
+// The paper's value sets are tiny (bounded by the number of distinct
+// initial values); a sorted small-buffer flat set makes every per-round
+// union/intersection a short merge pass with no node allocations.
+using ValueSet = FlatSet<Value, 4>;
 
-// Union of two value sets.
+// Union of two value sets (merge-based, see FlatSet::union_with).
 inline ValueSet set_union(const ValueSet& a, const ValueSet& b) {
   ValueSet out = a;
-  out.insert(b.begin(), b.end());
+  out.union_with(b);
   return out;
 }
 
-// Intersection of two value sets.
+// a := a ∪ b, reusing a's storage.
+inline void set_union_inplace(ValueSet& a, const ValueSet& b) {
+  a.union_with(b);
+}
+
+// Intersection of two value sets (merge-based).
 inline ValueSet set_intersect(const ValueSet& a, const ValueSet& b) {
-  ValueSet out;
-  for (const Value& v : a)
-    if (b.count(v) > 0) out.insert(v);
+  ValueSet out = a;
+  out.intersect_with(b);
   return out;
+}
+
+// a := a ∩ b, in place (no allocation).
+inline void set_intersect_inplace(ValueSet& a, const ValueSet& b) {
+  a.intersect_with(b);
 }
 
 // `s \ {⊥}`.
@@ -86,11 +99,22 @@ inline ValueSet minus_bottom(ValueSet s) {
   return s;
 }
 
-// True iff `s ⊆ allowed`.
+// True iff `s ⊆ allowed` (single merge scan).
 inline bool subset_of(const ValueSet& s, const ValueSet& allowed) {
-  for (const Value& v : s)
-    if (allowed.count(v) == 0) return false;
-  return true;
+  return s.subset_of(allowed);
+}
+
+// Deterministic content hash of a sorted value set (order-dependent fold
+// over an already-canonical order, so equal sets hash equal).  Used by the
+// batch interner to dedup message payloads by digest.
+inline std::uint64_t stable_hash(const ValueSet& s) {
+  std::uint64_t h = 0xa0761d6478bd642fULL ^ s.size();
+  for (const Value& v : s) {
+    h ^= v.stable_hash();
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+  }
+  return h;
 }
 
 inline std::string to_string(const ValueSet& s) {

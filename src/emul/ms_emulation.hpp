@@ -47,7 +47,9 @@ struct MsEmulationOptions {
 template <GirafMessage M>
 class MsEmulation {
  public:
-  using Element = std::pair<Round, std::set<M>>;
+  // The weak-set element ⟨round, batch⟩; the batch is a sorted-unique
+  // message vector (canonical, so identical elements still merge).
+  using Element = std::pair<Round, std::vector<M>>;
 
   MsEmulation(std::vector<std::unique_ptr<Automaton<M>>> automatons,
               MsEmulationOptions opt)
@@ -107,7 +109,7 @@ class MsEmulation {
     auto out = procs_[p]->end_of_round();
     trace_.record_end_of_round(p, out.round, tick_);
     PerProcess& st = states_[p];
-    st.in_flight = Element{out.round, out.batch};
+    st.in_flight = Element{out.round, out.batch.copy_messages()};
     const std::uint64_t lat =
         opt_.min_add_latency +
         rng_.below(opt_.max_add_latency - opt_.min_add_latency + 1);

@@ -9,11 +9,10 @@
 #pragma once
 
 #include <concepts>
-#include <map>
 #include <optional>
-#include <set>
 
 #include "common/value.hpp"
+#include "giraf/inbox.hpp"
 #include "giraf/types.hpp"
 
 namespace anon {
@@ -23,18 +22,18 @@ concept GirafMessage = std::regular<M> && requires(const M& a, const M& b) {
   { a < b } -> std::convertible_to<bool>;
 };
 
-// The state variable M_i of Algorithm 1: one set of messages per round.
-// compute() receives the whole map because some algorithms (Algorithm 4's
-// weak-set, line 15) union over *all* rounds, picking up late deliveries.
+// The state variable M_i of Algorithm 1.  The full per-round map of the
+// paper is specialised to the two-round window the algorithms actually
+// read ({k-1, k}); Algorithm 4's all-rounds union (line 15) is served by
+// `InboxWindow::for_each_live`, which still sees every late delivery
+// exactly once (far-late rounds clamp into the k-1 slot).
 template <GirafMessage M>
-using Inboxes = std::map<Round, std::set<M>>;
+using Inboxes = InboxWindow<M>;
 
-// M_i[k] (empty set if nothing received for round k).
+// M_i[k].  Rejects rounds outside the {k-1, k} window (ANON_CHECK).
 template <GirafMessage M>
-const std::set<M>& inbox_at(const Inboxes<M>& inboxes, Round k) {
-  static const std::set<M> kEmpty;
-  auto it = inboxes.find(k);
-  return it == inboxes.end() ? kEmpty : it->second;
+const InboxView<M>& inbox_at(const Inboxes<M>& inboxes, Round k) {
+  return inboxes.at(k);
 }
 
 // Interface implemented by the paper's algorithms (Algorithms 2, 3, 4).
@@ -53,7 +52,8 @@ class Automaton {
 
   // End of round k: `inboxes` is M_i; `inbox_at(inboxes, k)` is the set of
   // round-k messages received so far (always contains the process's own
-  // round-k message).  Returns the round-(k+1) message.
+  // round-k message).  Returns the round-(k+1) message.  The views handed
+  // out here point into `inboxes`; they must not be retained past compute.
   virtual M compute(Round k, const Inboxes<M>& inboxes) = 0;
 
   // Consensus-style decision, if this automaton decides (nullopt otherwise /

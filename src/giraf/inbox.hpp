@@ -1,0 +1,384 @@
+// Message-payload interning and the two-round windowed inbox (the state
+// M_i of Algorithm 1, specialised to what the algorithms actually read).
+//
+// Three pieces (see DESIGN.md, "message representation"):
+//
+//  * `MessageBatch<M>` — an immutable, sorted-unique message payload with a
+//    content digest, shared by every receiver of one (sender, round)
+//    broadcast.  `BatchInterner<M>` deduplicates payloads per engine round,
+//    so behaviourally-identical senders (the anonymity collapse case, and
+//    every decided process re-broadcasting its frozen message) share ONE
+//    payload object network-wide.
+//
+//  * `InboxView<M>` — the set of messages of one round, materialised as a
+//    digest-ordered array of pointers into the shared batches.  Receiving a
+//    batch appends one pointer; deduplication happens once per read via a
+//    digest sort (content comparisons only on digest ties), not via
+//    per-element tree inserts with deep set-of-set comparisons.
+//
+//  * `InboxWindow<M>` — replaces the unbounded `std::map<Round, std::set<M>>`
+//    per-process inbox map.  GIRAF's consensus algorithms only ever read the
+//    round being completed (and the weak-set additionally unions everything
+//    still live), so the window keeps exactly the rounds {k-1, k, k+1} in a
+//    4-slot ring: k is the round being read, k+1 collects the own/early
+//    messages of the next round, k-1 holds stragglers.  Reads outside
+//    {k-1, k} are rejected (ANON_CHECK).  Writes clamp far-late rounds into
+//    the k-1 slot (they are never read round-indexed; the weak-set's
+//    all-rounds union still sees them exactly once) and park far-early
+//    rounds (unsynchronised engines: MS emulation, realtime) in an overflow
+//    map that migrates into the ring as the window slides.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/value.hpp"
+#include "giraf/types.hpp"
+
+namespace anon {
+
+// Content digest of a message, for payload interning and view ordering.
+// The fallback constant is CORRECT but slow (interning and inbox dedup
+// degrade to pure content comparisons); specialise for hot message types.
+template <typename M>
+struct MessageDigest {
+  static std::uint64_t of(const M&) { return 0; }
+};
+
+template <>
+struct MessageDigest<ValueSet> {
+  static std::uint64_t of(const ValueSet& s) { return stable_hash(s); }
+};
+
+namespace detail {
+inline std::uint64_t mix_digest(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+// The canonical whole-batch digest: a fold over the per-message digests in
+// canonical (digest, content) order.  Shared by make_batch and the
+// interner so the two fold definitions can never drift apart.
+inline std::uint64_t fold_batch_digest(std::size_t count,
+                                       const std::uint64_t* digests) {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL ^ count;
+  for (std::size_t i = 0; i < count; ++i) h = mix_digest(h, digests[i]);
+  return h;
+}
+}  // namespace detail
+
+// One broadcast payload: the sorted-unique messages of a sender's round
+// batch, with per-message digests and a whole-batch digest.  Immutable
+// after construction; shared across all receivers via shared_ptr.
+template <typename M>
+struct MessageBatch {
+  std::vector<M> msgs;                   // sorted by (digest, content)
+  std::vector<std::uint64_t> digests;    // parallel to msgs
+  std::uint64_t digest = 0;              // fold over digests (canonical order)
+
+  std::size_t size() const { return msgs.size(); }
+};
+
+template <typename M>
+using SharedBatch = std::shared_ptr<const MessageBatch<M>>;
+
+namespace detail {
+
+template <typename M>
+bool digest_content_less(std::uint64_t da, const M& a, std::uint64_t db,
+                         const M& b) {
+  if (da != db) return da < db;
+  return a < b;
+}
+
+// Canonicalise `msgs` into a batch: sort by (digest, content), dedup,
+// fold the batch digest.
+template <typename M>
+MessageBatch<M> make_batch(std::vector<M> msgs) {
+  MessageBatch<M> b;
+  std::vector<std::pair<std::uint64_t, M>> tagged;
+  tagged.reserve(msgs.size());
+  for (M& m : msgs) tagged.emplace_back(MessageDigest<M>::of(m), std::move(m));
+  std::sort(tagged.begin(), tagged.end(),
+            [](const auto& x, const auto& y) {
+              return digest_content_less(x.first, x.second, y.first, y.second);
+            });
+  b.msgs.reserve(tagged.size());
+  b.digests.reserve(tagged.size());
+  for (auto& [d, m] : tagged) {
+    if (!b.msgs.empty() && b.digests.back() == d && b.msgs.back() == m)
+      continue;  // duplicate content
+    b.msgs.push_back(std::move(m));
+    b.digests.push_back(d);
+  }
+  b.digest = fold_batch_digest(b.digests.size(), b.digests.data());
+  return b;
+}
+
+}  // namespace detail
+
+// The message set of one round, as pointers into shared batches.  Ordered
+// by (digest, content) — deterministic because digests are content-derived
+// — so identical runs iterate identically.  Views are cheap to copy
+// (pointer array); the pointed-to messages live in the batches, which the
+// owning inbox slot keeps alive.  A view returned out of the inbox (e.g.
+// `Outgoing::batch`) is valid until the process's next receive/end-of-round.
+template <typename M>
+class InboxView {
+ public:
+  class const_iterator {
+   public:
+    using value_type = M;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const M*;
+    using reference = const M&;
+    using iterator_category = std::forward_iterator_tag;
+
+    const_iterator() = default;
+    explicit const_iterator(const std::pair<std::uint64_t, const M*>* p)
+        : p_(p) {}
+    const M& operator*() const { return *p_->second; }
+    const M* operator->() const { return p_->second; }
+    const_iterator& operator++() {
+      ++p_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator t = *this;
+      ++p_;
+      return t;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.p_ == b.p_;
+    }
+
+   private:
+    const std::pair<std::uint64_t, const M*>* p_ = nullptr;
+  };
+
+  const_iterator begin() const { return const_iterator(items_.data()); }
+  const_iterator end() const {
+    return const_iterator(items_.data() + items_.size());
+  }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  // Membership by content (binary search on digest, content compare on
+  // digest ties).  Returns 0 or 1 — the view is a set.
+  std::size_t count(const M& m) const {
+    const std::uint64_t d = MessageDigest<M>::of(m);
+    auto it = std::lower_bound(
+        items_.begin(), items_.end(), d,
+        [](const auto& e, std::uint64_t key) { return e.first < key; });
+    for (; it != items_.end() && it->first == d; ++it)
+      if (*it->second == m) return 1;
+    return 0;
+  }
+
+  // Copies the messages out (for engines that store batches by value).
+  std::vector<M> copy_messages() const {
+    std::vector<M> out;
+    out.reserve(items_.size());
+    for (const auto& [d, m] : items_) out.push_back(*m);
+    return out;
+  }
+
+  // The cached (digest, message) pairs in canonical order — lets the
+  // interner reuse digests instead of recomputing them per receiver.
+  const std::vector<std::pair<std::uint64_t, const M*>>& items() const {
+    return items_;
+  }
+
+ private:
+  template <typename>
+  friend class InboxWindow;
+  std::vector<std::pair<std::uint64_t, const M*>> items_;
+};
+
+// Per-round payload interner.  `round_reset()` drops the index each engine
+// round (payloads stay alive through their shared_ptrs); within a round,
+// content-equal batches from different senders resolve to one object, so
+// receiver-side dedup is a pointer compare.
+template <typename M>
+class BatchInterner {
+ public:
+  // Interns the batch described by `view` (a just-produced outgoing round
+  // batch).  Returns the canonical shared payload for its content.  The
+  // view's cached per-message digests are reused, so an intern hit costs
+  // one digest fold plus (on digest collision only) a content compare.
+  SharedBatch<M> intern(const InboxView<M>& view) {
+    digest_scratch_.clear();
+    for (const auto& [d, m] : view.items()) digest_scratch_.push_back(d);
+    const std::uint64_t digest = detail::fold_batch_digest(
+        digest_scratch_.size(), digest_scratch_.data());
+    auto& bucket = by_digest_[digest];
+    for (const SharedBatch<M>& b : bucket)
+      if (b->size() == view.size() &&
+          std::equal(b->msgs.begin(), b->msgs.end(), view.begin()))
+        return b;
+    // Miss: copy the view out.  It is already in canonical (digest,
+    // content) sorted-unique order, so the batch is built directly.
+    auto batch = std::make_shared<MessageBatch<M>>();
+    batch->msgs.reserve(view.size());
+    batch->digests.reserve(view.size());
+    for (const auto& [d, m] : view.items()) {
+      batch->msgs.push_back(*m);
+      batch->digests.push_back(d);
+    }
+    batch->digest = digest;
+    bucket.push_back(batch);
+    return batch;
+  }
+
+  void round_reset() { by_digest_.clear(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<SharedBatch<M>>> by_digest_;
+  std::vector<std::uint64_t> digest_scratch_;  // reused across interns
+};
+
+// The windowed inbox.  `round()` is k_i; readable rounds are {k-1, k}.
+template <typename M>
+class InboxWindow {
+ public:
+  Round round() const { return cur_; }
+
+  // M_i[k].  Rejects reads outside the {k-1, k} window — the algorithms
+  // never read other rounds, and the storage for them is gone.
+  const InboxView<M>& at(Round k) const {
+    ANON_CHECK_MSG(readable(k),
+                   "inbox read outside the {k-1, k} round window");
+    return slot(k).materialize();
+  }
+
+  bool readable(Round k) const {
+    return k >= 1 && k <= cur_ && k + 1 >= cur_;
+  }
+
+  // Every live round oldest-first (window slots, then early-round
+  // overflow): the weak-set's line-15 all-rounds union.
+  template <typename Fn>
+  void for_each_live(Fn fn) const {
+    for (Round k = (cur_ >= 2 ? cur_ - 1 : Round{1}); k <= cur_ + 1; ++k) {
+      const Slot& s = slot(k);
+      if (!s.empty()) fn(k, s.materialize());
+    }
+    for (const auto& [k, s] : future_)
+      if (!s.empty()) fn(k, s.materialize());
+  }
+
+  // Receive a shared (interned) batch for round k.
+  void add_shared(SharedBatch<M> batch, Round k) {
+    ANON_CHECK(k >= 1);
+    writable_slot(k).parts.push_back(std::move(batch));
+  }
+
+  // Receive messages by value (unsynchronised engines, tests): wrapped
+  // into a private batch.
+  void add_local(std::vector<M> msgs, Round k) {
+    ANON_CHECK(k >= 1);
+    add_shared(std::make_shared<MessageBatch<M>>(
+                   detail::make_batch(std::move(msgs))),
+               k);
+  }
+
+  // Single-message fast path (the own round message, every round): builds
+  // the batch directly — a one-element batch is trivially canonical.
+  void add_local(M m, Round k) {
+    ANON_CHECK(k >= 1);
+    auto batch = std::make_shared<MessageBatch<M>>();
+    batch->digests.push_back(MessageDigest<M>::of(m));
+    batch->msgs.push_back(std::move(m));
+    batch->digest =
+        detail::fold_batch_digest(1, batch->digests.data());
+    add_shared(std::move(batch), k);
+  }
+
+  // Slides the window forward: the current round becomes `k` and slots
+  // that fell out of {k-1, k, k+1} are dropped.
+  void advance_to(Round k) {
+    ANON_CHECK(k >= cur_);
+    while (cur_ < k) {
+      ++cur_;
+      if (cur_ >= 2) ring_[slot_index(cur_ - 2)].clear();
+      auto it = future_.find(cur_ + 1);
+      if (it != future_.end()) {
+        ring_[slot_index(cur_ + 1)].absorb(std::move(it->second));
+        future_.erase(it);
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    std::vector<SharedBatch<M>> parts;
+    mutable InboxView<M> view;
+    mutable std::size_t merged_parts = 0;  // parts already in `view`
+
+    bool empty() const { return parts.empty(); }
+
+    void clear() {
+      parts.clear();
+      view.items_.clear();
+      merged_parts = 0;
+    }
+
+    void absorb(Slot&& other) {
+      for (auto& b : other.parts) parts.push_back(std::move(b));
+      other.clear();
+    }
+
+    // Rebuilds the merged view if new parts arrived since the last read.
+    // Cost: one (digest, content)-sort over the accumulated pointers; a
+    // pointer-equal part pair (the interner collapse case) dedups without
+    // any content comparison, since equal pointers yield equal digests.
+    const InboxView<M>& materialize() const {
+      if (merged_parts == parts.size()) return view;
+      auto& items = view.items_;
+      items.clear();
+      std::size_t total = 0;
+      for (const auto& b : parts) total += b->size();
+      items.reserve(total);
+      for (const auto& b : parts)
+        for (std::size_t i = 0; i < b->msgs.size(); ++i)
+          items.emplace_back(b->digests[i], &b->msgs[i]);
+      std::sort(items.begin(), items.end(), [](const auto& x, const auto& y) {
+        return detail::digest_content_less(x.first, *x.second, y.first,
+                                           *y.second);
+      });
+      items.erase(std::unique(items.begin(), items.end(),
+                              [](const auto& x, const auto& y) {
+                                return x.first == y.first &&
+                                       (x.second == y.second ||
+                                        *x.second == *y.second);
+                              }),
+                  items.end());
+      merged_parts = parts.size();
+      return view;
+    }
+  };
+
+  std::size_t slot_index(Round k) const {
+    return static_cast<std::size_t>(k & 3);
+  }
+
+  const Slot& slot(Round k) const { return ring_[slot_index(k)]; }
+
+  Slot& writable_slot(Round k) {
+    if (cur_ >= 2 && k < cur_ - 1) k = cur_ - 1;  // clamp far-late rounds
+    if (k > cur_ + 1) return future_[k];          // park far-early rounds
+    return ring_[slot_index(k)];
+  }
+
+  Slot ring_[4];
+  std::map<Round, Slot> future_;  // rounds > cur_ + 1 (unsynchronised only)
+  Round cur_ = 0;
+};
+
+}  // namespace anon

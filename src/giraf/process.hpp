@@ -1,6 +1,7 @@
 // Per-process engine of the extended GIRAF framework (Algorithm 1).
 //
-// States:    k_i ∈ ℕ (round), M_i[ℕ] ⊆ Messages (set-valued inboxes).
+// States:    k_i ∈ ℕ (round), M_i ⊆ Messages (set-valued windowed inboxes,
+//            see giraf/inbox.hpp).
 // Actions:   input end-of-round_i  — runs initialize()/compute(), stores the
 //            produced message into M_i[k_i+1], advances k_i and *outputs*
 //            send(⟨M_i[k_i], k_i⟩): note the whole round-k_i *set* is sent,
@@ -12,14 +13,14 @@
 // these actions fire; rounds need not be synchronized across processes.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <utility>
+#include <vector>
 
 #include "common/check.hpp"
 #include "giraf/automaton.hpp"
+#include "giraf/inbox.hpp"
 #include "giraf/types.hpp"
 
 namespace anon {
@@ -28,8 +29,10 @@ template <GirafMessage M>
 class GirafProcess {
  public:
   struct Outgoing {
-    std::set<M> batch;  // M_i[k_i] — own round message plus relayed ones
-    Round round;        // k_i
+    // M_i[k_i] — own round message plus relayed ones.  A view into the
+    // inbox window: valid until this process's next receive/end_of_round.
+    InboxView<M> batch;
+    Round round;  // k_i
   };
 
   explicit GirafProcess(std::unique_ptr<Automaton<M>> automaton)
@@ -40,22 +43,30 @@ class GirafProcess {
   // input end-of-round_i (Algorithm 1 lines 5–12).
   Outgoing end_of_round() {
     M m = (k_ == 0) ? automaton_->initialize() : automaton_->compute(k_, inboxes_);
-    inboxes_[k_ + 1].insert(m);
+    inboxes_.add_local(std::move(m), k_ + 1);
     ++k_;
+    inboxes_.advance_to(k_);
     check_decision_stability();
-    return Outgoing{inboxes_[k_], k_};
+    return Outgoing{inboxes_.at(k_), k_};
   }
 
-  // input receive(⟨M, k⟩)_i (Algorithm 1 lines 13–14).
-  void receive(const std::set<M>& batch, Round k) {
+  // input receive(⟨M, k⟩)_i (Algorithm 1 lines 13–14): the zero-copy path
+  // — the shared payload is referenced, not copied.
+  void receive(SharedBatch<M> batch, Round k) {
     ANON_CHECK(k >= 1);
-    inboxes_[k].insert(batch.begin(), batch.end());
+    inboxes_.add_shared(std::move(batch), k);
+  }
+
+  // By-value path for unsynchronised engines and tests.
+  void receive(std::vector<M> batch, Round k) {
+    ANON_CHECK(k >= 1);
+    inboxes_.add_local(std::move(batch), k);
   }
 
   Round round() const { return k_; }
 
-  // M_i[k]; empty set if nothing received for round k.
-  const std::set<M>& inbox(Round k) const { return inbox_at(inboxes_, k); }
+  // M_i[k]; only rounds {k_i - 1, k_i} are retained and readable.
+  const InboxView<M>& inbox(Round k) const { return inboxes_.at(k); }
 
   const Inboxes<M>& inboxes() const { return inboxes_; }
 
@@ -63,13 +74,6 @@ class GirafProcess {
 
   const Automaton<M>& automaton() const { return *automaton_; }
   Automaton<M>& automaton() { return *automaton_; }
-
-  // Drop inboxes for rounds < `round` (memory hygiene for long benches;
-  // Algorithm 2/3 never reread old rounds.  Algorithm 4 unions over all
-  // rounds but keeps its own running union, see MsWeakSetAutomaton).
-  void forget_rounds_before(Round round) {
-    inboxes_.erase(inboxes_.begin(), inboxes_.lower_bound(round));
-  }
 
  private:
   void check_decision_stability() {

@@ -23,7 +23,6 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "common/check.hpp"
@@ -51,7 +50,6 @@ struct LockstepOptions {
   Round relay_extra_delay = 2;  // extra rounds for relayed final messages
   bool record_trace = true;     // end-of-round / crash events
   bool record_deliveries = true;  // delivery events (can be voluminous)
-  bool forget_old_rounds = true;  // drop inboxes of completed rounds
   HaltPolicy halt_policy = HaltPolicy::kContinueForever;
 };
 
@@ -132,25 +130,27 @@ class LockstepNet {
   }
 
  private:
-  // A sender's round-k batch is stored once (shared immutable payload);
-  // each receiver's calendar entry is pointer-sized.  Delivering round-k
-  // broadcasts therefore costs O(n²) entries, not O(n² · sizeof(M)) copies.
-  using Batch = std::set<M>;
+  // A sender's round-k batch is interned once per round (shared immutable
+  // payload, deduplicated ACROSS senders by content digest); each
+  // receiver's calendar entry is pointer-sized and receiver-side inbox
+  // dedup is a pointer/digest compare, not a set-of-sets comparison.
   struct Pending {
     ProcId receiver;
     ProcId sender;
     Round msg_round;
-    std::shared_ptr<const Batch> payload;
+    SharedBatch<M> payload;
   };
 
   void bootstrap() {
     decision_round_.assign(n_, kNoRound);
+    interner_.round_reset();
     for (ProcId p = 0; p < n_; ++p) step_eor(p, /*k=*/1);
     round_ = 1;
   }
 
   void advance_round() {
     const Round next = round_ + 1;
+    interner_.round_reset();  // payload sharing is per (content, round)
     for (ProcId p = 0; p < n_; ++p) {
       if (!crashes_.executes_eor(p, next)) continue;  // crashed earlier
       if (halted_[p]) continue;                       // literal halt
@@ -169,7 +169,7 @@ class LockstepNet {
 
     std::size_t batch_bytes = 0;
     for (const M& m : out.batch) batch_bytes += MessageSizeOf<M>::size(m);
-    const auto payload = std::make_shared<const Batch>(std::move(out.batch));
+    const SharedBatch<M> payload = interner_.intern(out.batch);
 
     const bool crashing = crashes_.crash_round(p) == k;
     for (ProcId q = 0; q < n_; ++q) {
@@ -185,8 +185,6 @@ class LockstepNet {
       bytes_sent_ += batch_bytes;
       calendar_.schedule(k + d, Pending{q, p, k, payload});
     }
-    if (opt_.forget_old_rounds && k >= 2)
-      procs_[p]->forget_rounds_before(k - 1);
   }
 
   void deliver_due(Round r) {
@@ -194,7 +192,7 @@ class LockstepNet {
     for (const Pending& d : calendar_.take_due()) {
       if (!crashes_.receives_in_round(d.receiver, r)) continue;  // dead
       if (halted_[d.receiver]) continue;
-      procs_[d.receiver]->receive(*d.payload, d.msg_round);
+      procs_[d.receiver]->receive(d.payload, d.msg_round);
       deliveries_ += d.payload->size();
       if (opt_.record_trace && opt_.record_deliveries)
         trace_.record_delivery(d.sender, d.msg_round, d.receiver,
@@ -218,6 +216,7 @@ class LockstepNet {
   Trace trace_;
   Round round_ = 0;
   RoundCalendar<Pending> calendar_;
+  BatchInterner<M> interner_;
   std::vector<bool> halted_;
   std::vector<Round> decision_round_;
   std::uint64_t deliveries_ = 0;

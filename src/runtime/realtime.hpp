@@ -12,6 +12,7 @@
 // Wire frame:  u64 round | u32 batch_count | { u32 len | message bytes }*
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <functional>
@@ -146,7 +147,11 @@ class RealtimeCluster {
     auto round = r.u64();
     auto count = r.u32();
     if (!round || !count || *round == 0) return;  // malformed: drop
-    std::set<M> batch;
+    std::vector<M> batch;
+    // A corrupt count must not drive a huge allocation; every message
+    // occupies at least its u32 length prefix, so the frame size bounds
+    // any plausible count (oversized frames fail decode below anyway).
+    batch.reserve(std::min<std::size_t>(*count, frame.size() / 4 + 1));
     for (std::uint32_t i = 0; i < *count; ++i) {
       auto len = r.u32();
       if (!len) return;
@@ -159,9 +164,9 @@ class RealtimeCluster {
       }
       auto m = Codec::decode(body, arena);
       if (!m) return;
-      batch.insert(*m);
+      batch.push_back(std::move(*m));
     }
-    proc.receive(batch, *round);
+    proc.receive(std::move(batch), *round);
   }
 
   BroadcastBus* bus_;

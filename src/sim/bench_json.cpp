@@ -1,0 +1,79 @@
+#include "sim/bench_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace anon {
+
+namespace {
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out + "\"";
+}
+}  // namespace
+
+void BenchJson::set(const std::string& key, std::uint64_t v) {
+  put(key, std::to_string(v));
+}
+
+void BenchJson::set(const std::string& key, double v) {
+  if (!std::isfinite(v)) {
+    put(key, "null");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  put(key, buf);
+}
+
+void BenchJson::set(const std::string& key, const std::string& v) {
+  put(key, quote(v));
+}
+
+void BenchJson::put(const std::string& key, std::string rendered) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(rendered);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(rendered));
+}
+
+std::string BenchJson::to_string() const {
+  std::string out = "{\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out += "  " + quote(entries_[i].first) + ": " + entries_[i].second;
+    if (i + 1 < entries_.size()) out += ",";
+    out += "\n";
+  }
+  return out + "}\n";
+}
+
+bool BenchJson::write(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_string();
+  return static_cast<bool>(f);
+}
+
+}  // namespace anon

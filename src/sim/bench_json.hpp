@@ -1,0 +1,34 @@
+// Machine-readable experiment results: a flat ordered key→value record
+// written as one JSON object, so the perf trajectory of the benches can be
+// tracked across PRs (BENCH_E1.json, BENCH_E10.json at the repo root).
+//
+// Values are numbers (uint64/double) or strings; insertion order is
+// preserved so the emitted file diffs cleanly between runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace anon {
+
+class BenchJson {
+ public:
+  void set(const std::string& key, std::uint64_t v);
+  void set(const std::string& key, double v);
+  void set(const std::string& key, const std::string& v);
+
+  // The serialized JSON object (two-space indent, trailing newline).
+  std::string to_string() const;
+
+  // Writes to `path`; returns false (and leaves no partial file behind at
+  // success) if the file cannot be opened.
+  bool write(const std::string& path) const;
+
+ private:
+  void put(const std::string& key, std::string rendered);
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace anon

@@ -28,20 +28,21 @@ void MsWeakSetAutomaton::start_add(Value v) {
 }
 
 ValueSet MsWeakSetAutomaton::compute(Round k, const Inboxes<ValueSet>& inboxes) {
-  // Line 14: WRITTEN := ∩ of this round's messages.
-  const std::set<ValueSet>& msgs = inbox_at(inboxes, k);
+  // Line 14: WRITTEN := ∩ of this round's messages (capacity-reusing
+  // assignment, then in-place intersections).
+  const InboxView<ValueSet>& msgs = inbox_at(inboxes, k);
   ANON_CHECK(!msgs.empty());
   auto it = msgs.begin();
   written_ = *it;
-  for (++it; it != msgs.end(); ++it) written_ = set_intersect(written_, *it);
+  for (++it; it != msgs.end(); ++it) set_intersect_inplace(written_, *it);
 
-  // Line 15: PROPOSED ∪= messages of ALL rounds (late deliveries count;
-  // the engine may forget old inboxes only after this compute has seen
-  // them, so unioning the currently-present map is lossless).
-  for (const auto& [round, batch] : inboxes) {
-    (void)round;
-    for (const ValueSet& m : batch) proposed_.insert(m.begin(), m.end());
-  }
+  // Line 15: PROPOSED ∪= messages of ALL live rounds (late deliveries
+  // count; the window clamps far-late rounds into the k-1 slot and only
+  // drops a slot after the compute that follows its delivery, so every
+  // delivered message is unioned here at least once).
+  inboxes.for_each_live([this](Round, const InboxView<ValueSet>& batch) {
+    for (const ValueSet& m : batch) set_union_inplace(proposed_, m);
+  });
 
   // Line 16: an in-flight add completes once its value is written.
   if (block_ && written_.count(val_) > 0) block_ = false;

@@ -145,15 +145,16 @@ TEST(EsConsensus, FrozenAfterDecision) {
   Inboxes<EsMessage> inboxes;
   EsMessage m = {};
   for (Round k = 1; k <= 6 && !a.decision(); ++k) {
-    inboxes[k].insert(m);
+    inboxes.advance_to(k);
+    inboxes.add_local(m, k);
     m = a.compute(k, inboxes);
   }
   ASSERT_TRUE(a.decision().has_value());
   EXPECT_EQ(*a.decision(), Value(5));
   // Further computes return the frozen proposal and keep the decision.
-  Inboxes<EsMessage> more;
-  more[7].insert(m);
-  EsMessage frozen = a.compute(7, more);
+  inboxes.advance_to(7);
+  inboxes.add_local(m, 7);
+  EsMessage frozen = a.compute(7, inboxes);
   EXPECT_EQ(frozen, (ValueSet{Value(5)}));
   EXPECT_EQ(*a.decision(), Value(5));
 }

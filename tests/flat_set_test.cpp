@@ -1,0 +1,150 @@
+// FlatSet/FlatValueSet property tests: the flat sorted small-buffer set
+// must agree operation-for-operation with the previous `std::set<Value>`
+// representation on randomized inputs (PR 2 tentpole regression).
+#include "common/flat_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/value.hpp"
+
+namespace anon {
+namespace {
+
+using StdSet = std::set<Value>;
+
+std::vector<Value> to_vector(const ValueSet& s) {
+  return std::vector<Value>(s.begin(), s.end());
+}
+std::vector<Value> to_vector(const StdSet& s) {
+  return std::vector<Value>(s.begin(), s.end());
+}
+
+// Reference implementations — the pre-refactor set algebra, verbatim.
+StdSet ref_union(const StdSet& a, const StdSet& b) {
+  StdSet out = a;
+  out.insert(b.begin(), b.end());
+  return out;
+}
+StdSet ref_intersect(const StdSet& a, const StdSet& b) {
+  StdSet out;
+  for (const Value& v : a)
+    if (b.count(v) > 0) out.insert(v);
+  return out;
+}
+bool ref_subset(const StdSet& s, const StdSet& allowed) {
+  for (const Value& v : s)
+    if (allowed.count(v) == 0) return false;
+  return true;
+}
+
+Value random_value(Rng& rng) {
+  if (rng.chance(0.1)) return Value::Bottom();
+  // A narrow range provokes collisions, duplicates, and overlaps.
+  return Value(rng.range(-8, 8));
+}
+
+TEST(FlatSet, RandomizedInsertEraseAgreesWithStdSet) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    ValueSet flat;
+    StdSet ref;
+    for (int op = 0; op < 60; ++op) {
+      const Value v = random_value(rng);
+      if (rng.chance(0.25)) {
+        EXPECT_EQ(flat.erase(v), ref.erase(v));
+      } else {
+        const bool inserted_flat = flat.insert(v).second;
+        const bool inserted_ref = ref.insert(v).second;
+        EXPECT_EQ(inserted_flat, inserted_ref);
+      }
+      ASSERT_EQ(flat.size(), ref.size());
+      EXPECT_EQ(to_vector(flat), to_vector(ref));  // same sorted order
+      EXPECT_EQ(flat.count(v), ref.count(v));
+      EXPECT_EQ(flat.empty(), ref.empty());
+    }
+  }
+}
+
+TEST(FlatSet, RandomizedAlgebraAgreesWithStdSet) {
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    ValueSet fa, fb;
+    StdSet ra, rb;
+    const int na = static_cast<int>(rng.below(10));
+    const int nb = static_cast<int>(rng.below(10));
+    for (int i = 0; i < na; ++i) {
+      const Value v = random_value(rng);
+      fa.insert(v);
+      ra.insert(v);
+    }
+    for (int i = 0; i < nb; ++i) {
+      const Value v = random_value(rng);
+      fb.insert(v);
+      rb.insert(v);
+    }
+    EXPECT_EQ(to_vector(set_union(fa, fb)), to_vector(ref_union(ra, rb)));
+    EXPECT_EQ(to_vector(set_intersect(fa, fb)),
+              to_vector(ref_intersect(ra, rb)));
+    EXPECT_EQ(subset_of(fa, fb), ref_subset(ra, rb));
+    EXPECT_EQ(subset_of(fa, set_union(fa, fb)), true);
+    {
+      StdSet rm = ra;
+      rm.erase(Value::Bottom());
+      EXPECT_EQ(to_vector(minus_bottom(fa)), to_vector(rm));
+    }
+    // In-place variants agree with the out-of-place ones.
+    ValueSet u = fa;
+    set_union_inplace(u, fb);
+    EXPECT_EQ(u, set_union(fa, fb));
+    ValueSet x = fa;
+    set_intersect_inplace(x, fb);
+    EXPECT_EQ(x, set_intersect(fa, fb));
+    // Ordering/equality agree with the reference container semantics.
+    EXPECT_EQ(fa == fb, ra == rb);
+    EXPECT_EQ(fa < fb, ra < rb);
+    // Equal sets hash equal; the digest is content-only.
+    if (fa == fb) {
+      EXPECT_EQ(stable_hash(fa), stable_hash(fb));
+    }
+  }
+}
+
+TEST(FlatSet, GrowsPastInlineCapacityAndBack) {
+  ValueSet s;
+  for (int i = 0; i < 100; ++i) s.insert(Value(i));
+  EXPECT_EQ(s.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.count(Value(i)), 1u);
+  EXPECT_EQ(s.rbegin()->get(), 99);
+  for (int i = 0; i < 100; i += 2) s.erase(Value(i));
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(s.count(Value(4)), 0u);
+  EXPECT_EQ(s.count(Value(5)), 1u);
+  // Copy/move preserve content across the heap/inline boundary.
+  ValueSet copy = s;
+  EXPECT_EQ(copy, s);
+  ValueSet moved = std::move(copy);
+  EXPECT_EQ(moved, s);
+  ValueSet small{Value(1), Value(2)};
+  ValueSet small_copy = small;
+  EXPECT_EQ(small_copy, small);
+  small_copy = s;  // inline → heap assignment
+  EXPECT_EQ(small_copy, s);
+  s = small;  // heap → inline-sized assignment
+  EXPECT_EQ(s, small);
+}
+
+TEST(FlatSet, ClearKeepsNoElements) {
+  ValueSet s{Value(1), Value(2), Value(3)};
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.begin(), s.end());
+  s.insert(Value(9));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+}  // namespace
+}  // namespace anon

@@ -90,19 +90,19 @@ TEST(Giraf, LateDeliveryLandsInOldRoundSlot) {
   EXPECT_EQ(p.inbox(2).count(ValueSet{Value(4)}), 0u);
 }
 
-TEST(Giraf, ForgetRoundsBefore) {
+TEST(Giraf, WindowedInboxKeepsExactlyTwoReadableRounds) {
   GirafProcess<ValueSet> p(std::make_unique<EchoUnion>(1));
   p.end_of_round();
   p.end_of_round();
-  p.end_of_round();  // round 3
-  EXPECT_FALSE(p.inbox(1).empty());
-  p.forget_rounds_before(3);
-  EXPECT_TRUE(p.inbox(1).empty());
-  EXPECT_TRUE(p.inbox(2).empty());
+  p.end_of_round();  // round 3: readable window is {2, 3}
   EXPECT_FALSE(p.inbox(3).empty());
-  // Late messages for forgotten rounds still land (slot re-created).
+  EXPECT_FALSE(p.inbox(2).empty());  // k-1 still readable
+  EXPECT_THROW(p.inbox(1), CheckFailure);  // dropped by the window
+  EXPECT_THROW(p.inbox(4), CheckFailure);  // next round: write-only
+  // Far-late messages clamp into the k-1 slot (they are only ever read by
+  // the weak-set's all-rounds union, which treats rounds uniformly).
   p.receive({ValueSet{Value(8)}}, 1);
-  EXPECT_EQ(p.inbox(1).size(), 1u);
+  EXPECT_EQ(p.inbox(2).count(ValueSet{Value(8)}), 1u);
 }
 
 // An automaton that decides and must keep its decision stable.

@@ -1,0 +1,158 @@
+// InboxWindow / InboxView / BatchInterner semantics (PR 2 tentpole):
+// two-round read window, late-round clamping, early-round overflow,
+// payload interning, and view determinism.
+#include "giraf/inbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/value.hpp"
+
+namespace anon {
+namespace {
+
+ValueSet vs(std::initializer_list<std::int64_t> xs) {
+  ValueSet s;
+  for (auto x : xs) s.insert(Value(x));
+  return s;
+}
+
+TEST(InboxWindow, RejectsReadsOutsideTheTwoRoundWindow) {
+  InboxWindow<ValueSet> w;
+  w.advance_to(5);
+  w.add_local(vs({1}), 5);
+  w.add_local(vs({2}), 4);
+  EXPECT_EQ(w.at(5).size(), 1u);
+  EXPECT_EQ(w.at(4).size(), 1u);
+  // Outside {k-1, k}: the regression the windowed inbox must keep.
+  EXPECT_THROW(w.at(3), CheckFailure);
+  EXPECT_THROW(w.at(6), CheckFailure);
+  EXPECT_THROW(w.at(0), CheckFailure);
+  w.advance_to(6);
+  EXPECT_NO_THROW(w.at(5));
+  EXPECT_THROW(w.at(4), CheckFailure);
+}
+
+TEST(InboxWindow, FarLateWritesClampIntoTheOldestReadableSlot) {
+  InboxWindow<ValueSet> w;
+  w.advance_to(10);
+  w.add_local(vs({7}), 2);  // nine rounds late
+  EXPECT_EQ(w.at(9).count(vs({7})), 1u);
+  EXPECT_EQ(w.at(10).count(vs({7})), 0u);
+}
+
+TEST(InboxWindow, FarEarlyWritesWaitInOverflowAndMigrate) {
+  InboxWindow<ValueSet> w;
+  w.advance_to(1);
+  w.add_local(vs({3}), 7);  // an unsynchronised peer is six rounds ahead
+  EXPECT_THROW(w.at(7), CheckFailure);  // not readable yet
+  w.advance_to(7);
+  EXPECT_EQ(w.at(7).count(vs({3})), 1u);
+}
+
+TEST(InboxWindow, ForEachLiveSeesWindowAndOverflowOnce) {
+  InboxWindow<ValueSet> w;
+  w.advance_to(4);
+  w.add_local(vs({1}), 1);  // clamps to round 3
+  w.add_local(vs({2}), 4);
+  w.add_local(vs({3}), 5);  // next round
+  w.add_local(vs({4}), 9);  // overflow
+  ValueSet all;
+  std::size_t slots = 0;
+  w.for_each_live([&](Round, const InboxView<ValueSet>& view) {
+    ++slots;
+    for (const ValueSet& m : view) set_union_inplace(all, m);
+  });
+  EXPECT_EQ(slots, 4u);
+  EXPECT_EQ(all, vs({1, 2, 3, 4}));
+}
+
+TEST(InboxWindow, IdenticalContentDedupsAcrossBatches) {
+  InboxWindow<ValueSet> w;
+  w.advance_to(2);
+  w.add_local(vs({5}), 2);
+  w.add_local(vs({5}), 2);  // identical content, separate local batch
+  w.add_local(vs({6}), 2);
+  EXPECT_EQ(w.at(2).size(), 2u);
+  EXPECT_EQ(w.at(2).count(vs({5})), 1u);
+  EXPECT_EQ(w.at(2).count(vs({6})), 1u);
+  EXPECT_EQ(w.at(2).count(vs({7})), 0u);
+}
+
+TEST(InboxWindow, SlotsAreClearedWhenReusedByTheRing) {
+  // The 4-slot ring aliases round k and k+4; sliding must clear slots
+  // before they are reused, so round-5 reads never see round-1 messages.
+  InboxWindow<ValueSet> w;
+  w.advance_to(1);
+  w.add_local(vs({1}), 1);
+  w.advance_to(5);
+  EXPECT_EQ(w.at(5).size(), 0u);
+  EXPECT_EQ(w.at(4).size(), 0u);
+}
+
+TEST(BatchInterner, IdenticalPayloadsShareOneObject) {
+  BatchInterner<ValueSet> interner;
+  InboxWindow<ValueSet> a, b, c;
+  a.advance_to(1);
+  b.advance_to(1);
+  c.advance_to(1);
+  a.add_local(vs({1, 2}), 1);
+  b.add_local(vs({1, 2}), 1);  // same content, different "sender"
+  c.add_local(vs({9}), 1);
+  const SharedBatch<ValueSet> pa = interner.intern(a.at(1));
+  const SharedBatch<ValueSet> pb = interner.intern(b.at(1));
+  const SharedBatch<ValueSet> pc = interner.intern(c.at(1));
+  EXPECT_EQ(pa.get(), pb.get());  // anonymity collapse: one payload
+  EXPECT_NE(pa.get(), pc.get());
+  interner.round_reset();
+  const SharedBatch<ValueSet> pa2 = interner.intern(a.at(1));
+  EXPECT_NE(pa.get(), pa2.get());  // interning is per round
+  EXPECT_EQ(pa->msgs, pa2->msgs);
+}
+
+TEST(BatchInterner, SharedBatchesFeedReceiverInboxes) {
+  BatchInterner<ValueSet> interner;
+  InboxWindow<ValueSet> sender1, sender2;
+  sender1.advance_to(1);
+  sender2.advance_to(1);
+  sender1.add_local(vs({4}), 1);
+  sender2.add_local(vs({4}), 1);
+  const auto p1 = interner.intern(sender1.at(1));
+  const auto p2 = interner.intern(sender2.at(1));
+  InboxWindow<ValueSet> receiver;
+  receiver.advance_to(1);
+  receiver.add_shared(p1, 1);
+  receiver.add_shared(p2, 1);  // pointer-equal: dedups without compares
+  EXPECT_EQ(receiver.at(1).size(), 1u);
+  EXPECT_EQ(receiver.at(1).count(vs({4})), 1u);
+}
+
+TEST(InboxView, IterationOrderIsDeterministicAndDuplicateFree) {
+  // Build the same inbox twice from batches arriving in different orders:
+  // the materialized views must iterate identically (digest order is
+  // content-derived).
+  auto build = [](bool flip) {
+    auto w = std::make_unique<InboxWindow<ValueSet>>();
+    w->advance_to(3);
+    if (flip) {
+      w->add_local(vs({2, 3}), 3);
+      w->add_local(vs({1}), 3);
+      w->add_local(vs({2, 3}), 3);
+    } else {
+      w->add_local(vs({1}), 3);
+      w->add_local(vs({2, 3}), 3);
+    }
+    return w;
+  };
+  auto wa = build(false);
+  auto wb = build(true);
+  const auto& va = wa->at(3);
+  const auto& vb = wb->at(3);
+  ASSERT_EQ(va.size(), 2u);
+  ASSERT_EQ(vb.size(), 2u);
+  auto ia = va.begin();
+  auto ib = vb.begin();
+  for (; ia != va.end(); ++ia, ++ib) EXPECT_EQ(*ia, *ib);
+}
+
+}  // namespace
+}  // namespace anon

@@ -108,8 +108,9 @@ TEST(Integration, EmulatedMsRunsTheRealWeakSetAutomaton) {
 }
 
 TEST(Integration, MemoryHygieneUnderLongRuns) {
-  // forget_old_rounds keeps per-process inbox maps tiny even over long
-  // runs (the algorithms never reread closed rounds).
+  // The windowed inbox (giraf/inbox.hpp) bounds per-process inbox state
+  // to the {k-1, k, k+1} slots even over long runs (the algorithms never
+  // reread closed rounds).
   ConsensusConfig cfg;
   cfg.env.kind = EnvKind::kES;
   cfg.env.n = 4;
