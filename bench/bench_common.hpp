@@ -80,4 +80,64 @@ double timed_seconds(Fn&& fn) {
       .count();
 }
 
+// --- Shared timing helpers (single home for the patterns the tracked
+// --- BENCH_*.json numbers are produced with; previously copy-pasted
+// --- per bench binary) -------------------------------------------------
+
+// Best wall clock of `fn()` over `reps` repetitions (first rep included:
+// tracked workloads are long enough that warm-up noise loses to the min).
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    const double s = timed_seconds(fn);
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+// Interleaved A/B comparison on the same machine: alternate the two
+// workloads rep by rep so thermal/frequency drift hits both equally, and
+// report each side's best rep.  This is the protocol behind every
+// "N× speedup" number committed in the BENCH_*.json files.
+struct AbSeconds {
+  double a = 0;
+  double b = 0;
+  double ratio() const { return b > 0 ? a / b : 0; }  // a vs b speedup
+};
+
+template <typename FnA, typename FnB>
+AbSeconds interleaved_ab_seconds(int reps, FnA&& fa, FnB&& fb) {
+  AbSeconds out;
+  for (int r = 0; r < reps; ++r) {
+    const double sa = timed_seconds(fa);
+    const double sb = timed_seconds(fb);
+    if (r == 0 || sa < out.a) out.a = sa;
+    if (r == 0 || sb < out.b) out.b = sb;
+  }
+  return out;
+}
+
+// Accumulating variant for benches that interleave A/B *segments* inside
+// one pass (e.g. E10 steps two engines to a shared horizon): lap each
+// segment into its stream and read the per-stream totals at the end.
+class InterleavedTimer {
+ public:
+  template <typename Fn>
+  void lap_a(Fn&& fn) {
+    a_ += timed_seconds(fn);
+  }
+  template <typename Fn>
+  void lap_b(Fn&& fn) {
+    b_ += timed_seconds(fn);
+  }
+  double a() const { return a_; }
+  double b() const { return b_; }
+  double total() const { return a_ + b_; }
+
+ private:
+  double a_ = 0;
+  double b_ = 0;
+};
+
 }  // namespace anon::bench

@@ -12,11 +12,9 @@
 namespace anon {
 namespace {
 
-using bench::timed_seconds;
-
 void print_tables() {
   const Round horizon = bench::smoke() ? 150u : 750u;
-  double table_a_s = 0;
+  double table_a_s = 0, table_a_plain_s = 0, table_a_gc_s = 0;
   std::uint64_t table_a_bytes = 0, table_a_sends = 0, table_a_rounds = 0;
   {
     Table t("E10.a  Algorithm 3 message size vs rounds executed (n=5, no decision)",
@@ -49,13 +47,19 @@ void print_tables() {
     std::vector<Round> targets = {25u, 50u, 100u, 200u, 400u, 750u};
     while (targets.back() > horizon) targets.pop_back();
     if (targets.back() != horizon) targets.push_back(horizon);
-    table_a_s = timed_seconds([&] {
+    // Paper-faithful (A) vs counter-GC (B) stepped to each shared horizon
+    // in interleaved segments (bench_common's shared A/B protocol).
+    bench::InterleavedTimer ab;
     for (Round target : targets) {
-      plain_net->run([&](const LockstepNet<EssMessage>& nn) {
-        return nn.round() >= target;
+      ab.lap_a([&] {
+        plain_net->run([&](const LockstepNet<EssMessage>& nn) {
+          return nn.round() >= target;
+        });
       });
-      gc_net->run([&](const LockstepNet<EssMessage>& nn) {
-        return nn.round() >= target;
+      ab.lap_b([&] {
+        gc_net->run([&](const LockstepNet<EssMessage>& nn) {
+          return nn.round() >= target;
+        });
       });
       const auto& a =
           dynamic_cast<const EssConsensus&>(plain_net->process(0).automaton());
@@ -76,7 +80,9 @@ void print_tables() {
                  Table::num(static_cast<std::uint64_t>(
                      MessageSizeOf<EssMessage>::size(mg)))});
     }
-    });
+    table_a_s = ab.total();
+    table_a_plain_s = ab.a();
+    table_a_gc_s = ab.b();
     table_a_bytes = plain_net->bytes_sent() + gc_net->bytes_sent();
     table_a_sends = plain_net->sends() + gc_net->sends();
     table_a_rounds = plain_net->round() + gc_net->round();
@@ -170,6 +176,8 @@ void print_tables() {
           std::string("ESS no-decide state growth, n=5, plain+GC runs"));
     j.set("horizon", static_cast<std::uint64_t>(horizon));
     j.set("wall_s", table_a_s);
+    j.set("wall_plain_s", table_a_plain_s);
+    j.set("wall_gc_s", table_a_gc_s);
     j.set("rounds", table_a_rounds);
     j.set("sends", table_a_sends);
     j.set("bytes", table_a_bytes);

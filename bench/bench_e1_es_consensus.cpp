@@ -20,16 +20,10 @@ void write_bench_json(const std::vector<std::uint64_t>& seeds) {
   const std::size_t n = 64;
   std::vector<ConsensusConfig> grid = seed_grid(EnvKind::kES, n, 0, seeds);
   const int reps = bench::smoke() ? 2 : 5;
-  double best = 0;
   std::vector<ConsensusReport> reports;
-  for (int r = 0; r < reps; ++r) {
-    std::vector<ConsensusReport> got;
-    const double s = timed_seconds([&] {
-      got = run_consensus_sweep(ConsensusAlgo::kEs, grid, {.threads = 1});
-    });
-    if (r == 0 || s < best) best = s;
-    reports = std::move(got);
-  }
+  const double best = bench::best_seconds(reps, [&] {
+    reports = run_consensus_sweep(ConsensusAlgo::kEs, grid, {.threads = 1});
+  });
   std::uint64_t rounds = 0, sends = 0, bytes = 0, deliveries = 0;
   for (const auto& rep : reports) {
     rounds += rep.rounds_executed;

@@ -46,13 +46,64 @@ Outcome run_alg(ConsensusAlgo algo, std::size_t n, Round stab,
           static_cast<double>(rep.bytes_sent) / static_cast<double>(n)};
 }
 
+// The tracked hot path of this experiment (BENCH_E9.json): the largest
+// ESS cell, Algorithm 3 (anonymous) vs Ω-with-IDs across the seed list,
+// interleaved A/B so the committed anonymity-cost ratio is drift-free.
+void write_bench_json(const std::vector<std::uint64_t>& seeds,
+                      std::size_t n) {
+  const int reps = bench::smoke() ? 2 : 3;
+  double rounds_a3 = 0, rounds_om = 0, bytes_a3 = 0, bytes_om = 0;
+  const bench::AbSeconds ab = bench::interleaved_ab_seconds(
+      reps,
+      [&] {
+        rounds_a3 = bytes_a3 = 0;
+        for (auto seed : seeds) {
+          const Outcome o = run_alg(ConsensusAlgo::kEss, n, 10, seed,
+                                    EnvKind::kESS);
+          rounds_a3 += o.rounds;
+          bytes_a3 += o.bytes_per_proc;
+        }
+      },
+      [&] {
+        rounds_om = bytes_om = 0;
+        for (auto seed : seeds) {
+          const Outcome o = run_omega(n, 10, seed, EnvKind::kESS);
+          rounds_om += o.rounds;
+          bytes_om += o.bytes_per_proc;
+        }
+      });
+  BenchJson j;
+  j.set("experiment", std::string("E9"));
+  j.set("workload",
+        std::string("ESS stab=10 sweep: Alg3 (anonymous) vs Omega (IDs)"));
+  j.set("n", static_cast<std::uint64_t>(n));
+  j.set("cells", static_cast<std::uint64_t>(seeds.size()));
+  j.set("reps", static_cast<std::uint64_t>(reps));
+  j.set("wall_alg3_s", ab.a);
+  j.set("wall_omega_s", ab.b);
+  j.set("mean_rounds_alg3", rounds_a3 / static_cast<double>(seeds.size()));
+  j.set("mean_rounds_omega", rounds_om / static_cast<double>(seeds.size()));
+  j.set("mean_bytes_per_proc_alg3",
+        bytes_a3 / static_cast<double>(seeds.size()));
+  j.set("mean_bytes_per_proc_omega",
+        bytes_om / static_cast<double>(seeds.size()));
+  j.set("smoke", static_cast<std::uint64_t>(bench::smoke() ? 1 : 0));
+  const std::string path = bench::json_path("BENCH_E9.json");
+  if (j.write(path))
+    std::cout << "  [" << path << " written: alg3_s=" << ab.a
+              << " omega_s=" << ab.b << "]\n";
+}
+
 void print_tables() {
-  const auto seeds = experiment_seeds(10);
+  const auto seeds = experiment_seeds(bench::smoke() ? 3 : 10);
+  const std::vector<std::size_t> sizes =
+      bench::smoke() ? std::vector<std::size_t>{3u, 5u}
+                     : std::vector<std::size_t>{3u, 5u, 9u, 17u};
 
   {
     Table t("E9.a  decision round in ESS (stab=10): anonymous vs IDs",
             {"n", "Alg 3 (anonymous)", "Ω-consensus (IDs)", "anonymity cost"});
-    for (std::size_t n : {3u, 5u, 9u, 17u}) {
+    for (std::size_t n : sizes) {
       std::vector<double> a3, om;
       for (auto seed : seeds) {
         a3.push_back(run_alg(ConsensusAlgo::kEss, n, 10, seed, EnvKind::kESS).rounds);
@@ -70,7 +121,7 @@ void print_tables() {
     Table t("E9.b  decision round in ES (GST=10): all three algorithms",
             {"n", "Alg 2 (anonymous, ES)", "Alg 3 (anonymous, ESS-style)",
              "Ω-consensus (IDs)"});
-    for (std::size_t n : {3u, 5u, 9u, 17u}) {
+    for (std::size_t n : sizes) {
       std::vector<double> a2, a3, om;
       for (auto seed : seeds) {
         a2.push_back(run_alg(ConsensusAlgo::kEs, n, 10, seed, EnvKind::kES).rounds);
@@ -88,7 +139,7 @@ void print_tables() {
     Table t("E9.c  bytes sent per process until decision (ESS, stab=10)",
             {"n", "Alg 3 (histories+counters)", "Ω-consensus (bounded state)",
              "ratio"});
-    for (std::size_t n : {3u, 5u, 9u, 17u}) {
+    for (std::size_t n : sizes) {
       std::vector<double> a3, om;
       for (auto seed : seeds) {
         a3.push_back(run_alg(ConsensusAlgo::kEss, n, 10, seed, EnvKind::kESS)
@@ -103,6 +154,8 @@ void print_tables() {
     }
     t.print();
   }
+
+  write_bench_json(seeds, sizes.back());
 }
 
 void BM_Alg3VsOmega(benchmark::State& state) {

@@ -11,6 +11,28 @@ EsConsensus::EsConsensus(Value initial, Variants variants)
   ANON_CHECK_MSG(!initial.is_bottom(), "⊥ is not a proposable value");
 }
 
+std::uint64_t EsConsensus::state_digest() const {
+  std::uint64_t h = 0x8f1bbcdcb7a56463ULL;
+  h = detail::mix_digest(h, val_.stable_hash());
+  h = detail::mix_digest(h, stable_hash(proposed_));
+  h = detail::mix_digest(h, stable_hash(written_));
+  h = detail::mix_digest(h, stable_hash(written_old_));
+  h = detail::mix_digest(h, decision_ ? 1 + decision_->stable_hash() : 0);
+  return h;
+}
+
+bool EsConsensus::state_equals(const Automaton<EsMessage>& other) const {
+  const auto* o = dynamic_cast<const EsConsensus*>(&other);
+  if (o == nullptr) return false;
+  return val_ == o->val_ && proposed_ == o->proposed_ &&
+         written_ == o->written_ && written_old_ == o->written_old_ &&
+         decision_ == o->decision_ &&
+         variants_.written_old_every_round ==
+             o->variants_.written_old_every_round &&
+         variants_.reset_proposed_every_round ==
+             o->variants_.reset_proposed_every_round;
+}
+
 EsMessage EsConsensus::initialize() {
   val_ = initial_;
   written_.clear();

@@ -46,6 +46,17 @@ class EsConsensus final : public Automaton<EsMessage> {
   EsMessage compute(Round k, const Inboxes<EsMessage>& inboxes) override;
   std::optional<Value> decision() const override { return decision_; }
 
+  // Cohort hooks: digest/equality over the full mutable state (VAL, the
+  // three sets, the decision).  `initial_` is deliberately excluded — it is
+  // only read by initialize(), so processes that proposed differently but
+  // converged are genuinely equivalent from here on.  Variant knobs DO
+  // steer compute() and are compared.
+  std::uint64_t state_digest() const override;
+  bool state_equals(const Automaton<EsMessage>& other) const override;
+  std::unique_ptr<Automaton<EsMessage>> clone_state() const override {
+    return std::make_unique<EsConsensus>(*this);
+  }
+
   // Introspection for tests/metrics.
   const Value& val() const { return val_; }
   const ValueSet& proposed() const { return proposed_; }

@@ -12,6 +12,35 @@ EssConsensus::EssConsensus(Value initial, HistoryArena* arena, Options opts)
   ANON_CHECK(arena_ != nullptr);
 }
 
+std::uint64_t EssConsensus::state_digest() const {
+  std::uint64_t h = 0x5be0cd190e35d7c2ULL;
+  h = detail::mix_digest(h, val_.stable_hash());
+  h = detail::mix_digest(h, history_.digest());
+  h = detail::mix_digest(h, history_.length());
+  h = detail::mix_digest(h, counters_.digest());
+  h = detail::mix_digest(h, stable_hash(proposed_));
+  h = detail::mix_digest(h, stable_hash(written_));
+  h = detail::mix_digest(h, stable_hash(written_old_));
+  h = detail::mix_digest(h, (self_leader_ ? 2 : 0) |
+                                (decision_.has_value() ? 1 : 0));
+  if (decision_) h = detail::mix_digest(h, decision_->stable_hash());
+  return h;
+}
+
+bool EssConsensus::state_equals(const Automaton<EssMessage>& other) const {
+  const auto* o = dynamic_cast<const EssConsensus*>(&other);
+  if (o == nullptr) return false;
+  if (decision_.has_value() &&
+      !(frozen_ == o->frozen_))  // frozen message only meaningful once decided
+    return false;
+  return arena_ == o->arena_ && val_ == o->val_ && history_ == o->history_ &&
+         counters_ == o->counters_ && proposed_ == o->proposed_ &&
+         written_ == o->written_ && written_old_ == o->written_old_ &&
+         self_leader_ == o->self_leader_ && decision_ == o->decision_ &&
+         opts_.decide == o->opts_.decide &&
+         opts_.gc_counters == o->opts_.gc_counters;
+}
+
 EssMessage EssConsensus::initialize() {
   // Lines 1–4: VAL := initial; ∀H C[H] := 0; HISTORY := VAL; sets empty.
   val_ = initial_;

@@ -111,6 +111,17 @@ class EssConsensus final : public Automaton<EssMessage> {
   EssMessage compute(Round k, const Inboxes<EssMessage>& inboxes) override;
   std::optional<Value> decision() const override { return decision_; }
 
+  // Cohort hooks.  History comparisons are pointer-equality, so cohort
+  // execution requires all automatons of a run to share one arena (already
+  // the Algorithm 3 contract).  `initial_` is excluded (see EsConsensus);
+  // the Options knobs steer compute() and are compared.  `bumps_` is
+  // per-compute scratch, cleared before use, and carries no state.
+  std::uint64_t state_digest() const override;
+  bool state_equals(const Automaton<EssMessage>& other) const override;
+  std::unique_ptr<Automaton<EssMessage>> clone_state() const override {
+    return std::make_unique<EssConsensus>(*this);
+  }
+
   // Introspection (tests / metrics / leader-convergence experiments).
   const Value& val() const { return val_; }
   const History& history() const { return history_; }

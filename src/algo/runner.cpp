@@ -1,6 +1,7 @@
 #include "algo/runner.hpp"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -9,6 +10,7 @@
 #include "algo/ess_consensus.hpp"
 #include "common/check.hpp"
 #include "common/history.hpp"
+#include "net/cohort.hpp"
 
 namespace anon {
 
@@ -30,10 +32,13 @@ std::string ConsensusReport::to_string() const {
 
 namespace {
 
-template <typename M>
-ConsensusReport finish_report(LockstepNet<M>& net, const ConsensusConfig& cfg,
+// Shared between the expanded (LockstepNet) and cohort (CohortNet)
+// backends: both expose the same observation surface; only the expanded
+// engine records a trace (and can therefore certify the environment).
+template <typename Net>
+ConsensusReport finish_report(Net& net, const ConsensusConfig& cfg,
                               RunResult run, Trace* trace_out) {
-  if (trace_out) *trace_out = net.trace();
+  constexpr bool kHasTrace = requires { net.trace(); };
   ConsensusReport rep;
   rep.rounds_executed = run.rounds;
   rep.hit_round_limit = !run.stopped;
@@ -55,19 +60,57 @@ ConsensusReport finish_report(LockstepNet<M>& net, const ConsensusConfig& cfg,
     if (net.is_correct(p)) rep.last_decision_round =
         std::max(rep.last_decision_round, r);
   }
-  if (cfg.validate_env) {
-    rep.env_check =
-        check_environment(net.trace(), net.n(), cfg.crashes.correct(net.n()));
+  if constexpr (kHasTrace) {
+    if (trace_out) *trace_out = net.trace();
+    if (cfg.validate_env) {
+      rep.env_check =
+          check_environment(net.trace(), net.n(), cfg.crashes.correct(net.n()));
+    }
+  } else {
+    ANON_CHECK_MSG(trace_out == nullptr,
+                   "the cohort backend records no trace");
+    rep.cohorts_max = net.stats().max_cohorts;
+    rep.cohorts_final = net.stats().cohorts;
   }
   return rep;
 }
 
 }  // namespace
 
+const char* to_string(ConsensusBackend b) {
+  return b == ConsensusBackend::kExpanded ? "expanded" : "cohort";
+}
+
 ConsensusReport run_consensus(ConsensusAlgo algo, const ConsensusConfig& cfg,
                               Trace* trace_out) {
   ANON_CHECK(cfg.initial.size() == cfg.env.n);
   EnvDelayModel delays(cfg.env, cfg.crashes);
+
+  if (cfg.backend == ConsensusBackend::kCohort) {
+    ANON_CHECK_MSG(!cfg.validate_env,
+                   "the cohort backend records no trace to certify: set "
+                   "validate_env = false");
+    const CohortOptions opt = CohortOptions::from(cfg.net);
+    if (algo == ConsensusAlgo::kEs) {
+      CohortNet<EsMessage> net(
+          groups_by_initial_value<EsMessage>(
+              cfg.initial,
+              [](const Value& v) { return std::make_unique<EsConsensus>(v); }),
+          delays, cfg.crashes, opt);
+      return finish_report(net, cfg, net.run_until_all_correct_decided(),
+                           trace_out);
+    }
+    HistoryArena arena;
+    CohortNet<EssMessage> net(
+        groups_by_initial_value<EssMessage>(cfg.initial,
+                                            [&arena](const Value& v) {
+                                              return std::make_unique<
+                                                  EssConsensus>(v, &arena);
+                                            }),
+        delays, cfg.crashes, opt);
+    return finish_report(net, cfg, net.run_until_all_correct_decided(),
+                         trace_out);
+  }
 
   if (algo == ConsensusAlgo::kEs) {
     std::vector<std::unique_ptr<Automaton<EsMessage>>> autos;

@@ -21,12 +21,23 @@ enum class ConsensusAlgo { kEs, kEss };
 
 const char* to_string(ConsensusAlgo a);
 
+// Execution backend for a consensus instance.
+//   kExpanded — LockstepNet: one automaton per process (the reference).
+//   kCohort   — CohortNet (net/cohort.hpp): one representative per
+//               state-equivalence class, grouped by initial value.  Exact
+//               same decisions/rounds/metrics (property-tested), no trace:
+//               validate_env must be false and trace_out null (checked).
+enum class ConsensusBackend { kExpanded, kCohort };
+
+const char* to_string(ConsensusBackend b);
+
 struct ConsensusConfig {
   EnvParams env;                // env.n = number of processes
   CrashPlan crashes;
   std::vector<Value> initial;   // one per process; must have size env.n
   LockstepOptions net;
   bool validate_env = true;     // run the trace validator afterwards
+  ConsensusBackend backend = ConsensusBackend::kExpanded;
 };
 
 struct ConsensusReport {
@@ -45,6 +56,9 @@ struct ConsensusReport {
   std::uint64_t bytes_sent = 0;
   // Environment certification of the recorded trace.
   EnvCheckResult env_check;
+  // Cohort backend only: how far the run collapsed (0/0 for expanded).
+  std::size_t cohorts_max = 0;
+  std::size_t cohorts_final = 0;
 
   std::string to_string() const;
 };

@@ -77,6 +77,22 @@ std::size_t CounterMap::gc_dominated_prefixes() {
   return erased;
 }
 
+std::uint64_t CounterMap::digest() const {
+  // Same mixing step as the message-digest fold (giraf/inbox.hpp), inlined
+  // here so common/ stays below giraf/ in the layering.
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::uint64_t h = 0xc3a5c85c97cb3127ULL ^ m_.size();
+  for (const auto& [hist, c] : m_) {
+    h = mix(h, hist.digest());
+    h = mix(h, hist.length());
+    h = mix(h, c);
+  }
+  return h;
+}
+
 std::uint64_t CounterMap::max_value() const {
   std::uint64_t best = 0;
   for (const auto& [h, c] : m_) best = std::max(best, c);

@@ -84,6 +84,14 @@ class CounterMap {
   // Largest counter value present (0 if empty).
   std::uint64_t max_value() const;
 
+  // Deterministic content digest (fold over the sorted entries).  Equal
+  // maps digest equally; used for cohort state keying (net/cohort.hpp).
+  // Multiplicity note: the cohort engine hands Algorithm 3's line-8
+  // min-merge ONE operand per equivalence class — min over m identical
+  // maps is the map itself, so weighting the merge by cohort multiplicity
+  // would be the identity and the collapse is exact.
+  std::uint64_t digest() const;
+
   // Extension (not in the paper): drops every entry H dominated by a
   // strict extension H' (H prefix of H', C[H'] >= C[H]).  A dominated
   // prefix can never become the argmax again, and prefix_max inheritance

@@ -50,6 +50,15 @@ bool EnvDelayModel::all_timely_at(Round k) const {
   return params_.kind == EnvKind::kES && k > params_.stabilization;
 }
 
+std::optional<Round> EnvDelayModel::uniform_delay(Round k) const {
+  // Mirrors delay() below: post-GST ES returns 0 before consulting the
+  // link, and max_delay == 0 / timely_prob >= 1 make every non-source
+  // draw come out 0 as well (the source link is 0 by definition).
+  if (all_timely_at(k) || params_.max_delay == 0 || params_.timely_prob >= 1.0)
+    return Round{0};
+  return std::nullopt;
+}
+
 Round EnvDelayModel::delay(Round k, ProcId sender, ProcId receiver) const {
   if (all_timely_at(k)) return 0;
   if (planned_source(k) == sender) return 0;

@@ -29,6 +29,11 @@ class EnvDelayModel final : public DelayModel {
   Round delay(Round k, ProcId sender, ProcId receiver) const override;
   std::optional<ProcId> planned_source(Round k) const override;
 
+  // Rounds whose delay() provably ignores (sender, receiver) — ES after
+  // GST, and the degenerate all-timely parameterizations.  Lets the cohort
+  // engine skip the per-link probes entirely (net/cohort.hpp).
+  std::optional<Round> uniform_delay(Round k) const override;
+
   const EnvParams& params() const { return params_; }
 
   // The fixed eventual source (ESS only).

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <concepts>
+#include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "common/value.hpp"
@@ -59,6 +61,35 @@ class Automaton {
   // Consensus-style decision, if this automaton decides (nullopt otherwise /
   // before deciding).  Once set it must never change — the framework checks.
   virtual std::optional<Value> decision() const { return std::nullopt; }
+
+  // --- Cohort-execution hooks (net/cohort.hpp) ------------------------------
+  //
+  // Anonymous processes with equal state take equal steps, so the cohort
+  // engine simulates one representative per state-equivalence class.  It
+  // keys classes by `state_digest` (buckets), confirms candidate merges
+  // with `state_equals` (exact), and deep-copies representatives with
+  // `clone_state` when delivery asymmetries split a class.
+  //
+  // The defaults are safe but inert: digest 0 and never-equal disable
+  // merging, and a null clone makes CohortNet reject the automaton type
+  // outright.  Algorithms opt in by overriding all three over their full
+  // mutable state (anything a future compute can read).
+
+  // Deterministic digest of the current algorithm state.  Equal states
+  // must digest equally; collisions are resolved by state_equals.
+  virtual std::uint64_t state_digest() const { return 0; }
+
+  // Exact state equality (same dynamic type, all state members equal).
+  // Two automatons that compare equal must behave identically on every
+  // future compute() given equal inboxes.
+  virtual bool state_equals(const Automaton<M>& other) const {
+    (void)other;
+    return false;
+  }
+
+  // A deep copy of this automaton in its CURRENT state (not a fresh
+  // instance).  nullptr means "not cohort-clonable".
+  virtual std::unique_ptr<Automaton<M>> clone_state() const { return nullptr; }
 };
 
 }  // namespace anon

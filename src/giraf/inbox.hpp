@@ -247,6 +247,13 @@ class BatchInterner {
 template <typename M>
 class InboxWindow {
  public:
+  // Far-early parking is an escape hatch for unsynchronised engines, not a
+  // second inbox: a peer running unboundedly ahead of us would grow
+  // `future_` without limit.  The cap is generous (real engines park a
+  // handful of batches) and enforced on every park, so a runaway producer
+  // fails loudly instead of oom-ing the process.
+  static constexpr std::size_t kOverflowParkLimit = 1u << 16;
+
   Round round() const { return cur_; }
 
   // M_i[k].  Rejects reads outside the {k-1, k} window — the algorithms
@@ -276,7 +283,16 @@ class InboxWindow {
   // Receive a shared (interned) batch for round k.
   void add_shared(SharedBatch<M> batch, Round k) {
     ANON_CHECK(k >= 1);
+    const bool parked = k > cur_ + 1;
     writable_slot(k).parts.push_back(std::move(batch));
+    if (parked) {
+      ++parked_batches_;
+      if (parked_batches_ > overflow_high_water_)
+        overflow_high_water_ = parked_batches_;
+      ANON_CHECK_MSG(parked_batches_ <= kOverflowParkLimit,
+                     "far-early overflow parking grew beyond its bound "
+                     "(a peer is running away from this process's round)");
+    }
   }
 
   // Receive messages by value (unsynchronised engines, tests): wrapped
@@ -309,10 +325,54 @@ class InboxWindow {
       if (cur_ >= 2) ring_[slot_index(cur_ - 2)].clear();
       auto it = future_.find(cur_ + 1);
       if (it != future_.end()) {
+        parked_batches_ -= it->second.parts.size();
         ring_[slot_index(cur_ + 1)].absorb(std::move(it->second));
         future_.erase(it);
       }
     }
+  }
+
+  // Batches currently parked in the far-early overflow, and the most that
+  // were ever parked at once.  Surfaced through the engines' metrics so
+  // unsynchronised deployments can watch for runaway peers.
+  std::size_t overflow_parked() const { return parked_batches_; }
+  std::size_t overflow_high_water() const { return overflow_high_water_; }
+
+  // Content digest of everything still live (window slots and overflow),
+  // mixing in the current round.  Equal windows digest equally; collisions
+  // are resolved by same_content.  Used by the cohort engine to bucket
+  // candidate merges (see net/cohort.hpp).
+  std::uint64_t content_digest() const {
+    std::uint64_t h = 0x6b9f1e8c24a35d71ULL ^ cur_;
+    for_each_live([&h](Round k, const InboxView<M>& view) {
+      h = detail::mix_digest(h, k);
+      h = detail::mix_digest(h, view.size());
+      for (const auto& [d, m] : view.items()) h = detail::mix_digest(h, d);
+    });
+    return h;
+  }
+
+  // Exact set-content equality of the live rounds: same current round and,
+  // round for round, the same materialized message sets.  Two windows that
+  // compare equal are indistinguishable to every future compute (views are
+  // rebuilt from set content, so part structure does not matter).
+  bool same_content(const InboxWindow& other) const {
+    if (cur_ != other.cur_) return false;
+    std::vector<std::pair<Round, const InboxView<M>*>> a, b;
+    for_each_live([&a](Round k, const InboxView<M>& v) { a.emplace_back(k, &v); });
+    other.for_each_live(
+        [&b](Round k, const InboxView<M>& v) { b.emplace_back(k, &v); });
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].first != b[i].first) return false;
+      const auto& va = a[i].second->items();
+      const auto& vb = b[i].second->items();
+      if (va.size() != vb.size()) return false;
+      for (std::size_t j = 0; j < va.size(); ++j)
+        if (va[j].first != vb[j].first || !(*va[j].second == *vb[j].second))
+          return false;
+    }
+    return true;
   }
 
  private:
@@ -379,6 +439,8 @@ class InboxWindow {
   Slot ring_[4];
   std::map<Round, Slot> future_;  // rounds > cur_ + 1 (unsynchronised only)
   Round cur_ = 0;
+  std::size_t parked_batches_ = 0;       // batches currently in future_
+  std::size_t overflow_high_water_ = 0;  // max parked_batches_ ever
 };
 
 }  // namespace anon

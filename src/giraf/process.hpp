@@ -13,6 +13,7 @@
 // these actions fire; rounds need not be synchronized across processes.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -74,6 +75,41 @@ class GirafProcess {
 
   const Automaton<M>& automaton() const { return *automaton_; }
   Automaton<M>& automaton() { return *automaton_; }
+
+  // --- Cohort-execution support (net/cohort.hpp) ---------------------------
+
+  // Deep copy: cloned automaton state plus the full inbox window (shared
+  // batch payloads are immutable, so the copied window aliases them
+  // safely).  Requires Automaton::clone_state support.
+  std::unique_ptr<GirafProcess<M>> clone() const {
+    auto a = automaton_->clone_state();
+    ANON_CHECK_MSG(a != nullptr,
+                   "automaton type does not support cohort cloning "
+                   "(override Automaton::clone_state)");
+    auto p = std::make_unique<GirafProcess<M>>(std::move(a));
+    p->k_ = k_;
+    p->inboxes_ = inboxes_;
+    p->decided_once_ = decided_once_;
+    p->first_decision_ = first_decision_;
+    return p;
+  }
+
+  // Digest over round, automaton state and live inbox content — the cohort
+  // engine's merge-bucketing key.
+  std::uint64_t state_digest() const {
+    std::uint64_t h = automaton_->state_digest();
+    h = detail::mix_digest(h, k_);
+    h = detail::mix_digest(h, inboxes_.content_digest());
+    return h;
+  }
+
+  // Exact equivalence: same round, equal automaton state, identical live
+  // inbox content.  Two equal processes take identical steps forever under
+  // identical future deliveries.
+  bool same_state(const GirafProcess<M>& other) const {
+    return k_ == other.k_ && automaton_->state_equals(*other.automaton_) &&
+           inboxes_.same_content(other.inboxes_);
+  }
 
  private:
   void check_decision_stability() {

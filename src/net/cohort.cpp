@@ -1,0 +1,15 @@
+#include "net/cohort.hpp"
+
+#include <sstream>
+
+namespace anon {
+
+std::string CohortStats::to_string() const {
+  std::ostringstream os;
+  os << "cohorts{now=" << cohorts << ", max=" << max_cohorts
+     << ", splits=" << splits << ", merges=" << merges
+     << ", clones=" << clones << "}";
+  return os.str();
+}
+
+}  // namespace anon

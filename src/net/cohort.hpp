@@ -1,0 +1,651 @@
+// Cohort-collapsed lock-step engine.
+//
+// The paper's processes are anonymous: two processes in the same state
+// receive the same round-k broadcast batch (a *set* — duplicates collapse)
+// and therefore take the same step.  Simulating each of the n processes
+// separately is pure redundancy, so `CohortNet` simulates *equivalence
+// classes* instead: one representative `GirafProcess` per class of
+// identically-stated processes, plus the member list.  Per-round cost is
+// O(C²) in the number of distinct states instead of O(n²) — a failure-free
+// post-GST run collapses to a handful of cohorts regardless of n.
+//
+// Exactness.  Cohort execution is not an approximation; it reproduces the
+// expanded `LockstepNet` run observation-for-observation (decision values,
+// decision rounds, sends/bytes/deliveries — see tests/cohort_net_test.cpp):
+//
+//  * State: the algorithms' computes are multiset-invariant.  WRITTEN is an
+//    intersection, PROPOSED a union, Algorithm 3's line 8 a pointwise min
+//    and its line-9 bumps idempotent per distinct history — m identical
+//    messages act exactly like one.  That invariance is the formal content
+//    of "anonymous algorithms cannot count", and it is what makes one
+//    representative delivery per (sender class, receiver class) pair
+//    state-exact.
+//  * Metrics: transport counters DO see multiplicity.  A class of m
+//    senders broadcasting one interned payload accounts m·(n−1) link sends,
+//    and a delivered broadcast accounts A·m − |S ∩ A| per-link deliveries
+//    (A = alive non-halted processes, S = the sender-class snapshot): the
+//    receivers see a multiset of (payload, count) pairs, weighted exactly
+//    as the expanded engine would count them entry by entry.
+//
+// Split / merge rules:
+//
+//  * Split (delivery asymmetry): in rounds where `DelayModel::uniform_delay`
+//    opts out, per-link delays can hand class members different batch sets.
+//    Deliveries are scheduled per link; at delivery time each cohort is
+//    partitioned by the *set* of (payload, msg-round) pairs its members
+//    received, and every class beyond the first gets a deep copy
+//    (`GirafProcess::clone`) of the representative.  Worst case (fully
+//    adversarial pre-GST timing) this degrades gracefully to n singleton
+//    cohorts — the expanded simulation, at the expanded price.
+//  * Split (crash): a member crashing at round k shares its class's final
+//    compute, but its partial final broadcast is per-link (the audience is
+//    per receiver) and it takes no further steps: its decision state is
+//    finalized and it leaves the member list.
+//  * Merge: after each delivery phase, cohorts are bucketed by state digest
+//    (`Automaton::state_digest` ⊕ round ⊕ inbox content digest) and
+//    buckets are confirmed with exact `state_equals`/`same_content`
+//    comparison — classes whose members became indistinguishable (e.g.
+//    distinct proposals converging on the decided value) re-collapse.
+//
+// See DESIGN.md, "Cohort-collapsed execution".
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/calendar.hpp"
+#include "giraf/process.hpp"
+#include "net/lockstep.hpp"
+#include "net/schedule.hpp"
+
+namespace anon {
+
+// Counters describing how well the run collapsed (tests, benches, ops).
+struct CohortStats {
+  std::size_t cohorts = 0;      // current number of equivalence classes
+  std::size_t max_cohorts = 0;  // peak over the run
+  std::uint64_t splits = 0;     // new classes from delivery asymmetries
+  std::uint64_t merges = 0;     // classes re-collapsed after converging
+  std::uint64_t clones = 0;     // representative deep copies made
+
+  std::string to_string() const;
+};
+
+struct CohortOptions {
+  std::uint64_t seed = 1;
+  Round max_rounds = 100000;
+  bool relay_partial_broadcast = true;
+  Round relay_extra_delay = 2;
+  HaltPolicy halt_policy = HaltPolicy::kContinueForever;
+  // Merging is semantics-preserving (exact-equality checked); the knob
+  // exists for the split/merge tests and for A/B-ing its cost.
+  bool merge_cohorts = true;
+
+  // The lock-step option set, minus the trace knobs: the cohort engine
+  // records no per-process trace (a trace is exactly the per-index
+  // expansion this engine exists to avoid).
+  static CohortOptions from(const LockstepOptions& o) {
+    CohortOptions c;
+    c.seed = o.seed;
+    c.max_rounds = o.max_rounds;
+    c.relay_partial_broadcast = o.relay_partial_broadcast;
+    c.relay_extra_delay = o.relay_extra_delay;
+    c.halt_policy = o.halt_policy;
+    return c;
+  }
+};
+
+template <GirafMessage M>
+class CohortNet {
+ public:
+  // One initial equivalence class: processes that start in the same state
+  // (same algorithm, same initial value).  Member sets must partition
+  // [0, n).  The grouping is the caller's promise — the engine checks
+  // coverage, not state equality of hypothetical expanded automatons.
+  struct InitGroup {
+    std::unique_ptr<Automaton<M>> automaton;
+    std::vector<ProcId> members;
+  };
+
+  CohortNet(std::vector<InitGroup> groups, const DelayModel& delays,
+            CrashPlan crashes, CohortOptions opt = {})
+      : delays_(delays), crashes_(std::move(crashes)), opt_(opt) {
+    ANON_CHECK(!groups.empty());
+    for (const InitGroup& g : groups) n_ += g.members.size();
+    ANON_CHECK(n_ > 0);
+    cohort_of_.assign(n_, kNoCohort);
+    decision_round_.assign(n_, kNoRound);
+    cohorts_.reserve(groups.size());
+    for (InitGroup& g : groups) {
+      ANON_CHECK(!g.members.empty());
+      auto c = std::make_unique<Cohort>();
+      c->rep = std::make_unique<GirafProcess<M>>(std::move(g.automaton));
+      c->members = std::move(g.members);
+      std::sort(c->members.begin(), c->members.end());
+      for (ProcId p : c->members) {
+        ANON_CHECK_MSG(p < n_ && cohort_of_[p] == kNoCohort,
+                       "InitGroup members must partition [0, n)");
+        cohort_of_[p] = 0;  // provisional; reindex() assigns real indices
+        if (!crashes_.ever_crashes(p)) ++c->correct_members;
+      }
+      cohorts_.push_back(std::move(c));
+    }
+    sort_and_reindex();
+    stats_.cohorts = stats_.max_cohorts = cohorts_.size();
+    // Crash events, in firing order (ties broken by process id for
+    // deterministic death bookkeeping).
+    for (ProcId p = 0; p < n_; ++p)
+      if (Round c = crashes_.crash_round(p); c != kNeverCrashes)
+        crash_events_.emplace_back(c, p);
+    std::sort(crash_events_.begin(), crash_events_.end());
+    // Metric fast path: with no crashes and no halt policy nobody ever
+    // leaves the alive∩non-halted set, so broadcast deliveries are a
+    // closed-form count and entries need no sender snapshots.
+    needs_snapshots_ = crashes_.crash_count() > 0 ||
+                       opt_.halt_policy == HaltPolicy::kStopAfterDecide;
+  }
+
+  std::size_t n() const { return n_; }
+  Round round() const { return round_; }
+  const CohortStats& stats() const { return stats_; }
+  std::size_t cohort_count() const { return cohorts_.size(); }
+
+  bool is_correct(ProcId p) const { return !crashes_.ever_crashes(p); }
+
+  std::optional<Value> decision(ProcId p) const {
+    ANON_CHECK(p < n_);
+    if (cohort_of_[p] == kDead) return dead_decision_.at(p);
+    return cohorts_[cohort_of_[p]]->rep->decision();
+  }
+
+  Round decision_round(ProcId p) const { return decision_round_[p]; }
+
+  bool all_correct_decided() const {
+    for (const auto& c : cohorts_)
+      if (c->correct_members > 0 && !c->rep->decision().has_value())
+        return false;
+    return true;
+  }
+
+  std::uint64_t deliveries() const { return deliveries_; }
+  std::uint64_t sends() const { return sends_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  std::size_t inbox_overflow_high_water() const {
+    std::size_t hw = 0;
+    for (const auto& c : cohorts_)
+      hw = std::max(hw, c->rep->inboxes().overflow_high_water());
+    return hw;
+  }
+
+  // The representative of p's current equivalence class (introspection).
+  const GirafProcess<M>& representative(ProcId p) const {
+    ANON_CHECK(p < n_ && cohort_of_[p] != kDead);
+    return *cohorts_[cohort_of_[p]]->rep;
+  }
+
+  // Engine loop — identical phase order to LockstepNet::run, with an extra
+  // (invisible to `stop`) merge pass after deliveries.
+  template <typename StopFn>
+  RunResult run(StopFn stop) {
+    if (round_ == 0) bootstrap();
+    while (round_ < opt_.max_rounds) {
+      deliver_due(round_);
+      if (opt_.merge_cohorts) merge_converged();
+      if (stop(*this)) return {round_, true};
+      advance_round();
+      note_decisions();
+    }
+    return {round_, false};
+  }
+
+  RunResult run_until_all_correct_decided() {
+    return run([](const CohortNet& net) { return net.all_correct_decided(); });
+  }
+
+  RunResult run_rounds(Round rounds) {
+    const Round target = round_ + rounds;
+    return run([target](const CohortNet& net) { return net.round() >= target; });
+  }
+
+ private:
+  static constexpr std::uint32_t kNoCohort =
+      std::numeric_limits<std::uint32_t>::max() - 1;
+  static constexpr std::uint32_t kDead =
+      std::numeric_limits<std::uint32_t>::max();
+
+  struct Cohort {
+    std::unique_ptr<GirafProcess<M>> rep;
+    std::vector<ProcId> members;  // sorted ascending, all alive
+    std::size_t correct_members = 0;
+    bool halted = false;
+    bool decided_noted = false;  // members' decision_round_ recorded
+  };
+
+  // One calendar entry.  A broadcast entry stands for `copies` identical
+  // per-link sends to every other process; a unicast entry is one link
+  // (per-link delays, crash audiences and relays).
+  struct Pending {
+    SharedBatch<M> payload;
+    Round msg_round = 0;
+    std::uint32_t copies = 1;
+    ProcId receiver = 0;  // unicast only
+    bool broadcast = false;
+    // Sender-class snapshot for the delivery-count fallback; null when the
+    // closed-form count applies (no crashes, no halt policy).
+    std::shared_ptr<const std::vector<ProcId>> senders;
+  };
+
+  void bootstrap() {
+    decision_round_.assign(n_, kNoRound);
+    interner_.round_reset();
+    wave(1);
+    round_ = 1;
+  }
+
+  void advance_round() {
+    const Round next = round_ + 1;
+    interner_.round_reset();
+    wave(next);
+    round_ = next;
+  }
+
+  // End-of-round wave k: one representative compute per class, one
+  // broadcast per class (uniform rounds) or per link (asymmetric rounds),
+  // and death bookkeeping for members whose crash round is k.
+  void wave(Round k) {
+    // Members crashing at k, grouped by class.
+    std::map<std::uint32_t, std::vector<ProcId>> crashing;
+    while (next_crash_ < crash_events_.size() &&
+           crash_events_[next_crash_].first == k) {
+      const ProcId p = crash_events_[next_crash_].second;
+      ++next_crash_;
+      ANON_CHECK(cohort_of_[p] != kDead && cohort_of_[p] != kNoCohort);
+      crashing[cohort_of_[p]].push_back(p);
+    }
+
+    const std::optional<Round> ud = delays_.uniform_delay(k);
+    bool structural = false;
+    for (std::uint32_t ci = 0; ci < cohorts_.size(); ++ci) {
+      Cohort& c = *cohorts_[ci];
+      auto itc = crashing.find(ci);
+      const std::vector<ProcId>* dying =
+          itc == crashing.end() ? nullptr : &itc->second;
+      if (c.halted) {
+        // A halted process never executes an end-of-round — not even its
+        // crash-round one (no final broadcast); its crash only removes it
+        // from the alive set.
+        if (dying != nullptr) {
+          for (ProcId p : *dying) finalize_death(c, p, k);
+          remove_dead_members(c);
+          structural = true;
+        }
+        continue;
+      }
+      step_eor(c, k, ud, dying);
+      if (dying != nullptr) structural = true;
+    }
+    if (structural) purge_sort_reindex();
+  }
+
+  void step_eor(Cohort& c, Round k, const std::optional<Round>& ud,
+                const std::vector<ProcId>* dying) {
+    auto out = c.rep->end_of_round();
+    ANON_CHECK(out.round == k);
+    if (opt_.halt_policy == HaltPolicy::kStopAfterDecide &&
+        c.rep->decision().has_value())
+      c.halted = true;
+
+    std::size_t batch_bytes = 0;
+    for (const M& m : out.batch) batch_bytes += MessageSizeOf<M>::size(m);
+    const SharedBatch<M> payload = interner_.intern(out.batch);
+    const std::uint64_t msg_count = payload->size();
+
+    const std::size_t dying_count = dying ? dying->size() : 0;
+    const std::size_t survivors = c.members.size() - dying_count;
+
+    if (survivors > 0) {
+      if (ud.has_value()) {
+        // One interned broadcast for the whole class: `survivors` senders,
+        // each reaching the other n-1 processes with the same delay.
+        sends_ += static_cast<std::uint64_t>(survivors) * (n_ - 1) * msg_count;
+        bytes_sent_ +=
+            static_cast<std::uint64_t>(survivors) * (n_ - 1) * batch_bytes;
+        Pending e;
+        e.payload = payload;
+        e.msg_round = k;
+        e.copies = static_cast<std::uint32_t>(survivors);
+        e.broadcast = true;
+        if (needs_snapshots_) {
+          if (dying_count == 0) {
+            e.senders = std::make_shared<const std::vector<ProcId>>(c.members);
+          } else {
+            std::vector<ProcId> alive;
+            alive.reserve(survivors);
+            for (ProcId p : c.members)
+              if (std::find(dying->begin(), dying->end(), p) == dying->end())
+                alive.push_back(p);
+            e.senders =
+                std::make_shared<const std::vector<ProcId>>(std::move(alive));
+          }
+        }
+        calendar_.schedule(k + *ud, std::move(e));
+      } else {
+        // Asymmetric round: per-link scheduling (the expanded engine's
+        // cost, paid only while the adversary actually differentiates).
+        for (ProcId p : c.members) {
+          if (dying != nullptr &&
+              std::find(dying->begin(), dying->end(), p) != dying->end())
+            continue;
+          for (ProcId q = 0; q < n_; ++q) {
+            if (q == p) continue;
+            const Round d = delays_.delay(k, p, q);
+            sends_ += msg_count;
+            bytes_sent_ += batch_bytes;
+            Pending e;
+            e.payload = payload;
+            e.msg_round = k;
+            e.receiver = q;
+            calendar_.schedule(k + d, std::move(e));
+          }
+        }
+      }
+    }
+
+    // Crashing members: the final broadcast reaches only the chosen
+    // audience (possibly relayed late) — inherently per link.
+    if (dying != nullptr) {
+      for (ProcId p : *dying) {
+        for (ProcId q = 0; q < n_; ++q) {
+          if (q == p) continue;
+          Round d = ud.has_value() ? *ud : delays_.delay(k, p, q);
+          if (!crashes_.in_final_audience(p, q, n_, opt_.seed)) {
+            if (!opt_.relay_partial_broadcast) continue;  // lost forever
+            d = std::max<Round>(d, 1) + opt_.relay_extra_delay;
+          }
+          sends_ += msg_count;
+          bytes_sent_ += batch_bytes;
+          Pending e;
+          e.payload = payload;
+          e.msg_round = k;
+          e.receiver = q;
+          calendar_.schedule(k + d, std::move(e));
+        }
+        finalize_death(c, p, k);
+      }
+      remove_dead_members(c);
+    }
+  }
+
+  // Records a dying member's observable state; the class's final compute
+  // of round k was its compute, so the representative speaks for it.
+  void finalize_death(Cohort& c, ProcId p, Round k) {
+    if (c.rep->decision().has_value() && decision_round_[p] == kNoRound)
+      decision_round_[p] = k - 1;
+    dead_decision_[p] = c.rep->decision();
+    cohort_of_[p] = kDead;
+  }
+
+  // Drops members already finalized as dead (cohort_of_ == kDead).
+  void remove_dead_members(Cohort& c) {
+    auto dead = [&](ProcId p) { return cohort_of_[p] == kDead; };
+    c.members.erase(std::remove_if(c.members.begin(), c.members.end(), dead),
+                    c.members.end());
+  }
+
+  void deliver_due(Round r) {
+    calendar_.advance_to(r);
+    std::vector<Pending> due = calendar_.take_due();
+    if (due.empty()) return;
+
+    // A = alive ∩ non-halted processes, for multiplicity-weighted counts.
+    std::uint64_t alive_nonhalted = 0;
+    for (const auto& c : cohorts_)
+      if (!c->halted) alive_nonhalted += c->members.size();
+
+    bool any_unicast = false;
+    for (const Pending& e : due) {
+      if (!e.broadcast) {
+        any_unicast = true;
+        continue;
+      }
+      // Metrics: Σ over alive non-halted receivers q of |S \ {q}|.
+      std::uint64_t in_set = e.copies;
+      if (needs_snapshots_) {
+        in_set = 0;
+        for (ProcId p : *e.senders)
+          if (cohort_of_[p] != kDead && !cohorts_[cohort_of_[p]]->halted)
+            ++in_set;
+      }
+      deliveries_ +=
+          e.payload->size() * (alive_nonhalted * e.copies - in_set);
+      // State: one shared-payload receive per class.  The sender class
+      // receives it too — for members that ARE the sender this merely
+      // re-adds their own round message (a set no-op), exactly as peers'
+      // identical broadcasts would.
+      for (auto& c : cohorts_)
+        if (!c->halted) c->rep->receive(e.payload, e.msg_round);
+    }
+    if (any_unicast) deliver_unicasts(due, r);
+  }
+
+  // Per-link deliveries: count metrics per entry, then partition each
+  // affected class by the SET of (msg_round, payload) pairs its members
+  // received — the exact condition under which members stay equivalent.
+  void deliver_unicasts(const std::vector<Pending>& due, Round /*r*/) {
+    std::unordered_map<ProcId, std::vector<const Pending*>> by_receiver;
+    for (const Pending& e : due) {
+      if (e.broadcast) continue;
+      const std::uint32_t ci = cohort_of_[e.receiver];
+      if (ci == kDead || cohorts_[ci]->halted) continue;  // dropped silently
+      deliveries_ += e.payload->size();
+      by_receiver[e.receiver].push_back(&e);
+    }
+    if (by_receiver.empty()) return;
+
+    // (msg_round, payload) identifies content: payloads are interned per
+    // (content, engine round), so pointer equality is content equality.
+    using Sig = std::vector<std::pair<Round, SharedBatch<M>>>;
+    auto sig_less = [](const typename Sig::value_type& x,
+                       const typename Sig::value_type& y) {
+      if (x.first != y.first) return x.first < y.first;
+      return x.second.get() < y.second.get();
+    };
+    auto sig_of = [&](ProcId p) {
+      Sig s;
+      auto it = by_receiver.find(p);
+      if (it != by_receiver.end()) {
+        s.reserve(it->second.size());
+        for (const Pending* e : it->second)
+          s.emplace_back(e->msg_round, e->payload);
+        std::sort(s.begin(), s.end(), sig_less);
+        s.erase(std::unique(s.begin(), s.end()), s.end());
+      }
+      return s;
+    };
+
+    bool structural = false;
+    const std::size_t existing = cohorts_.size();
+    for (std::size_t ci = 0; ci < existing; ++ci) {
+      Cohort& c = *cohorts_[ci];
+      if (c.halted) continue;
+      // Partition members by signature, preserving member order so the
+      // class layout (and hence everything downstream) is deterministic.
+      std::map<Sig, std::vector<ProcId>> classes;
+      bool any = false;
+      for (ProcId p : c.members) {
+        Sig s = sig_of(p);
+        if (!s.empty()) any = true;
+        classes[std::move(s)].push_back(p);
+      }
+      if (!any) continue;  // no unicast touched this class
+
+      if (classes.size() == 1) {
+        deliver_sig(c, classes.begin()->first);
+        continue;
+      }
+
+      // Split: the subclass containing the class's first member keeps the
+      // representative; the others get clones.
+      structural = true;
+      stats_.splits += classes.size() - 1;
+      const ProcId anchor = c.members.front();
+      std::vector<ProcId> anchor_members;
+      const Sig* anchor_sig = nullptr;
+      for (auto& [sig, members] : classes) {
+        if (std::binary_search(members.begin(), members.end(), anchor)) {
+          anchor_sig = &sig;
+          anchor_members = std::move(members);
+          continue;
+        }
+        auto split = std::make_unique<Cohort>();
+        split->rep = c.rep->clone();
+        ++stats_.clones;
+        split->members = members;
+        // halted stays false: halted cohorts never reach the split path
+        // (deliveries to them are dropped above).
+        split->decided_noted = c.decided_noted;
+        for (ProcId p : split->members)
+          if (!crashes_.ever_crashes(p)) ++split->correct_members;
+        deliver_sig(*split, sig);
+        cohorts_.push_back(std::move(split));
+      }
+      ANON_CHECK(anchor_sig != nullptr);
+      deliver_sig(c, *anchor_sig);
+      c.members = std::move(anchor_members);
+      c.correct_members = 0;
+      for (ProcId p : c.members)
+        if (!crashes_.ever_crashes(p)) ++c.correct_members;
+    }
+    if (structural) purge_sort_reindex();
+  }
+
+  void deliver_sig(Cohort& c,
+                   const std::vector<std::pair<Round, SharedBatch<M>>>& sig) {
+    for (const auto& [msg_round, batch] : sig)
+      c.rep->receive(batch, msg_round);
+  }
+
+  // Merge pass: bucket classes by digest, confirm exact equality, absorb.
+  void merge_converged() {
+    if (cohorts_.size() <= 1) return;
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+    buckets.reserve(cohorts_.size());
+    for (std::size_t i = 0; i < cohorts_.size(); ++i) {
+      std::uint64_t h = cohorts_[i]->rep->state_digest();
+      h = detail::mix_digest(h, cohorts_[i]->halted ? 1 : 0);
+      buckets[h].push_back(i);
+    }
+    if (buckets.size() == cohorts_.size()) return;
+
+    bool structural = false;
+    std::vector<char> absorbed(cohorts_.size(), 0);
+    for (auto& [h, idxs] : buckets) {
+      if (idxs.size() < 2) continue;
+      for (std::size_t a = 0; a < idxs.size(); ++a) {
+        if (absorbed[idxs[a]]) continue;
+        Cohort& winner = *cohorts_[idxs[a]];
+        for (std::size_t b = a + 1; b < idxs.size(); ++b) {
+          if (absorbed[idxs[b]]) continue;
+          Cohort& loser = *cohorts_[idxs[b]];
+          if (winner.halted != loser.halted ||
+              !winner.rep->same_state(*loser.rep))
+            continue;
+          // Absorb: merge the sorted member lists; decided bookkeeping is
+          // identical by state equality (equal decision ⇒ both already
+          // noted or both undecided).
+          std::vector<ProcId> merged;
+          merged.reserve(winner.members.size() + loser.members.size());
+          std::merge(winner.members.begin(), winner.members.end(),
+                     loser.members.begin(), loser.members.end(),
+                     std::back_inserter(merged));
+          winner.members = std::move(merged);
+          winner.correct_members += loser.correct_members;
+          loser.members.clear();
+          absorbed[idxs[b]] = 1;
+          ++stats_.merges;
+          structural = true;
+        }
+      }
+    }
+    if (structural) purge_sort_reindex();
+  }
+
+  void note_decisions() {
+    for (auto& c : cohorts_) {
+      if (c->decided_noted || !c->rep->decision().has_value()) continue;
+      for (ProcId p : c->members)
+        if (decision_round_[p] == kNoRound) decision_round_[p] = round_ - 1;
+      c->decided_noted = true;
+    }
+  }
+
+  // Drops emptied classes, restores the smallest-member ordering and
+  // rewrites the process→class index.  O(C log C + n); only runs on
+  // structural changes (splits, merges, deaths) — never on the steady-state
+  // fast path.
+  void purge_sort_reindex() {
+    cohorts_.erase(std::remove_if(cohorts_.begin(), cohorts_.end(),
+                                  [](const std::unique_ptr<Cohort>& c) {
+                                    return c->members.empty();
+                                  }),
+                   cohorts_.end());
+    std::sort(cohorts_.begin(), cohorts_.end(),
+              [](const std::unique_ptr<Cohort>& a,
+                 const std::unique_ptr<Cohort>& b) {
+                return a->members.front() < b->members.front();
+              });
+    for (std::uint32_t i = 0; i < cohorts_.size(); ++i)
+      for (ProcId p : cohorts_[i]->members) cohort_of_[p] = i;
+    stats_.cohorts = cohorts_.size();
+    stats_.max_cohorts = std::max(stats_.max_cohorts, cohorts_.size());
+  }
+
+  std::size_t n_ = 0;
+  const DelayModel& delays_;
+  CrashPlan crashes_;
+  CohortOptions opt_;
+  Round round_ = 0;
+  std::vector<std::unique_ptr<Cohort>> cohorts_;  // sorted by members.front()
+  std::vector<std::uint32_t> cohort_of_;          // per process; kDead = gone
+  std::vector<Round> decision_round_;
+  std::map<ProcId, std::optional<Value>> dead_decision_;
+  std::vector<std::pair<Round, ProcId>> crash_events_;
+  std::size_t next_crash_ = 0;
+  RoundCalendar<Pending> calendar_;
+  BatchInterner<M> interner_;
+  bool needs_snapshots_ = false;
+  CohortStats stats_;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t sends_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+
+  void sort_and_reindex() { purge_sort_reindex(); }
+};
+
+// The standard cohort construction for consensus workloads: processes
+// proposing the same value start in identical automaton state, so they
+// form one initial equivalence class.  `make(v)` builds the class
+// representative for proposal v.
+template <GirafMessage M, typename MakeAutomaton>
+std::vector<typename CohortNet<M>::InitGroup> groups_by_initial_value(
+    const std::vector<Value>& initial, MakeAutomaton make) {
+  std::map<Value, std::vector<ProcId>> by_value;
+  for (ProcId p = 0; p < initial.size(); ++p) by_value[initial[p]].push_back(p);
+  std::vector<typename CohortNet<M>::InitGroup> groups;
+  groups.reserve(by_value.size());
+  for (auto& [v, members] : by_value)
+    groups.push_back({make(v), std::move(members)});
+  return groups;
+}
+
+}  // namespace anon

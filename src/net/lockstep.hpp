@@ -20,6 +20,7 @@
 // paper's safety properties must (and do — see tests) hold either way.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -105,6 +106,17 @@ class LockstepNet {
   std::uint64_t deliveries() const { return deliveries_; }
   std::uint64_t sends() const { return sends_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  // Largest far-early overflow parking any inbox ever reached.  Lock-step
+  // delivery never runs ahead of the window, so this should stay 0 — a
+  // nonzero value flags an engine/schedule bug (the window itself hard-caps
+  // growth at InboxWindow::kOverflowParkLimit).
+  std::size_t inbox_overflow_high_water() const {
+    std::size_t hw = 0;
+    for (const auto& p : procs_)
+      hw = std::max(hw, p->inboxes().overflow_high_water());
+    return hw;
+  }
 
   // Runs until stop(net) is true (checked after deliveries, before the next
   // end-of-round wave) or until max_rounds engine rounds have executed.

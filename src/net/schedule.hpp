@@ -48,6 +48,17 @@ class DelayModel {
   // Must be finite (reliable broadcast).  0 = timely.
   virtual Round delay(Round k, ProcId sender, ProcId receiver) const = 0;
 
+  // If EVERY link (sender ≠ receiver) of round k has the same delay, that
+  // delay; nullopt when delays may vary by link.  This is a promise about
+  // delay(k, ·, ·), not a preference: the cohort engine (net/cohort.hpp)
+  // uses it to broadcast per equivalence class in O(1) instead of probing
+  // all n² links, so a wrong override silently breaks the cohort/expanded
+  // equivalence.  The conservative default opts out.
+  virtual std::optional<Round> uniform_delay(Round k) const {
+    (void)k;
+    return std::nullopt;
+  }
+
   // The process this model guarantees as the round-k source, if any
   // (informational; used by tests and metrics, never by algorithms).
   virtual std::optional<ProcId> planned_source(Round k) const {
@@ -60,6 +71,7 @@ class DelayModel {
 class SynchronousDelays final : public DelayModel {
  public:
   Round delay(Round, ProcId, ProcId) const override { return 0; }
+  std::optional<Round> uniform_delay(Round) const override { return Round{0}; }
 };
 
 struct CrashSpec {

@@ -35,6 +35,13 @@ SeriesStat sweep_aggregate(const std::vector<std::uint64_t>& seeds,
       seeds.size(), [&](std::size_t i) { return sample(seeds[i]); }, opt));
 }
 
+std::string RoundSample::to_string() const {
+  std::ostringstream os;
+  os << "r" << round << "{sends=" << sends << ", bytes=" << bytes
+     << ", deliveries=" << deliveries << "}";
+  return os.str();
+}
+
 std::vector<std::uint64_t> experiment_seeds(std::size_t count) {
   std::vector<std::uint64_t> seeds;
   seeds.reserve(count);

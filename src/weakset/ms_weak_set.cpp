@@ -9,6 +9,22 @@
 
 namespace anon {
 
+std::uint64_t MsWeakSetAutomaton::state_digest() const {
+  std::uint64_t h = 0x1f83d9abfb41bd6bULL;
+  h = detail::mix_digest(h, val_.stable_hash());
+  h = detail::mix_digest(h, stable_hash(proposed_));
+  h = detail::mix_digest(h, stable_hash(written_));
+  h = detail::mix_digest(h, block_ ? 1 : 0);
+  return h;
+}
+
+bool MsWeakSetAutomaton::state_equals(const Automaton<ValueSet>& other) const {
+  const auto* o = dynamic_cast<const MsWeakSetAutomaton*>(&other);
+  if (o == nullptr) return false;
+  return val_ == o->val_ && proposed_ == o->proposed_ &&
+         written_ == o->written_ && block_ == o->block_;
+}
+
 ValueSet MsWeakSetAutomaton::initialize() {
   // Lines 1–4: VAL := ⊥; PROPOSED := WRITTEN := ∅; BLOCK := false.
   val_ = Value::Bottom();

@@ -45,6 +45,17 @@ class MsWeakSetAutomaton final : public Automaton<ValueSet> {
 
   const ValueSet& written() const { return written_; }
 
+  // Cohort hooks: processes that issued the same operations and saw the
+  // same rounds are equivalent — Algorithm 4's compute is pure set algebra
+  // (intersection for WRITTEN, union for PROPOSED), so duplicating a
+  // member's message m times changes neither; multiplicity only weights
+  // the engine-side delivery metrics.
+  std::uint64_t state_digest() const override;
+  bool state_equals(const Automaton<ValueSet>& other) const override;
+  std::unique_ptr<Automaton<ValueSet>> clone_state() const override {
+    return std::make_unique<MsWeakSetAutomaton>(*this);
+  }
+
  private:
   Value val_ = Value::Bottom();
   ValueSet proposed_;

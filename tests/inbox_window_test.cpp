@@ -126,6 +126,35 @@ TEST(BatchInterner, SharedBatchesFeedReceiverInboxes) {
   EXPECT_EQ(receiver.at(1).count(vs({4})), 1u);
 }
 
+TEST(InboxWindow, OverflowParkingIsCountedAndDrainsOnAdvance) {
+  InboxWindow<ValueSet> w;
+  w.advance_to(1);
+  EXPECT_EQ(w.overflow_parked(), 0u);
+  EXPECT_EQ(w.overflow_high_water(), 0u);
+  w.add_local(vs({1}), 2);  // next round: ring slot, not overflow
+  EXPECT_EQ(w.overflow_parked(), 0u);
+  w.add_local(vs({2}), 5);  // far early: parked
+  w.add_local(vs({3}), 6);
+  w.add_local(vs({4}), 6);
+  EXPECT_EQ(w.overflow_parked(), 3u);
+  EXPECT_EQ(w.overflow_high_water(), 3u);
+  w.advance_to(5);  // round-5 and round-6 parks migrate into the ring
+  EXPECT_EQ(w.overflow_parked(), 0u);
+  EXPECT_EQ(w.overflow_high_water(), 3u);  // high-water sticks
+  EXPECT_EQ(w.at(5).count(vs({2})), 1u);
+}
+
+TEST(InboxWindow, OverflowParkingIsBounded) {
+  // The regression this satellite adds: a peer running away from us must
+  // hit the park limit instead of growing the overflow map forever.
+  InboxWindow<ValueSet> w;
+  w.advance_to(1);
+  for (std::size_t i = 0; i < InboxWindow<ValueSet>::kOverflowParkLimit; ++i)
+    w.add_local(vs({1}), 100 + static_cast<Round>(i));
+  EXPECT_EQ(w.overflow_parked(), InboxWindow<ValueSet>::kOverflowParkLimit);
+  EXPECT_THROW(w.add_local(vs({2}), 99), CheckFailure);
+}
+
 TEST(InboxView, IterationOrderIsDeterministicAndDuplicateFree) {
   // Build the same inbox twice from batches arriving in different orders:
   // the materialized views must iterate identically (digest order is
