@@ -1,9 +1,13 @@
 // E5 — Theorem 4: Algorithm 5 emulates MS from a weak-set.  Every emitted
 // trace is machine-certified MS (including under heavy round skew), and we
-// measure the emulation overhead (weak-set ops and ticks per round).
+// measure the emulation overhead (weak-set ops and ticks per round) plus —
+// BENCH_E5.json — the interleaved A/B of the interned watermark engine
+// against the retained seed implementation (MsEmulationRef) on a
+// scaled-up configuration.
 #include "bench_common.hpp"
 
 #include "emul/ms_emulation.hpp"
+#include "emul/ms_emulation_ref.hpp"
 #include "env/validate.hpp"
 
 namespace anon {
@@ -35,22 +39,93 @@ std::vector<ProcId> all_of(std::size_t n) {
   return v;
 }
 
+// The tracked hot path (BENCH_E5.json): the largest emulation cell, seed
+// engine (A) vs interned watermark engine (B), interleaved per seed so the
+// committed speedup is drift-free.  Certification counts must agree — the
+// refactor is a behavioural no-op (byte-identity is pinned by
+// tests/emulation_regression_test.cpp; here we cross-check the reports).
+void write_bench_json(const std::vector<std::uint64_t>& seeds) {
+  const std::size_t n = bench::smoke() ? 8 : 32;
+  const Round rounds = bench::smoke() ? 25 : 160;
+  const int reps = bench::smoke() ? 2 : 3;
+  std::size_t certified_ref = 0, certified_new = 0;
+  std::size_t deliveries_ref = 0, deliveries_new = 0;
+  bench::AbSeconds ab = bench::interleaved_ab_seconds(
+      reps,
+      [&] {
+        certified_ref = deliveries_ref = 0;
+        for (auto seed : seeds) {
+          MsEmulationOptions opt;
+          opt.seed = seed;
+          MsEmulationRef<ValueSet> emu(echoes(n), opt);
+          if (!emu.run_until_round(rounds)) continue;
+          deliveries_ref += emu.trace().deliveries().size();
+          if (check_environment(emu.trace(), n, all_of(n)).ms_ok)
+            ++certified_ref;
+        }
+      },
+      [&] {
+        certified_new = deliveries_new = 0;
+        for (auto seed : seeds) {
+          MsEmulationOptions opt;
+          opt.seed = seed;
+          MsEmulation<ValueSet> emu(echoes(n), opt);
+          if (!emu.run_until_round(rounds)) continue;
+          deliveries_new += emu.trace().deliveries().size();
+          if (check_environment(emu.trace(), n, all_of(n)).ms_ok)
+            ++certified_new;
+        }
+      });
+  BenchJson j;
+  j.set("experiment", std::string("E5"));
+  j.set("workload",
+        std::string("Alg5 MS-from-weak-set emulation: seed std::set engine "
+                    "(ref) vs interned watermark engine"));
+  j.set("n", static_cast<std::uint64_t>(n));
+  j.set("rounds", static_cast<std::uint64_t>(rounds));
+  j.set("cells", static_cast<std::uint64_t>(seeds.size()));
+  j.set("reps", static_cast<std::uint64_t>(reps));
+  j.set("wall_ref_s", ab.a);
+  j.set("wall_interned_s", ab.b);
+  j.set("speedup", ab.ratio());
+  j.set("certified_ref", static_cast<std::uint64_t>(certified_ref));
+  j.set("certified_interned", static_cast<std::uint64_t>(certified_new));
+  j.set("trace_deliveries_ref", static_cast<std::uint64_t>(deliveries_ref));
+  j.set("trace_deliveries_interned",
+        static_cast<std::uint64_t>(deliveries_new));
+  j.set("reports_identical",
+        std::string(certified_ref == certified_new &&
+                            deliveries_ref == deliveries_new
+                        ? "yes"
+                        : "NO"));
+  j.set("smoke", static_cast<std::uint64_t>(bench::smoke() ? 1 : 0));
+  const std::string path = bench::json_path("BENCH_E5.json");
+  if (j.write(path))
+    std::cout << "  [" << path << " written: ref_s=" << ab.a
+              << " interned_s=" << ab.b << " speedup=" << ab.ratio() << "]\n";
+}
+
 void print_tables() {
-  const auto seeds = experiment_seeds(10);
+  const auto seeds = experiment_seeds(bench::smoke() ? 3 : 10);
+  const std::vector<std::size_t> sizes =
+      bench::smoke() ? std::vector<std::size_t>{2u, 4u, 8u}
+                     : std::vector<std::size_t>{2u, 4u, 8u, 16u, 32u};
+  const Round horizon = bench::smoke() ? 15 : 40;
 
   {
-    Table t("E5.a  emulated MS certification vs n (40 rounds each)",
+    Table t("E5.a  emulated MS certification vs n (sharded seed grid)",
             {"n", "MS certified", "weak-set adds/round/process"});
-    for (std::size_t n : {2u, 4u, 8u, 16u}) {
-      std::size_t certified = 0;
-      for (auto seed : seeds) {
+    for (std::size_t n : sizes) {
+      // One independent emulation per seed: sharded like E1's sweep.
+      auto cells = parallel_sweep(seeds.size(), [&](std::size_t i) -> int {
         MsEmulationOptions opt;
-        opt.seed = seed;
+        opt.seed = seeds[i];
         MsEmulation<ValueSet> emu(echoes(n), opt);
-        if (!emu.run_until_round(40)) continue;
-        auto res = check_environment(emu.trace(), n, all_of(n));
-        if (res.ms_ok) ++certified;
-      }
+        if (!emu.run_until_round(horizon)) return 0;
+        return check_environment(emu.trace(), n, all_of(n)).ms_ok ? 1 : 0;
+      });
+      std::size_t certified = 0;
+      for (int c : cells) certified += static_cast<std::size_t>(c);
       // Algorithm 5 performs exactly one add (and one get) per round.
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
                  Table::num(static_cast<std::uint64_t>(certified)) + "/" +
@@ -64,23 +139,33 @@ void print_tables() {
     Table t("E5.b  certification under round skew (n=4; one process K× slower)",
             {"skew K", "MS certified", "fast/slow round ratio"});
     for (std::uint64_t k : {1u, 4u, 10u, 25u}) {
-      std::size_t certified = 0;
-      std::vector<double> ratio;
-      for (auto seed : seeds) {
+      struct Cell {
+        int certified = 0;
+        double ratio = 0;
+        int ran = 0;
+      };
+      auto cells = parallel_sweep(seeds.size(), [&](std::size_t i) -> Cell {
         MsEmulationOptions opt;
-        opt.seed = seed;
+        opt.seed = seeds[i];
         opt.skew = {1, k, 1, 1};
         MsEmulation<ValueSet> emu(echoes(4), opt);
-        if (!emu.run_until_round(25)) continue;
-        auto res = check_environment(emu.trace(), 4, all_of(4));
-        if (res.ms_ok) ++certified;
+        if (!emu.run_until_round(25)) return {};
+        Cell c;
+        c.ran = 1;
+        c.certified = check_environment(emu.trace(), 4, all_of(4)).ms_ok;
         Round fast = 0, slow = kNeverCrashes;
         for (ProcId p = 0; p < 4; ++p) {
           fast = std::max(fast, emu.trace().rounds_completed(p, 4));
           slow = std::min(slow, emu.trace().rounds_completed(p, 4));
         }
-        ratio.push_back(static_cast<double>(fast) /
-                        static_cast<double>(slow));
+        c.ratio = static_cast<double>(fast) / static_cast<double>(slow);
+        return c;
+      });
+      std::size_t certified = 0;
+      std::vector<double> ratio;
+      for (const Cell& c : cells) {
+        certified += static_cast<std::size_t>(c.certified);
+        if (c.ran != 0) ratio.push_back(c.ratio);
       }
       t.add_row({Table::num(k),
                  Table::num(static_cast<std::uint64_t>(certified)) + "/" +
@@ -93,26 +178,30 @@ void print_tables() {
   {
     Table t("E5.c  emulation cost: weak-set ticks per completed round (n sweep)",
             {"n", "ticks per round (mean over processes)"});
-    for (std::size_t n : {2u, 4u, 8u, 16u}) {
-      std::vector<double> cost;
-      for (auto seed : seeds) {
+    for (std::size_t n : sizes) {
+      auto cells = parallel_sweep(seeds.size(), [&](std::size_t i) -> double {
         MsEmulationOptions opt;
-        opt.seed = seed;
+        opt.seed = seeds[i];
         MsEmulation<ValueSet> emu(echoes(n), opt);
-        if (!emu.run_until_round(40)) continue;
+        if (!emu.run_until_round(horizon)) return -1;
         double total = 0;
         for (ProcId p = 0; p < n; ++p)
           total += static_cast<double>(emu.trace().rounds_completed(p, n));
         // Last end-of-round time ≈ total ticks.
         const double ticks =
             static_cast<double>(emu.trace().end_of_rounds().back().time);
-        cost.push_back(ticks / (total / static_cast<double>(n)));
-      }
+        return ticks / (total / static_cast<double>(n));
+      });
+      std::vector<double> cost;
+      for (double c : cells)
+        if (c >= 0) cost.push_back(c);
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
                  aggregate(cost).to_string()});
     }
     t.print();
   }
+
+  write_bench_json(seeds);
 }
 
 void BM_MsEmulation(benchmark::State& state) {
@@ -127,6 +216,19 @@ void BM_MsEmulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MsEmulation)->Arg(4)->Arg(16);
+
+void BM_MsEmulationRef(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    MsEmulationOptions opt;
+    opt.seed = seed++;
+    MsEmulationRef<ValueSet> emu(echoes(n), opt);
+    bool ok = emu.run_until_round(40);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_MsEmulationRef)->Arg(4)->Arg(16);
 
 }  // namespace
 }  // namespace anon

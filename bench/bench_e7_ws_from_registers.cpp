@@ -1,33 +1,165 @@
 // E7 — Propositions 2/3: weak-sets from registers.  Spec violations
 // (always 0) under adversarial interleavings; step costs per operation
 // (Prop 2 gets cost n reads; Prop 3 gets cost |domain| reads).
+// BENCH_E7.json tracks the whole-history certification cost: the seed
+// reads×writes² regularity checker (kept as ref_check_regular_register)
+// vs the sort-plus-sweep rewrite, interleaved, plus the sweep checker's
+// wall clock on a 100k-operation history and the scaled shm-runner wall.
 #include "bench_common.hpp"
 
+#include "common/rng.hpp"
+#include "weakset/reference_checkers.hpp"
 #include "weakset/ws_from_mwmr.hpp"
 #include "weakset/ws_from_swmr.hpp"
+#include "weakset/ws_register.hpp"
 
 namespace anon {
 namespace {
 
+// `domain` bounds the distinct written values (the experiment tables use
+// 13, matching the seed workload; BM_WsFromSwmr passes `ops` so every add
+// writes a distinct value, preserving the seed benchmark's history).
+std::vector<ShmWsScriptOp> swmr_script(std::size_t n, std::uint64_t ops,
+                                       std::uint64_t domain = 13) {
+  std::vector<ShmWsScriptOp> script;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    script.push_back({i * 2, i % n, true,
+                      Value(static_cast<std::int64_t>(i % domain))});
+    script.push_back({i * 2 + 1, (i + 1) % n, false, Value()});
+  }
+  return script;
+}
+
+// A valid-by-construction register history: sequential non-overlapping
+// writes, reads returning the latest completed write (or a concurrent
+// one), so the checkers exercise their accept path end to end.
+std::vector<RegOpRecord> synth_reg_history(std::size_t n_ops,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RegOpRecord> ops;
+  ops.reserve(n_ops);
+  std::optional<Value> last_completed;  // value of newest completed write
+  std::int64_t next_val = 1;
+  std::uint64_t t = 1;
+  while (ops.size() < n_ops) {
+    if (rng.chance(0.4)) {
+      const Value v(next_val++);
+      const std::uint64_t len = 1 + rng.below(4);
+      ops.push_back({RegOpRecord::Kind::kWrite, v, t, t + len, 0});
+      t += len + 1;  // writes are sequential: each completes before the next
+      last_completed = v;
+    } else {
+      // A read strictly after the last write completed returns its value
+      // (⊥ while no write has completed yet).
+      ops.push_back({RegOpRecord::Kind::kRead, last_completed, t,
+                     t + rng.below(2), 1 + ops.size() % 3});
+      t += 1 + rng.below(3);
+    }
+  }
+  return ops;
+}
+
+// The tracked hot path (BENCH_E7.json).
+void write_bench_json(const std::vector<std::uint64_t>& seeds) {
+  const int reps = bench::smoke() ? 2 : 3;
+  // The reference checker is ~cubic on this history shape (per read it
+  // rescans every write's whole superseder candidate prefix), so the A/B
+  // history must stay small for the A side to terminate at all; the sweep
+  // side additionally proves 100k ops below.
+  const std::size_t ab_ops = bench::smoke() ? 1000 : 4000;
+  const std::size_t big_ops = bench::smoke() ? 10000 : 100000;
+
+  // (1) Interleaved A/B: seed quadratic/cubic checker vs sweep checker on
+  // the same valid histories (one per seed).
+  std::vector<std::vector<RegOpRecord>> histories;
+  for (std::size_t i = 0; i < 2; ++i)
+    histories.push_back(synth_reg_history(ab_ops, 1000 + i));
+  std::size_t ok_ref = 0, ok_sweep = 0;
+  bench::AbSeconds ab = bench::interleaved_ab_seconds(
+      reps,
+      [&] {
+        ok_ref = 0;
+        for (const auto& h : histories)
+          if (ref_check_regular_register(h).ok) ++ok_ref;
+      },
+      [&] {
+        ok_sweep = 0;
+        for (const auto& h : histories)
+          if (check_regular_register(h).ok) ++ok_sweep;
+      });
+
+  // (2) The acceptance bar: a 100k-op history certified in one sweep.
+  const auto big = synth_reg_history(big_ops, 4242);
+  bool big_ok = false;
+  const double big_s =
+      bench::best_seconds(reps, [&] { big_ok = check_regular_register(big).ok; });
+
+  // (3) The scaled shm-runner workload: the Prop 2 construction certified
+  // by the sweep checker (sweep-vs-ref verdict agreement is pinned
+  // separately, in tests/spec_sweep_test.cpp).
+  const std::size_t run_n = bench::smoke() ? 4 : 16;
+  const std::uint64_t run_ops = bench::smoke() ? 100 : 1000;
+  std::size_t run_violations = 0;
+  const double run_s = bench::best_seconds(reps, [&] {
+    run_violations = 0;
+    auto cells = parallel_sweep(seeds.size(), [&](std::size_t i) -> int {
+      auto records =
+          run_ws_from_swmr(run_n, swmr_script(run_n, run_ops), seeds[i]);
+      return check_weak_set_spec(records).ok ? 0 : 1;
+    });
+    for (int v : cells) run_violations += static_cast<std::size_t>(v);
+  });
+
+  BenchJson j;
+  j.set("experiment", std::string("E7"));
+  j.set("workload",
+        std::string("regular-register certification: seed reads*writes^2 "
+                    "checker (ref) vs sort-plus-sweep; Prop-2 shm sweep"));
+  j.set("checker_ab_ops", static_cast<std::uint64_t>(ab_ops));
+  j.set("checker_ab_histories", static_cast<std::uint64_t>(histories.size()));
+  j.set("reps", static_cast<std::uint64_t>(reps));
+  j.set("wall_ref_s", ab.a);
+  j.set("wall_sweep_s", ab.b);
+  j.set("speedup", ab.ratio());
+  j.set("verdicts_identical", std::string(ok_ref == ok_sweep ? "yes" : "NO"));
+  j.set("certify_big_ops", static_cast<std::uint64_t>(big_ops));
+  j.set("certify_big_s", big_s);
+  j.set("certify_big_ok", static_cast<std::uint64_t>(big_ok ? 1 : 0));
+  j.set("shm_sweep_n", static_cast<std::uint64_t>(run_n));
+  j.set("shm_sweep_script_ops", static_cast<std::uint64_t>(2 * run_ops));
+  j.set("shm_sweep_cells", static_cast<std::uint64_t>(seeds.size()));
+  j.set("shm_sweep_wall_s", run_s);
+  j.set("shm_sweep_violations", static_cast<std::uint64_t>(run_violations));
+  j.set("smoke", static_cast<std::uint64_t>(bench::smoke() ? 1 : 0));
+  const std::string path = bench::json_path("BENCH_E7.json");
+  if (j.write(path))
+    std::cout << "  [" << path << " written: ref_s=" << ab.a
+              << " sweep_s=" << ab.b << " speedup=" << ab.ratio()
+              << " certify_" << big_ops << "_s=" << big_s << "]\n";
+}
+
 void print_tables() {
-  const auto seeds = experiment_seeds(10);
+  const auto seeds = experiment_seeds(bench::smoke() ? 3 : 10);
+  const std::uint64_t ops = bench::smoke() ? 30 : 100;
+  const std::vector<std::size_t> swmr_sizes =
+      bench::smoke() ? std::vector<std::size_t>{2u, 4u}
+                     : std::vector<std::size_t>{2u, 4u, 8u, 16u, 32u};
+  const std::vector<std::size_t> domains =
+      bench::smoke() ? std::vector<std::size_t>{4u, 16u}
+                     : std::vector<std::size_t>{4u, 16u, 64u, 128u};
 
   {
     Table t("E7.a  Prop 2 (SWMR, known IDs): spec under adversarial interleavings",
             {"n", "ops", "spec violations", "steps/get"});
-    for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    for (std::size_t n : swmr_sizes) {
+      auto cells = parallel_sweep(seeds.size(), [&](std::size_t i) -> int {
+        auto records = run_ws_from_swmr(n, swmr_script(n, ops), seeds[i]);
+        return check_weak_set_spec(records).ok ? 0 : 1;
+      });
       std::size_t violations = 0;
-      for (auto seed : seeds) {
-        std::vector<ShmWsScriptOp> script;
-        for (std::uint64_t i = 0; i < 30; ++i) {
-          script.push_back({i * 2, i % n, true,
-                            Value(static_cast<std::int64_t>(i % 13))});
-          script.push_back({i * 2 + 1, (i + 1) % n, false, Value()});
-        }
-        auto records = run_ws_from_swmr(n, script, seed);
-        if (!check_weak_set_spec(records).ok) ++violations;
-      }
-      t.add_row({Table::num(static_cast<std::uint64_t>(n)), "60",
+      for (int v : cells) violations += static_cast<std::size_t>(v);
+      t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                 Table::num(2 * ops),
                  Table::num(static_cast<std::uint64_t>(violations)),
                  Table::num(static_cast<std::uint64_t>(n))});
     }
@@ -37,21 +169,22 @@ void print_tables() {
   {
     Table t("E7.b  Prop 3 (MWMR, finite domain, anonymous): spec + step cost",
             {"|domain|", "spec violations", "steps/get", "steps/add"});
-    for (std::size_t d : {4u, 16u, 64u}) {
+    for (std::size_t d : domains) {
       std::vector<Value> domain;
       for (std::size_t i = 0; i < d; ++i)
         domain.push_back(Value(static_cast<std::int64_t>(i)));
-      std::size_t violations = 0;
-      for (auto seed : seeds) {
+      auto cells = parallel_sweep(seeds.size(), [&](std::size_t i) -> int {
         std::vector<MwmrWsScriptOp> script;
-        for (std::uint64_t i = 0; i < 30; ++i) {
-          script.push_back({i * 2, i % 5, true,
-                            Value(static_cast<std::int64_t>(i % d))});
-          script.push_back({i * 2 + 1, (i + 2) % 5, false, Value()});
+        for (std::uint64_t k = 0; k < ops; ++k) {
+          script.push_back({k * 2, k % 5, true,
+                            Value(static_cast<std::int64_t>(k % d))});
+          script.push_back({k * 2 + 1, (k + 2) % 5, false, Value()});
         }
-        auto records = run_ws_from_mwmr(domain, script, seed);
-        if (!check_weak_set_spec(records).ok) ++violations;
-      }
+        auto records = run_ws_from_mwmr(domain, script, seeds[i]);
+        return check_weak_set_spec(records).ok ? 0 : 1;
+      });
+      std::size_t violations = 0;
+      for (int v : cells) violations += static_cast<std::size_t>(v);
       t.add_row({Table::num(static_cast<std::uint64_t>(d)),
                  Table::num(static_cast<std::uint64_t>(violations)),
                  Table::num(static_cast<std::uint64_t>(d)), "1"});
@@ -61,18 +194,15 @@ void print_tables() {
                  "   anonymous but pays gets linear in the domain size — the\n"
                  "   two sides of the paper's knowledge trade-off.)\n";
   }
+
+  write_bench_json(seeds);
 }
 
 void BM_WsFromSwmr(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    std::vector<ShmWsScriptOp> script;
-    for (std::uint64_t i = 0; i < 30; ++i) {
-      script.push_back({i * 2, i % n, true, Value(static_cast<std::int64_t>(i))});
-      script.push_back({i * 2 + 1, (i + 1) % n, false, Value()});
-    }
-    auto records = run_ws_from_swmr(n, script, seed++);
+    auto records = run_ws_from_swmr(n, swmr_script(n, 30, 30), seed++);
     benchmark::DoNotOptimize(records);
   }
 }
@@ -96,6 +226,16 @@ void BM_WsFromMwmr(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WsFromMwmr)->Arg(4)->Arg(64);
+
+void BM_RegCheckerSweep(benchmark::State& state) {
+  const auto ops = static_cast<std::size_t>(state.range(0));
+  const auto history = synth_reg_history(ops, 7);
+  for (auto _ : state) {
+    auto res = check_regular_register(history);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_RegCheckerSweep)->Arg(1000)->Arg(10000);
 
 }  // namespace
 }  // namespace anon

@@ -7,19 +7,24 @@ AbdRegister::AbdRegister(AsyncNet* net) : net_(net), replicas_(net->n()) {}
 void AbdRegister::query(
     ProcId client, std::function<void(Tag, std::optional<Value>)> collected) {
   // Shared per-phase state: counts acks until majority, keeps the max.
+  // The continuation lives HERE, once per phase — not copy-captured into
+  // every per-replica closure, which would put one std::function heap
+  // allocation back on each of the 2n messages of the phase.
   struct Phase {
     std::size_t acks = 0;
     bool fired = false;
     Tag best;
     std::optional<Value> best_value;
+    std::function<void(Tag, std::optional<Value>)> collected;
   };
   auto ph = std::make_shared<Phase>();
+  ph->collected = std::move(collected);
   const std::size_t need = majority();
   for (ProcId r = 0; r < net_->n(); ++r) {
-    net_->send(client, r, [this, client, r, ph, need, collected] {
+    net_->send(client, r, [this, client, r, ph, need] {
       // Replica r answers (request delivery); the ack travels back.
       const Replica snapshot = replicas_[r];
-      net_->send(r, client, [snapshot, ph, need, collected] {
+      net_->send(r, client, [snapshot, ph, need] {
         if (ph->fired) return;
         ++ph->acks;
         if (ph->acks == 1 || snapshot.tag > ph->best) {
@@ -28,7 +33,7 @@ void AbdRegister::query(
         }
         if (ph->acks >= need) {
           ph->fired = true;
-          collected(ph->best, ph->best_value);
+          ph->collected(ph->best, ph->best_value);
         }
       });
     });
@@ -40,20 +45,22 @@ void AbdRegister::store(ProcId client, Tag tag, std::optional<Value> v,
   struct Phase {
     std::size_t acks = 0;
     bool fired = false;
+    std::function<void()> acked;
   };
   auto ph = std::make_shared<Phase>();
+  ph->acked = std::move(acked);
   const std::size_t need = majority();
   for (ProcId r = 0; r < net_->n(); ++r) {
-    net_->send(client, r, [this, client, r, tag, v, ph, need, acked] {
+    net_->send(client, r, [this, client, r, tag, v, ph, need] {
       if (tag > replicas_[r].tag) {
         replicas_[r].tag = tag;
         replicas_[r].value = v;
       }
-      net_->send(r, client, [ph, need, acked] {
+      net_->send(r, client, [ph, need] {
         if (ph->fired) return;
         if (++ph->acks >= need) {
           ph->fired = true;
-          acked();
+          ph->acked();
         }
       });
     });

@@ -7,10 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/inplace_function.hpp"
 #include "common/rng.hpp"
 #include "core/calendar.hpp"
 #include "giraf/types.hpp"
@@ -20,9 +21,17 @@ namespace anon {
 // Discrete-event loop over the shared ring-buffer calendar (core/
 // calendar.hpp).  Events at the same time run in scheduling order — the
 // calendar buckets are FIFO, so no explicit sequence tie-break is needed.
+//
+// Events are `InplaceFunction`s, not `std::function`s: the capture is
+// stored inline in the calendar entry, so scheduling an event performs no
+// heap allocation (the buffer is sized for the deepest closure in the ABD
+// protocol stack — a store-phase lambda nested inside AsyncNet::send).
+// Combined with `take_due_into`'s buffer recycling, the event loop is
+// allocation-free in steady state (tests/inplace_function_test.cpp).
 class EventQueue {
  public:
-  using Fn = std::function<void()>;
+  static constexpr std::size_t kEventCapacity = 152;
+  using Fn = InplaceFunction<void(), kEventCapacity>;
 
   void at(std::uint64_t time, Fn fn) {
     ANON_CHECK(time >= now_);
@@ -41,7 +50,7 @@ class EventQueue {
         if (!next) break;
         now_ = *next;
         calendar_.advance_to(now_);
-        due_ = calendar_.take_due();
+        calendar_.take_due_into(due_);  // recycles due_'s old capacity
         due_head_ = 0;
       }
       // Events an fn schedules at the current time land back in the
@@ -79,11 +88,15 @@ class AsyncNet {
 
   // Sends a message; `deliver` runs at the receiver unless it crashed by
   // delivery time (sender crash-mid-send is modeled by just not calling).
-  void send(ProcId from, ProcId to, std::function<void()> deliver) {
+  // Templated on the callable so the caller's raw closure is stored inline
+  // in the event (wrapping it in a type-erased function first would both
+  // allocate and overflow the event's inline buffer with a nested one).
+  template <typename F>
+  void send(ProcId from, ProcId to, F deliver) {
     (void)from;
     ++messages_;
     const std::uint64_t d = 1 + rng_.below(max_delay_);
-    eq_.after(d, [this, to, deliver = std::move(deliver)] {
+    eq_.after(d, [this, to, deliver = std::move(deliver)]() mutable {
       if (!crashed_[to]) deliver();
     });
   }

@@ -1,0 +1,110 @@
+// A small-buffer, never-allocating std::function replacement for the
+// simulators' hot event paths.
+//
+// `EventQueue` (baseline/async_net.hpp) and `StepScheduler`
+// (shm/register_sim.hpp) store one callable per scheduled event; with
+// `std::function` every capture larger than the libstdc++ small-object
+// buffer (16 bytes — almost every closure in the ABD protocol stack) is a
+// heap allocation and a pointer chase per event.  `InplaceFunction` stores
+// the callable inline in a fixed `Cap`-byte buffer and REFUSES (at compile
+// time) captures that do not fit, so the per-event allocation is gone by
+// construction, not by luck.  See tests/inplace_function_test.cpp for the
+// allocation-counter proof on the ABD hot path.
+//
+// Differences from std::function, on purpose:
+//  * move-only (the schedulers only ever move events), so move-only
+//    captures work too;
+//  * no allocation fallback: a too-large capture is a static_assert, which
+//    keeps the "zero allocations per event" claim honest;
+//  * no target()/target_type() RTTI.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace anon {
+
+template <typename Sig, std::size_t Cap = 48>
+class InplaceFunction;  // undefined; only the R(Args...) partial spec exists
+
+template <typename R, typename... Args, std::size_t Cap>
+class InplaceFunction<R(Args...), Cap> {
+ public:
+  InplaceFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::decay_t<F>, InplaceFunction>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Cap,
+                  "capture too large for this InplaceFunction's inline "
+                  "buffer — raise Cap or shrink the capture");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "events are moved through the calendar; the capture must "
+                  "be nothrow-movable");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* b, Args&&... args) -> R {
+      return (*std::launder(reinterpret_cast<Fn*>(b)))(
+          std::forward<Args>(args)...);
+    };
+    relocate_ = [](void* dst, void* src) {
+      Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    };
+    destroy_ = [](void* b) { std::launder(reinterpret_cast<Fn*>(b))->~Fn(); };
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { steal(std::move(other)); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(std::move(other));
+    }
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    ANON_CHECK_MSG(invoke_ != nullptr, "calling an empty InplaceFunction");
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+  void reset() {
+    if (destroy_ != nullptr) destroy_(buf_);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+ private:
+  void steal(InplaceFunction&& other) {
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    destroy_ = other.destroy_;
+    if (other.relocate_ != nullptr) other.relocate_(buf_, other.buf_);
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  R (*invoke_)(void*, Args&&...) = nullptr;
+  void (*relocate_)(void* dst, void* src) = nullptr;  // move-construct + destroy src
+  void (*destroy_)(void*) = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[Cap];
+};
+
+}  // namespace anon

@@ -88,14 +88,24 @@ class RoundCalendar {
   }
 
   // Removes and returns every item due exactly at base(), in scheduling
-  // order.  Reuses the slot's capacity across windows via the swap.
+  // order.
   std::vector<T> take_due() {
-    auto& bucket = wheel_[slot(base_)];
     std::vector<T> out;
+    take_due_into(out);
+    return out;
+  }
+
+  // Like take_due(), but recycles the caller's buffer: `out` is cleared,
+  // then swapped with the due bucket, so the bucket inherits out's old
+  // capacity.  A caller that feeds its previous batch back in here keeps
+  // capacity circulating between its batch buffer and the ring slots —
+  // the event loop stops allocating once every touched slot is warm.
+  void take_due_into(std::vector<T>& out) {
+    out.clear();
+    auto& bucket = wheel_[slot(base_)];
     out.swap(bucket);
     in_wheel_ -= out.size();
     size_ -= out.size();
-    return out;
   }
 
  private:

@@ -9,8 +9,9 @@ void StepScheduler::inject(std::uint64_t start_tick,
 
 std::uint64_t StepScheduler::run() {
   for (;;) {
-    // Collect runnable ops (injected and not completed).
-    std::vector<std::size_t> runnable;
+    // Collect runnable ops (injected and not completed) into the reused
+    // per-tick scratch buffer.
+    runnable_.clear();
     bool any_future = false;
     for (std::size_t i = 0; i < ops_.size(); ++i) {
       if (!ops_[i].op) continue;  // completed
@@ -18,15 +19,15 @@ std::uint64_t StepScheduler::run() {
         any_future = true;
         continue;
       }
-      runnable.push_back(i);
+      runnable_.push_back(i);
     }
-    if (runnable.empty()) {
+    if (runnable_.empty()) {
       if (!any_future) return tick_;
       ++tick_;  // idle tick until the next injection time
       continue;
     }
     const std::size_t pick =
-        runnable[rng_.below(runnable.size())];
+        runnable_[rng_.below(runnable_.size())];
     ++tick_;
     if (ops_[pick].op->step()) {
       auto done = std::move(ops_[pick].done);

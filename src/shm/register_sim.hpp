@@ -10,11 +10,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/inplace_function.hpp"
 #include "common/rng.hpp"
 
 namespace anon {
@@ -33,9 +34,27 @@ class SharedMemory {
     ANON_CHECK(i < cells_.size());
     return cells_[i];
   }
+  // Copy-free read access for container-valued cells (the Prop-2 snapshot
+  // path): the caller merges straight out of the register storage.
+  // Rejected at compile time for Cell = bool: std::vector<bool>'s const
+  // operator[] yields a temporary, so view() would return a dangling
+  // reference — the Prop-3 path uses read(), cheaper for bool anyway.
+  const Cell& view(std::size_t i) const {
+    static_assert(!std::is_same_v<Cell, bool>,
+                  "vector<bool> cells have no stable element references; "
+                  "use read()");
+    ANON_CHECK(i < cells_.size());
+    return cells_[i];
+  }
   void write(std::size_t i, Cell v) {
     ANON_CHECK(i < cells_.size());
     cells_[i] = std::move(v);
+  }
+  // Copy-assigning write: reuses the cell's existing capacity (for
+  // ValueSet cells the steady-state write allocates nothing).
+  void write_from(std::size_t i, const Cell& v) {
+    ANON_CHECK(i < cells_.size());
+    cells_[i] = v;
   }
   std::size_t size() const { return cells_.size(); }
 
@@ -58,7 +77,9 @@ class StepScheduler {
  public:
   explicit StepScheduler(std::uint64_t seed) : rng_(seed) {}
 
-  using DoneFn = std::function<void(std::uint64_t end_tick)>;
+  // Completion callbacks are small inline closures (a records pointer, an
+  // index, an output slot) — stored inline, no per-op allocation.
+  using DoneFn = InplaceFunction<void(std::uint64_t end_tick), 40>;
 
   // Registers an op to start at `start_tick` (ticks count executed steps).
   void inject(std::uint64_t start_tick, std::unique_ptr<StepOp> op,
@@ -79,6 +100,7 @@ class StepScheduler {
   Rng rng_;
   std::uint64_t tick_ = 0;
   std::vector<Pending> ops_;
+  std::vector<std::size_t> runnable_;  // per-tick scratch, capacity reused
 };
 
 }  // namespace anon

@@ -1,0 +1,25 @@
+// Reference (executable-specification) implementations of the history
+// checkers, kept verbatim from the seed.
+//
+// `check_weak_set_spec` and `check_regular_register` were rewritten as
+// sort-plus-sweep passes (O(ops log ops)); these are the original
+// brute-force versions — O(gets·adds + gets·|result|·ops) and
+// O(reads·writes²) — whose correctness is obvious from the spec text.
+// They exist to be *disagreed with*: tests/spec_sweep_test.cpp pits the
+// sweep checkers against them on randomized histories and on histories
+// engineered to contain violations, and the E4/E7 benches time the two
+// sides interleaved (the committed BENCH_E4/E7 speedup baseline).  Do not
+// optimize these.
+#pragma once
+
+#include <vector>
+
+#include "weakset/weak_set.hpp"
+#include "weakset/ws_register.hpp"
+
+namespace anon {
+
+WsCheckResult ref_check_weak_set_spec(const std::vector<WsOpRecord>& ops);
+RegCheckResult ref_check_regular_register(const std::vector<RegOpRecord>& ops);
+
+}  // namespace anon

@@ -60,7 +60,8 @@ std::vector<WsOpRecord> run_ws_from_mwmr(
   WsFromMwmr ws(domain);
   StepScheduler sched(seed);
   std::vector<WsOpRecord> records(script.size());
-  std::vector<std::unique_ptr<ValueSet>> outs;
+  // Presized once (stable addresses), no per-get unique_ptr.
+  std::vector<ValueSet> outs(script.size());
 
   for (std::size_t i = 0; i < script.size(); ++i) {
     const MwmrWsScriptOp& op = script[i];
@@ -73,12 +74,11 @@ std::vector<WsOpRecord> run_ws_from_mwmr(
                    [&records, i](std::uint64_t end) { records[i].end = end; });
     } else {
       records[i].kind = WsOpRecord::Kind::kGet;
-      outs.push_back(std::make_unique<ValueSet>());
-      ValueSet* out = outs.back().get();
+      ValueSet* out = &outs[i];
       sched.inject(op.at_tick, ws.make_get(out),
                    [&records, i, out](std::uint64_t end) {
                      records[i].end = end;
-                     records[i].result = *out;
+                     records[i].result = std::move(*out);
                    });
     }
   }

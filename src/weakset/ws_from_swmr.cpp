@@ -10,7 +10,8 @@ class AddOp final : public StepOp {
       : mem_(mem), local_(local), pid_(pid), v_(v) {}
   bool step() override {
     local_->insert(v_);
-    mem_->write(pid_, *local_);  // the single atomic write
+    // The single atomic write; copy-assignment reuses R_i's capacity.
+    mem_->write_from(pid_, *local_);
     return true;
   }
 
@@ -26,8 +27,10 @@ class GetOp final : public StepOp {
   GetOp(SharedMemory<ValueSet>* mem, ValueSet* out)
       : mem_(mem), out_(out) {}
   bool step() override {
-    const ValueSet r = mem_->read(next_);
-    out_->insert(r.begin(), r.end());
+    // One merge pass straight out of the register cell — the seed version
+    // copied the cell, then re-inserted element by element (each insert an
+    // O(|out|) memmove).
+    out_->union_with(mem_->view(next_));
     ++next_;
     return next_ == mem_->size();
   }
@@ -56,8 +59,9 @@ std::vector<WsOpRecord> run_ws_from_swmr(
   WsFromSwmr ws(n);
   StepScheduler sched(seed);
   std::vector<WsOpRecord> records(script.size());
-  // Get results must outlive the scheduler run.
-  std::vector<std::unique_ptr<ValueSet>> outs;
+  // Get results must outlive the scheduler run; presized once so element
+  // addresses are stable (no per-get unique_ptr).
+  std::vector<ValueSet> outs(script.size());
 
   for (std::size_t i = 0; i < script.size(); ++i) {
     const ShmWsScriptOp& op = script[i];
@@ -70,12 +74,11 @@ std::vector<WsOpRecord> run_ws_from_swmr(
                    [&records, i](std::uint64_t end) { records[i].end = end; });
     } else {
       records[i].kind = WsOpRecord::Kind::kGet;
-      outs.push_back(std::make_unique<ValueSet>());
-      ValueSet* out = outs.back().get();
+      ValueSet* out = &outs[i];
       sched.inject(op.at_tick, ws.make_get(op.process, out),
                    [&records, i, out](std::uint64_t end) {
                      records[i].end = end;
-                     records[i].result = *out;
+                     records[i].result = std::move(*out);
                    });
     }
   }

@@ -23,12 +23,11 @@ WsRegElement WsRegElement::decode(Value packed) {
           static_cast<std::uint32_t>(raw >> 31)};
 }
 
-WsRegElement make_write_element(Value v,
-                                const std::set<WsRegElement>& snapshot) {
+WsRegElement make_write_element(Value v, const WsRegSnapshot& snapshot) {
   return {v, static_cast<std::uint32_t>(snapshot.size())};
 }
 
-std::optional<Value> register_read(const std::set<WsRegElement>& snapshot) {
+std::optional<Value> register_read(const WsRegSnapshot& snapshot) {
   if (snapshot.empty()) return std::nullopt;
   std::uint32_t best_rank = 0;
   for (const auto& e : snapshot) best_rank = std::max(best_rank, e.rank);
@@ -38,32 +37,84 @@ std::optional<Value> register_read(const std::set<WsRegElement>& snapshot) {
   return best;
 }
 
+// Sort-plus-sweep regularity check, O(ops log ops) total (the seed version
+// was reads × writes² — every read rescanned every write pair for
+// supersession).  Key fact: a write w is superseded w.r.t. read r iff some
+// write w2 has w.end < w2.start and w2.end < r.start — i.e. iff
+// w.end < S(r) where S(r) = max{ start of writes completed before r }.
+// S(r) is a prefix-max over writes sorted by end; validity of a
+// (value, read) pair is then one prefix-max query over that value's writes
+// sorted by start.  The reference implementation survives as
+// ref_check_regular_register (weakset/reference_checkers.hpp) and the two
+// are pitted against each other on randomized and violating histories in
+// tests/spec_sweep_test.cpp.
 RegCheckResult check_regular_register(const std::vector<RegOpRecord>& ops) {
-  auto precedes = [](const RegOpRecord& a, const RegOpRecord& b) {
-    return a.end < b.start;
+  struct ByEnd {
+    std::uint64_t end;
+    std::uint64_t start;
   };
+  std::vector<ByEnd> by_end;  // all writes, sorted by end
+  // Per written value: (start, prefix-max end) sorted by start.
+  struct ByStart {
+    std::uint64_t start;
+    std::uint64_t max_end;  // max end among this value's writes up to here
+  };
+  std::map<std::optional<Value>, std::vector<ByStart>> by_value;
+
+  for (const RegOpRecord& w : ops) {
+    if (w.kind != RegOpRecord::Kind::kWrite) continue;
+    by_end.push_back({w.end, w.start});
+    by_value[w.value].push_back({w.start, w.end});
+  }
+  std::sort(by_end.begin(), by_end.end(),
+            [](const ByEnd& a, const ByEnd& b) { return a.end < b.end; });
+  // prefix_max_start[i] = max start among by_end[0..i].
+  std::vector<std::uint64_t> prefix_max_start(by_end.size());
+  for (std::size_t i = 0; i < by_end.size(); ++i)
+    prefix_max_start[i] =
+        i == 0 ? by_end[i].start : std::max(prefix_max_start[i - 1], by_end[i].start);
+  for (auto& [v, writes] : by_value) {
+    std::sort(writes.begin(), writes.end(),
+              [](const ByStart& a, const ByStart& b) { return a.start < b.start; });
+    for (std::size_t i = 1; i < writes.size(); ++i)
+      writes[i].max_end = std::max(writes[i].max_end, writes[i - 1].max_end);
+  }
+
   for (const RegOpRecord& r : ops) {
     if (r.kind != RegOpRecord::Kind::kRead) continue;
-    // Valid sources: writes started before the read ended and not strictly
-    // superseded by another write that completed before the read started.
-    bool initial_ok = true;  // reading ⊥/initial is fine iff no write ≺ read
-    std::set<std::optional<Value>> valid;
-    for (const RegOpRecord& w : ops) {
-      if (w.kind != RegOpRecord::Kind::kWrite) continue;
-      if (precedes(w, r)) initial_ok = false;
-      if (w.start > r.end) continue;
-      bool superseded = false;
-      for (const RegOpRecord& w2 : ops) {
-        if (w2.kind != RegOpRecord::Kind::kWrite) continue;
-        if (precedes(w, w2) && precedes(w2, r)) {
-          superseded = true;
-          break;
-        }
+    // Writes completed strictly before the read started: count and S(r).
+    const std::size_t completed =
+        static_cast<std::size_t>(std::lower_bound(
+                                     by_end.begin(), by_end.end(), r.start,
+                                     [](const ByEnd& w, std::uint64_t key) {
+                                       return w.end < key;
+                                     }) -
+                                 by_end.begin());
+    const bool have_superseder = completed > 0;
+    const std::uint64_t s_bound =
+        have_superseder ? prefix_max_start[completed - 1] : 0;
+
+    bool ok = false;
+    if (!r.value.has_value() && completed == 0) ok = true;  // initial read
+    if (!ok) {
+      auto it = by_value.find(r.value);
+      if (it != by_value.end()) {
+        const std::vector<ByStart>& writes = it->second;
+        // Largest index with start <= r.end.
+        const std::size_t idx = static_cast<std::size_t>(
+            std::upper_bound(writes.begin(), writes.end(), r.end,
+                             [](std::uint64_t key, const ByStart& w) {
+                               return key < w.start;
+                             }) -
+            writes.begin());
+        // Valid iff some such write is not superseded: its end reaches at
+        // least S(r).
+        if (idx > 0 &&
+            (!have_superseder || writes[idx - 1].max_end >= s_bound))
+          ok = true;
       }
-      if (!superseded) valid.insert(w.value);
     }
-    if (initial_ok) valid.insert(std::nullopt);
-    if (valid.count(r.value) == 0) {
+    if (!ok) {
       std::ostringstream os;
       os << "read@[" << r.start << "," << r.end << ") by p" << r.process
          << " returned "
@@ -105,10 +156,14 @@ RegisterRunResult run_register_over_ms(const EnvParams& env,
   auto automaton_of = [&net](std::size_t p) -> MsWeakSetAutomaton& {
     return dynamic_cast<MsWeakSetAutomaton&>(net.process(p).automaton());
   };
-  auto snapshot_of = [&](std::size_t p) {
-    std::set<WsRegElement> snap;
+  // One scratch snapshot reused across every operation: the weak-set's
+  // ValueSet is already sorted-unique, so decoding is a linear append —
+  // no per-op tree rebuild, no allocation once the capacity is warm.
+  WsRegSnapshot snap;
+  auto snapshot_of = [&](std::size_t p) -> const WsRegSnapshot& {
+    snap.clear();
     for (const Value& v : automaton_of(p).get())
-      snap.insert(WsRegElement::decode(v));
+      snap.push_back(WsRegElement::decode(v));
     return snap;
   };
 

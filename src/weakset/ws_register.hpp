@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -37,9 +36,17 @@ struct WsRegElement {
   static WsRegElement decode(Value packed);
 };
 
+// A decoded weak-set snapshot: a flat vector of unique elements.  The
+// harness decodes it straight out of the weak-set's sorted ValueSet, so
+// the vector is already unique; no element order is required — the pure
+// transformations below are single linear scans either way.  (This
+// replaced a `std::set<WsRegElement>` rebuilt node-by-node per operation;
+// the caller now reuses one scratch vector's capacity across ops.)
+using WsRegSnapshot = std::vector<WsRegElement>;
+
 // The pure transformation of Proposition 1.
-WsRegElement make_write_element(Value v, const std::set<WsRegElement>& snapshot);
-std::optional<Value> register_read(const std::set<WsRegElement>& snapshot);
+WsRegElement make_write_element(Value v, const WsRegSnapshot& snapshot);
+std::optional<Value> register_read(const WsRegSnapshot& snapshot);
 
 // ---------- regularity checking ----------
 

@@ -25,18 +25,25 @@ TEST(WsRegElement, EncodeRejectsOutOfRange) {
 }
 
 TEST(WsRegisterTransform, ReadPicksMaxRankThenMaxValue) {
-  std::set<WsRegElement> snap;
+  WsRegSnapshot snap;
   EXPECT_EQ(register_read(snap), std::nullopt);
-  snap.insert({Value(5), 0});
+  snap.push_back({Value(5), 0});
   EXPECT_EQ(register_read(snap), Value(5));
-  snap.insert({Value(3), 1});
+  snap.push_back({Value(3), 1});
   EXPECT_EQ(register_read(snap), Value(3));  // higher rank wins over value
-  snap.insert({Value(9), 1});
+  snap.push_back({Value(9), 1});
   EXPECT_EQ(register_read(snap), Value(9));  // rank tie: max value
 }
 
+TEST(WsRegisterTransform, ReadIsOrderAgnostic) {
+  // The harness hands over snapshots in packed (rank, value) order, but
+  // the transformation must not depend on it.
+  WsRegSnapshot snap{{Value(9), 1}, {Value(5), 0}, {Value(3), 1}};
+  EXPECT_EQ(register_read(snap), Value(9));
+}
+
 TEST(WsRegisterTransform, WriteRankIsSnapshotSize) {
-  std::set<WsRegElement> snap{{Value(1), 0}, {Value(2), 1}};
+  WsRegSnapshot snap{{Value(1), 0}, {Value(2), 1}};
   EXPECT_EQ(make_write_element(Value(7), snap).rank, 2u);
 }
 
