@@ -8,7 +8,9 @@
 #include <string>
 
 #include "algo/runner.hpp"
+#include "common/check.hpp"
 #include "core/sweep.hpp"
+#include "scenario/registry.hpp"
 #include "sim/bench_json.hpp"
 #include "sim/experiment.hpp"
 #include "sim/table.hpp"
@@ -31,8 +33,8 @@ inline std::string json_path(const std::string& filename) {
   return std::string(dir) + "/" + filename;
 }
 
-// Runs the experiment tables first, then google-benchmark.
-// Usage:  int main(int argc, char** argv) { return anon::bench::main_with_tables(argc, argv, &print_tables); }
+// Runs the experiment tables first, then google-benchmark.  Every bench
+// uses the ANON_BENCH_MAIN macro below rather than its own main().
 inline int main_with_tables(int argc, char** argv, void (*print_tables)()) {
   print_tables();
   ::benchmark::Initialize(&argc, argv);
@@ -42,33 +44,43 @@ inline int main_with_tables(int argc, char** argv, void (*print_tables)()) {
   return 0;
 }
 
-inline ConsensusConfig consensus_config(EnvKind kind, std::size_t n,
-                                        Round stab, std::uint64_t seed,
-                                        std::size_t crashes = 0) {
-  ConsensusConfig cfg;
-  cfg.env.kind = kind;
-  cfg.env.n = n;
-  cfg.env.seed = seed;
-  cfg.env.stabilization = stab;
-  cfg.initial = distinct_values(n);
-  cfg.net.seed = seed;
-  cfg.net.max_rounds = 60000;
-  cfg.net.record_deliveries = false;  // perf: traces can be huge
-  cfg.validate_env = false;
-  if (crashes > 0)
-    cfg.crashes = random_crashes(n, crashes, std::max<Round>(2, stab), seed + 7);
-  return cfg;
+// Runs a spec through the one scenario surface (ScenarioRegistry).  All
+// bench tables dispatch here; the per-family setup loops the benches used
+// to hand-roll live behind the family runners now.
+inline ScenarioReport run_scenario(const ScenarioSpec& spec,
+                                   std::size_t threads = 0) {
+  return ScenarioRegistry::instance().run(spec, {.threads = threads});
 }
 
-// One config per seed, for the parallel sweep runner.
-inline std::vector<ConsensusConfig> seed_grid(
-    EnvKind kind, std::size_t n, Round stab,
-    const std::vector<std::uint64_t>& seeds, std::size_t crashes = 0) {
-  std::vector<ConsensusConfig> grid;
-  grid.reserve(seeds.size());
-  for (auto seed : seeds)
-    grid.push_back(consensus_config(kind, n, stab, seed, crashes));
-  return grid;
+// A copy of a registered preset's spec, for benches that rescale it
+// (seed counts, smoke grids) before running.
+inline ScenarioSpec preset_spec(const std::string& name) {
+  const ScenarioPreset* p = ScenarioRegistry::instance().find_preset(name);
+  ANON_CHECK_MSG(p != nullptr, "unknown preset " + name);
+  return p->spec;
+}
+
+// The standard consensus scenario shape of the experiment grids (the
+// ex-`consensus_config`, declaratively): distinct proposals, crash-free or
+// f random crashes in [1, max(2, stab)] drawn from seed+7.
+inline ScenarioSpec consensus_spec(ConsensusAlgo algo, EnvKind kind,
+                                   std::size_t n, Round stab,
+                                   std::vector<std::uint64_t> seeds,
+                                   std::size_t crashes = 0) {
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kConsensus;
+  spec.seeds = std::move(seeds);
+  spec.env_kind = kind;
+  spec.n = n;
+  spec.stabilization = stab;
+  spec.consensus.algo = algo;
+  if (crashes > 0) {
+    spec.crashes.kind = CrashGenSpec::Kind::kRandom;
+    spec.crashes.count = crashes;
+    spec.crashes.horizon = std::max<Round>(2, stab);
+    spec.crashes.seed_offset = 7;
+  }
+  return spec;
 }
 
 // Wall-clock seconds of `fn()`.
@@ -141,3 +153,11 @@ class InterleavedTimer {
 };
 
 }  // namespace anon::bench
+
+// The shared bench entry point: tables first (through the scenario
+// registry), then google-benchmark.  One macro instead of a copy of main()
+// per binary.
+#define ANON_BENCH_MAIN(print_tables_fn)                                      \
+  int main(int argc, char** argv) {                                           \
+    return ::anon::bench::main_with_tables(argc, argv, (print_tables_fn));    \
+  }

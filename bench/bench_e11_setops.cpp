@@ -168,6 +168,7 @@ void print_tables() {
 }  // namespace
 }  // namespace anon
 
-int main(int argc, char** argv) {
-  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
-}
+// E11 is the one pure microbenchmark (no simulation, nothing to drive
+// through the scenario registry) — it still uses the shared entry point.
+ANON_BENCH_MAIN(&anon::print_tables)
+

@@ -2,7 +2,10 @@
 //
 // The cohort engine simulates anonymous processes by state-equivalence
 // class (net/cohort.hpp), so a failure-free post-GST run costs O(C²) per
-// round in the number of distinct states — independent of n.  Tables:
+// round in the number of distinct states — independent of n.  The
+// E1-shaped workload is the preset `e12-cohort` scenario (cycle-generated
+// proposals bound the domain to 8 classes at ANY n); only E12.c (the
+// heavy-message CohortNet probe) still drives the engine directly.
 //
 //   E12.a  E1-shaped ES consensus ladder, n = 1e3 … 1e6, cohort engine:
 //          wall clock stays flat-ish in n (dominated by O(n) setup) while
@@ -16,40 +19,26 @@
 // BENCH_E12.json records the n = 1e6 completion and the n = 4096 speedup.
 #include "bench_common.hpp"
 
-#include <map>
 #include <memory>
 #include <vector>
 
-#include "algo/es_consensus.hpp"
 #include "algo/ess_consensus.hpp"
+#include "common/history.hpp"
 #include "net/cohort.hpp"
 
 namespace anon {
 namespace {
 
-// E1-shaped failure-free workload with a bounded proposal domain: ES with
-// GST = 0 (uniform timing from round 1 — the post-GST steady state the
-// cohort engine collapses), proposals cycling through kDomain values, so
-// the run starts from kDomain equivalence classes at ANY n.
+using bench::run_scenario;
+
 constexpr std::size_t kDomain = 8;
 
-ConsensusConfig e1_shaped(std::size_t n, std::uint64_t seed,
-                          ConsensusBackend backend) {
-  ConsensusConfig cfg;
-  cfg.env.kind = EnvKind::kES;
-  cfg.env.n = n;
-  cfg.env.seed = seed;
-  cfg.env.stabilization = 0;
-  cfg.initial.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    cfg.initial.push_back(Value(100 + static_cast<std::int64_t>(i % kDomain)));
-  cfg.net.seed = seed;
-  cfg.net.max_rounds = 60000;
-  cfg.net.record_trace = false;
-  cfg.net.record_deliveries = false;
-  cfg.validate_env = false;
-  cfg.backend = backend;
-  return cfg;
+ScenarioSpec e1_shaped(std::size_t n, ConsensusBackend backend) {
+  ScenarioSpec spec = bench::preset_spec("e12-cohort");
+  spec.n = n;
+  spec.consensus.backend = backend;
+  spec.consensus.record_trace = false;
+  return spec;
 }
 
 void print_tables() {
@@ -64,11 +53,11 @@ void print_tables() {
     Table t("E12.a  cohort engine, E1-shaped ES run (GST=0, 8 proposal values)",
             {"n", "wall-clock s", "rounds", "max cohorts", "link deliveries"});
     for (std::size_t n : ladder) {
-      ConsensusReport rep;
+      ScenarioReport report;
       const double s = bench::timed_seconds([&] {
-        rep = run_consensus(ConsensusAlgo::kEs,
-                            e1_shaped(n, 42, ConsensusBackend::kCohort));
+        report = run_scenario(e1_shaped(n, ConsensusBackend::kCohort), 1);
       });
+      const auto& rep = report.consensus_cells[0].report;
       ANON_CHECK_MSG(rep.all_correct_decided && rep.agreement,
                      "cohort run must decide consensus");
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
@@ -91,21 +80,19 @@ void print_tables() {
   double ab_cohort_s = 0, ab_expanded_s = 0;
   {
     const int reps = bench::smoke() ? 1 : 2;
-    ConsensusReport rep_c, rep_e;
+    ScenarioReport rep_c, rep_e;
     const bench::AbSeconds ab = bench::interleaved_ab_seconds(
         reps,
         [&] {
-          rep_e = run_consensus(ConsensusAlgo::kEs,
-                                e1_shaped(ab_n, 42, ConsensusBackend::kExpanded));
+          rep_e = run_scenario(e1_shaped(ab_n, ConsensusBackend::kExpanded), 1);
         },
         [&] {
-          rep_c = run_consensus(ConsensusAlgo::kEs,
-                                e1_shaped(ab_n, 42, ConsensusBackend::kCohort));
+          rep_c = run_scenario(e1_shaped(ab_n, ConsensusBackend::kCohort), 1);
         });
     ab_expanded_s = ab.a;
     ab_cohort_s = ab.b;
-    const bool identical =
-        rep_e.to_string() == rep_c.to_string();
+    const bool identical = rep_e.consensus_cells[0].report.to_string() ==
+                           rep_c.consensus_cells[0].report.to_string();
     Table t("E12.b  expanded vs cohort engine, same workload (n=" +
                 Table::num(static_cast<std::uint64_t>(ab_n)) +
                 ", interleaved A/B best-of-" + std::to_string(reps) + ")",
@@ -121,6 +108,8 @@ void print_tables() {
   {
     // E10-shaped: Algorithm 3's heavy messages (history + counters), no
     // decision, fixed horizon — the state-growth workload, collapsed.
+    // CohortNet is driven directly: the scenario layer's state-growth
+    // probe is expanded-only (it inspects a representative automaton).
     const Round horizon = bench::smoke() ? 50u : 100u;
     Table t("E12.c  cohort engine, E10-shaped run (Alg 3 messages, no decide, " +
                 Table::num(static_cast<std::uint64_t>(horizon)) + " rounds)",
@@ -182,11 +171,14 @@ void BM_CohortEsConsensus(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    auto rep = run_consensus(ConsensusAlgo::kEs,
-                             e1_shaped(n, seed++, ConsensusBackend::kCohort));
-    benchmark::DoNotOptimize(rep);
-    state.counters["rounds"] = static_cast<double>(rep.last_decision_round);
-    state.counters["cohorts"] = static_cast<double>(rep.cohorts_max);
+    ScenarioSpec spec = e1_shaped(n, ConsensusBackend::kCohort);
+    spec.seeds = {seed++};
+    const auto report = run_scenario(spec, 1);
+    benchmark::DoNotOptimize(report);
+    const auto& cell = report.consensus_cells[0];
+    state.counters["rounds"] =
+        static_cast<double>(cell.report.last_decision_round);
+    state.counters["cohorts"] = static_cast<double>(cell.report.cohorts_max);
   }
 }
 BENCHMARK(BM_CohortEsConsensus)->Arg(1024)->Arg(16384);
@@ -194,6 +186,4 @@ BENCHMARK(BM_CohortEsConsensus)->Arg(1024)->Arg(16384);
 }  // namespace
 }  // namespace anon
 
-int main(int argc, char** argv) {
-  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
-}
+ANON_BENCH_MAIN(&anon::print_tables)

@@ -2,70 +2,39 @@
 //
 // Tables: decision round vs n; decision round vs GST (shape: GST + small
 // constant); decision round vs crash count (any minority/majority — no
-// quorum).  Timings: full runs.
+// quorum).  Every cell is a ScenarioSpec dispatched through the scenario
+// registry; E1.d pins the thread-count invariance of the driver itself.
 #include "bench_common.hpp"
-
-#include "algo/es_consensus.hpp"
 
 namespace anon {
 namespace {
 
-using bench::consensus_config;
-using bench::seed_grid;
+using bench::consensus_spec;
+using bench::run_scenario;
 using bench::timed_seconds;
 
 // The tracked hot-path workload of this experiment (BENCH_E1.json): the
-// full E1.a n=64 sweep, serial, best wall clock over a few repetitions.
+// preset `e1` sweep (full E1.a n=64 cell), serial, best wall clock over a
+// few repetitions — now produced by the unified driver + report emitter.
 void write_bench_json(const std::vector<std::uint64_t>& seeds) {
-  const std::size_t n = 64;
-  std::vector<ConsensusConfig> grid = seed_grid(EnvKind::kES, n, 0, seeds);
+  ScenarioSpec spec = bench::preset_spec("e1");
+  spec.seeds = seeds;
   const int reps = bench::smoke() ? 2 : 5;
-  std::vector<ConsensusReport> reports;
-  const double best = bench::best_seconds(reps, [&] {
-    reports = run_consensus_sweep(ConsensusAlgo::kEs, grid, {.threads = 1});
-  });
-  std::uint64_t rounds = 0, sends = 0, bytes = 0, deliveries = 0;
-  for (const auto& rep : reports) {
-    rounds += rep.rounds_executed;
-    sends += rep.sends;
-    bytes += rep.bytes_sent;
-    deliveries += rep.deliveries;
-  }
+  ScenarioReport report;
+  const double best = bench::best_seconds(
+      reps, [&] { report = run_scenario(spec, /*threads=*/1); });
   BenchJson j;
   j.set("experiment", std::string("E1"));
   j.set("workload", std::string("ES consensus sweep, n=64, GST=0, serial"));
-  j.set("n", static_cast<std::uint64_t>(n));
-  j.set("cells", static_cast<std::uint64_t>(grid.size()));
+  j.set("n", static_cast<std::uint64_t>(spec.n));
   j.set("reps", static_cast<std::uint64_t>(reps));
   j.set("wall_s", best);
-  j.set("rounds", rounds);
-  j.set("sends", sends);
-  j.set("bytes", bytes);
-  j.set("deliveries", deliveries);
+  add_report_totals(j, report);
   j.set("smoke", static_cast<std::uint64_t>(bench::smoke() ? 1 : 0));
   const std::string path = bench::json_path("BENCH_E1.json");
   if (j.write(path))
     std::cout << "  [" << path << " written: wall_s=" << best << "]\n";
 }
-
-// A genuinely adversarial ES schedule: the bivalent two-camp MS adversary
-// (E8) rules until GST, full synchrony afterwards.  Under it Algorithm 2
-// cannot decide before GST, so the decision round tracks GST + a small
-// constant — the paper's termination shape, with the promise made tight.
-class BivalentUntilGst final : public DelayModel {
- public:
-  BivalentUntilGst(std::size_t n, Round gst) : camps_(n), gst_(gst) {}
-  Round delay(Round k, ProcId s, ProcId r) const override {
-    return k > gst_ ? 0 : camps_.delay(k, s, r);
-  }
-  std::optional<ProcId> planned_source(Round k) const override {
-    return camps_.planned_source(k);
-  }
-
- private:
-  BivalentMsModel camps_;
-  Round gst_;
-};
 
 void print_tables() {
   const auto seeds = experiment_seeds(bench::smoke() ? 3 : 10);
@@ -75,11 +44,12 @@ void print_tables() {
             {"n", "last decision round", "messages", "bytes/process"});
     for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
       std::vector<double> rounds, msgs, bytes;
-      for (const auto& rep : run_consensus_sweep(
-               ConsensusAlgo::kEs, seed_grid(EnvKind::kES, n, 0, seeds))) {
-        rounds.push_back(static_cast<double>(rep.last_decision_round));
-        msgs.push_back(static_cast<double>(rep.deliveries));
-        bytes.push_back(static_cast<double>(rep.bytes_sent) /
+      const auto report = run_scenario(
+          consensus_spec(ConsensusAlgo::kEs, EnvKind::kES, n, 0, seeds));
+      for (const auto& cell : report.consensus_cells) {
+        rounds.push_back(static_cast<double>(cell.report.last_decision_round));
+        msgs.push_back(static_cast<double>(cell.report.deliveries));
+        bytes.push_back(static_cast<double>(cell.report.bytes_sent) /
                         static_cast<double>(n));
       }
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
@@ -94,18 +64,20 @@ void print_tables() {
     Table t("E1.b  decision round vs GST under the adversarial (bivalent-until-GST) schedule (n=8)",
             {"GST", "last decision round", "decision - GST"});
     for (Round gst : {0u, 8u, 16u, 32u, 64u, 128u}) {
-      std::vector<std::unique_ptr<Automaton<EsMessage>>> autos;
-      for (auto v : BivalentMsModel::initial_values(8))
-        autos.push_back(std::make_unique<EsConsensus>(v));
-      BivalentUntilGst delays(8, gst);
-      LockstepOptions opt;
-      opt.max_rounds = gst + 200;
-      opt.record_trace = false;
-      LockstepNet<EsMessage> net(std::move(autos), delays, CrashPlan{}, opt);
-      net.run_until_all_correct_decided();
-      Round last = 0;
-      for (ProcId p = 0; p < 8; ++p)
-        last = std::max(last, net.decision_round(p));
+      ScenarioSpec spec;
+      spec.family = ScenarioFamily::kConsensus;
+      spec.seeds = {1};
+      spec.env_kind = EnvKind::kES;
+      spec.n = 8;
+      spec.stabilization = gst;
+      spec.initial.kind = ValueGenSpec::Kind::kBivalent;
+      spec.consensus.algo = ConsensusAlgo::kEs;
+      spec.consensus.schedule =
+          ConsensusSpecSection::Schedule::kBivalentUntilGst;
+      spec.consensus.max_rounds = gst + 200;
+      spec.consensus.record_trace = false;
+      const auto report = run_scenario(spec);
+      const Round last = report.consensus_cells[0].report.last_decision_round;
       t.add_row({Table::num(static_cast<std::uint64_t>(gst)),
                  Table::num(last),
                  Table::num(static_cast<std::uint64_t>(last - gst))});
@@ -118,10 +90,10 @@ void print_tables() {
             {"GST", "last decision round"});
     for (Round gst : {0u, 16u, 64u}) {
       std::vector<double> rounds;
-      for (const auto& rep : run_consensus_sweep(
-               ConsensusAlgo::kEs, seed_grid(EnvKind::kES, 8, gst, seeds))) {
-        rounds.push_back(static_cast<double>(rep.last_decision_round));
-      }
+      const auto report = run_scenario(
+          consensus_spec(ConsensusAlgo::kEs, EnvKind::kES, 8, gst, seeds));
+      for (const auto& cell : report.consensus_cells)
+        rounds.push_back(static_cast<double>(cell.report.last_decision_round));
       t.add_row({Table::num(static_cast<std::uint64_t>(gst)),
                  aggregate(rounds).to_string()});
     }
@@ -136,11 +108,12 @@ void print_tables() {
     for (std::size_t f : {0u, 2u, 4u, 7u}) {
       std::size_t decided = 0, agree = 0;
       std::vector<double> rounds;
-      for (const auto& rep : run_consensus_sweep(
-               ConsensusAlgo::kEs, seed_grid(EnvKind::kES, 8, 12, seeds, f))) {
-        decided += rep.all_correct_decided ? 1 : 0;
-        agree += rep.agreement ? 1 : 0;
-        rounds.push_back(static_cast<double>(rep.last_decision_round));
+      const auto report = run_scenario(
+          consensus_spec(ConsensusAlgo::kEs, EnvKind::kES, 8, 12, seeds, f));
+      for (const auto& cell : report.consensus_cells) {
+        decided += cell.report.all_correct_decided ? 1 : 0;
+        agree += cell.report.agreement ? 1 : 0;
+        rounds.push_back(static_cast<double>(cell.report.last_decision_round));
       }
       t.add_row({Table::num(static_cast<std::uint64_t>(f)),
                  Table::num(static_cast<std::uint64_t>(decided)) + "/" +
@@ -153,30 +126,28 @@ void print_tables() {
   }
 
   {
-    // The whole (n × seed) grid of E1.a as one flat sweep, serial vs
-    // sharded: the parallel runner must reproduce the serial results
-    // report-for-report while cutting wall clock with available cores.
-    std::vector<ConsensusConfig> grid;
-    for (std::size_t n : {8u, 16u, 32u, 64u}) {
-      auto rows = seed_grid(EnvKind::kES, n, 0, seeds);
-      grid.insert(grid.end(), std::make_move_iterator(rows.begin()),
-                  std::make_move_iterator(rows.end()));
+    // The E1.a grid again, through the driver at 1 vs 4 worker threads:
+    // the scenario layer's determinism contract is that the DETERMINISTIC
+    // report JSON (everything but timing) is byte-identical at any thread
+    // count, while wall clock drops with cores.
+    std::vector<ScenarioSpec> specs;
+    for (std::size_t n : {8u, 16u, 32u, 64u})
+      specs.push_back(
+          consensus_spec(ConsensusAlgo::kEs, EnvKind::kES, n, 0, seeds));
+
+    double serial_s = 0, parallel_s = 0;
+    bool identical = true;
+    for (const auto& spec : specs) {
+      ScenarioReport serial, parallel;
+      serial_s += timed_seconds([&] { serial = run_scenario(spec, 1); });
+      parallel_s += timed_seconds([&] { parallel = run_scenario(spec, 4); });
+      identical = identical && serial.to_json_string(false) ==
+                                   parallel.to_json_string(false);
     }
-
-    std::vector<ConsensusReport> serial, parallel;
-    const double serial_s = timed_seconds([&] {
-      serial = run_consensus_sweep(ConsensusAlgo::kEs, grid, {.threads = 1});
-    });
-    const double parallel_s = timed_seconds([&] {
-      parallel = run_consensus_sweep(ConsensusAlgo::kEs, grid, {.threads = 4});
-    });
-    bool identical = serial.size() == parallel.size();
-    for (std::size_t i = 0; identical && i < serial.size(); ++i)
-      identical = serial[i].to_string() == parallel[i].to_string();
-
-    Table t("E1.d  sweep runner: serial vs 4-thread shard over the E1.a grid (" +
-                Table::num(static_cast<std::uint64_t>(grid.size())) + " cells)",
-            {"runner", "wall-clock s", "speedup", "results identical"});
+    Table t("E1.d  scenario driver: serial vs 4-thread shard over the E1.a grid (" +
+                Table::num(static_cast<std::uint64_t>(specs.size() * seeds.size())) +
+                " cells)",
+            {"runner", "wall-clock s", "speedup", "reports identical"});
     t.add_row({"serial (1 thread)", Table::num(serial_s, 3), "1.00x", "-"});
     t.add_row({"sharded (4 threads)", Table::num(parallel_s, 3),
                Table::ratio(serial_s / parallel_s),
@@ -193,9 +164,10 @@ void BM_EsConsensus(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    auto rep = run_consensus(ConsensusAlgo::kEs,
-                             consensus_config(EnvKind::kES, n, 8, seed++));
-    benchmark::DoNotOptimize(rep);
+    const auto report = run_scenario(
+        consensus_spec(ConsensusAlgo::kEs, EnvKind::kES, n, 8, {seed++}), 1);
+    benchmark::DoNotOptimize(report);
+    const auto& rep = report.consensus_cells[0].report;
     state.counters["rounds"] = static_cast<double>(rep.last_decision_round);
     state.counters["msgs"] = static_cast<double>(rep.deliveries);
   }
@@ -205,6 +177,4 @@ BENCHMARK(BM_EsConsensus)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace
 }  // namespace anon
 
-int main(int argc, char** argv) {
-  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
-}
+ANON_BENCH_MAIN(&anon::print_tables)

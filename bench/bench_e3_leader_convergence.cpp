@@ -1,85 +1,96 @@
 // E3 — pseudo leader election convergence (Lemmas 4–6): rounds until the
 // self-considered-leader set stabilizes on the eventual source's history,
-// compared against the ID-based Ω accusation tracker.  Decisions are
-// disabled to observe the election in steady state.
+// compared against the ID-based Ω accusation tracker.  Both probes are
+// scenario families now (consensus probe=leader-convergence, omega
+// probe=leader-convergence); BENCH_E3.json tracks the two preset cells
+// through the unified emitter.
 #include "bench_common.hpp"
-
-#include "algo/ess_consensus.hpp"
-#include "baseline/omega_consensus.hpp"
 
 namespace anon {
 namespace {
 
-// Rounds after stabilization until leaders == {source history} and stay so.
-Round pseudo_leader_convergence(std::size_t n, Round stab, std::uint64_t seed,
-                                Round horizon) {
-  EnvParams env;
-  env.kind = EnvKind::kESS;
-  env.n = n;
-  env.seed = seed;
-  env.stabilization = stab;
-  HistoryArena arena;
-  EssConsensus::Options no_decide;
-  no_decide.decide = false;
-  std::vector<std::unique_ptr<Automaton<EssMessage>>> autos;
-  for (auto v : distinct_values(n))
-    autos.push_back(std::make_unique<EssConsensus>(v, &arena, no_decide));
-  EnvDelayModel delays(env, CrashPlan{});
-  const ProcId src = delays.stable_source();
-  LockstepOptions opt;
-  opt.max_rounds = horizon;
-  opt.record_trace = false;
-  LockstepNet<EssMessage> net(std::move(autos), delays, CrashPlan{}, opt);
+using bench::run_scenario;
 
-  Round last_bad = 0;
-  net.run([&](const LockstepNet<EssMessage>& nn) {
-    if (nn.round() < 2) return false;
-    const auto& s = dynamic_cast<const EssConsensus&>(nn.process(src).automaton());
-    bool good = s.considers_self_leader();
-    for (ProcId p = 0; p < nn.n(); ++p) {
-      const auto& a = dynamic_cast<const EssConsensus&>(nn.process(p).automaton());
-      if (a.considers_self_leader() && !(a.history() == s.history()))
-        good = false;
-    }
-    if (!good) last_bad = nn.round();
-    return false;
-  });
-  return last_bad + 1;  // first round of the converged suffix
+ScenarioSpec pseudo_spec(std::size_t n, Round stab, Round horizon,
+                         const std::vector<std::uint64_t>& seeds) {
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kConsensus;
+  spec.seeds = seeds;
+  spec.env_kind = EnvKind::kESS;
+  spec.n = n;
+  spec.stabilization = stab;
+  spec.consensus.algo = ConsensusAlgo::kEss;
+  spec.consensus.probe = ConsensusSpecSection::Probe::kLeaderConvergence;
+  spec.consensus.horizon = horizon;
+  spec.consensus.record_trace = false;
+  return spec;
 }
 
-// Rounds until everyone's Ω estimate equals the source and stays so.
-Round omega_convergence(std::size_t n, Round stab, std::uint64_t seed,
-                        Round horizon) {
-  EnvParams env;
-  env.kind = EnvKind::kESS;
-  env.n = n;
-  env.seed = seed;
-  env.stabilization = stab;
-  std::vector<std::unique_ptr<Automaton<OmegaMessage>>> autos;
-  for (std::size_t i = 0; i < n; ++i)
-    autos.push_back(std::make_unique<OmegaConsensus>(
-        Value(100 + static_cast<std::int64_t>(i)), i, 2, /*decide=*/false));
-  EnvDelayModel delays(env, CrashPlan{});
-  const ProcId src = delays.stable_source();
-  LockstepOptions opt;
-  opt.max_rounds = horizon;
-  opt.record_trace = false;
-  LockstepNet<OmegaMessage> net(std::move(autos), delays, CrashPlan{}, opt);
+ScenarioSpec omega_spec(std::size_t n, Round stab, Round horizon,
+                        const std::vector<std::uint64_t>& seeds) {
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kOmega;
+  spec.seeds = seeds;
+  spec.env_kind = EnvKind::kESS;
+  spec.n = n;
+  spec.stabilization = stab;
+  spec.omega.probe = OmegaSpecSection::Probe::kLeaderConvergence;
+  spec.omega.horizon = horizon;
+  return spec;
+}
 
-  Round last_bad = 0;
-  net.run([&](const LockstepNet<OmegaMessage>& nn) {
-    for (ProcId p = 0; p < nn.n(); ++p) {
-      const auto& a =
-          dynamic_cast<const OmegaConsensus&>(nn.process(p).automaton());
-      if (a.current_leader() != src) last_bad = nn.round();
-    }
-    return false;
-  });
-  return last_bad + 1;
+SeriesStat pseudo_convergence(const ScenarioReport& report) {
+  std::vector<double> rounds;
+  for (const auto& cell : report.consensus_cells)
+    rounds.push_back(static_cast<double>(cell.convergence_round));
+  return aggregate(std::move(rounds));
+}
+
+SeriesStat omega_convergence(const ScenarioReport& report) {
+  std::vector<double> rounds;
+  for (const auto& cell : report.omega_cells)
+    rounds.push_back(static_cast<double>(cell.convergence_round));
+  return aggregate(std::move(rounds));
+}
+
+// The tracked workload (BENCH_E3.json): the two preset probes (ESS n=5,
+// horizon 300), interleaved A/B so the committed pseudo-vs-Ω gap is
+// drift-free.
+void write_bench_json() {
+  const auto seeds = experiment_seeds(bench::smoke() ? 3 : 8);
+  ScenarioSpec pseudo = bench::preset_spec("e3-pseudo");
+  ScenarioSpec omega = bench::preset_spec("e3-omega");
+  pseudo.seeds = seeds;
+  omega.seeds = seeds;
+  const int reps = bench::smoke() ? 2 : 3;
+  ScenarioReport rep_pseudo, rep_omega;
+  const bench::AbSeconds ab = bench::interleaved_ab_seconds(
+      reps, [&] { rep_pseudo = run_scenario(pseudo, 1); },
+      [&] { rep_omega = run_scenario(omega, 1); });
+  BenchJson j;
+  j.set("experiment", std::string("E3"));
+  j.set("workload",
+        std::string("leader convergence, ESS n=5 stab=0 horizon=300: pseudo "
+                    "leaders (histories) vs Omega (IDs)"));
+  j.set("cells", static_cast<std::uint64_t>(seeds.size()));
+  j.set("reps", static_cast<std::uint64_t>(reps));
+  j.set("wall_pseudo_s", ab.a);
+  j.set("wall_omega_s", ab.b);
+  j.set("mean_convergence_pseudo", pseudo_convergence(rep_pseudo).mean);
+  j.set("mean_convergence_omega", omega_convergence(rep_omega).mean);
+  j.set("deliveries_pseudo", rep_pseudo.deliveries);
+  j.set("deliveries_omega", rep_omega.deliveries);
+  j.set("bytes_pseudo", rep_pseudo.bytes);
+  j.set("bytes_omega", rep_omega.bytes);
+  j.set("smoke", static_cast<std::uint64_t>(bench::smoke() ? 1 : 0));
+  const std::string path = bench::json_path("BENCH_E3.json");
+  if (j.write(path))
+    std::cout << "  [" << path << " written: pseudo_s=" << ab.a
+              << " omega_s=" << ab.b << "]\n";
 }
 
 void print_tables() {
-  const auto seeds = experiment_seeds(8);
+  const auto seeds = experiment_seeds(bench::smoke() ? 3 : 8);
   const Round horizon = 300;
 
   {
@@ -87,16 +98,12 @@ void print_tables() {
             {"n", "pseudo-leaders (histories, anonymous)",
              "Ω accusations (IDs)"});
     for (std::size_t n : {3u, 5u, 9u, 17u}) {
-      // Both election races sweep their seeds in parallel (core/sweep.hpp);
+      // Both election races shard their seed lists inside the driver;
       // every cell builds its own net, so sharding cannot perturb results.
       const SeriesStat pseudo =
-          sweep_aggregate(seeds, [&](std::uint64_t seed) {
-            return static_cast<double>(
-                pseudo_leader_convergence(n, 0, seed, horizon));
-          });
-      const SeriesStat omega = sweep_aggregate(seeds, [&](std::uint64_t seed) {
-        return static_cast<double>(omega_convergence(n, 0, seed, horizon));
-      });
+          pseudo_convergence(run_scenario(pseudo_spec(n, 0, horizon, seeds)));
+      const SeriesStat omega =
+          omega_convergence(run_scenario(omega_spec(n, 0, horizon, seeds)));
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
                  pseudo.to_string(), omega.to_string()});
     }
@@ -108,32 +115,34 @@ void print_tables() {
             {"stabilization", "pseudo-leaders", "Ω (IDs)",
              "pseudo - stabilization"});
     for (Round stab : {0u, 10u, 40u, 100u}) {
-      const std::vector<double> pseudo = parallel_sweep(
-          seeds.size(), [&](std::size_t i) {
-            return static_cast<double>(
-                pseudo_leader_convergence(5, stab, seeds[i], horizon + stab));
-          });
-      const SeriesStat omega = sweep_aggregate(seeds, [&](std::uint64_t seed) {
-        return static_cast<double>(
-            omega_convergence(5, stab, seed, horizon + stab));
-      });
-      std::vector<double> slack;
-      for (double p : pseudo) slack.push_back(p - static_cast<double>(stab));
+      const auto pseudo_report =
+          run_scenario(pseudo_spec(5, stab, horizon + stab, seeds));
+      const SeriesStat omega = omega_convergence(
+          run_scenario(omega_spec(5, stab, horizon + stab, seeds)));
+      std::vector<double> pseudo, slack;
+      for (const auto& cell : pseudo_report.consensus_cells) {
+        pseudo.push_back(static_cast<double>(cell.convergence_round));
+        slack.push_back(static_cast<double>(cell.convergence_round) -
+                        static_cast<double>(stab));
+      }
       t.add_row({Table::num(static_cast<std::uint64_t>(stab)),
                  aggregate(pseudo).to_string(), omega.to_string(),
                  aggregate(slack).to_string()});
     }
     t.print();
   }
+
+  write_bench_json();
 }
 
 void BM_PseudoLeaderElection(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    Round r = pseudo_leader_convergence(n, 0, seed++, 200);
-    benchmark::DoNotOptimize(r);
-    state.counters["conv_round"] = static_cast<double>(r);
+    const auto report = run_scenario(pseudo_spec(n, 0, 200, {seed++}), 1);
+    benchmark::DoNotOptimize(report);
+    state.counters["conv_round"] = static_cast<double>(
+        report.consensus_cells[0].convergence_round);
   }
 }
 BENCHMARK(BM_PseudoLeaderElection)->Arg(5)->Arg(17);
@@ -141,6 +150,4 @@ BENCHMARK(BM_PseudoLeaderElection)->Arg(5)->Arg(17);
 }  // namespace
 }  // namespace anon
 
-int main(int argc, char** argv) {
-  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
-}
+ANON_BENCH_MAIN(&anon::print_tables)

@@ -1,6 +1,7 @@
 // E4 — Theorem 3: Algorithm 4 implements a weak-set in MS.  Spec
 // violations (always 0), add latency in rounds vs n / link quality /
-// crashes; gets are free (local).  BENCH_E4.json tracks the whole-history
+// crashes; gets are free (local).  Harness cells run through the weakset
+// scenario family; BENCH_E4.json additionally tracks the whole-history
 // certification cost: the seed gets×adds checker (kept as
 // ref_check_weak_set_spec) vs the completed-add-watermark sweep,
 // interleaved, plus the sweep checker on a 100k-operation history.
@@ -13,15 +14,17 @@
 namespace anon {
 namespace {
 
-std::vector<WsScriptOp> workload(std::size_t n, int ops) {
-  std::vector<WsScriptOp> script;
-  for (int i = 0; i < ops; ++i) {
-    script.push_back({static_cast<Round>(2 + 3 * i),
-                      static_cast<std::size_t>(i % n), true, Value(100 + i)});
-    script.push_back({static_cast<Round>(3 + 3 * i),
-                      static_cast<std::size_t>((i + 1) % n), false, Value()});
-  }
-  return script;
+using bench::run_scenario;
+
+ScenarioSpec weakset_spec(std::size_t n, std::size_t ops,
+                          const std::vector<std::uint64_t>& seeds) {
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kWeakset;
+  spec.seeds = seeds;
+  spec.env_kind = EnvKind::kMS;
+  spec.n = n;
+  spec.weakset.gen_ops = ops;
+  return spec;
 }
 
 // A valid-by-construction weak-set history over a bounded value domain —
@@ -108,23 +111,20 @@ void write_bench_json(const std::vector<std::uint64_t>& seeds) {
   const double big_s =
       bench::best_seconds(reps, [&] { big_ok = check_weak_set_spec(big).ok; });
 
-  // (3) Scaled Algorithm 4 harness wall (records + certification).
-  const std::size_t run_n = bench::smoke() ? 4 : 16;
-  const int run_ops = bench::smoke() ? 12 : 48;
+  // (3) Scaled Algorithm 4 harness (records + certification), through the
+  // driver: the preset `e4` workload at the smoke-scaled grid.
+  ScenarioSpec spec = bench::preset_spec("e4");
+  spec.seeds = seeds;
+  if (bench::smoke()) {
+    spec.n = 4;
+    spec.weakset.gen_ops = 12;
+  }
+  ScenarioReport report;
+  const double run_s =
+      bench::best_seconds(reps, [&] { report = run_scenario(spec); });
   std::size_t run_violations = 0;
-  const double run_s = bench::best_seconds(reps, [&] {
-    run_violations = 0;
-    auto cells = parallel_sweep(seeds.size(), [&](std::size_t i) -> int {
-      EnvParams env;
-      env.kind = EnvKind::kMS;
-      env.n = run_n;
-      env.seed = seeds[i];
-      auto run = run_ms_weak_set(env, CrashPlan{}, workload(run_n, run_ops),
-                                 50, false);
-      return check_weak_set_spec(run.records).ok ? 0 : 1;
-    });
-    for (int v : cells) run_violations += static_cast<std::size_t>(v);
-  });
+  for (const auto& cell : report.weakset_cells)
+    run_violations += cell.spec_ok ? 0 : 1;
 
   BenchJson j;
   j.set("experiment", std::string("E4"));
@@ -141,8 +141,9 @@ void write_bench_json(const std::vector<std::uint64_t>& seeds) {
   j.set("certify_big_ops", static_cast<std::uint64_t>(big_ops));
   j.set("certify_big_s", big_s);
   j.set("certify_big_ok", static_cast<std::uint64_t>(big_ok ? 1 : 0));
-  j.set("alg4_sweep_n", static_cast<std::uint64_t>(run_n));
-  j.set("alg4_sweep_script_ops", static_cast<std::uint64_t>(2 * run_ops));
+  j.set("alg4_sweep_n", static_cast<std::uint64_t>(spec.n));
+  j.set("alg4_sweep_script_ops",
+        static_cast<std::uint64_t>(2 * spec.weakset.gen_ops));
   j.set("alg4_sweep_cells", static_cast<std::uint64_t>(seeds.size()));
   j.set("alg4_sweep_wall_s", run_s);
   j.set("alg4_sweep_violations", static_cast<std::uint64_t>(run_violations));
@@ -164,18 +165,15 @@ void print_tables() {
     Table t("E4.a  weak-set in MS: add latency (rounds) vs n",
             {"n", "add latency (rounds)", "spec violations", "env=MS certified"});
     for (std::size_t n : sizes) {
+      ScenarioSpec spec = weakset_spec(n, 12, seeds);
+      spec.weakset.validate_env = true;
       std::vector<double> lat;
       std::size_t violations = 0, certified = 0;
-      for (auto seed : seeds) {
-        EnvParams env;
-        env.kind = EnvKind::kMS;
-        env.n = n;
-        env.seed = seed;
-        auto run = run_ms_weak_set(env, CrashPlan{}, workload(n, 12));
-        lat.push_back(static_cast<double>(run.add_latency_rounds_total) /
-                      static_cast<double>(run.adds));
-        if (!check_weak_set_spec(run.records).ok) ++violations;
-        if (run.env_check.ms_ok) ++certified;
+      for (const auto& cell : run_scenario(spec).weakset_cells) {
+        lat.push_back(static_cast<double>(cell.add_latency_total) /
+                      static_cast<double>(cell.adds));
+        if (!cell.spec_ok) ++violations;
+        if (cell.env_ms_ok) ++certified;
       }
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
                  aggregate(lat).to_string(),
@@ -190,17 +188,12 @@ void print_tables() {
     Table t("E4.b  add latency vs link quality (n=8; timely_prob of non-source links)",
             {"timely_prob", "add latency (rounds)"});
     for (double p : {0.0, 0.1, 0.25, 0.5, 1.0}) {
+      ScenarioSpec spec = weakset_spec(8, 12, seeds);
+      spec.timely_prob = p;
       std::vector<double> lat;
-      for (auto seed : seeds) {
-        EnvParams env;
-        env.kind = EnvKind::kMS;
-        env.n = 8;
-        env.seed = seed;
-        env.timely_prob = p;
-        auto run = run_ms_weak_set(env, CrashPlan{}, workload(8, 12));
-        lat.push_back(static_cast<double>(run.add_latency_rounds_total) /
-                      static_cast<double>(run.adds));
-      }
+      for (const auto& cell : run_scenario(spec).weakset_cells)
+        lat.push_back(static_cast<double>(cell.add_latency_total) /
+                      static_cast<double>(cell.adds));
       t.add_row({Table::num(p, 2), aggregate(lat).to_string()});
     }
     t.print();
@@ -210,16 +203,17 @@ void print_tables() {
     Table t("E4.c  crash resilience (n=8): adds by survivors still complete",
             {"crashes f", "all survivor adds completed", "spec violations"});
     for (std::size_t f : {0u, 3u, 6u}) {
+      ScenarioSpec spec = weakset_spec(8, 12, seeds);
+      if (f > 0) {
+        spec.crashes.kind = CrashGenSpec::Kind::kRandom;
+        spec.crashes.count = f;
+        spec.crashes.horizon = 20;
+        spec.crashes.seed_offset = 3;
+      }
       std::size_t completed = 0, violations = 0;
-      for (auto seed : seeds) {
-        EnvParams env;
-        env.kind = EnvKind::kMS;
-        env.n = 8;
-        env.seed = seed;
-        auto crashes = random_crashes(8, f, 20, seed + 3);
-        auto run = run_ms_weak_set(env, crashes, workload(8, 12));
-        completed += run.all_adds_completed ? 1 : 0;
-        if (!check_weak_set_spec(run.records).ok) ++violations;
+      for (const auto& cell : run_scenario(spec).weakset_cells) {
+        completed += cell.all_adds_completed ? 1 : 0;
+        if (!cell.spec_ok) ++violations;
       }
       t.add_row({Table::num(static_cast<std::uint64_t>(f)),
                  Table::num(static_cast<std::uint64_t>(completed)) + "/" +
@@ -236,15 +230,11 @@ void BM_WeakSetMs(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    EnvParams env;
-    env.kind = EnvKind::kMS;
-    env.n = n;
-    env.seed = seed++;
-    auto run = run_ms_weak_set(env, CrashPlan{}, workload(n, 12), 50, false);
-    benchmark::DoNotOptimize(run);
-    state.counters["add_rounds"] =
-        static_cast<double>(run.add_latency_rounds_total) /
-        static_cast<double>(run.adds);
+    const auto report = run_scenario(weakset_spec(n, 12, {seed++}), 1);
+    benchmark::DoNotOptimize(report);
+    const auto& cell = report.weakset_cells[0];
+    state.counters["add_rounds"] = static_cast<double>(cell.add_latency_total) /
+                                   static_cast<double>(cell.adds);
   }
 }
 BENCHMARK(BM_WeakSetMs)->Arg(4)->Arg(16)->Arg(32);
@@ -262,6 +252,4 @@ BENCHMARK(BM_WsCheckerSweep)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace anon
 
-int main(int argc, char** argv) {
-  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
-}
+ANON_BENCH_MAIN(&anon::print_tables)

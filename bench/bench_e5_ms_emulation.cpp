@@ -3,99 +3,79 @@
 // measure the emulation overhead (weak-set ops and ticks per round) plus —
 // BENCH_E5.json — the interleaved A/B of the interned watermark engine
 // against the retained seed implementation (MsEmulationRef) on a
-// scaled-up configuration.
+// scaled-up configuration.  All cells run through the emulation scenario
+// family (presets e5 / e5-ref / e5-fast).
 #include "bench_common.hpp"
-
-#include "emul/ms_emulation.hpp"
-#include "emul/ms_emulation_ref.hpp"
-#include "env/validate.hpp"
 
 namespace anon {
 namespace {
 
-class Echo final : public Automaton<ValueSet> {
- public:
-  explicit Echo(std::int64_t s) : seed_(s) {}
-  ValueSet initialize() override { return ValueSet{Value(seed_)}; }
-  ValueSet compute(Round k, const Inboxes<ValueSet>& inboxes) override {
-    ValueSet out;
-    for (const ValueSet& m : inbox_at(inboxes, k))
-      out.insert(m.begin(), m.end());
-    return out;
-  }
-  std::int64_t seed_;
-};
+using bench::run_scenario;
 
-std::vector<std::unique_ptr<Automaton<ValueSet>>> echoes(std::size_t n) {
-  std::vector<std::unique_ptr<Automaton<ValueSet>>> autos;
-  for (std::size_t i = 0; i < n; ++i)
-    autos.push_back(std::make_unique<Echo>(static_cast<std::int64_t>(i)));
-  return autos;
-}
-
-std::vector<ProcId> all_of(std::size_t n) {
-  std::vector<ProcId> v(n);
-  for (ProcId p = 0; p < n; ++p) v[p] = p;
-  return v;
+ScenarioSpec emulation_spec(std::size_t n, Round rounds,
+                            const std::vector<std::uint64_t>& seeds,
+                            EmulationSpecSection::Engine engine =
+                                EmulationSpecSection::Engine::kInterned) {
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kEmulation;
+  spec.seeds = seeds;
+  spec.env_kind = EnvKind::kMS;
+  spec.n = n;
+  spec.emulation.engine = engine;
+  spec.emulation.rounds = rounds;
+  return spec;
 }
 
 // The tracked hot path (BENCH_E5.json): the largest emulation cell, seed
-// engine (A) vs interned watermark engine (B), interleaved per seed so the
+// engine (A) vs interned watermark engine (B), interleaved per rep so the
 // committed speedup is drift-free.  Certification counts must agree — the
 // refactor is a behavioural no-op (byte-identity is pinned by
 // tests/emulation_regression_test.cpp; here we cross-check the reports).
 void write_bench_json(const std::vector<std::uint64_t>& seeds) {
-  const std::size_t n = bench::smoke() ? 8 : 32;
-  const Round rounds = bench::smoke() ? 25 : 160;
+  ScenarioSpec interned = bench::preset_spec("e5");
+  ScenarioSpec ref = bench::preset_spec("e5-ref");
+  interned.seeds = seeds;
+  ref.seeds = seeds;
+  // One label for both sides: the byte-identity check below compares the
+  // deterministic report JSON, which carries the scenario name.
+  interned.name = ref.name = "e5-ab";
+  if (bench::smoke()) {
+    for (ScenarioSpec* s : {&interned, &ref}) {
+      s->n = 8;
+      s->emulation.rounds = 25;
+    }
+  }
   const int reps = bench::smoke() ? 2 : 3;
-  std::size_t certified_ref = 0, certified_new = 0;
-  std::size_t deliveries_ref = 0, deliveries_new = 0;
+  ScenarioReport rep_ref, rep_new;
   bench::AbSeconds ab = bench::interleaved_ab_seconds(
-      reps,
-      [&] {
-        certified_ref = deliveries_ref = 0;
-        for (auto seed : seeds) {
-          MsEmulationOptions opt;
-          opt.seed = seed;
-          MsEmulationRef<ValueSet> emu(echoes(n), opt);
-          if (!emu.run_until_round(rounds)) continue;
-          deliveries_ref += emu.trace().deliveries().size();
-          if (check_environment(emu.trace(), n, all_of(n)).ms_ok)
-            ++certified_ref;
-        }
-      },
-      [&] {
-        certified_new = deliveries_new = 0;
-        for (auto seed : seeds) {
-          MsEmulationOptions opt;
-          opt.seed = seed;
-          MsEmulation<ValueSet> emu(echoes(n), opt);
-          if (!emu.run_until_round(rounds)) continue;
-          deliveries_new += emu.trace().deliveries().size();
-          if (check_environment(emu.trace(), n, all_of(n)).ms_ok)
-            ++certified_new;
-        }
-      });
+      reps, [&] { rep_ref = run_scenario(ref, 1); },
+      [&] { rep_new = run_scenario(interned, 1); });
+  auto certified = [](const ScenarioReport& r) {
+    std::size_t c = 0;
+    for (const auto& cell : r.emulation_cells) c += cell.ms_certified ? 1 : 0;
+    return c;
+  };
   BenchJson j;
   j.set("experiment", std::string("E5"));
   j.set("workload",
         std::string("Alg5 MS-from-weak-set emulation: seed std::set engine "
                     "(ref) vs interned watermark engine"));
-  j.set("n", static_cast<std::uint64_t>(n));
-  j.set("rounds", static_cast<std::uint64_t>(rounds));
+  j.set("n", static_cast<std::uint64_t>(interned.n));
+  j.set("rounds", static_cast<std::uint64_t>(interned.emulation.rounds));
   j.set("cells", static_cast<std::uint64_t>(seeds.size()));
   j.set("reps", static_cast<std::uint64_t>(reps));
   j.set("wall_ref_s", ab.a);
   j.set("wall_interned_s", ab.b);
   j.set("speedup", ab.ratio());
-  j.set("certified_ref", static_cast<std::uint64_t>(certified_ref));
-  j.set("certified_interned", static_cast<std::uint64_t>(certified_new));
-  j.set("trace_deliveries_ref", static_cast<std::uint64_t>(deliveries_ref));
-  j.set("trace_deliveries_interned",
-        static_cast<std::uint64_t>(deliveries_new));
+  j.set("certified_ref", static_cast<std::uint64_t>(certified(rep_ref)));
+  j.set("certified_interned", static_cast<std::uint64_t>(certified(rep_new)));
+  j.set("trace_deliveries_ref", rep_ref.deliveries);
+  j.set("trace_deliveries_interned", rep_new.deliveries);
+  // The engines must be observationally identical: the deterministic
+  // report JSON (everything but timing) has to match byte for byte.
   j.set("reports_identical",
-        std::string(certified_ref == certified_new &&
-                            deliveries_ref == deliveries_new
+        std::string(rep_ref.to_json_string(false) ==
+                            rep_new.to_json_string(false)
                         ? "yes"
                         : "NO"));
   j.set("smoke", static_cast<std::uint64_t>(bench::smoke() ? 1 : 0));
@@ -116,16 +96,10 @@ void print_tables() {
     Table t("E5.a  emulated MS certification vs n (sharded seed grid)",
             {"n", "MS certified", "weak-set adds/round/process"});
     for (std::size_t n : sizes) {
-      // One independent emulation per seed: sharded like E1's sweep.
-      auto cells = parallel_sweep(seeds.size(), [&](std::size_t i) -> int {
-        MsEmulationOptions opt;
-        opt.seed = seeds[i];
-        MsEmulation<ValueSet> emu(echoes(n), opt);
-        if (!emu.run_until_round(horizon)) return 0;
-        return check_environment(emu.trace(), n, all_of(n)).ms_ok ? 1 : 0;
-      });
       std::size_t certified = 0;
-      for (int c : cells) certified += static_cast<std::size_t>(c);
+      for (const auto& cell :
+           run_scenario(emulation_spec(n, horizon, seeds)).emulation_cells)
+        certified += cell.ms_certified ? 1 : 0;
       // Algorithm 5 performs exactly one add (and one get) per round.
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
                  Table::num(static_cast<std::uint64_t>(certified)) + "/" +
@@ -139,33 +113,15 @@ void print_tables() {
     Table t("E5.b  certification under round skew (n=4; one process K× slower)",
             {"skew K", "MS certified", "fast/slow round ratio"});
     for (std::uint64_t k : {1u, 4u, 10u, 25u}) {
-      struct Cell {
-        int certified = 0;
-        double ratio = 0;
-        int ran = 0;
-      };
-      auto cells = parallel_sweep(seeds.size(), [&](std::size_t i) -> Cell {
-        MsEmulationOptions opt;
-        opt.seed = seeds[i];
-        opt.skew = {1, k, 1, 1};
-        MsEmulation<ValueSet> emu(echoes(4), opt);
-        if (!emu.run_until_round(25)) return {};
-        Cell c;
-        c.ran = 1;
-        c.certified = check_environment(emu.trace(), 4, all_of(4)).ms_ok;
-        Round fast = 0, slow = kNeverCrashes;
-        for (ProcId p = 0; p < 4; ++p) {
-          fast = std::max(fast, emu.trace().rounds_completed(p, 4));
-          slow = std::min(slow, emu.trace().rounds_completed(p, 4));
-        }
-        c.ratio = static_cast<double>(fast) / static_cast<double>(slow);
-        return c;
-      });
+      ScenarioSpec spec = emulation_spec(4, 25, seeds);
+      spec.emulation.skew = {1, k, 1, 1};
       std::size_t certified = 0;
       std::vector<double> ratio;
-      for (const Cell& c : cells) {
-        certified += static_cast<std::size_t>(c.certified);
-        if (c.ran != 0) ratio.push_back(c.ratio);
+      for (const auto& cell : run_scenario(spec).emulation_cells) {
+        certified += cell.ms_certified ? 1 : 0;
+        if (cell.ran && cell.rounds_min > 0)
+          ratio.push_back(static_cast<double>(cell.rounds_max) /
+                          static_cast<double>(cell.rounds_min));
       }
       t.add_row({Table::num(k),
                  Table::num(static_cast<std::uint64_t>(certified)) + "/" +
@@ -179,22 +135,14 @@ void print_tables() {
     Table t("E5.c  emulation cost: weak-set ticks per completed round (n sweep)",
             {"n", "ticks per round (mean over processes)"});
     for (std::size_t n : sizes) {
-      auto cells = parallel_sweep(seeds.size(), [&](std::size_t i) -> double {
-        MsEmulationOptions opt;
-        opt.seed = seeds[i];
-        MsEmulation<ValueSet> emu(echoes(n), opt);
-        if (!emu.run_until_round(horizon)) return -1;
-        double total = 0;
-        for (ProcId p = 0; p < n; ++p)
-          total += static_cast<double>(emu.trace().rounds_completed(p, n));
-        // Last end-of-round time ≈ total ticks.
-        const double ticks =
-            static_cast<double>(emu.trace().end_of_rounds().back().time);
-        return ticks / (total / static_cast<double>(n));
-      });
       std::vector<double> cost;
-      for (double c : cells)
-        if (c >= 0) cost.push_back(c);
+      for (const auto& cell :
+           run_scenario(emulation_spec(n, horizon, seeds)).emulation_cells) {
+        if (!cell.ran || cell.rounds_total == 0) continue;
+        const double mean_rounds = static_cast<double>(cell.rounds_total) /
+                                   static_cast<double>(n);
+        cost.push_back(static_cast<double>(cell.ticks) / mean_rounds);
+      }
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
                  aggregate(cost).to_string()});
     }
@@ -208,11 +156,8 @@ void BM_MsEmulation(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    MsEmulationOptions opt;
-    opt.seed = seed++;
-    MsEmulation<ValueSet> emu(echoes(n), opt);
-    bool ok = emu.run_until_round(40);
-    benchmark::DoNotOptimize(ok);
+    const auto report = run_scenario(emulation_spec(n, 40, {seed++}), 1);
+    benchmark::DoNotOptimize(report);
   }
 }
 BENCHMARK(BM_MsEmulation)->Arg(4)->Arg(16);
@@ -221,11 +166,11 @@ void BM_MsEmulationRef(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    MsEmulationOptions opt;
-    opt.seed = seed++;
-    MsEmulationRef<ValueSet> emu(echoes(n), opt);
-    bool ok = emu.run_until_round(40);
-    benchmark::DoNotOptimize(ok);
+    const auto report =
+        run_scenario(emulation_spec(n, 40, {seed++},
+                                    EmulationSpecSection::Engine::kRef),
+                     1);
+    benchmark::DoNotOptimize(report);
   }
 }
 BENCHMARK(BM_MsEmulationRef)->Arg(4)->Arg(16);
@@ -233,6 +178,4 @@ BENCHMARK(BM_MsEmulationRef)->Arg(4)->Arg(16);
 }  // namespace
 }  // namespace anon
 
-int main(int argc, char** argv) {
-  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
-}
+ANON_BENCH_MAIN(&anon::print_tables)

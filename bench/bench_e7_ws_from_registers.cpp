@@ -1,6 +1,7 @@
 // E7 — Propositions 2/3: weak-sets from registers.  Spec violations
 // (always 0) under adversarial interleavings; step costs per operation
-// (Prop 2 gets cost n reads; Prop 3 gets cost |domain| reads).
+// (Prop 2 gets cost n reads; Prop 3 gets cost |domain| reads).  The
+// construction sweeps run through the weakset-shm scenario family.
 // BENCH_E7.json tracks the whole-history certification cost: the seed
 // reads×writes² regularity checker (kept as ref_check_regular_register)
 // vs the sort-plus-sweep rewrite, interleaved, plus the sweep checker's
@@ -9,25 +10,39 @@
 
 #include "common/rng.hpp"
 #include "weakset/reference_checkers.hpp"
-#include "weakset/ws_from_mwmr.hpp"
-#include "weakset/ws_from_swmr.hpp"
 #include "weakset/ws_register.hpp"
 
 namespace anon {
 namespace {
 
-// `domain` bounds the distinct written values (the experiment tables use
-// 13, matching the seed workload; BM_WsFromSwmr passes `ops` so every add
-// writes a distinct value, preserving the seed benchmark's history).
-std::vector<ShmWsScriptOp> swmr_script(std::size_t n, std::uint64_t ops,
-                                       std::uint64_t domain = 13) {
-  std::vector<ShmWsScriptOp> script;
-  for (std::uint64_t i = 0; i < ops; ++i) {
-    script.push_back({i * 2, i % n, true,
-                      Value(static_cast<std::int64_t>(i % domain))});
-    script.push_back({i * 2 + 1, (i + 1) % n, false, Value()});
-  }
-  return script;
+using bench::run_scenario;
+
+ScenarioSpec swmr_spec(std::size_t n, std::uint64_t ops,
+                       const std::vector<std::uint64_t>& seeds) {
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kWeaksetShm;
+  spec.seeds = seeds;
+  spec.n = n;
+  spec.shm.construction = ShmSpecSection::Construction::kSwmr;
+  spec.shm.gen_ops = ops;
+  return spec;
+}
+
+ScenarioSpec mwmr_spec(std::uint64_t domain, std::uint64_t ops,
+                       const std::vector<std::uint64_t>& seeds) {
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kWeaksetShm;
+  spec.seeds = seeds;
+  spec.shm.construction = ShmSpecSection::Construction::kMwmr;
+  spec.shm.gen_ops = ops;
+  spec.shm.domain = domain;
+  return spec;
+}
+
+std::size_t violations_of(const ScenarioReport& report) {
+  std::size_t violations = 0;
+  for (const auto& cell : report.shm_cells) violations += cell.spec_ok ? 0 : 1;
+  return violations;
 }
 
 // A valid-by-construction register history: sequential non-overlapping
@@ -94,21 +109,18 @@ void write_bench_json(const std::vector<std::uint64_t>& seeds) {
   const double big_s =
       bench::best_seconds(reps, [&] { big_ok = check_regular_register(big).ok; });
 
-  // (3) The scaled shm-runner workload: the Prop 2 construction certified
-  // by the sweep checker (sweep-vs-ref verdict agreement is pinned
-  // separately, in tests/spec_sweep_test.cpp).
-  const std::size_t run_n = bench::smoke() ? 4 : 16;
-  const std::uint64_t run_ops = bench::smoke() ? 100 : 1000;
-  std::size_t run_violations = 0;
-  const double run_s = bench::best_seconds(reps, [&] {
-    run_violations = 0;
-    auto cells = parallel_sweep(seeds.size(), [&](std::size_t i) -> int {
-      auto records =
-          run_ws_from_swmr(run_n, swmr_script(run_n, run_ops), seeds[i]);
-      return check_weak_set_spec(records).ok ? 0 : 1;
-    });
-    for (int v : cells) run_violations += static_cast<std::size_t>(v);
-  });
+  // (3) The scaled shm-runner workload through the driver: the preset
+  // `e7-swmr` Prop-2 construction certified by the sweep checker
+  // (sweep-vs-ref verdict agreement is pinned in tests/spec_sweep_test.cpp).
+  ScenarioSpec spec = bench::preset_spec("e7-swmr");
+  spec.seeds = seeds;
+  if (bench::smoke()) {
+    spec.n = 4;
+    spec.shm.gen_ops = 100;
+  }
+  ScenarioReport report;
+  const double run_s =
+      bench::best_seconds(reps, [&] { report = run_scenario(spec); });
 
   BenchJson j;
   j.set("experiment", std::string("E7"));
@@ -125,11 +137,13 @@ void write_bench_json(const std::vector<std::uint64_t>& seeds) {
   j.set("certify_big_ops", static_cast<std::uint64_t>(big_ops));
   j.set("certify_big_s", big_s);
   j.set("certify_big_ok", static_cast<std::uint64_t>(big_ok ? 1 : 0));
-  j.set("shm_sweep_n", static_cast<std::uint64_t>(run_n));
-  j.set("shm_sweep_script_ops", static_cast<std::uint64_t>(2 * run_ops));
+  j.set("shm_sweep_n", static_cast<std::uint64_t>(spec.n));
+  j.set("shm_sweep_script_ops",
+        static_cast<std::uint64_t>(2 * spec.shm.gen_ops));
   j.set("shm_sweep_cells", static_cast<std::uint64_t>(seeds.size()));
   j.set("shm_sweep_wall_s", run_s);
-  j.set("shm_sweep_violations", static_cast<std::uint64_t>(run_violations));
+  j.set("shm_sweep_violations",
+        static_cast<std::uint64_t>(violations_of(report)));
   j.set("smoke", static_cast<std::uint64_t>(bench::smoke() ? 1 : 0));
   const std::string path = bench::json_path("BENCH_E7.json");
   if (j.write(path))
@@ -152,15 +166,10 @@ void print_tables() {
     Table t("E7.a  Prop 2 (SWMR, known IDs): spec under adversarial interleavings",
             {"n", "ops", "spec violations", "steps/get"});
     for (std::size_t n : swmr_sizes) {
-      auto cells = parallel_sweep(seeds.size(), [&](std::size_t i) -> int {
-        auto records = run_ws_from_swmr(n, swmr_script(n, ops), seeds[i]);
-        return check_weak_set_spec(records).ok ? 0 : 1;
-      });
-      std::size_t violations = 0;
-      for (int v : cells) violations += static_cast<std::size_t>(v);
+      const auto report = run_scenario(swmr_spec(n, ops, seeds));
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
                  Table::num(2 * ops),
-                 Table::num(static_cast<std::uint64_t>(violations)),
+                 Table::num(static_cast<std::uint64_t>(violations_of(report))),
                  Table::num(static_cast<std::uint64_t>(n))});
     }
     t.print();
@@ -170,23 +179,9 @@ void print_tables() {
     Table t("E7.b  Prop 3 (MWMR, finite domain, anonymous): spec + step cost",
             {"|domain|", "spec violations", "steps/get", "steps/add"});
     for (std::size_t d : domains) {
-      std::vector<Value> domain;
-      for (std::size_t i = 0; i < d; ++i)
-        domain.push_back(Value(static_cast<std::int64_t>(i)));
-      auto cells = parallel_sweep(seeds.size(), [&](std::size_t i) -> int {
-        std::vector<MwmrWsScriptOp> script;
-        for (std::uint64_t k = 0; k < ops; ++k) {
-          script.push_back({k * 2, k % 5, true,
-                            Value(static_cast<std::int64_t>(k % d))});
-          script.push_back({k * 2 + 1, (k + 2) % 5, false, Value()});
-        }
-        auto records = run_ws_from_mwmr(domain, script, seeds[i]);
-        return check_weak_set_spec(records).ok ? 0 : 1;
-      });
-      std::size_t violations = 0;
-      for (int v : cells) violations += static_cast<std::size_t>(v);
+      const auto report = run_scenario(mwmr_spec(d, ops, seeds));
       t.add_row({Table::num(static_cast<std::uint64_t>(d)),
-                 Table::num(static_cast<std::uint64_t>(violations)),
+                 Table::num(static_cast<std::uint64_t>(violations_of(report))),
                  Table::num(static_cast<std::uint64_t>(d)), "1"});
     }
     t.print();
@@ -202,27 +197,20 @@ void BM_WsFromSwmr(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    auto records = run_ws_from_swmr(n, swmr_script(n, 30, 30), seed++);
-    benchmark::DoNotOptimize(records);
+    ScenarioSpec spec = swmr_spec(n, 30, {seed++});
+    spec.shm.domain = 30;  // every add writes a distinct value
+    const auto report = run_scenario(spec, 1);
+    benchmark::DoNotOptimize(report);
   }
 }
 BENCHMARK(BM_WsFromSwmr)->Arg(4)->Arg(16);
 
 void BM_WsFromMwmr(benchmark::State& state) {
   const auto d = static_cast<std::size_t>(state.range(0));
-  std::vector<Value> domain;
-  for (std::size_t i = 0; i < d; ++i)
-    domain.push_back(Value(static_cast<std::int64_t>(i)));
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    std::vector<MwmrWsScriptOp> script;
-    for (std::uint64_t i = 0; i < 30; ++i) {
-      script.push_back({i * 2, i % 5, true,
-                        Value(static_cast<std::int64_t>(i % d))});
-      script.push_back({i * 2 + 1, (i + 2) % 5, false, Value()});
-    }
-    auto records = run_ws_from_mwmr(domain, script, seed++);
-    benchmark::DoNotOptimize(records);
+    const auto report = run_scenario(mwmr_spec(d, 30, {seed++}), 1);
+    benchmark::DoNotOptimize(report);
   }
 }
 BENCHMARK(BM_WsFromMwmr)->Arg(4)->Arg(64);
@@ -240,6 +228,4 @@ BENCHMARK(BM_RegCheckerSweep)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace anon
 
-int main(int argc, char** argv) {
-  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
-}
+ANON_BENCH_MAIN(&anon::print_tables)

@@ -2,48 +2,44 @@
 // leaders) vs the Ω-with-IDs baseline on the SAME environment sweep, plus
 // Algorithm 2 where ES holds.  Shape: IDs buy faster convergence and
 // bounded state; anonymity costs rounds and (without compression) bytes.
+// Both sides are scenario families (consensus / omega).
 #include "bench_common.hpp"
-
-#include "baseline/omega_consensus.hpp"
 
 namespace anon {
 namespace {
 
-using bench::consensus_config;
+using bench::consensus_spec;
+using bench::run_scenario;
 
-struct Outcome {
-  double rounds;
-  double bytes_per_proc;
-};
-
-Outcome run_omega(std::size_t n, Round stab, std::uint64_t seed,
-                  EnvKind kind) {
-  EnvParams env;
-  env.kind = kind;
-  env.n = n;
-  env.seed = seed;
-  env.stabilization = stab;
-  std::vector<std::unique_ptr<Automaton<OmegaMessage>>> autos;
-  for (std::size_t i = 0; i < n; ++i)
-    autos.push_back(std::make_unique<OmegaConsensus>(
-        Value(100 + static_cast<std::int64_t>(i)), i));
-  EnvDelayModel delays(env, CrashPlan{});
-  LockstepOptions opt;
-  opt.max_rounds = 60000;
-  opt.record_trace = false;
-  LockstepNet<OmegaMessage> net(std::move(autos), delays, CrashPlan{}, opt);
-  net.run_until_all_correct_decided();
-  Round last = 0;
-  for (ProcId p = 0; p < n; ++p) last = std::max(last, net.decision_round(p));
-  return {static_cast<double>(last),
-          static_cast<double>(net.bytes_sent()) / static_cast<double>(n)};
+ScenarioSpec omega_spec(std::size_t n, Round stab, EnvKind kind,
+                        const std::vector<std::uint64_t>& seeds) {
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kOmega;
+  spec.seeds = seeds;
+  spec.env_kind = kind;
+  spec.n = n;
+  spec.stabilization = stab;
+  return spec;
 }
 
-Outcome run_alg(ConsensusAlgo algo, std::size_t n, Round stab,
-                std::uint64_t seed, EnvKind kind) {
-  auto rep = run_consensus(algo, consensus_config(kind, n, stab, seed));
-  return {static_cast<double>(rep.last_decision_round),
-          static_cast<double>(rep.bytes_sent) / static_cast<double>(n)};
+std::vector<double> cell_rounds(const ScenarioReport& report) {
+  std::vector<double> out;
+  for (const auto& c : report.consensus_cells)
+    out.push_back(static_cast<double>(c.report.last_decision_round));
+  for (const auto& c : report.omega_cells)
+    out.push_back(static_cast<double>(c.last_decision_round));
+  return out;
+}
+
+std::vector<double> cell_bytes_per_proc(const ScenarioReport& report,
+                                        std::size_t n) {
+  std::vector<double> out;
+  for (const auto& c : report.consensus_cells)
+    out.push_back(static_cast<double>(c.report.bytes_sent) /
+                  static_cast<double>(n));
+  for (const auto& c : report.omega_cells)
+    out.push_back(static_cast<double>(c.bytes) / static_cast<double>(n));
+  return out;
 }
 
 // The tracked hot path of this experiment (BENCH_E9.json): the largest
@@ -51,27 +47,17 @@ Outcome run_alg(ConsensusAlgo algo, std::size_t n, Round stab,
 // interleaved A/B so the committed anonymity-cost ratio is drift-free.
 void write_bench_json(const std::vector<std::uint64_t>& seeds,
                       std::size_t n) {
+  ScenarioSpec alg3 = bench::preset_spec("e9-alg3");
+  ScenarioSpec omega = bench::preset_spec("e9-omega");
+  alg3.seeds = seeds;
+  omega.seeds = seeds;
+  alg3.n = omega.n = n;
   const int reps = bench::smoke() ? 2 : 3;
-  double rounds_a3 = 0, rounds_om = 0, bytes_a3 = 0, bytes_om = 0;
+  ScenarioReport rep_a3, rep_om;
   const bench::AbSeconds ab = bench::interleaved_ab_seconds(
-      reps,
-      [&] {
-        rounds_a3 = bytes_a3 = 0;
-        for (auto seed : seeds) {
-          const Outcome o = run_alg(ConsensusAlgo::kEss, n, 10, seed,
-                                    EnvKind::kESS);
-          rounds_a3 += o.rounds;
-          bytes_a3 += o.bytes_per_proc;
-        }
-      },
-      [&] {
-        rounds_om = bytes_om = 0;
-        for (auto seed : seeds) {
-          const Outcome o = run_omega(n, 10, seed, EnvKind::kESS);
-          rounds_om += o.rounds;
-          bytes_om += o.bytes_per_proc;
-        }
-      });
+      reps, [&] { rep_a3 = run_scenario(alg3, 1); },
+      [&] { rep_om = run_scenario(omega, 1); });
+  auto mean = [](std::vector<double> v) { return aggregate(std::move(v)).mean; };
   BenchJson j;
   j.set("experiment", std::string("E9"));
   j.set("workload",
@@ -81,12 +67,10 @@ void write_bench_json(const std::vector<std::uint64_t>& seeds,
   j.set("reps", static_cast<std::uint64_t>(reps));
   j.set("wall_alg3_s", ab.a);
   j.set("wall_omega_s", ab.b);
-  j.set("mean_rounds_alg3", rounds_a3 / static_cast<double>(seeds.size()));
-  j.set("mean_rounds_omega", rounds_om / static_cast<double>(seeds.size()));
-  j.set("mean_bytes_per_proc_alg3",
-        bytes_a3 / static_cast<double>(seeds.size()));
-  j.set("mean_bytes_per_proc_omega",
-        bytes_om / static_cast<double>(seeds.size()));
+  j.set("mean_rounds_alg3", mean(cell_rounds(rep_a3)));
+  j.set("mean_rounds_omega", mean(cell_rounds(rep_om)));
+  j.set("mean_bytes_per_proc_alg3", mean(cell_bytes_per_proc(rep_a3, n)));
+  j.set("mean_bytes_per_proc_omega", mean(cell_bytes_per_proc(rep_om, n)));
   j.set("smoke", static_cast<std::uint64_t>(bench::smoke() ? 1 : 0));
   const std::string path = bench::json_path("BENCH_E9.json");
   if (j.write(path))
@@ -104,12 +88,12 @@ void print_tables() {
     Table t("E9.a  decision round in ESS (stab=10): anonymous vs IDs",
             {"n", "Alg 3 (anonymous)", "Ω-consensus (IDs)", "anonymity cost"});
     for (std::size_t n : sizes) {
-      std::vector<double> a3, om;
-      for (auto seed : seeds) {
-        a3.push_back(run_alg(ConsensusAlgo::kEss, n, 10, seed, EnvKind::kESS).rounds);
-        om.push_back(run_omega(n, 10, seed, EnvKind::kESS).rounds);
-      }
-      const double cost = aggregate(a3).mean / std::max(1.0, aggregate(om).mean);
+      const auto a3 = cell_rounds(run_scenario(
+          consensus_spec(ConsensusAlgo::kEss, EnvKind::kESS, n, 10, seeds)));
+      const auto om =
+          cell_rounds(run_scenario(omega_spec(n, 10, EnvKind::kESS, seeds)));
+      const double cost =
+          aggregate(a3).mean / std::max(1.0, aggregate(om).mean);
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
                  aggregate(a3).to_string(), aggregate(om).to_string(),
                  Table::ratio(cost)});
@@ -122,12 +106,12 @@ void print_tables() {
             {"n", "Alg 2 (anonymous, ES)", "Alg 3 (anonymous, ESS-style)",
              "Ω-consensus (IDs)"});
     for (std::size_t n : sizes) {
-      std::vector<double> a2, a3, om;
-      for (auto seed : seeds) {
-        a2.push_back(run_alg(ConsensusAlgo::kEs, n, 10, seed, EnvKind::kES).rounds);
-        a3.push_back(run_alg(ConsensusAlgo::kEss, n, 10, seed, EnvKind::kES).rounds);
-        om.push_back(run_omega(n, 10, seed, EnvKind::kES).rounds);
-      }
+      const auto a2 = cell_rounds(run_scenario(
+          consensus_spec(ConsensusAlgo::kEs, EnvKind::kES, n, 10, seeds)));
+      const auto a3 = cell_rounds(run_scenario(
+          consensus_spec(ConsensusAlgo::kEss, EnvKind::kES, n, 10, seeds)));
+      const auto om =
+          cell_rounds(run_scenario(omega_spec(n, 10, EnvKind::kES, seeds)));
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
                  aggregate(a2).to_string(), aggregate(a3).to_string(),
                  aggregate(om).to_string()});
@@ -140,12 +124,12 @@ void print_tables() {
             {"n", "Alg 3 (histories+counters)", "Ω-consensus (bounded state)",
              "ratio"});
     for (std::size_t n : sizes) {
-      std::vector<double> a3, om;
-      for (auto seed : seeds) {
-        a3.push_back(run_alg(ConsensusAlgo::kEss, n, 10, seed, EnvKind::kESS)
-                         .bytes_per_proc);
-        om.push_back(run_omega(n, 10, seed, EnvKind::kESS).bytes_per_proc);
-      }
+      const auto a3 = cell_bytes_per_proc(
+          run_scenario(
+              consensus_spec(ConsensusAlgo::kEss, EnvKind::kESS, n, 10, seeds)),
+          n);
+      const auto om = cell_bytes_per_proc(
+          run_scenario(omega_spec(n, 10, EnvKind::kESS, seeds)), n);
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
                  Table::num(aggregate(a3).mean, 0),
                  Table::num(aggregate(om).mean, 0),
@@ -162,10 +146,14 @@ void BM_Alg3VsOmega(benchmark::State& state) {
   const bool omega = state.range(0) == 1;
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    Outcome o = omega ? run_omega(9, 10, seed++, EnvKind::kESS)
-                      : run_alg(ConsensusAlgo::kEss, 9, 10, seed++, EnvKind::kESS);
-    benchmark::DoNotOptimize(o);
-    state.counters["rounds"] = o.rounds;
+    const ScenarioSpec spec =
+        omega ? omega_spec(9, 10, EnvKind::kESS, {seed++})
+              : consensus_spec(ConsensusAlgo::kEss, EnvKind::kESS, 9, 10,
+                               {seed++});
+    const auto report = run_scenario(spec, 1);
+    benchmark::DoNotOptimize(report);
+    const auto rounds = cell_rounds(report);
+    state.counters["rounds"] = rounds.empty() ? 0 : rounds[0];
   }
 }
 BENCHMARK(BM_Alg3VsOmega)->Arg(0)->Arg(1);
@@ -173,6 +161,4 @@ BENCHMARK(BM_Alg3VsOmega)->Arg(0)->Arg(1);
 }  // namespace
 }  // namespace anon
 
-int main(int argc, char** argv) {
-  return anon::bench::main_with_tables(argc, argv, &anon::print_tables);
-}
+ANON_BENCH_MAIN(&anon::print_tables)

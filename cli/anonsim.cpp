@@ -1,0 +1,208 @@
+// anonsim — the one scenario driver.
+//
+//   anonsim list                         families + named presets
+//   anonsim describe <preset>            canonical spec JSON to stdout
+//   anonsim run --preset e1 [--threads N] [--json out.json] [--no-timing]
+//   anonsim run --spec file.json ...     same, from a spec file
+//   anonsim schema --preset e1 [...]     sorted report key paths (CI golden)
+//
+// Multi-seed specs shard across worker threads (--threads, default: one
+// per hardware thread); the report is identical at any thread count.
+// Exit codes: 0 success, 1 run failed to write output, 2 usage error,
+// 3 invalid spec (field-path diagnostics on stderr).
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+
+namespace {
+
+using namespace anon;
+
+int usage(std::ostream& os, int code) {
+  os << "usage:\n"
+        "  anonsim list\n"
+        "  anonsim describe <preset>\n"
+        "  anonsim run  (--preset NAME | --spec FILE) [--threads N]\n"
+        "               [--json OUT] [--no-timing] [--quiet]\n"
+        "  anonsim schema (--preset NAME | --spec FILE) [--threads N]\n";
+  return code;
+}
+
+int cmd_list() {
+  const auto& reg = ScenarioRegistry::instance();
+  std::cout << "families:\n";
+  for (ScenarioFamily f : all_scenario_families())
+    std::cout << "  " << to_string(f)
+              << (reg.has_family(f) ? "" : "  (no runner!)") << "\n";
+  std::cout << "\npresets:\n";
+  std::size_t width = 0;
+  for (const auto& p : reg.presets()) width = std::max(width, p.name.size());
+  for (const auto& p : reg.presets()) {
+    std::cout << "  " << p.name << std::string(width - p.name.size() + 2, ' ')
+              << "[" << to_string(p.spec.family) << "] " << p.description
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_describe(const std::string& name) {
+  const ScenarioPreset* p = ScenarioRegistry::instance().find_preset(name);
+  if (p == nullptr) {
+    std::cerr << "anonsim: unknown preset \"" << name
+              << "\" (try `anonsim list`)\n";
+    return 2;
+  }
+  std::cout << scenario_spec_to_json(p->spec);
+  return 0;
+}
+
+struct RunArgs {
+  std::string preset;
+  std::string spec_file;
+  std::string json_out;
+  std::size_t threads = 0;
+  bool no_timing = false;
+  bool quiet = false;
+};
+
+bool parse_run_args(const std::vector<std::string>& args, RunArgs* out,
+                    std::string* error) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        *error = std::string(flag) + " needs a value";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (a == "--preset") {
+      const std::string* v = value("--preset");
+      if (v == nullptr) return false;
+      out->preset = *v;
+    } else if (a == "--spec") {
+      const std::string* v = value("--spec");
+      if (v == nullptr) return false;
+      out->spec_file = *v;
+    } else if (a == "--json") {
+      const std::string* v = value("--json");
+      if (v == nullptr) return false;
+      out->json_out = *v;
+    } else if (a == "--threads") {
+      const std::string* v = value("--threads");
+      if (v == nullptr) return false;
+      if (v->empty() ||
+          v->find_first_not_of("0123456789") != std::string::npos) {
+        *error = "--threads needs a non-negative integer, got \"" + *v + "\"";
+        return false;
+      }
+      out->threads = static_cast<std::size_t>(std::strtoull(v->c_str(),
+                                                            nullptr, 10));
+    } else if (a == "--no-timing") {
+      out->no_timing = true;
+    } else if (a == "--quiet") {
+      out->quiet = true;
+    } else {
+      *error = "unknown argument " + a;
+      return false;
+    }
+  }
+  if (out->preset.empty() == out->spec_file.empty()) {
+    *error = "exactly one of --preset / --spec is required";
+    return false;
+  }
+  return true;
+}
+
+// 0 on success with *spec filled; 2/3 exit code otherwise.
+int load_spec(const RunArgs& args, ScenarioSpec* spec) {
+  if (!args.preset.empty()) {
+    const ScenarioPreset* p =
+        ScenarioRegistry::instance().find_preset(args.preset);
+    if (p == nullptr) {
+      std::cerr << "anonsim: unknown preset \"" << args.preset
+                << "\" (try `anonsim list`)\n";
+      return 2;
+    }
+    *spec = p->spec;
+    return 0;
+  }
+  std::ifstream f(args.spec_file);
+  if (!f) {
+    std::cerr << "anonsim: cannot open " << args.spec_file << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  auto decoded = parse_scenario_spec(buf.str());
+  if (!decoded.ok()) {
+    std::cerr << "anonsim: " << args.spec_file << " is not a valid spec:\n";
+    for (const auto& e : decoded.errors)
+      std::cerr << "  " << e.to_string() << "\n";
+    return 3;
+  }
+  *spec = std::move(*decoded.spec);
+  return 0;
+}
+
+int cmd_run(const RunArgs& args, bool schema_only) {
+  ScenarioSpec spec;
+  if (int rc = load_spec(args, &spec); rc != 0) return rc;
+
+  ScenarioReport report;
+  try {
+    report = ScenarioRegistry::instance().run(spec, {.threads = args.threads});
+  } catch (const ScenarioSpecError& e) {
+    std::cerr << "anonsim: " << e.what() << "\n";
+    return 3;
+  }
+
+  if (schema_only) {
+    for (const auto& path : report_schema(report.to_json(!args.no_timing)))
+      std::cout << path << "\n";
+    return 0;
+  }
+
+  if (!args.quiet) std::cout << report.summary() << "\n";
+  if (!args.json_out.empty()) {
+    std::ofstream out(args.json_out);
+    if (!out || !(out << report.to_json_string(!args.no_timing))) {
+      std::cerr << "anonsim: cannot write " << args.json_out << "\n";
+      return 1;
+    }
+    if (!args.quiet) std::cout << "report written to " << args.json_out << "\n";
+  } else if (args.quiet) {
+    std::cout << report.to_json_string(!args.no_timing);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage(std::cerr, 2);
+  const std::string cmd = args[0];
+  args.erase(args.begin());
+
+  if (cmd == "list" && args.empty()) return cmd_list();
+  if (cmd == "describe" && args.size() == 1) return cmd_describe(args[0]);
+  if (cmd == "run" || cmd == "schema") {
+    RunArgs run_args;
+    std::string error;
+    if (!parse_run_args(args, &run_args, &error)) {
+      std::cerr << "anonsim: " << error << "\n";
+      return usage(std::cerr, 2);
+    }
+    return cmd_run(run_args, cmd == "schema");
+  }
+  if (cmd == "--help" || cmd == "-h" || cmd == "help")
+    return usage(std::cout, 0);
+  std::cerr << "anonsim: unknown command \"" << cmd << "\"\n";
+  return usage(std::cerr, 2);
+}

@@ -7,60 +7,77 @@
 // current config EPOCH through the register transformation (last write
 // wins).  Works with ANY number of crashes, as long as the MS assumption
 // (some timely broadcaster per round) holds — no quorums anywhere.
+//
+// Both stores are weakset-family ScenarioSpecs (mode "set" / "register")
+// through the scenario registry; keep_records retains the timestamped op
+// histories on the in-memory report for printing.
 #include <iostream>
 
-#include "weakset/ms_weak_set.hpp"
-#include "weakset/ws_register.hpp"
+#include "scenario/registry.hpp"
 
 int main() {
   using namespace anon;
 
-  EnvParams env;
-  env.kind = EnvKind::kMS;
-  env.n = 6;
-  env.seed = 99;
-
   // --- Part 1: the flag set (raw weak-set). -------------------------------
-  std::vector<WsScriptOp> flags;
-  flags.push_back({2, 0, true, Value(1001)});   // node 0 enables flag 1001
-  flags.push_back({3, 1, true, Value(1002)});
-  flags.push_back({5, 2, true, Value(1003)});
-  flags.push_back({9, 3, false, Value()});      // node 3 lists active flags
-  flags.push_back({14, 4, true, Value(1004)});
-  flags.push_back({20, 5, false, Value()});     // final read
+  ScenarioSpec flags;
+  flags.name = "feature-flags";
+  flags.family = ScenarioFamily::kWeakset;
+  flags.seeds = {99};
+  flags.env_kind = EnvKind::kMS;
+  flags.n = 6;
+  flags.weakset.mode = WeaksetSpecSection::Mode::kSet;
+  flags.weakset.script = {
+      {2, 0, true, 1001},    // node 0 enables flag 1001
+      {3, 1, true, 1002},
+      {5, 2, true, 1003},
+      {9, 3, false, 0},      // node 3 lists active flags
+      {14, 4, true, 1004},
+      {20, 5, false, 0},     // final read
+  };
+  flags.weakset.keep_records = true;
+  // Node 2 dies right after publishing 1003.
+  flags.crashes.kind = CrashGenSpec::Kind::kExplicit;
+  flags.crashes.entries = {{2, 7}};
 
-  CrashPlan crashes;
-  crashes.crash_at(2, 7);  // node 2 dies right after publishing 1003
-
-  auto run = run_ms_weak_set(env, crashes, flags);
+  const auto flag_report = ScenarioRegistry::instance().run(flags);
+  const auto& flag_cell = flag_report.weakset_cells[0];
   std::cout << "--- feature-flag weak-set ---\n";
-  for (const auto& rec : run.records) {
+  for (const auto& rec : flag_cell.set_records) {
     if (rec.kind == WsOpRecord::Kind::kGet)
       std::cout << "get by p" << rec.process << " @r" << rec.start / 4
                 << " -> " << to_string(rec.result) << "\n";
   }
-  auto check = check_weak_set_spec(run.records);
-  std::cout << "weak-set spec: " << (check.ok ? "ok" : check.violation)
-            << "\n\n";
+  std::cout << "weak-set spec: "
+            << (flag_cell.spec_ok ? "ok" : flag_cell.violation) << "\n\n";
 
   // --- Part 2: the config epoch (Prop-1 register over the weak-set). ------
-  std::vector<RegScriptOp> epochs;
-  epochs.push_back({2, 0, true, Value(1)});    // epoch 1 published by node 0
-  epochs.push_back({12, 1, true, Value(2)});   // controller failover: node 1
-  epochs.push_back({25, 4, false, Value()});   // reader
-  epochs.push_back({30, 2, true, Value(3)});
-  epochs.push_back({45, 5, false, Value()});   // reader sees the latest
+  ScenarioSpec epochs;
+  epochs.name = "config-epochs";
+  epochs.family = ScenarioFamily::kWeakset;
+  epochs.seeds = {99};
+  epochs.env_kind = EnvKind::kMS;
+  epochs.n = 6;
+  epochs.weakset.mode = WeaksetSpecSection::Mode::kRegister;
+  epochs.weakset.script = {
+      {2, 0, true, 1},     // epoch 1 published by node 0
+      {12, 1, true, 2},    // controller failover: node 1
+      {25, 4, false, 0},   // reader
+      {30, 2, true, 3},
+      {45, 5, false, 0},   // reader sees the latest
+  };
+  epochs.weakset.keep_records = true;
 
-  auto reg = run_register_over_ms(env, CrashPlan{}, epochs);
+  const auto epoch_report = ScenarioRegistry::instance().run(epochs);
+  const auto& epoch_cell = epoch_report.weakset_cells[0];
   std::cout << "--- config-epoch register (Proposition 1) ---\n";
-  for (const auto& rec : reg.records) {
+  for (const auto& rec : epoch_cell.reg_records) {
     if (rec.kind == RegOpRecord::Kind::kRead)
       std::cout << "read by p" << rec.process << " @r" << rec.start / 4
                 << " -> epoch "
                 << (rec.value ? rec.value->to_string() : "none") << "\n";
   }
   std::cout << "register regularity: "
-            << (reg.check.ok ? "ok" : reg.check.violation) << "\n";
+            << (epoch_cell.spec_ok ? "ok" : epoch_cell.violation) << "\n";
 
-  return (check.ok && reg.check.ok) ? 0 : 1;
+  return (flag_cell.spec_ok && epoch_cell.spec_ok) ? 0 : 1;
 }

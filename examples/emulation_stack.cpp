@@ -4,62 +4,43 @@
 // is machine-certified against the MS definition.
 //
 // We run Algorithm 4's weak-set AUTOMATON on top of the emulated MS rounds:
-// a weak-set built from a weak-set, closing the MS ⟷ weak-set loop.
+// a weak-set built from a weak-set, closing the MS ⟷ weak-set loop.  The
+// whole stack is one emulation-family ScenarioSpec (inner "weakset", two
+// injected adds) through the scenario registry.
 #include <iostream>
 
-#include "emul/ms_emulation.hpp"
-#include "env/validate.hpp"
-#include "weakset/ms_weak_set.hpp"
+#include "scenario/registry.hpp"
 
 int main() {
   using namespace anon;
 
-  const std::size_t n = 4;
+  ScenarioSpec spec;
+  spec.name = "emulation-stack";
+  spec.family = ScenarioFamily::kEmulation;
+  spec.seeds = {31337};
+  spec.env_kind = EnvKind::kMS;
+  spec.n = 4;
+  spec.emulation.inner = EmulationSpecSection::Inner::kWeakset;
+  spec.emulation.rounds = 60;
+  spec.emulation.skew = {1, 7, 2, 1};  // process 1 is 7x slower: round skew
+  spec.emulation.adds = {{0, 111}, {2, 222}};  // inner weak-set adds
 
-  MsEmulationOptions opt;
-  opt.seed = 31337;
-  opt.skew = {1, 7, 2, 1};  // process 1 is 7x slower: real round skew
+  const auto report = ScenarioRegistry::instance().run(spec);
+  const auto& cell = report.emulation_cells[0];
 
-  // Inner automatons: Algorithm 4 (the weak-set protocol) — running on
-  // rounds that Algorithm 5 manufactures out of another weak-set.
-  std::vector<std::unique_ptr<Automaton<ValueSet>>> autos;
-  for (std::size_t i = 0; i < n; ++i)
-    autos.push_back(std::make_unique<MsWeakSetAutomaton>());
-  MsEmulation<ValueSet> emu(std::move(autos), opt);
-
-  // Drive a few adds through the inner weak-set while rounds are running.
-  auto& w0 = dynamic_cast<MsWeakSetAutomaton&>(
-      const_cast<GirafProcess<ValueSet>&>(emu.process(0)).automaton());
-  auto& w2 = dynamic_cast<MsWeakSetAutomaton&>(
-      const_cast<GirafProcess<ValueSet>&>(emu.process(2)).automaton());
-  w0.start_add(Value(111));
-  w2.start_add(Value(222));
-
-  if (!emu.run_until_round(60)) {
+  if (!cell.ran) {
     std::cout << "emulation stalled\n";
     return 1;
   }
 
-  std::cout << "rounds completed per process: ";
-  for (ProcId p = 0; p < n; ++p) std::cout << emu.round(p) << " ";
-  std::cout << "\ninner weak-set adds completed: "
-            << (!w0.add_blocked() && !w2.add_blocked() ? "yes" : "NO") << "\n";
+  std::cout << "rounds completed per process: " << cell.rounds_min << " .. "
+            << cell.rounds_max << " (skewed on purpose)\n"
+            << "inner weak-set adds completed: "
+            << (cell.adds_completed ? "yes" : "NO") << "\n"
+            << "all processes see both values: "
+            << (cell.all_see ? "yes" : "NO") << "\n"
+            << "emulated environment MS-certified: "
+            << (cell.ms_certified ? "yes" : "NO") << "\n";
 
-  // Every inner get sees both values at every process.
-  bool all_see = true;
-  for (ProcId p = 0; p < n; ++p) {
-    const auto& w = dynamic_cast<const MsWeakSetAutomaton&>(
-        emu.process(p).automaton());
-    if (w.get().count(Value(111)) == 0 || w.get().count(Value(222)) == 0)
-      all_see = false;
-  }
-  std::cout << "all processes see both values: " << (all_see ? "yes" : "NO")
-            << "\n";
-
-  std::vector<ProcId> correct(n);
-  for (ProcId p = 0; p < n; ++p) correct[p] = p;
-  auto res = check_environment(emu.trace(), n, correct);
-  std::cout << "emulated environment: " << res.to_string() << "\n";
-
-  return (res.ms_ok && all_see) ? 0 : 1;
+  return (cell.ms_certified && cell.all_see) ? 0 : 1;
 }

@@ -2,32 +2,60 @@
 // broadcast bus with per-link jitter — the deployment-shaped runtime.
 // Six OS threads (no IDs exchanged anywhere on the wire!) agree on a
 // value; one of them dies three rounds in.
+//
+// The scenario itself arrives as a declarative spec — here parsed from
+// the JSON a deployment would ship (the exact format `anonsim describe`
+// prints) — and the realtime cluster is configured from it.  The lockstep
+// families run inside the scenario registry; this example shows the same
+// spec surface driving the wall-clock runtime instead.
 #include <chrono>
 #include <iostream>
 
 #include "runtime/realtime.hpp"
+#include "scenario/spec.hpp"
 
 int main() {
   using namespace anon;
-  const std::size_t n = 6;
+
+  // What an operator would put in lan.json (cf. `anonsim describe`).
+  static const char kLanScenario[] = R"json({
+    "name": "realtime-lan",
+    "family": "consensus",
+    "seeds": [2026],
+    "env": {"kind": "es", "n": 6, "stabilization": 0, "max_delay": 3,
+            "timely_prob": 0.25},
+    "workload": {
+      "initial": {"kind": "explicit", "values": [12, 55, 31, 55, 8, 47]},
+      "crashes": {"kind": "explicit", "entries": [{"process": 4, "round": 3}]}
+    },
+    "consensus": {"algo": "es", "max_rounds": 1000}
+  })json";
+
+  auto decoded = parse_scenario_spec(kLanScenario);
+  if (!decoded.ok()) {
+    std::cerr << "bad scenario:\n" << decoded.errors_to_string() << "\n";
+    return 2;
+  }
+  const ScenarioSpec& spec = *decoded.spec;
+  const std::size_t n = spec.n;
 
   // 2 ms of per-link jitter; a 10 ms round period keeps links timely
   // (that's how a round period realizes the ES assumption in practice).
   BroadcastBus bus(n, std::make_unique<JitterPolicy>(
-                          2026, std::chrono::milliseconds(2)));
+                          spec.seeds[0], std::chrono::milliseconds(2)));
 
   std::vector<RealtimeEsCluster::AutomatonFactory> factories;
-  const std::int64_t proposals[n] = {12, 55, 31, 55, 8, 47};
-  for (std::size_t i = 0; i < n; ++i)
-    factories.push_back([v = proposals[i]](HistoryArena*) {
-      return std::make_unique<EsConsensus>(Value(v));
+  for (const Value& v : spec.initial_values())
+    factories.push_back([v](HistoryArena*) {
+      return std::make_unique<EsConsensus>(v);
     });
 
   RealtimeOptions opt;
   opt.round_period = std::chrono::milliseconds(10);
-  opt.max_rounds = 1000;
+  opt.max_rounds = spec.consensus.max_rounds;
   RealtimeEsCluster cluster(std::move(factories), &bus, opt);
-  cluster.crash_before_round(4, 3);
+  for (const auto& crash : spec.crashes.entries)
+    cluster.crash_before_round(crash.process, crash.round);
 
   const auto t0 = std::chrono::steady_clock::now();
   const bool ok = cluster.run();

@@ -6,34 +6,42 @@
 // sensor's radio reaches everybody every round — e.g. the one nearest the
 // gateway).  Several sensors are identical clones proposing the same
 // value (true anonymity: their messages merge); some die mid-protocol.
+// The whole field is one declarative ScenarioSpec through the registry.
 #include <iostream>
 
-#include "algo/ess_consensus.hpp"
-#include "algo/runner.hpp"
+#include "scenario/registry.hpp"
 
 int main() {
   using namespace anon;
 
   const std::size_t kSensors = 9;
 
-  ConsensusConfig cfg;
-  cfg.env.kind = EnvKind::kESS;
-  cfg.env.n = kSensors;
-  cfg.env.seed = 7;
-  cfg.env.stabilization = 15;  // radio interference settles by round 15
-  cfg.env.timely_prob = 0.2;   // flaky links before/besides the source
+  ScenarioSpec spec;
+  spec.name = "sensor-fusion";
+  spec.family = ScenarioFamily::kConsensus;
+  spec.seeds = {7};
+  spec.env_kind = EnvKind::kESS;
+  spec.n = kSensors;
+  spec.stabilization = 15;  // radio interference settles by round 15
+  spec.timely_prob = 0.2;   // flaky links before/besides the source
 
   // Three clone groups proposing their locally computed threshold; clones
   // are byte-identical processes — the network cannot tell them apart.
-  cfg.initial = {Value(40), Value(40), Value(40),   // cluster A
-                 Value(55), Value(55),              // cluster B
-                 Value(47), Value(47), Value(47), Value(47)};  // cluster C
+  spec.initial.kind = ValueGenSpec::Kind::kExplicit;
+  spec.initial.values = {40, 40, 40,            // cluster A
+                         55, 55,                // cluster B
+                         47, 47, 47, 47};       // cluster C
 
   // Two sensors run out of battery mid-run (partial final broadcast).
-  cfg.crashes.crash_at(1, 9);
-  cfg.crashes.crash_at(5, 21);
+  spec.crashes.kind = CrashGenSpec::Kind::kExplicit;
+  spec.crashes.entries = {{1, 9}, {5, 21}};
 
-  auto report = run_consensus(ConsensusAlgo::kEss, cfg);
+  spec.consensus.algo = ConsensusAlgo::kEss;
+  spec.consensus.record_deliveries = true;
+  spec.consensus.validate_env = true;
+
+  const auto scenario = ScenarioRegistry::instance().run(spec);
+  const auto& report = scenario.consensus_cells[0].report;
 
   std::cout << "sensors:           " << kSensors << " (3 anonymous clusters)\n"
             << "crashed:           2 (rounds 9 and 21)\n"

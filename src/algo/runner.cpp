@@ -35,42 +35,19 @@ namespace {
 // Shared between the expanded (LockstepNet) and cohort (CohortNet)
 // backends: both expose the same observation surface; only the expanded
 // engine records a trace (and can therefore certify the environment).
+// Report assembly itself lives in summarize_consensus_run (runner.hpp),
+// which the scenario layer reuses for its probe paths.
 template <typename Net>
 ConsensusReport finish_report(Net& net, const ConsensusConfig& cfg,
                               RunResult run, Trace* trace_out) {
   constexpr bool kHasTrace = requires { net.trace(); };
-  ConsensusReport rep;
-  rep.rounds_executed = run.rounds;
-  rep.hit_round_limit = !run.stopped;
-  rep.all_correct_decided = net.all_correct_decided();
-  rep.deliveries = net.deliveries();
-  rep.sends = net.sends();
-  rep.bytes_sent = net.bytes_sent();
-
-  const std::set<Value> proposed(cfg.initial.begin(), cfg.initial.end());
-  for (ProcId p = 0; p < net.n(); ++p) {
-    auto d = net.decision(p);
-    if (!d.has_value()) continue;
-    if (rep.value.has_value() && !(*rep.value == *d)) rep.agreement = false;
-    if (!rep.value.has_value()) rep.value = d;
-    if (proposed.count(*d) == 0) rep.validity = false;
-    const Round r = net.decision_round(p);
-    if (rep.first_decision_round == kNoRound || r < rep.first_decision_round)
-      rep.first_decision_round = r;
-    if (net.is_correct(p)) rep.last_decision_round =
-        std::max(rep.last_decision_round, r);
-  }
+  ConsensusReport rep = summarize_consensus_run(net, cfg.initial, cfg.crashes,
+                                                run, cfg.validate_env);
   if constexpr (kHasTrace) {
     if (trace_out) *trace_out = net.trace();
-    if (cfg.validate_env) {
-      rep.env_check =
-          check_environment(net.trace(), net.n(), cfg.crashes.correct(net.n()));
-    }
   } else {
     ANON_CHECK_MSG(trace_out == nullptr,
                    "the cohort backend records no trace");
-    rep.cohorts_max = net.stats().max_cohorts;
-    rep.cohorts_final = net.stats().cohorts;
   }
   return rep;
 }
@@ -84,7 +61,13 @@ const char* to_string(ConsensusBackend b) {
 ConsensusReport run_consensus(ConsensusAlgo algo, const ConsensusConfig& cfg,
                               Trace* trace_out) {
   ANON_CHECK(cfg.initial.size() == cfg.env.n);
-  EnvDelayModel delays(cfg.env, cfg.crashes);
+  const EnvDelayModel env_delays(cfg.env, cfg.crashes);
+  const DelayModel& delays = cfg.delays != nullptr
+                                 ? *cfg.delays
+                                 : static_cast<const DelayModel&>(env_delays);
+  ANON_CHECK_MSG(cfg.delays == nullptr ||
+                     cfg.backend == ConsensusBackend::kExpanded,
+                 "schedule overrides run on the expanded backend");
 
   if (cfg.backend == ConsensusBackend::kCohort) {
     ANON_CHECK_MSG(!cfg.validate_env,

@@ -4,8 +4,10 @@
 // and examples; for bespoke instrumentation use LockstepNet directly.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -38,6 +40,11 @@ struct ConsensusConfig {
   LockstepOptions net;
   bool validate_env = true;     // run the trace validator afterwards
   ConsensusBackend backend = ConsensusBackend::kExpanded;
+  // Schedule override: when set, this model replaces the EnvDelayModel the
+  // runner would build from `env` (the scenario layer's adversarial
+  // schedules — bivalent two-camp, hostile-MS — enter here).  Expanded
+  // backend only; must outlive the run.
+  const DelayModel* delays = nullptr;
 };
 
 struct ConsensusReport {
@@ -62,6 +69,48 @@ struct ConsensusReport {
 
   std::string to_string() const;
 };
+
+// Assembles the consensus-property report of a finished run on any engine
+// exposing the LockstepNet observation surface (shared by run_consensus and
+// the scenario layer's probe paths, which drive nets the ConsensusConfig
+// surface cannot describe).
+template <typename Net>
+ConsensusReport summarize_consensus_run(Net& net,
+                                        const std::vector<Value>& initial,
+                                        const CrashPlan& crashes,
+                                        RunResult run, bool validate_env) {
+  constexpr bool kHasTrace = requires { net.trace(); };
+  ConsensusReport rep;
+  rep.rounds_executed = run.rounds;
+  rep.hit_round_limit = !run.stopped;
+  rep.all_correct_decided = net.all_correct_decided();
+  rep.deliveries = net.deliveries();
+  rep.sends = net.sends();
+  rep.bytes_sent = net.bytes_sent();
+
+  const std::set<Value> proposed(initial.begin(), initial.end());
+  for (ProcId p = 0; p < net.n(); ++p) {
+    auto d = net.decision(p);
+    if (!d.has_value()) continue;
+    if (rep.value.has_value() && !(*rep.value == *d)) rep.agreement = false;
+    if (!rep.value.has_value()) rep.value = d;
+    if (proposed.count(*d) == 0) rep.validity = false;
+    const Round r = net.decision_round(p);
+    if (rep.first_decision_round == kNoRound || r < rep.first_decision_round)
+      rep.first_decision_round = r;
+    if (net.is_correct(p))
+      rep.last_decision_round = std::max(rep.last_decision_round, r);
+  }
+  if constexpr (kHasTrace) {
+    if (validate_env)
+      rep.env_check =
+          check_environment(net.trace(), net.n(), crashes.correct(net.n()));
+  } else {
+    rep.cohorts_max = net.stats().max_cohorts;
+    rep.cohorts_final = net.stats().cohorts;
+  }
+  return rep;
+}
 
 // `trace_out`, when given, receives the full execution trace of the run
 // (used by the determinism regression tests; traces can be voluminous).

@@ -1,0 +1,42 @@
+// The minimal probe automaton for emulated environments: every round it
+// broadcasts the union of everything it has heard (plus its own seed
+// value), so information floods the system and the emulated MS trace can
+// be certified without any protocol on top.  Shared by the E5 bench and
+// the scenario layer's emulation runner.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/value.hpp"
+#include "giraf/automaton.hpp"
+
+namespace anon {
+
+class EchoAutomaton final : public Automaton<ValueSet> {
+ public:
+  explicit EchoAutomaton(std::int64_t seed) : seed_(seed) {}
+
+  ValueSet initialize() override { return ValueSet{Value(seed_)}; }
+
+  ValueSet compute(Round k, const Inboxes<ValueSet>& inboxes) override {
+    ValueSet out;
+    for (const ValueSet& m : inbox_at(inboxes, k)) out.insert(m.begin(), m.end());
+    return out;
+  }
+
+ private:
+  std::int64_t seed_;
+};
+
+inline std::vector<std::unique_ptr<Automaton<ValueSet>>> echo_automatons(
+    std::size_t n) {
+  std::vector<std::unique_ptr<Automaton<ValueSet>>> autos;
+  autos.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    autos.push_back(std::make_unique<EchoAutomaton>(static_cast<std::int64_t>(i)));
+  return autos;
+}
+
+}  // namespace anon

@@ -108,4 +108,17 @@ Round BivalentMsModel::delay(Round k, ProcId sender, ProcId receiver) const {
   return 2;  // everything non-source arrives one round late (unread slot)
 }
 
+
+BivalentUntilGstModel::BivalentUntilGstModel(std::size_t n, Round gst)
+    : camps_(n), gst_(gst) {}
+
+Round BivalentUntilGstModel::delay(Round k, ProcId sender,
+                                   ProcId receiver) const {
+  return k > gst_ ? 0 : camps_.delay(k, sender, receiver);
+}
+
+std::optional<ProcId> BivalentUntilGstModel::planned_source(Round k) const {
+  return camps_.planned_source(k);
+}
+
 }  // namespace anon

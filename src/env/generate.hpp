@@ -97,4 +97,19 @@ class BivalentMsModel final : public DelayModel {
   std::size_t n_;
 };
 
+// The E1.b adversary: the bivalent two-camp MS schedule rules until GST,
+// full synchrony afterwards.  Under it Algorithm 2 cannot decide before
+// GST, so the decision round tracks GST plus a small constant — the
+// paper's termination shape with the ES promise made tight.
+class BivalentUntilGstModel final : public DelayModel {
+ public:
+  BivalentUntilGstModel(std::size_t n, Round gst);
+  Round delay(Round k, ProcId sender, ProcId receiver) const override;
+  std::optional<ProcId> planned_source(Round k) const override;
+
+ private:
+  BivalentMsModel camps_;
+  Round gst_;
+};
+
 }  // namespace anon

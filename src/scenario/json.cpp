@@ -1,0 +1,570 @@
+#include "scenario/json.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace anon {
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out + "\"";
+}
+
+std::string json_render_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.b_ = b;
+  return v;
+}
+
+JsonValue JsonValue::uint(std::uint64_t u) {
+  JsonValue v;
+  v.kind_ = Kind::kUint;
+  v.u_ = u;
+  return v;
+}
+
+JsonValue JsonValue::integer(std::int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kInt;
+  v.i_ = i;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kDouble;
+  v.d_ = d;
+  return v;
+}
+
+JsonValue JsonValue::str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.s_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::is_uint() const {
+  if (kind_ == Kind::kUint) return true;
+  return kind_ == Kind::kInt && i_ >= 0;
+}
+
+bool JsonValue::is_int() const {
+  if (kind_ == Kind::kInt) return true;
+  return kind_ == Kind::kUint &&
+         u_ <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+}
+
+bool JsonValue::as_bool() const {
+  ANON_CHECK(kind_ == Kind::kBool);
+  return b_;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  ANON_CHECK(is_uint());
+  return kind_ == Kind::kUint ? u_ : static_cast<std::uint64_t>(i_);
+}
+
+std::int64_t JsonValue::as_int() const {
+  ANON_CHECK(is_int());
+  return kind_ == Kind::kInt ? i_ : static_cast<std::int64_t>(u_);
+}
+
+double JsonValue::as_double() const {
+  switch (kind_) {
+    case Kind::kUint: return static_cast<double>(u_);
+    case Kind::kInt: return static_cast<double>(i_);
+    case Kind::kDouble: return d_;
+    default: ANON_CHECK_MSG(false, "not a number"); return 0;
+  }
+}
+
+const std::string& JsonValue::as_string() const {
+  ANON_CHECK(kind_ == Kind::kString);
+  return s_;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue v) {
+  ANON_CHECK(kind_ == Kind::kObject);
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  ANON_CHECK(kind_ == Kind::kObject);
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::entries() const {
+  ANON_CHECK(kind_ == Kind::kObject);
+  return obj_;
+}
+
+JsonValue& JsonValue::push(JsonValue v) {
+  ANON_CHECK(kind_ == Kind::kArray);
+  arr_.push_back(std::move(v));
+  return *this;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  ANON_CHECK(kind_ == Kind::kArray);
+  return arr_;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return arr_.size();
+  if (kind_ == Kind::kObject) return obj_.size();
+  return 0;
+}
+
+void JsonValue::dump_to(std::string& out, int indent, bool pretty) const {
+  const std::string pad(pretty ? 2 * (indent + 1) : 0, ' ');
+  const std::string close_pad(pretty ? 2 * indent : 0, ' ');
+  const char* nl = pretty ? "\n" : "";
+  const char* colon = pretty ? ": " : ":";
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += b_ ? "true" : "false"; break;
+    case Kind::kUint: out += std::to_string(u_); break;
+    case Kind::kInt: out += std::to_string(i_); break;
+    case Kind::kDouble: out += json_render_double(d_); break;
+    case Kind::kString: out += json_quote(s_); break;
+    case Kind::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[";
+      out += nl;
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        out += pad;
+        arr_[i].dump_to(out, indent + 1, pretty);
+        if (i + 1 < arr_.size()) out += ",";
+        out += nl;
+      }
+      out += close_pad + "]";
+      break;
+    }
+    case Kind::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{";
+      out += nl;
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        out += pad + json_quote(obj_[i].first) + colon;
+        obj_[i].second.dump_to(out, indent + 1, pretty);
+        if (i + 1 < obj_.size()) out += ",";
+        out += nl;
+      }
+      out += close_pad + "}";
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out, 0, /*pretty=*/true);
+  return out;
+}
+
+std::string JsonValue::dump_compact() const {
+  std::string out;
+  dump_to(out, 0, /*pretty=*/false);
+  return out;
+}
+
+bool operator==(const JsonValue& a, const JsonValue& b) {
+  // Numeric kinds compare by value (1 == 1.0); everything else structurally.
+  if (a.is_number() && b.is_number()) {
+    if (a.is_uint() && b.is_uint()) return a.as_uint() == b.as_uint();
+    if (a.is_int() && b.is_int()) return a.as_int() == b.as_int();
+    return a.as_double() == b.as_double();
+  }
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case JsonValue::Kind::kNull: return true;
+    case JsonValue::Kind::kBool: return a.b_ == b.b_;
+    case JsonValue::Kind::kString: return a.s_ == b.s_;
+    case JsonValue::Kind::kArray: return a.arr_ == b.arr_;
+    case JsonValue::Kind::kObject: return a.obj_ == b.obj_;
+    default: return false;  // numbers handled above
+  }
+}
+
+// ---------------------------------------------------------------- parser --
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonParseResult run() {
+    JsonParseResult res;
+    JsonValue v;
+    if (!parse_value(&v)) return fail();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error_ = "trailing characters after JSON value";
+      return fail();
+    }
+    res.value = std::move(v);
+    return res;
+  }
+
+ private:
+  JsonParseResult fail() const {
+    JsonParseResult res;
+    res.error = error_.empty() ? "invalid JSON" : error_;
+    res.line = 1;
+    res.column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++res.line;
+        res.column = 1;
+      } else {
+        ++res.column;
+      }
+    }
+    return res;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect(char c, const char* what) {
+    if (eat(c)) return true;
+    error_ = std::string("expected '") + c + "' " + what;
+    return false;
+  }
+
+  bool parse_value(JsonValue* out) {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      error_ = "unexpected end of input";
+      return false;
+    }
+    if (depth_ > kMaxDepth) {
+      error_ = "exceeded maximum nesting depth (" +
+               std::to_string(kMaxDepth) + ")";
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(&s)) return false;
+      *out = JsonValue::str(std::move(s));
+      return true;
+    }
+    if (c == 't' || c == 'f' || c == 'n') return parse_keyword(out);
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+    error_ = std::string("unexpected character '") + c + "'";
+    return false;
+  }
+
+  bool parse_keyword(JsonValue* out) {
+    auto match = [&](std::string_view kw) {
+      if (text_.substr(pos_, kw.size()) == kw) {
+        pos_ += kw.size();
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) {
+      *out = JsonValue::boolean(true);
+      return true;
+    }
+    if (match("false")) {
+      *out = JsonValue::boolean(false);
+      return true;
+    }
+    if (match("null")) {
+      *out = JsonValue();
+      return true;
+    }
+    error_ = "invalid literal";
+    return false;
+  }
+
+  bool parse_number(JsonValue* out) {
+    // RFC 8259 grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)? —
+    // leading zeros, bare signs and trailing dots are rejected, matching
+    // what every conforming tool downstream of a spec file accepts.
+    const std::size_t start = pos_;
+    const auto digits = [&]() -> std::size_t {
+      const std::size_t from = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+      return pos_ - from;
+    };
+    bool negative = false, fractional = false;
+    if (text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    const std::size_t int_start = pos_;
+    if (digits() == 0) {
+      error_ = "invalid number: expected digits";
+      return false;
+    }
+    if (text_[int_start] == '0' && pos_ - int_start > 1) {
+      error_ = "invalid number: leading zeros are not allowed";
+      return false;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      fractional = true;
+      ++pos_;
+      if (digits() == 0) {
+        error_ = "invalid number: expected digits after '.'";
+        return false;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      fractional = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (digits() == 0) {
+        error_ = "invalid number: expected exponent digits";
+        return false;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    if (!fractional) {
+      char* end = nullptr;
+      if (negative) {
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          *out = JsonValue::integer(v);
+          return true;
+        }
+      } else {
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          *out = JsonValue::uint(v);
+          return true;
+        }
+      }
+      errno = 0;  // out of integer range: fall through to double
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      error_ = "invalid number '" + token + "'";
+      return false;
+    }
+    *out = JsonValue::number(d);
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      error_ = "expected string";
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              error_ = "truncated \\u escape";
+              return false;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                error_ = "invalid \\u escape";
+                return false;
+              }
+            }
+            // UTF-8 encode (BMP only; surrogate pairs unsupported — the
+            // spec/report vocabulary is ASCII).
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            error_ = std::string("invalid escape '\\") + esc + "'";
+            return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        error_ = "unescaped control character in string";
+        return false;
+      } else {
+        *out += c;
+      }
+    }
+    error_ = "unterminated string";
+    return false;
+  }
+
+  bool parse_array(JsonValue* out) {
+    if (!expect('[', "to open array")) return false;
+    const DepthGuard guard(this);
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (eat(']')) {
+      *out = std::move(arr);
+      return true;
+    }
+    for (;;) {
+      JsonValue elem;
+      if (!parse_value(&elem)) return false;
+      arr.push(std::move(elem));
+      if (eat(',')) continue;
+      if (!expect(']', "to close array")) return false;
+      *out = std::move(arr);
+      return true;
+    }
+  }
+
+  bool parse_object(JsonValue* out) {
+    if (!expect('{', "to open object")) return false;
+    const DepthGuard guard(this);
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (eat('}')) {
+      *out = std::move(obj);
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      if (!parse_string(&key)) return false;
+      if (obj.find(key) != nullptr) {
+        error_ = "duplicate object key \"" + key + "\"";
+        return false;
+      }
+      if (!expect(':', "after object key")) return false;
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      obj.set(key, std::move(value));
+      if (eat(',')) continue;
+      if (!expect('}', "to close object")) return false;
+      *out = std::move(obj);
+      return true;
+    }
+  }
+
+  // Containers bound recursion: a hostile/degenerate file errors out
+  // instead of overflowing the stack (specs are a handful of levels deep).
+  static constexpr std::size_t kMaxDepth = 64;
+  struct DepthGuard {
+    explicit DepthGuard(Parser* p) : parser(p) { ++parser->depth_; }
+    ~DepthGuard() { --parser->depth_; }
+    Parser* parser;
+  };
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+JsonParseResult JsonValue::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace anon

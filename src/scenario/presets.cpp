@@ -1,0 +1,274 @@
+// Named scenario presets reproducing the paper's experiment grids.  Every
+// bench family has (a) its tracked trajectory workload (the BENCH_E*.json
+// hot path) and (b) a seconds-fast variant the CI smoke job drives through
+// `anonsim run`.  Tests pin each preset's canonical spec encoding against
+// a golden file, so editing one here is a deliberate, reviewed act.
+#include "scenario/registry.hpp"
+#include "sim/experiment.hpp"
+
+namespace anon {
+
+namespace {
+
+ScenarioSpec base_spec(const std::string& name, ScenarioFamily family,
+                       std::size_t seed_count) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.family = family;
+  spec.seeds = experiment_seeds(seed_count);
+  return spec;
+}
+
+// --- consensus ---------------------------------------------------------------
+
+ScenarioSpec e1_spec(const std::string& name, std::size_t n,
+                     std::size_t seed_count) {
+  ScenarioSpec spec = base_spec(name, ScenarioFamily::kConsensus, seed_count);
+  spec.env_kind = EnvKind::kES;
+  spec.n = n;
+  spec.consensus.algo = ConsensusAlgo::kEs;
+  return spec;
+}
+
+ScenarioSpec e2_spec(const std::string& name, std::size_t n,
+                     std::size_t seed_count) {
+  ScenarioSpec spec = base_spec(name, ScenarioFamily::kConsensus, seed_count);
+  spec.env_kind = EnvKind::kESS;
+  spec.n = n;
+  spec.consensus.algo = ConsensusAlgo::kEss;
+  return spec;
+}
+
+ScenarioSpec e3_pseudo_spec() {
+  ScenarioSpec spec = base_spec("e3-pseudo", ScenarioFamily::kConsensus, 8);
+  spec.env_kind = EnvKind::kESS;
+  spec.n = 5;
+  spec.consensus.algo = ConsensusAlgo::kEss;
+  spec.consensus.probe = ConsensusSpecSection::Probe::kLeaderConvergence;
+  spec.consensus.horizon = 300;
+  spec.consensus.record_trace = false;  // probe runs are trace-free
+  return spec;
+}
+
+ScenarioSpec e8_spec(const std::string& name, std::size_t n, Round horizon) {
+  ScenarioSpec spec = base_spec(name, ScenarioFamily::kConsensus, 1);
+  spec.seeds = {1};
+  spec.env_kind = EnvKind::kMS;
+  spec.n = n;
+  spec.initial.kind = ValueGenSpec::Kind::kBivalent;
+  spec.consensus.algo = ConsensusAlgo::kEs;
+  spec.consensus.schedule = ConsensusSpecSection::Schedule::kBivalentMs;
+  spec.consensus.max_rounds = horizon;
+  spec.consensus.record_deliveries = true;
+  spec.consensus.validate_env = true;
+  return spec;
+}
+
+ScenarioSpec e9_alg3_spec(const std::string& name, std::size_t n,
+                          std::size_t seed_count) {
+  ScenarioSpec spec = base_spec(name, ScenarioFamily::kConsensus, seed_count);
+  spec.env_kind = EnvKind::kESS;
+  spec.n = n;
+  spec.stabilization = 10;
+  spec.consensus.algo = ConsensusAlgo::kEss;
+  return spec;
+}
+
+ScenarioSpec e10_spec(const std::string& name, bool gc, Round horizon) {
+  ScenarioSpec spec = base_spec(name, ScenarioFamily::kConsensus, 1);
+  spec.seeds = {23};
+  spec.env_kind = EnvKind::kESS;
+  spec.n = 5;
+  spec.stabilization = 6;
+  spec.consensus.algo = ConsensusAlgo::kEss;
+  spec.consensus.probe = ConsensusSpecSection::Probe::kStateGrowth;
+  spec.consensus.horizon = horizon;
+  spec.consensus.gc_counters = gc;
+  spec.consensus.record_trace = false;  // probe runs are trace-free
+  return spec;
+}
+
+ScenarioSpec e12_spec(const std::string& name, std::size_t n) {
+  ScenarioSpec spec = base_spec(name, ScenarioFamily::kConsensus, 1);
+  spec.seeds = {42};
+  spec.env_kind = EnvKind::kES;
+  spec.n = n;
+  spec.initial.kind = ValueGenSpec::Kind::kCycle;
+  spec.initial.period = 8;
+  spec.consensus.algo = ConsensusAlgo::kEs;
+  spec.consensus.backend = ConsensusBackend::kCohort;
+  spec.consensus.record_trace = false;
+  return spec;
+}
+
+// --- omega -------------------------------------------------------------------
+
+ScenarioSpec e3_omega_spec() {
+  ScenarioSpec spec = base_spec("e3-omega", ScenarioFamily::kOmega, 8);
+  spec.env_kind = EnvKind::kESS;
+  spec.n = 5;
+  spec.omega.probe = OmegaSpecSection::Probe::kLeaderConvergence;
+  spec.omega.horizon = 300;
+  return spec;
+}
+
+ScenarioSpec e9_omega_spec(const std::string& name, std::size_t n,
+                           std::size_t seed_count) {
+  ScenarioSpec spec = base_spec(name, ScenarioFamily::kOmega, seed_count);
+  spec.env_kind = EnvKind::kESS;
+  spec.n = n;
+  spec.stabilization = 10;
+  return spec;
+}
+
+// --- weakset -----------------------------------------------------------------
+
+ScenarioSpec e4_spec(const std::string& name, std::size_t n, std::size_t ops,
+                     std::size_t seed_count) {
+  ScenarioSpec spec = base_spec(name, ScenarioFamily::kWeakset, seed_count);
+  spec.env_kind = EnvKind::kMS;
+  spec.n = n;
+  spec.weakset.gen_ops = ops;
+  spec.weakset.validate_env = false;
+  return spec;
+}
+
+ScenarioSpec e6_register_spec(const std::string& name, std::size_t n,
+                              std::size_t seed_count) {
+  ScenarioSpec spec = base_spec(name, ScenarioFamily::kWeakset, seed_count);
+  spec.env_kind = EnvKind::kMS;
+  spec.n = n;
+  spec.weakset.mode = WeaksetSpecSection::Mode::kRegister;
+  spec.weakset.gen_ops = 8;
+  spec.weakset.extra_rounds = 60;
+  spec.weakset.validate_env = false;
+  return spec;
+}
+
+// --- emulation ---------------------------------------------------------------
+
+ScenarioSpec e5_spec(const std::string& name,
+                     EmulationSpecSection::Engine engine, std::size_t n,
+                     Round rounds, std::size_t seed_count) {
+  ScenarioSpec spec = base_spec(name, ScenarioFamily::kEmulation, seed_count);
+  spec.env_kind = EnvKind::kMS;
+  spec.n = n;
+  spec.emulation.engine = engine;
+  spec.emulation.rounds = rounds;
+  return spec;
+}
+
+// --- weakset-shm -------------------------------------------------------------
+
+ScenarioSpec e7_swmr_spec(const std::string& name, std::size_t n,
+                          std::uint64_t ops, std::size_t seed_count) {
+  ScenarioSpec spec = base_spec(name, ScenarioFamily::kWeaksetShm, seed_count);
+  spec.n = n;
+  spec.shm.construction = ShmSpecSection::Construction::kSwmr;
+  spec.shm.gen_ops = ops;
+  return spec;
+}
+
+ScenarioSpec e7_mwmr_spec() {
+  ScenarioSpec spec = base_spec("e7-mwmr", ScenarioFamily::kWeaksetShm, 10);
+  spec.n = 5;
+  spec.shm.construction = ShmSpecSection::Construction::kMwmr;
+  spec.shm.gen_ops = 100;
+  spec.shm.domain = 64;
+  return spec;
+}
+
+// --- abd ---------------------------------------------------------------------
+
+ScenarioSpec e6_abd_spec(const std::string& name, std::size_t n,
+                         std::size_t crash_prefix, std::size_t seed_count) {
+  ScenarioSpec spec = base_spec(name, ScenarioFamily::kAbd, seed_count);
+  spec.n = n;
+  spec.abd.crash_prefix = crash_prefix;
+  return spec;
+}
+
+// --- the quickstart scenario (examples/quickstart.cpp) -----------------------
+
+ScenarioSpec quickstart_spec() {
+  ScenarioSpec spec;
+  spec.name = "quickstart";
+  spec.family = ScenarioFamily::kConsensus;
+  spec.seeds = {2026};
+  spec.env_kind = EnvKind::kES;
+  spec.n = 5;
+  spec.stabilization = 10;
+  spec.initial.kind = ValueGenSpec::Kind::kExplicit;
+  spec.initial.values = {170, 230, 190, 230, 180};
+  spec.crashes.kind = CrashGenSpec::Kind::kExplicit;
+  spec.crashes.entries = {{3, 6}};
+  spec.consensus.algo = ConsensusAlgo::kEs;
+  spec.consensus.record_deliveries = true;
+  spec.consensus.validate_env = true;
+  return spec;
+}
+
+}  // namespace
+
+void register_builtin_presets(ScenarioRegistry& reg) {
+  auto add = [&](std::string description, ScenarioSpec spec) {
+    reg.register_preset({spec.name, std::move(description), std::move(spec)});
+  };
+
+  add("E1 tracked workload: Alg 2 (ES) n=64 sweep, GST=0, 10 seeds",
+      e1_spec("e1", 64, 10));
+  add("E1 smoke cell: Alg 2 (ES) n=8, 3 seeds", e1_spec("e1-fast", 8, 3));
+  add("E2 tracked workload: Alg 3 (ESS) n=32 sweep, stab=0, 10 seeds",
+      e2_spec("e2", 32, 10));
+  add("E2 smoke cell: Alg 3 (ESS) n=8, 3 seeds", e2_spec("e2-fast", 8, 3));
+  add("E3 pseudo-leader convergence probe (ESS n=5, horizon 300)",
+      e3_pseudo_spec());
+  add("E3 Omega accusation-tracker convergence probe (ESS n=5, horizon 300)",
+      e3_omega_spec());
+  add("E4 tracked workload: Alg 4 weak-set over MS, n=16, 48 op pairs",
+      e4_spec("e4", 16, 48, 10));
+  add("E4 smoke cell: Alg 4 weak-set over MS, n=4, 12 op pairs",
+      e4_spec("e4-fast", 4, 12, 3));
+  add("E5 tracked workload: Alg 5 MS emulation (interned engine), n=32, 160 "
+      "rounds",
+      e5_spec("e5", EmulationSpecSection::Engine::kInterned, 32, 160, 10));
+  add("E5 A/B side: the retained seed engine on the e5 workload",
+      e5_spec("e5-ref", EmulationSpecSection::Engine::kRef, 32, 160, 10));
+  add("E5 smoke cell: interned engine, n=8, 25 rounds",
+      e5_spec("e5-fast", EmulationSpecSection::Engine::kInterned, 8, 25, 3));
+  add("E6 weak-set register (Prop 1) over MS, n=9, 8 write/read pairs",
+      e6_register_spec("e6-register", 9, 10));
+  add("E6 register smoke cell: n=5, 3 seeds",
+      e6_register_spec("e6-register-fast", 5, 3));
+  add("E6 ABD baseline write probe, n=9, majority alive",
+      e6_abd_spec("e6-abd", 9, 0, 10));
+  add("E6 ABD smoke cell: n=5, 3 seeds", e6_abd_spec("e6-abd-fast", 5, 0, 3));
+  add("E7 tracked workload: Prop 2 SWMR construction, n=16, 1000 op pairs",
+      e7_swmr_spec("e7-swmr", 16, 1000, 10));
+  add("E7 Prop 3 MWMR construction, |domain|=64, 100 op pairs",
+      e7_mwmr_spec());
+  add("E7 smoke cell: Prop 2, n=4, 100 op pairs",
+      e7_swmr_spec("e7-fast", 4, 100, 3));
+  add("E8 bivalent two-camp MS schedule vs Alg 2 (n=9, horizon 4000; decides "
+      "never, trace MS-certified)",
+      e8_spec("e8-bivalent", 9, 4000));
+  add("E8 smoke cell: n=5, horizon 500", e8_spec("e8-fast", 5, 500));
+  add("E9 tracked workload: Alg 3 (anonymous) in ESS stab=10, n=17",
+      e9_alg3_spec("e9-alg3", 17, 10));
+  add("E9 A/B side: Omega-with-IDs on the e9 workload",
+      e9_omega_spec("e9-omega", 17, 10));
+  add("E9 Omega smoke cell: n=5, 3 seeds",
+      e9_omega_spec("e9-omega-fast", 5, 3));
+  add("E10 tracked workload: ESS no-decide state growth, n=5, 750 rounds",
+      e10_spec("e10", false, 750));
+  add("E10 counter-GC variant of the e10 workload", e10_spec("e10-gc", true, 750));
+  add("E10 smoke cell: 150 rounds", e10_spec("e10-fast", false, 150));
+  add("E12 cohort-collapsed E1-shaped run, n=4096 (8 proposal values)",
+      e12_spec("e12-cohort", 4096));
+  add("E12 smoke cell: n=256", e12_spec("e12-fast", 256));
+  add("The quickstart scenario: 5 anonymous processes, one mid-run crash "
+      "(examples/quickstart.cpp)",
+      quickstart_spec());
+}
+
+}  // namespace anon

@@ -1,0 +1,125 @@
+#include "scenario/registry.hpp"
+
+#include <chrono>
+
+#include "common/check.hpp"
+#include "scenario/runners.hpp"
+
+namespace anon {
+
+namespace {
+
+std::string render_errors(const std::vector<SpecError>& errors) {
+  std::string out = "invalid scenario spec:";
+  for (const auto& e : errors) out += "\n  " + e.to_string();
+  return out;
+}
+
+}  // namespace
+
+ScenarioSpecError::ScenarioSpecError(std::vector<SpecError> errors)
+    : std::runtime_error(render_errors(errors)), errors_(std::move(errors)) {}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry* reg = [] {
+    auto* r = new ScenarioRegistry();
+    register_builtin_families(*r);
+    register_builtin_presets(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void ScenarioRegistry::register_family(ScenarioFamily family,
+                                       ScenarioRunner runner) {
+  runners_[family] = std::move(runner);
+}
+
+void ScenarioRegistry::register_preset(ScenarioPreset preset) {
+  ANON_CHECK_MSG(find_preset(preset.name) == nullptr,
+                 "duplicate preset name " + preset.name);
+  // Presets must be valid by construction — a broken preset is a bug, not
+  // a user error.
+  const auto errors = validate_scenario_spec(preset.spec);
+  ANON_CHECK_MSG(errors.empty(), "preset " + preset.name + " invalid: " +
+                                     (errors.empty() ? std::string()
+                                                     : errors[0].to_string()));
+  presets_.push_back(std::move(preset));
+}
+
+bool ScenarioRegistry::has_family(ScenarioFamily family) const {
+  return runners_.count(family) > 0;
+}
+
+ScenarioReport ScenarioRegistry::run(const ScenarioSpec& spec,
+                                     SweepOptions opt) const {
+  auto errors = validate_scenario_spec(spec);
+  if (!errors.empty()) throw ScenarioSpecError(std::move(errors));
+  const auto it = runners_.find(spec.family);
+  if (it == runners_.end())
+    throw std::out_of_range(std::string("no runner registered for family ") +
+                            to_string(spec.family));
+
+  const auto start = std::chrono::steady_clock::now();
+  ScenarioReport rep = it->second(spec, opt);
+  rep.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start)
+                   .count();
+  rep.name = spec.name;
+  rep.family = spec.family;
+  rep.seeds = spec.seeds;
+  rep.threads = resolve_sweep_threads(opt.threads);
+
+  // Shared rollup over the family's cells.
+  rep.rounds = rep.sends = rep.bytes = rep.deliveries = 0;
+  for (const auto& c : rep.consensus_cells) {
+    rep.rounds += c.report.rounds_executed;
+    rep.sends += c.report.sends;
+    rep.bytes += c.report.bytes_sent;
+    rep.deliveries += c.report.deliveries;
+  }
+  for (const auto& c : rep.omega_cells) {
+    rep.rounds += c.rounds;
+    rep.sends += c.sends;
+    rep.bytes += c.bytes;
+    rep.deliveries += c.deliveries;
+  }
+  for (const auto& c : rep.weakset_cells) rep.rounds += c.rounds;
+  for (const auto& c : rep.emulation_cells) {
+    rep.rounds += c.rounds_max;
+    rep.deliveries += c.trace_deliveries;
+  }
+  (void)rep.shm_cells;  // step-counted, not round-counted
+  for (const auto& c : rep.abd_cells) {
+    rep.sends += c.messages;
+    rep.deliveries += c.messages;
+  }
+  return rep;
+}
+
+ScenarioReport ScenarioRegistry::run_preset(const std::string& name,
+                                            SweepOptions opt) const {
+  const ScenarioPreset* p = find_preset(name);
+  if (p == nullptr)
+    throw std::out_of_range("unknown preset \"" + name + "\"");
+  return run(p->spec, opt);
+}
+
+const ScenarioPreset* ScenarioRegistry::find_preset(
+    const std::string& name) const {
+  for (const auto& p : presets_)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+void register_builtin_families(ScenarioRegistry& reg) {
+  using namespace scenario_runners;
+  reg.register_family(ScenarioFamily::kConsensus, run_consensus_family);
+  reg.register_family(ScenarioFamily::kOmega, run_omega_family);
+  reg.register_family(ScenarioFamily::kWeakset, run_weakset_family);
+  reg.register_family(ScenarioFamily::kEmulation, run_emulation_family);
+  reg.register_family(ScenarioFamily::kWeaksetShm, run_shm_family);
+  reg.register_family(ScenarioFamily::kAbd, run_abd_family);
+}
+
+}  // namespace anon

@@ -1,0 +1,75 @@
+// The one run surface: every experiment family registers a
+// `run(ScenarioSpec) -> ScenarioReport` runner here, plus named presets
+// reproducing the paper's experiment grids.  Benches, examples, tests and
+// the `anonsim` CLI all dispatch through this registry — adding scenario
+// #13 is one spec plus one registration, not a new bespoke binary.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "scenario/report.hpp"
+#include "scenario/spec.hpp"
+
+namespace anon {
+
+struct ScenarioPreset {
+  std::string name;
+  std::string description;
+  ScenarioSpec spec;
+};
+
+// Thrown by ScenarioRegistry::run on an invalid spec; carries the
+// field-path diagnostics (the CLI and tests render them — nothing
+// CHECK-aborts on user input).
+class ScenarioSpecError : public std::runtime_error {
+ public:
+  explicit ScenarioSpecError(std::vector<SpecError> errors);
+  const std::vector<SpecError>& errors() const { return errors_; }
+
+ private:
+  std::vector<SpecError> errors_;
+};
+
+// A family runner: one independent simulation per seed, sharded across
+// worker threads via core/sweep.hpp (cells are index-aligned with the
+// seed list; results are identical at any thread count).  The runner
+// fills only its family's cell vector; the registry stamps identity,
+// rollup metrics and timing.
+using ScenarioRunner =
+    std::function<ScenarioReport(const ScenarioSpec&, const SweepOptions&)>;
+
+class ScenarioRegistry {
+ public:
+  // The process-wide registry with every built-in family and preset
+  // registered (first use registers them).
+  static ScenarioRegistry& instance();
+
+  void register_family(ScenarioFamily family, ScenarioRunner runner);
+  void register_preset(ScenarioPreset preset);
+
+  bool has_family(ScenarioFamily family) const;
+
+  // Validate → dispatch → stamp.  Throws ScenarioSpecError on an invalid
+  // spec and std::out_of_range on an unregistered family.
+  ScenarioReport run(const ScenarioSpec& spec, SweepOptions opt = {}) const;
+  ScenarioReport run_preset(const std::string& name, SweepOptions opt = {}) const;
+
+  const ScenarioPreset* find_preset(const std::string& name) const;
+  const std::vector<ScenarioPreset>& presets() const { return presets_; }
+
+ private:
+  ScenarioRegistry() = default;
+  std::map<ScenarioFamily, ScenarioRunner> runners_;
+  std::vector<ScenarioPreset> presets_;
+};
+
+// Built-in registrations (scenario/runner_*.cpp, scenario/presets.cpp).
+void register_builtin_families(ScenarioRegistry& reg);
+void register_builtin_presets(ScenarioRegistry& reg);
+
+}  // namespace anon

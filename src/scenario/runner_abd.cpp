@@ -1,0 +1,43 @@
+// ABD family runner: the majority-quorum register baseline (IDs, async,
+// needs f < n/2) — the other side of E6's synchrony-for-quorums trade.
+// The probed operation is one write; with a crashed majority it never
+// completes (the event queue drains), which is exactly ABD's liveness
+// limit and is reported rather than treated as an error.
+#include "baseline/abd.hpp"
+#include "baseline/async_net.hpp"
+#include "scenario/runners.hpp"
+
+namespace anon::scenario_runners {
+
+namespace {
+
+AbdCellOutcome run_cell(const ScenarioSpec& spec, std::uint64_t seed) {
+  AsyncNet net(spec.n, seed);
+  for (std::size_t i = 0; i < spec.abd.crash_prefix; ++i)
+    net.crash(spec.n - 1 - i);
+  AbdRegister reg(&net);
+  AbdCellOutcome cell;
+  reg.write(0, Value(spec.abd.write_value), [&](std::uint64_t end) {
+    cell.completed = true;
+    cell.end_time = end;
+  });
+  net.events().run();
+  cell.messages = reg.messages();
+  return cell;
+}
+
+}  // namespace
+
+ScenarioReport run_abd_family(const ScenarioSpec& spec,
+                              const SweepOptions& opt) {
+  ScenarioReport rep;
+  rep.abd_cells = parallel_sweep(
+      spec.seeds.size(),
+      [&](std::size_t i) -> AbdCellOutcome {
+        return run_cell(spec, spec.seeds[i]);
+      },
+      opt);
+  return rep;
+}
+
+}  // namespace anon::scenario_runners

@@ -1,0 +1,107 @@
+// Emulation family runner: Algorithm 5's MS-from-weak-set emulation
+// (Theorem 4), on the interned watermark engine or the retained seed
+// engine, with echo probes (E5) or Algorithm 4's weak-set automaton on
+// top (the emulation-stack example: a weak-set built from a weak-set).
+#include "emul/echo.hpp"
+#include "emul/ms_emulation.hpp"
+#include "emul/ms_emulation_ref.hpp"
+#include "env/validate.hpp"
+#include "scenario/runners.hpp"
+#include "weakset/ms_weak_set.hpp"
+
+namespace anon::scenario_runners {
+
+namespace {
+
+MsEmulationOptions options_from_spec(const ScenarioSpec& spec,
+                                     std::uint64_t seed) {
+  MsEmulationOptions opt;
+  opt.seed = seed;
+  opt.min_add_latency = spec.emulation.min_add_latency;
+  opt.max_add_latency = spec.emulation.max_add_latency;
+  opt.skew = spec.emulation.skew;
+  opt.max_ticks = spec.emulation.max_ticks;
+  return opt;
+}
+
+std::vector<ProcId> all_processes(std::size_t n) {
+  std::vector<ProcId> v(n);
+  for (ProcId p = 0; p < n; ++p) v[p] = p;
+  return v;
+}
+
+template <template <typename> class Engine>
+EmulationCellOutcome run_cell(const ScenarioSpec& spec, std::uint64_t seed) {
+  const EmulationSpecSection& e = spec.emulation;
+  const std::size_t n = spec.n;
+  const bool weakset_inner = e.inner == EmulationSpecSection::Inner::kWeakset;
+
+  std::vector<std::unique_ptr<Automaton<ValueSet>>> autos;
+  if (weakset_inner) {
+    autos.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      autos.push_back(std::make_unique<MsWeakSetAutomaton>());
+  } else {
+    autos = echo_automatons(n);
+  }
+
+  Engine<ValueSet> emu(std::move(autos), options_from_spec(spec, seed));
+
+  if (weakset_inner) {
+    for (const auto& add : e.adds) {
+      auto& w = dynamic_cast<MsWeakSetAutomaton&>(
+          const_cast<GirafProcess<ValueSet>&>(emu.process(add.process))
+              .automaton());
+      w.start_add(Value(add.value));
+    }
+  }
+
+  EmulationCellOutcome cell;
+  cell.ran = emu.run_until_round(e.rounds);
+  const Trace& trace = emu.trace();
+  cell.trace_deliveries = trace.deliveries().size();
+  if (!trace.end_of_rounds().empty())
+    cell.ticks = trace.end_of_rounds().back().time;
+  cell.rounds_min = kNeverCrashes;
+  for (ProcId p = 0; p < n; ++p) {
+    const Round r = trace.rounds_completed(p, n);
+    cell.rounds_min = std::min(cell.rounds_min, r);
+    cell.rounds_max = std::max(cell.rounds_max, r);
+    cell.rounds_total += r;
+  }
+  if (cell.rounds_min == kNeverCrashes) cell.rounds_min = 0;
+  cell.ms_certified =
+      cell.ran && check_environment(trace, n, all_processes(n)).ms_ok;
+
+  if (weakset_inner) {
+    cell.weakset_inner = true;
+    cell.adds_completed = true;
+    cell.all_see = true;
+    for (ProcId p = 0; p < n; ++p) {
+      const auto& w =
+          dynamic_cast<const MsWeakSetAutomaton&>(emu.process(p).automaton());
+      if (w.add_blocked()) cell.adds_completed = false;
+      for (const auto& add : e.adds)
+        if (w.get().count(Value(add.value)) == 0) cell.all_see = false;
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+ScenarioReport run_emulation_family(const ScenarioSpec& spec,
+                                    const SweepOptions& opt) {
+  ScenarioReport rep;
+  rep.emulation_cells = parallel_sweep(
+      spec.seeds.size(),
+      [&](std::size_t i) -> EmulationCellOutcome {
+        return spec.emulation.engine == EmulationSpecSection::Engine::kRef
+                   ? run_cell<MsEmulationRef>(spec, spec.seeds[i])
+                   : run_cell<MsEmulation>(spec, spec.seeds[i]);
+      },
+      opt);
+  return rep;
+}
+
+}  // namespace anon::scenario_runners

@@ -1,0 +1,98 @@
+// Omega family runner: the Ω-with-IDs consensus baseline (the
+// cost-of-anonymity comparison, E9) and its accusation-tracker
+// leader-convergence probe (E3).
+#include <memory>
+
+#include "algo/runner.hpp"
+#include "baseline/omega_consensus.hpp"
+#include "env/generate.hpp"
+#include "scenario/runners.hpp"
+
+namespace anon::scenario_runners {
+
+namespace {
+
+std::vector<std::unique_ptr<Automaton<OmegaMessage>>> omega_automatons(
+    const ScenarioSpec& spec, bool decide) {
+  const std::vector<Value> initial = spec.initial_values();
+  std::vector<std::unique_ptr<Automaton<OmegaMessage>>> autos;
+  autos.reserve(spec.n);
+  for (std::size_t i = 0; i < spec.n; ++i)
+    autos.push_back(std::make_unique<OmegaConsensus>(
+        initial[i], i, spec.omega.silence_threshold, decide));
+  return autos;
+}
+
+OmegaCellOutcome run_decision_cell(const ScenarioSpec& spec,
+                                   std::uint64_t seed) {
+  const CrashPlan crashes = spec.crash_plan(seed);
+  EnvDelayModel delays(spec.env_params(seed), crashes);
+  LockstepOptions opt;
+  opt.seed = seed;
+  opt.max_rounds = spec.omega.max_rounds;
+  opt.record_trace = false;
+  LockstepNet<OmegaMessage> net(omega_automatons(spec, /*decide=*/true),
+                                delays, crashes, opt);
+  const RunResult run = net.run_until_all_correct_decided();
+
+  OmegaCellOutcome cell;
+  cell.decided = net.all_correct_decided();
+  for (ProcId p = 0; p < net.n(); ++p)
+    cell.last_decision_round = std::max(cell.last_decision_round,
+                                        net.decision_round(p));
+  cell.rounds = run.rounds;
+  cell.deliveries = net.deliveries();
+  cell.sends = net.sends();
+  cell.bytes = net.bytes_sent();
+  return cell;
+}
+
+// E3's Ω convergence probe: rounds until everyone's leader estimate equals
+// the eventual source and stays so.
+OmegaCellOutcome run_convergence_cell(const ScenarioSpec& spec,
+                                      std::uint64_t seed) {
+  const CrashPlan crashes = spec.crash_plan(seed);
+  EnvDelayModel delays(spec.env_params(seed), crashes);
+  const ProcId src = delays.stable_source();
+  LockstepOptions opt;
+  opt.seed = seed;
+  opt.max_rounds = spec.omega.horizon;
+  opt.record_trace = false;
+  LockstepNet<OmegaMessage> net(omega_automatons(spec, /*decide=*/false),
+                                delays, crashes, opt);
+  Round last_bad = 0;
+  const RunResult run = net.run([&](const LockstepNet<OmegaMessage>& nn) {
+    for (ProcId p = 0; p < nn.n(); ++p) {
+      const auto& a =
+          dynamic_cast<const OmegaConsensus&>(nn.process(p).automaton());
+      if (a.current_leader() != src) last_bad = nn.round();
+    }
+    return false;
+  });
+
+  OmegaCellOutcome cell;
+  cell.rounds = run.rounds;
+  cell.deliveries = net.deliveries();
+  cell.sends = net.sends();
+  cell.bytes = net.bytes_sent();
+  cell.convergence_round = last_bad + 1;
+  return cell;
+}
+
+}  // namespace
+
+ScenarioReport run_omega_family(const ScenarioSpec& spec,
+                                const SweepOptions& opt) {
+  ScenarioReport rep;
+  rep.omega_cells = parallel_sweep(
+      spec.seeds.size(),
+      [&](std::size_t i) -> OmegaCellOutcome {
+        return spec.omega.probe == OmegaSpecSection::Probe::kLeaderConvergence
+                   ? run_convergence_cell(spec, spec.seeds[i])
+                   : run_decision_cell(spec, spec.seeds[i]);
+      },
+      opt);
+  return rep;
+}
+
+}  // namespace anon::scenario_runners

@@ -1,0 +1,108 @@
+// Weakset family runner: Algorithm 4's weak-set over an MS-class
+// environment (E4), raw or wrapped in the Proposition-1 register
+// transformation (E6.a, the anonymous-registry example).
+#include "scenario/runners.hpp"
+#include "weakset/ms_weak_set.hpp"
+#include "weakset/ws_register.hpp"
+
+namespace anon::scenario_runners {
+
+namespace {
+
+// The E4 bench workload shape: `ops` add/get pairs cycling processes.
+std::vector<WsScriptOp> generated_set_script(std::size_t n, std::size_t ops) {
+  std::vector<WsScriptOp> script;
+  script.reserve(2 * ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    script.push_back({static_cast<Round>(2 + 3 * i), i % n, true,
+                      Value(100 + static_cast<std::int64_t>(i))});
+    script.push_back(
+        {static_cast<Round>(3 + 3 * i), (i + 1) % n, false, Value()});
+  }
+  return script;
+}
+
+// The E6.a bench workload shape: writes alternating two writers, reads by
+// process 2.
+std::vector<RegScriptOp> generated_reg_script(std::size_t ops) {
+  std::vector<RegScriptOp> script;
+  script.reserve(2 * ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    script.push_back({static_cast<Round>(2 + 5 * i), i % 2, true,
+                      Value(10 + static_cast<std::int64_t>(i))});
+    script.push_back({static_cast<Round>(4 + 5 * i), 2, false, Value()});
+  }
+  return script;
+}
+
+WeaksetCellOutcome run_set_cell(const ScenarioSpec& spec, std::uint64_t seed) {
+  const WeaksetSpecSection& w = spec.weakset;
+  std::vector<WsScriptOp> script;
+  if (!w.script.empty()) {
+    script.reserve(w.script.size());
+    for (const auto& op : w.script)
+      script.push_back({op.round, op.process, op.is_mutation, Value(op.value)});
+  } else {
+    script = generated_set_script(spec.n, w.gen_ops);
+  }
+  auto run = run_ms_weak_set(spec.env_params(seed), spec.crash_plan(seed),
+                             std::move(script), w.extra_rounds, w.validate_env);
+
+  WeaksetCellOutcome cell;
+  auto check = check_weak_set_spec(run.records);
+  cell.spec_ok = check.ok;
+  cell.violation = check.violation;
+  cell.rounds = run.rounds_executed;
+  cell.adds = run.adds;
+  cell.all_adds_completed = run.all_adds_completed;
+  cell.add_latency_total = run.add_latency_rounds_total;
+  cell.env_checked = w.validate_env;
+  cell.env_ms_ok = run.env_check.ms_ok;
+  if (w.keep_records) cell.set_records = std::move(run.records);
+  return cell;
+}
+
+WeaksetCellOutcome run_register_cell(const ScenarioSpec& spec,
+                                     std::uint64_t seed) {
+  const WeaksetSpecSection& w = spec.weakset;
+  std::vector<RegScriptOp> script;
+  if (!w.script.empty()) {
+    script.reserve(w.script.size());
+    for (const auto& op : w.script)
+      script.push_back({op.round, op.process, op.is_mutation, Value(op.value)});
+  } else {
+    script = generated_reg_script(w.gen_ops);
+  }
+  auto run = run_register_over_ms(spec.env_params(seed), spec.crash_plan(seed),
+                                  std::move(script), w.extra_rounds,
+                                  w.validate_env);
+
+  WeaksetCellOutcome cell;
+  cell.spec_ok = run.check.ok;
+  cell.violation = run.check.violation;
+  cell.rounds = run.rounds_executed;
+  cell.writes_completed = run.writes_completed;
+  cell.write_latency_total = run.write_latency_rounds_total;
+  cell.env_checked = w.validate_env;
+  cell.env_ms_ok = run.env_check.ms_ok;
+  if (w.keep_records) cell.reg_records = std::move(run.records);
+  return cell;
+}
+
+}  // namespace
+
+ScenarioReport run_weakset_family(const ScenarioSpec& spec,
+                                  const SweepOptions& opt) {
+  ScenarioReport rep;
+  rep.weakset_cells = parallel_sweep(
+      spec.seeds.size(),
+      [&](std::size_t i) -> WeaksetCellOutcome {
+        return spec.weakset.mode == WeaksetSpecSection::Mode::kRegister
+                   ? run_register_cell(spec, spec.seeds[i])
+                   : run_set_cell(spec, spec.seeds[i]);
+      },
+      opt);
+  return rep;
+}
+
+}  // namespace anon::scenario_runners

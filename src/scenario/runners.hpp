@@ -1,0 +1,25 @@
+// Internal: the built-in family runner entry points (one translation unit
+// per family).  Registered with the registry by register_builtin_families;
+// not part of the public surface — go through ScenarioRegistry::run.
+#pragma once
+
+#include "core/sweep.hpp"
+#include "scenario/report.hpp"
+#include "scenario/spec.hpp"
+
+namespace anon::scenario_runners {
+
+ScenarioReport run_consensus_family(const ScenarioSpec& spec,
+                                    const SweepOptions& opt);
+ScenarioReport run_omega_family(const ScenarioSpec& spec,
+                                const SweepOptions& opt);
+ScenarioReport run_weakset_family(const ScenarioSpec& spec,
+                                  const SweepOptions& opt);
+ScenarioReport run_emulation_family(const ScenarioSpec& spec,
+                                    const SweepOptions& opt);
+ScenarioReport run_shm_family(const ScenarioSpec& spec,
+                              const SweepOptions& opt);
+ScenarioReport run_abd_family(const ScenarioSpec& spec,
+                              const SweepOptions& opt);
+
+}  // namespace anon::scenario_runners

@@ -1,0 +1,1055 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "env/generate.hpp"
+
+namespace anon {
+
+// ------------------------------------------------------------ enum tables --
+
+namespace {
+
+template <typename E>
+struct EnumName {
+  E value;
+  const char* name;
+};
+
+constexpr EnumName<ScenarioFamily> kFamilyNames[] = {
+    {ScenarioFamily::kConsensus, "consensus"},
+    {ScenarioFamily::kOmega, "omega"},
+    {ScenarioFamily::kWeakset, "weakset"},
+    {ScenarioFamily::kEmulation, "emulation"},
+    {ScenarioFamily::kWeaksetShm, "weakset-shm"},
+    {ScenarioFamily::kAbd, "abd"},
+};
+
+constexpr EnumName<EnvKind> kEnvKindNames[] = {
+    {EnvKind::kMS, "ms"},
+    {EnvKind::kES, "es"},
+    {EnvKind::kESS, "ess"},
+};
+
+constexpr EnumName<ConsensusAlgo> kAlgoNames[] = {
+    {ConsensusAlgo::kEs, "es"},
+    {ConsensusAlgo::kEss, "ess"},
+};
+
+constexpr EnumName<ConsensusBackend> kBackendNames[] = {
+    {ConsensusBackend::kExpanded, "expanded"},
+    {ConsensusBackend::kCohort, "cohort"},
+};
+
+constexpr EnumName<ConsensusSpecSection::Schedule> kScheduleNames[] = {
+    {ConsensusSpecSection::Schedule::kEnv, "env"},
+    {ConsensusSpecSection::Schedule::kBivalentMs, "bivalent-ms"},
+    {ConsensusSpecSection::Schedule::kBivalentUntilGst, "bivalent-until-gst"},
+    {ConsensusSpecSection::Schedule::kHostileMs, "hostile-ms"},
+};
+
+constexpr EnumName<ConsensusSpecSection::Probe> kConsensusProbeNames[] = {
+    {ConsensusSpecSection::Probe::kDecision, "decision"},
+    {ConsensusSpecSection::Probe::kLeaderConvergence, "leader-convergence"},
+    {ConsensusSpecSection::Probe::kStateGrowth, "state-growth"},
+};
+
+constexpr EnumName<OmegaSpecSection::Probe> kOmegaProbeNames[] = {
+    {OmegaSpecSection::Probe::kDecision, "decision"},
+    {OmegaSpecSection::Probe::kLeaderConvergence, "leader-convergence"},
+};
+
+constexpr EnumName<ValueGenSpec::Kind> kValueGenNames[] = {
+    {ValueGenSpec::Kind::kDistinct, "distinct"},
+    {ValueGenSpec::Kind::kIdentical, "identical"},
+    {ValueGenSpec::Kind::kCycle, "cycle"},
+    {ValueGenSpec::Kind::kBivalent, "bivalent"},
+    {ValueGenSpec::Kind::kExplicit, "explicit"},
+};
+
+constexpr EnumName<CrashGenSpec::Kind> kCrashGenNames[] = {
+    {CrashGenSpec::Kind::kNone, "none"},
+    {CrashGenSpec::Kind::kExplicit, "explicit"},
+    {CrashGenSpec::Kind::kRandom, "random"},
+};
+
+constexpr EnumName<WeaksetSpecSection::Mode> kWeaksetModeNames[] = {
+    {WeaksetSpecSection::Mode::kSet, "set"},
+    {WeaksetSpecSection::Mode::kRegister, "register"},
+};
+
+constexpr EnumName<EmulationSpecSection::Inner> kEmuInnerNames[] = {
+    {EmulationSpecSection::Inner::kEcho, "echo"},
+    {EmulationSpecSection::Inner::kWeakset, "weakset"},
+};
+
+constexpr EnumName<EmulationSpecSection::Engine> kEmuEngineNames[] = {
+    {EmulationSpecSection::Engine::kInterned, "interned"},
+    {EmulationSpecSection::Engine::kRef, "ref"},
+};
+
+constexpr EnumName<ShmSpecSection::Construction> kShmNames[] = {
+    {ShmSpecSection::Construction::kSwmr, "swmr"},
+    {ShmSpecSection::Construction::kMwmr, "mwmr"},
+};
+
+template <typename E, std::size_t N>
+const char* enum_name(const EnumName<E> (&table)[N], E value) {
+  for (const auto& e : table)
+    if (e.value == value) return e.name;
+  return "?";
+}
+
+template <typename E, std::size_t N>
+bool enum_from_name(const EnumName<E> (&table)[N], const std::string& name,
+                    E* out) {
+  for (const auto& e : table) {
+    if (name == e.name) {
+      *out = e.value;
+      return true;
+    }
+  }
+  return false;
+}
+
+template <typename E, std::size_t N>
+std::string enum_choices(const EnumName<E> (&table)[N]) {
+  std::string out;
+  for (const auto& e : table) {
+    if (!out.empty()) out += " | ";
+    out += std::string("\"") + e.name + "\"";
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(ScenarioFamily f) { return enum_name(kFamilyNames, f); }
+
+const std::vector<ScenarioFamily>& all_scenario_families() {
+  static const std::vector<ScenarioFamily> kAll = {
+      ScenarioFamily::kConsensus, ScenarioFamily::kOmega,
+      ScenarioFamily::kWeakset,   ScenarioFamily::kEmulation,
+      ScenarioFamily::kWeaksetShm, ScenarioFamily::kAbd,
+  };
+  return kAll;
+}
+
+// -------------------------------------------------------- materialization --
+
+EnvParams ScenarioSpec::env_params(std::uint64_t seed) const {
+  EnvParams env;
+  env.kind = env_kind;
+  env.n = n;
+  env.seed = seed;
+  env.stabilization = stabilization;
+  env.max_delay = max_delay;
+  env.timely_prob = timely_prob;
+  return env;
+}
+
+std::vector<Value> ScenarioSpec::initial_values() const {
+  switch (initial.kind) {
+    case ValueGenSpec::Kind::kDistinct: {
+      std::vector<Value> out;
+      out.reserve(n);
+      for (std::size_t i = 0; i < n; ++i)
+        out.push_back(Value(initial.base + static_cast<std::int64_t>(i)));
+      return out;
+    }
+    case ValueGenSpec::Kind::kIdentical:
+      return std::vector<Value>(n, Value(initial.base));
+    case ValueGenSpec::Kind::kCycle: {
+      std::vector<Value> out;
+      out.reserve(n);
+      for (std::size_t i = 0; i < n; ++i)
+        out.push_back(Value(initial.base +
+                            static_cast<std::int64_t>(i % initial.period)));
+      return out;
+    }
+    case ValueGenSpec::Kind::kBivalent:
+      return BivalentMsModel::initial_values(n);
+    case ValueGenSpec::Kind::kExplicit: {
+      std::vector<Value> out;
+      out.reserve(initial.values.size());
+      for (std::int64_t v : initial.values) out.push_back(Value(v));
+      return out;
+    }
+  }
+  return {};
+}
+
+CrashPlan ScenarioSpec::crash_plan(std::uint64_t seed) const {
+  switch (crashes.kind) {
+    case CrashGenSpec::Kind::kNone:
+      return CrashPlan{};
+    case CrashGenSpec::Kind::kExplicit: {
+      CrashPlan plan;
+      for (const auto& e : crashes.entries) plan.crash_at(e.process, e.round);
+      return plan;
+    }
+    case CrashGenSpec::Kind::kRandom:
+      return random_crashes(n, crashes.count, crashes.horizon,
+                            seed + crashes.seed_offset);
+  }
+  return CrashPlan{};
+}
+
+// ------------------------------------------------------------------ encode --
+
+namespace {
+
+JsonValue encode_initial(const ValueGenSpec& g) {
+  JsonValue v = JsonValue::object();
+  v.set("kind", JsonValue::str(enum_name(kValueGenNames, g.kind)));
+  switch (g.kind) {
+    case ValueGenSpec::Kind::kDistinct:
+    case ValueGenSpec::Kind::kIdentical:
+      v.set("base", JsonValue::integer(g.base));
+      break;
+    case ValueGenSpec::Kind::kCycle:
+      v.set("base", JsonValue::integer(g.base));
+      v.set("period", JsonValue::uint(g.period));
+      break;
+    case ValueGenSpec::Kind::kBivalent:
+      break;
+    case ValueGenSpec::Kind::kExplicit: {
+      JsonValue arr = JsonValue::array();
+      for (std::int64_t x : g.values) arr.push(JsonValue::integer(x));
+      v.set("values", std::move(arr));
+      break;
+    }
+  }
+  return v;
+}
+
+JsonValue encode_crashes(const CrashGenSpec& c) {
+  JsonValue v = JsonValue::object();
+  v.set("kind", JsonValue::str(enum_name(kCrashGenNames, c.kind)));
+  switch (c.kind) {
+    case CrashGenSpec::Kind::kNone:
+      break;
+    case CrashGenSpec::Kind::kExplicit: {
+      JsonValue arr = JsonValue::array();
+      for (const auto& e : c.entries) {
+        JsonValue entry = JsonValue::object();
+        entry.set("process", JsonValue::uint(e.process));
+        entry.set("round", JsonValue::uint(e.round));
+        arr.push(std::move(entry));
+      }
+      v.set("entries", std::move(arr));
+      break;
+    }
+    case CrashGenSpec::Kind::kRandom:
+      v.set("count", JsonValue::uint(c.count));
+      v.set("horizon", JsonValue::uint(c.horizon));
+      v.set("seed_offset", JsonValue::uint(c.seed_offset));
+      break;
+  }
+  return v;
+}
+
+JsonValue encode_consensus(const ConsensusSpecSection& c) {
+  JsonValue v = JsonValue::object();
+  v.set("algo", JsonValue::str(enum_name(kAlgoNames, c.algo)));
+  v.set("backend", JsonValue::str(enum_name(kBackendNames, c.backend)));
+  v.set("schedule", JsonValue::str(enum_name(kScheduleNames, c.schedule)));
+  v.set("probe", JsonValue::str(enum_name(kConsensusProbeNames, c.probe)));
+  if (c.probe != ConsensusSpecSection::Probe::kDecision)
+    v.set("horizon", JsonValue::uint(c.horizon));
+  v.set("gc_counters", JsonValue::boolean(c.gc_counters));
+  v.set("max_rounds", JsonValue::uint(c.max_rounds));
+  v.set("record_trace", JsonValue::boolean(c.record_trace));
+  v.set("record_deliveries", JsonValue::boolean(c.record_deliveries));
+  v.set("validate_env", JsonValue::boolean(c.validate_env));
+  return v;
+}
+
+JsonValue encode_omega(const OmegaSpecSection& o) {
+  JsonValue v = JsonValue::object();
+  v.set("probe", JsonValue::str(enum_name(kOmegaProbeNames, o.probe)));
+  v.set("silence_threshold", JsonValue::uint(o.silence_threshold));
+  if (o.probe == OmegaSpecSection::Probe::kLeaderConvergence)
+    v.set("horizon", JsonValue::uint(o.horizon));
+  v.set("max_rounds", JsonValue::uint(o.max_rounds));
+  return v;
+}
+
+JsonValue encode_weakset(const WeaksetSpecSection& w) {
+  JsonValue v = JsonValue::object();
+  v.set("mode", JsonValue::str(enum_name(kWeaksetModeNames, w.mode)));
+  if (!w.script.empty()) {
+    JsonValue arr = JsonValue::array();
+    for (const auto& op : w.script) {
+      JsonValue o = JsonValue::object();
+      o.set("round", JsonValue::uint(op.round));
+      o.set("process", JsonValue::uint(op.process));
+      o.set("mutate", JsonValue::boolean(op.is_mutation));
+      if (op.is_mutation) o.set("value", JsonValue::integer(op.value));
+      arr.push(std::move(o));
+    }
+    v.set("script", std::move(arr));
+  } else {
+    v.set("gen_ops", JsonValue::uint(w.gen_ops));
+  }
+  v.set("extra_rounds", JsonValue::uint(w.extra_rounds));
+  v.set("validate_env", JsonValue::boolean(w.validate_env));
+  v.set("keep_records", JsonValue::boolean(w.keep_records));
+  return v;
+}
+
+JsonValue encode_emulation(const EmulationSpecSection& e) {
+  JsonValue v = JsonValue::object();
+  v.set("inner", JsonValue::str(enum_name(kEmuInnerNames, e.inner)));
+  v.set("engine", JsonValue::str(enum_name(kEmuEngineNames, e.engine)));
+  v.set("rounds", JsonValue::uint(e.rounds));
+  v.set("min_add_latency", JsonValue::uint(e.min_add_latency));
+  v.set("max_add_latency", JsonValue::uint(e.max_add_latency));
+  if (!e.skew.empty()) {
+    JsonValue arr = JsonValue::array();
+    for (std::uint64_t s : e.skew) arr.push(JsonValue::uint(s));
+    v.set("skew", std::move(arr));
+  }
+  v.set("max_ticks", JsonValue::uint(e.max_ticks));
+  if (!e.adds.empty()) {
+    JsonValue arr = JsonValue::array();
+    for (const auto& a : e.adds) {
+      JsonValue o = JsonValue::object();
+      o.set("process", JsonValue::uint(a.process));
+      o.set("value", JsonValue::integer(a.value));
+      arr.push(std::move(o));
+    }
+    v.set("adds", std::move(arr));
+  }
+  return v;
+}
+
+JsonValue encode_shm(const ShmSpecSection& s) {
+  JsonValue v = JsonValue::object();
+  v.set("construction", JsonValue::str(enum_name(kShmNames, s.construction)));
+  v.set("gen_ops", JsonValue::uint(s.gen_ops));
+  v.set("domain", JsonValue::uint(s.domain));
+  if (s.construction == ShmSpecSection::Construction::kMwmr)
+    v.set("writers", JsonValue::uint(s.writers));
+  return v;
+}
+
+JsonValue encode_abd(const AbdSpecSection& a) {
+  JsonValue v = JsonValue::object();
+  v.set("crash_prefix", JsonValue::uint(a.crash_prefix));
+  v.set("write_value", JsonValue::integer(a.write_value));
+  return v;
+}
+
+bool family_has_workload(ScenarioFamily f) {
+  return f == ScenarioFamily::kConsensus || f == ScenarioFamily::kOmega ||
+         f == ScenarioFamily::kWeakset;
+}
+
+bool family_has_initial(ScenarioFamily f) {
+  return f == ScenarioFamily::kConsensus || f == ScenarioFamily::kOmega;
+}
+
+}  // namespace
+
+JsonValue encode_scenario_spec(const ScenarioSpec& spec) {
+  JsonValue doc = JsonValue::object();
+  doc.set("name", JsonValue::str(spec.name));
+  doc.set("family", JsonValue::str(to_string(spec.family)));
+  JsonValue seeds = JsonValue::array();
+  for (std::uint64_t s : spec.seeds) seeds.push(JsonValue::uint(s));
+  doc.set("seeds", std::move(seeds));
+
+  JsonValue env = JsonValue::object();
+  env.set("kind", JsonValue::str(enum_name(kEnvKindNames, spec.env_kind)));
+  env.set("n", JsonValue::uint(spec.n));
+  env.set("stabilization", JsonValue::uint(spec.stabilization));
+  env.set("max_delay", JsonValue::uint(spec.max_delay));
+  env.set("timely_prob", JsonValue::number(spec.timely_prob));
+  doc.set("env", std::move(env));
+
+  if (family_has_workload(spec.family)) {
+    JsonValue workload = JsonValue::object();
+    if (family_has_initial(spec.family))
+      workload.set("initial", encode_initial(spec.initial));
+    workload.set("crashes", encode_crashes(spec.crashes));
+    doc.set("workload", std::move(workload));
+  }
+
+  switch (spec.family) {
+    case ScenarioFamily::kConsensus:
+      doc.set("consensus", encode_consensus(spec.consensus));
+      break;
+    case ScenarioFamily::kOmega:
+      doc.set("omega", encode_omega(spec.omega));
+      break;
+    case ScenarioFamily::kWeakset:
+      doc.set("weakset", encode_weakset(spec.weakset));
+      break;
+    case ScenarioFamily::kEmulation:
+      doc.set("emulation", encode_emulation(spec.emulation));
+      break;
+    case ScenarioFamily::kWeaksetShm:
+      doc.set("shm", encode_shm(spec.shm));
+      break;
+    case ScenarioFamily::kAbd:
+      doc.set("abd", encode_abd(spec.abd));
+      break;
+  }
+  return doc;
+}
+
+std::string scenario_spec_to_json(const ScenarioSpec& spec) {
+  return encode_scenario_spec(spec).dump() + "\n";
+}
+
+// ------------------------------------------------------------------ decode --
+
+namespace {
+
+// Typed field extraction with dotted-path diagnostics.  Absent fields keep
+// the struct's default (specs are sparse-friendly); present-but-mistyped
+// fields are errors.
+class Dec {
+ public:
+  explicit Dec(std::vector<SpecError>* errs) : errs_(errs) {}
+
+  void err(const std::string& path, const std::string& msg) {
+    errs_->push_back({path, msg});
+  }
+
+  // Rejects keys outside `allowed` ("did you misspell…" surface).
+  void check_keys(const JsonValue& obj, const std::string& path,
+                  std::initializer_list<const char*> allowed) {
+    for (const auto& [k, v] : obj.entries()) {
+      bool ok = false;
+      for (const char* a : allowed)
+        if (k == a) ok = true;
+      if (!ok) err(join(path, k), "unknown field");
+    }
+  }
+
+  const JsonValue* object_field(const JsonValue& obj, const std::string& path,
+                                const char* key, bool required = false) {
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr) {
+      if (required) err(join(path, key), "missing required object");
+      return nullptr;
+    }
+    if (!v->is_object()) {
+      err(join(path, key), "must be an object");
+      return nullptr;
+    }
+    return v;
+  }
+
+  const JsonValue* array_field(const JsonValue& obj, const std::string& path,
+                               const char* key) {
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr) return nullptr;
+    if (!v->is_array()) {
+      err(join(path, key), "must be an array");
+      return nullptr;
+    }
+    return v;
+  }
+
+  bool get_string(const JsonValue& obj, const std::string& path,
+                  const char* key, std::string* out) {
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr) return false;
+    if (!v->is_string()) {
+      err(join(path, key), "must be a string");
+      return false;
+    }
+    *out = v->as_string();
+    return true;
+  }
+
+  template <typename T>
+  void get_uint(const JsonValue& obj, const std::string& path, const char* key,
+                T* out) {
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr) return;
+    if (!v->is_uint()) {
+      err(join(path, key), "must be a non-negative integer");
+      return;
+    }
+    *out = static_cast<T>(v->as_uint());
+  }
+
+  void get_int(const JsonValue& obj, const std::string& path, const char* key,
+               std::int64_t* out) {
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr) return;
+    if (!v->is_int()) {
+      err(join(path, key), "must be an integer");
+      return;
+    }
+    *out = v->as_int();
+  }
+
+  void get_bool(const JsonValue& obj, const std::string& path, const char* key,
+                bool* out) {
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr) return;
+    if (!v->is_bool()) {
+      err(join(path, key), "must be a boolean");
+      return;
+    }
+    *out = v->as_bool();
+  }
+
+  void get_double(const JsonValue& obj, const std::string& path,
+                  const char* key, double* out) {
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr) return;
+    if (!v->is_number()) {
+      err(join(path, key), "must be a number");
+      return;
+    }
+    *out = v->as_double();
+  }
+
+  template <typename E, std::size_t N>
+  void get_enum(const JsonValue& obj, const std::string& path, const char* key,
+                const EnumName<E> (&table)[N], E* out) {
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr) return;
+    if (!v->is_string()) {
+      err(join(path, key), "must be one of " + enum_choices(table));
+      return;
+    }
+    if (!enum_from_name(table, v->as_string(), out))
+      err(join(path, key), "unknown value \"" + v->as_string() +
+                               "\" — expected " + enum_choices(table));
+  }
+
+  static std::string join(const std::string& path, const std::string& key) {
+    return path.empty() ? key : path + "." + key;
+  }
+
+ private:
+  std::vector<SpecError>* errs_;
+};
+
+void decode_initial(Dec& d, const JsonValue& obj, const std::string& path,
+                    ValueGenSpec* out) {
+  d.check_keys(obj, path, {"kind", "base", "period", "values"});
+  d.get_enum(obj, path, "kind", kValueGenNames, &out->kind);
+  d.get_int(obj, path, "base", &out->base);
+  d.get_uint(obj, path, "period", &out->period);
+  if (const JsonValue* arr = d.array_field(obj, path, "values")) {
+    out->values.clear();
+    for (std::size_t i = 0; i < arr->items().size(); ++i) {
+      const JsonValue& e = arr->items()[i];
+      if (!e.is_int()) {
+        d.err(path + ".values[" + std::to_string(i) + "]", "must be an integer");
+        continue;
+      }
+      out->values.push_back(e.as_int());
+    }
+  }
+  // Variant discipline keeps the encoding canonical.
+  const bool cycle = out->kind == ValueGenSpec::Kind::kCycle;
+  const bool expl = out->kind == ValueGenSpec::Kind::kExplicit;
+  const bool based = out->kind == ValueGenSpec::Kind::kDistinct ||
+                     out->kind == ValueGenSpec::Kind::kIdentical || cycle;
+  if (obj.find("period") != nullptr && !cycle)
+    d.err(path + ".period", "only valid for kind \"cycle\"");
+  if (obj.find("values") != nullptr && !expl)
+    d.err(path + ".values", "only valid for kind \"explicit\"");
+  if (obj.find("base") != nullptr && !based)
+    d.err(path + ".base", "not valid for this kind");
+}
+
+void decode_crashes(Dec& d, const JsonValue& obj, const std::string& path,
+                    CrashGenSpec* out) {
+  d.check_keys(obj, path, {"kind", "entries", "count", "horizon", "seed_offset"});
+  d.get_enum(obj, path, "kind", kCrashGenNames, &out->kind);
+  if (const JsonValue* arr = d.array_field(obj, path, "entries")) {
+    out->entries.clear();
+    for (std::size_t i = 0; i < arr->items().size(); ++i) {
+      const JsonValue& e = arr->items()[i];
+      const std::string epath = path + ".entries[" + std::to_string(i) + "]";
+      if (!e.is_object()) {
+        d.err(epath, "must be an object {process, round}");
+        continue;
+      }
+      d.check_keys(e, epath, {"process", "round"});
+      CrashEntrySpec entry;
+      d.get_uint(e, epath, "process", &entry.process);
+      d.get_uint(e, epath, "round", &entry.round);
+      out->entries.push_back(entry);
+    }
+  }
+  d.get_uint(obj, path, "count", &out->count);
+  d.get_uint(obj, path, "horizon", &out->horizon);
+  d.get_uint(obj, path, "seed_offset", &out->seed_offset);
+  const bool expl = out->kind == CrashGenSpec::Kind::kExplicit;
+  const bool random = out->kind == CrashGenSpec::Kind::kRandom;
+  if (obj.find("entries") != nullptr && !expl)
+    d.err(path + ".entries", "only valid for kind \"explicit\"");
+  for (const char* key : {"count", "horizon", "seed_offset"})
+    if (obj.find(key) != nullptr && !random)
+      d.err(path + "." + key, "only valid for kind \"random\"");
+}
+
+void decode_consensus(Dec& d, const JsonValue& obj, const std::string& path,
+                      ConsensusSpecSection* out) {
+  d.check_keys(obj, path,
+               {"algo", "backend", "schedule", "probe", "horizon", "gc_counters",
+                "max_rounds", "record_trace", "record_deliveries",
+                "validate_env"});
+  d.get_enum(obj, path, "algo", kAlgoNames, &out->algo);
+  d.get_enum(obj, path, "backend", kBackendNames, &out->backend);
+  d.get_enum(obj, path, "schedule", kScheduleNames, &out->schedule);
+  d.get_enum(obj, path, "probe", kConsensusProbeNames, &out->probe);
+  d.get_uint(obj, path, "horizon", &out->horizon);
+  d.get_bool(obj, path, "gc_counters", &out->gc_counters);
+  d.get_uint(obj, path, "max_rounds", &out->max_rounds);
+  d.get_bool(obj, path, "record_trace", &out->record_trace);
+  d.get_bool(obj, path, "record_deliveries", &out->record_deliveries);
+  d.get_bool(obj, path, "validate_env", &out->validate_env);
+  if (obj.find("horizon") != nullptr &&
+      out->probe == ConsensusSpecSection::Probe::kDecision)
+    d.err(path + ".horizon", "only valid for non-decision probes");
+}
+
+void decode_omega(Dec& d, const JsonValue& obj, const std::string& path,
+                  OmegaSpecSection* out) {
+  d.check_keys(obj, path, {"probe", "silence_threshold", "horizon", "max_rounds"});
+  d.get_enum(obj, path, "probe", kOmegaProbeNames, &out->probe);
+  d.get_uint(obj, path, "silence_threshold", &out->silence_threshold);
+  d.get_uint(obj, path, "horizon", &out->horizon);
+  d.get_uint(obj, path, "max_rounds", &out->max_rounds);
+  if (obj.find("horizon") != nullptr &&
+      out->probe != OmegaSpecSection::Probe::kLeaderConvergence)
+    d.err(path + ".horizon", "only valid for probe \"leader-convergence\"");
+}
+
+void decode_weakset(Dec& d, const JsonValue& obj, const std::string& path,
+                    WeaksetSpecSection* out) {
+  d.check_keys(obj, path, {"mode", "script", "gen_ops", "extra_rounds",
+                           "validate_env", "keep_records"});
+  d.get_enum(obj, path, "mode", kWeaksetModeNames, &out->mode);
+  if (const JsonValue* arr = d.array_field(obj, path, "script")) {
+    out->script.clear();
+    for (std::size_t i = 0; i < arr->items().size(); ++i) {
+      const JsonValue& e = arr->items()[i];
+      const std::string epath = path + ".script[" + std::to_string(i) + "]";
+      if (!e.is_object()) {
+        d.err(epath, "must be an object {round, process, mutate, value}");
+        continue;
+      }
+      d.check_keys(e, epath, {"round", "process", "mutate", "value"});
+      WeaksetOpSpec op;
+      d.get_uint(e, epath, "round", &op.round);
+      d.get_uint(e, epath, "process", &op.process);
+      d.get_bool(e, epath, "mutate", &op.is_mutation);
+      d.get_int(e, epath, "value", &op.value);
+      if (e.find("value") != nullptr && !op.is_mutation)
+        d.err(epath + ".value", "only valid for mutations");
+      out->script.push_back(op);
+    }
+  }
+  d.get_uint(obj, path, "gen_ops", &out->gen_ops);
+  d.get_uint(obj, path, "extra_rounds", &out->extra_rounds);
+  d.get_bool(obj, path, "validate_env", &out->validate_env);
+  d.get_bool(obj, path, "keep_records", &out->keep_records);
+  if (obj.find("script") != nullptr && obj.find("gen_ops") != nullptr)
+    d.err(path + ".gen_ops", "mutually exclusive with an explicit script");
+}
+
+void decode_emulation(Dec& d, const JsonValue& obj, const std::string& path,
+                      EmulationSpecSection* out) {
+  d.check_keys(obj, path, {"inner", "engine", "rounds", "min_add_latency",
+                           "max_add_latency", "skew", "max_ticks", "adds"});
+  d.get_enum(obj, path, "inner", kEmuInnerNames, &out->inner);
+  d.get_enum(obj, path, "engine", kEmuEngineNames, &out->engine);
+  d.get_uint(obj, path, "rounds", &out->rounds);
+  d.get_uint(obj, path, "min_add_latency", &out->min_add_latency);
+  d.get_uint(obj, path, "max_add_latency", &out->max_add_latency);
+  if (const JsonValue* arr = d.array_field(obj, path, "skew")) {
+    out->skew.clear();
+    for (std::size_t i = 0; i < arr->items().size(); ++i) {
+      const JsonValue& e = arr->items()[i];
+      if (!e.is_uint()) {
+        d.err(path + ".skew[" + std::to_string(i) + "]",
+              "must be a non-negative integer");
+        continue;
+      }
+      out->skew.push_back(e.as_uint());
+    }
+  }
+  d.get_uint(obj, path, "max_ticks", &out->max_ticks);
+  if (const JsonValue* arr = d.array_field(obj, path, "adds")) {
+    out->adds.clear();
+    for (std::size_t i = 0; i < arr->items().size(); ++i) {
+      const JsonValue& e = arr->items()[i];
+      const std::string epath = path + ".adds[" + std::to_string(i) + "]";
+      if (!e.is_object()) {
+        d.err(epath, "must be an object {process, value}");
+        continue;
+      }
+      d.check_keys(e, epath, {"process", "value"});
+      EmulationAddSpec add;
+      d.get_uint(e, epath, "process", &add.process);
+      d.get_int(e, epath, "value", &add.value);
+      out->adds.push_back(add);
+    }
+  }
+}
+
+void decode_shm(Dec& d, const JsonValue& obj, const std::string& path,
+                ShmSpecSection* out) {
+  d.check_keys(obj, path, {"construction", "gen_ops", "domain", "writers"});
+  d.get_enum(obj, path, "construction", kShmNames, &out->construction);
+  d.get_uint(obj, path, "gen_ops", &out->gen_ops);
+  d.get_uint(obj, path, "domain", &out->domain);
+  d.get_uint(obj, path, "writers", &out->writers);
+  if (obj.find("writers") != nullptr &&
+      out->construction != ShmSpecSection::Construction::kMwmr)
+    d.err(path + ".writers", "only valid for construction \"mwmr\"");
+}
+
+void decode_abd(Dec& d, const JsonValue& obj, const std::string& path,
+                AbdSpecSection* out) {
+  d.check_keys(obj, path, {"crash_prefix", "write_value"});
+  d.get_uint(obj, path, "crash_prefix", &out->crash_prefix);
+  d.get_int(obj, path, "write_value", &out->write_value);
+}
+
+}  // namespace
+
+std::string SpecDecodeResult::errors_to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) os << "\n";
+    os << errors[i].to_string();
+  }
+  return os.str();
+}
+
+SpecDecodeResult decode_scenario_spec(const JsonValue& doc) {
+  SpecDecodeResult res;
+  Dec d(&res.errors);
+  if (!doc.is_object()) {
+    d.err("", "spec must be a JSON object");
+    return res;
+  }
+  ScenarioSpec spec;
+  d.check_keys(doc, "",
+               {"name", "family", "seeds", "env", "workload", "consensus",
+                "omega", "weakset", "emulation", "shm", "abd"});
+  d.get_string(doc, "", "name", &spec.name);
+  d.get_enum(doc, "", "family", kFamilyNames, &spec.family);
+  if (const JsonValue* arr = d.array_field(doc, "", "seeds")) {
+    spec.seeds.clear();
+    for (std::size_t i = 0; i < arr->items().size(); ++i) {
+      const JsonValue& e = arr->items()[i];
+      if (!e.is_uint()) {
+        d.err("seeds[" + std::to_string(i) + "]",
+              "must be a non-negative integer");
+        continue;
+      }
+      spec.seeds.push_back(e.as_uint());
+    }
+  }
+  if (const JsonValue* env = d.object_field(doc, "", "env")) {
+    d.check_keys(*env, "env",
+                 {"kind", "n", "stabilization", "max_delay", "timely_prob"});
+    d.get_enum(*env, "env", "kind", kEnvKindNames, &spec.env_kind);
+    d.get_uint(*env, "env", "n", &spec.n);
+    d.get_uint(*env, "env", "stabilization", &spec.stabilization);
+    d.get_uint(*env, "env", "max_delay", &spec.max_delay);
+    d.get_double(*env, "env", "timely_prob", &spec.timely_prob);
+  }
+  if (const JsonValue* workload = d.object_field(doc, "", "workload")) {
+    if (!family_has_workload(spec.family)) {
+      d.err("workload", std::string("not valid for family \"") +
+                            to_string(spec.family) + "\"");
+    } else {
+      d.check_keys(*workload, "workload", {"initial", "crashes"});
+      if (const JsonValue* initial =
+              d.object_field(*workload, "workload", "initial")) {
+        if (!family_has_initial(spec.family))
+          d.err("workload.initial", std::string("not valid for family \"") +
+                                        to_string(spec.family) + "\"");
+        else
+          decode_initial(d, *initial, "workload.initial", &spec.initial);
+      }
+      if (const JsonValue* crashes =
+              d.object_field(*workload, "workload", "crashes"))
+        decode_crashes(d, *crashes, "workload.crashes", &spec.crashes);
+    }
+  }
+
+  struct SectionSlot {
+    const char* key;
+    ScenarioFamily family;
+  };
+  constexpr SectionSlot kSections[] = {
+      {"consensus", ScenarioFamily::kConsensus},
+      {"omega", ScenarioFamily::kOmega},
+      {"weakset", ScenarioFamily::kWeakset},
+      {"emulation", ScenarioFamily::kEmulation},
+      {"shm", ScenarioFamily::kWeaksetShm},
+      {"abd", ScenarioFamily::kAbd},
+  };
+  for (const auto& slot : kSections) {
+    const JsonValue* section = d.object_field(doc, "", slot.key);
+    if (section == nullptr) continue;
+    if (slot.family != spec.family) {
+      d.err(slot.key, std::string("section belongs to family \"") +
+                          to_string(slot.family) + "\" but this spec's family is \"" +
+                          to_string(spec.family) + "\"");
+      continue;
+    }
+    switch (spec.family) {
+      case ScenarioFamily::kConsensus:
+        decode_consensus(d, *section, slot.key, &spec.consensus);
+        break;
+      case ScenarioFamily::kOmega:
+        decode_omega(d, *section, slot.key, &spec.omega);
+        break;
+      case ScenarioFamily::kWeakset:
+        decode_weakset(d, *section, slot.key, &spec.weakset);
+        break;
+      case ScenarioFamily::kEmulation:
+        decode_emulation(d, *section, slot.key, &spec.emulation);
+        break;
+      case ScenarioFamily::kWeaksetShm:
+        decode_shm(d, *section, slot.key, &spec.shm);
+        break;
+      case ScenarioFamily::kAbd:
+        decode_abd(d, *section, slot.key, &spec.abd);
+        break;
+    }
+  }
+
+  if (res.errors.empty()) {
+    auto validation = validate_scenario_spec(spec);
+    res.errors.insert(res.errors.end(), validation.begin(), validation.end());
+  }
+  if (res.errors.empty()) res.spec = std::move(spec);
+  return res;
+}
+
+SpecDecodeResult parse_scenario_spec(std::string_view json_text) {
+  auto parsed = JsonValue::parse(json_text);
+  if (!parsed.value.has_value()) {
+    SpecDecodeResult res;
+    res.errors.push_back(
+        {"(json)", parsed.error + " at line " + std::to_string(parsed.line) +
+                       ", column " + std::to_string(parsed.column)});
+    return res;
+  }
+  return decode_scenario_spec(*parsed.value);
+}
+
+// ---------------------------------------------------------------- validate --
+
+std::vector<SpecError> validate_scenario_spec(const ScenarioSpec& spec) {
+  std::vector<SpecError> errs;
+  auto err = [&](const std::string& path, const std::string& msg) {
+    errs.push_back({path, msg});
+  };
+
+  if (spec.seeds.empty()) err("seeds", "at least one seed is required");
+  if (spec.n == 0) err("env.n", "must be >= 1");
+  if (spec.timely_prob < 0 || spec.timely_prob > 1)
+    err("env.timely_prob", "must be in [0, 1]");
+
+  // Workload consistency.
+  if (family_has_initial(spec.family)) {
+    if (spec.initial.kind == ValueGenSpec::Kind::kExplicit &&
+        spec.initial.values.size() != spec.n)
+      err("workload.initial.values",
+          "has " + std::to_string(spec.initial.values.size()) +
+              " entries but env.n is " + std::to_string(spec.n));
+    if (spec.initial.kind == ValueGenSpec::Kind::kCycle &&
+        spec.initial.period == 0)
+      err("workload.initial.period", "must be >= 1 for kind \"cycle\"");
+  }
+  if (family_has_workload(spec.family)) {
+    if (spec.crashes.kind == CrashGenSpec::Kind::kExplicit) {
+      std::set<std::size_t> victims;
+      for (std::size_t i = 0; i < spec.crashes.entries.size(); ++i) {
+        const auto& e = spec.crashes.entries[i];
+        const std::string path =
+            "workload.crashes.entries[" + std::to_string(i) + "]";
+        if (e.process >= spec.n)
+          err(path + ".process", "process " + std::to_string(e.process) +
+                                     " out of range (env.n = " +
+                                     std::to_string(spec.n) + ")");
+        else
+          victims.insert(e.process);
+        if (e.round == 0) err(path + ".round", "rounds are 1-based");
+      }
+      if (victims.size() >= spec.n)
+        err("workload.crashes.entries",
+            "must leave at least one correct process (env.n = " +
+                std::to_string(spec.n) + ")");
+    }
+    if (spec.crashes.kind == CrashGenSpec::Kind::kRandom) {
+      if (spec.crashes.count >= spec.n)
+        err("workload.crashes.count",
+            "must leave at least one correct process (env.n = " +
+                std::to_string(spec.n) + ")");
+      if (spec.crashes.horizon == 0)
+        err("workload.crashes.horizon", "must be >= 1");
+    }
+  }
+
+  switch (spec.family) {
+    case ScenarioFamily::kConsensus: {
+      const auto& c = spec.consensus;
+      const bool adversarial =
+          c.schedule != ConsensusSpecSection::Schedule::kEnv;
+      if (c.backend == ConsensusBackend::kCohort) {
+        if (c.record_trace || c.validate_env)
+          err("consensus.backend",
+              "the cohort backend records no trace to certify — set "
+              "consensus.record_trace = false and consensus.validate_env = "
+              "false");
+        if (adversarial)
+          err("consensus.schedule",
+              "adversarial schedules require the expanded backend");
+        if (c.probe != ConsensusSpecSection::Probe::kDecision)
+          err("consensus.probe",
+              "non-decision probes require the expanded backend");
+      }
+      const bool bivalent =
+          c.schedule == ConsensusSpecSection::Schedule::kBivalentMs ||
+          c.schedule == ConsensusSpecSection::Schedule::kBivalentUntilGst;
+      if (bivalent && spec.initial.kind != ValueGenSpec::Kind::kBivalent)
+        err("workload.initial.kind",
+            std::string("schedule \"") +
+                enum_name(kScheduleNames, c.schedule) +
+                "\" requires kind \"bivalent\"");
+      if (bivalent && spec.n < 3)
+        err("env.n", "the two-camp schedules need env.n >= 3 (one camp-A "
+                     "process and at least two in camp B)");
+      if (adversarial && c.algo != ConsensusAlgo::kEs)
+        err("consensus.algo",
+            std::string("schedule \"") + enum_name(kScheduleNames, c.schedule) +
+                "\" drives Algorithm 2 — set algo \"es\"");
+      if (spec.initial.kind == ValueGenSpec::Kind::kBivalent &&
+          c.schedule != ConsensusSpecSection::Schedule::kBivalentMs &&
+          c.schedule != ConsensusSpecSection::Schedule::kBivalentUntilGst)
+        err("workload.initial.kind",
+            "kind \"bivalent\" pairs with the bivalent schedules");
+      if (c.probe != ConsensusSpecSection::Probe::kDecision) {
+        if (c.algo != ConsensusAlgo::kEss)
+          err("consensus.algo",
+              std::string("probe \"") +
+                  enum_name(kConsensusProbeNames, c.probe) +
+                  "\" observes Algorithm 3 — set algo \"ess\"");
+        if (c.horizon == 0) err("consensus.horizon", "must be >= 1");
+        if (adversarial)
+          err("consensus.schedule",
+              "non-decision probes run on the env schedule");
+      }
+      if (c.probe == ConsensusSpecSection::Probe::kLeaderConvergence &&
+          spec.env_kind != EnvKind::kESS)
+        err("env.kind",
+            "the leader-convergence probe measures stabilization on the "
+            "eventual source — only ESS has one; set \"ess\"");
+      if (c.gc_counters && c.algo != ConsensusAlgo::kEss)
+        err("consensus.gc_counters", "the counter GC extension is ESS-only");
+      if (c.validate_env && (!c.record_trace || !c.record_deliveries))
+        err("consensus.validate_env",
+            "environment certification replays the recorded trace — set "
+            "consensus.record_trace = true and consensus.record_deliveries = "
+            "true");
+      if (c.max_rounds == 0) err("consensus.max_rounds", "must be >= 1");
+      if (adversarial && spec.crashes.kind != CrashGenSpec::Kind::kNone)
+        err("workload.crashes.kind",
+            "adversarial schedules run crash-free (the schedule is the "
+            "adversary)");
+      break;
+    }
+    case ScenarioFamily::kOmega: {
+      const auto& o = spec.omega;
+      if (o.probe == OmegaSpecSection::Probe::kLeaderConvergence) {
+        if (o.horizon == 0) err("omega.horizon", "must be >= 1");
+        if (spec.env_kind != EnvKind::kESS)
+          err("env.kind",
+              "the leader-convergence probe measures stabilization on the "
+              "eventual source — only ESS has one; set \"ess\"");
+      }
+      if (o.max_rounds == 0) err("omega.max_rounds", "must be >= 1");
+      break;
+    }
+    case ScenarioFamily::kWeakset: {
+      // Any MS-class environment is fine (ES/ESS are strictly stronger
+      // than the MS assumption Algorithm 4 needs).
+      const auto& w = spec.weakset;
+      if (w.script.empty() && w.gen_ops == 0)
+        err("weakset.gen_ops", "an empty script needs gen_ops >= 1");
+      for (std::size_t i = 0; i < w.script.size(); ++i) {
+        const auto& op = w.script[i];
+        const std::string path = "weakset.script[" + std::to_string(i) + "]";
+        if (op.process >= spec.n)
+          err(path + ".process", "process " + std::to_string(op.process) +
+                                     " out of range (env.n = " +
+                                     std::to_string(spec.n) + ")");
+        if (op.round == 0) err(path + ".round", "rounds are 1-based");
+      }
+      if (w.mode == WeaksetSpecSection::Mode::kRegister && spec.n < 3 &&
+          w.gen_ops > 0)
+        err("env.n", "the generated register workload reads via process 2 — "
+                     "needs env.n >= 3");
+      break;
+    }
+    case ScenarioFamily::kEmulation: {
+      const auto& e = spec.emulation;
+      if (spec.env_kind != EnvKind::kMS)
+        err("env.kind",
+            "the emulation family produces an MS environment — set \"ms\"");
+      if (spec.stabilization != 0)
+        err("env.stabilization", "the emulated environment has no GST — must "
+                                 "be 0");
+      if (e.rounds == 0) err("emulation.rounds", "must be >= 1");
+      if (e.min_add_latency > e.max_add_latency)
+        err("emulation.min_add_latency", "must be <= max_add_latency");
+      if (!e.skew.empty() && e.skew.size() != spec.n)
+        err("emulation.skew", "has " + std::to_string(e.skew.size()) +
+                                  " entries but env.n is " +
+                                  std::to_string(spec.n));
+      for (std::size_t i = 0; i < e.skew.size(); ++i)
+        if (e.skew[i] == 0)
+          err("emulation.skew[" + std::to_string(i) + "]", "must be >= 1");
+      if (!e.adds.empty() && e.inner != EmulationSpecSection::Inner::kWeakset)
+        err("emulation.adds", "only valid for inner \"weakset\"");
+      for (std::size_t i = 0; i < e.adds.size(); ++i)
+        if (e.adds[i].process >= spec.n)
+          err("emulation.adds[" + std::to_string(i) + "].process",
+              "process " + std::to_string(e.adds[i].process) +
+                  " out of range (env.n = " + std::to_string(spec.n) + ")");
+      break;
+    }
+    case ScenarioFamily::kWeaksetShm: {
+      const auto& s = spec.shm;
+      if (s.gen_ops == 0) err("shm.gen_ops", "must be >= 1");
+      if (s.domain == 0) err("shm.domain", "must be >= 1");
+      if (s.construction == ShmSpecSection::Construction::kMwmr &&
+          s.writers == 0)
+        err("shm.writers", "must be >= 1");
+      break;
+    }
+    case ScenarioFamily::kAbd: {
+      if (spec.abd.crash_prefix >= spec.n)
+        err("abd.crash_prefix",
+            "must leave at least one live process (env.n = " +
+                std::to_string(spec.n) + ")");
+      break;
+    }
+  }
+  return errs;
+}
+
+}  // namespace anon

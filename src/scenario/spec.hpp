@@ -1,0 +1,257 @@
+// Declarative scenario descriptions — the one experiment surface.
+//
+// A `ScenarioSpec` names an experiment family (consensus | omega |
+// emulation | weakset | weakset-shm | abd), the environment it runs in,
+// the workload (initial values / scripts / crash plan), the execution
+// backend, the seed list (multi-seed specs shard across threads via
+// core/sweep.hpp) and the round/tick limits.  Specs round-trip through
+// JSON canonically — encode(decode(encode(s))) is byte-identical — and
+// validation returns field-path diagnostics instead of aborting, so a
+// malformed spec file is a first-class user error.
+//
+// Families and the constructions they drive:
+//   consensus    Algorithms 2/3 (ES/ESS), expanded or cohort backend,
+//                env-generated or adversarial (bivalent/hostile) schedules,
+//                decision / leader-convergence / state-growth probes.
+//   omega        The Ω-with-IDs baseline consensus (cost-of-anonymity).
+//   weakset      Algorithm 4's weak-set over MS, raw set or the Prop-1
+//                register transformation.
+//   emulation    Algorithm 5's MS-from-weak-set emulation (Theorem 4).
+//   weakset-shm  The §5 register constructions (Prop 2 SWMR / Prop 3 MWMR).
+//   abd          The ABD majority-register baseline (quorums + IDs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/runner.hpp"
+#include "env/environment.hpp"
+#include "scenario/json.hpp"
+
+namespace anon {
+
+enum class ScenarioFamily {
+  kConsensus,
+  kOmega,
+  kWeakset,
+  kEmulation,
+  kWeaksetShm,
+  kAbd,
+};
+
+const char* to_string(ScenarioFamily f);
+// All families, in registry/order of the paper's constructions.
+const std::vector<ScenarioFamily>& all_scenario_families();
+
+// ---- Workload building blocks ---------------------------------------------
+
+// How the per-process initial/proposed values are produced.
+struct ValueGenSpec {
+  enum class Kind {
+    kDistinct,   // base, base+1, …  (the experiments' default)
+    kIdentical,  // n copies of base (fully symmetric anonymity)
+    kCycle,      // base + (i % period): bounded proposal domain (E12)
+    kBivalent,   // BivalentMsModel::initial_values(n) two-camp split (E8)
+    kExplicit,   // the `values` list verbatim (must have size env.n)
+  };
+  Kind kind = Kind::kDistinct;
+  std::int64_t base = 100;
+  std::size_t period = 0;                // kCycle only
+  std::vector<std::int64_t> values;      // kExplicit only
+
+  friend bool operator==(const ValueGenSpec&, const ValueGenSpec&) = default;
+};
+
+struct CrashEntrySpec {
+  std::size_t process = 0;
+  Round round = 0;
+
+  friend bool operator==(const CrashEntrySpec&, const CrashEntrySpec&) = default;
+};
+
+// The crash plan: none, an explicit (process, round) list, or f random
+// victims at hash-chosen rounds (runner::random_crashes, seeded from the
+// cell seed plus `seed_offset`).
+struct CrashGenSpec {
+  enum class Kind { kNone, kExplicit, kRandom };
+  Kind kind = Kind::kNone;
+  std::vector<CrashEntrySpec> entries;  // kExplicit
+  std::size_t count = 0;                // kRandom: f victims
+  Round horizon = 0;                    // kRandom: crash rounds in [1, horizon]
+  std::uint64_t seed_offset = 7;        // kRandom: crash RNG = cell seed + offset
+
+  friend bool operator==(const CrashGenSpec&, const CrashGenSpec&) = default;
+};
+
+// ---- Per-family sections ---------------------------------------------------
+
+struct ConsensusSpecSection {
+  // The network schedule: the env-generated model (EnvDelayModel), or one
+  // of the adversarial models behind E1.b / E8.
+  enum class Schedule { kEnv, kBivalentMs, kBivalentUntilGst, kHostileMs };
+  // What the run observes: the decision (default), the round the pseudo
+  // leader set converges (E3; ESS, no decisions), or a no-decide run to a
+  // fixed horizon (E10's state-growth workload).
+  enum class Probe { kDecision, kLeaderConvergence, kStateGrowth };
+
+  ConsensusAlgo algo = ConsensusAlgo::kEs;
+  ConsensusBackend backend = ConsensusBackend::kExpanded;
+  Schedule schedule = Schedule::kEnv;
+  Probe probe = Probe::kDecision;
+  Round horizon = 0;           // probes != decision: rounds to execute
+  bool gc_counters = false;    // ESS state-growth extension
+  Round max_rounds = 60000;
+  bool record_trace = true;
+  bool record_deliveries = false;
+  bool validate_env = false;
+
+  friend bool operator==(const ConsensusSpecSection&,
+                         const ConsensusSpecSection&) = default;
+};
+
+struct OmegaSpecSection {
+  enum class Probe { kDecision, kLeaderConvergence };
+  Probe probe = Probe::kDecision;  // convergence probe disables decisions
+  Round silence_threshold = 2;
+  Round horizon = 300;         // convergence probe: observation window
+  Round max_rounds = 60000;
+
+  friend bool operator==(const OmegaSpecSection&, const OmegaSpecSection&) = default;
+};
+
+struct WeaksetOpSpec {
+  Round round = 0;
+  std::size_t process = 0;
+  bool is_mutation = false;  // add (set mode) / write (register mode)
+  std::int64_t value = 0;    // mutations only
+
+  friend bool operator==(const WeaksetOpSpec&, const WeaksetOpSpec&) = default;
+};
+
+struct WeaksetSpecSection {
+  enum class Mode { kSet, kRegister };  // raw Alg-4 set vs the Prop-1 register
+  Mode mode = Mode::kSet;
+  std::vector<WeaksetOpSpec> script;  // explicit; empty ⇒ generated
+  // Generated workload (`gen_ops` mutation/observation pairs, the E4/E6
+  // bench shapes: adds at rounds 2+3i cycling processes, gets one round
+  // later / writes at 2+5i alternating two writers, reads by process 2).
+  std::size_t gen_ops = 0;
+  Round extra_rounds = 50;   // rounds past the last scripted op
+  bool validate_env = true;
+  bool keep_records = false;  // retain the op records on the in-memory report
+
+  friend bool operator==(const WeaksetSpecSection&, const WeaksetSpecSection&) = default;
+};
+
+struct EmulationAddSpec {
+  std::size_t process = 0;
+  std::int64_t value = 0;
+
+  friend bool operator==(const EmulationAddSpec&, const EmulationAddSpec&) = default;
+};
+
+struct EmulationSpecSection {
+  enum class Inner { kEcho, kWeakset };     // the automaton run on emulated rounds
+  enum class Engine { kInterned, kRef };    // watermark engine vs seed engine
+  Inner inner = Inner::kEcho;
+  Engine engine = Engine::kInterned;
+  Round rounds = 40;                        // emulated rounds to reach
+  std::uint64_t min_add_latency = 1;
+  std::uint64_t max_add_latency = 6;
+  std::vector<std::uint64_t> skew;          // per-process tick multiplier
+  std::uint64_t max_ticks = 1000000;
+  std::vector<EmulationAddSpec> adds;       // kWeakset inner: injected adds
+
+  friend bool operator==(const EmulationSpecSection&,
+                         const EmulationSpecSection&) = default;
+};
+
+struct ShmSpecSection {
+  enum class Construction { kSwmr, kMwmr };  // Prop 2 (IDs) vs Prop 3 (domain)
+  Construction construction = Construction::kSwmr;
+  std::uint64_t gen_ops = 100;   // generated add/get pairs
+  std::uint64_t domain = 13;     // value domain (|domain| registers for MWMR)
+  std::size_t writers = 5;       // MWMR generator: processes cycling the script
+
+  friend bool operator==(const ShmSpecSection&, const ShmSpecSection&) = default;
+};
+
+struct AbdSpecSection {
+  std::size_t crash_prefix = 0;  // crash processes n-1 … n-crash_prefix up front
+  std::int64_t write_value = 1;  // the probed write
+
+  friend bool operator==(const AbdSpecSection&, const AbdSpecSection&) = default;
+};
+
+// ---- The spec ---------------------------------------------------------------
+
+struct ScenarioSpec {
+  std::string name;  // optional label (presets set it)
+  ScenarioFamily family = ScenarioFamily::kConsensus;
+  // One independent simulation per seed; multi-seed specs shard across
+  // worker threads (results are index-aligned and thread-count invariant).
+  std::vector<std::uint64_t> seeds = {1};
+
+  // Environment (EnvParams minus the seed, which comes from `seeds`).
+  EnvKind env_kind = EnvKind::kES;
+  std::size_t n = 3;
+  Round stabilization = 0;
+  Round max_delay = 3;
+  double timely_prob = 0.25;
+
+  // Workload.
+  ValueGenSpec initial;   // consensus / omega proposals
+  CrashGenSpec crashes;   // consensus / weakset
+
+  // Exactly one per-family section is meaningful (and encoded).
+  ConsensusSpecSection consensus;
+  OmegaSpecSection omega;
+  WeaksetSpecSection weakset;
+  EmulationSpecSection emulation;
+  ShmSpecSection shm;
+  AbdSpecSection abd;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+
+  // Materialization helpers (validated specs only).
+  EnvParams env_params(std::uint64_t seed) const;
+  std::vector<Value> initial_values() const;
+  CrashPlan crash_plan(std::uint64_t seed) const;
+};
+
+// ---- JSON encode / decode / validation -------------------------------------
+
+// One diagnostic: a dotted field path ("consensus.backend",
+// "workload.initial.values") plus a human message.
+struct SpecError {
+  std::string path;
+  std::string message;
+
+  std::string to_string() const { return path + ": " + message; }
+
+  friend bool operator==(const SpecError&, const SpecError&) = default;
+};
+
+struct SpecDecodeResult {
+  std::optional<ScenarioSpec> spec;  // set iff errors is empty
+  std::vector<SpecError> errors;
+
+  bool ok() const { return errors.empty(); }
+  std::string errors_to_string() const;
+};
+
+// Canonical encoding: every field in a fixed order, only the active
+// family's section.  encode(decode(encode(s))) is byte-identical.
+JsonValue encode_scenario_spec(const ScenarioSpec& spec);
+std::string scenario_spec_to_json(const ScenarioSpec& spec);  // dump() + '\n'
+
+// Decode + validate.  Unknown keys, wrong types, out-of-family sections and
+// inconsistent values all produce SpecErrors (never CHECK aborts).
+SpecDecodeResult decode_scenario_spec(const JsonValue& doc);
+SpecDecodeResult parse_scenario_spec(std::string_view json_text);
+
+// Validation only (already-built specs — benches construct specs in code).
+std::vector<SpecError> validate_scenario_spec(const ScenarioSpec& spec);
+
+}  // namespace anon

@@ -1,35 +1,15 @@
+// BenchJson is now a thin shim over the scenario JSON core (one emitter
+// for everything JSON in the tree); the flat ordered-key API and the
+// rendered output are unchanged.
 #include "sim/bench_json.hpp"
 
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 
-namespace anon {
+#include "scenario/json.hpp"
 
-namespace {
-std::string quote(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out + "\"";
-}
-}  // namespace
+namespace anon {
 
 void BenchJson::set(const std::string& key, std::uint64_t v) {
   put(key, std::to_string(v));
@@ -40,13 +20,15 @@ void BenchJson::set(const std::string& key, double v) {
     put(key, "null");
     return;
   }
+  // The historical trajectory format, verbatim: %.6g (so e.g. 2e6 stays
+  // "2e+06", keeping the committed BENCH_E*.json diffs format-stable).
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   put(key, buf);
 }
 
 void BenchJson::set(const std::string& key, const std::string& v) {
-  put(key, quote(v));
+  put(key, json_quote(v));
 }
 
 void BenchJson::put(const std::string& key, std::string rendered) {
@@ -62,7 +44,7 @@ void BenchJson::put(const std::string& key, std::string rendered) {
 std::string BenchJson::to_string() const {
   std::string out = "{\n";
   for (std::size_t i = 0; i < entries_.size(); ++i) {
-    out += "  " + quote(entries_[i].first) + ": " + entries_[i].second;
+    out += "  " + json_quote(entries_[i].first) + ": " + entries_[i].second;
     if (i + 1 < entries_.size()) out += ",";
     out += "\n";
   }

@@ -129,7 +129,7 @@ RegCheckResult check_regular_register(const std::vector<RegOpRecord>& ops) {
 RegisterRunResult run_register_over_ms(const EnvParams& env,
                                        const CrashPlan& crashes,
                                        std::vector<RegScriptOp> script,
-                                       Round extra_rounds) {
+                                       Round extra_rounds, bool validate_env) {
   const std::size_t n = env.n;
   std::vector<std::unique_ptr<Automaton<ValueSet>>> autos;
   autos.reserve(n);
@@ -213,6 +213,8 @@ RegisterRunResult run_register_over_ms(const EnvParams& env,
     out.records[rec.first].end = opt.max_rounds * 4 + 3;
   }
   out.check = check_regular_register(out.records);
+  if (validate_env)
+    out.env_check = check_environment(net.trace(), n, crashes.correct(n));
   return out;
 }
 

@@ -20,6 +20,7 @@
 
 #include "common/value.hpp"
 #include "env/environment.hpp"
+#include "env/validate.hpp"
 #include "net/schedule.hpp"
 
 namespace anon {
@@ -81,6 +82,7 @@ struct RegisterRunResult {
   Round rounds_executed = 0;
   std::uint64_t write_latency_rounds_total = 0;
   std::size_t writes_completed = 0;
+  EnvCheckResult env_check;  // populated when validate_env
 };
 
 // Runs the Prop-1 register over Algorithm 4 in the given MS-class
@@ -89,6 +91,7 @@ struct RegisterRunResult {
 RegisterRunResult run_register_over_ms(const EnvParams& env,
                                        const CrashPlan& crashes,
                                        std::vector<RegScriptOp> script,
-                                       Round extra_rounds = 60);
+                                       Round extra_rounds = 60,
+                                       bool validate_env = false);
 
 }  // namespace anon

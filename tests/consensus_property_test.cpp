@@ -1,13 +1,18 @@
 // Property sweeps (parameterized): agreement and validity must hold on
 // EVERY run — any environment, any crash pattern, any seed; termination
 // must hold on admissible ES/ESS runs.  This is the executable form of
-// Theorems 1 and 2 quantifying over runs.
+// Theorems 1 and 2 quantifying over runs.  The sweeps are declarative
+// ScenarioSpecs through the scenario registry (the same surface the
+// benches and anonsim drive); only the engine-corner cases at the bottom
+// still reach for the low-level ConsensusConfig knobs the spec surface
+// deliberately does not expose (bespoke final_fraction, halt policies).
 #include <gtest/gtest.h>
 
 #include <set>
 #include <tuple>
 
 #include "algo/runner.hpp"
+#include "scenario/registry.hpp"
 
 namespace anon {
 namespace {
@@ -34,21 +39,30 @@ class ConsensusSweep : public ::testing::TestWithParam<SweepCase> {};
 
 TEST_P(ConsensusSweep, SafetyAndTermination) {
   const SweepCase& c = GetParam();
-  ConsensusConfig cfg;
-  cfg.env.kind = c.algo == ConsensusAlgo::kEs ? EnvKind::kES : EnvKind::kESS;
-  cfg.env.n = c.n;
-  cfg.env.seed = c.seed;
-  cfg.env.stabilization = c.stabilization;
-  cfg.initial = c.identical_values ? identical_values(c.n, 5)
-                                   : random_values(c.n, c.seed * 7 + 1, -50, 50);
-  if (c.crashes > 0)
-    cfg.crashes = random_crashes(c.n, c.crashes,
-                                 std::max<Round>(2, c.stabilization),
-                                 c.seed * 13 + 3);
-  cfg.net.seed = c.seed;
-  cfg.net.max_rounds = 30000;
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kConsensus;
+  spec.seeds = {c.seed};
+  spec.env_kind = c.algo == ConsensusAlgo::kEs ? EnvKind::kES : EnvKind::kESS;
+  spec.n = c.n;
+  spec.stabilization = c.stabilization;
+  spec.initial.kind = ValueGenSpec::Kind::kExplicit;
+  for (const Value& v : c.identical_values
+                            ? identical_values(c.n, 5)
+                            : random_values(c.n, c.seed * 7 + 1, -50, 50))
+    spec.initial.values.push_back(v.get());
+  if (c.crashes > 0) {
+    spec.crashes.kind = CrashGenSpec::Kind::kRandom;
+    spec.crashes.count = c.crashes;
+    spec.crashes.horizon = std::max<Round>(2, c.stabilization);
+    spec.crashes.seed_offset = 13;
+  }
+  spec.consensus.algo = c.algo;
+  spec.consensus.max_rounds = 30000;
+  spec.consensus.record_deliveries = true;
+  spec.consensus.validate_env = true;
 
-  auto rep = run_consensus(c.algo, cfg);
+  const auto report = ScenarioRegistry::instance().run(spec);
+  const auto& rep = report.consensus_cells[0].report;
   // Safety: unconditional.
   EXPECT_TRUE(rep.agreement) << rep.to_string();
   EXPECT_TRUE(rep.validity) << rep.to_string();
@@ -91,15 +105,26 @@ INSTANTIATE_TEST_SUITE_P(Sweep, ConsensusSweep,
 // under ES-without-stable-source.
 class HostileSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
+ScenarioSpec hostile_spec(ConsensusAlgo algo, std::uint64_t env_seed,
+                          std::uint64_t value_seed) {
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kConsensus;
+  spec.seeds = {env_seed};
+  spec.env_kind = EnvKind::kMS;
+  spec.n = 5;
+  spec.timely_prob = 0.15;
+  spec.initial.kind = ValueGenSpec::Kind::kExplicit;
+  for (const Value& v : random_values(5, value_seed, 0, 9))
+    spec.initial.values.push_back(v.get());
+  spec.consensus.algo = algo;
+  spec.consensus.max_rounds = 1500;
+  return spec;
+}
+
 TEST_P(HostileSweep, Alg2SafeUnderMovingSourceOnly) {
-  ConsensusConfig cfg;
-  cfg.env.kind = EnvKind::kMS;
-  cfg.env.n = 5;
-  cfg.env.seed = GetParam();
-  cfg.env.timely_prob = 0.15;
-  cfg.initial = random_values(5, GetParam(), 0, 9);
-  cfg.net.max_rounds = 1500;
-  auto rep = run_consensus(ConsensusAlgo::kEs, cfg);
+  const auto report = ScenarioRegistry::instance().run(
+      hostile_spec(ConsensusAlgo::kEs, GetParam(), GetParam()));
+  const auto& rep = report.consensus_cells[0].report;
   EXPECT_TRUE(rep.agreement) << rep.to_string();
   EXPECT_TRUE(rep.validity) << rep.to_string();
   // NOTE: with a randomized MS schedule long benign stretches can occur,
@@ -108,14 +133,9 @@ TEST_P(HostileSweep, Alg2SafeUnderMovingSourceOnly) {
 }
 
 TEST_P(HostileSweep, Alg3SafeUnderMovingSourceOnly) {
-  ConsensusConfig cfg;
-  cfg.env.kind = EnvKind::kMS;
-  cfg.env.n = 5;
-  cfg.env.seed = GetParam() ^ 0xf00d;
-  cfg.env.timely_prob = 0.15;
-  cfg.initial = random_values(5, GetParam(), 0, 9);
-  cfg.net.max_rounds = 1500;
-  auto rep = run_consensus(ConsensusAlgo::kEss, cfg);
+  const auto report = ScenarioRegistry::instance().run(
+      hostile_spec(ConsensusAlgo::kEss, GetParam() ^ 0xf00d, GetParam()));
+  const auto& rep = report.consensus_cells[0].report;
   EXPECT_TRUE(rep.agreement) << rep.to_string();
   EXPECT_TRUE(rep.validity) << rep.to_string();
 }
@@ -124,6 +144,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, HostileSweep,
                          ::testing::Values(3, 1337, 2026, 555, 90210));
 
 // Crash exactly around the decision round: the classic agreement hazard.
+// Uses the low-level config surface: the probe needs a bespoke
+// final_fraction, which the declarative spec intentionally leaves out.
 class CrashAtDecisionSweep : public ::testing::TestWithParam<Round> {};
 
 TEST_P(CrashAtDecisionSweep, AgreementSurvivesCrashNearDecision) {
@@ -156,6 +178,7 @@ INSTANTIATE_TEST_SUITE_P(Offsets, CrashAtDecisionSweep,
                          ::testing::Values(0, 1, 2));
 
 // The literal decide-and-halt reading starves laggards (DESIGN.md).
+// Halt policies are an engine knob, not a scenario one — low-level config.
 TEST(HaltPolicy, LiteralHaltCanStarveLaggards) {
   ConsensusConfig cfg;
   cfg.env.kind = EnvKind::kES;

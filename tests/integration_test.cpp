@@ -1,51 +1,57 @@
-// Cross-module integration and reproducibility properties.
+// Cross-module integration and reproducibility properties — driven through
+// the one scenario surface (ScenarioSpec → ScenarioRegistry → report),
+// which is how every bench, example and the anonsim CLI run these stacks.
 #include <gtest/gtest.h>
 
 #include "algo/runner.hpp"
-#include "emul/ms_emulation.hpp"
-#include "env/validate.hpp"
-#include "weakset/ms_weak_set.hpp"
-#include "weakset/ws_register.hpp"
+#include "scenario/registry.hpp"
 
 namespace anon {
 namespace {
 
-TEST(Determinism, IdenticalSeedsGiveIdenticalRuns) {
-  auto run_once = [] {
-    ConsensusConfig cfg;
-    cfg.env.kind = EnvKind::kESS;
-    cfg.env.n = 7;
-    cfg.env.seed = 20260612;
-    cfg.env.stabilization = 9;
-    cfg.initial = random_values(7, 5, -20, 20);
-    cfg.crashes = random_crashes(7, 2, 8, 99);
-    return run_consensus(ConsensusAlgo::kEss, cfg);
-  };
-  auto a = run_once();
-  auto b = run_once();
-  EXPECT_EQ(a.value, b.value);
-  EXPECT_EQ(a.last_decision_round, b.last_decision_round);
-  EXPECT_EQ(a.deliveries, b.deliveries);
-  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+ScenarioReport run(const ScenarioSpec& spec) {
+  return ScenarioRegistry::instance().run(spec);
+}
+
+TEST(Determinism, IdenticalSpecsGiveIdenticalRuns) {
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kConsensus;
+  spec.seeds = {20260612};
+  spec.env_kind = EnvKind::kESS;
+  spec.n = 7;
+  spec.stabilization = 9;
+  spec.initial.kind = ValueGenSpec::Kind::kExplicit;
+  for (const Value& v : random_values(7, 5, -20, 20))
+    spec.initial.values.push_back(v.get());
+  spec.crashes.kind = CrashGenSpec::Kind::kRandom;
+  spec.crashes.count = 2;
+  spec.crashes.horizon = 8;
+  spec.consensus.algo = ConsensusAlgo::kEss;
+
+  const auto a = run(spec);
+  const auto b = run(spec);
+  // The whole deterministic report — decisions, rounds, every transport
+  // metric — must be byte-identical.
+  EXPECT_EQ(a.to_json_string(false), b.to_json_string(false));
 }
 
 TEST(Determinism, DifferentSeedsDiffer) {
-  auto run_once = [](std::uint64_t seed) {
-    ConsensusConfig cfg;
-    cfg.env.kind = EnvKind::kES;
-    cfg.env.n = 6;
-    cfg.env.seed = seed;
-    cfg.env.stabilization = 20;
-    cfg.env.timely_prob = 0.3;
-    cfg.initial = distinct_values(6);
-    return run_consensus(ConsensusAlgo::kEs, cfg);
-  };
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kConsensus;
+  spec.seeds = {1, 2, 3, 4, 5};
+  spec.env_kind = EnvKind::kES;
+  spec.n = 6;
+  spec.stabilization = 20;
+  spec.timely_prob = 0.3;
+  spec.consensus.algo = ConsensusAlgo::kEs;
+
   // Not guaranteed for every pair, but across several seeds at least one
   // metric must differ — otherwise the seed plumbing is broken.
-  auto base = run_once(1);
+  const auto report = run(spec);
+  const auto& base = report.consensus_cells[0].report;
   bool any_diff = false;
-  for (std::uint64_t s : {2u, 3u, 4u, 5u}) {
-    auto r = run_once(s);
+  for (std::size_t i = 1; i < report.consensus_cells.size(); ++i) {
+    const auto& r = report.consensus_cells[i].report;
     if (r.deliveries != base.deliveries ||
         r.last_decision_round != base.last_decision_round)
       any_diff = true;
@@ -56,69 +62,77 @@ TEST(Determinism, DifferentSeedsDiffer) {
 TEST(Integration, EnvKindsFormAStrictnessHierarchyOnTraces) {
   // An ES-generated trace (GST=0) is also a valid ESS witness and MS run;
   // an MS-generated trace generally has neither ES nor early ESS witness.
-  ConsensusConfig cfg;
-  cfg.env.kind = EnvKind::kES;
-  cfg.env.n = 4;
-  cfg.env.seed = 3;
-  cfg.env.stabilization = 0;
-  cfg.initial = distinct_values(4);
-  auto rep = run_consensus(ConsensusAlgo::kEs, cfg);
-  EXPECT_TRUE(rep.env_check.ms_ok);
-  ASSERT_TRUE(rep.env_check.es_from.has_value());
-  EXPECT_TRUE(rep.env_check.ess_from.has_value());
-  EXPECT_EQ(*rep.env_check.es_from, 1u);
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kConsensus;
+  spec.seeds = {3};
+  spec.env_kind = EnvKind::kES;
+  spec.n = 4;
+  spec.consensus.algo = ConsensusAlgo::kEs;
+  spec.consensus.record_deliveries = true;
+  spec.consensus.validate_env = true;
+
+  const auto report = run(spec);
+  const auto& check = report.consensus_cells[0].report.env_check;
+  EXPECT_TRUE(check.ms_ok);
+  ASSERT_TRUE(check.es_from.has_value());
+  EXPECT_TRUE(check.ess_from.has_value());
+  EXPECT_EQ(*check.es_from, 1u);
 }
 
 TEST(Integration, WeakSetValuesFlowIntoRegisterSemantics) {
   // The Prop-1 register and the raw weak-set share Algorithm 4: a raw add
   // of an encoded element is indistinguishable from a write — sanity-check
   // the layering by decoding what the register wrote.
-  EnvParams env;
-  env.kind = EnvKind::kMS;
-  env.n = 3;
-  env.seed = 12;
-  std::vector<RegScriptOp> script{{2, 0, true, Value(5)},
-                                  {25, 1, false, Value()}};
-  auto run = run_register_over_ms(env, CrashPlan{}, script, 60);
-  ASSERT_TRUE(run.check.ok);
-  ASSERT_EQ(run.records.size(), 2u);
-  EXPECT_EQ(run.records[1].value, Value(5));
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kWeakset;
+  spec.seeds = {12};
+  spec.env_kind = EnvKind::kMS;
+  spec.n = 3;
+  spec.weakset.mode = WeaksetSpecSection::Mode::kRegister;
+  spec.weakset.script = {{2, 0, true, 5}, {25, 1, false, 0}};
+  spec.weakset.extra_rounds = 60;
+  spec.weakset.keep_records = true;
+
+  const auto report = run(spec);
+  const auto& cell = report.weakset_cells[0];
+  ASSERT_TRUE(cell.spec_ok) << cell.violation;
+  ASSERT_EQ(cell.reg_records.size(), 2u);
+  EXPECT_EQ(cell.reg_records[1].value, Value(5));
 }
 
 TEST(Integration, EmulatedMsRunsTheRealWeakSetAutomaton) {
   // weak-set → MS (Alg 5) → weak-set (Alg 4): the closing of the loop.
-  MsEmulationOptions opt;
-  opt.seed = 4;
-  std::vector<std::unique_ptr<Automaton<ValueSet>>> autos;
-  for (int i = 0; i < 3; ++i)
-    autos.push_back(std::make_unique<MsWeakSetAutomaton>());
-  MsEmulation<ValueSet> emu(std::move(autos), opt);
-  auto& w = dynamic_cast<MsWeakSetAutomaton&>(
-      const_cast<GirafProcess<ValueSet>&>(emu.process(1)).automaton());
-  w.start_add(Value(77));
-  ASSERT_TRUE(emu.run_until_round(30));
-  EXPECT_FALSE(w.add_blocked());  // the add completed over emulated rounds
-  for (ProcId p = 0; p < 3; ++p) {
-    const auto& a = dynamic_cast<const MsWeakSetAutomaton&>(
-        emu.process(p).automaton());
-    EXPECT_EQ(a.get().count(Value(77)), 1u) << "process " << p;
-  }
-  std::vector<ProcId> correct{0, 1, 2};
-  EXPECT_TRUE(check_environment(emu.trace(), 3, correct).ms_ok);
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kEmulation;
+  spec.seeds = {4};
+  spec.env_kind = EnvKind::kMS;
+  spec.n = 3;
+  spec.emulation.inner = EmulationSpecSection::Inner::kWeakset;
+  spec.emulation.rounds = 30;
+  spec.emulation.adds = {{1, 77}};
+
+  const auto report = run(spec);
+  const auto& cell = report.emulation_cells[0];
+  ASSERT_TRUE(cell.ran);
+  EXPECT_TRUE(cell.adds_completed);  // the add completed over emulated rounds
+  EXPECT_TRUE(cell.all_see);         // ...and every process sees the value
+  EXPECT_TRUE(cell.ms_certified);
 }
 
 TEST(Integration, MemoryHygieneUnderLongRuns) {
   // The windowed inbox (giraf/inbox.hpp) bounds per-process inbox state
   // to the {k-1, k, k+1} slots even over long runs (the algorithms never
   // reread closed rounds).
-  ConsensusConfig cfg;
-  cfg.env.kind = EnvKind::kES;
-  cfg.env.n = 4;
-  cfg.env.seed = 6;
-  cfg.env.stabilization = 500;  // long pre-GST phase
-  cfg.initial = distinct_values(4);
-  cfg.net.record_deliveries = false;
-  auto rep = run_consensus(ConsensusAlgo::kEs, cfg);
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kConsensus;
+  spec.seeds = {6};
+  spec.env_kind = EnvKind::kES;
+  spec.n = 4;
+  spec.stabilization = 500;  // long pre-GST phase
+  spec.consensus.algo = ConsensusAlgo::kEs;
+
+  const auto report = run(spec);
+  const auto& rep = report.consensus_cells[0].report;
   EXPECT_TRUE(rep.all_correct_decided);
   EXPECT_TRUE(rep.agreement);
 }

@@ -1,0 +1,290 @@
+// ScenarioSpec JSON: canonical round trips (encode → decode → byte-identical
+// re-encode), first-class validation diagnostics with field paths, and the
+// golden files pinning every registered preset's spec.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+
+namespace anon {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(ANON_REPO_DIR) + "/tests/golden/presets/" + name + ".json";
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
+}
+
+// Collects the error paths for compact assertions.
+std::vector<std::string> error_paths(const SpecDecodeResult& res) {
+  std::vector<std::string> paths;
+  for (const auto& e : res.errors) paths.push_back(e.path);
+  return paths;
+}
+
+bool has_error_at(const std::vector<SpecError>& errors,
+                  const std::string& path) {
+  for (const auto& e : errors)
+    if (e.path == path) return true;
+  return false;
+}
+
+// ---- round trips ------------------------------------------------------------
+
+TEST(ScenarioSpecJson, EveryPresetRoundTripsByteIdentically) {
+  const auto& presets = ScenarioRegistry::instance().presets();
+  ASSERT_FALSE(presets.empty());
+  for (const auto& preset : presets) {
+    SCOPED_TRACE(preset.name);
+    const std::string encoded = scenario_spec_to_json(preset.spec);
+    auto decoded = parse_scenario_spec(encoded);
+    ASSERT_TRUE(decoded.ok()) << decoded.errors_to_string();
+    // Struct equality AND byte-identical re-encode.
+    EXPECT_TRUE(*decoded.spec == preset.spec);
+    EXPECT_EQ(scenario_spec_to_json(*decoded.spec), encoded);
+  }
+}
+
+TEST(ScenarioSpecJson, HandwrittenSpecRoundTrips) {
+  ScenarioSpec spec;
+  spec.name = "rt";
+  spec.family = ScenarioFamily::kWeakset;
+  spec.seeds = {1, 2, 3};
+  spec.env_kind = EnvKind::kMS;
+  spec.n = 4;
+  spec.weakset.mode = WeaksetSpecSection::Mode::kRegister;
+  spec.weakset.script = {{2, 0, true, 7}, {9, 2, false, 0}};
+  spec.weakset.extra_rounds = 33;
+  spec.weakset.keep_records = true;
+  spec.crashes.kind = CrashGenSpec::Kind::kExplicit;
+  spec.crashes.entries = {{1, 4}};
+
+  const std::string encoded = scenario_spec_to_json(spec);
+  auto decoded = parse_scenario_spec(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.errors_to_string();
+  EXPECT_TRUE(*decoded.spec == spec);
+  EXPECT_EQ(scenario_spec_to_json(*decoded.spec), encoded);
+}
+
+TEST(ScenarioSpecJson, SparseSpecUsesDefaults) {
+  auto decoded = parse_scenario_spec(R"({"family": "abd"})");
+  ASSERT_TRUE(decoded.ok()) << decoded.errors_to_string();
+  EXPECT_EQ(decoded.spec->family, ScenarioFamily::kAbd);
+  EXPECT_EQ(decoded.spec->seeds, std::vector<std::uint64_t>{1});
+  EXPECT_EQ(decoded.spec->n, 3u);
+}
+
+// ---- malformed JSON ---------------------------------------------------------
+
+TEST(ScenarioSpecJson, MalformedJsonIsADiagnosticNotACrash) {
+  auto res = parse_scenario_spec("{\"family\": \"consensus\",}");
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.errors[0].path, "(json)");
+  EXPECT_NE(res.errors[0].message.find("line"), std::string::npos);
+}
+
+TEST(ScenarioSpecJson, NonConformingNumbersAreRejected) {
+  // RFC 8259 strictness: what jq/python reject, the spec parser rejects.
+  for (const char* bad :
+       {R"({"env": {"n": 04}})", R"({"env": {"timely_prob": 1.}})",
+        R"({"env": {"timely_prob": .5}})", R"({"seeds": [1e]})"}) {
+    SCOPED_TRACE(bad);
+    auto res = parse_scenario_spec(bad);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.errors[0].path, "(json)");
+  }
+}
+
+TEST(ScenarioSpecJson, PathologicalNestingIsADiagnosticNotACrash) {
+  const std::string deep(100000, '[');
+  auto res = parse_scenario_spec(deep);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.errors[0].message.find("nesting"), std::string::npos)
+      << res.errors_to_string();
+}
+
+TEST(ScenarioSpecJson, DuplicateKeysAreRejected) {
+  auto res = parse_scenario_spec(R"({"family": "abd", "family": "abd"})");
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.errors[0].path, "(json)");
+}
+
+TEST(ScenarioSpecJson, UnknownFieldsCarryTheirPath) {
+  auto res = parse_scenario_spec(
+      R"({"family": "consensus", "consensus": {"algo": "es", "bckend": "cohort"}})");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(has_error_at(res.errors, "consensus.bckend"))
+      << res.errors_to_string();
+}
+
+TEST(ScenarioSpecJson, UnknownEnumValueListsChoices) {
+  auto res = parse_scenario_spec(R"({"family": "flooding"})");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(has_error_at(res.errors, "family"));
+  EXPECT_NE(res.errors[0].message.find("weakset-shm"), std::string::npos);
+}
+
+TEST(ScenarioSpecJson, WrongFamilySectionIsRejected) {
+  auto res = parse_scenario_spec(
+      R"({"family": "abd", "emulation": {"rounds": 5}})");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(has_error_at(res.errors, "emulation")) << res.errors_to_string();
+}
+
+// ---- validation -------------------------------------------------------------
+
+TEST(ScenarioSpecValidation, InitialSizeMustMatchN) {
+  auto res = parse_scenario_spec(R"({
+    "family": "consensus",
+    "env": {"n": 5},
+    "workload": {"initial": {"kind": "explicit", "values": [1, 2, 3]}}
+  })");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(has_error_at(res.errors, "workload.initial.values"))
+      << res.errors_to_string();
+  EXPECT_NE(res.errors[0].message.find("3"), std::string::npos);
+  EXPECT_NE(res.errors[0].message.find("5"), std::string::npos);
+}
+
+TEST(ScenarioSpecValidation, CohortBackendWithTraceIsDiagnosed) {
+  auto res = parse_scenario_spec(R"({
+    "family": "consensus",
+    "consensus": {"backend": "cohort"}
+  })");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(has_error_at(res.errors, "consensus.backend"))
+      << res.errors_to_string();
+
+  // With the trace surfaces off, the cohort backend is valid.
+  auto ok = parse_scenario_spec(R"({
+    "family": "consensus",
+    "consensus": {"backend": "cohort", "record_trace": false,
+                  "validate_env": false}
+  })");
+  EXPECT_TRUE(ok.ok()) << ok.errors_to_string();
+}
+
+TEST(ScenarioSpecValidation, ValidateEnvNeedsTheFullTrace) {
+  auto res = parse_scenario_spec(R"({
+    "family": "consensus",
+    "consensus": {"validate_env": true}
+  })");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(has_error_at(res.errors, "consensus.validate_env"))
+      << res.errors_to_string();
+}
+
+TEST(ScenarioSpecValidation, RandomCrashesMustLeaveACorrectProcess) {
+  auto res = parse_scenario_spec(R"({
+    "family": "consensus",
+    "env": {"n": 4},
+    "workload": {"crashes": {"kind": "random", "count": 4, "horizon": 5}}
+  })");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(has_error_at(res.errors, "workload.crashes.count"))
+      << res.errors_to_string();
+}
+
+TEST(ScenarioSpecValidation, ExplicitCrashesMustLeaveACorrectProcess) {
+  // The runner layer CHECK-aborts on an all-crashed environment; the spec
+  // layer must catch it first and return a diagnostic instead.
+  auto res = parse_scenario_spec(R"({
+    "family": "consensus",
+    "env": {"n": 2},
+    "workload": {"crashes": {"kind": "explicit", "entries": [
+      {"process": 0, "round": 1}, {"process": 1, "round": 1}]}}
+  })");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(has_error_at(res.errors, "workload.crashes.entries"))
+      << res.errors_to_string();
+}
+
+TEST(ScenarioSpecValidation, BivalentSchedulesNeedThreeProcesses) {
+  auto res = parse_scenario_spec(R"({
+    "family": "consensus",
+    "env": {"kind": "ms", "n": 2},
+    "workload": {"initial": {"kind": "bivalent"}},
+    "consensus": {"schedule": "bivalent-ms"}
+  })");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(has_error_at(res.errors, "env.n")) << res.errors_to_string();
+}
+
+TEST(ScenarioSpecValidation, AdversarialSchedulesDriveAlgorithm2) {
+  auto res = parse_scenario_spec(R"({
+    "family": "consensus",
+    "env": {"kind": "ms", "n": 5},
+    "consensus": {"algo": "ess", "schedule": "hostile-ms"}
+  })");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(has_error_at(res.errors, "consensus.algo"))
+      << res.errors_to_string();
+}
+
+TEST(ScenarioSpecValidation, EmulationSkewMustMatchN) {
+  auto res = parse_scenario_spec(R"({
+    "family": "emulation",
+    "env": {"kind": "ms", "n": 4},
+    "emulation": {"skew": [1, 2]}
+  })");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(has_error_at(res.errors, "emulation.skew"))
+      << res.errors_to_string();
+}
+
+TEST(ScenarioSpecValidation, ConvergenceProbeRequiresEss) {
+  auto res = parse_scenario_spec(R"({
+    "family": "consensus",
+    "env": {"kind": "ess", "n": 5},
+    "consensus": {"algo": "es", "probe": "leader-convergence", "horizon": 50}
+  })");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(has_error_at(res.errors, "consensus.algo"))
+      << res.errors_to_string();
+}
+
+TEST(ScenarioSpecValidation, ErrorsAccumulateAcrossFields) {
+  auto res = parse_scenario_spec(R"({
+    "family": "weakset",
+    "env": {"kind": "ms", "n": 2},
+    "weakset": {"script": [{"round": 0, "process": 7, "mutate": true,
+                            "value": 1}]}
+  })");
+  ASSERT_FALSE(res.ok());
+  EXPECT_GE(res.errors.size(), 2u) << res.errors_to_string();
+  EXPECT_TRUE(has_error_at(res.errors, "weakset.script[0].process"));
+  EXPECT_TRUE(has_error_at(res.errors, "weakset.script[0].round"));
+  (void)error_paths(res);
+}
+
+// ---- preset goldens ---------------------------------------------------------
+
+// Every registered preset's canonical spec encoding is pinned to a golden
+// file: editing a preset is a reviewed act, and `anonsim describe` output
+// stays stable for scripts.  Regenerate with:
+//   for p in $(build/anonsim list | awk '/^\s\s\S/ {print $1}'); do
+//     build/anonsim describe $p > tests/golden/presets/$p.json; done
+TEST(ScenarioPresetGoldens, EveryPresetMatchesItsGoldenFile) {
+  const auto& presets = ScenarioRegistry::instance().presets();
+  ASSERT_FALSE(presets.empty());
+  for (const auto& preset : presets) {
+    SCOPED_TRACE(preset.name);
+    auto golden = read_file(golden_path(preset.name));
+    ASSERT_TRUE(golden.has_value())
+        << "missing golden file " << golden_path(preset.name)
+        << " — regenerate with `anonsim describe " << preset.name << "`";
+    EXPECT_EQ(scenario_spec_to_json(preset.spec), *golden);
+  }
+}
+
+}  // namespace
+}  // namespace anon
