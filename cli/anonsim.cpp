@@ -8,6 +8,9 @@
 //
 // Multi-seed specs shard across worker threads (--threads, default: one
 // per hardware thread); the report is identical at any thread count.
+// Consensus specs on the expanded backend additionally parallelize inside
+// each run (--engine-threads, default: the spec's own value; 0 = one per
+// hardware thread) — also byte-identical at any setting.
 // Exit codes: 0 success, 1 run failed to write output, 2 usage error,
 // 3 invalid spec (field-path diagnostics on stderr).
 #include <cstdlib>
@@ -28,7 +31,8 @@ int usage(std::ostream& os, int code) {
         "  anonsim list\n"
         "  anonsim describe <preset>\n"
         "  anonsim run  (--preset NAME | --spec FILE) [--threads N]\n"
-        "               [--json OUT] [--no-timing] [--quiet]\n"
+        "               [--engine-threads N] [--json OUT] [--no-timing]\n"
+        "               [--quiet]\n"
         "  anonsim schema (--preset NAME | --spec FILE) [--threads N]\n";
   return code;
 }
@@ -66,6 +70,8 @@ struct RunArgs {
   std::string spec_file;
   std::string json_out;
   std::size_t threads = 0;
+  bool engine_threads_set = false;   // --engine-threads given on the cmdline
+  std::size_t engine_threads = 1;    // override value when set
   bool no_timing = false;
   bool quiet = false;
 };
@@ -103,6 +109,18 @@ bool parse_run_args(const std::vector<std::string>& args, RunArgs* out,
       }
       out->threads = static_cast<std::size_t>(std::strtoull(v->c_str(),
                                                             nullptr, 10));
+    } else if (a == "--engine-threads") {
+      const std::string* v = value("--engine-threads");
+      if (v == nullptr) return false;
+      if (v->empty() ||
+          v->find_first_not_of("0123456789") != std::string::npos) {
+        *error =
+            "--engine-threads needs a non-negative integer, got \"" + *v + "\"";
+        return false;
+      }
+      out->engine_threads_set = true;
+      out->engine_threads = static_cast<std::size_t>(std::strtoull(v->c_str(),
+                                                                   nullptr, 10));
     } else if (a == "--no-timing") {
       out->no_timing = true;
     } else if (a == "--quiet") {
@@ -153,6 +171,16 @@ int load_spec(const RunArgs& args, ScenarioSpec* spec) {
 int cmd_run(const RunArgs& args, bool schema_only) {
   ScenarioSpec spec;
   if (int rc = load_spec(args, &spec); rc != 0) return rc;
+
+  if (args.engine_threads_set) {
+    if (spec.family != ScenarioFamily::kConsensus) {
+      std::cerr << "anonsim: --engine-threads applies to consensus specs "
+                   "(intra-run sharding), not family \""
+                << to_string(spec.family) << "\"\n";
+      return 2;
+    }
+    spec.consensus.engine_threads = args.engine_threads;
+  }
 
   ScenarioReport report;
   try {

@@ -61,6 +61,10 @@ const char* to_string(ConsensusBackend b) {
 ConsensusReport run_consensus(ConsensusAlgo algo, const ConsensusConfig& cfg,
                               Trace* trace_out) {
   ANON_CHECK(cfg.initial.size() == cfg.env.n);
+  // Lifetime: both engines alias their DelayModel for the whole run (their
+  // rvalue constructor overloads are deleted, so a temporary cannot bind).
+  // `env_delays` lives on this frame until after the nets below are
+  // destroyed; an override (`cfg.delays`) is documented to outlive the run.
   const EnvDelayModel env_delays(cfg.env, cfg.crashes);
   const DelayModel& delays = cfg.delays != nullptr
                                  ? *cfg.delays

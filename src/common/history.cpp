@@ -63,6 +63,7 @@ std::string History::to_string() const {
 
 History HistoryArena::append(const History& h, Value v) {
   Key key{h.node_, v};
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = nodes_.find(key);
   if (it == nodes_.end()) {
     auto node = std::make_unique<detail::HistNode>();

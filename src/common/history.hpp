@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -86,7 +87,14 @@ class History {
   const detail::HistNode* node_;
 };
 
-// Interning arena.  Not thread-safe; use one per simulation thread.
+// Interning arena.  One arena per simulation; `append` is internally
+// synchronized so the automatons of one simulation may share the arena
+// even when the engine shards them across worker threads (LockstepNet
+// with engine_threads > 1).  Interning stays canonical under the lock —
+// the (parent, value) map admits one node per key regardless of which
+// thread got there first — so pointer equality ⇔ structural equality
+// holds under any interleaving, and every observable History comparison
+// is content-based, keeping sharded runs byte-identical to serial ones.
 class HistoryArena {
  public:
   HistoryArena() = default;
@@ -102,7 +110,10 @@ class HistoryArena {
   // Build from a sequence (oldest first).
   History of(const std::vector<Value>& vals);
 
-  std::size_t interned_nodes() const { return nodes_.size(); }
+  std::size_t interned_nodes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return nodes_.size();
+  }
 
  private:
   struct Key {
@@ -113,6 +124,7 @@ class HistoryArena {
       return a.v < b.v;
     }
   };
+  mutable std::mutex mu_;
   std::map<Key, std::unique_ptr<detail::HistNode>> nodes_;
 };
 

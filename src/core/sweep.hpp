@@ -3,25 +3,26 @@
 // Every bench/experiment in this repo is a grid of independent simulations
 // — (seed × config) cells — whose per-cell work is a pure function of its
 // inputs (all simulations are seeded and allocate their own nets, arenas
-// and RNGs).  `parallel_sweep` shards such a grid across worker threads
-// with a shared atomic cursor and writes each result into its own index,
-// so the returned vector is identical for any thread count or OS schedule:
-// aggregation stays deterministic while the wall clock drops with cores.
+// and RNGs).  `parallel_sweep` shards such a grid across the shared
+// `WorkerPool` with an atomic cursor and writes each result into its own
+// index, so the returned vector is identical for any thread count or OS
+// schedule: aggregation stays deterministic while the wall clock drops
+// with cores.  Threads are pooled, not spawned per sweep, and a sweep
+// issued from inside another pool job (a sweep cell that itself shards its
+// run, or a nested sweep) runs inline — no oversubscription.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <exception>
-#include <mutex>
-#include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "core/worker_pool.hpp"
 
 namespace anon {
 
 struct SweepOptions {
   std::size_t threads = 0;           // 0 = one per hardware thread
-  std::size_t min_items_per_thread = 1;  // don't over-spawn on tiny grids
+  std::size_t min_items_per_thread = 1;  // don't over-shard tiny grids
 };
 
 // Resolved worker count: `requested`, or the hardware concurrency when
@@ -55,31 +56,8 @@ auto parallel_sweep(std::size_t count, Fn&& fn, SweepOptions opt = {})
     return results;
   }
 
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mu;
-  std::exception_ptr first_error;
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        results[i] = fn(i);
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        next.store(count, std::memory_order_relaxed);  // drain the others
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  WorkerPool::shared().parallel_for(
+      count, [&](std::size_t i) { results[i] = fn(i); }, threads);
   return results;
 }
 

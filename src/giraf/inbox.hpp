@@ -233,13 +233,26 @@ class BatchInterner {
     }
     batch->digest = digest;
     bucket.push_back(batch);
+    fresh_.push_back(batch);
     return batch;
   }
 
-  void round_reset() { by_digest_.clear(); }
+  // Payloads created (interning misses) since the last round_reset, in
+  // creation order.  The sharded lock-step engine runs one interner per
+  // shard and merges them at the round barrier: each shard's fresh list is
+  // re-canonicalized against a global digest map so content-equal batches
+  // from senders in different shards still collapse to one object
+  // network-wide, exactly as the serial engine's single interner does.
+  const std::vector<SharedBatch<M>>& fresh() const { return fresh_; }
+
+  void round_reset() {
+    by_digest_.clear();
+    fresh_.clear();
+  }
 
  private:
   std::unordered_map<std::uint64_t, std::vector<SharedBatch<M>>> by_digest_;
+  std::vector<SharedBatch<M>> fresh_;          // misses since round_reset
   std::vector<std::uint64_t> digest_scratch_;  // reused across interns
 };
 

@@ -116,6 +116,11 @@ class CohortNet {
     std::vector<ProcId> members;
   };
 
+  // NOTE: the engine aliases `delays` for its whole lifetime — the model
+  // is shared, immutable and typically outlives whole sweeps, so the net
+  // does not take ownership.  The rvalue overload below rejects binding a
+  // temporary (which would dangle on the first delay probe) at compile
+  // time; construct the model in an outer scope instead.
   CohortNet(std::vector<InitGroup> groups, const DelayModel& delays,
             CrashPlan crashes, CohortOptions opt = {})
       : delays_(delays), crashes_(std::move(crashes)), opt_(opt) {
@@ -153,6 +158,9 @@ class CohortNet {
     needs_snapshots_ = crashes_.crash_count() > 0 ||
                        opt_.halt_policy == HaltPolicy::kStopAfterDecide;
   }
+
+  CohortNet(std::vector<InitGroup> groups, const DelayModel&& delays,
+            CrashPlan crashes, CohortOptions opt = {}) = delete;
 
   std::size_t n() const { return n_; }
   Round round() const { return round_; }

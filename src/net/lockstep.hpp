@@ -18,16 +18,42 @@
 // modelling the relay performed by a uniform reliable broadcast layer.
 // Disabling it yields best-effort broadcast for crashing senders; the
 // paper's safety properties must (and do — see tests) hold either way.
+//
+// Two execution modes share this class (see DESIGN.md, "Sharded intra-run
+// execution"):
+//
+//  * Serial reference (engine_threads == 1, engine_shards <= 1): one
+//    thread walks all n processes and a single calendar holds one pending
+//    entry per (sender, receiver) link.  This is the differential oracle —
+//    small, obviously-faithful code.
+//
+//  * Sharded (engine_shards > 1, or engine_threads != 1): processes are
+//    partitioned into S contiguous shards.  Each round runs two waves over
+//    the shared WorkerPool with a barrier between them — the end-of-round
+//    wave (compute + broadcast, per-shard interner/outboxes/trace buffers)
+//    and the delivery wave (per-shard calendars) — plus a serial merge at
+//    the barrier that canonicalizes freshly interned payloads by content
+//    digest across shards.  In uniform-delay rounds a non-crashing
+//    sender's broadcast is aggregated into a per-payload *group* delivered
+//    by content once per receiver (the n² per-link entries of the serial
+//    engine exist only as counter arithmetic), which is what makes
+//    adversarial runs at n = 10^5 feasible at all.  Reports, metrics and
+//    traces are byte-identical to the serial engine at every shard/thread
+//    count; tests/sharded_net_test.cpp holds the two modes to that bar.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "core/calendar.hpp"
+#include "core/sweep.hpp"
+#include "core/worker_pool.hpp"
 #include "giraf/process.hpp"
 #include "giraf/trace.hpp"
 #include "net/schedule.hpp"
@@ -52,6 +78,17 @@ struct LockstepOptions {
   bool record_trace = true;     // end-of-round / crash events
   bool record_deliveries = true;  // delivery events (can be voluminous)
   HaltPolicy halt_policy = HaltPolicy::kContinueForever;
+  // Worker-pool participants driving the per-round waves.  1 = the serial
+  // reference engine (unless engine_shards forces sharded mode below);
+  // 0 = one per hardware thread.  Results are byte-identical at any value.
+  std::size_t engine_threads = 1;
+  // Shard count for the sharded engine; 0 = one shard per participant.
+  // Setting engine_shards > 1 with engine_threads == 1 runs the sharded
+  // engine single-threaded — the bench baseline for measuring pure thread
+  // scaling, and the only way to run shapes whose per-link calendar would
+  // not fit in memory (n = 10^5 is ~10^10 link entries per round on the
+  // serial engine) on one thread.
+  std::size_t engine_shards = 0;
 };
 
 struct RunResult {
@@ -78,11 +115,24 @@ class LockstepNet {
     procs_.reserve(n_);
     for (auto& a : automatons)
       procs_.push_back(std::make_unique<GirafProcess<M>>(std::move(a)));
-    halted_.assign(n_, false);
-    for (ProcId p = 0; p < n_; ++p)
-      if (Round c = crashes_.crash_round(p); c != kNeverCrashes)
-        trace_.record_crash(p, c + 1);
+    halted_.assign(n_, 0);
+    decision_round_.assign(n_, kNoRound);
+    crash_round_.assign(n_, kNeverCrashes);
+    for (ProcId p = 0; p < n_; ++p) {
+      crash_round_[p] = crashes_.crash_round(p);
+      if (crash_round_[p] != kNeverCrashes)
+        trace_.record_crash(p, crash_round_[p] + 1);
+    }
+    init_shards();
   }
+
+  // The engine aliases `delays` for its whole lifetime (models are shared,
+  // immutable and typically outlive whole sweeps); binding a temporary
+  // would dangle on the first delay probe.  Deleted overload rejects the
+  // temporary at compile time — construct the model in an outer scope.
+  LockstepNet(std::vector<std::unique_ptr<Automaton<M>>> automatons,
+              const DelayModel&& delays, CrashPlan crashes,
+              LockstepOptions opt = {}) = delete;
 
   std::size_t n() const { return n_; }
   Round round() const { return round_; }
@@ -106,6 +156,11 @@ class LockstepNet {
   std::uint64_t deliveries() const { return deliveries_; }
   std::uint64_t sends() const { return sends_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  // Shards the engine actually runs (1 = the serial reference path).
+  std::size_t engine_shards() const {
+    return shards_.empty() ? 1 : shards_.size();
+  }
 
   // Largest far-early overflow parking any inbox ever reached.  Lock-step
   // delivery never runs ahead of the window, so this should stay 0 — a
@@ -153,8 +208,97 @@ class LockstepNet {
     SharedBatch<M> payload;
   };
 
+  // ---- sharded-mode structures ----------------------------------------------
+
+  // One exact per-link delivery (the sharded equivalent of Pending): used
+  // for crashing senders, non-uniform rounds, and per-link trace mode.
+  struct Exact {
+    ProcId receiver;
+    ProcId sender;
+    Round msg_round;
+    SharedBatch<M> payload;
+  };
+
+  // An end-of-round-wave output entry, parked in the sender shard's outbox
+  // until the receiver shard merges it into its calendar (next barrier).
+  struct OutEntry {
+    Round due;
+    Exact e;
+  };
+
+  // A uniform-delay payload group: every non-crashing sender of round
+  // `msg_round` whose (canonical) batch is `payload`.  Delivery pushes the
+  // payload once per alive receiver — receiver-side dedup makes the g
+  // pointer-identical pushes of the serial engine and this single push
+  // indistinguishable — while the transport counters still account every
+  // (sender, receiver) link individually.
+  struct Group {
+    SharedBatch<M> payload;
+    Round msg_round = 0;
+    std::vector<ProcId> members;  // senders, globally ascending
+  };
+
+  struct UniformOut {
+    ProcId sender;
+    SharedBatch<M> payload;  // shard-local (pre-canonicalization)
+  };
+
+  struct Shard {
+    ProcId begin = 0, end = 0;  // contiguous process range [begin, end)
+    BatchInterner<M> interner;  // per-shard; canonicalized at the barrier
+    RoundCalendar<Exact> calendar;           // deliveries to this shard
+    std::vector<std::vector<OutEntry>> outbox;  // [receiver shard]
+    std::vector<UniformOut> uniform_out;     // this round's uniform senders
+    // Shard-local payload -> network-canonical payload, rebuilt each round
+    // at the merge barrier; read-only (concurrently) during delivery.
+    std::unordered_map<const MessageBatch<M>*, SharedBatch<M>> remap;
+    std::vector<EndOfRoundEvent> eor_buf;    // spliced in shard order
+    std::vector<DeliveryEvent> delivery_buf;  // sorted at the barrier
+    std::vector<Exact> due_scratch;          // recycled take_due buffer
+    std::uint64_t sends = 0, bytes = 0, deliveries = 0;
+  };
+
+  void init_shards() {
+    std::size_t threads = opt_.engine_threads == 0
+                              ? resolve_sweep_threads(0)
+                              : opt_.engine_threads;
+    std::size_t shards = opt_.engine_shards == 0 ? threads : opt_.engine_shards;
+    shards = std::min(shards, n_);
+    participants_ = std::max<std::size_t>(threads, 1);
+    if (shards <= 1 && participants_ <= 1) return;  // serial reference path
+    shards = std::max<std::size_t>(shards, 1);
+    shards_.resize(shards);
+    const std::size_t base = n_ / shards, rem = n_ % shards;
+    shard_base_ = base;
+    shard_rem_ = rem;
+    ProcId at = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      shards_[s].begin = at;
+      at += base + (s < rem ? 1 : 0);
+      shards_[s].end = at;
+      shards_[s].outbox.resize(shards);
+    }
+  }
+
+  std::size_t shard_of(ProcId q) const {
+    const ProcId wide = shard_rem_ * (shard_base_ + 1);
+    if (q < wide) return q / (shard_base_ + 1);
+    return shard_rem_ + (q - wide) / shard_base_;
+  }
+
+  bool receives_at(ProcId q, Round r) const {
+    return r < crash_round_[q] && !halted_[q];
+  }
+
+  // ---- shared driver --------------------------------------------------------
+
   void bootstrap() {
     decision_round_.assign(n_, kNoRound);
+    if (!shards_.empty()) {
+      eor_wave(/*next=*/1);
+      round_ = 1;
+      return;
+    }
     interner_.round_reset();
     for (ProcId p = 0; p < n_; ++p) step_eor(p, /*k=*/1);
     round_ = 1;
@@ -162,14 +306,46 @@ class LockstepNet {
 
   void advance_round() {
     const Round next = round_ + 1;
+    if (!shards_.empty()) {
+      eor_wave(next);
+      round_ = next;
+      return;
+    }
     interner_.round_reset();  // payload sharing is per (content, round)
     for (ProcId p = 0; p < n_; ++p) {
-      if (!crashes_.executes_eor(p, next)) continue;  // crashed earlier
-      if (halted_[p]) continue;                       // literal halt
+      if (next > crash_round_[p]) continue;  // crashed earlier
+      if (halted_[p]) continue;              // literal halt
       step_eor(p, next);
     }
     round_ = next;
   }
+
+  void deliver_due(Round r) {
+    if (!shards_.empty()) {
+      deliver_wave(r);
+      return;
+    }
+    calendar_.advance_to(r);
+    for (const Pending& d : calendar_.take_due()) {
+      if (!receives_at(d.receiver, r)) continue;  // dead or halted
+      procs_[d.receiver]->receive(d.payload, d.msg_round);
+      deliveries_ += d.payload->size();
+      if (opt_.record_trace && opt_.record_deliveries)
+        trace_.record_delivery(d.sender, d.msg_round, d.receiver,
+                               procs_[d.receiver]->round(), r);
+    }
+  }
+
+  void note_decisions() {
+    if (!shards_.empty()) return;  // recorded inside the end-of-round wave
+    // Called right after advance_round(): the computes that just ran were
+    // compute(round_ - 1), so that is the deciding round.
+    for (ProcId p = 0; p < n_; ++p)
+      if (decision_round_[p] == kNoRound && procs_[p]->decision().has_value())
+        decision_round_[p] = round_ - 1;
+  }
+
+  // ---- serial reference path ------------------------------------------------
 
   void step_eor(ProcId p, Round k) {
     auto out = procs_[p]->end_of_round();
@@ -177,13 +353,13 @@ class LockstepNet {
     if (opt_.record_trace) trace_.record_end_of_round(p, k, k);
     if (opt_.halt_policy == HaltPolicy::kStopAfterDecide &&
         procs_[p]->decision().has_value())
-      halted_[p] = true;
+      halted_[p] = 1;
 
     std::size_t batch_bytes = 0;
     for (const M& m : out.batch) batch_bytes += MessageSizeOf<M>::size(m);
     const SharedBatch<M> payload = interner_.intern(out.batch);
 
-    const bool crashing = crashes_.crash_round(p) == k;
+    const bool crashing = crash_round_[p] == k;
     for (ProcId q = 0; q < n_; ++q) {
       if (q == p) continue;
       Round d = delays_.delay(k, p, q);
@@ -199,25 +375,241 @@ class LockstepNet {
     }
   }
 
-  void deliver_due(Round r) {
-    calendar_.advance_to(r);
-    for (const Pending& d : calendar_.take_due()) {
-      if (!crashes_.receives_in_round(d.receiver, r)) continue;  // dead
-      if (halted_[d.receiver]) continue;
-      procs_[d.receiver]->receive(d.payload, d.msg_round);
-      deliveries_ += d.payload->size();
-      if (opt_.record_trace && opt_.record_deliveries)
-        trace_.record_delivery(d.sender, d.msg_round, d.receiver,
-                               procs_[d.receiver]->round(), r);
+  // ---- sharded path: end-of-round wave --------------------------------------
+
+  void eor_wave(Round next) {
+    const std::optional<Round> ud = delays_.uniform_delay(next);
+    const bool per_link_trace = opt_.record_trace && opt_.record_deliveries;
+    WorkerPool::shared().parallel_for(
+        shards_.size(),
+        [&](std::size_t s) {
+          shard_eor(shards_[s], next, ud, per_link_trace);
+        },
+        participants_);
+    merge_eor_barrier(next, ud);
+  }
+
+  void shard_eor(Shard& sh, Round next, std::optional<Round> ud,
+                 bool per_link_trace) {
+    sh.interner.round_reset();
+    sh.uniform_out.clear();
+    for (ProcId p = sh.begin; p < sh.end; ++p) {
+      if (next > crash_round_[p] || halted_[p]) continue;
+      shard_step_eor(sh, p, next, ud, per_link_trace);
+    }
+    // The serial engine's note_decisions() scan, moved into the wave.  The
+    // bootstrap wave (next == 1) must NOT record: the serial engine first
+    // scans after advance_round() to round 2, stamping bootstrap-decided
+    // processes with round 1 — which is exactly what the next == 2 scan
+    // over the full shard range (not just the stepped processes) does.
+    if (next >= 2) {
+      for (ProcId p = sh.begin; p < sh.end; ++p)
+        if (decision_round_[p] == kNoRound && procs_[p]->decision().has_value())
+          decision_round_[p] = next - 1;
     }
   }
 
-  void note_decisions() {
-    // Called right after advance_round(): the computes that just ran were
-    // compute(round_ - 1), so that is the deciding round.
-    for (ProcId p = 0; p < n_; ++p)
-      if (decision_round_[p] == kNoRound && procs_[p]->decision().has_value())
-        decision_round_[p] = round_ - 1;
+  void shard_step_eor(Shard& sh, ProcId p, Round k, std::optional<Round> ud,
+                      bool per_link_trace) {
+    auto out = procs_[p]->end_of_round();
+    ANON_CHECK(out.round == k);
+    if (opt_.record_trace) sh.eor_buf.push_back({p, k, k});
+    if (opt_.halt_policy == HaltPolicy::kStopAfterDecide &&
+        procs_[p]->decision().has_value())
+      halted_[p] = 1;
+
+    std::size_t batch_bytes = 0;
+    for (const M& m : out.batch) batch_bytes += MessageSizeOf<M>::size(m);
+    const SharedBatch<M> payload = sh.interner.intern(out.batch);
+    const bool crashing = crash_round_[p] == k;
+
+    if (ud.has_value() && !crashing && !per_link_trace) {
+      // Uniform fast path: every link has delay *ud, so the n-1 per-link
+      // calendar entries collapse to counter arithmetic plus one group
+      // membership (built at the barrier).  Per-link trace mode opts out —
+      // it needs the individual link events.
+      sh.sends += payload->size() * (n_ - 1);
+      sh.bytes += static_cast<std::uint64_t>(batch_bytes) * (n_ - 1);
+      sh.uniform_out.push_back({p, payload});
+      return;
+    }
+
+    // Per-link fallback: exactly the serial loop, into per-shard outboxes.
+    for (ProcId q = 0; q < n_; ++q) {
+      if (q == p) continue;
+      Round d = delays_.delay(k, p, q);
+      if (crashing && !crashes_.in_final_audience(p, q, n_, opt_.seed)) {
+        if (!opt_.relay_partial_broadcast) continue;  // lost forever
+        d = std::max<Round>(d, 1) + opt_.relay_extra_delay;
+      }
+      sh.sends += payload->size();
+      sh.bytes += batch_bytes;
+      sh.outbox[shard_of(q)].push_back({k + d, Exact{q, p, k, payload}});
+    }
+  }
+
+  // The serial slice between the waves: splice trace buffers and counters
+  // (shard order = process order), canonicalize freshly interned payloads
+  // across shards, and fold uniform senders into per-payload groups.
+  void merge_eor_barrier(Round next, std::optional<Round> ud) {
+    for (Shard& sh : shards_) {
+      for (const EndOfRoundEvent& e : sh.eor_buf)
+        trace_.record_end_of_round(e.process, e.round, e.time);
+      sh.eor_buf.clear();
+      sends_ += sh.sends;
+      bytes_sent_ += sh.bytes;
+      sh.sends = sh.bytes = 0;
+    }
+
+    // Canonicalization: the first shard (in shard order) to intern a given
+    // content wins; later shards map their local object to the canonical
+    // one.  Purely an identity decision — every observable (metrics,
+    // inbox views, traces) is content-based — but it preserves the serial
+    // engine's payload-sharing invariant: one object per content
+    // network-wide, so receiver dedup stays a pointer compare.
+    canon_.clear();
+    for (Shard& sh : shards_) {
+      sh.remap.clear();
+      for (const SharedBatch<M>& b : sh.interner.fresh()) {
+        auto& bucket = canon_[b->digest];
+        bool hit = false;
+        for (const SharedBatch<M>& c : bucket) {
+          if (c->size() == b->size() && c->msgs == b->msgs) {
+            sh.remap.emplace(b.get(), c);
+            hit = true;
+            break;
+          }
+        }
+        if (!hit) bucket.push_back(b);
+      }
+    }
+
+    // Group the uniform senders by canonical payload.  Shard order then
+    // in-shard order makes `members` globally ascending.
+    if (ud.has_value()) {
+      group_index_.clear();
+      std::vector<std::shared_ptr<Group>> groups;
+      for (Shard& sh : shards_) {
+        for (UniformOut& u : sh.uniform_out) {
+          SharedBatch<M> canon = u.payload;
+          if (auto it = sh.remap.find(canon.get()); it != sh.remap.end())
+            canon = it->second;
+          auto [git, inserted] =
+              group_index_.try_emplace(canon.get(), groups.size());
+          if (inserted) {
+            groups.push_back(std::make_shared<Group>());
+            groups.back()->payload = std::move(canon);
+            groups.back()->msg_round = next;
+          }
+          groups[git->second]->members.push_back(u.sender);
+        }
+        sh.uniform_out.clear();
+      }
+      for (std::shared_ptr<Group>& g : groups)
+        group_cal_.schedule(next + *ud, std::move(g));
+    }
+  }
+
+  // ---- sharded path: delivery wave ------------------------------------------
+
+  void deliver_wave(Round r) {
+    group_cal_.advance_to(r);
+    group_cal_.take_due_into(due_groups_);
+    const bool per_link_trace = opt_.record_trace && opt_.record_deliveries;
+    WorkerPool::shared().parallel_for(
+        shards_.size(),
+        [&](std::size_t t) { shard_deliver(t, r, per_link_trace); },
+        participants_);
+    for (Shard& sh : shards_) {
+      deliveries_ += sh.deliveries;
+      sh.deliveries = 0;
+    }
+    if (per_link_trace) splice_delivery_events();
+    due_groups_.clear();
+  }
+
+  void shard_deliver(std::size_t t, Round r, bool per_link_trace) {
+    Shard& sh = shards_[t];
+    // 1. Merge the last wave's outbox entries bound for this shard into
+    //    this shard's calendar, remapping payloads to their canonical
+    //    object.  Iterating sender shards in order reproduces the serial
+    //    calendar's FIFO insertion order (round asc, sender asc, receiver
+    //    asc) exactly, entry for entry.
+    for (Shard& from : shards_) {
+      std::vector<OutEntry>& box = from.outbox[t];
+      for (OutEntry& oe : box) {
+        if (auto it = from.remap.find(oe.e.payload.get());
+            it != from.remap.end())
+          oe.e.payload = it->second;
+        sh.calendar.schedule(oe.due, std::move(oe.e));
+      }
+      box.clear();
+    }
+    // 2. Exact per-link deliveries due this round.
+    sh.calendar.advance_to(r);
+    sh.calendar.take_due_into(sh.due_scratch);
+    for (Exact& e : sh.due_scratch) {
+      if (!receives_at(e.receiver, r)) continue;
+      procs_[e.receiver]->receive(e.payload, e.msg_round);
+      sh.deliveries += e.payload->size();
+      if (per_link_trace)
+        sh.delivery_buf.push_back({e.sender, e.msg_round, e.receiver,
+                                   procs_[e.receiver]->round(), r});
+    }
+    sh.due_scratch.clear();  // drop the payload refs until the next round
+    // 3. Uniform payload groups (fast mode only; a group of g senders is
+    //    one content push per alive receiver — the serial engine's g
+    //    pointer-identical pushes dedup to the same view — plus exact link
+    //    accounting: g messages per non-member, g-1 per member).
+    for (const std::shared_ptr<const Group>& g : due_groups_) {
+      const std::uint64_t sz = g->payload->size();
+      const std::uint64_t gsize = g->members.size();
+      if (gsize == 1) {
+        // A lone member must not receive its own broadcast back: past the
+        // inbox window's clamp horizon that content would no longer be in
+        // its view, so the self-push would be observable.
+        const ProcId lone = g->members[0];
+        for (ProcId q = sh.begin; q < sh.end; ++q) {
+          if (q == lone || !receives_at(q, r)) continue;
+          procs_[q]->receive(g->payload, g->msg_round);
+          sh.deliveries += sz;
+        }
+        continue;
+      }
+      for (ProcId q = sh.begin; q < sh.end; ++q) {
+        if (!receives_at(q, r)) continue;
+        procs_[q]->receive(g->payload, g->msg_round);
+        sh.deliveries += sz * gsize;
+      }
+      // Members received from the other g-1 senders, not all g.
+      auto it = std::lower_bound(g->members.begin(), g->members.end(),
+                                 sh.begin);
+      for (; it != g->members.end() && *it < sh.end; ++it)
+        if (receives_at(*it, r)) sh.deliveries -= sz;
+    }
+  }
+
+  // Per-link trace mode: reproduce the serial delivery-event order.  The
+  // serial calendar records slot r in insertion order — msg_round asc,
+  // then sender asc, then receiver asc — and (msg_round, sender, receiver)
+  // is unique per round, so sorting the shards' buffers by that key yields
+  // the serial trace byte for byte.
+  void splice_delivery_events() {
+    delivery_splice_.clear();
+    for (Shard& sh : shards_) {
+      delivery_splice_.insert(delivery_splice_.end(), sh.delivery_buf.begin(),
+                              sh.delivery_buf.end());
+      sh.delivery_buf.clear();
+    }
+    std::sort(delivery_splice_.begin(), delivery_splice_.end(),
+              [](const DeliveryEvent& a, const DeliveryEvent& b) {
+                if (a.msg_round != b.msg_round) return a.msg_round < b.msg_round;
+                if (a.sender != b.sender) return a.sender < b.sender;
+                return a.receiver < b.receiver;
+              });
+    for (const DeliveryEvent& e : delivery_splice_)
+      trace_.record_delivery(e.sender, e.msg_round, e.receiver,
+                             e.receiver_round, e.time);
   }
 
   std::size_t n_ = 0;
@@ -227,10 +619,30 @@ class LockstepNet {
   LockstepOptions opt_;
   Trace trace_;
   Round round_ = 0;
+
+  // Struct-of-arrays hot state shared by both modes: the per-round scans
+  // (who steps, who receives, who decided) touch these flat arrays, not
+  // the process objects.  halted_ is uint8_t, not vector<bool> — shard
+  // threads write disjoint indices, and bit-packing would make those
+  // writes race.
+  std::vector<Round> crash_round_;
+  std::vector<std::uint8_t> halted_;
+  std::vector<Round> decision_round_;
+
+  // Serial reference path.
   RoundCalendar<Pending> calendar_;
   BatchInterner<M> interner_;
-  std::vector<bool> halted_;
-  std::vector<Round> decision_round_;
+
+  // Sharded path (empty shards_ = serial mode).
+  std::vector<Shard> shards_;
+  std::size_t participants_ = 1;
+  std::size_t shard_base_ = 0, shard_rem_ = 0;
+  RoundCalendar<std::shared_ptr<const Group>> group_cal_;
+  std::vector<std::shared_ptr<const Group>> due_groups_;
+  std::unordered_map<std::uint64_t, std::vector<SharedBatch<M>>> canon_;
+  std::unordered_map<const MessageBatch<M>*, std::size_t> group_index_;
+  std::vector<DeliveryEvent> delivery_splice_;
+
   std::uint64_t deliveries_ = 0;
   std::uint64_t sends_ = 0;
   std::uint64_t bytes_sent_ = 0;

@@ -101,6 +101,29 @@ ScenarioSpec e12_spec(const std::string& name, std::size_t n) {
   return spec;
 }
 
+// E13: sharded intra-run execution on the expanded backend — an E1-shaped
+// ES run with mid-flight random crashes (so the per-link audience fallback
+// gets exercised, not just the uniform fast path), engine_threads=0 = one
+// shard per hardware thread.  The report is byte-identical to the serial
+// engine; the preset exists so CI's smoke job and the sharded engine's
+// bench A/B have a named shape to drive.
+ScenarioSpec e13_spec(const std::string& name, std::size_t n,
+                      std::size_t crashes) {
+  ScenarioSpec spec = base_spec(name, ScenarioFamily::kConsensus, 1);
+  spec.seeds = {42};
+  spec.env_kind = EnvKind::kES;
+  spec.n = n;
+  spec.initial.kind = ValueGenSpec::Kind::kCycle;
+  spec.initial.period = 8;
+  spec.crashes.kind = CrashGenSpec::Kind::kRandom;
+  spec.crashes.count = crashes;
+  spec.crashes.horizon = 6;
+  spec.consensus.algo = ConsensusAlgo::kEs;
+  spec.consensus.engine_threads = 0;
+  spec.consensus.record_trace = false;
+  return spec;
+}
+
 // --- omega -------------------------------------------------------------------
 
 ScenarioSpec e3_omega_spec() {
@@ -266,6 +289,9 @@ void register_builtin_presets(ScenarioRegistry& reg) {
   add("E12 cohort-collapsed E1-shaped run, n=4096 (8 proposal values)",
       e12_spec("e12-cohort", 4096));
   add("E12 smoke cell: n=256", e12_spec("e12-fast", 256));
+  add("E13 sharded intra-run E1-shaped run, n=4096, 8 mid-flight crashes",
+      e13_spec("e13-sharded", 4096, 8));
+  add("E13 smoke cell: n=256, 4 crashes", e13_spec("e13-fast", 256, 4));
   add("The quickstart scenario: 5 anonymous processes, one mid-run crash "
       "(examples/quickstart.cpp)",
       quickstart_spec());

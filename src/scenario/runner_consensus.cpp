@@ -26,6 +26,7 @@ ConsensusConfig config_from_spec(const ScenarioSpec& spec, std::uint64_t seed) {
   cfg.net.max_rounds = c.max_rounds;
   cfg.net.record_trace = c.record_trace;
   cfg.net.record_deliveries = c.record_deliveries;
+  cfg.net.engine_threads = c.engine_threads;
   cfg.validate_env = c.validate_env;
   cfg.backend = c.backend;
   return cfg;
@@ -101,6 +102,7 @@ ConsensusCellOutcome run_convergence_cell(const ScenarioSpec& spec,
   opt.max_rounds = c.horizon;
   opt.record_trace = c.record_trace;
   opt.record_deliveries = c.record_deliveries;
+  opt.engine_threads = c.engine_threads;
   LockstepNet<EssMessage> net(std::move(autos), delays, crashes, opt);
 
   Round last_bad = 0;
@@ -145,6 +147,7 @@ ConsensusCellOutcome run_state_growth_cell(const ScenarioSpec& spec,
   opt.max_rounds = c.horizon + 5;
   opt.record_trace = c.record_trace;
   opt.record_deliveries = c.record_deliveries;
+  opt.engine_threads = c.engine_threads;
   LockstepNet<EssMessage> net(std::move(autos), delays, crashes, opt);
   const Round target = c.horizon;
   const RunResult run = net.run(

@@ -255,6 +255,10 @@ JsonValue encode_consensus(const ConsensusSpecSection& c) {
   JsonValue v = JsonValue::object();
   v.set("algo", JsonValue::str(enum_name(kAlgoNames, c.algo)));
   v.set("backend", JsonValue::str(enum_name(kBackendNames, c.backend)));
+  // Conditional (like horizon): the serial default stays un-encoded, so
+  // every pre-existing spec and golden is unchanged.
+  if (c.engine_threads != 1)
+    v.set("engine_threads", JsonValue::uint(c.engine_threads));
   v.set("schedule", JsonValue::str(enum_name(kScheduleNames, c.schedule)));
   v.set("probe", JsonValue::str(enum_name(kConsensusProbeNames, c.probe)));
   if (c.probe != ConsensusSpecSection::Probe::kDecision)
@@ -600,11 +604,12 @@ void decode_crashes(Dec& d, const JsonValue& obj, const std::string& path,
 void decode_consensus(Dec& d, const JsonValue& obj, const std::string& path,
                       ConsensusSpecSection* out) {
   d.check_keys(obj, path,
-               {"algo", "backend", "schedule", "probe", "horizon", "gc_counters",
-                "max_rounds", "record_trace", "record_deliveries",
-                "validate_env"});
+               {"algo", "backend", "engine_threads", "schedule", "probe",
+                "horizon", "gc_counters", "max_rounds", "record_trace",
+                "record_deliveries", "validate_env"});
   d.get_enum(obj, path, "algo", kAlgoNames, &out->algo);
   d.get_enum(obj, path, "backend", kBackendNames, &out->backend);
+  d.get_uint(obj, path, "engine_threads", &out->engine_threads);
   d.get_enum(obj, path, "schedule", kScheduleNames, &out->schedule);
   d.get_enum(obj, path, "probe", kConsensusProbeNames, &out->probe);
   d.get_uint(obj, path, "horizon", &out->horizon);
@@ -921,6 +926,10 @@ std::vector<SpecError> validate_scenario_spec(const ScenarioSpec& spec) {
         if (c.probe != ConsensusSpecSection::Probe::kDecision)
           err("consensus.probe",
               "non-decision probes require the expanded backend");
+        if (c.engine_threads != 1)
+          err("consensus.engine_threads",
+              "intra-run sharding runs on the expanded backend — the cohort "
+              "engine parallelizes by collapsing processes instead");
       }
       const bool bivalent =
           c.schedule == ConsensusSpecSection::Schedule::kBivalentMs ||

@@ -97,6 +97,11 @@ struct ConsensusSpecSection {
 
   ConsensusAlgo algo = ConsensusAlgo::kEs;
   ConsensusBackend backend = ConsensusBackend::kExpanded;
+  // Worker-pool participants for the expanded backend's intra-run waves
+  // (LockstepOptions::engine_threads): 1 = the serial reference engine,
+  // 0 = one per hardware thread, N = N-shard parallel engine.  Results are
+  // byte-identical at any value; the cohort backend rejects != 1.
+  std::size_t engine_threads = 1;
   Schedule schedule = Schedule::kEnv;
   Probe probe = Probe::kDecision;
   Round horizon = 0;           // probes != decision: rounds to execute

@@ -75,6 +75,32 @@ TEST(ScenarioSpecJson, HandwrittenSpecRoundTrips) {
   EXPECT_EQ(scenario_spec_to_json(*decoded.spec), encoded);
 }
 
+TEST(ScenarioSpecJson, EngineThreadsRoundTripsAndDefaultsStayImplicit) {
+  // engine_threads is encoded only when != 1, so every pre-existing spec
+  // and golden stays byte-identical; a non-default value round-trips.
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kConsensus;
+  EXPECT_EQ(scenario_spec_to_json(spec).find("engine_threads"),
+            std::string::npos);
+
+  spec.consensus.engine_threads = 8;
+  const std::string encoded = scenario_spec_to_json(spec);
+  EXPECT_NE(encoded.find("\"engine_threads\": 8"), std::string::npos);
+  auto decoded = parse_scenario_spec(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.errors_to_string();
+  EXPECT_EQ(decoded.spec->consensus.engine_threads, 8u);
+  EXPECT_TRUE(*decoded.spec == spec);
+  EXPECT_EQ(scenario_spec_to_json(*decoded.spec), encoded);
+
+  // 0 (= one shard per hardware thread) is a valid, non-default value.
+  auto zero = parse_scenario_spec(R"({
+    "family": "consensus",
+    "consensus": {"engine_threads": 0}
+  })");
+  ASSERT_TRUE(zero.ok()) << zero.errors_to_string();
+  EXPECT_EQ(zero.spec->consensus.engine_threads, 0u);
+}
+
 TEST(ScenarioSpecJson, SparseSpecUsesDefaults) {
   auto decoded = parse_scenario_spec(R"({"family": "abd"})");
   ASSERT_TRUE(decoded.ok()) << decoded.errors_to_string();
@@ -171,6 +197,19 @@ TEST(ScenarioSpecValidation, CohortBackendWithTraceIsDiagnosed) {
                   "validate_env": false}
   })");
   EXPECT_TRUE(ok.ok()) << ok.errors_to_string();
+}
+
+TEST(ScenarioSpecValidation, CohortBackendRejectsIntraRunSharding) {
+  // Intra-run sharding is an expanded-backend feature; the cohort engine
+  // parallelizes by collapsing processes instead.
+  auto res = parse_scenario_spec(R"({
+    "family": "consensus",
+    "consensus": {"backend": "cohort", "record_trace": false,
+                  "validate_env": false, "engine_threads": 4}
+  })");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(has_error_at(res.errors, "consensus.engine_threads"))
+      << res.errors_to_string();
 }
 
 TEST(ScenarioSpecValidation, ValidateEnvNeedsTheFullTrace) {

@@ -1,0 +1,391 @@
+// Sharded intra-run execution (PR 6 tentpole): the sharded engine —
+// per-shard interners/calendars/outboxes, canonical payload merge at the
+// round barrier, uniform-delay group delivery — must be BYTE-IDENTICAL to
+// the serial reference engine: same decisions, decision rounds, transport
+// metrics, per-round metric series, and trace event streams, at every
+// shard and thread count, under every schedule shape (uniform fast path,
+// non-uniform fallback, crashing senders, adversarial overrides).
+#include "net/lockstep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "algo/es_consensus.hpp"
+#include "algo/ess_consensus.hpp"
+#include "algo/runner.hpp"
+#include "common/rng.hpp"
+#include "env/generate.hpp"
+#include "net/cohort.hpp"
+#include "sim/experiment.hpp"
+
+namespace anon {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Compile-time lifetime guard (the PR-6 satellite fix): both engines alias
+// their DelayModel for the whole run, so binding a temporary must be
+// rejected at compile time, not discovered by ASan at the first probe.
+
+static_assert(
+    !std::is_constructible_v<LockstepNet<EsMessage>,
+                             std::vector<std::unique_ptr<Automaton<EsMessage>>>,
+                             SynchronousDelays, CrashPlan, LockstepOptions>,
+    "LockstepNet must reject a temporary DelayModel");
+static_assert(
+    std::is_constructible_v<LockstepNet<EsMessage>,
+                            std::vector<std::unique_ptr<Automaton<EsMessage>>>,
+                            const SynchronousDelays&, CrashPlan,
+                            LockstepOptions>,
+    "LockstepNet must accept an lvalue DelayModel");
+static_assert(
+    !std::is_constructible_v<CohortNet<EsMessage>,
+                             std::vector<CohortNet<EsMessage>::InitGroup>,
+                             SynchronousDelays, CrashPlan, CohortOptions>,
+    "CohortNet must reject a temporary DelayModel");
+static_assert(
+    std::is_constructible_v<CohortNet<EsMessage>,
+                            std::vector<CohortNet<EsMessage>::InitGroup>,
+                            const SynchronousDelays&, CrashPlan, CohortOptions>,
+    "CohortNet must accept an lvalue DelayModel");
+
+// ---------------------------------------------------------------------------
+// Harness: run one configuration serially and sharded, compare everything.
+
+struct Observed {
+  Round rounds = 0;
+  bool stopped = false;
+  std::vector<std::optional<Value>> decisions;
+  std::vector<Round> decision_rounds;
+  std::uint64_t sends = 0, bytes = 0, deliveries = 0;
+  Trace trace;
+};
+
+template <typename Net>
+Observed observe(Net& net, RunResult run) {
+  Observed o;
+  o.rounds = run.rounds;
+  o.stopped = run.stopped;
+  for (ProcId p = 0; p < net.n(); ++p) {
+    o.decisions.push_back(net.decision(p));
+    o.decision_rounds.push_back(net.decision_round(p));
+  }
+  o.sends = net.sends();
+  o.bytes = net.bytes_sent();
+  o.deliveries = net.deliveries();
+  o.trace = net.trace();
+  return o;
+}
+
+void expect_traces_equal(const Trace& a, const Trace& b,
+                         const std::string& what) {
+  ASSERT_EQ(a.end_of_rounds().size(), b.end_of_rounds().size()) << what;
+  for (std::size_t i = 0; i < a.end_of_rounds().size(); ++i) {
+    const EndOfRoundEvent &x = a.end_of_rounds()[i], &y = b.end_of_rounds()[i];
+    ASSERT_TRUE(x.process == y.process && x.round == y.round &&
+                x.time == y.time)
+        << what << " eor event " << i;
+  }
+  ASSERT_EQ(a.deliveries().size(), b.deliveries().size()) << what;
+  for (std::size_t i = 0; i < a.deliveries().size(); ++i) {
+    const DeliveryEvent &x = a.deliveries()[i], &y = b.deliveries()[i];
+    ASSERT_TRUE(x.sender == y.sender && x.msg_round == y.msg_round &&
+                x.receiver == y.receiver &&
+                x.receiver_round == y.receiver_round && x.time == y.time)
+        << what << " delivery event " << i;
+  }
+  ASSERT_EQ(a.crashes().size(), b.crashes().size()) << what;
+  for (std::size_t i = 0; i < a.crashes().size(); ++i) {
+    const CrashEvent &x = a.crashes()[i], &y = b.crashes()[i];
+    ASSERT_TRUE(x.process == y.process && x.round == y.round)
+        << what << " crash event " << i;
+  }
+}
+
+void expect_equal(const Observed& serial, const Observed& sharded,
+                  const std::string& what) {
+  EXPECT_EQ(serial.rounds, sharded.rounds) << what;
+  EXPECT_EQ(serial.stopped, sharded.stopped) << what;
+  EXPECT_EQ(serial.sends, sharded.sends) << what;
+  EXPECT_EQ(serial.bytes, sharded.bytes) << what;
+  EXPECT_EQ(serial.deliveries, sharded.deliveries) << what;
+  ASSERT_EQ(serial.decisions.size(), sharded.decisions.size()) << what;
+  for (std::size_t p = 0; p < serial.decisions.size(); ++p) {
+    EXPECT_EQ(serial.decisions[p], sharded.decisions[p]) << what << " p=" << p;
+    EXPECT_EQ(serial.decision_rounds[p], sharded.decision_rounds[p])
+        << what << " p=" << p;
+  }
+  expect_traces_equal(serial.trace, sharded.trace, what);
+}
+
+struct Scenario {
+  ConsensusAlgo algo = ConsensusAlgo::kEs;
+  EnvParams env;
+  CrashPlan crashes;
+  std::vector<Value> initial;
+  LockstepOptions net;  // engine_threads/engine_shards overridden per run
+};
+
+std::vector<std::unique_ptr<Automaton<EsMessage>>> es_autos(
+    const std::vector<Value>& initial) {
+  std::vector<std::unique_ptr<Automaton<EsMessage>>> autos;
+  for (const Value& v : initial)
+    autos.push_back(std::make_unique<EsConsensus>(v));
+  return autos;
+}
+
+Observed run_once(const Scenario& sc, const DelayModel& delays,
+                  std::size_t engine_threads, std::size_t engine_shards,
+                  std::size_t* shards_ran = nullptr) {
+  LockstepOptions opt = sc.net;
+  opt.engine_threads = engine_threads;
+  opt.engine_shards = engine_shards;
+  if (sc.algo == ConsensusAlgo::kEs) {
+    LockstepNet<EsMessage> net(es_autos(sc.initial), delays, sc.crashes, opt);
+    if (shards_ran) *shards_ran = net.engine_shards();
+    return observe(net, net.run_until_all_correct_decided());
+  }
+  HistoryArena arena;
+  std::vector<std::unique_ptr<Automaton<EssMessage>>> autos;
+  for (const Value& v : sc.initial)
+    autos.push_back(std::make_unique<EssConsensus>(v, &arena));
+  LockstepNet<EssMessage> net(std::move(autos), delays, sc.crashes, opt);
+  if (shards_ran) *shards_ran = net.engine_shards();
+  return observe(net, net.run_until_all_correct_decided());
+}
+
+// Serial reference vs engine_threads ∈ {2, 8} (and the decoupled
+// single-threaded 8-shard engine) on the env-generated schedule.
+void check_thread_invariance(const Scenario& sc, const std::string& what) {
+  const EnvDelayModel delays(sc.env, sc.crashes);
+  std::size_t shards = 0;
+  const Observed serial = run_once(sc, delays, 1, 0, &shards);
+  ASSERT_EQ(shards, 1u) << what << ": engine_threads=1 must stay serial";
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const Observed sharded = run_once(sc, delays, threads, 0, &shards);
+    EXPECT_GT(shards, 1u) << what;
+    expect_equal(serial, sharded,
+                 what + " threads=" + std::to_string(threads));
+  }
+  const Observed aggregated = run_once(sc, delays, 1, 8, &shards);
+  EXPECT_EQ(shards, std::min<std::size_t>(8, sc.env.n)) << what;
+  expect_equal(serial, aggregated, what + " threads=1 shards=8");
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ShardedEquivalence, RandomizedConfigsMatchSerialAtEveryThreadCount) {
+  // Randomized (seed, env kind, crash plan, trace mode) configurations
+  // across both algorithms; every one must be byte-identical — including
+  // full per-link delivery traces on half the configs — at engine_threads
+  // ∈ {1, 2, 8} and at engine_shards = 8 on one thread.
+  std::size_t checked = 0;
+  for (std::uint64_t cfg = 0; cfg < 24; ++cfg) {
+    Rng rng(0x5eed + cfg * 131);
+    Scenario sc;
+    sc.algo = (cfg % 2 == 0) ? ConsensusAlgo::kEs : ConsensusAlgo::kEss;
+    sc.env.kind = (cfg % 4 < 2) ? EnvKind::kES : EnvKind::kESS;
+    sc.env.n = 3 + static_cast<std::size_t>(rng.below(30));  // 3..32
+    sc.env.seed = rng.below(1u << 30);
+    sc.env.stabilization = static_cast<Round>(rng.below(6));
+    sc.env.max_delay = 1 + static_cast<Round>(rng.below(3));
+    sc.env.timely_prob = 0.1 + 0.3 * rng.real();
+    const std::size_t f =
+        std::min<std::size_t>(sc.env.n - 1, rng.below(4));  // 0..3 crashes
+    if (f > 0)
+      sc.crashes = random_crashes(
+          sc.env.n, f, std::max<Round>(2, sc.env.stabilization + 2),
+          sc.env.seed + 13);
+    sc.initial = (cfg % 3 == 0)
+                     ? distinct_values(sc.env.n)
+                     : random_values(sc.env.n, sc.env.seed + 7, 100, 103);
+    sc.net.seed = sc.env.seed;
+    sc.net.max_rounds = 4000;
+    sc.net.record_trace = true;
+    sc.net.record_deliveries = (cfg % 2 == 0);  // per-link trace mode
+    sc.net.relay_partial_broadcast = (cfg % 5 != 4);
+    check_thread_invariance(sc, "cfg " + std::to_string(cfg));
+    ++checked;
+  }
+  EXPECT_GE(checked, 20u);
+}
+
+TEST(ShardedEquivalence, MidRoundCrashAudienceStraddlesShardBoundaries) {
+  // Directed: a fully uniform environment (the group fast path) with
+  // senders crashing mid-run — each crashing sender falls back to exact
+  // per-link entries whose final audience and relayed non-audience both
+  // span multiple shards.  Run with and without the relay layer.
+  for (const bool relay : {true, false}) {
+    Scenario sc;
+    sc.env.kind = EnvKind::kES;
+    sc.env.n = 12;  // 8 shards: shard sizes 2,2,2,2,1,1,1,1
+    sc.env.seed = 99;
+    sc.env.stabilization = 0;  // GST = 0: every round is uniform
+    sc.crashes.crash_at(1, 3);
+    sc.crashes.crash_at(5, 3);  // two crashes in the same round
+    sc.crashes.crash_at(10, 5);
+    sc.initial = random_values(sc.env.n, 7, 100, 102);
+    sc.net.seed = 99;
+    sc.net.max_rounds = 2000;
+    sc.net.record_deliveries = true;
+    sc.net.relay_partial_broadcast = relay;
+    check_thread_invariance(sc, relay ? "relay on" : "relay off");
+  }
+}
+
+TEST(ShardedEquivalence, NonUniformRoundsUseTheExactFallback) {
+  // Pre-GST ES rounds have genuinely per-link random delays, so the
+  // sharded engine must run entire rounds through the exact per-link
+  // path and still splice a byte-identical trace.
+  Scenario sc;
+  sc.env.kind = EnvKind::kES;
+  sc.env.n = 17;
+  sc.env.seed = 1234;
+  sc.env.stabilization = 8;  // rounds 1..8 are non-uniform
+  sc.env.max_delay = 3;
+  sc.initial = distinct_values(sc.env.n);
+  sc.net.seed = 1234;
+  sc.net.max_rounds = 2000;
+  sc.net.record_deliveries = true;
+  check_thread_invariance(sc, "pre-GST non-uniform");
+}
+
+TEST(ShardedEquivalence, AdversarialOverrideMatchesSerial) {
+  // The E8 bivalent two-camp MS schedule (no uniform_delay hint at all):
+  // a bounded no-decision run must produce identical metrics and traces.
+  const std::size_t n = 9;
+  const BivalentMsModel model(n);
+  const std::vector<Value> initial = BivalentMsModel::initial_values(n);
+  const CrashPlan no_crashes;
+  LockstepOptions opt;
+  opt.max_rounds = 60;
+  opt.record_deliveries = true;
+
+  LockstepNet<EsMessage> serial(es_autos(initial), model, no_crashes, opt);
+  const Observed a = observe(serial, serial.run_rounds(50));
+
+  LockstepOptions sharded_opt = opt;
+  sharded_opt.engine_threads = 8;
+  LockstepNet<EsMessage> sharded(es_autos(initial), model, no_crashes,
+                                 sharded_opt);
+  const Observed b = observe(sharded, sharded.run_rounds(50));
+  expect_equal(a, b, "bivalent override");
+  // The adversary keeps the run bivalent: nobody decided in either mode.
+  for (ProcId p = 0; p < n; ++p) EXPECT_FALSE(a.decisions[p].has_value());
+}
+
+TEST(ShardedEquivalence, StopAfterDecideHaltsIdentically) {
+  Scenario sc;
+  sc.env.kind = EnvKind::kES;
+  sc.env.n = 11;
+  sc.env.seed = 5;
+  sc.env.stabilization = 3;
+  sc.initial = random_values(sc.env.n, 5, 100, 101);
+  sc.net.seed = 5;
+  sc.net.max_rounds = 400;
+  sc.net.halt_policy = HaltPolicy::kStopAfterDecide;
+  sc.net.record_deliveries = true;
+  const EnvDelayModel delays(sc.env, sc.crashes);
+  // kStopAfterDecide can starve laggards forever, so run to a fixed
+  // horizon instead of to all-decided.
+  LockstepOptions serial_opt = sc.net;
+  LockstepNet<EsMessage> serial(es_autos(sc.initial), delays, sc.crashes,
+                                serial_opt);
+  const Observed a = observe(serial, serial.run_rounds(60));
+  LockstepOptions sharded_opt = sc.net;
+  sharded_opt.engine_threads = 4;
+  LockstepNet<EsMessage> sharded(es_autos(sc.initial), delays, sc.crashes,
+                                 sharded_opt);
+  const Observed b = observe(sharded, sharded.run_rounds(60));
+  expect_equal(a, b, "stop-after-decide");
+}
+
+TEST(ShardedEquivalence, PerRoundMetricSeriesMatchesSerial) {
+  // Single-round stepping (the collect_round_series pattern re-enters
+  // deliver_due for the same round): the cumulative (sends, bytes,
+  // deliveries) series must match round for round.
+  for (const std::uint64_t seed : {3u, 17u, 29u}) {
+    Scenario sc;
+    sc.env.kind = EnvKind::kES;
+    sc.env.n = 10;
+    sc.env.seed = seed;
+    sc.env.stabilization = 4;
+    sc.crashes.crash_at(2, 3);
+    sc.initial = random_values(sc.env.n, seed, 100, 102);
+    sc.net.seed = seed;
+    sc.net.record_trace = false;
+    const EnvDelayModel delays(sc.env, sc.crashes);
+    LockstepOptions serial_opt = sc.net;
+    LockstepNet<EsMessage> serial(es_autos(sc.initial), delays, sc.crashes,
+                                  serial_opt);
+    LockstepOptions sharded_opt = sc.net;
+    sharded_opt.engine_threads = 4;
+    LockstepNet<EsMessage> sharded(es_autos(sc.initial), delays, sc.crashes,
+                                   sharded_opt);
+    const auto sa = collect_round_series(serial, 30);
+    const auto sb = collect_round_series(sharded, 30);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i)
+      EXPECT_EQ(sa[i], sb[i]) << "seed " << seed << " step " << i << ": "
+                              << sa[i].to_string() << " vs "
+                              << sb[i].to_string();
+  }
+}
+
+TEST(ShardedEquivalence, ConsensusReportsMatchThroughTheRunnerSurface) {
+  // End-to-end through run_consensus: the full report (decisions,
+  // agreement/validity verdicts, metrics, env certification) and the
+  // returned trace must be identical at every engine_threads value.
+  for (const ConsensusAlgo algo : {ConsensusAlgo::kEs, ConsensusAlgo::kEss}) {
+    ConsensusConfig cfg;
+    cfg.env.kind = algo == ConsensusAlgo::kEs ? EnvKind::kES : EnvKind::kESS;
+    cfg.env.n = 14;
+    cfg.env.seed = 77;
+    cfg.env.stabilization = 5;
+    cfg.crashes = random_crashes(cfg.env.n, 2, 6, 123);
+    cfg.initial = random_values(cfg.env.n, 77, 100, 102);
+    cfg.net.seed = 77;
+    cfg.net.record_deliveries = true;
+    cfg.validate_env = true;
+
+    cfg.net.engine_threads = 1;
+    Trace serial_trace;
+    const ConsensusReport serial = run_consensus(algo, cfg, &serial_trace);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      cfg.net.engine_threads = threads;
+      Trace trace;
+      const ConsensusReport rep = run_consensus(algo, cfg, &trace);
+      EXPECT_EQ(serial.to_string(), rep.to_string())
+          << to_string(algo) << " threads=" << threads;
+      EXPECT_EQ(serial.rounds_executed, rep.rounds_executed);
+      EXPECT_EQ(serial.last_decision_round, rep.last_decision_round);
+      EXPECT_EQ(serial.deliveries, rep.deliveries);
+      EXPECT_EQ(serial.bytes_sent, rep.bytes_sent);
+      expect_traces_equal(serial_trace, trace,
+                          std::string(to_string(algo)) + " threads=" +
+                              std::to_string(threads));
+    }
+  }
+}
+
+TEST(ShardedEngine, ShardCountClampsToProcessCount) {
+  Scenario sc;
+  sc.env.kind = EnvKind::kES;
+  sc.env.n = 3;
+  sc.env.seed = 1;
+  sc.initial = distinct_values(sc.env.n);
+  sc.net.max_rounds = 200;
+  const EnvDelayModel delays(sc.env, sc.crashes);
+  std::size_t shards = 0;
+  const Observed serial = run_once(sc, delays, 1, 0, &shards);
+  ASSERT_EQ(shards, 1u);
+  const Observed sharded = run_once(sc, delays, 16, 16, &shards);
+  EXPECT_EQ(shards, 3u);  // min(16, n)
+  expect_equal(serial, sharded, "n=3 with 16 requested shards");
+}
+
+}  // namespace
+}  // namespace anon

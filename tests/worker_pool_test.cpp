@@ -1,0 +1,133 @@
+// WorkerPool (PR 6): the process-wide pool behind parallel_sweep and the
+// sharded lock-step engine.  The contracts under test: every index runs
+// exactly once, the first exception cancels the rest and is rethrown on
+// the caller, nested parallel_for runs inline (no oversubscription), the
+// pool grows on demand to honour explicitly requested participant counts,
+// and sequential jobs reuse the same threads without leaking state.
+#include "core/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace anon {
+namespace {
+
+TEST(WorkerPool, EveryIndexRunsExactlyOnce) {
+  WorkerPool pool(3);
+  constexpr std::size_t kCount = 257;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(WorkerPool, ZeroCountIsANoOp) {
+  WorkerPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(WorkerPool, SingleIndexRunsInlineOnTheCaller) {
+  WorkerPool pool(2);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id executed;
+  pool.parallel_for(1, [&](std::size_t) { executed = std::this_thread::get_id(); });
+  EXPECT_EQ(executed, caller);
+}
+
+TEST(WorkerPool, MaxParticipantsOneRunsInlineOnTheCaller) {
+  WorkerPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::set<std::thread::id> executors;
+  pool.parallel_for(
+      64, [&](std::size_t) { executors.insert(std::this_thread::get_id()); },
+      /*max_participants=*/1);
+  // Inline execution: single-threaded, so the un-synchronized set is safe.
+  ASSERT_EQ(executors.size(), 1u);
+  EXPECT_EQ(*executors.begin(), caller);
+}
+
+TEST(WorkerPool, FirstExceptionPropagatesAndCancelsRemainingIndices) {
+  WorkerPool pool(3);
+  std::atomic<int> ran{0};
+  auto throwing = [&](std::size_t i) {
+    if (i == 5) throw std::runtime_error("index 5 failed");
+    ran.fetch_add(1);
+  };
+  EXPECT_THROW(pool.parallel_for(10000, throwing), std::runtime_error);
+  // Cancellation drains the cursor: far fewer than all indices ran.
+  EXPECT_LT(ran.load(), 10000);
+  // The pool survives a failed job and runs the next one normally.
+  std::atomic<int> after{0};
+  pool.parallel_for(32, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 32);
+}
+
+TEST(WorkerPool, NestedParallelForRunsInline) {
+  WorkerPool pool(3);
+  constexpr std::size_t kOuter = 8, kInner = 16;
+  std::vector<std::atomic<int>> inner_hits(kOuter * kInner);
+  pool.parallel_for(kOuter, [&](std::size_t o) {
+    const auto outer_thread = std::this_thread::get_id();
+    // The inner call must not recruit workers (the outer job owns the
+    // pool's parallelism) — it runs the whole loop on this thread.
+    pool.parallel_for(kInner, [&](std::size_t i) {
+      EXPECT_EQ(std::this_thread::get_id(), outer_thread);
+      inner_hits[o * kInner + i].fetch_add(1);
+    });
+  });
+  for (std::size_t i = 0; i < inner_hits.size(); ++i)
+    EXPECT_EQ(inner_hits[i].load(), 1) << "inner index " << i;
+}
+
+TEST(WorkerPool, GrowsOnDemandToHonourRequestedParticipants) {
+  WorkerPool pool(0);  // starts with no workers at all
+  EXPECT_EQ(pool.workers(), 0u);
+  std::atomic<int> ran{0};
+  pool.parallel_for(
+      64, [&](std::size_t) { ran.fetch_add(1); }, /*max_participants=*/4);
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_GE(pool.workers(), 3u);  // caller + 3 workers = 4 participants
+}
+
+TEST(WorkerPool, SequentialJobsReuseThePool) {
+  WorkerPool pool(2);
+  for (int job = 0; job < 200; ++job) {
+    std::atomic<int> ran{0};
+    pool.parallel_for(17, [&](std::size_t) { ran.fetch_add(1); });
+    ASSERT_EQ(ran.load(), 17) << "job " << job;
+  }
+}
+
+TEST(WorkerPool, SharedPoolIsAProcessWideSingleton) {
+  WorkerPool& a = WorkerPool::shared();
+  WorkerPool& b = WorkerPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.workers(), 1u);
+  std::atomic<int> ran{0};
+  a.parallel_for(33, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 33);
+}
+
+TEST(WorkerPool, ConcurrentSubmittersAreSerializedNotLost) {
+  WorkerPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&] {
+      for (int j = 0; j < 25; ++j)
+        pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(total.load(), 4 * 25 * 8);
+}
+
+}  // namespace
+}  // namespace anon
