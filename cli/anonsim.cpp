@@ -11,8 +11,15 @@
 // Consensus specs on the expanded backend additionally parallelize inside
 // each run (--engine-threads, default: the spec's own value; 0 = one per
 // hardware thread) — also byte-identical at any setting.
+// Fault injection (env/faults.hpp) can be layered onto any consensus spec
+// from the command line: `--faults loss_prob=0.1,reorder_prob=0.2` patches
+// scalar FaultParams fields after the spec loads (list-valued fields —
+// omission_senders, churn — need a spec file), and `--watchdog N` arms the
+// no-progress watchdog so fault-starved runs end `undecided` instead of
+// spinning to max_rounds.
 // Exit codes: 0 success, 1 run failed to write output, 2 usage error,
-// 3 invalid spec (field-path diagnostics on stderr).
+// 3 invalid spec (field-path diagnostics on stderr), 4 at least one cell
+// ended undecided and --fail-undecided was given.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -32,7 +39,8 @@ int usage(std::ostream& os, int code) {
         "  anonsim describe <preset>\n"
         "  anonsim run  (--preset NAME | --spec FILE) [--threads N]\n"
         "               [--engine-threads N] [--json OUT] [--no-timing]\n"
-        "               [--quiet]\n"
+        "               [--quiet] [--faults K=V[,K=V...]] [--watchdog N]\n"
+        "               [--fail-undecided]\n"
         "  anonsim schema (--preset NAME | --spec FILE) [--threads N]\n";
   return code;
 }
@@ -72,9 +80,74 @@ struct RunArgs {
   std::size_t threads = 0;
   bool engine_threads_set = false;   // --engine-threads given on the cmdline
   std::size_t engine_threads = 1;    // override value when set
+  std::string faults;                // --faults K=V,... override text
+  bool faults_set = false;
+  bool watchdog_set = false;
+  Round watchdog = 0;                // --watchdog override value when set
+  bool fail_undecided = false;
   bool no_timing = false;
   bool quiet = false;
 };
+
+// Patch scalar FaultParams fields from "key=value,key=value" text.  Keys
+// match the spec JSON (env.faults.*); list-valued fields need a spec file.
+bool apply_fault_overrides(const std::string& text, FaultParams* f,
+                           std::string* error) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string pair = text.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *error = "expected key=value, got \"" + pair + "\"";
+      return false;
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string val = pair.substr(eq + 1);
+    char* rest = nullptr;
+    if (key == "loss_prob" || key == "dup_prob" || key == "reorder_prob") {
+      const double d = std::strtod(val.c_str(), &rest);
+      if (val.empty() || *rest != '\0') {
+        *error = key + " needs a number, got \"" + val + "\"";
+        return false;
+      }
+      (key == "loss_prob" ? f->loss_prob
+                          : key == "dup_prob" ? f->dup_prob
+                                              : f->reorder_prob) = d;
+    } else if (key == "seed" || key == "dup_extra_delay" ||
+               key == "max_extra_delay") {
+      const std::uint64_t u = std::strtoull(val.c_str(), &rest, 10);
+      if (val.empty() || *rest != '\0') {
+        *error = key + " needs a non-negative integer, got \"" + val + "\"";
+        return false;
+      }
+      if (key == "seed")
+        f->seed = u;
+      else if (key == "dup_extra_delay")
+        f->dup_extra_delay = static_cast<Round>(u);
+      else
+        f->max_extra_delay = static_cast<Round>(u);
+    } else if (key == "exempt_source") {
+      if (val == "true" || val == "1")
+        f->exempt_source = true;
+      else if (val == "false" || val == "0")
+        f->exempt_source = false;
+      else {
+        *error = "exempt_source needs true/false, got \"" + val + "\"";
+        return false;
+      }
+    } else {
+      *error = "unknown fault field \"" + key +
+               "\" (scalar fields: seed, loss_prob, dup_prob, "
+               "dup_extra_delay, reorder_prob, max_extra_delay, "
+               "exempt_source)";
+      return false;
+    }
+  }
+  return true;
+}
 
 bool parse_run_args(const std::vector<std::string>& args, RunArgs* out,
                     std::string* error) {
@@ -121,6 +194,24 @@ bool parse_run_args(const std::vector<std::string>& args, RunArgs* out,
       out->engine_threads_set = true;
       out->engine_threads = static_cast<std::size_t>(std::strtoull(v->c_str(),
                                                                    nullptr, 10));
+    } else if (a == "--faults") {
+      const std::string* v = value("--faults");
+      if (v == nullptr) return false;
+      out->faults = *v;
+      out->faults_set = true;
+    } else if (a == "--watchdog") {
+      const std::string* v = value("--watchdog");
+      if (v == nullptr) return false;
+      if (v->empty() ||
+          v->find_first_not_of("0123456789") != std::string::npos) {
+        *error = "--watchdog needs a non-negative integer, got \"" + *v + "\"";
+        return false;
+      }
+      out->watchdog_set = true;
+      out->watchdog = static_cast<Round>(std::strtoull(v->c_str(), nullptr,
+                                                       10));
+    } else if (a == "--fail-undecided") {
+      out->fail_undecided = true;
     } else if (a == "--no-timing") {
       out->no_timing = true;
     } else if (a == "--quiet") {
@@ -181,6 +272,22 @@ int cmd_run(const RunArgs& args, bool schema_only) {
     }
     spec.consensus.engine_threads = args.engine_threads;
   }
+  if (args.faults_set) {
+    std::string error;
+    if (!apply_fault_overrides(args.faults, &spec.faults, &error)) {
+      std::cerr << "anonsim: --faults: " << error << "\n";
+      return 2;
+    }
+  }
+  if (args.watchdog_set) {
+    if (spec.family != ScenarioFamily::kConsensus) {
+      std::cerr << "anonsim: --watchdog applies to consensus specs, not "
+                   "family \""
+                << to_string(spec.family) << "\"\n";
+      return 2;
+    }
+    spec.consensus.watchdog_rounds = args.watchdog;
+  }
 
   ScenarioReport report;
   try {
@@ -206,6 +313,10 @@ int cmd_run(const RunArgs& args, bool schema_only) {
     if (!args.quiet) std::cout << "report written to " << args.json_out << "\n";
   } else if (args.quiet) {
     std::cout << report.to_json_string(!args.no_timing);
+  }
+  if (args.fail_undecided) {
+    for (const auto& c : report.consensus_cells)
+      if (c.report.undecided) return 4;
   }
   return 0;
 }

@@ -24,9 +24,15 @@ std::string ConsensusReport::to_string() const {
      << ", agreement=" << (agreement ? "ok" : "VIOLATED")
      << ", validity=" << (validity ? "ok" : "VIOLATED");
   if (value) os << ", value=" << value->to_string();
+  if (undecided) os << ", undecided";
   os << ", rounds=" << rounds_executed
      << ", last_decision_r=" << last_decision_round << ", msgs=" << deliveries
-     << ", bytes=" << bytes_sent << "}";
+     << ", bytes=" << bytes_sent;
+  if (fault_drops > 0 || fault_dups > 0)
+    os << ", fault_drops=" << fault_drops << ", fault_dups=" << fault_dups;
+  if (inbox_overflow_dropped > 0)
+    os << ", inbox_dropped=" << inbox_overflow_dropped;
+  os << "}";
   return os.str();
 }
 
@@ -73,19 +79,34 @@ ConsensusReport run_consensus(ConsensusAlgo algo, const ConsensusConfig& cfg,
                      cfg.backend == ConsensusBackend::kExpanded,
                  "schedule overrides run on the expanded backend");
 
+  // The fault plan is compiled per run on this frame (configs are copied
+  // into sweep grids, so it cannot live on the config), and handed to the
+  // engines by pointer via a copied option set.
+  const FaultPlan fault_plan(cfg.faults, cfg.net.seed, cfg.env.n, &delays);
+  LockstepOptions net_opt = cfg.net;
+  if (fault_plan.active()) net_opt.faults = &fault_plan;
+
+  bool undecided = false;
+  auto drive = [&](auto& net) {
+    return run_decided_with_watchdog(net, cfg.watchdog_rounds, &undecided);
+  };
+  auto stamp = [&](ConsensusReport rep) {
+    rep.undecided = undecided;
+    return rep;
+  };
+
   if (cfg.backend == ConsensusBackend::kCohort) {
     ANON_CHECK_MSG(!cfg.validate_env,
                    "the cohort backend records no trace to certify: set "
                    "validate_env = false");
-    const CohortOptions opt = CohortOptions::from(cfg.net);
+    const CohortOptions opt = CohortOptions::from(net_opt);
     if (algo == ConsensusAlgo::kEs) {
       CohortNet<EsMessage> net(
           groups_by_initial_value<EsMessage>(
               cfg.initial,
               [](const Value& v) { return std::make_unique<EsConsensus>(v); }),
           delays, cfg.crashes, opt);
-      return finish_report(net, cfg, net.run_until_all_correct_decided(),
-                           trace_out);
+      return stamp(finish_report(net, cfg, drive(net), trace_out));
     }
     HistoryArena arena;
     CohortNet<EssMessage> net(
@@ -95,8 +116,7 @@ ConsensusReport run_consensus(ConsensusAlgo algo, const ConsensusConfig& cfg,
                                                   EssConsensus>(v, &arena);
                                             }),
         delays, cfg.crashes, opt);
-    return finish_report(net, cfg, net.run_until_all_correct_decided(),
-                         trace_out);
+    return stamp(finish_report(net, cfg, drive(net), trace_out));
   }
 
   if (algo == ConsensusAlgo::kEs) {
@@ -104,9 +124,8 @@ ConsensusReport run_consensus(ConsensusAlgo algo, const ConsensusConfig& cfg,
     autos.reserve(cfg.env.n);
     for (const Value& v : cfg.initial)
       autos.push_back(std::make_unique<EsConsensus>(v));
-    LockstepNet<EsMessage> net(std::move(autos), delays, cfg.crashes, cfg.net);
-    return finish_report(net, cfg, net.run_until_all_correct_decided(),
-                         trace_out);
+    LockstepNet<EsMessage> net(std::move(autos), delays, cfg.crashes, net_opt);
+    return stamp(finish_report(net, cfg, drive(net), trace_out));
   }
 
   HistoryArena arena;
@@ -114,9 +133,8 @@ ConsensusReport run_consensus(ConsensusAlgo algo, const ConsensusConfig& cfg,
   autos.reserve(cfg.env.n);
   for (const Value& v : cfg.initial)
     autos.push_back(std::make_unique<EssConsensus>(v, &arena));
-  LockstepNet<EssMessage> net(std::move(autos), delays, cfg.crashes, cfg.net);
-  return finish_report(net, cfg, net.run_until_all_correct_decided(),
-                       trace_out);
+  LockstepNet<EssMessage> net(std::move(autos), delays, cfg.crashes, net_opt);
+  return stamp(finish_report(net, cfg, drive(net), trace_out));
 }
 
 std::vector<ConsensusReport> run_consensus_sweep(

@@ -13,6 +13,7 @@
 
 #include "common/value.hpp"
 #include "core/sweep.hpp"
+#include "env/faults.hpp"
 #include "env/generate.hpp"
 #include "env/validate.hpp"
 #include "net/lockstep.hpp"
@@ -45,6 +46,14 @@ struct ConsensusConfig {
   // schedules — bivalent two-camp, hostile-MS — enter here).  Expanded
   // backend only; must outlive the run.
   const DelayModel* delays = nullptr;
+  // Fault plan parameters (env/faults.hpp), by value: configs are copied
+  // into sweep grids, so the runner compiles the FaultPlan per run on its
+  // own frame.  Inactive (the default) costs nothing.
+  FaultParams faults;
+  // Watchdog: stop a run that makes no decision progress for this many
+  // consecutive rounds and report it `undecided` (graceful degradation for
+  // fault-heavy cells that would otherwise spin to max_rounds).  0 = off.
+  Round watchdog_rounds = 0;
 };
 
 struct ConsensusReport {
@@ -58,9 +67,17 @@ struct ConsensusReport {
   // Run metrics.
   Round rounds_executed = 0;
   bool hit_round_limit = false;
+  // The watchdog stopped the run with correct processes still undecided
+  // (set only by the watchdog — a plain max_rounds exhaustion keeps
+  // reporting through hit_round_limit as before).
+  bool undecided = false;
   std::uint64_t deliveries = 0;
   std::uint64_t sends = 0;
   std::uint64_t bytes_sent = 0;
+  // Fault-plan metrics (0 on the fault-free network).
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_dups = 0;
+  std::uint64_t inbox_overflow_dropped = 0;
   // Environment certification of the recorded trace.
   EnvCheckResult env_check;
   // Cohort backend only: how far the run collapsed (0/0 for expanded).
@@ -109,7 +126,42 @@ ConsensusReport summarize_consensus_run(Net& net,
     rep.cohorts_max = net.stats().max_cohorts;
     rep.cohorts_final = net.stats().cohorts;
   }
+  if constexpr (requires { net.fault_drops(); }) {
+    rep.fault_drops = net.fault_drops();
+    rep.fault_dups = net.fault_dups();
+    rep.inbox_overflow_dropped = net.inbox_overflow_dropped();
+  }
   return rep;
+}
+
+// Drives a net until all correct processes decide, with an optional
+// no-progress watchdog: if no process reaches a new decision for
+// `watchdog_rounds` consecutive engine rounds, the run stops and
+// `*undecided` is set.  watchdog_rounds == 0 is the plain driver.
+template <typename Net>
+RunResult run_decided_with_watchdog(Net& net, Round watchdog_rounds,
+                                    bool* undecided) {
+  if (watchdog_rounds == 0) return net.run_until_all_correct_decided();
+  std::size_t decided_count = 0;
+  Round last_progress = net.round();
+  bool fired = false;
+  const RunResult run = net.run([&](const Net& n) {
+    if (n.all_correct_decided()) return true;
+    std::size_t count = 0;
+    for (ProcId p = 0; p < n.n(); ++p)
+      if (n.decision(p).has_value()) ++count;
+    if (count > decided_count) {
+      decided_count = count;
+      last_progress = n.round();
+    }
+    if (n.round() - last_progress >= watchdog_rounds) {
+      fired = true;
+      return true;
+    }
+    return false;
+  });
+  if (fired && undecided != nullptr) *undecided = true;
+  return run;
 }
 
 // `trace_out`, when given, receives the full execution trace of the run

@@ -293,18 +293,23 @@ class InboxWindow {
       if (!s.empty()) fn(k, s.materialize());
   }
 
-  // Receive a shared (interned) batch for round k.
+  // Receive a shared (interned) batch for round k.  A far-early batch
+  // arriving with the parking already at its cap is shed (a counted drop,
+  // surfaced through the engines' metrics) rather than parked — under
+  // heavy reorder/churn an over-eager peer is a degradation to report,
+  // not a reason to abort the process.
   void add_shared(SharedBatch<M> batch, Round k) {
     ANON_CHECK(k >= 1);
     const bool parked = k > cur_ + 1;
+    if (parked && parked_batches_ >= kOverflowParkLimit) {
+      ++overflow_dropped_;
+      return;
+    }
     writable_slot(k).parts.push_back(std::move(batch));
     if (parked) {
       ++parked_batches_;
       if (parked_batches_ > overflow_high_water_)
         overflow_high_water_ = parked_batches_;
-      ANON_CHECK_MSG(parked_batches_ <= kOverflowParkLimit,
-                     "far-early overflow parking grew beyond its bound "
-                     "(a peer is running away from this process's round)");
     }
   }
 
@@ -350,6 +355,8 @@ class InboxWindow {
   // unsynchronised deployments can watch for runaway peers.
   std::size_t overflow_parked() const { return parked_batches_; }
   std::size_t overflow_high_water() const { return overflow_high_water_; }
+  // Far-early batches shed at the park limit instead of parked.
+  std::size_t overflow_dropped() const { return overflow_dropped_; }
 
   // Content digest of everything still live (window slots and overflow),
   // mixing in the current round.  Equal windows digest equally; collisions
@@ -454,6 +461,7 @@ class InboxWindow {
   Round cur_ = 0;
   std::size_t parked_batches_ = 0;       // batches currently in future_
   std::size_t overflow_high_water_ = 0;  // max parked_batches_ ever
+  std::size_t overflow_dropped_ = 0;     // shed at kOverflowParkLimit
 };
 
 }  // namespace anon

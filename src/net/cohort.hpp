@@ -89,6 +89,12 @@ struct CohortOptions {
   // Merging is semantics-preserving (exact-equality checked); the knob
   // exists for the split/merge tests and for A/B-ing its cost.
   bool merge_cohorts = true;
+  // Optional fault plan (env/faults.hpp), aliased for the run's lifetime.
+  // An active plan forces per-link scheduling every round (fates vary by
+  // link), so fault asymmetries split cohorts through the existing
+  // signature-partition machinery — degradation is principled, not
+  // approximate.
+  const FaultPlan* faults = nullptr;
 
   // The lock-step option set, minus the trace knobs: the cohort engine
   // records no per-process trace (a trace is exactly the per-index
@@ -100,6 +106,7 @@ struct CohortOptions {
     c.relay_partial_broadcast = o.relay_partial_broadcast;
     c.relay_extra_delay = o.relay_extra_delay;
     c.halt_policy = o.halt_policy;
+    c.faults = o.faults;
     return c;
   }
 };
@@ -188,11 +195,23 @@ class CohortNet {
   std::uint64_t sends() const { return sends_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
+  // Fault-plan metrics, matching LockstepNet's accounting exactly: drops
+  // and duplicates per message on the link; `sends` counts attempts.
+  std::uint64_t fault_drops() const { return fault_drops_; }
+  std::uint64_t fault_dups() const { return fault_dups_; }
+
   std::size_t inbox_overflow_high_water() const {
     std::size_t hw = 0;
     for (const auto& c : cohorts_)
       hw = std::max(hw, c->rep->inboxes().overflow_high_water());
     return hw;
+  }
+
+  std::size_t inbox_overflow_dropped() const {
+    std::size_t dropped = 0;
+    for (const auto& c : cohorts_)
+      dropped += c->rep->inboxes().overflow_dropped();
+    return dropped;
   }
 
   // The representative of p's current equivalence class (introspection).
@@ -281,7 +300,12 @@ class CohortNet {
       crashing[cohort_of_[p]].push_back(p);
     }
 
-    const std::optional<Round> ud = delays_.uniform_delay(k);
+    // An active fault plan makes every round link-asymmetric; forcing the
+    // per-link branch routes faults through the split machinery.
+    const std::optional<Round> ud =
+        (opt_.faults != nullptr && opt_.faults->active())
+            ? std::nullopt
+            : delays_.uniform_delay(k);
     bool structural = false;
     for (std::uint32_t ci = 0; ci < cohorts_.size(); ++ci) {
       Cohort& c = *cohorts_[ci];
@@ -356,13 +380,29 @@ class CohortNet {
             continue;
           for (ProcId q = 0; q < n_; ++q) {
             if (q == p) continue;
-            const Round d = delays_.delay(k, p, q);
+            Round d = delays_.delay(k, p, q);
             sends_ += msg_count;
             bytes_sent_ += batch_bytes;
+            bool dup = false;
+            Round dup_delay = 1;
+            if (opt_.faults != nullptr && opt_.faults->active()) {
+              const LinkFate f = opt_.faults->fate(k, p, q);
+              if (!f.deliver) {
+                fault_drops_ += msg_count;
+                continue;
+              }
+              d += f.extra_delay;
+              if (f.duplicate) {
+                fault_dups_ += msg_count;
+                dup = true;
+                dup_delay = f.dup_delay;
+              }
+            }
             Pending e;
             e.payload = payload;
             e.msg_round = k;
             e.receiver = q;
+            if (dup) calendar_.schedule(k + d + dup_delay, Pending(e));
             calendar_.schedule(k + d, std::move(e));
           }
         }
@@ -382,10 +422,26 @@ class CohortNet {
           }
           sends_ += msg_count;
           bytes_sent_ += batch_bytes;
+          bool dup = false;
+          Round dup_delay = 1;
+          if (opt_.faults != nullptr && opt_.faults->active()) {
+            const LinkFate f = opt_.faults->fate(k, p, q);
+            if (!f.deliver) {
+              fault_drops_ += msg_count;
+              continue;
+            }
+            d += f.extra_delay;
+            if (f.duplicate) {
+              fault_dups_ += msg_count;
+              dup = true;
+              dup_delay = f.dup_delay;
+            }
+          }
           Pending e;
           e.payload = payload;
           e.msg_round = k;
           e.receiver = q;
+          if (dup) calendar_.schedule(k + d + dup_delay, Pending(e));
           calendar_.schedule(k + d, std::move(e));
         }
         finalize_death(c, p, k);
@@ -636,6 +692,8 @@ class CohortNet {
   std::uint64_t deliveries_ = 0;
   std::uint64_t sends_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t fault_drops_ = 0;
+  std::uint64_t fault_dups_ = 0;
 
   void sort_and_reindex() { purge_sort_reindex(); }
 };

@@ -54,6 +54,7 @@
 #include "core/calendar.hpp"
 #include "core/sweep.hpp"
 #include "core/worker_pool.hpp"
+#include "env/faults.hpp"
 #include "giraf/process.hpp"
 #include "giraf/trace.hpp"
 #include "net/schedule.hpp"
@@ -89,6 +90,12 @@ struct LockstepOptions {
   // not fit in memory (n = 10^5 is ~10^10 link entries per round on the
   // serial engine) on one thread.
   std::size_t engine_shards = 0;
+  // Optional fault plan (env/faults.hpp), aliased for the run's lifetime;
+  // nullptr = the fault-free reliable network.  When active, the sharded
+  // engine forces the per-link path (fault fates are per-link, so uniform
+  // aggregation would be wrong) — fates are pure in (round, sender,
+  // receiver), so reports stay byte-identical at every thread/shard count.
+  const FaultPlan* faults = nullptr;
 };
 
 struct RunResult {
@@ -157,6 +164,13 @@ class LockstepNet {
   std::uint64_t sends() const { return sends_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
+  // Messages dropped / duplicated by the fault plan.  `sends` counts every
+  // attempted send (drops included), so sends == deliveries-bound traffic
+  // plus fault_drops on a quiescent network; duplicates are injected by
+  // the network, not the sender, and do not inflate `sends`.
+  std::uint64_t fault_drops() const { return fault_drops_; }
+  std::uint64_t fault_dups() const { return fault_dups_; }
+
   // Shards the engine actually runs (1 = the serial reference path).
   std::size_t engine_shards() const {
     return shards_.empty() ? 1 : shards_.size();
@@ -171,6 +185,15 @@ class LockstepNet {
     for (const auto& p : procs_)
       hw = std::max(hw, p->inboxes().overflow_high_water());
     return hw;
+  }
+
+  // Far-early batches the inbox windows shed at the park limit instead of
+  // parking (graceful degradation under heavy reorder/churn — a counted
+  // drop, never an abort).
+  std::size_t inbox_overflow_dropped() const {
+    std::size_t dropped = 0;
+    for (const auto& p : procs_) dropped += p->inboxes().overflow_dropped();
+    return dropped;
   }
 
   // Runs until stop(net) is true (checked after deliveries, before the next
@@ -256,6 +279,7 @@ class LockstepNet {
     std::vector<DeliveryEvent> delivery_buf;  // sorted at the barrier
     std::vector<Exact> due_scratch;          // recycled take_due buffer
     std::uint64_t sends = 0, bytes = 0, deliveries = 0;
+    std::uint64_t fdrops = 0, fdups = 0;  // folded at the merge barrier
   };
 
   void init_shards() {
@@ -371,6 +395,23 @@ class LockstepNet {
       // batches keep the sends/bytes ratio honest (E10).
       sends_ += payload->size();
       bytes_sent_ += batch_bytes;
+      if (opt_.faults != nullptr && opt_.faults->active()) {
+        const LinkFate f = opt_.faults->fate(k, p, q);
+        if (!f.deliver) {
+          fault_drops_ += payload->size();
+          continue;
+        }
+        d += f.extra_delay;
+        calendar_.schedule(k + d, Pending{q, p, k, payload});
+        if (f.duplicate) {
+          // dup_delay >= 1: the copy lands in a later delivery round, so
+          // it is observable (same-round copies dedup away in the set
+          // view) and the per-round trace key stays unique.
+          fault_dups_ += payload->size();
+          calendar_.schedule(k + d + f.dup_delay, Pending{q, p, k, payload});
+        }
+        continue;
+      }
       calendar_.schedule(k + d, Pending{q, p, k, payload});
     }
   }
@@ -378,7 +419,12 @@ class LockstepNet {
   // ---- sharded path: end-of-round wave --------------------------------------
 
   void eor_wave(Round next) {
-    const std::optional<Round> ud = delays_.uniform_delay(next);
+    // Fault fates vary per link, so an active plan forces the per-link
+    // path — the uniform group aggregation assumes every link agrees.
+    const std::optional<Round> ud =
+        (opt_.faults != nullptr && opt_.faults->active())
+            ? std::nullopt
+            : delays_.uniform_delay(next);
     const bool per_link_trace = opt_.record_trace && opt_.record_deliveries;
     WorkerPool::shared().parallel_for(
         shards_.size(),
@@ -444,6 +490,21 @@ class LockstepNet {
       }
       sh.sends += payload->size();
       sh.bytes += batch_bytes;
+      if (opt_.faults != nullptr && opt_.faults->active()) {
+        const LinkFate f = opt_.faults->fate(k, p, q);
+        if (!f.deliver) {
+          sh.fdrops += payload->size();
+          continue;
+        }
+        d += f.extra_delay;
+        sh.outbox[shard_of(q)].push_back({k + d, Exact{q, p, k, payload}});
+        if (f.duplicate) {
+          sh.fdups += payload->size();
+          sh.outbox[shard_of(q)].push_back(
+              {k + d + f.dup_delay, Exact{q, p, k, payload}});
+        }
+        continue;
+      }
       sh.outbox[shard_of(q)].push_back({k + d, Exact{q, p, k, payload}});
     }
   }
@@ -458,7 +519,9 @@ class LockstepNet {
       sh.eor_buf.clear();
       sends_ += sh.sends;
       bytes_sent_ += sh.bytes;
-      sh.sends = sh.bytes = 0;
+      fault_drops_ += sh.fdrops;
+      fault_dups_ += sh.fdups;
+      sh.sends = sh.bytes = sh.fdrops = sh.fdups = 0;
     }
 
     // Canonicalization: the first shard (in shard order) to intern a given
@@ -646,6 +709,8 @@ class LockstepNet {
   std::uint64_t deliveries_ = 0;
   std::uint64_t sends_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t fault_drops_ = 0;
+  std::uint64_t fault_dups_ = 0;
 };
 
 }  // namespace anon

@@ -124,6 +124,38 @@ ScenarioSpec e13_spec(const std::string& name, std::size_t n,
   return spec;
 }
 
+// E14: the fault-injection survival map — an E1-shaped ES run with a seeded
+// loss/duplication/reorder/omission/churn plan (env/faults.hpp) layered over
+// the env schedule, the no-progress watchdog armed so fault-starved cells
+// degrade to a graceful `undecided` instead of spinning to max_rounds.  With
+// the planned source exempt (the default) the safety contract holds at any
+// intensity and only termination degrades; the -hostile variant clears the
+// exemption to map where the guarantees break (bench_e14_faults sweeps the
+// full intensity × env grid).
+ScenarioSpec e14_spec(const std::string& name, std::size_t n,
+                      std::size_t seed_count, double intensity,
+                      bool exempt_source) {
+  ScenarioSpec spec = base_spec(name, ScenarioFamily::kConsensus, seed_count);
+  spec.env_kind = EnvKind::kES;
+  spec.n = n;
+  spec.stabilization = 4;
+  spec.initial.kind = ValueGenSpec::Kind::kCycle;
+  spec.initial.period = 8;
+  spec.faults.loss_prob = intensity;
+  spec.faults.dup_prob = intensity / 2;
+  spec.faults.dup_extra_delay = 2;
+  spec.faults.reorder_prob = intensity;
+  spec.faults.max_extra_delay = 3;
+  spec.faults.omission_senders = {3};
+  spec.faults.churn = {{5, 8, 20}};
+  spec.faults.exempt_source = exempt_source;
+  spec.consensus.algo = ConsensusAlgo::kEs;
+  spec.consensus.max_rounds = 4000;
+  spec.consensus.watchdog_rounds = 500;
+  spec.consensus.record_trace = false;
+  return spec;
+}
+
 // --- omega -------------------------------------------------------------------
 
 ScenarioSpec e3_omega_spec() {
@@ -292,6 +324,13 @@ void register_builtin_presets(ScenarioRegistry& reg) {
   add("E13 sharded intra-run E1-shaped run, n=4096, 8 mid-flight crashes",
       e13_spec("e13-sharded", 4096, 8));
   add("E13 smoke cell: n=256, 4 crashes", e13_spec("e13-fast", 256, 4));
+  add("E14 tracked workload: fault survival map — ES n=32 under seeded "
+      "loss/dup/reorder + omission + churn, source exempt, watchdog 500",
+      e14_spec("e14-survival", 32, 10, 0.15, true));
+  add("E14 smoke cell: n=8, intensity 0.1, 3 seeds",
+      e14_spec("e14-fast", 8, 3, 0.1, true));
+  add("E14 hostile variant: source exemption OFF — maps where safety breaks",
+      e14_spec("e14-hostile", 8, 5, 0.3, false));
   add("The quickstart scenario: 5 anonymous processes, one mid-run crash "
       "(examples/quickstart.cpp)",
       quickstart_spec());

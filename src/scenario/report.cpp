@@ -25,9 +25,18 @@ JsonValue consensus_cell_json(const ConsensusCellOutcome& c,
   v.set("last_decision_round", JsonValue::uint(r.last_decision_round));
   v.set("rounds", JsonValue::uint(r.rounds_executed));
   v.set("hit_round_limit", JsonValue::boolean(r.hit_round_limit));
+  // Conditional (like cohorts_max below): fault-free cells keep their
+  // pre-fault-layer report bytes, so every existing golden is unchanged.
+  if (r.undecided) v.set("outcome", JsonValue::str("undecided"));
   v.set("deliveries", JsonValue::uint(r.deliveries));
   v.set("sends", JsonValue::uint(r.sends));
   v.set("bytes", JsonValue::uint(r.bytes_sent));
+  if (r.fault_drops > 0 || r.fault_dups > 0) {
+    v.set("fault_drops", JsonValue::uint(r.fault_drops));
+    v.set("fault_dups", JsonValue::uint(r.fault_dups));
+  }
+  if (r.inbox_overflow_dropped > 0)
+    v.set("inbox_overflow_dropped", JsonValue::uint(r.inbox_overflow_dropped));
   if (r.cohorts_max > 0) {
     v.set("cohorts_max", JsonValue::uint(r.cohorts_max));
     v.set("cohorts_final", JsonValue::uint(r.cohorts_final));
@@ -188,15 +197,17 @@ std::string ScenarioReport::summary() const {
   const std::size_t k = cells();
   switch (family) {
     case ScenarioFamily::kConsensus: {
-      std::size_t decided = 0, agree = 0;
+      std::size_t decided = 0, agree = 0, undecided = 0;
       Round last = 0;
       for (const auto& c : consensus_cells) {
         decided += c.report.all_correct_decided ? 1 : 0;
         agree += c.report.agreement ? 1 : 0;
+        undecided += c.report.undecided ? 1 : 0;
         last = std::max(last, c.report.last_decision_round);
       }
       os << decided << "/" << k << " decided, " << agree << "/" << k
          << " agreement, last decision round " << last;
+      if (undecided > 0) os << ", " << undecided << " undecided (watchdog)";
       break;
     }
     case ScenarioFamily::kOmega: {

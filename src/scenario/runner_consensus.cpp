@@ -29,6 +29,8 @@ ConsensusConfig config_from_spec(const ScenarioSpec& spec, std::uint64_t seed) {
   cfg.net.engine_threads = c.engine_threads;
   cfg.validate_env = c.validate_env;
   cfg.backend = c.backend;
+  cfg.faults = spec.faults;
+  cfg.watchdog_rounds = c.watchdog_rounds;
   return cfg;
 }
 

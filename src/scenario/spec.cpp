@@ -251,6 +251,44 @@ JsonValue encode_crashes(const CrashGenSpec& c) {
   return v;
 }
 
+// Encoded field-by-field against the defaults (and only attached to the
+// env object when anything differs), so every pre-existing spec and golden
+// is byte-identical and encode(decode(encode(s))) stays canonical.
+JsonValue encode_faults(const FaultParams& f) {
+  const FaultParams defaults;
+  JsonValue v = JsonValue::object();
+  if (f.seed != defaults.seed) v.set("seed", JsonValue::uint(f.seed));
+  if (f.loss_prob != defaults.loss_prob)
+    v.set("loss_prob", JsonValue::number(f.loss_prob));
+  if (f.dup_prob != defaults.dup_prob)
+    v.set("dup_prob", JsonValue::number(f.dup_prob));
+  if (f.dup_extra_delay != defaults.dup_extra_delay)
+    v.set("dup_extra_delay", JsonValue::uint(f.dup_extra_delay));
+  if (f.reorder_prob != defaults.reorder_prob)
+    v.set("reorder_prob", JsonValue::number(f.reorder_prob));
+  if (f.max_extra_delay != defaults.max_extra_delay)
+    v.set("max_extra_delay", JsonValue::uint(f.max_extra_delay));
+  if (!f.omission_senders.empty()) {
+    JsonValue arr = JsonValue::array();
+    for (ProcId p : f.omission_senders) arr.push(JsonValue::uint(p));
+    v.set("omission_senders", std::move(arr));
+  }
+  if (!f.churn.empty()) {
+    JsonValue arr = JsonValue::array();
+    for (const ChurnSpec& c : f.churn) {
+      JsonValue o = JsonValue::object();
+      o.set("process", JsonValue::uint(c.process));
+      o.set("leave", JsonValue::uint(c.leave));
+      if (c.rejoin != 0) o.set("rejoin", JsonValue::uint(c.rejoin));
+      arr.push(std::move(o));
+    }
+    v.set("churn", std::move(arr));
+  }
+  if (f.exempt_source != defaults.exempt_source)
+    v.set("exempt_source", JsonValue::boolean(f.exempt_source));
+  return v;
+}
+
 JsonValue encode_consensus(const ConsensusSpecSection& c) {
   JsonValue v = JsonValue::object();
   v.set("algo", JsonValue::str(enum_name(kAlgoNames, c.algo)));
@@ -265,6 +303,8 @@ JsonValue encode_consensus(const ConsensusSpecSection& c) {
     v.set("horizon", JsonValue::uint(c.horizon));
   v.set("gc_counters", JsonValue::boolean(c.gc_counters));
   v.set("max_rounds", JsonValue::uint(c.max_rounds));
+  if (c.watchdog_rounds != 0)
+    v.set("watchdog_rounds", JsonValue::uint(c.watchdog_rounds));
   v.set("record_trace", JsonValue::boolean(c.record_trace));
   v.set("record_deliveries", JsonValue::boolean(c.record_deliveries));
   v.set("validate_env", JsonValue::boolean(c.validate_env));
@@ -372,6 +412,8 @@ JsonValue encode_scenario_spec(const ScenarioSpec& spec) {
   env.set("stabilization", JsonValue::uint(spec.stabilization));
   env.set("max_delay", JsonValue::uint(spec.max_delay));
   env.set("timely_prob", JsonValue::number(spec.timely_prob));
+  if (spec.faults != FaultParams{})
+    env.set("faults", encode_faults(spec.faults));
   doc.set("env", std::move(env));
 
   if (family_has_workload(spec.family)) {
@@ -601,12 +643,56 @@ void decode_crashes(Dec& d, const JsonValue& obj, const std::string& path,
       d.err(path + "." + key, "only valid for kind \"random\"");
 }
 
+void decode_faults(Dec& d, const JsonValue& obj, const std::string& path,
+                   FaultParams* out) {
+  d.check_keys(obj, path,
+               {"seed", "loss_prob", "dup_prob", "dup_extra_delay",
+                "reorder_prob", "max_extra_delay", "omission_senders", "churn",
+                "exempt_source"});
+  d.get_uint(obj, path, "seed", &out->seed);
+  d.get_double(obj, path, "loss_prob", &out->loss_prob);
+  d.get_double(obj, path, "dup_prob", &out->dup_prob);
+  d.get_uint(obj, path, "dup_extra_delay", &out->dup_extra_delay);
+  d.get_double(obj, path, "reorder_prob", &out->reorder_prob);
+  d.get_uint(obj, path, "max_extra_delay", &out->max_extra_delay);
+  if (const JsonValue* arr = d.array_field(obj, path, "omission_senders")) {
+    out->omission_senders.clear();
+    for (std::size_t i = 0; i < arr->items().size(); ++i) {
+      const JsonValue& e = arr->items()[i];
+      if (!e.is_uint()) {
+        d.err(path + ".omission_senders[" + std::to_string(i) + "]",
+              "must be a non-negative integer");
+        continue;
+      }
+      out->omission_senders.push_back(static_cast<ProcId>(e.as_uint()));
+    }
+  }
+  if (const JsonValue* arr = d.array_field(obj, path, "churn")) {
+    out->churn.clear();
+    for (std::size_t i = 0; i < arr->items().size(); ++i) {
+      const JsonValue& e = arr->items()[i];
+      const std::string epath = path + ".churn[" + std::to_string(i) + "]";
+      if (!e.is_object()) {
+        d.err(epath, "must be an object {process, leave, rejoin}");
+        continue;
+      }
+      d.check_keys(e, epath, {"process", "leave", "rejoin"});
+      ChurnSpec c;
+      d.get_uint(e, epath, "process", &c.process);
+      d.get_uint(e, epath, "leave", &c.leave);
+      d.get_uint(e, epath, "rejoin", &c.rejoin);
+      out->churn.push_back(c);
+    }
+  }
+  d.get_bool(obj, path, "exempt_source", &out->exempt_source);
+}
+
 void decode_consensus(Dec& d, const JsonValue& obj, const std::string& path,
                       ConsensusSpecSection* out) {
   d.check_keys(obj, path,
                {"algo", "backend", "engine_threads", "schedule", "probe",
-                "horizon", "gc_counters", "max_rounds", "record_trace",
-                "record_deliveries", "validate_env"});
+                "horizon", "gc_counters", "max_rounds", "watchdog_rounds",
+                "record_trace", "record_deliveries", "validate_env"});
   d.get_enum(obj, path, "algo", kAlgoNames, &out->algo);
   d.get_enum(obj, path, "backend", kBackendNames, &out->backend);
   d.get_uint(obj, path, "engine_threads", &out->engine_threads);
@@ -615,6 +701,7 @@ void decode_consensus(Dec& d, const JsonValue& obj, const std::string& path,
   d.get_uint(obj, path, "horizon", &out->horizon);
   d.get_bool(obj, path, "gc_counters", &out->gc_counters);
   d.get_uint(obj, path, "max_rounds", &out->max_rounds);
+  d.get_uint(obj, path, "watchdog_rounds", &out->watchdog_rounds);
   d.get_bool(obj, path, "record_trace", &out->record_trace);
   d.get_bool(obj, path, "record_deliveries", &out->record_deliveries);
   d.get_bool(obj, path, "validate_env", &out->validate_env);
@@ -765,12 +852,15 @@ SpecDecodeResult decode_scenario_spec(const JsonValue& doc) {
   }
   if (const JsonValue* env = d.object_field(doc, "", "env")) {
     d.check_keys(*env, "env",
-                 {"kind", "n", "stabilization", "max_delay", "timely_prob"});
+                 {"kind", "n", "stabilization", "max_delay", "timely_prob",
+                  "faults"});
     d.get_enum(*env, "env", "kind", kEnvKindNames, &spec.env_kind);
     d.get_uint(*env, "env", "n", &spec.n);
     d.get_uint(*env, "env", "stabilization", &spec.stabilization);
     d.get_uint(*env, "env", "max_delay", &spec.max_delay);
     d.get_double(*env, "env", "timely_prob", &spec.timely_prob);
+    if (const JsonValue* faults = d.object_field(*env, "env", "faults"))
+      decode_faults(d, *faults, "env.faults", &spec.faults);
   }
   if (const JsonValue* workload = d.object_field(doc, "", "workload")) {
     if (!family_has_workload(spec.family)) {
@@ -867,6 +957,50 @@ std::vector<SpecError> validate_scenario_spec(const ScenarioSpec& spec) {
   if (spec.n == 0) err("env.n", "must be >= 1");
   if (spec.timely_prob < 0 || spec.timely_prob > 1)
     err("env.timely_prob", "must be in [0, 1]");
+
+  // Fault plan consistency (env.faults).
+  {
+    const FaultParams& f = spec.faults;
+    for (const auto& [key, prob] :
+         {std::pair<const char*, double>{"loss_prob", f.loss_prob},
+          {"dup_prob", f.dup_prob},
+          {"reorder_prob", f.reorder_prob}})
+      if (prob < 0 || prob > 1)
+        err(std::string("env.faults.") + key, "must be in [0, 1]");
+    if (f.dup_extra_delay == 0)
+      err("env.faults.dup_extra_delay",
+          "must be >= 1 (inbox views are sets — a same-round copy would be "
+          "invisible)");
+    if (f.reorder_prob > 0 && f.max_extra_delay == 0)
+      err("env.faults.max_extra_delay", "must be >= 1 when reorder_prob > 0");
+    for (std::size_t i = 0; i < f.omission_senders.size(); ++i)
+      if (f.omission_senders[i] >= spec.n)
+        err("env.faults.omission_senders[" + std::to_string(i) + "]",
+            "process " + std::to_string(f.omission_senders[i]) +
+                " out of range (env.n = " + std::to_string(spec.n) + ")");
+    for (std::size_t i = 0; i < f.churn.size(); ++i) {
+      const ChurnSpec& c = f.churn[i];
+      const std::string path = "env.faults.churn[" + std::to_string(i) + "]";
+      if (c.process >= spec.n)
+        err(path + ".process", "process " + std::to_string(c.process) +
+                                   " out of range (env.n = " +
+                                   std::to_string(spec.n) + ")");
+      if (c.leave == 0) err(path + ".leave", "rounds are 1-based");
+      if (c.rejoin != 0 && c.rejoin <= c.leave)
+        err(path + ".rejoin",
+            "must be > leave (or 0 for a permanent departure)");
+    }
+    if (f.active()) {
+      if (spec.family != ScenarioFamily::kConsensus)
+        err("env.faults", "fault plans are wired into the consensus family");
+      else if (spec.consensus.schedule != ConsensusSpecSection::Schedule::kEnv)
+        err("env.faults",
+            "fault plans run on the env schedule (the adversarial schedules "
+            "are their own fault model)");
+      else if (spec.consensus.probe != ConsensusSpecSection::Probe::kDecision)
+        err("env.faults", "fault plans observe the decision probe");
+    }
+  }
 
   // Workload consistency.
   if (family_has_initial(spec.family)) {

@@ -110,6 +110,10 @@ struct ConsensusSpecSection {
   bool record_trace = true;
   bool record_deliveries = false;
   bool validate_env = false;
+  // No-progress watchdog (ConsensusConfig::watchdog_rounds): stop a run
+  // that reaches no new decision for this many rounds and report the cell
+  // `undecided`.  0 = off (the default keeps existing specs unchanged).
+  Round watchdog_rounds = 0;
 
   friend bool operator==(const ConsensusSpecSection&,
                          const ConsensusSpecSection&) = default;
@@ -204,6 +208,9 @@ struct ScenarioSpec {
   Round stabilization = 0;
   Round max_delay = 3;
   double timely_prob = 0.25;
+  // Fault plan layered over the environment (env/faults.hpp); inactive by
+  // default and only encoded when active, so existing specs are unchanged.
+  FaultParams faults;
 
   // Workload.
   ValueGenSpec initial;   // consensus / omega proposals

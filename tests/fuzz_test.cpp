@@ -155,6 +155,63 @@ TEST_P(FuzzSweep, RandomConsensusConfigsKeepSafety) {
   }
 }
 
+TEST_P(FuzzSweep, RandomFaultPlansKeepSafetyAndNeverAbort) {
+  // Mutated fault plans over random environments: with the planned source
+  // exempt (the default), agreement and validity must survive ANY plan the
+  // mutator produces, runs must end (watchdog) instead of spinning, and
+  // nothing may CHECK-abort — overflow and starvation degrade to counted
+  // drops and `undecided`.
+  Rng rng(GetParam() * 37 + 11);
+  for (int iter = 0; iter < 3; ++iter) {
+    ConsensusConfig cfg;
+    cfg.env.kind = rng.chance(0.5) ? EnvKind::kES : EnvKind::kESS;
+    cfg.env.n = 2 + rng.below(10);
+    cfg.env.seed = rng.next_u64();
+    cfg.env.stabilization = rng.below(12);
+    cfg.env.timely_prob = rng.real();
+    cfg.env.max_delay = 1 + rng.below(4);
+    cfg.initial = random_values(cfg.env.n, rng.next_u64(), -9, 9);
+    const std::size_t f = rng.below(cfg.env.n);
+    if (f > 0)
+      cfg.crashes = random_crashes(cfg.env.n, f, 1 + rng.below(12),
+                                   rng.next_u64());
+    cfg.net.max_rounds = 4000;
+    cfg.watchdog_rounds = 400;
+    cfg.net.record_deliveries = false;
+    cfg.validate_env = false;  // the cohort backend records no trace
+    // The mutator: each fault dimension flips on independently, sometimes
+    // at hostile intensity.
+    cfg.faults.seed = rng.chance(0.5) ? rng.next_u64() : 0;
+    if (rng.chance(0.6)) cfg.faults.loss_prob = rng.real() * 0.6;
+    if (rng.chance(0.5)) cfg.faults.dup_prob = rng.real() * 0.5;
+    cfg.faults.dup_extra_delay = 1 + rng.below(4);
+    if (rng.chance(0.5)) cfg.faults.reorder_prob = rng.real() * 0.5;
+    cfg.faults.max_extra_delay = 1 + rng.below(6);
+    if (rng.chance(0.3))
+      cfg.faults.omission_senders.push_back(rng.below(cfg.env.n));
+    if (rng.chance(0.3)) {
+      ChurnSpec ch;
+      ch.process = static_cast<ProcId>(rng.below(cfg.env.n));
+      ch.leave = 1 + static_cast<Round>(rng.below(10));
+      ch.rejoin = rng.chance(0.5)
+                      ? 0
+                      : ch.leave + 1 + static_cast<Round>(rng.below(10));
+      cfg.faults.churn.push_back(ch);
+    }
+    if (rng.chance(0.25)) cfg.backend = ConsensusBackend::kCohort;
+    const auto algo =
+        cfg.env.kind == EnvKind::kES ? ConsensusAlgo::kEs : ConsensusAlgo::kEss;
+    auto rep = run_consensus(algo, cfg);
+    EXPECT_TRUE(rep.agreement) << rep.to_string();
+    EXPECT_TRUE(rep.validity) << rep.to_string();
+    // Liveness is allowed to degrade, but only gracefully: a run that did
+    // not decide must have been stopped by the watchdog, not the limit.
+    if (!rep.all_correct_decided) {
+      EXPECT_TRUE(rep.undecided || rep.hit_round_limit) << rep.to_string();
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 

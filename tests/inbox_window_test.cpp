@@ -144,15 +144,29 @@ TEST(InboxWindow, OverflowParkingIsCountedAndDrainsOnAdvance) {
   EXPECT_EQ(w.at(5).count(vs({2})), 1u);
 }
 
-TEST(InboxWindow, OverflowParkingIsBounded) {
-  // The regression this satellite adds: a peer running away from us must
-  // hit the park limit instead of growing the overflow map forever.
+TEST(InboxWindow, OverflowParkingShedsGracefullyAtTheLimit) {
+  // A peer running away from us hits the park limit — and the batch is
+  // shed with a counted drop, NOT a CHECK abort (the pre-fault-layer
+  // behavior).  Under heavy reorder/churn an over-eager peer is a
+  // degradation to report, not a reason to kill the process.
   InboxWindow<ValueSet> w;
   w.advance_to(1);
   for (std::size_t i = 0; i < InboxWindow<ValueSet>::kOverflowParkLimit; ++i)
     w.add_local(vs({1}), 100 + static_cast<Round>(i));
   EXPECT_EQ(w.overflow_parked(), InboxWindow<ValueSet>::kOverflowParkLimit);
-  EXPECT_THROW(w.add_local(vs({2}), 99), CheckFailure);
+  EXPECT_EQ(w.overflow_dropped(), 0u);
+  w.add_local(vs({2}), 99);  // over the cap: shed and counted
+  EXPECT_EQ(w.overflow_parked(), InboxWindow<ValueSet>::kOverflowParkLimit);
+  EXPECT_EQ(w.overflow_dropped(), 1u);
+  // In-window writes are unaffected by a saturated park.
+  w.add_local(vs({3}), 2);
+  w.advance_to(2);
+  EXPECT_EQ(w.at(2).count(vs({3})), 1u);
+  // Sliding the window drains parks, re-opening capacity.
+  w.advance_to(120);
+  EXPECT_LT(w.overflow_parked(), InboxWindow<ValueSet>::kOverflowParkLimit);
+  w.add_local(vs({4}), 100000);  // parks again, no drop
+  EXPECT_EQ(w.overflow_dropped(), 1u);
 }
 
 TEST(InboxView, IterationOrderIsDeterministicAndDuplicateFree) {

@@ -100,6 +100,25 @@ TEST(BroadcastBus, LossPolicyDrops) {
   EXPECT_TRUE(bus.drain(1).empty());
 }
 
+// The bus's loss knob and the simulator's FaultPlan share one coin: the
+// JitterPolicy verdict sequence is exactly the hash_chance draws over the
+// fault_stream_seed-derived stream.  Pins the unification so the two
+// backends can't silently drift apart.
+TEST(BroadcastBus, JitterLossMatchesFaultStreamHash) {
+  const std::uint64_t seed = 42;
+  const double loss = 0.5;
+  JitterPolicy policy(seed, std::chrono::milliseconds(0), loss);
+  const std::uint64_t stream = fault_stream_seed(seed, 0);
+  std::size_t drops = 0;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    const bool dropped = !policy.delivery_delay(/*subscriber=*/1).has_value();
+    EXPECT_EQ(dropped, hash_chance(hash_mix(stream, i, 1, 0), loss));
+    drops += dropped ? 1 : 0;
+  }
+  EXPECT_GT(drops, 0u);    // the coin actually flips both ways
+  EXPECT_LT(drops, 256u);
+}
+
 // ---------- real-time clusters (threads + wall clock) ----------
 
 TEST(RealtimeCluster, EsConsensusDecidesOverTheBus) {

@@ -101,6 +101,34 @@ TEST(ScenarioSpecJson, EngineThreadsRoundTripsAndDefaultsStayImplicit) {
   EXPECT_EQ(zero.spec->consensus.engine_threads, 0u);
 }
 
+TEST(ScenarioSpecJson, FaultPlanRoundTripsAndDefaultsStayImplicit) {
+  // An inactive fault plan is not encoded at all (every pre-fault spec and
+  // golden stays byte-identical); an active one round-trips canonically,
+  // including the list-valued fields.
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kConsensus;
+  EXPECT_EQ(scenario_spec_to_json(spec).find("faults"), std::string::npos);
+
+  spec.faults.seed = 99;
+  spec.faults.loss_prob = 0.125;
+  spec.faults.dup_prob = 0.25;
+  spec.faults.dup_extra_delay = 2;
+  spec.faults.reorder_prob = 0.5;
+  spec.faults.max_extra_delay = 3;
+  spec.faults.omission_senders = {1, 2};
+  spec.faults.churn = {{0, 3, 8}, {2, 5, 0}};
+  spec.faults.exempt_source = false;
+  spec.consensus.watchdog_rounds = 500;
+
+  const std::string encoded = scenario_spec_to_json(spec);
+  EXPECT_NE(encoded.find("\"faults\""), std::string::npos);
+  EXPECT_NE(encoded.find("\"watchdog_rounds\": 500"), std::string::npos);
+  auto decoded = parse_scenario_spec(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.errors_to_string();
+  EXPECT_TRUE(*decoded.spec == spec);
+  EXPECT_EQ(scenario_spec_to_json(*decoded.spec), encoded);
+}
+
 TEST(ScenarioSpecJson, SparseSpecUsesDefaults) {
   auto decoded = parse_scenario_spec(R"({"family": "abd"})");
   ASSERT_TRUE(decoded.ok()) << decoded.errors_to_string();
@@ -303,6 +331,53 @@ TEST(ScenarioSpecValidation, ErrorsAccumulateAcrossFields) {
   EXPECT_TRUE(has_error_at(res.errors, "weakset.script[0].process"));
   EXPECT_TRUE(has_error_at(res.errors, "weakset.script[0].round"));
   (void)error_paths(res);
+}
+
+TEST(ScenarioSpecValidation, FaultProbabilitiesMustBeInRange) {
+  auto res = parse_scenario_spec(R"({
+    "family": "consensus",
+    "env": {"faults": {"loss_prob": 1.5}}
+  })");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(has_error_at(res.errors, "env.faults.loss_prob"))
+      << res.errors_to_string();
+}
+
+TEST(ScenarioSpecValidation, ChurnWindowsMustBeWellFormed) {
+  // rejoin inside the leave window, and a process id off the end of n.
+  auto res = parse_scenario_spec(R"({
+    "family": "consensus",
+    "env": {"n": 3, "faults": {"churn": [
+      {"process": 1, "leave": 5, "rejoin": 4},
+      {"process": 7, "leave": 2}]}}
+  })");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(has_error_at(res.errors, "env.faults.churn[0].rejoin"))
+      << res.errors_to_string();
+  EXPECT_TRUE(has_error_at(res.errors, "env.faults.churn[1].process"))
+      << res.errors_to_string();
+}
+
+TEST(ScenarioSpecValidation, ActiveFaultsNeedTheEnvDecisionPath) {
+  // Faults are wired through the env-schedule decision pipeline only; an
+  // adversarial schedule with an active plan is a diagnostic, not a
+  // silently fault-free run.
+  auto res = parse_scenario_spec(R"({
+    "family": "consensus",
+    "env": {"kind": "ms", "n": 5, "faults": {"loss_prob": 0.1}},
+    "consensus": {"schedule": "hostile-ms"}
+  })");
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(has_error_at(res.errors, "env.faults"))
+      << res.errors_to_string();
+
+  // An inactive plan (all defaults) is fine anywhere.
+  auto ok = parse_scenario_spec(R"({
+    "family": "consensus",
+    "env": {"kind": "ms", "n": 5, "faults": {"exempt_source": true}},
+    "consensus": {"schedule": "hostile-ms"}
+  })");
+  EXPECT_TRUE(ok.ok()) << ok.errors_to_string();
 }
 
 // ---- preset goldens ---------------------------------------------------------

@@ -61,6 +61,7 @@ struct Observed {
   std::vector<std::optional<Value>> decisions;
   std::vector<Round> decision_rounds;
   std::uint64_t sends = 0, bytes = 0, deliveries = 0;
+  std::uint64_t fault_drops = 0, fault_dups = 0;
   Trace trace;
 };
 
@@ -76,6 +77,8 @@ Observed observe(Net& net, RunResult run) {
   o.sends = net.sends();
   o.bytes = net.bytes_sent();
   o.deliveries = net.deliveries();
+  o.fault_drops = net.fault_drops();
+  o.fault_dups = net.fault_dups();
   o.trace = net.trace();
   return o;
 }
@@ -112,6 +115,8 @@ void expect_equal(const Observed& serial, const Observed& sharded,
   EXPECT_EQ(serial.sends, sharded.sends) << what;
   EXPECT_EQ(serial.bytes, sharded.bytes) << what;
   EXPECT_EQ(serial.deliveries, sharded.deliveries) << what;
+  EXPECT_EQ(serial.fault_drops, sharded.fault_drops) << what;
+  EXPECT_EQ(serial.fault_dups, sharded.fault_dups) << what;
   ASSERT_EQ(serial.decisions.size(), sharded.decisions.size()) << what;
   for (std::size_t p = 0; p < serial.decisions.size(); ++p) {
     EXPECT_EQ(serial.decisions[p], sharded.decisions[p]) << what << " p=" << p;
@@ -126,6 +131,7 @@ struct Scenario {
   EnvParams env;
   CrashPlan crashes;
   std::vector<Value> initial;
+  FaultParams faults;   // compiled into a FaultPlan by the harness
   LockstepOptions net;  // engine_threads/engine_shards overridden per run
 };
 
@@ -159,8 +165,11 @@ Observed run_once(const Scenario& sc, const DelayModel& delays,
 
 // Serial reference vs engine_threads ∈ {2, 8} (and the decoupled
 // single-threaded 8-shard engine) on the env-generated schedule.
-void check_thread_invariance(const Scenario& sc, const std::string& what) {
+void check_thread_invariance(const Scenario& sc0, const std::string& what) {
+  Scenario sc = sc0;
   const EnvDelayModel delays(sc.env, sc.crashes);
+  const FaultPlan plan(sc.faults, sc.net.seed, sc.env.n, &delays);
+  if (plan.active()) sc.net.faults = &plan;
   std::size_t shards = 0;
   const Observed serial = run_once(sc, delays, 1, 0, &shards);
   ASSERT_EQ(shards, 1u) << what << ": engine_threads=1 must stay serial";
@@ -369,6 +378,207 @@ TEST(ShardedEquivalence, ConsensusReportsMatchThroughTheRunnerSurface) {
                               std::to_string(threads));
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection (PR 7 tentpole): seeded loss/duplication/reorder/omission/
+// churn plans are a pure function of (fault seed, round, sender, receiver),
+// so the sharded engine must stay byte-identical to serial under any plan —
+// including full per-link delivery traces and the fault counters themselves.
+
+TEST(FaultedEquivalence, RandomizedFaultPlansMatchSerialAtEveryThreadCount) {
+  std::size_t faulted = 0;
+  for (std::uint64_t cfg = 0; cfg < 12; ++cfg) {
+    Rng rng(0xfa017 + cfg * 977);
+    Scenario sc;
+    sc.algo = (cfg % 2 == 0) ? ConsensusAlgo::kEs : ConsensusAlgo::kEss;
+    sc.env.kind = (cfg % 4 < 2) ? EnvKind::kES : EnvKind::kESS;
+    sc.env.n = 3 + static_cast<std::size_t>(rng.below(14));  // 3..16
+    sc.env.seed = rng.below(1u << 30);
+    sc.env.stabilization = static_cast<Round>(rng.below(5));
+    sc.initial = random_values(sc.env.n, sc.env.seed + 7, 100, 103);
+    sc.net.seed = sc.env.seed;
+    sc.net.max_rounds = 600;
+    sc.net.record_trace = true;
+    sc.net.record_deliveries = (cfg % 2 == 0);
+    sc.faults.loss_prob = 0.2 * rng.real();
+    sc.faults.dup_prob = 0.25 * rng.real();
+    sc.faults.dup_extra_delay = 1 + static_cast<Round>(rng.below(3));
+    sc.faults.reorder_prob = 0.25 * rng.real();
+    sc.faults.max_extra_delay = 1 + static_cast<Round>(rng.below(4));
+    if (cfg % 3 == 0)
+      sc.faults.omission_senders = {
+          static_cast<ProcId>(rng.below(sc.env.n))};
+    if (cfg % 4 == 1) {
+      ChurnSpec ch;
+      ch.process = static_cast<ProcId>(rng.below(sc.env.n));
+      ch.leave = 2 + static_cast<Round>(rng.below(4));
+      ch.rejoin = (cfg % 8 == 1) ? 0 : ch.leave + 1 +
+                                       static_cast<Round>(rng.below(8));
+      sc.faults.churn.push_back(ch);
+    }
+    ASSERT_TRUE(sc.faults.active()) << "cfg " << cfg;
+    check_thread_invariance(sc, "fault cfg " + std::to_string(cfg));
+    ++faulted;
+  }
+  EXPECT_EQ(faulted, 12u);
+}
+
+TEST(FaultedEquivalence, DirectedFaultMixStraddlesShardBoundaries) {
+  // Every fault type at once on an otherwise fully uniform environment
+  // (GST = 0): an active plan forces the exact per-link path, and losses /
+  // delayed duplicates / churn windows all cross shard boundaries at 8
+  // shards over n = 12.
+  Scenario sc;
+  sc.env.kind = EnvKind::kES;
+  sc.env.n = 12;
+  sc.env.seed = 4242;
+  sc.env.stabilization = 0;
+  sc.crashes.crash_at(4, 6);  // crash relay + faults interact
+  sc.initial = random_values(sc.env.n, 11, 100, 102);
+  sc.net.seed = 4242;
+  sc.net.max_rounds = 800;
+  sc.net.record_deliveries = true;
+  sc.faults.loss_prob = 0.15;
+  sc.faults.dup_prob = 0.2;
+  sc.faults.dup_extra_delay = 2;
+  sc.faults.reorder_prob = 0.2;
+  sc.faults.max_extra_delay = 3;
+  sc.faults.omission_senders = {3};
+  sc.faults.churn.push_back({7, 4, 10});
+  sc.faults.churn.push_back({1, 6, 0});  // leaves and never returns
+  check_thread_invariance(sc, "directed fault mix");
+}
+
+TEST(FaultSafety, AgreementAndValidityHoldUnderAnySeededFaultPlan) {
+  // The safety contract: with the planned source exempt (the default),
+  // agreement and validity must hold under ANY fault intensity, on both
+  // backends — only termination may degrade (bounded here by a watchdog,
+  // never by an abort).
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    Rng rng(0xab5afe + i * 613);
+    ConsensusConfig cfg;
+    const ConsensusAlgo algo =
+        (i % 2 == 0) ? ConsensusAlgo::kEs : ConsensusAlgo::kEss;
+    cfg.env.kind = (i % 2 == 0) ? EnvKind::kES : EnvKind::kESS;
+    cfg.env.n = 3 + static_cast<std::size_t>(rng.below(10));
+    cfg.env.seed = rng.below(1u << 30);
+    cfg.env.stabilization = static_cast<Round>(rng.below(5));
+    cfg.initial = random_values(cfg.env.n, cfg.env.seed + 3, 100, 104);
+    cfg.net.seed = cfg.env.seed;
+    cfg.net.max_rounds = 1500;
+    cfg.watchdog_rounds = 300;
+    cfg.validate_env = false;  // the cohort backend records no trace
+    cfg.backend = (i % 3 == 0) ? ConsensusBackend::kCohort
+                               : ConsensusBackend::kExpanded;
+    cfg.faults.loss_prob = 0.5 * rng.real();  // up to heavy loss
+    cfg.faults.dup_prob = 0.4 * rng.real();
+    cfg.faults.reorder_prob = 0.4 * rng.real();
+    cfg.faults.max_extra_delay = 1 + static_cast<Round>(rng.below(5));
+    if (i % 4 == 2)
+      cfg.faults.omission_senders = {
+          static_cast<ProcId>(rng.below(cfg.env.n))};
+    if (i % 5 == 3)
+      cfg.faults.churn.push_back(
+          {static_cast<ProcId>(rng.below(cfg.env.n)),
+           1 + static_cast<Round>(rng.below(6)), 0});
+    const ConsensusReport rep = run_consensus(algo, cfg);
+    EXPECT_TRUE(rep.agreement) << "i=" << i << " " << rep.to_string();
+    EXPECT_TRUE(rep.validity) << "i=" << i << " " << rep.to_string();
+  }
+}
+
+TEST(FaultWatchdog, TotalLossSplitsIntoSoloDecisions) {
+  // exempt_source = false and loss_prob = 1: nobody ever hears anyone
+  // else.  Under anonymity total isolation is indistinguishable from
+  // n = 1, so every process decides *its own* value within a few rounds —
+  // the run terminates, but agreement is gone.  (This is why a starving
+  // run cannot be built from isolation alone: see the stalled-run test.)
+  for (const ConsensusBackend backend :
+       {ConsensusBackend::kExpanded, ConsensusBackend::kCohort}) {
+    ConsensusConfig cfg;
+    cfg.env.kind = EnvKind::kES;
+    cfg.env.n = 4;
+    cfg.env.seed = 9;
+    cfg.initial = distinct_values(cfg.env.n);
+    cfg.net.seed = 9;
+    cfg.net.max_rounds = 5000;
+    cfg.backend = backend;
+    cfg.validate_env = false;
+    cfg.faults.loss_prob = 1.0;
+    cfg.faults.exempt_source = false;
+    const ConsensusReport rep = run_consensus(ConsensusAlgo::kEs, cfg);
+    EXPECT_TRUE(rep.all_correct_decided) << to_string(backend);
+    EXPECT_FALSE(rep.agreement) << to_string(backend);  // distinct solos
+    EXPECT_TRUE(rep.validity) << to_string(backend);
+    EXPECT_FALSE(rep.undecided) << to_string(backend);
+    EXPECT_LT(rep.last_decision_round, 10u) << to_string(backend);
+    EXPECT_GT(rep.fault_drops, 0u) << to_string(backend);
+  }
+}
+
+// The directed stalled run: at this (seed, fault mix) the free run's last
+// straggler needs until round 378 to decide (loss + stale duplicates keep
+// resurrecting conflicting values into its PROPOSED), with a > 40-round
+// gap after the previous decision at round 46.  Pinned by probing; both
+// engines compute identical fates, so the numbers below are exact.
+ConsensusConfig stalled_run_config() {
+  ConsensusConfig cfg;
+  cfg.env.kind = EnvKind::kES;
+  cfg.env.n = 8;
+  cfg.env.seed = 11;
+  cfg.env.stabilization = 6;
+  cfg.initial = distinct_values(cfg.env.n);
+  cfg.net.seed = 11;
+  cfg.net.max_rounds = 6000;
+  cfg.validate_env = false;
+  cfg.faults.loss_prob = 0.3;
+  cfg.faults.dup_prob = 0.3;
+  cfg.faults.dup_extra_delay = 3;
+  cfg.faults.reorder_prob = 0.4;
+  cfg.faults.max_extra_delay = 4;
+  cfg.faults.omission_senders = {0};
+  cfg.faults.churn.push_back({1, 3, 30});
+  cfg.faults.exempt_source = false;
+  return cfg;
+}
+
+TEST(FaultWatchdog, StalledRunEndsUndecidedInsteadOfSpinning) {
+  // The watchdog is a patience bound: no new decision for 40 rounds ends
+  // the run with a graceful `undecided` on both backends, hundreds of
+  // rounds before the straggler would have decided (or max_rounds hit).
+  for (const ConsensusBackend backend :
+       {ConsensusBackend::kExpanded, ConsensusBackend::kCohort}) {
+    ConsensusConfig cfg = stalled_run_config();
+    cfg.watchdog_rounds = 40;
+    cfg.backend = backend;
+    const ConsensusReport rep = run_consensus(ConsensusAlgo::kEs, cfg);
+    EXPECT_TRUE(rep.undecided) << to_string(backend);
+    EXPECT_FALSE(rep.all_correct_decided) << to_string(backend);
+    EXPECT_FALSE(rep.hit_round_limit) << to_string(backend);
+    EXPECT_LT(rep.rounds_executed, 120u) << to_string(backend);
+    EXPECT_TRUE(rep.validity) << to_string(backend);
+    EXPECT_GT(rep.fault_drops, 0u) << to_string(backend);
+    EXPECT_GT(rep.fault_dups, 0u) << to_string(backend);
+  }
+}
+
+TEST(FaultWatchdog, OffByDefaultStillRunsToTheRoundLimit) {
+  // watchdog_rounds = 0 keeps the old contract: the same stalled run
+  // exhausts a small max_rounds and reports hit_round_limit, not
+  // undecided — and given room, it eventually decides everywhere.
+  ConsensusConfig cfg = stalled_run_config();
+  cfg.net.max_rounds = 120;
+  const ConsensusReport rep = run_consensus(ConsensusAlgo::kEs, cfg);
+  EXPECT_FALSE(rep.undecided);
+  EXPECT_TRUE(rep.hit_round_limit);
+  EXPECT_FALSE(rep.all_correct_decided);
+
+  ConsensusConfig free_cfg = stalled_run_config();
+  const ConsensusReport free_rep = run_consensus(ConsensusAlgo::kEs, free_cfg);
+  EXPECT_TRUE(free_rep.all_correct_decided);
+  EXPECT_EQ(free_rep.last_decision_round, 378u);
+  EXPECT_FALSE(free_rep.undecided);
 }
 
 TEST(ShardedEngine, ShardCountClampsToProcessCount) {
