@@ -8,9 +8,11 @@
 //
 // Multi-seed specs shard across worker threads (--threads, default: one
 // per hardware thread); the report is identical at any thread count.
-// Consensus specs on the expanded backend additionally parallelize inside
-// each run (--engine-threads, default: the spec's own value; 0 = one per
-// hardware thread) — also byte-identical at any setting.
+// Consensus specs additionally parallelize inside each run on either
+// backend (--engine-threads, default: the spec's own value; 0 = one per
+// hardware thread) — also byte-identical at any setting.  --backend
+// switches a spec between the expanded and cohort engines (cohort turns
+// the trace surfaces off, since it never materializes per-process traces).
 // Fault injection (env/faults.hpp) can be layered onto any consensus spec
 // from the command line: `--faults loss_prob=0.1,reorder_prob=0.2` patches
 // scalar FaultParams fields after the spec loads (list-valued fields —
@@ -38,7 +40,8 @@ int usage(std::ostream& os, int code) {
         "  anonsim list\n"
         "  anonsim describe <preset>\n"
         "  anonsim run  (--preset NAME | --spec FILE) [--threads N]\n"
-        "               [--engine-threads N] [--json OUT] [--no-timing]\n"
+        "               [--engine-threads N] [--backend expanded|cohort]\n"
+        "               [--json OUT] [--no-timing]\n"
         "               [--quiet] [--faults K=V[,K=V...]] [--watchdog N]\n"
         "               [--fail-undecided]\n"
         "  anonsim schema (--preset NAME | --spec FILE) [--threads N]\n";
@@ -80,6 +83,7 @@ struct RunArgs {
   std::size_t threads = 0;
   bool engine_threads_set = false;   // --engine-threads given on the cmdline
   std::size_t engine_threads = 1;    // override value when set
+  std::string backend;               // --backend expanded|cohort override
   std::string faults;                // --faults K=V,... override text
   bool faults_set = false;
   bool watchdog_set = false;
@@ -194,6 +198,14 @@ bool parse_run_args(const std::vector<std::string>& args, RunArgs* out,
       out->engine_threads_set = true;
       out->engine_threads = static_cast<std::size_t>(std::strtoull(v->c_str(),
                                                                    nullptr, 10));
+    } else if (a == "--backend") {
+      const std::string* v = value("--backend");
+      if (v == nullptr) return false;
+      if (*v != "expanded" && *v != "cohort") {
+        *error = "--backend needs expanded or cohort, got \"" + *v + "\"";
+        return false;
+      }
+      out->backend = *v;
     } else if (a == "--faults") {
       const std::string* v = value("--faults");
       if (v == nullptr) return false;
@@ -271,6 +283,24 @@ int cmd_run(const RunArgs& args, bool schema_only) {
       return 2;
     }
     spec.consensus.engine_threads = args.engine_threads;
+  }
+  if (!args.backend.empty()) {
+    if (spec.family != ScenarioFamily::kConsensus) {
+      std::cerr << "anonsim: --backend applies to consensus specs, not "
+                   "family \""
+                << to_string(spec.family) << "\"\n";
+      return 2;
+    }
+    if (args.backend == "cohort") {
+      // The cohort engine never materializes per-process traces, so the
+      // trace surfaces go dark with it (same contract as spec validation).
+      spec.consensus.backend = ConsensusBackend::kCohort;
+      spec.consensus.record_trace = false;
+      spec.consensus.record_deliveries = false;
+      spec.consensus.validate_env = false;
+    } else {
+      spec.consensus.backend = ConsensusBackend::kExpanded;
+    }
   }
   if (args.faults_set) {
     std::string error;

@@ -1,0 +1,149 @@
+// A per-round bump arena for engine scratch.
+//
+// Both net engines rebuild the same small hash maps and bucket vectors
+// every round (digest buckets for cohort merging, canonical-payload maps
+// at shard barriers, receiver partitions for asymmetric delivery).  With
+// the general-purpose allocator each of those is a stream of node
+// allocations that repeats identically round after round.  `RoundArena`
+// replaces them with pointer bumps: blocks are grabbed from the heap the
+// first few rounds, then `reset()` rewinds the cursor at the round
+// boundary and the steady state allocates nothing at all (this is what
+// `allocation_steady_state_test` pins).
+//
+// Contract:
+//  - `allocate` never returns memory to the system until destruction;
+//    `reset()` just rewinds.  Every container built on `ArenaAlloc` must
+//    therefore be destroyed (or abandoned wholesale — the memory is
+//    trivially reclaimed by `reset`) before the next `reset()` call, and
+//    never straddle one.
+//  - NOT thread-safe.  Arena-backed containers are built and mutated in
+//    the serial barrier sections only; parallel shard bodies may *read*
+//    arena-backed data that the serial section published, but never
+//    allocate from the arena.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace anon {
+
+class RoundArena {
+ public:
+  explicit RoundArena(std::size_t first_block_bytes = 1u << 12)
+      : first_block_bytes_(first_block_bytes < 64 ? 64 : first_block_bytes) {}
+
+  RoundArena(const RoundArena&) = delete;
+  RoundArena& operator=(const RoundArena&) = delete;
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    ANON_CHECK(align != 0 && (align & (align - 1)) == 0);
+    if (bytes == 0) bytes = 1;
+    while (true) {
+      if (cur_ < blocks_.size()) {
+        Block& b = blocks_[cur_];
+        const std::uintptr_t base =
+            reinterpret_cast<std::uintptr_t>(b.data.get());
+        const std::uintptr_t p = (base + off_ + (align - 1)) & ~(align - 1);
+        if (p + bytes <= base + b.size) {
+          off_ = (p + bytes) - base;
+          return reinterpret_cast<void*>(p);
+        }
+        // Current block exhausted: move to the next retained block (or
+        // grow).  Blocks double, so a handful of warm-up rounds converge
+        // on a single block that fits the whole round.
+        ++cur_;
+        off_ = 0;
+        continue;
+      }
+      std::size_t want = blocks_.empty() ? first_block_bytes_
+                                         : blocks_.back().size * 2;
+      if (want < bytes + align) want = bytes + align;
+      blocks_.push_back(Block{std::make_unique<std::byte[]>(want), want});
+      // cur_ == blocks_.size() - 1 now satisfiable; loop retries.
+    }
+  }
+
+  // Rewind to empty, keeping every block for reuse.  All memory handed
+  // out since the last reset becomes invalid.
+  void reset() {
+    cur_ = 0;
+    off_ = 0;
+  }
+
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size;
+  };
+
+  std::size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;  // index of the block being bumped
+  std::size_t off_ = 0;  // bump offset within blocks_[cur_]
+};
+
+// Minimal STL allocator over a RoundArena.  `deallocate` is a no-op —
+// reclamation is the arena's round-boundary reset.
+template <typename T>
+class ArenaAlloc {
+ public:
+  using value_type = T;
+
+  explicit ArenaAlloc(RoundArena* arena) : arena_(arena) {}
+
+  template <typename U>
+  ArenaAlloc(const ArenaAlloc<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+
+  void deallocate(T*, std::size_t) {}
+
+  RoundArena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAlloc<U>& other) const {
+    return arena_ == other.arena();
+  }
+
+ private:
+  RoundArena* arena_;
+};
+
+// Convenience aliases for the per-round scratch containers the engines
+// build: constructed as locals (or re-`emplace`d members) after a
+// `reset()`, dead before the next one.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAlloc<T>>;
+
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<K>>
+using ArenaUMap =
+    std::unordered_map<K, V, Hash, Eq, ArenaAlloc<std::pair<const K, V>>>;
+
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<K>>
+ArenaUMap<K, V, Hash, Eq> make_arena_umap(RoundArena& arena,
+                                          std::size_t buckets = 0) {
+  return ArenaUMap<K, V, Hash, Eq>(
+      buckets, Hash(), Eq(),
+      ArenaAlloc<std::pair<const K, V>>(&arena));
+}
+
+}  // namespace anon

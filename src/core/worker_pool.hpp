@@ -58,6 +58,29 @@ class WorkerPool {
                     const std::function<void(std::size_t)>& body,
                     std::size_t max_participants = 0);
 
+  // Deterministic map-reduce on top of parallel_for: computes
+  // body(i) -> R for every index in parallel, then folds the results
+  // *in index order* on the calling thread — so non-commutative or
+  // rounding-sensitive combines still give schedule-independent answers.
+  // `scratch` is caller-owned so hot loops reach a zero-allocation steady
+  // state (it is resized to `count` and overwritten).
+  template <typename R, typename Body, typename Combine>
+  R parallel_reduce(std::size_t count, R init, std::vector<R>& scratch,
+                    const Body& body, const Combine& combine,
+                    std::size_t max_participants = 0) {
+    if (count == 0) return init;
+    scratch.resize(count);
+    std::vector<R>* out = &scratch;
+    const Body* fn = &body;
+    parallel_for(
+        count, [out, fn](std::size_t i) { (*out)[i] = (*fn)(i); },
+        max_participants);
+    R acc = std::move(init);
+    for (std::size_t i = 0; i < count; ++i)
+      acc = combine(std::move(acc), (*out)[i]);
+    return acc;
+  }
+
  private:
   struct Job;
 

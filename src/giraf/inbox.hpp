@@ -201,10 +201,17 @@ class InboxView {
   std::vector<std::pair<std::uint64_t, const M*>> items_;
 };
 
-// Per-round payload interner.  `round_reset()` drops the index each engine
-// round (payloads stay alive through their shared_ptrs); within a round,
-// content-equal batches from different senders resolve to one object, so
-// receiver-side dedup is a pointer compare.
+// Per-round payload interner.  Within a round, content-equal batches from
+// different senders resolve to one object, so receiver-side dedup is a
+// pointer compare.  `round_reset()` advances a generation counter instead
+// of clearing the index: a batch whose content recurs in the very next
+// round (the steady state — every decided process re-broadcasts its frozen
+// message forever) is *promoted* instead of rebuilt, so converged rounds
+// intern without allocating.  Promotion preserves the one-object-per-
+// content-per-round invariant the engines rely on: all interns of a round
+// for the same content still return the same pointer, and promoted batches
+// appear in `fresh()` exactly like new ones, so the sharded barriers'
+// cross-shard canonicalization sees them.
 template <typename M>
 class BatchInterner {
  public:
@@ -217,13 +224,23 @@ class BatchInterner {
     for (const auto& [d, m] : view.items()) digest_scratch_.push_back(d);
     const std::uint64_t digest = detail::fold_batch_digest(
         digest_scratch_.size(), digest_scratch_.data());
-    auto& bucket = by_digest_[digest];
-    for (const SharedBatch<M>& b : bucket)
+    Entry& e = by_digest_[digest];
+    touch(e);
+    for (const SharedBatch<M>& b : e.cur)
       if (b->size() == view.size() &&
           std::equal(b->msgs.begin(), b->msgs.end(), view.begin()))
         return b;
-    // Miss: copy the view out.  It is already in canonical (digest,
-    // content) sorted-unique order, so the batch is built directly.
+    // Not yet canonical this round: promote last round's object if the
+    // content recurs (no rebuild), else copy the view out.  It is already
+    // in canonical (digest, content) sorted-unique order, so the batch is
+    // built directly.
+    for (const SharedBatch<M>& b : e.prev)
+      if (b->size() == view.size() &&
+          std::equal(b->msgs.begin(), b->msgs.end(), view.begin())) {
+        e.cur.push_back(b);
+        fresh_.push_back(b);
+        return b;
+      }
     auto batch = std::make_shared<MessageBatch<M>>();
     batch->msgs.reserve(view.size());
     batch->digests.reserve(view.size());
@@ -232,28 +249,60 @@ class BatchInterner {
       batch->digests.push_back(d);
     }
     batch->digest = digest;
-    bucket.push_back(batch);
+    e.cur.push_back(batch);
     fresh_.push_back(batch);
     return batch;
   }
 
-  // Payloads created (interning misses) since the last round_reset, in
-  // creation order.  The sharded lock-step engine runs one interner per
-  // shard and merges them at the round barrier: each shard's fresh list is
-  // re-canonicalized against a global digest map so content-equal batches
-  // from senders in different shards still collapse to one object
-  // network-wide, exactly as the serial engine's single interner does.
+  // Payloads that became canonical (new or promoted) since the last
+  // round_reset, in first-intern order.  The sharded engines run one
+  // interner per shard and merge them at the round barrier: each shard's
+  // fresh list is re-canonicalized against a global digest map so
+  // content-equal batches from senders in different shards still collapse
+  // to one object network-wide, exactly as a single interner does.
   const std::vector<SharedBatch<M>>& fresh() const { return fresh_; }
 
   void round_reset() {
-    by_digest_.clear();
+    ++gen_;
     fresh_.clear();
+    // Periodic compaction: digests untouched for two generations belong to
+    // contents that stopped recurring (adversarial non-collapsing runs mint
+    // fresh contents every round); drop their entries so the index tracks
+    // the live working set instead of the whole history.
+    if ((gen_ & 63u) == 0) {
+      for (auto it = by_digest_.begin(); it != by_digest_.end();) {
+        if (it->second.gen + 1 < gen_)
+          it = by_digest_.erase(it);
+        else
+          ++it;
+      }
+    }
   }
 
  private:
-  std::unordered_map<std::uint64_t, std::vector<SharedBatch<M>>> by_digest_;
-  std::vector<SharedBatch<M>> fresh_;          // misses since round_reset
+  struct Entry {
+    std::uint64_t gen = 0;                // generation `cur` belongs to
+    std::vector<SharedBatch<M>> cur;      // canonical this round
+    std::vector<SharedBatch<M>> prev;     // canonical last round
+  };
+
+  // Lazily rolls an entry forward to the current generation.
+  void touch(Entry& e) {
+    if (e.gen == gen_) return;
+    if (e.gen + 1 == gen_) {
+      std::swap(e.cur, e.prev);  // last round's objects become promotable
+      e.cur.clear();
+    } else {
+      e.cur.clear();
+      e.prev.clear();
+    }
+    e.gen = gen_;
+  }
+
+  std::unordered_map<std::uint64_t, Entry> by_digest_;
+  std::vector<SharedBatch<M>> fresh_;          // canonical since round_reset
   std::vector<std::uint64_t> digest_scratch_;  // reused across interns
+  std::uint64_t gen_ = 0;
 };
 
 // The windowed inbox.  `round()` is k_i; readable rounds are {k-1, k}.
@@ -323,14 +372,24 @@ class InboxWindow {
   }
 
   // Single-message fast path (the own round message, every round): builds
-  // the batch directly — a one-element batch is trivially canonical.
+  // the batch directly — a one-element batch is trivially canonical.  The
+  // last built batch is cached: once the process's message freezes (it
+  // decided), every subsequent round reuses the same immutable object and
+  // the inbox write allocates nothing.
   void add_local(M m, Round k) {
     ANON_CHECK(k >= 1);
+    const std::uint64_t d = MessageDigest<M>::of(m);
+    if (own_cache_ && own_cache_->digests[0] == d &&
+        own_cache_->msgs[0] == m) {
+      add_shared(own_cache_, k);
+      return;
+    }
     auto batch = std::make_shared<MessageBatch<M>>();
-    batch->digests.push_back(MessageDigest<M>::of(m));
+    batch->digests.push_back(d);
     batch->msgs.push_back(std::move(m));
     batch->digest =
         detail::fold_batch_digest(1, batch->digests.data());
+    own_cache_ = batch;
     add_shared(std::move(batch), k);
   }
 
@@ -458,6 +517,7 @@ class InboxWindow {
 
   Slot ring_[4];
   std::map<Round, Slot> future_;  // rounds > cur_ + 1 (unsynchronised only)
+  SharedBatch<M> own_cache_;      // last single-message batch built
   Round cur_ = 0;
   std::size_t parked_batches_ = 0;       // batches currently in future_
   std::size_t overflow_high_water_ = 0;  // max parked_batches_ ever

@@ -30,9 +30,11 @@ template <GirafMessage M>
 class GirafProcess {
  public:
   struct Outgoing {
-    // M_i[k_i] — own round message plus relayed ones.  A view into the
-    // inbox window: valid until this process's next receive/end_of_round.
-    InboxView<M> batch;
+    // M_i[k_i] — own round message plus relayed ones.  A reference into
+    // the inbox window (never a copy: end_of_round is the per-round hot
+    // path and the view owns a heap vector), valid until this process's
+    // next receive/end_of_round.
+    const InboxView<M>& batch;
     Round round;  // k_i
   };
 

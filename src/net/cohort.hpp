@@ -47,7 +47,31 @@
 //    comparison — classes whose members became indistinguishable (e.g.
 //    distinct proposals converging on the decided value) re-collapse.
 //
-// See DESIGN.md, "Cohort-collapsed execution".
+// Execution modes, mirroring LockstepNet (see DESIGN.md, "Sharded cohort
+// execution"):
+//
+//  * Serial reference (engine_threads == 1, engine_shards <= 1): one thread
+//    walks all classes — the differential oracle.
+//  * Sharded: classes are partitioned into contiguous shards over the
+//    process-wide WorkerPool.  Each round, the *compute wave* (one
+//    representative end-of-round + per-shard intern per class), the
+//    *delivery fan-out* (each class applies the round's broadcasts), the
+//    merge pass's digest loop and the reindex loops run shard-parallel;
+//    a serial barrier after the compute wave canonicalizes freshly interned
+//    payloads by content digest across shards — one object per content
+//    network-wide, so the split signatures' pointer-identity-is-content-
+//    identity invariant survives sharding — and everything order-sensitive
+//    (calendar scheduling, transport counters, crash bookkeeping, split and
+//    merge structure) replays serially in class order, byte-for-byte the
+//    serial engine's fold.  Reports are byte-identical at every
+//    thread/shard count (tests/cohort_net_test.cpp).
+//
+// Per-round scratch that is map-shaped (receiver partitions and split maps
+// of asymmetric rounds) lives in a `RoundArena` (core/arena.hpp): bump
+// allocations reclaimed wholesale at the next round's reset.  Flat scratch
+// (digest/merge buckets, canonicalization tables, the due-entry buffer)
+// lives in capacity-retaining member vectors.  Either way the steady state
+// allocates nothing (tests/allocation_steady_state_test.cpp).
 #pragma once
 
 #include <algorithm>
@@ -62,7 +86,10 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "core/arena.hpp"
 #include "core/calendar.hpp"
+#include "core/sweep.hpp"
+#include "core/worker_pool.hpp"
 #include "giraf/process.hpp"
 #include "net/lockstep.hpp"
 #include "net/schedule.hpp"
@@ -95,6 +122,12 @@ struct CohortOptions {
   // signature-partition machinery — degradation is principled, not
   // approximate.
   const FaultPlan* faults = nullptr;
+  // Worker-pool participants driving the per-round waves (1 = the serial
+  // reference engine; 0 = one per hardware thread) and the cohort-shard
+  // count (0 = one per participant).  Reports are byte-identical at any
+  // value — see the class comment.
+  std::size_t engine_threads = 1;
+  std::size_t engine_shards = 0;
 
   // The lock-step option set, minus the trace knobs: the cohort engine
   // records no per-process trace (a trace is exactly the per-index
@@ -107,6 +140,8 @@ struct CohortOptions {
     c.relay_extra_delay = o.relay_extra_delay;
     c.halt_policy = o.halt_policy;
     c.faults = o.faults;
+    c.engine_threads = o.engine_threads;
+    c.engine_shards = o.engine_shards;
     return c;
   }
 };
@@ -134,6 +169,15 @@ class CohortNet {
     ANON_CHECK(!groups.empty());
     for (const InitGroup& g : groups) n_ += g.members.size();
     ANON_CHECK(n_ > 0);
+    const std::size_t threads = opt_.engine_threads == 0
+                                    ? resolve_sweep_threads(0)
+                                    : opt_.engine_threads;
+    const std::size_t shards =
+        opt_.engine_shards == 0 ? threads : opt_.engine_shards;
+    participants_ = std::max<std::size_t>(threads, 1);
+    sharded_ = shards > 1 || participants_ > 1;
+    shard_count_ = sharded_ ? std::max<std::size_t>(shards, 1) : 1;
+    interners_.resize(shard_count_);
     cohort_of_.assign(n_, kNoCohort);
     decision_round_.assign(n_, kNoRound);
     cohorts_.reserve(groups.size());
@@ -173,6 +217,9 @@ class CohortNet {
   Round round() const { return round_; }
   const CohortStats& stats() const { return stats_; }
   std::size_t cohort_count() const { return cohorts_.size(); }
+
+  // Shards the engine partitions classes into (1 = the serial reference).
+  std::size_t engine_shards() const { return shard_count_; }
 
   bool is_correct(ProcId p) const { return !crashes_.ever_crashes(p); }
 
@@ -272,23 +319,55 @@ class CohortNet {
     std::shared_ptr<const std::vector<ProcId>> senders;
   };
 
+  // The compute wave's per-class output, staged for the serial schedule
+  // pass (and for cross-shard payload canonicalization in sharded mode).
+  struct WaveOut {
+    SharedBatch<M> payload;
+    std::size_t bytes = 0;
+    bool stepped = false;  // false = class was halted before this wave
+  };
+
+  struct CanonEntry {
+    std::uint64_t digest = 0;
+    std::uint32_t seq = 0;  // discovery order (shard order, in-shard order)
+    SharedBatch<M> batch;
+  };
+
+  struct RemapEntry {
+    const MessageBatch<M>* from = nullptr;
+    SharedBatch<M> to;
+  };
+
   void bootstrap() {
     decision_round_.assign(n_, kNoRound);
-    interner_.round_reset();
     wave(1);
     round_ = 1;
   }
 
   void advance_round() {
     const Round next = round_ + 1;
-    interner_.round_reset();
     wave(next);
     round_ = next;
   }
 
-  // End-of-round wave k: one representative compute per class, one
-  // broadcast per class (uniform rounds) or per link (asymmetric rounds),
-  // and death bookkeeping for members whose crash round is k.
+  // Shard layout over the current class list: contiguous ranges covering
+  // [0, count), at most shard_count_ of them.
+  void rebuild_shard_ranges(std::size_t count) {
+    const std::size_t s =
+        std::max<std::size_t>(1, std::min(shard_count_, count));
+    shard_ranges_.resize(s);
+    const std::size_t base = count / s, rem = count % s;
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < s; ++i) {
+      const std::size_t next = at + base + (i < rem ? 1 : 0);
+      shard_ranges_[i] = {at, next};
+      at = next;
+    }
+  }
+
+  // End-of-round wave k: one representative compute per class (sharded),
+  // one broadcast per class (uniform rounds) or per link (asymmetric
+  // rounds), and death bookkeeping for members whose crash round is k.
   void wave(Round k) {
     // Members crashing at k, grouped by class.
     std::map<std::uint32_t, std::vector<ProcId>> crashing;
@@ -306,13 +385,37 @@ class CohortNet {
         (opt_.faults != nullptr && opt_.faults->active())
             ? std::nullopt
             : delays_.uniform_delay(k);
+
+    // Compute wave: end-of-round + intern, sharded over classes.  Mutates
+    // only per-class state and the shard's own interner; everything
+    // order-sensitive replays serially below.
+    const std::size_t count = cohorts_.size();
+    wave_out_.resize(count);
+    wave_round_ = k;
+    if (!sharded_) {
+      interners_[0].round_reset();
+      compute_range(0, count, 0);
+    } else {
+      rebuild_shard_ranges(count);
+      WorkerPool::shared().parallel_for(
+          shard_ranges_.size(),
+          [this](std::size_t s) {
+            interners_[s].round_reset();
+            compute_range(shard_ranges_[s].first, shard_ranges_[s].second, s);
+          },
+          participants_);
+      canonicalize_wave_payloads();
+    }
+
+    // Schedule wave: serial, in class order — byte-for-byte the serial
+    // engine's fold over counters, calendar entries and crash bookkeeping.
     bool structural = false;
-    for (std::uint32_t ci = 0; ci < cohorts_.size(); ++ci) {
+    for (std::uint32_t ci = 0; ci < count; ++ci) {
       Cohort& c = *cohorts_[ci];
       auto itc = crashing.find(ci);
       const std::vector<ProcId>* dying =
           itc == crashing.end() ? nullptr : &itc->second;
-      if (c.halted) {
+      if (!wave_out_[ci].stepped) {
         // A halted process never executes an end-of-round — not even its
         // crash-round one (no final broadcast); its crash only removes it
         // from the alive set.
@@ -323,23 +426,100 @@ class CohortNet {
         }
         continue;
       }
-      step_eor(c, k, ud, dying);
+      schedule_eor(ci, k, ud, dying);
       if (dying != nullptr) structural = true;
     }
     if (structural) purge_sort_reindex();
   }
 
-  void step_eor(Cohort& c, Round k, const std::optional<Round>& ud,
-                const std::vector<ProcId>* dying) {
-    auto out = c.rep->end_of_round();
-    ANON_CHECK(out.round == k);
-    if (opt_.halt_policy == HaltPolicy::kStopAfterDecide &&
-        c.rep->decision().has_value())
-      c.halted = true;
+  void compute_range(std::size_t begin, std::size_t end, std::size_t s) {
+    for (std::size_t ci = begin; ci < end; ++ci) {
+      Cohort& c = *cohorts_[ci];
+      WaveOut& w = wave_out_[ci];
+      if (c.halted) {
+        w.stepped = false;
+        w.payload.reset();
+        continue;
+      }
+      auto out = c.rep->end_of_round();
+      ANON_CHECK(out.round == wave_round_);
+      if (opt_.halt_policy == HaltPolicy::kStopAfterDecide &&
+          c.rep->decision().has_value())
+        c.halted = true;  // effective next wave; this broadcast still goes
+      std::size_t batch_bytes = 0;
+      for (const M& m : out.batch) batch_bytes += MessageSizeOf<M>::size(m);
+      w.payload = interners_[s].intern(out.batch);
+      w.bytes = batch_bytes;
+      w.stepped = true;
+    }
+  }
 
-    std::size_t batch_bytes = 0;
-    for (const M& m : out.batch) batch_bytes += MessageSizeOf<M>::size(m);
-    const SharedBatch<M> payload = interner_.intern(out.batch);
+  // Cross-shard payload canonicalization, first discovery wins: content
+  // interned by several shards this round collapses to one object
+  // network-wide — the invariant that makes the split signatures' pointer
+  // comparisons content comparisons.  The *choice* of winner is
+  // unobservable (every observable is content-based); determinism only
+  // needs it to be a pure function of content and discovery order, which
+  // sorting by (digest, seq) over shard-ordered discovery gives.  All
+  // scratch is capacity-retaining members: zero steady-state allocations.
+  void canonicalize_wave_payloads() {
+    canon_scratch_.clear();
+    std::uint32_t seq = 0;
+    for (std::size_t s = 0; s < shard_ranges_.size(); ++s)
+      for (const SharedBatch<M>& b : interners_[s].fresh())
+        canon_scratch_.push_back({b->digest, seq++, b});
+    if (canon_scratch_.size() <= 1) return;
+    std::sort(canon_scratch_.begin(), canon_scratch_.end(),
+              [](const CanonEntry& a, const CanonEntry& b) {
+                if (a.digest != b.digest) return a.digest < b.digest;
+                return a.seq < b.seq;
+              });
+    remap_scratch_.clear();
+    for (std::size_t i = 0; i < canon_scratch_.size();) {
+      std::size_t j = i + 1;
+      while (j < canon_scratch_.size() &&
+             canon_scratch_[j].digest == canon_scratch_[i].digest)
+        ++j;
+      // Within a digest run, the first entry of each distinct content is
+      // canonical; later content-equal ones are remapped to it.
+      for (std::size_t a = i; j - i >= 2 && a < j; ++a) {
+        if (canon_scratch_[a].batch == nullptr) continue;  // remapped already
+        for (std::size_t b = a + 1; b < j; ++b) {
+          if (canon_scratch_[b].batch == nullptr) continue;
+          if (canon_scratch_[a].batch->msgs == canon_scratch_[b].batch->msgs) {
+            remap_scratch_.push_back(
+                {canon_scratch_[b].batch.get(), canon_scratch_[a].batch});
+            canon_scratch_[b].batch = nullptr;
+          }
+        }
+      }
+      i = j;
+    }
+    if (remap_scratch_.empty()) return;
+    std::sort(remap_scratch_.begin(), remap_scratch_.end(),
+              [](const RemapEntry& a, const RemapEntry& b) {
+                return a.from < b.from;
+              });
+    for (WaveOut& w : wave_out_) {
+      if (!w.stepped) continue;
+      auto it = std::lower_bound(
+          remap_scratch_.begin(), remap_scratch_.end(), w.payload.get(),
+          [](const RemapEntry& e, const MessageBatch<M>* key) {
+            return e.from < key;
+          });
+      if (it != remap_scratch_.end() && it->from == w.payload.get())
+        w.payload = it->to;
+    }
+  }
+
+  // The serial half of the end-of-round wave for one class: transport
+  // counters, calendar scheduling and crash bookkeeping, reading the
+  // staged (canonicalized) payload.
+  void schedule_eor(std::uint32_t ci, Round k, const std::optional<Round>& ud,
+                    const std::vector<ProcId>* dying) {
+    Cohort& c = *cohorts_[ci];
+    const SharedBatch<M>& payload = wave_out_[ci].payload;
+    const std::size_t batch_bytes = wave_out_[ci].bytes;
     const std::uint64_t msg_count = payload->size();
 
     const std::size_t dying_count = dying ? dying->size() : 0;
@@ -468,20 +648,39 @@ class CohortNet {
 
   void deliver_due(Round r) {
     calendar_.advance_to(r);
-    std::vector<Pending> due = calendar_.take_due();
-    if (due.empty()) return;
+    calendar_.take_due_into(due_scratch_);
+    if (due_scratch_.empty()) return;
 
-    // A = alive ∩ non-halted processes, for multiplicity-weighted counts.
+    // A = alive ∩ non-halted processes, for multiplicity-weighted counts —
+    // an index-ordered map-reduce over the class shards (deterministic by
+    // construction; integer sums commute anyway).
     std::uint64_t alive_nonhalted = 0;
-    for (const auto& c : cohorts_)
-      if (!c->halted) alive_nonhalted += c->members.size();
+    if (!sharded_) {
+      for (const auto& c : cohorts_)
+        if (!c->halted) alive_nonhalted += c->members.size();
+    } else {
+      rebuild_shard_ranges(cohorts_.size());
+      alive_nonhalted = WorkerPool::shared().parallel_reduce(
+          shard_ranges_.size(), std::uint64_t{0}, reduce_scratch_,
+          [this](std::size_t s) {
+            std::uint64_t sum = 0;
+            for (std::size_t ci = shard_ranges_[s].first;
+                 ci < shard_ranges_[s].second; ++ci)
+              if (!cohorts_[ci]->halted) sum += cohorts_[ci]->members.size();
+            return sum;
+          },
+          [](std::uint64_t a, std::uint64_t b) { return a + b; },
+          participants_);
+    }
 
     bool any_unicast = false;
-    for (const Pending& e : due) {
+    bool any_broadcast = false;
+    for (const Pending& e : due_scratch_) {
       if (!e.broadcast) {
         any_unicast = true;
         continue;
       }
+      any_broadcast = true;
       // Metrics: Σ over alive non-halted receivers q of |S \ {q}|.
       std::uint64_t in_set = e.copies;
       if (needs_snapshots_) {
@@ -492,32 +691,63 @@ class CohortNet {
       }
       deliveries_ +=
           e.payload->size() * (alive_nonhalted * e.copies - in_set);
-      // State: one shared-payload receive per class.  The sender class
-      // receives it too — for members that ARE the sender this merely
-      // re-adds their own round message (a set no-op), exactly as peers'
-      // identical broadcasts would.
-      for (auto& c : cohorts_)
-        if (!c->halted) c->rep->receive(e.payload, e.msg_round);
     }
-    if (any_unicast) deliver_unicasts(due, r);
+    // State fan-out, loop-exchanged and sharded over classes: each class
+    // applies the round's broadcasts in calendar order.  The sender class
+    // receives its own payload too — for members that ARE the sender this
+    // merely re-adds their own round message (a set no-op), exactly as
+    // peers' identical broadcasts would.  The exchange is unobservable:
+    // per-receiver insertion order is preserved and views sort by content.
+    if (any_broadcast) {
+      if (!sharded_) {
+        receive_broadcasts_range(0, cohorts_.size());
+      } else {
+        WorkerPool::shared().parallel_for(
+            shard_ranges_.size(),
+            [this](std::size_t s) {
+              receive_broadcasts_range(shard_ranges_[s].first,
+                                       shard_ranges_[s].second);
+            },
+            participants_);
+      }
+    }
+    if (any_unicast) deliver_unicasts(due_scratch_, r);
+    due_scratch_.clear();
+  }
+
+  void receive_broadcasts_range(std::size_t begin, std::size_t end) {
+    for (std::size_t ci = begin; ci < end; ++ci) {
+      Cohort& c = *cohorts_[ci];
+      if (c.halted) continue;
+      for (const Pending& e : due_scratch_)
+        if (e.broadcast) c.rep->receive(e.payload, e.msg_round);
+    }
   }
 
   // Per-link deliveries: count metrics per entry, then partition each
   // affected class by the SET of (msg_round, payload) pairs its members
   // received — the exact condition under which members stay equivalent.
+  // The receiver partition and the split maps are arena-backed: bump
+  // allocations, reclaimed wholesale at the next asymmetric round's reset
+  // (every container below dies before this function returns).
   void deliver_unicasts(const std::vector<Pending>& due, Round /*r*/) {
-    std::unordered_map<ProcId, std::vector<const Pending*>> by_receiver;
+    arena_.reset();
+    auto by_receiver = make_arena_umap<ProcId, ArenaVector<const Pending*>>(
+        arena_, due.size());
     for (const Pending& e : due) {
       if (e.broadcast) continue;
       const std::uint32_t ci = cohort_of_[e.receiver];
       if (ci == kDead || cohorts_[ci]->halted) continue;  // dropped silently
       deliveries_ += e.payload->size();
-      by_receiver[e.receiver].push_back(&e);
+      auto [it, inserted] = by_receiver.try_emplace(
+          e.receiver, ArenaAlloc<const Pending*>(&arena_));
+      it->second.push_back(&e);
     }
     if (by_receiver.empty()) return;
 
     // (msg_round, payload) identifies content: payloads are interned per
-    // (content, engine round), so pointer equality is content equality.
+    // (content, engine round) and canonicalized across shards, so pointer
+    // equality is content equality.
     using Sig = std::vector<std::pair<Round, SharedBatch<M>>>;
     auto sig_less = [](const typename Sig::value_type& x,
                        const typename Sig::value_type& y) {
@@ -537,6 +767,10 @@ class CohortNet {
       return s;
     };
 
+    using ClassAlloc = ArenaAlloc<std::pair<const Sig, std::vector<ProcId>>>;
+    using ClassMap = std::map<Sig, std::vector<ProcId>, std::less<Sig>,
+                              ClassAlloc>;
+
     bool structural = false;
     const std::size_t existing = cohorts_.size();
     for (std::size_t ci = 0; ci < existing; ++ci) {
@@ -544,7 +778,7 @@ class CohortNet {
       if (c.halted) continue;
       // Partition members by signature, preserving member order so the
       // class layout (and hence everything downstream) is deterministic.
-      std::map<Sig, std::vector<ProcId>> classes;
+      ClassMap classes{std::less<Sig>(), ClassAlloc(&arena_)};
       bool any = false;
       for (ProcId p : c.members) {
         Sig s = sig_of(p);
@@ -599,28 +833,42 @@ class CohortNet {
       c.rep->receive(batch, msg_round);
   }
 
-  // Merge pass: bucket classes by digest, confirm exact equality, absorb.
+  // Merge pass: digest every class (sharded), group equal digests by
+  // sorting flat (digest, index) pairs — the buckets are runs in a
+  // capacity-retaining scratch vector, not a node-allocating hash map —
+  // confirm exact equality, absorb.  Ascending index order within a run
+  // keeps the winner choice identical to the serial engine's.
   void merge_converged() {
-    if (cohorts_.size() <= 1) return;
-    std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
-    buckets.reserve(cohorts_.size());
-    for (std::size_t i = 0; i < cohorts_.size(); ++i) {
-      std::uint64_t h = cohorts_[i]->rep->state_digest();
-      h = detail::mix_digest(h, cohorts_[i]->halted ? 1 : 0);
-      buckets[h].push_back(i);
+    const std::size_t count = cohorts_.size();
+    if (count <= 1) return;
+    merge_digests_.resize(count);
+    if (!sharded_) {
+      digest_range(0, count);
+    } else {
+      rebuild_shard_ranges(count);
+      WorkerPool::shared().parallel_for(
+          shard_ranges_.size(),
+          [this](std::size_t s) {
+            digest_range(shard_ranges_[s].first, shard_ranges_[s].second);
+          },
+          participants_);
     }
-    if (buckets.size() == cohorts_.size()) return;
+    merge_scratch_.clear();
+    for (std::uint32_t i = 0; i < count; ++i)
+      merge_scratch_.push_back({merge_digests_[i], i});
+    std::sort(merge_scratch_.begin(), merge_scratch_.end());
 
     bool structural = false;
-    std::vector<char> absorbed(cohorts_.size(), 0);
-    for (auto& [h, idxs] : buckets) {
-      if (idxs.size() < 2) continue;
-      for (std::size_t a = 0; a < idxs.size(); ++a) {
-        if (absorbed[idxs[a]]) continue;
-        Cohort& winner = *cohorts_[idxs[a]];
-        for (std::size_t b = a + 1; b < idxs.size(); ++b) {
-          if (absorbed[idxs[b]]) continue;
-          Cohort& loser = *cohorts_[idxs[b]];
+    for (std::size_t i = 0; i < count;) {
+      std::size_t j = i + 1;
+      while (j < count && merge_scratch_[j].first == merge_scratch_[i].first)
+        ++j;
+      for (std::size_t a = i; j - i >= 2 && a < j; ++a) {
+        Cohort& winner = *cohorts_[merge_scratch_[a].second];
+        if (winner.members.empty()) continue;  // absorbed earlier this pass
+        for (std::size_t b = a + 1; b < j; ++b) {
+          Cohort& loser = *cohorts_[merge_scratch_[b].second];
+          if (loser.members.empty()) continue;
           if (winner.halted != loser.halted ||
               !winner.rep->same_state(*loser.rep))
             continue;
@@ -635,28 +883,52 @@ class CohortNet {
           winner.members = std::move(merged);
           winner.correct_members += loser.correct_members;
           loser.members.clear();
-          absorbed[idxs[b]] = 1;
           ++stats_.merges;
           structural = true;
         }
       }
+      i = j;
     }
     if (structural) purge_sort_reindex();
   }
 
+  void digest_range(std::size_t begin, std::size_t end) {
+    for (std::size_t ci = begin; ci < end; ++ci)
+      merge_digests_[ci] = detail::mix_digest(
+          cohorts_[ci]->rep->state_digest(), cohorts_[ci]->halted ? 1 : 0);
+  }
+
   void note_decisions() {
-    for (auto& c : cohorts_) {
-      if (c->decided_noted || !c->rep->decision().has_value()) continue;
-      for (ProcId p : c->members)
+    if (!sharded_) {
+      note_decisions_range(0, cohorts_.size());
+      return;
+    }
+    rebuild_shard_ranges(cohorts_.size());
+    WorkerPool::shared().parallel_for(
+        shard_ranges_.size(),
+        [this](std::size_t s) {
+          note_decisions_range(shard_ranges_[s].first,
+                               shard_ranges_[s].second);
+        },
+        participants_);
+  }
+
+  // Stamps decision rounds for a class range.  Classes own disjoint member
+  // sets, so shard writes to decision_round_ never collide.
+  void note_decisions_range(std::size_t begin, std::size_t end) {
+    for (std::size_t ci = begin; ci < end; ++ci) {
+      Cohort& c = *cohorts_[ci];
+      if (c.decided_noted || !c.rep->decision().has_value()) continue;
+      for (ProcId p : c.members)
         if (decision_round_[p] == kNoRound) decision_round_[p] = round_ - 1;
-      c->decided_noted = true;
+      c.decided_noted = true;
     }
   }
 
   // Drops emptied classes, restores the smallest-member ordering and
-  // rewrites the process→class index.  O(C log C + n); only runs on
-  // structural changes (splits, merges, deaths) — never on the steady-state
-  // fast path.
+  // rewrites the process→class index (sharded — the one O(n) pass left on
+  // structural rounds).  Only runs on structural changes (splits, merges,
+  // deaths) — never on the steady-state fast path.
   void purge_sort_reindex() {
     cohorts_.erase(std::remove_if(cohorts_.begin(), cohorts_.end(),
                                   [](const std::unique_ptr<Cohort>& c) {
@@ -668,8 +940,21 @@ class CohortNet {
                  const std::unique_ptr<Cohort>& b) {
                 return a->members.front() < b->members.front();
               });
-    for (std::uint32_t i = 0; i < cohorts_.size(); ++i)
-      for (ProcId p : cohorts_[i]->members) cohort_of_[p] = i;
+    if (!sharded_ || cohorts_.size() < 2) {
+      for (std::uint32_t i = 0; i < cohorts_.size(); ++i)
+        for (ProcId p : cohorts_[i]->members) cohort_of_[p] = i;
+    } else {
+      rebuild_shard_ranges(cohorts_.size());
+      WorkerPool::shared().parallel_for(
+          shard_ranges_.size(),
+          [this](std::size_t s) {
+            for (std::size_t ci = shard_ranges_[s].first;
+                 ci < shard_ranges_[s].second; ++ci)
+              for (ProcId p : cohorts_[ci]->members)
+                cohort_of_[p] = static_cast<std::uint32_t>(ci);
+          },
+          participants_);
+    }
     stats_.cohorts = cohorts_.size();
     stats_.max_cohorts = std::max(stats_.max_cohorts, cohorts_.size());
   }
@@ -686,7 +971,6 @@ class CohortNet {
   std::vector<std::pair<Round, ProcId>> crash_events_;
   std::size_t next_crash_ = 0;
   RoundCalendar<Pending> calendar_;
-  BatchInterner<M> interner_;
   bool needs_snapshots_ = false;
   CohortStats stats_;
   std::uint64_t deliveries_ = 0;
@@ -694,6 +978,23 @@ class CohortNet {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t fault_drops_ = 0;
   std::uint64_t fault_dups_ = 0;
+
+  // Sharded-mode machinery (shard_count_ == 1 is the serial reference) and
+  // per-round scratch, all capacity-retaining across rounds.
+  bool sharded_ = false;
+  std::size_t shard_count_ = 1;
+  std::size_t participants_ = 1;
+  std::vector<std::pair<std::size_t, std::size_t>> shard_ranges_;
+  std::vector<BatchInterner<M>> interners_;  // one per shard
+  Round wave_round_ = 0;  // staged for the this-only-capture wave lambdas
+  std::vector<WaveOut> wave_out_;  // per class, current wave
+  std::vector<CanonEntry> canon_scratch_;
+  std::vector<RemapEntry> remap_scratch_;
+  std::vector<std::uint64_t> merge_digests_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> merge_scratch_;
+  std::vector<std::uint64_t> reduce_scratch_;
+  std::vector<Pending> due_scratch_;  // recycled take_due buffer
+  RoundArena arena_;  // asymmetric-round receiver partitions + split maps
 
   void sort_and_reindex() { purge_sort_reindex(); }
 };

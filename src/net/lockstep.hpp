@@ -37,9 +37,17 @@
 //    sender's broadcast is aggregated into a per-payload *group* delivered
 //    by content once per receiver (the n² per-link entries of the serial
 //    engine exist only as counter arithmetic), which is what makes
-//    adversarial runs at n = 10^5 feasible at all.  Reports, metrics and
-//    traces are byte-identical to the serial engine at every shard/thread
-//    count; tests/sharded_net_test.cpp holds the two modes to that bar.
+//    adversarial runs at n = 10^5 feasible at all.  Group building is
+//    itself sharded: each shard pre-groups its own uniform senders during
+//    the wave, the barrier only merges the few per-shard (payload,
+//    member-range) summaries, and member lists are copied into the global
+//    groups by a second sharded pass — no O(n) serial section remains on
+//    the steady-state round path.  Barrier-local scratch lives in a
+//    RoundArena (core/arena.hpp) and groups are pooled, so steady-state
+//    rounds allocate nothing (tests/allocation_steady_state_test.cpp).
+//    Reports, metrics and traces are byte-identical to the serial engine
+//    at every shard/thread count; tests/sharded_net_test.cpp holds the two
+//    modes to that bar.
 #pragma once
 
 #include <algorithm>
@@ -51,6 +59,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "core/arena.hpp"
 #include "core/calendar.hpp"
 #include "core/sweep.hpp"
 #include "core/worker_pool.hpp"
@@ -261,9 +270,19 @@ class LockstepNet {
     std::vector<ProcId> members;  // senders, globally ascending
   };
 
-  struct UniformOut {
-    ProcId sender;
-    SharedBatch<M> payload;  // shard-local (pre-canonicalization)
+  // A shard's uniform senders of one (shard-local) payload this wave: the
+  // shard-side half of group building.  Recycled by count, not clear(), so
+  // member capacity survives rounds.
+  struct PreGroup {
+    SharedBatch<M> payload;       // shard-local (pre-canonicalization)
+    std::vector<ProcId> members;  // this shard's senders, ascending
+  };
+
+  // Shard-local payload -> network-canonical payload, one entry per losing
+  // object, sorted by raw pointer for binary-search reads.
+  struct RemapEntry {
+    const MessageBatch<M>* from = nullptr;
+    SharedBatch<M> to;
   };
 
   struct Shard {
@@ -271,16 +290,26 @@ class LockstepNet {
     BatchInterner<M> interner;  // per-shard; canonicalized at the barrier
     RoundCalendar<Exact> calendar;           // deliveries to this shard
     std::vector<std::vector<OutEntry>> outbox;  // [receiver shard]
-    std::vector<UniformOut> uniform_out;     // this round's uniform senders
-    // Shard-local payload -> network-canonical payload, rebuilt each round
-    // at the merge barrier; read-only (concurrently) during delivery.
-    std::unordered_map<const MessageBatch<M>*, SharedBatch<M>> remap;
+    std::vector<PreGroup> pregroups;  // this wave's uniform senders, grouped
+    std::size_t pregroup_count = 0;   // live prefix of `pregroups`
+    // Payload -> pregroup index, populated only past kGroupScanLimit
+    // distinct payloads (the linear scan covers the common case for free).
+    std::unordered_map<const MessageBatch<M>*, std::size_t> pregroup_index;
+    // Rebuilt each round at the merge barrier; read-only (concurrently)
+    // during the delivery wave.
+    std::vector<RemapEntry> remap;
     std::vector<EndOfRoundEvent> eor_buf;    // spliced in shard order
     std::vector<DeliveryEvent> delivery_buf;  // sorted at the barrier
     std::vector<Exact> due_scratch;          // recycled take_due buffer
     std::uint64_t sends = 0, bytes = 0, deliveries = 0;
     std::uint64_t fdrops = 0, fdups = 0;  // folded at the merge barrier
   };
+
+  // Above this many distinct payloads, pointer lookups (pregroups within a
+  // shard, groups at the barrier) switch from linear scan to a hash index.
+  // Steady-state rounds see a handful of distinct payloads and never touch
+  // the maps (linear scan allocates nothing).
+  static constexpr std::size_t kGroupScanLimit = 32;
 
   void init_shards() {
     std::size_t threads = opt_.engine_threads == 0
@@ -350,7 +379,8 @@ class LockstepNet {
       return;
     }
     calendar_.advance_to(r);
-    for (const Pending& d : calendar_.take_due()) {
+    calendar_.take_due_into(due_scratch_);
+    for (const Pending& d : due_scratch_) {
       if (!receives_at(d.receiver, r)) continue;  // dead or halted
       procs_[d.receiver]->receive(d.payload, d.msg_round);
       deliveries_ += d.payload->size();
@@ -358,6 +388,7 @@ class LockstepNet {
         trace_.record_delivery(d.sender, d.msg_round, d.receiver,
                                procs_[d.receiver]->round(), r);
     }
+    due_scratch_.clear();  // drop the payload refs until the next round
   }
 
   void note_decisions() {
@@ -425,11 +456,16 @@ class LockstepNet {
         (opt_.faults != nullptr && opt_.faults->active())
             ? std::nullopt
             : delays_.uniform_delay(next);
-    const bool per_link_trace = opt_.record_trace && opt_.record_deliveries;
+    // Wave arguments are staged in members so the job lambda captures only
+    // `this`: it stays within std::function's small-buffer optimization
+    // and the dispatch itself allocates nothing.
+    wave_round_ = next;
+    wave_ud_ = ud;
+    wave_plt_ = opt_.record_trace && opt_.record_deliveries;
     WorkerPool::shared().parallel_for(
         shards_.size(),
-        [&](std::size_t s) {
-          shard_eor(shards_[s], next, ud, per_link_trace);
+        [this](std::size_t s) {
+          shard_eor(shards_[s], wave_round_, wave_ud_, wave_plt_);
         },
         participants_);
     merge_eor_barrier(next, ud);
@@ -438,7 +474,7 @@ class LockstepNet {
   void shard_eor(Shard& sh, Round next, std::optional<Round> ud,
                  bool per_link_trace) {
     sh.interner.round_reset();
-    sh.uniform_out.clear();
+    sh.pregroup_count = 0;
     for (ProcId p = sh.begin; p < sh.end; ++p) {
       if (next > crash_round_[p] || halted_[p]) continue;
       shard_step_eor(sh, p, next, ud, per_link_trace);
@@ -471,12 +507,12 @@ class LockstepNet {
 
     if (ud.has_value() && !crashing && !per_link_trace) {
       // Uniform fast path: every link has delay *ud, so the n-1 per-link
-      // calendar entries collapse to counter arithmetic plus one group
-      // membership (built at the barrier).  Per-link trace mode opts out —
-      // it needs the individual link events.
+      // calendar entries collapse to counter arithmetic plus one pregroup
+      // membership (merged across shards at the barrier).  Per-link trace
+      // mode opts out — it needs the individual link events.
       sh.sends += payload->size() * (n_ - 1);
       sh.bytes += static_cast<std::uint64_t>(batch_bytes) * (n_ - 1);
-      sh.uniform_out.push_back({p, payload});
+      sh.pregroups[find_or_add_pregroup(sh, payload)].members.push_back(p);
       return;
     }
 
@@ -509,9 +545,83 @@ class LockstepNet {
     }
   }
 
+  // A shard's pregroup lookup during the wave: linear scan through the few
+  // live pregroups, hash index past kGroupScanLimit.  Steady state: scan
+  // hit, zero allocations (pregroups recycle by count, keeping capacity).
+  std::size_t find_or_add_pregroup(Shard& sh, const SharedBatch<M>& payload) {
+    if (sh.pregroup_count <= kGroupScanLimit) {
+      for (std::size_t i = 0; i < sh.pregroup_count; ++i)
+        if (sh.pregroups[i].payload.get() == payload.get()) return i;
+    } else if (auto it = sh.pregroup_index.find(payload.get());
+               it != sh.pregroup_index.end()) {
+      return it->second;
+    }
+    const std::size_t idx = sh.pregroup_count;
+    if (idx == sh.pregroups.size()) sh.pregroups.emplace_back();
+    PreGroup& pg = sh.pregroups[idx];
+    pg.payload = payload;
+    pg.members.clear();
+    ++sh.pregroup_count;
+    if (sh.pregroup_count == kGroupScanLimit + 1) {
+      sh.pregroup_index.clear();
+      for (std::size_t i = 0; i < sh.pregroup_count; ++i)
+        sh.pregroup_index.emplace(sh.pregroups[i].payload.get(), i);
+    } else if (sh.pregroup_count > kGroupScanLimit + 1) {
+      sh.pregroup_index.emplace(payload.get(), idx);
+    }
+    return idx;
+  }
+
+  // Barrier-side group lookup, same hybrid shape over this wave's groups.
+  std::size_t find_or_add_group(SharedBatch<M> canon, Round next) {
+    if (wave_groups_.size() <= kGroupScanLimit) {
+      for (std::size_t g = 0; g < wave_groups_.size(); ++g)
+        if (wave_groups_[g]->payload.get() == canon.get()) return g;
+    } else if (auto it = group_index_.find(canon.get());
+               it != group_index_.end()) {
+      return it->second;
+    }
+    std::shared_ptr<Group> grp;
+    if (!group_pool_.empty()) {
+      grp = std::move(group_pool_.back());
+      group_pool_.pop_back();
+    } else {
+      grp = std::make_shared<Group>();
+    }
+    grp->payload = std::move(canon);
+    grp->msg_round = next;
+    grp->members.clear();
+    wave_groups_.push_back(std::move(grp));
+    group_totals_.push_back(0);
+    if (wave_groups_.size() == kGroupScanLimit + 1) {
+      group_index_.clear();
+      for (std::size_t g = 0; g < wave_groups_.size(); ++g)
+        group_index_.emplace(wave_groups_[g]->payload.get(), g);
+    } else if (wave_groups_.size() > kGroupScanLimit + 1) {
+      group_index_.emplace(wave_groups_.back()->payload.get(),
+                           wave_groups_.size() - 1);
+    }
+    return wave_groups_.size() - 1;
+  }
+
+  static void remap_payload(const Shard& owner, SharedBatch<M>& payload) {
+    if (owner.remap.empty()) return;
+    auto it = std::lower_bound(
+        owner.remap.begin(), owner.remap.end(), payload.get(),
+        [](const RemapEntry& e, const MessageBatch<M>* key) {
+          return e.from < key;
+        });
+    if (it != owner.remap.end() && it->from == payload.get())
+      payload = it->to;
+  }
+
   // The serial slice between the waves: splice trace buffers and counters
   // (shard order = process order), canonicalize freshly interned payloads
-  // across shards, and fold uniform senders into per-payload groups.
+  // across shards, and merge the shards' pregroups into per-payload
+  // groups.  The only O(n) work left — copying member lists into the
+  // global groups — runs as a second sharded pass; everything serial here
+  // is O(shards × distinct payloads).  Scratch lives in the round arena,
+  // reclaimed wholesale by the reset at the next barrier.
   void merge_eor_barrier(Round next, std::optional<Round> ud) {
     for (Shard& sh : shards_) {
       for (const EndOfRoundEvent& e : sh.eor_buf)
@@ -523,54 +633,104 @@ class LockstepNet {
       fault_dups_ += sh.fdups;
       sh.sends = sh.bytes = sh.fdrops = sh.fdups = 0;
     }
+    arena_.reset();
 
-    // Canonicalization: the first shard (in shard order) to intern a given
-    // content wins; later shards map their local object to the canonical
-    // one.  Purely an identity decision — every observable (metrics,
-    // inbox views, traces) is content-based — but it preserves the serial
-    // engine's payload-sharing invariant: one object per content
-    // network-wide, so receiver dedup stays a pointer compare.
-    canon_.clear();
-    for (Shard& sh : shards_) {
-      sh.remap.clear();
-      for (const SharedBatch<M>& b : sh.interner.fresh()) {
-        auto& bucket = canon_[b->digest];
-        bool hit = false;
-        for (const SharedBatch<M>& c : bucket) {
-          if (c->size() == b->size() && c->msgs == b->msgs) {
-            sh.remap.emplace(b.get(), c);
-            hit = true;
-            break;
+    // Canonicalization, first discovery wins: the first shard (in shard
+    // order) to intern a given content provides the network-wide object;
+    // later shards record a remap from their local object.  Purely an
+    // identity decision — every observable (metrics, inbox views, traces)
+    // is content-based — but it preserves the serial engine's payload-
+    // sharing invariant: one object per content network-wide, so receiver
+    // dedup stays a pointer compare.  Sorting flat (digest, discovery-seq)
+    // entries replaces the old per-digest hash buckets: same winner, no
+    // node allocations.
+    struct BarrierCanon {
+      std::uint64_t digest;
+      std::uint32_t seq;    // discovery order: shard order, in-shard order
+      std::uint32_t shard;  // owner of `batch` (its remap gets the entry)
+      SharedBatch<M> batch;
+    };
+    ArenaVector<BarrierCanon> canon{ArenaAlloc<BarrierCanon>(&arena_)};
+    std::uint32_t seq = 0;
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+      shards_[s].remap.clear();
+      for (const SharedBatch<M>& b : shards_[s].interner.fresh())
+        canon.push_back({b->digest, seq++, s, b});
+    }
+    if (canon.size() > 1) {
+      std::sort(canon.begin(), canon.end(),
+                [](const BarrierCanon& a, const BarrierCanon& b) {
+                  if (a.digest != b.digest) return a.digest < b.digest;
+                  return a.seq < b.seq;
+                });
+      for (std::size_t i = 0; i < canon.size();) {
+        std::size_t j = i + 1;
+        while (j < canon.size() && canon[j].digest == canon[i].digest) ++j;
+        for (std::size_t a = i; j - i >= 2 && a < j; ++a) {
+          if (canon[a].batch == nullptr) continue;  // remapped already
+          for (std::size_t b = a + 1; b < j; ++b) {
+            if (canon[b].batch == nullptr) continue;
+            if (canon[a].batch->msgs == canon[b].batch->msgs) {
+              shards_[canon[b].shard].remap.push_back(
+                  {canon[b].batch.get(), canon[a].batch});
+              canon[b].batch = nullptr;
+            }
           }
         }
-        if (!hit) bucket.push_back(b);
+        i = j;
       }
+      for (Shard& sh : shards_)
+        std::sort(sh.remap.begin(), sh.remap.end(),
+                  [](const RemapEntry& a, const RemapEntry& b) {
+                    return a.from < b.from;
+                  });
     }
 
-    // Group the uniform senders by canonical payload.  Shard order then
-    // in-shard order makes `members` globally ascending.
-    if (ud.has_value()) {
-      group_index_.clear();
-      std::vector<std::shared_ptr<Group>> groups;
-      for (Shard& sh : shards_) {
-        for (UniformOut& u : sh.uniform_out) {
-          SharedBatch<M> canon = u.payload;
-          if (auto it = sh.remap.find(canon.get()); it != sh.remap.end())
-            canon = it->second;
-          auto [git, inserted] =
-              group_index_.try_emplace(canon.get(), groups.size());
-          if (inserted) {
-            groups.push_back(std::make_shared<Group>());
-            groups.back()->payload = std::move(canon);
-            groups.back()->msg_round = next;
-          }
-          groups[git->second]->members.push_back(u.sender);
-        }
-        sh.uniform_out.clear();
+    // Merge the shards' pregroups by canonical payload.  Shard order then
+    // in-shard order keeps every group's `members` globally ascending; the
+    // serial half only assigns (group, offset) slots, and the member lists
+    // themselves are copied shard-parallel below.
+    if (!ud.has_value()) return;
+    wave_groups_.clear();
+    group_totals_.clear();
+    struct BuildRef {
+      std::uint32_t shard, pregroup, group;
+      std::size_t offset;  // into the group's member list
+    };
+    ArenaVector<BuildRef> refs{ArenaAlloc<BuildRef>(&arena_)};
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+      Shard& sh = shards_[s];
+      for (std::uint32_t i = 0; i < sh.pregroup_count; ++i) {
+        SharedBatch<M> canonical = sh.pregroups[i].payload;
+        remap_payload(sh, canonical);
+        const std::size_t g = find_or_add_group(std::move(canonical), next);
+        refs.push_back({s, i, static_cast<std::uint32_t>(g),
+                        group_totals_[g]});
+        group_totals_[g] += sh.pregroups[i].members.size();
       }
-      for (std::shared_ptr<Group>& g : groups)
-        group_cal_.schedule(next + *ud, std::move(g));
     }
+    for (std::size_t g = 0; g < wave_groups_.size(); ++g)
+      wave_groups_[g]->members.resize(group_totals_[g]);
+    if (!refs.empty()) {
+      const ArenaVector<BuildRef>* refp = &refs;
+      WorkerPool::shared().parallel_for(
+          shards_.size(),
+          [this, refp](std::size_t s) {
+            for (const BuildRef& br : *refp) {
+              if (br.shard != s) continue;
+              PreGroup& pg = shards_[s].pregroups[br.pregroup];
+              std::copy(pg.members.begin(), pg.members.end(),
+                        wave_groups_[br.group]->members.begin() + br.offset);
+              pg.payload.reset();
+              pg.members.clear();
+            }
+          },
+          participants_);
+    }
+    for (std::shared_ptr<Group>& g : wave_groups_)
+      group_cal_.schedule(next + *ud, std::move(g));
+    wave_groups_.clear();
+    if (!group_index_.empty()) group_index_.clear();
   }
 
   // ---- sharded path: delivery wave ------------------------------------------
@@ -578,16 +738,27 @@ class LockstepNet {
   void deliver_wave(Round r) {
     group_cal_.advance_to(r);
     group_cal_.take_due_into(due_groups_);
-    const bool per_link_trace = opt_.record_trace && opt_.record_deliveries;
+    wave_round_ = r;
+    wave_plt_ = opt_.record_trace && opt_.record_deliveries;
     WorkerPool::shared().parallel_for(
         shards_.size(),
-        [&](std::size_t t) { shard_deliver(t, r, per_link_trace); },
+        [this](std::size_t t) { shard_deliver(t, wave_round_, wave_plt_); },
         participants_);
     for (Shard& sh : shards_) {
       deliveries_ += sh.deliveries;
       sh.deliveries = 0;
     }
-    if (per_link_trace) splice_delivery_events();
+    if (wave_plt_) splice_delivery_events();
+    // Retire this round's groups into the pool (sole-owner refs only):
+    // steady-state rounds rebuild the same few groups, so group
+    // construction stops allocating after warm-up.
+    for (std::shared_ptr<const Group>& g : due_groups_) {
+      if (g.use_count() != 1) continue;
+      auto mg = std::const_pointer_cast<Group>(g);
+      mg->payload.reset();
+      mg->members.clear();
+      group_pool_.push_back(std::move(mg));
+    }
     due_groups_.clear();
   }
 
@@ -601,9 +772,7 @@ class LockstepNet {
     for (Shard& from : shards_) {
       std::vector<OutEntry>& box = from.outbox[t];
       for (OutEntry& oe : box) {
-        if (auto it = from.remap.find(oe.e.payload.get());
-            it != from.remap.end())
-          oe.e.payload = it->second;
+        remap_payload(from, oe.e.payload);
         sh.calendar.schedule(oe.due, std::move(oe.e));
       }
       box.clear();
@@ -694,6 +863,7 @@ class LockstepNet {
 
   // Serial reference path.
   RoundCalendar<Pending> calendar_;
+  std::vector<Pending> due_scratch_;  // recycled take_due buffer (serial path)
   BatchInterner<M> interner_;
 
   // Sharded path (empty shards_ = serial mode).
@@ -702,9 +872,19 @@ class LockstepNet {
   std::size_t shard_base_ = 0, shard_rem_ = 0;
   RoundCalendar<std::shared_ptr<const Group>> group_cal_;
   std::vector<std::shared_ptr<const Group>> due_groups_;
-  std::unordered_map<std::uint64_t, std::vector<SharedBatch<M>>> canon_;
-  std::unordered_map<const MessageBatch<M>*, std::size_t> group_index_;
   std::vector<DeliveryEvent> delivery_splice_;
+  // Wave arguments staged for the [this]-only job lambdas (read-only while
+  // a wave runs), plus the barrier's group-building state: this wave's
+  // groups and their member counts, a pool of retired Group objects, the
+  // past-the-scan-limit hash fallback, and the barrier scratch arena.
+  Round wave_round_ = 0;
+  std::optional<Round> wave_ud_;
+  bool wave_plt_ = false;
+  std::vector<std::shared_ptr<Group>> wave_groups_;
+  std::vector<std::size_t> group_totals_;
+  std::vector<std::shared_ptr<Group>> group_pool_;
+  std::unordered_map<const MessageBatch<M>*, std::size_t> group_index_;
+  RoundArena arena_;
 
   std::uint64_t deliveries_ = 0;
   std::uint64_t sends_ = 0;

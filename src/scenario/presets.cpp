@@ -321,6 +321,17 @@ void register_builtin_presets(ScenarioRegistry& reg) {
   add("E12 cohort-collapsed E1-shaped run, n=4096 (8 proposal values)",
       e12_spec("e12-cohort", 4096));
   add("E12 smoke cell: n=256", e12_spec("e12-fast", 256));
+  {
+    // E12 at scale: the cohort engine with intra-run sharding
+    // (engine_threads=0 = one shard per hardware thread).  The 8-value
+    // proposal cycle keeps the class count tiny, so the run's cost is the
+    // O(n) setup/metric passes — the part the shards absorb.
+    ScenarioSpec huge = e12_spec("e12-huge", 100'000'000);
+    huge.consensus.engine_threads = 0;
+    add("E12 at scale: cohort-collapsed failure-free run at n=10^8, "
+        "sharded intra-run",
+        std::move(huge));
+  }
   add("E13 sharded intra-run E1-shaped run, n=4096, 8 mid-flight crashes",
       e13_spec("e13-sharded", 4096, 8));
   add("E13 smoke cell: n=256, 4 crashes", e13_spec("e13-fast", 256, 4));

@@ -1060,10 +1060,6 @@ std::vector<SpecError> validate_scenario_spec(const ScenarioSpec& spec) {
         if (c.probe != ConsensusSpecSection::Probe::kDecision)
           err("consensus.probe",
               "non-decision probes require the expanded backend");
-        if (c.engine_threads != 1)
-          err("consensus.engine_threads",
-              "intra-run sharding runs on the expanded backend — the cohort "
-              "engine parallelizes by collapsing processes instead");
       }
       const bool bivalent =
           c.schedule == ConsensusSpecSection::Schedule::kBivalentMs ||

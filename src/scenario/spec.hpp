@@ -97,10 +97,12 @@ struct ConsensusSpecSection {
 
   ConsensusAlgo algo = ConsensusAlgo::kEs;
   ConsensusBackend backend = ConsensusBackend::kExpanded;
-  // Worker-pool participants for the expanded backend's intra-run waves
-  // (LockstepOptions::engine_threads): 1 = the serial reference engine,
-  // 0 = one per hardware thread, N = N-shard parallel engine.  Results are
-  // byte-identical at any value; the cohort backend rejects != 1.
+  // Worker-pool participants for either backend's intra-run waves
+  // (LockstepOptions::engine_threads / CohortOptions::engine_threads):
+  // 1 = the serial reference engine, 0 = one per hardware thread, N = the
+  // N-shard parallel engine.  Results are byte-identical at any value on
+  // both backends — the cohort engine shards its class list the same way
+  // the expanded engine shards processes.
   std::size_t engine_threads = 1;
   Schedule schedule = Schedule::kEnv;
   Probe probe = Probe::kDecision;

@@ -1,0 +1,146 @@
+// Allocation-counter proof that the round engines stopped allocating in
+// steady state (PR 8's arena + scratch-recycling work).
+//
+// Workload: ES consensus under synchronous delays with kContinueForever —
+// after the decision round every process re-broadcasts its frozen {VAL}
+// message, so round content repeats forever.  In that steady state a round
+// must perform ZERO heap allocations on every engine:
+//   * serial LockstepNet      (per-link calendar entries recycled),
+//   * sharded LockstepNet     (pregroup/group pools, arena barrier scratch,
+//                              [this]-only wave captures),
+//   * serial CohortNet        (interner generation reuse, own-cache hits),
+//   * sharded CohortNet       (per-shard interners, arena digest buckets).
+// The measurement window is placed between BatchInterner compaction
+// generations (every 64 round_resets) so the counter sees only the round
+// path itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "algo/es_consensus.hpp"
+#include "net/cohort.hpp"
+#include "net/lockstep.hpp"
+#include "net/schedule.hpp"
+
+// Binary-global allocation counter (this test binary only).  GCC's
+// -Wmismatched-new-delete sees the malloc inside the counting operator new
+// paired with inlined deletes and mis-fires; the pairing is intentional
+// (delete frees with std::free below).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace anon {
+namespace {
+
+// 66 warm-up rounds cross the interners' gen-64 compaction and wrap every
+// calendar ring slot the measured rounds will touch; 30 measured rounds
+// stay clear of the next compaction at gen 128.
+constexpr Round kWarmup = 66;
+constexpr Round kMeasure = 30;
+constexpr std::size_t kN = 32;
+
+// Three proposal values (≤ the FlatSet inline capacity of 4): the messages
+// themselves never heap-allocate, so the counter isolates the engines.
+std::vector<Value> initial_values() {
+  std::vector<Value> init;
+  init.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i)
+    init.push_back(Value(100 + static_cast<std::int64_t>(i % 3)));
+  return init;
+}
+
+template <typename Net>
+std::size_t measure_steady_rounds(Net& net) {
+  net.run_rounds(kWarmup);
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  net.run_rounds(kMeasure);
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+LockstepOptions lockstep_options(std::size_t engine_threads,
+                                 std::size_t engine_shards) {
+  LockstepOptions opt;
+  opt.seed = 42;
+  opt.record_trace = false;
+  opt.record_deliveries = false;
+  opt.halt_policy = HaltPolicy::kContinueForever;
+  opt.engine_threads = engine_threads;
+  opt.engine_shards = engine_shards;
+  return opt;
+}
+
+std::size_t lockstep_steady_allocations(std::size_t engine_threads,
+                                        std::size_t engine_shards) {
+  std::vector<std::unique_ptr<Automaton<EsMessage>>> autos;
+  for (const Value& v : initial_values())
+    autos.push_back(std::make_unique<EsConsensus>(v));
+  const SynchronousDelays delays;
+  LockstepNet<EsMessage> net(std::move(autos), delays, CrashPlan{},
+                             lockstep_options(engine_threads, engine_shards));
+  const std::size_t allocs = measure_steady_rounds(net);
+  EXPECT_TRUE(net.all_correct_decided()) << "run must converge in warm-up";
+  return allocs;
+}
+
+std::size_t cohort_steady_allocations(std::size_t engine_threads) {
+  CohortOptions opt;
+  opt.seed = 42;
+  opt.halt_policy = HaltPolicy::kContinueForever;
+  opt.engine_threads = engine_threads;
+  const SynchronousDelays delays;
+  auto groups = groups_by_initial_value<EsMessage>(
+      initial_values(),
+      [](const Value& v) { return std::make_unique<EsConsensus>(v); });
+  CohortNet<EsMessage> net(std::move(groups), delays, CrashPlan{}, opt);
+  const std::size_t allocs = measure_steady_rounds(net);
+  EXPECT_TRUE(net.all_correct_decided()) << "run must converge in warm-up";
+  return allocs;
+}
+
+TEST(AllocationSteadyState, SerialLockstepRoundsAreAllocationFree) {
+  EXPECT_EQ(lockstep_steady_allocations(1, 0), 0u)
+      << "serial LockstepNet allocated on the steady-state round path";
+}
+
+TEST(AllocationSteadyState, ShardedLockstepRoundsAreAllocationFree) {
+  EXPECT_EQ(lockstep_steady_allocations(4, 4), 0u)
+      << "sharded LockstepNet allocated on the steady-state round path";
+}
+
+TEST(AllocationSteadyState, SerialCohortRoundsAreAllocationFree) {
+  EXPECT_EQ(cohort_steady_allocations(1), 0u)
+      << "serial CohortNet allocated on the steady-state round path";
+}
+
+TEST(AllocationSteadyState, ShardedCohortRoundsAreAllocationFree) {
+  EXPECT_EQ(cohort_steady_allocations(4), 0u)
+      << "sharded CohortNet allocated on the steady-state round path";
+}
+
+}  // namespace
+}  // namespace anon

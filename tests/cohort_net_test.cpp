@@ -34,6 +34,7 @@ struct Observed {
   std::vector<std::optional<Value>> decisions;
   std::vector<Round> decision_rounds;
   std::uint64_t sends = 0, bytes = 0, deliveries = 0;
+  std::uint64_t fault_drops = 0, fault_dups = 0;
 };
 
 template <typename Net>
@@ -48,6 +49,8 @@ Observed observe(Net& net, RunResult run) {
   o.sends = net.sends();
   o.bytes = net.bytes_sent();
   o.deliveries = net.deliveries();
+  o.fault_drops = net.fault_drops();
+  o.fault_dups = net.fault_dups();
   return o;
 }
 
@@ -58,6 +61,8 @@ void expect_equal(const Observed& a, const Observed& b,
   EXPECT_EQ(a.sends, b.sends) << what;
   EXPECT_EQ(a.bytes, b.bytes) << what;
   EXPECT_EQ(a.deliveries, b.deliveries) << what;
+  EXPECT_EQ(a.fault_drops, b.fault_drops) << what;
+  EXPECT_EQ(a.fault_dups, b.fault_dups) << what;
   ASSERT_EQ(a.decisions.size(), b.decisions.size()) << what;
   for (std::size_t p = 0; p < a.decisions.size(); ++p) {
     EXPECT_EQ(a.decisions[p], b.decisions[p]) << what << " p=" << p;
@@ -66,10 +71,11 @@ void expect_equal(const Observed& a, const Observed& b,
 }
 
 struct Scenario {
-  ConsensusAlgo algo;
+  ConsensusAlgo algo = ConsensusAlgo::kEs;
   EnvParams env;
   CrashPlan crashes;
   std::vector<Value> initial;
+  FaultParams faults;  // compiled into a FaultPlan by the harness
   LockstepOptions net;
 };
 
@@ -353,6 +359,210 @@ TEST(CohortNet, RejectsNonClonableAutomatonsOnlyWhenSplitting) {
   groups2.push_back({std::make_unique<Opaque>(), std::move(members2)});
   CohortNet<EsMessage> net2(std::move(groups2), stagger, CrashPlan{}, opt);
   EXPECT_THROW(net2.run_rounds(5), CheckFailure);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded cohort execution (PR 8 tentpole): the sharded cohort engine must
+// be BYTE-IDENTICAL to the serial cohort engine — decisions, decision
+// rounds, transport and fault counters, and the structural collapse stats
+// (splits, merges, clones, peak class count) — at every thread/shard
+// count, under randomized environments, crash plans and fault plans.
+
+struct CohortRun {
+  Observed obs;
+  CohortStats stats;
+  std::size_t shards = 0;
+};
+
+CohortRun run_cohort(const Scenario& sc, const DelayModel& delays,
+                     const FaultPlan* plan, std::size_t threads,
+                     std::size_t shards) {
+  LockstepOptions opt = sc.net;
+  opt.engine_threads = threads;
+  opt.engine_shards = shards;
+  CohortOptions copt = CohortOptions::from(opt);
+  if (plan != nullptr && plan->active()) copt.faults = plan;
+  CohortRun r;
+  if (sc.algo == ConsensusAlgo::kEs) {
+    CohortNet<EsMessage> c(es_groups(sc.initial), delays, sc.crashes, copt);
+    r.obs = observe(c, c.run_until_all_correct_decided());
+    r.stats = c.stats();
+    r.shards = c.engine_shards();
+  } else {
+    HistoryArena arena;
+    CohortNet<EssMessage> c(ess_groups(sc.initial, &arena), delays,
+                            sc.crashes, copt);
+    r.obs = observe(c, c.run_until_all_correct_decided());
+    r.stats = c.stats();
+    r.shards = c.engine_shards();
+  }
+  return r;
+}
+
+// Serial reference vs engine_threads ∈ {2, 8} and the decoupled
+// single-threaded 8-shard engine.  Returns the serial stats for shape
+// assertions.
+CohortStats check_cohort_thread_invariance(const Scenario& sc0,
+                                           const std::string& what) {
+  Scenario sc = sc0;
+  const EnvDelayModel delays(sc.env, sc.crashes);
+  const FaultPlan plan(sc.faults, sc.net.seed, sc.env.n, &delays);
+  const CohortRun serial = run_cohort(sc, delays, &plan, 1, 0);
+  EXPECT_EQ(serial.shards, 1u) << what << ": engine_threads=1 must be serial";
+  struct Mode {
+    std::size_t threads, shards;
+  };
+  for (const Mode m : {Mode{2, 0}, Mode{8, 0}, Mode{1, 8}}) {
+    const CohortRun sharded =
+        run_cohort(sc, delays, &plan, m.threads, m.shards);
+    const std::string label = what + " threads=" + std::to_string(m.threads) +
+                              " shards=" + std::to_string(m.shards);
+    EXPECT_GT(sharded.shards, 1u) << label;
+    expect_equal(serial.obs, sharded.obs, label);
+    EXPECT_EQ(serial.stats.cohorts, sharded.stats.cohorts) << label;
+    EXPECT_EQ(serial.stats.max_cohorts, sharded.stats.max_cohorts) << label;
+    EXPECT_EQ(serial.stats.splits, sharded.stats.splits) << label;
+    EXPECT_EQ(serial.stats.merges, sharded.stats.merges) << label;
+    EXPECT_EQ(serial.stats.clones, sharded.stats.clones) << label;
+  }
+  return serial.stats;
+}
+
+TEST(ShardedCohortEquivalence, RandomizedConfigsMatchSerialAtEveryThreadCount) {
+  // Randomized (seed, env kind, crash plan, fault plan) configurations
+  // across both algorithms; every one must be identical at engine_threads
+  // ∈ {1, 2, 8} and at engine_shards = 8 on one thread.
+  std::size_t checked = 0, faulted = 0;
+  for (std::uint64_t cfg = 0; cfg < 20; ++cfg) {
+    Rng rng(0xc04027 + cfg * 131);
+    Scenario sc;
+    sc.algo = (cfg % 2 == 0) ? ConsensusAlgo::kEs : ConsensusAlgo::kEss;
+    sc.env.kind = (cfg % 4 < 2) ? EnvKind::kES : EnvKind::kESS;
+    sc.env.n = 3 + static_cast<std::size_t>(rng.below(30));  // 3..32
+    sc.env.seed = rng.below(1u << 30);
+    sc.env.stabilization = static_cast<Round>(rng.below(6));
+    sc.env.max_delay = 1 + static_cast<Round>(rng.below(3));
+    sc.env.timely_prob = 0.1 + 0.3 * rng.real();
+    const std::size_t f =
+        std::min<std::size_t>(sc.env.n - 1, rng.below(4));  // 0..3 crashes
+    if (f > 0)
+      sc.crashes = random_crashes(
+          sc.env.n, f, std::max<Round>(2, sc.env.stabilization + 2),
+          sc.env.seed + 13);
+    sc.initial = (cfg % 3 == 0)
+                     ? distinct_values(sc.env.n)
+                     : random_values(sc.env.n, sc.env.seed + 7, 100, 103);
+    sc.net.seed = sc.env.seed;
+    sc.net.max_rounds = 800;
+    sc.net.record_trace = false;
+    sc.net.relay_partial_broadcast = (cfg % 5 != 4);
+    if (cfg % 4 == 3) {  // a quarter of the configs also inject faults
+      sc.faults.loss_prob = 0.15 * rng.real();
+      sc.faults.dup_prob = 0.2 * rng.real();
+      sc.faults.dup_extra_delay = 1 + static_cast<Round>(rng.below(3));
+      sc.faults.reorder_prob = 0.2 * rng.real();
+      sc.faults.max_extra_delay = 1 + static_cast<Round>(rng.below(3));
+      ++faulted;
+    }
+    check_cohort_thread_invariance(sc, "cfg " + std::to_string(cfg));
+    ++checked;
+  }
+  EXPECT_GE(checked, 20u);
+  EXPECT_GE(faulted, 4u);
+}
+
+TEST(ShardedCohortSplit, MidRoundCrashSplitsClassStraddlingShardBoundaries) {
+  // Directed: all 12 processes propose the same value — ONE class — and a
+  // member crashes mid-run with a partial final audience spanning both
+  // low and high process ids.  The resulting split products land in
+  // different shards on the next reindex (classes are sorted by smallest
+  // member), so the wave/merge barriers see a class list that straddles
+  // shard boundaries while splitting and re-merging.
+  Scenario sc;
+  sc.env.kind = EnvKind::kES;
+  sc.env.n = 12;
+  sc.env.seed = 5;
+  sc.env.stabilization = 0;  // uniform from round 1: only the crash differs
+  CrashSpec spec;
+  spec.crash_round = 3;
+  spec.final_recipients = std::vector<ProcId>{0, 1, 7, 8, 11};
+  sc.crashes.set(3, spec);
+  sc.initial = identical_values(sc.env.n, 7);
+  sc.net.seed = 5;
+  sc.net.record_trace = false;
+  const CohortStats stats =
+      check_cohort_thread_invariance(sc, "crash straddling shards");
+  EXPECT_GE(stats.splits, 1u);
+  EXPECT_GE(stats.max_cohorts, 2u);
+}
+
+TEST(ShardedCohortSplit, TriangularRevealFullSplitMatchesSerial) {
+  // The hardest structural case for the sharded engine: round 1 splits
+  // n distinct proposals into n singleton classes (every shard boundary
+  // crossed, maximal cross-shard payload canonicalization), then the
+  // uniform rounds re-merge them.
+  const std::size_t n = 12;
+  const TriangularRevealModel delays;
+  const std::vector<Value> initial = distinct_values(n);
+  LockstepOptions base;
+  base.max_rounds = 60;
+  base.record_trace = false;
+  auto run = [&](std::size_t threads, std::size_t shards) {
+    LockstepOptions o = base;
+    o.engine_threads = threads;
+    o.engine_shards = shards;
+    CohortNet<EsMessage> c(es_groups(initial), delays, CrashPlan{},
+                           CohortOptions::from(o));
+    CohortRun r;
+    r.obs = observe(c, c.run_rounds(20));
+    r.stats = c.stats();
+    r.shards = c.engine_shards();
+    return r;
+  };
+  const CohortRun serial = run(1, 0);
+  EXPECT_EQ(serial.stats.max_cohorts, n);
+  EXPECT_GE(serial.stats.merges, 1u);
+  struct Mode {
+    std::size_t threads, shards;
+  };
+  for (const Mode m : {Mode{2, 0}, Mode{8, 0}, Mode{1, 8}}) {
+    const CohortRun sharded = run(m.threads, m.shards);
+    const std::string label = "triangular threads=" +
+                              std::to_string(m.threads) +
+                              " shards=" + std::to_string(m.shards);
+    expect_equal(serial.obs, sharded.obs, label);
+    EXPECT_EQ(serial.stats.max_cohorts, sharded.stats.max_cohorts) << label;
+    EXPECT_EQ(serial.stats.splits, sharded.stats.splits) << label;
+    EXPECT_EQ(serial.stats.merges, sharded.stats.merges) << label;
+    EXPECT_EQ(serial.stats.clones, sharded.stats.clones) << label;
+  }
+}
+
+TEST(ShardedCohortBackend, RunnerReportsMatchAtEveryThreadCount) {
+  // End-to-end through run_consensus with backend=cohort: the full report
+  // string must be identical at every engine_threads value.
+  for (const ConsensusAlgo algo : {ConsensusAlgo::kEs, ConsensusAlgo::kEss}) {
+    ConsensusConfig cfg;
+    cfg.env.kind = algo == ConsensusAlgo::kEs ? EnvKind::kES : EnvKind::kESS;
+    cfg.env.n = 14;
+    cfg.env.seed = 77;
+    cfg.env.stabilization = 5;
+    cfg.crashes = random_crashes(cfg.env.n, 2, 6, 123);
+    cfg.initial = random_values(cfg.env.n, 77, 100, 102);
+    cfg.net.seed = 77;
+    cfg.net.record_trace = false;
+    cfg.validate_env = false;
+    cfg.backend = ConsensusBackend::kCohort;
+
+    cfg.net.engine_threads = 1;
+    const ConsensusReport serial = run_consensus(algo, cfg);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      cfg.net.engine_threads = threads;
+      const ConsensusReport rep = run_consensus(algo, cfg);
+      EXPECT_EQ(serial.to_string(), rep.to_string())
+          << to_string(algo) << " threads=" << threads;
+    }
+  }
 }
 
 }  // namespace

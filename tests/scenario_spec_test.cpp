@@ -227,17 +227,23 @@ TEST(ScenarioSpecValidation, CohortBackendWithTraceIsDiagnosed) {
   EXPECT_TRUE(ok.ok()) << ok.errors_to_string();
 }
 
-TEST(ScenarioSpecValidation, CohortBackendRejectsIntraRunSharding) {
-  // Intra-run sharding is an expanded-backend feature; the cohort engine
-  // parallelizes by collapsing processes instead.
+TEST(ScenarioSpecValidation, CohortBackendAcceptsIntraRunSharding) {
+  // engine_threads composes with both backends: the cohort engine shards
+  // its class list the same way the expanded engine shards processes, and
+  // the spec round-trips the knob regardless of backend.
   auto res = parse_scenario_spec(R"({
     "family": "consensus",
     "consensus": {"backend": "cohort", "record_trace": false,
                   "validate_env": false, "engine_threads": 4}
   })");
-  ASSERT_FALSE(res.ok());
-  EXPECT_TRUE(has_error_at(res.errors, "consensus.engine_threads"))
-      << res.errors_to_string();
+  ASSERT_TRUE(res.ok()) << res.errors_to_string();
+  EXPECT_EQ(res.spec->consensus.backend, ConsensusBackend::kCohort);
+  EXPECT_EQ(res.spec->consensus.engine_threads, 4u);
+
+  const std::string once = scenario_spec_to_json(*res.spec);
+  auto again = parse_scenario_spec(once);
+  ASSERT_TRUE(again.ok()) << again.errors_to_string();
+  EXPECT_EQ(once, scenario_spec_to_json(*again.spec));
 }
 
 TEST(ScenarioSpecValidation, ValidateEnvNeedsTheFullTrace) {
