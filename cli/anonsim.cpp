@@ -8,11 +8,13 @@
 //
 // Multi-seed specs shard across worker threads (--threads, default: one
 // per hardware thread); the report is identical at any thread count.
-// Consensus specs additionally parallelize inside each run on either
-// backend (--engine-threads, default: the spec's own value; 0 = one per
-// hardware thread) — also byte-identical at any setting.  --backend
-// switches a spec between the expanded and cohort engines (cohort turns
-// the trace surfaces off, since it never materializes per-process traces).
+// Consensus, weakset and emulation specs additionally parallelize inside
+// each run on either backend (--engine-threads, default: the spec's own
+// value; 0 = one per hardware thread) — also byte-identical at any
+// setting.  --backend switches those families between the expanded and
+// cohort engines (cohort turns the trace surfaces off — validate_env,
+// certify, record_trace — since it never materializes per-process
+// traces); `anonsim describe` notes each preset's backend support.
 // Fault injection (env/faults.hpp) can be layered onto any consensus spec
 // from the command line: `--faults loss_prob=0.1,reorder_prob=0.2` patches
 // scalar FaultParams fields after the spec loads (list-valued fields —
@@ -65,6 +67,23 @@ int cmd_list() {
   return 0;
 }
 
+// Which engines `--backend` can switch a family between.  The cohort
+// engines execute state-equivalence classes and record no per-process
+// traces, so the trace-consuming switches go dark with them.
+const char* family_backend_support(ScenarioFamily f) {
+  switch (f) {
+    case ScenarioFamily::kConsensus:
+      return "expanded, cohort (cohort disables trace surfaces)";
+    case ScenarioFamily::kWeakset:
+      return "expanded, cohort (cohort disables validate_env)";
+    case ScenarioFamily::kEmulation:
+      return "expanded, cohort (cohort needs engine \"interned\" and "
+             "disables certify)";
+    default:
+      return "expanded only";
+  }
+}
+
 int cmd_describe(const std::string& name) {
   const ScenarioPreset* p = ScenarioRegistry::instance().find_preset(name);
   if (p == nullptr) {
@@ -72,7 +91,10 @@ int cmd_describe(const std::string& name) {
               << "\" (try `anonsim list`)\n";
     return 2;
   }
+  // The canonical JSON is the stdout contract (golden files redirect it);
+  // the advisory note rides on stderr.
   std::cout << scenario_spec_to_json(p->spec);
+  std::cerr << "backends: " << family_backend_support(p->spec.family) << "\n";
   return 0;
 }
 
@@ -275,31 +297,61 @@ int cmd_run(const RunArgs& args, bool schema_only) {
   ScenarioSpec spec;
   if (int rc = load_spec(args, &spec); rc != 0) return rc;
 
+  const bool has_backend = spec.family == ScenarioFamily::kConsensus ||
+                           spec.family == ScenarioFamily::kWeakset ||
+                           spec.family == ScenarioFamily::kEmulation;
   if (args.engine_threads_set) {
-    if (spec.family != ScenarioFamily::kConsensus) {
-      std::cerr << "anonsim: --engine-threads applies to consensus specs "
-                   "(intra-run sharding), not family \""
+    if (!has_backend) {
+      std::cerr << "anonsim: --engine-threads applies to the consensus, "
+                   "weakset and emulation families (intra-run sharding), "
+                   "not \""
                 << to_string(spec.family) << "\"\n";
       return 2;
     }
-    spec.consensus.engine_threads = args.engine_threads;
+    switch (spec.family) {
+      case ScenarioFamily::kConsensus:
+        spec.consensus.engine_threads = args.engine_threads;
+        break;
+      case ScenarioFamily::kWeakset:
+        spec.weakset.engine_threads = args.engine_threads;
+        break;
+      default:
+        spec.emulation.engine_threads = args.engine_threads;
+        break;
+    }
   }
   if (!args.backend.empty()) {
-    if (spec.family != ScenarioFamily::kConsensus) {
-      std::cerr << "anonsim: --backend applies to consensus specs, not "
-                   "family \""
+    if (!has_backend) {
+      std::cerr << "anonsim: --backend applies to the consensus, weakset "
+                   "and emulation families, not \""
                 << to_string(spec.family) << "\"\n";
       return 2;
     }
-    if (args.backend == "cohort") {
-      // The cohort engine never materializes per-process traces, so the
-      // trace surfaces go dark with it (same contract as spec validation).
-      spec.consensus.backend = ConsensusBackend::kCohort;
-      spec.consensus.record_trace = false;
-      spec.consensus.record_deliveries = false;
-      spec.consensus.validate_env = false;
-    } else {
-      spec.consensus.backend = ConsensusBackend::kExpanded;
+    const bool cohort = args.backend == "cohort";
+    switch (spec.family) {
+      case ScenarioFamily::kConsensus:
+        // The cohort engines never materialize per-process traces, so the
+        // trace surfaces go dark with them (same contract as spec
+        // validation enforces).
+        spec.consensus.backend =
+            cohort ? ConsensusBackend::kCohort : ConsensusBackend::kExpanded;
+        if (cohort) {
+          spec.consensus.record_trace = false;
+          spec.consensus.record_deliveries = false;
+          spec.consensus.validate_env = false;
+        }
+        break;
+      case ScenarioFamily::kWeakset:
+        spec.weakset.backend = cohort ? WeaksetSpecSection::Backend::kCohort
+                                      : WeaksetSpecSection::Backend::kExpanded;
+        if (cohort) spec.weakset.validate_env = false;
+        break;
+      default:
+        spec.emulation.backend = cohort
+                                     ? EmulationSpecSection::Backend::kCohort
+                                     : EmulationSpecSection::Backend::kExpanded;
+        if (cohort) spec.emulation.certify = false;
+        break;
     }
   }
   if (args.faults_set) {

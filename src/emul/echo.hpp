@@ -18,7 +18,10 @@ class EchoAutomaton final : public Automaton<ValueSet> {
  public:
   explicit EchoAutomaton(std::int64_t seed) : seed_(seed) {}
 
-  ValueSet initialize() override { return ValueSet{Value(seed_)}; }
+  ValueSet initialize() override {
+    spent_ = true;
+    return ValueSet{Value(seed_)};
+  }
 
   ValueSet compute(Round k, const Inboxes<ValueSet>& inboxes) override {
     ValueSet out;
@@ -26,8 +29,29 @@ class EchoAutomaton final : public Automaton<ValueSet> {
     return out;
   }
 
+  // Cohort hooks.  The seed is only read by initialize(), so the whole
+  // mutable state is whether it has been spent: two spent echoes behave
+  // identically on every future compute (which reads the inbox alone) and
+  // compare equal regardless of seed.  That is what lets distinct-seed
+  // classes re-collapse once their round-1 messages leave the inbox window.
+  std::uint64_t state_digest() const override {
+    if (spent_) return 0x5eedc0de00000000ULL;
+    return detail::mix_digest(0x11d0a704u, static_cast<std::uint64_t>(seed_));
+  }
+
+  bool state_equals(const Automaton<ValueSet>& other) const override {
+    const auto* o = dynamic_cast<const EchoAutomaton*>(&other);
+    if (o == nullptr || spent_ != o->spent_) return false;
+    return spent_ || seed_ == o->seed_;
+  }
+
+  std::unique_ptr<Automaton<ValueSet>> clone_state() const override {
+    return std::make_unique<EchoAutomaton>(*this);
+  }
+
  private:
   std::int64_t seed_;
+  bool spent_ = false;
 };
 
 inline std::vector<std::unique_ptr<Automaton<ValueSet>>> echo_automatons(

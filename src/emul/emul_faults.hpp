@@ -1,0 +1,115 @@
+// Fault plans for the §5 emulation stack (Algorithm 5).
+//
+// The lock-step engines inject faults per LINK at delivery time
+// (env/faults.hpp).  The emulation has no links: a round-k "broadcast" is
+// one weak-set add whose element becomes visible to everyone at once.  So
+// the same declarative FaultParams surface is re-interpreted against the
+// weak-set operations, each fate a pure function of (fault seed, process,
+// round) — both the expanded and the cohort emulation engines call these
+// and agree byte-for-byte:
+//
+//   loss       p's round-k add loses its EARLY visibility: concurrent gets
+//              no longer see the element before the add completes.  The
+//              completion-time publish still happens (a completed add is
+//              durable by the weak-set contract), so the MS argument —
+//              the first round-k completer is seen by every later
+//              completer — survives arbitrary loss intensity; only timing
+//              degrades.
+//   reorder    the add takes 1..max_extra_delay extra latency ticks
+//              (applied before the per-process skew multiplier), modelling
+//              a retried RPC.
+//   omission   a listed sender's adds NEVER publish early, every round
+//              (loss with probability 1 on its add stream).
+//   churn      windows are in TICKS here (the emulation clock): an add
+//              whose natural completion falls in [leave, rejoin) is held
+//              until `rejoin`; rejoin == 0 pins the process down forever —
+//              its round stops advancing and the run degrades gracefully
+//              to ran=false at max_ticks.
+//   duplicate  inert: the weak-set is a SET and identical adds intern to
+//              one element, so a duplicated add is definitionally
+//              invisible.  Accepted (specs can share fault blocks with the
+//              lock-step families) but a no-op.
+//   exempt_source  inert: the emulation has no planned per-round source to
+//              exempt.  The safety analogue is built in — completion-time
+//              publication is never suppressed.
+//
+// RNG discipline: engines draw latency/visibility from their sequential
+// RNG exactly as in the fault-free run and then apply these fates on top,
+// so a fault plan never perturbs the draw stream — cohort-vs-expanded
+// equivalence is preserved under every plan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "env/faults.hpp"
+#include "giraf/types.hpp"
+#include "net/schedule.hpp"
+
+namespace anon {
+
+// The fate of one process's round-k add.
+struct EmulAddFate {
+  bool suppress_early_visibility = false;  // loss / omission
+  std::uint64_t extra_latency = 0;         // reorder, pre-skew ticks
+};
+
+class EmulFaultModel {
+ public:
+  // add_complete_tick sentinel: compares greater than any reachable tick.
+  static constexpr std::uint64_t kNeverCompletes = ~std::uint64_t{0};
+
+  EmulFaultModel() = default;
+  EmulFaultModel(const FaultParams& params, std::uint64_t run_seed,
+                 std::size_t n)
+      : params_(params),
+        seed_(fault_stream_seed(run_seed, params.seed)),
+        active_(params.active()) {
+    omission_.assign(n, false);
+    for (ProcId p : params_.omission_senders)
+      if (p < n) omission_[p] = true;
+  }
+
+  bool active() const { return active_; }
+
+  EmulAddFate add_fate(ProcId p, Round k) const {
+    EmulAddFate f;
+    if (!active_) return f;
+    if ((p < omission_.size() && omission_[p]) ||
+        hash_chance(hash_mix(seed_ ^ kLossSalt, k, p, 0), params_.loss_prob))
+      f.suppress_early_visibility = true;
+    if (params_.max_extra_delay > 0) {
+      const std::uint64_t h = hash_mix(seed_ ^ kReorderSalt, k, p, 0);
+      if (hash_chance(h, params_.reorder_prob))
+        f.extra_latency =
+            1 + hash_below(h * 0x9e3779b97f4a7c15ULL, params_.max_extra_delay);
+    }
+    return f;
+  }
+
+  // Churn: holds a captured completion until the window's rejoin tick.
+  // Windows are scanned in declaration order, so a postponed completion
+  // can be re-captured by a later window.
+  std::uint64_t completion_tick(ProcId p, std::uint64_t natural) const {
+    if (!active_) return natural;
+    for (const ChurnSpec& c : params_.churn) {
+      if (c.process != p || natural < c.leave) continue;
+      if (c.rejoin == 0) return kNeverCompletes;
+      if (natural < c.rejoin) natural = c.rejoin;
+    }
+    return natural;
+  }
+
+ private:
+  // Same salts as env/faults.cpp would be fine (the key shapes differ),
+  // but distinct values keep the streams obviously independent.
+  static constexpr std::uint64_t kLossSalt = 0x656d6c6c6f7373ULL;  // "emlloss"
+  static constexpr std::uint64_t kReorderSalt = 0x656d6c72647260ULL;
+
+  FaultParams params_;
+  std::uint64_t seed_ = 0;
+  std::vector<bool> omission_;
+  bool active_ = false;
+};
+
+}  // namespace anon

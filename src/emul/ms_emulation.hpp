@@ -51,6 +51,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "emul/emul_faults.hpp"
 #include "giraf/process.hpp"
 #include "giraf/trace.hpp"
 
@@ -64,6 +65,10 @@ struct MsEmulationOptions {
   std::uint64_t max_add_latency = 6;
   std::vector<std::uint64_t> skew;  // per-process multiplier (default 1)
   std::uint64_t max_ticks = 1000000;
+  // Weak-set-operation fault plan (emul_faults.hpp); inactive by default.
+  // The reference engine (MsEmulationRef) does not take one — it stays the
+  // untouched oracle, and the spec layer rejects faults with engine=ref.
+  EmulFaultModel faults;
 };
 
 template <GirafMessage M>
@@ -185,15 +190,26 @@ class MsEmulation {
     trace_.record_end_of_round(p, out.round, tick_);
     PerProcess& st = states_[p];
     st.in_flight = intern(out.round, out.batch);
-    const std::uint64_t lat =
+    std::uint64_t lat =
         opt_.min_add_latency +
         rng_.below(opt_.max_add_latency - opt_.min_add_latency + 1);
-    st.add_complete_tick = tick_ + 1 + lat * opt_.skew[p];
+    EmulAddFate fate;
+    if (opt_.faults.active()) {
+      fate = opt_.faults.add_fate(p, out.round);
+      lat += fate.extra_latency;
+    }
+    const std::uint64_t span = lat * opt_.skew[p];
+    st.add_complete_tick =
+        opt_.faults.completion_tick(p, tick_ + 1 + span);
     // The element may become visible to concurrent gets any time between
     // now and completion (weak-set: concurrent adds are maybe-visible).
-    const std::uint64_t vis = tick_ + 1 + rng_.below(lat * opt_.skew[p] + 1);
-    pending_.push_back({vis, st.in_flight});
-    std::push_heap(pending_.begin(), pending_.end(), PendingLater{});
+    // Always drawn, even when a fault suppresses the publication: the RNG
+    // stream must not depend on fault fates (see emul_faults.hpp).
+    const std::uint64_t vis = tick_ + 1 + rng_.below(span + 1);
+    if (!fate.suppress_early_visibility) {
+      pending_.push_back({vis, st.in_flight});
+      std::push_heap(pending_.begin(), pending_.end(), PendingLater{});
+    }
     // A process adds each element at most once (its round strictly
     // increases), so a sorted insert never sees a duplicate.
     std::vector<ProcId>& adders = elems_[st.in_flight].adders;

@@ -88,6 +88,7 @@
 #include "common/check.hpp"
 #include "core/arena.hpp"
 #include "core/calendar.hpp"
+#include "core/partition.hpp"
 #include "core/sweep.hpp"
 #include "core/worker_pool.hpp"
 #include "giraf/process.hpp"
@@ -267,6 +268,52 @@ class CohortNet {
     return *cohorts_[cohort_of_[p]]->rep;
   }
 
+  // Observable automaton state of p, dead or alive: the class
+  // representative while p lives, its death-time clone afterwards.  A
+  // per-index engine keeps a crashed process's automaton around frozen at
+  // its final compute; the dying member's final compute was its class's
+  // (finalize_death), so the clone taken there reads byte-identically.
+  const Automaton<M>& automaton_view(ProcId p) const {
+    ANON_CHECK(p < n_);
+    if (cohort_of_[p] == kDead) {
+      const auto& frozen = dead_state_.at(p);
+      ANON_CHECK(frozen != nullptr);
+      return *frozen;
+    }
+    return cohorts_[cohort_of_[p]]->rep->automaton();
+  }
+
+  // Applies an in-place state mutation to ONE member's automaton (the
+  // weak-set harnesses inject start_add this way).  If p shares a class
+  // with other members it is split out first — after the mutation it is no
+  // longer state-equivalent to them; the next merge pass re-collapses it
+  // if the mutation turns out to be state-neutral.  Safe between rounds
+  // and inside a run's stop() callback: calendar entries address processes
+  // (unicast) or resolve against the class list at delivery (broadcast),
+  // so membership restructuring never strands a pending message.
+  template <typename Fn>
+  void mutate_member(ProcId p, Fn&& fn) {
+    ANON_CHECK(p < n_ && cohort_of_[p] != kDead);
+    Cohort& c = *cohorts_[cohort_of_[p]];
+    ANON_CHECK_MSG(!c.halted, "mutate_member on a halted class");
+    if (c.members.size() == 1) {
+      fn(c.rep->automaton());
+      return;
+    }
+    ++stats_.splits;
+    auto split = std::make_unique<Cohort>();
+    split->rep = c.rep->clone();
+    ++stats_.clones;
+    split->members = {p};
+    split->correct_members = crashes_.ever_crashes(p) ? 0u : 1u;
+    split->decided_noted = c.decided_noted;
+    c.members.erase(std::find(c.members.begin(), c.members.end(), p));
+    c.correct_members -= split->correct_members;
+    fn(split->rep->automaton());
+    cohorts_.push_back(std::move(split));
+    purge_sort_reindex();
+  }
+
   // Engine loop — identical phase order to LockstepNet::run, with an extra
   // (invisible to `stop`) merge pass after deliveries.
   template <typename StopFn>
@@ -351,18 +398,18 @@ class CohortNet {
   }
 
   // Shard layout over the current class list: contiguous ranges covering
-  // [0, count), at most shard_count_ of them.
+  // [0, count), at most shard_count_ of them, weight-balanced by member
+  // count (core/partition.hpp).  Collapsed runs are a few huge classes
+  // plus singleton stragglers; an equal-width cut parks all the O(n)
+  // member fan-out on one worker.  Any contiguous cover is result-safe —
+  // order-sensitive work replays serially in class order at the barriers.
   void rebuild_shard_ranges(std::size_t count) {
-    const std::size_t s =
-        std::max<std::size_t>(1, std::min(shard_count_, count));
-    shard_ranges_.resize(s);
-    const std::size_t base = count / s, rem = count % s;
-    std::size_t at = 0;
-    for (std::size_t i = 0; i < s; ++i) {
-      const std::size_t next = at + base + (i < rem ? 1 : 0);
-      shard_ranges_[i] = {at, next};
-      at = next;
-    }
+    balanced_ranges_weighted(
+        count, std::min(shard_count_, std::max<std::size_t>(count, 1)),
+        [this](std::size_t ci) {
+          return static_cast<std::uint64_t>(cohorts_[ci]->members.size());
+        },
+        &shard_ranges_);
   }
 
   // End-of-round wave k: one representative compute per class (sharded),
@@ -636,6 +683,7 @@ class CohortNet {
     if (c.rep->decision().has_value() && decision_round_[p] == kNoRound)
       decision_round_[p] = k - 1;
     dead_decision_[p] = c.rep->decision();
+    dead_state_[p] = c.rep->automaton().clone_state();
     cohort_of_[p] = kDead;
   }
 
@@ -968,6 +1016,9 @@ class CohortNet {
   std::vector<std::uint32_t> cohort_of_;          // per process; kDead = gone
   std::vector<Round> decision_round_;
   std::map<ProcId, std::optional<Value>> dead_decision_;
+  // Frozen death-time automaton clones, for automaton_view (one per
+  // crashed process, cloned once in finalize_death).
+  std::map<ProcId, std::unique_ptr<Automaton<M>>> dead_state_;
   std::vector<std::pair<Round, ProcId>> crash_events_;
   std::size_t next_crash_ = 0;
   RoundCalendar<Pending> calendar_;

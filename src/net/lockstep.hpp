@@ -61,6 +61,7 @@
 #include "common/check.hpp"
 #include "core/arena.hpp"
 #include "core/calendar.hpp"
+#include "core/partition.hpp"
 #include "core/sweep.hpp"
 #include "core/worker_pool.hpp"
 #include "env/faults.hpp"
@@ -321,14 +322,16 @@ class LockstepNet {
     if (shards <= 1 && participants_ <= 1) return;  // serial reference path
     shards = std::max<std::size_t>(shards, 1);
     shards_.resize(shards);
-    const std::size_t base = n_ / shards, rem = n_ % shards;
-    shard_base_ = base;
-    shard_rem_ = rem;
-    ProcId at = 0;
+    // Processes weigh equally here, so the shared balanced partition
+    // (core/partition.hpp) reproduces the base/rem layout exactly — which
+    // keeps shard_of() below a two-branch division instead of a search.
+    shard_base_ = n_ / shards;
+    shard_rem_ = n_ % shards;
+    std::vector<ShardRange> ranges;
+    balanced_ranges(n_, shards, &ranges);
     for (std::size_t s = 0; s < shards; ++s) {
-      shards_[s].begin = at;
-      at += base + (s < rem ? 1 : 0);
-      shards_[s].end = at;
+      shards_[s].begin = static_cast<ProcId>(ranges[s].first);
+      shards_[s].end = static_cast<ProcId>(ranges[s].second);
       shards_[s].outbox.resize(shards);
     }
   }

@@ -213,6 +213,50 @@ ScenarioSpec e5_spec(const std::string& name,
   return spec;
 }
 
+// E16: the cohort-collapsed §5 stack.  The weakset shape is e4's workload
+// on backend=cohort (validate_env off — the cohort engine records no
+// per-process trace) over the all-timely MS parameterization: with
+// timely_prob = 1 every link delay is provably 0, EnvDelayModel's
+// uniform_delay() kicks in, and CohortNet broadcasts once per CLASS
+// instead of probing all Θ(n²) links (an admissible MS run — MS merely
+// permits late links, it does not require them).  The emulation shape
+// bounds the echo-probe seed support with an 8-value cycle so the class
+// count stays O(1) and the engine scales to n ≫ the expanded engine's
+// Θ(r·n²) trace budget.  Running either preset with `--backend expanded`
+// is the byte-identity A/B: the trace switches are already off in the
+// preset, so the reports must match exactly (bench_e16_emulcohort and CI
+// both diff them).
+ScenarioSpec e16_weakset_spec(const std::string& name, std::size_t n,
+                              std::size_t ops) {
+  ScenarioSpec spec = base_spec(name, ScenarioFamily::kWeakset, 1);
+  spec.seeds = {42};
+  spec.env_kind = EnvKind::kMS;
+  spec.n = n;
+  spec.timely_prob = 1.0;
+  spec.weakset.backend = WeaksetSpecSection::Backend::kCohort;
+  spec.weakset.gen_ops = ops;
+  // The horizon is 3·ops + extra: the serial expanded engine pays Θ(n²)
+  // per round, so the A/B's reference runs are budgeted by this knob.
+  spec.weakset.extra_rounds = 12;
+  spec.weakset.validate_env = false;
+  return spec;
+}
+
+ScenarioSpec e16_emulation_spec(const std::string& name, std::size_t n,
+                                Round rounds) {
+  ScenarioSpec spec = base_spec(name, ScenarioFamily::kEmulation, 1);
+  spec.seeds = {42};
+  spec.env_kind = EnvKind::kMS;
+  spec.n = n;
+  spec.emulation.backend = EmulationSpecSection::Backend::kCohort;
+  spec.emulation.rounds = rounds;
+  spec.emulation.certify = false;
+  spec.emulation.probe_values.kind = ValueGenSpec::Kind::kCycle;
+  spec.emulation.probe_values.base = 0;
+  spec.emulation.probe_values.period = 8;
+  return spec;
+}
+
 // --- weakset-shm -------------------------------------------------------------
 
 ScenarioSpec e7_swmr_spec(const std::string& name, std::size_t n,
@@ -342,6 +386,17 @@ void register_builtin_presets(ScenarioRegistry& reg) {
       e14_spec("e14-fast", 8, 3, 0.1, true));
   add("E14 hostile variant: source exemption OFF — maps where safety breaks",
       e14_spec("e14-hostile", 8, 5, 0.3, false));
+  add("E16 cohort-collapsed weak-set: e4's workload on backend=cohort, "
+      "n=4096",
+      e16_weakset_spec("e16-ws-cohort", 4096, 12));
+  add("E16 weakset smoke cell: n=64, cohort backend (run with --backend "
+      "expanded for the byte-identity A/B)",
+      e16_weakset_spec("e16-ws-fast", 64, 12));
+  add("E16 cohort-collapsed MS emulation: 8-value echo-probe cycle, n=4096, "
+      "40 rounds",
+      e16_emulation_spec("e16-emul-cohort", 4096, 40));
+  add("E16 emulation smoke cell: n=64, cohort backend, 25 rounds",
+      e16_emulation_spec("e16-emul-fast", 64, 25));
   add("The quickstart scenario: 5 anonymous processes, one mid-run crash "
       "(examples/quickstart.cpp)",
       quickstart_spec());

@@ -35,6 +35,22 @@ std::vector<RegScriptOp> generated_reg_script(std::size_t ops) {
   return script;
 }
 
+// The harness-side options for either backend: the section's knobs plus the
+// spec-level fault plan (validated to be weakset-compatible by
+// validate_scenario_spec).
+WsRunOptions run_options(const ScenarioSpec& spec) {
+  const WeaksetSpecSection& w = spec.weakset;
+  WsRunOptions opt;
+  opt.extra_rounds = w.extra_rounds;
+  opt.validate_env = w.validate_env;
+  opt.backend = w.backend == WeaksetSpecSection::Backend::kCohort
+                    ? WsBackend::kCohort
+                    : WsBackend::kExpanded;
+  opt.engine_threads = w.engine_threads;
+  opt.faults = spec.faults;
+  return opt;
+}
+
 WeaksetCellOutcome run_set_cell(const ScenarioSpec& spec, std::uint64_t seed) {
   const WeaksetSpecSection& w = spec.weakset;
   std::vector<WsScriptOp> script;
@@ -46,7 +62,7 @@ WeaksetCellOutcome run_set_cell(const ScenarioSpec& spec, std::uint64_t seed) {
     script = generated_set_script(spec.n, w.gen_ops);
   }
   auto run = run_ms_weak_set(spec.env_params(seed), spec.crash_plan(seed),
-                             std::move(script), w.extra_rounds, w.validate_env);
+                             std::move(script), run_options(spec));
 
   WeaksetCellOutcome cell;
   auto check = check_weak_set_spec(run.records);
@@ -74,8 +90,7 @@ WeaksetCellOutcome run_register_cell(const ScenarioSpec& spec,
     script = generated_reg_script(w.gen_ops);
   }
   auto run = run_register_over_ms(spec.env_params(seed), spec.crash_plan(seed),
-                                  std::move(script), w.extra_rounds,
-                                  w.validate_env);
+                                  std::move(script), run_options(spec));
 
   WeaksetCellOutcome cell;
   cell.spec_ok = run.check.ok;

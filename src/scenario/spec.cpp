@@ -43,6 +43,20 @@ constexpr EnumName<ConsensusBackend> kBackendNames[] = {
     {ConsensusBackend::kCohort, "cohort"},
 };
 
+constexpr EnumName<WeaksetSpecSection::Backend> kWsBackendNames[] = {
+    {WeaksetSpecSection::Backend::kExpanded, "expanded"},
+    {WeaksetSpecSection::Backend::kCohort, "cohort"},
+};
+
+constexpr EnumName<EmulationSpecSection::Backend> kEmuBackendNames[] = {
+    {EmulationSpecSection::Backend::kExpanded, "expanded"},
+    {EmulationSpecSection::Backend::kCohort, "cohort"},
+};
+
+// The emulation probe-seed default: distinct, base 0 — the historical echo
+// seeds 0..n-1.  Encoded only when a spec departs from it.
+const ValueGenSpec kDefaultProbeValues{ValueGenSpec::Kind::kDistinct, 0, 0, {}};
+
 constexpr EnumName<ConsensusSpecSection::Schedule> kScheduleNames[] = {
     {ConsensusSpecSection::Schedule::kEnv, "env"},
     {ConsensusSpecSection::Schedule::kBivalentMs, "bivalent-ms"},
@@ -150,35 +164,38 @@ EnvParams ScenarioSpec::env_params(std::uint64_t seed) const {
   return env;
 }
 
-std::vector<Value> ScenarioSpec::initial_values() const {
-  switch (initial.kind) {
+std::vector<Value> materialize_values(const ValueGenSpec& g, std::size_t n) {
+  switch (g.kind) {
     case ValueGenSpec::Kind::kDistinct: {
       std::vector<Value> out;
       out.reserve(n);
       for (std::size_t i = 0; i < n; ++i)
-        out.push_back(Value(initial.base + static_cast<std::int64_t>(i)));
+        out.push_back(Value(g.base + static_cast<std::int64_t>(i)));
       return out;
     }
     case ValueGenSpec::Kind::kIdentical:
-      return std::vector<Value>(n, Value(initial.base));
+      return std::vector<Value>(n, Value(g.base));
     case ValueGenSpec::Kind::kCycle: {
       std::vector<Value> out;
       out.reserve(n);
       for (std::size_t i = 0; i < n; ++i)
-        out.push_back(Value(initial.base +
-                            static_cast<std::int64_t>(i % initial.period)));
+        out.push_back(Value(g.base + static_cast<std::int64_t>(i % g.period)));
       return out;
     }
     case ValueGenSpec::Kind::kBivalent:
       return BivalentMsModel::initial_values(n);
     case ValueGenSpec::Kind::kExplicit: {
       std::vector<Value> out;
-      out.reserve(initial.values.size());
-      for (std::int64_t v : initial.values) out.push_back(Value(v));
+      out.reserve(g.values.size());
+      for (std::int64_t v : g.values) out.push_back(Value(v));
       return out;
     }
   }
   return {};
+}
+
+std::vector<Value> ScenarioSpec::initial_values() const {
+  return materialize_values(initial, n);
 }
 
 CrashPlan ScenarioSpec::crash_plan(std::uint64_t seed) const {
@@ -324,6 +341,10 @@ JsonValue encode_omega(const OmegaSpecSection& o) {
 JsonValue encode_weakset(const WeaksetSpecSection& w) {
   JsonValue v = JsonValue::object();
   v.set("mode", JsonValue::str(enum_name(kWeaksetModeNames, w.mode)));
+  if (w.backend != WeaksetSpecSection::Backend::kExpanded)
+    v.set("backend", JsonValue::str(enum_name(kWsBackendNames, w.backend)));
+  if (w.engine_threads != 1)
+    v.set("engine_threads", JsonValue::uint(w.engine_threads));
   if (!w.script.empty()) {
     JsonValue arr = JsonValue::array();
     for (const auto& op : w.script) {
@@ -348,6 +369,10 @@ JsonValue encode_emulation(const EmulationSpecSection& e) {
   JsonValue v = JsonValue::object();
   v.set("inner", JsonValue::str(enum_name(kEmuInnerNames, e.inner)));
   v.set("engine", JsonValue::str(enum_name(kEmuEngineNames, e.engine)));
+  if (e.backend != EmulationSpecSection::Backend::kExpanded)
+    v.set("backend", JsonValue::str(enum_name(kEmuBackendNames, e.backend)));
+  if (e.engine_threads != 1)
+    v.set("engine_threads", JsonValue::uint(e.engine_threads));
   v.set("rounds", JsonValue::uint(e.rounds));
   v.set("min_add_latency", JsonValue::uint(e.min_add_latency));
   v.set("max_add_latency", JsonValue::uint(e.max_add_latency));
@@ -367,6 +392,9 @@ JsonValue encode_emulation(const EmulationSpecSection& e) {
     }
     v.set("adds", std::move(arr));
   }
+  if (!(e.probe_values == kDefaultProbeValues))
+    v.set("probe_values", encode_initial(e.probe_values));
+  if (!e.certify) v.set("certify", JsonValue::boolean(false));
   return v;
 }
 
@@ -724,9 +752,12 @@ void decode_omega(Dec& d, const JsonValue& obj, const std::string& path,
 
 void decode_weakset(Dec& d, const JsonValue& obj, const std::string& path,
                     WeaksetSpecSection* out) {
-  d.check_keys(obj, path, {"mode", "script", "gen_ops", "extra_rounds",
-                           "validate_env", "keep_records"});
+  d.check_keys(obj, path, {"mode", "backend", "engine_threads", "script",
+                           "gen_ops", "extra_rounds", "validate_env",
+                           "keep_records"});
   d.get_enum(obj, path, "mode", kWeaksetModeNames, &out->mode);
+  d.get_enum(obj, path, "backend", kWsBackendNames, &out->backend);
+  d.get_uint(obj, path, "engine_threads", &out->engine_threads);
   if (const JsonValue* arr = d.array_field(obj, path, "script")) {
     out->script.clear();
     for (std::size_t i = 0; i < arr->items().size(); ++i) {
@@ -757,10 +788,14 @@ void decode_weakset(Dec& d, const JsonValue& obj, const std::string& path,
 
 void decode_emulation(Dec& d, const JsonValue& obj, const std::string& path,
                       EmulationSpecSection* out) {
-  d.check_keys(obj, path, {"inner", "engine", "rounds", "min_add_latency",
-                           "max_add_latency", "skew", "max_ticks", "adds"});
+  d.check_keys(obj, path, {"inner", "engine", "backend", "engine_threads",
+                           "rounds", "min_add_latency", "max_add_latency",
+                           "skew", "max_ticks", "adds", "probe_values",
+                           "certify"});
   d.get_enum(obj, path, "inner", kEmuInnerNames, &out->inner);
   d.get_enum(obj, path, "engine", kEmuEngineNames, &out->engine);
+  d.get_enum(obj, path, "backend", kEmuBackendNames, &out->backend);
+  d.get_uint(obj, path, "engine_threads", &out->engine_threads);
   d.get_uint(obj, path, "rounds", &out->rounds);
   d.get_uint(obj, path, "min_add_latency", &out->min_add_latency);
   d.get_uint(obj, path, "max_add_latency", &out->max_add_latency);
@@ -793,6 +828,9 @@ void decode_emulation(Dec& d, const JsonValue& obj, const std::string& path,
       out->adds.push_back(add);
     }
   }
+  if (const JsonValue* pv = d.object_field(obj, path, "probe_values"))
+    decode_initial(d, *pv, path + ".probe_values", &out->probe_values);
+  d.get_bool(obj, path, "certify", &out->certify);
 }
 
 void decode_shm(Dec& d, const JsonValue& obj, const std::string& path,
@@ -991,14 +1029,30 @@ std::vector<SpecError> validate_scenario_spec(const ScenarioSpec& spec) {
             "must be > leave (or 0 for a permanent departure)");
     }
     if (f.active()) {
-      if (spec.family != ScenarioFamily::kConsensus)
-        err("env.faults", "fault plans are wired into the consensus family");
-      else if (spec.consensus.schedule != ConsensusSpecSection::Schedule::kEnv)
-        err("env.faults",
-            "fault plans run on the env schedule (the adversarial schedules "
-            "are their own fault model)");
-      else if (spec.consensus.probe != ConsensusSpecSection::Probe::kDecision)
-        err("env.faults", "fault plans observe the decision probe");
+      switch (spec.family) {
+        case ScenarioFamily::kConsensus:
+          if (spec.consensus.schedule != ConsensusSpecSection::Schedule::kEnv)
+            err("env.faults",
+                "fault plans run on the env schedule (the adversarial "
+                "schedules are their own fault model)");
+          else if (spec.consensus.probe !=
+                   ConsensusSpecSection::Probe::kDecision)
+            err("env.faults", "fault plans observe the decision probe");
+          break;
+        case ScenarioFamily::kWeakset:
+          break;  // both backends thread FaultPlan through the harness
+        case ScenarioFamily::kEmulation:
+          if (spec.emulation.engine == EmulationSpecSection::Engine::kRef)
+            err("env.faults",
+                "the reference emulation engine is the untouched oracle; "
+                "pick engine \"interned\"");
+          break;
+        default:
+          err("env.faults",
+              "fault plans are wired into the consensus, weakset and "
+              "emulation families");
+          break;
+      }
     }
   }
 
@@ -1142,6 +1196,9 @@ std::vector<SpecError> validate_scenario_spec(const ScenarioSpec& spec) {
           w.gen_ops > 0)
         err("env.n", "the generated register workload reads via process 2 — "
                      "needs env.n >= 3");
+      if (w.backend == WeaksetSpecSection::Backend::kCohort && w.validate_env)
+        err("weakset.validate_env",
+            "backend \"cohort\" records no per-process trace — set false");
       break;
     }
     case ScenarioFamily::kEmulation: {
@@ -1169,6 +1226,31 @@ std::vector<SpecError> validate_scenario_spec(const ScenarioSpec& spec) {
           err("emulation.adds[" + std::to_string(i) + "].process",
               "process " + std::to_string(e.adds[i].process) +
                   " out of range (env.n = " + std::to_string(spec.n) + ")");
+      if (e.backend == EmulationSpecSection::Backend::kCohort) {
+        if (e.engine != EmulationSpecSection::Engine::kInterned)
+          err("emulation.engine",
+              "backend \"cohort\" collapses the interned engine — set "
+              "\"interned\"");
+        if (e.certify)
+          err("emulation.certify",
+              "backend \"cohort\" records no trace to certify — set false");
+      }
+      if (!(e.probe_values == kDefaultProbeValues)) {
+        if (e.inner != EmulationSpecSection::Inner::kEcho)
+          err("emulation.probe_values", "only valid for inner \"echo\"");
+        if (e.probe_values.kind == ValueGenSpec::Kind::kBivalent)
+          err("emulation.probe_values.kind",
+              "\"bivalent\" shapes consensus proposals, not probe seeds");
+        if (e.probe_values.kind == ValueGenSpec::Kind::kCycle &&
+            e.probe_values.period == 0)
+          err("emulation.probe_values.period",
+              "must be >= 1 for kind \"cycle\"");
+        if (e.probe_values.kind == ValueGenSpec::Kind::kExplicit &&
+            e.probe_values.values.size() != spec.n)
+          err("emulation.probe_values.values",
+              "has " + std::to_string(e.probe_values.values.size()) +
+                  " entries but env.n is " + std::to_string(spec.n));
+      }
       break;
     }
     case ScenarioFamily::kWeaksetShm: {

@@ -63,6 +63,10 @@ struct ValueGenSpec {
   friend bool operator==(const ValueGenSpec&, const ValueGenSpec&) = default;
 };
 
+// Materializes a ValueGenSpec into n per-process values (consensus
+// proposals, emulation probe seeds, …).
+std::vector<Value> materialize_values(const ValueGenSpec& g, std::size_t n);
+
 struct CrashEntrySpec {
   std::size_t process = 0;
   Round round = 0;
@@ -142,7 +146,16 @@ struct WeaksetOpSpec {
 
 struct WeaksetSpecSection {
   enum class Mode { kSet, kRegister };  // raw Alg-4 set vs the Prop-1 register
+  // Per-index LockstepNet vs the cohort-collapsed engine.  Cohort records
+  // no per-process trace, so it requires validate_env = false; reports are
+  // otherwise byte-identical (tests/weakset_cohort_test.cpp).
+  enum class Backend { kExpanded, kCohort };
   Mode mode = Mode::kSet;
+  Backend backend = Backend::kExpanded;
+  // Worker-pool participants for either backend's intra-run waves
+  // (1 = serial reference, 0 = one per hardware thread); byte-identical
+  // results at any value.
+  std::size_t engine_threads = 1;
   std::vector<WeaksetOpSpec> script;  // explicit; empty ⇒ generated
   // Generated workload (`gen_ops` mutation/observation pairs, the E4/E6
   // bench shapes: adds at rounds 2+3i cycling processes, gets one round
@@ -165,14 +178,29 @@ struct EmulationAddSpec {
 struct EmulationSpecSection {
   enum class Inner { kEcho, kWeakset };     // the automaton run on emulated rounds
   enum class Engine { kInterned, kRef };    // watermark engine vs seed engine
+  // Per-index execution vs the cohort-collapsed engine
+  // (emul/ms_emulation_cohort.hpp).  Cohort pairs with the interned
+  // engine, records no trace (so requires certify = false), and emits
+  // byte-identical cells otherwise (tests/emulation_cohort_test.cpp).
+  enum class Backend { kExpanded, kCohort };
   Inner inner = Inner::kEcho;
   Engine engine = Engine::kInterned;
+  Backend backend = Backend::kExpanded;
+  std::size_t engine_threads = 1;           // cohort: worker participants
   Round rounds = 40;                        // emulated rounds to reach
   std::uint64_t min_add_latency = 1;
   std::uint64_t max_add_latency = 6;
   std::vector<std::uint64_t> skew;          // per-process tick multiplier
   std::uint64_t max_ticks = 1000000;
   std::vector<EmulationAddSpec> adds;       // kWeakset inner: injected adds
+  // Echo-probe seed shape (inner "echo" only).  The default — distinct,
+  // base 0 — is exactly the historical seeds 0..n-1; "identical" or
+  // "cycle" bound the seed support so the cohort backend can collapse
+  // probe classes.
+  ValueGenSpec probe_values{ValueGenSpec::Kind::kDistinct, 0, 0, {}};
+  // Certify the emitted trace against the MS environment definition
+  // (check_environment).  Requires a trace: expanded/ref backends only.
+  bool certify = true;
 
   friend bool operator==(const EmulationSpecSection&,
                          const EmulationSpecSection&) = default;

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <numeric>
+#include <optional>
 
 #include "common/check.hpp"
 #include "env/validate.hpp"
+#include "net/cohort.hpp"
 
 namespace anon {
 
@@ -66,24 +69,18 @@ ValueSet MsWeakSetAutomaton::compute(Round k, const Inboxes<ValueSet>& inboxes) 
   return proposed_;
 }
 
-MsWeakSetRunResult run_ms_weak_set(const EnvParams& env,
-                                   const CrashPlan& crashes,
-                                   std::vector<WsScriptOp> script,
-                                   Round extra_rounds, bool validate_env) {
-  const std::size_t n = env.n;
-  std::vector<std::unique_ptr<Automaton<ValueSet>>> autos;
-  autos.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    autos.push_back(std::make_unique<MsWeakSetAutomaton>());
-  EnvDelayModel delays(env, crashes);
+namespace {
 
-  Round last_round = 1;
-  for (const auto& op : script) last_round = std::max(last_round, op.round);
-  LockstepOptions opt;
-  opt.seed = env.seed;
-  opt.max_rounds = last_round + extra_rounds;
-
-  LockstepNet<ValueSet> net(std::move(autos), delays, crashes, opt);
+// The scripted-operation loop, shared by both backends.  `peek(p)` reads
+// p's weak-set automaton (served for dead processes too — frozen at the
+// final compute on either engine); `start_add(p, v)` injects the blocking
+// add.  Both engines fire the stop callback at the same point of their
+// round loop, so observation rounds line up byte-for-byte.
+template <typename Net, typename Peek, typename StartAdd>
+MsWeakSetRunResult run_ws_script(Net& net, const CrashPlan& crashes,
+                                 std::vector<WsScriptOp> script,
+                                 Round max_rounds, Peek&& peek,
+                                 StartAdd&& start_add) {
   std::sort(script.begin(), script.end(),
             [](const WsScriptOp& a, const WsScriptOp& b) {
               return a.round < b.round;
@@ -94,16 +91,12 @@ MsWeakSetRunResult run_ms_weak_set(const EnvParams& env,
   // In-flight adds: process -> (record index, inject round).
   std::map<std::size_t, std::pair<std::size_t, Round>> in_flight;
 
-  auto automaton_of = [&net](std::size_t p) -> MsWeakSetAutomaton& {
-    return dynamic_cast<MsWeakSetAutomaton&>(net.process(p).automaton());
-  };
-
-  auto observe = [&](const LockstepNet<ValueSet>& nn) {
+  net.run([&](const Net& nn) {
     const Round r = nn.round();
     // Completion phase: round r's computes have run for round r-1… poll
     // blocked adds first (phase 3 of the previous round).
     for (auto it = in_flight.begin(); it != in_flight.end();) {
-      if (!automaton_of(it->first).add_blocked()) {
+      if (!peek(it->first).add_blocked()) {
         out.records[it->second.first].end = (r - 1) * 4 + 3;
         out.add_latency_rounds_total += (r - 1) - it->second.second;
         it = in_flight.erase(it);
@@ -116,44 +109,123 @@ MsWeakSetRunResult run_ms_weak_set(const EnvParams& env,
       const WsScriptOp& op = script[next_op];
       ++next_op;
       if (crashes.crash_round(op.process) <= r) continue;  // process dead
-      MsWeakSetAutomaton& a = automaton_of(op.process);
       WsOpRecord rec;
       rec.process = op.process;
       rec.start = r * 4 + 1;
       if (op.is_add) {
-        if (a.add_blocked()) continue;  // previous add still in flight: skip
+        if (peek(op.process).add_blocked())
+          continue;  // previous add still in flight: skip
         rec.kind = WsOpRecord::Kind::kAdd;
         rec.value = op.value;
-        a.start_add(op.value);
+        start_add(op.process, op.value);
         out.records.push_back(rec);
         in_flight[op.process] = {out.records.size() - 1, r};
         ++out.adds;
       } else {
         rec.kind = WsOpRecord::Kind::kGet;
-        rec.result = a.get();
+        rec.result = peek(op.process).get();
         rec.end = rec.start;  // instantaneous
         out.records.push_back(rec);
       }
     }
     return false;
-  };
-
-  net.run([&](const LockstepNet<ValueSet>& nn) { return observe(nn); });
+  });
   out.rounds_executed = net.round();
 
   // Adds still blocked at the end (only possible for crashed processes —
   // Theorem 3's termination says correct processes never block forever).
+  // Their records keep end = horizon, which the checker treats as
+  // not-completed relative to all gets.
   for (const auto& [p, rec] : in_flight) {
-    out.records[rec.first].end = opt.max_rounds * 4 + 3;
+    out.records[rec.first].end = max_rounds * 4 + 3;
     if (!crashes.ever_crashes(p)) out.all_adds_completed = false;
   }
-  // Drop in-flight add records of crashed processes from spec checking:
-  // their adds never completed, so the spec imposes nothing for them (the
-  // record keeps end = horizon, which the checker treats as not-completed
-  // relative to all gets).
-  if (validate_env)
+  return out;
+}
+
+}  // namespace
+
+MsWeakSetRunResult run_ms_weak_set(const EnvParams& env,
+                                   const CrashPlan& crashes,
+                                   std::vector<WsScriptOp> script,
+                                   const WsRunOptions& ropt) {
+  const std::size_t n = env.n;
+  EnvDelayModel delays(env, crashes);
+  Round last_round = 1;
+  for (const auto& op : script) last_round = std::max(last_round, op.round);
+  const Round max_rounds = last_round + ropt.extra_rounds;
+  std::optional<FaultPlan> faults;
+  if (ropt.faults.active()) faults.emplace(ropt.faults, env.seed, n, &delays);
+
+  if (ropt.backend == WsBackend::kCohort) {
+    ANON_CHECK_MSG(!ropt.validate_env,
+                   "backend=cohort records no trace; set validate_env=false");
+    // Algorithm 4 has no initial values: every process starts identical,
+    // so the system is ONE class until operations or asymmetries split it.
+    std::vector<CohortNet<ValueSet>::InitGroup> groups(1);
+    groups[0].automaton = std::make_unique<MsWeakSetAutomaton>();
+    groups[0].members.resize(n);
+    std::iota(groups[0].members.begin(), groups[0].members.end(), ProcId{0});
+    CohortOptions copt;
+    copt.seed = env.seed;
+    copt.max_rounds = max_rounds;
+    copt.faults = faults ? &*faults : nullptr;
+    copt.engine_threads = ropt.engine_threads;
+    copt.engine_shards = ropt.engine_shards;
+    CohortNet<ValueSet> net(std::move(groups), delays, crashes, copt);
+    MsWeakSetRunResult out = run_ws_script(
+        net, crashes, std::move(script), max_rounds,
+        [&net](std::size_t p) -> const MsWeakSetAutomaton& {
+          return dynamic_cast<const MsWeakSetAutomaton&>(
+              net.automaton_view(p));
+        },
+        [&net](std::size_t p, Value v) {
+          net.mutate_member(p, [v](Automaton<ValueSet>& a) {
+            dynamic_cast<MsWeakSetAutomaton&>(a).start_add(v);
+          });
+        });
+    out.cohort_classes = net.stats().cohorts;
+    out.cohort_peak_classes = net.stats().max_cohorts;
+    return out;
+  }
+
+  std::vector<std::unique_ptr<Automaton<ValueSet>>> autos;
+  autos.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    autos.push_back(std::make_unique<MsWeakSetAutomaton>());
+  LockstepOptions opt;
+  opt.seed = env.seed;
+  opt.max_rounds = max_rounds;
+  opt.engine_threads = ropt.engine_threads;
+  opt.engine_shards = ropt.engine_shards;
+  opt.faults = faults ? &*faults : nullptr;
+  // The trace exists only to certify the environment: without the check it
+  // would be Θ(rounds·n²) of dead weight (fatal at the bench scales).
+  opt.record_trace = ropt.validate_env;
+  opt.record_deliveries = ropt.validate_env;
+  LockstepNet<ValueSet> net(std::move(autos), delays, crashes, opt);
+  MsWeakSetRunResult out = run_ws_script(
+      net, crashes, std::move(script), max_rounds,
+      [&net](std::size_t p) -> const MsWeakSetAutomaton& {
+        return dynamic_cast<MsWeakSetAutomaton&>(net.process(p).automaton());
+      },
+      [&net](std::size_t p, Value v) {
+        dynamic_cast<MsWeakSetAutomaton&>(net.process(p).automaton())
+            .start_add(v);
+      });
+  if (ropt.validate_env)
     out.env_check = check_environment(net.trace(), n, crashes.correct(n));
   return out;
+}
+
+MsWeakSetRunResult run_ms_weak_set(const EnvParams& env,
+                                   const CrashPlan& crashes,
+                                   std::vector<WsScriptOp> script,
+                                   Round extra_rounds, bool validate_env) {
+  WsRunOptions opt;
+  opt.extra_rounds = extra_rounds;
+  opt.validate_env = validate_env;
+  return run_ms_weak_set(env, crashes, std::move(script), opt);
 }
 
 }  // namespace anon

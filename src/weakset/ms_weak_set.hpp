@@ -26,6 +26,7 @@
 #include "env/generate.hpp"
 #include "env/validate.hpp"
 #include "weakset/weak_set.hpp"
+#include "weakset/ws_backend.hpp"
 #include "giraf/automaton.hpp"
 #include "net/lockstep.hpp"
 
@@ -78,12 +79,21 @@ struct MsWeakSetRunResult {
   std::uint64_t add_latency_rounds_total = 0;  // summed over completed adds
   std::size_t adds = 0;
   EnvCheckResult env_check;
+  // Cohort backend only: final / peak equivalence-class counts.
+  std::size_t cohort_classes = 0;
+  std::size_t cohort_peak_classes = 0;
 };
 
-// Runs Algorithm 4 under `env`/`crashes` with the given script; executes
-// `extra_rounds` beyond the last scripted round (so trailing adds can
-// complete).  Timestamps: round*4+1 = injection phase, round*4+3 =
-// completion/observation phase.
+// Runs Algorithm 4 under `env`/`crashes` with the given script on the
+// selected backend (ws_backend.hpp); executes `opt.extra_rounds` beyond
+// the last scripted round (so trailing adds can complete).  Timestamps:
+// round*4+1 = injection phase, round*4+3 = completion/observation phase.
+MsWeakSetRunResult run_ms_weak_set(const EnvParams& env,
+                                   const CrashPlan& crashes,
+                                   std::vector<WsScriptOp> script,
+                                   const WsRunOptions& opt);
+
+// Expanded-backend shorthand (the original signature).
 MsWeakSetRunResult run_ms_weak_set(const EnvParams& env,
                                    const CrashPlan& crashes,
                                    std::vector<WsScriptOp> script,

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <numeric>
+#include <optional>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "net/cohort.hpp"
 #include "weakset/ms_weak_set.hpp"
 
 namespace anon {
@@ -126,24 +129,17 @@ RegCheckResult check_regular_register(const std::vector<RegOpRecord>& ops) {
   return {};
 }
 
-RegisterRunResult run_register_over_ms(const EnvParams& env,
-                                       const CrashPlan& crashes,
-                                       std::vector<RegScriptOp> script,
-                                       Round extra_rounds, bool validate_env) {
-  const std::size_t n = env.n;
-  std::vector<std::unique_ptr<Automaton<ValueSet>>> autos;
-  autos.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    autos.push_back(std::make_unique<MsWeakSetAutomaton>());
-  EnvDelayModel delays(env, crashes);
+namespace {
 
-  Round last_round = 1;
-  for (const auto& op : script) last_round = std::max(last_round, op.round);
-  LockstepOptions opt;
-  opt.seed = env.seed;
-  opt.max_rounds = last_round + extra_rounds;
-
-  LockstepNet<ValueSet> net(std::move(autos), delays, crashes, opt);
+// The scripted-operation loop, shared by both backends (ws_backend.hpp):
+// `peek(p)` reads p's weak-set automaton (served for dead processes too),
+// `start_add(p, v)` injects the blocking add carrying the encoded write
+// element.  Mirrors run_ws_script in ms_weak_set.cpp.
+template <typename Net, typename Peek, typename StartAdd>
+RegisterRunResult run_reg_script(Net& net, const CrashPlan& crashes,
+                                 std::vector<RegScriptOp> script,
+                                 Round max_rounds, Peek&& peek,
+                                 StartAdd&& start_add) {
   std::sort(script.begin(), script.end(),
             [](const RegScriptOp& a, const RegScriptOp& b) {
               return a.round < b.round;
@@ -153,24 +149,21 @@ RegisterRunResult run_register_over_ms(const EnvParams& env,
   std::size_t next_op = 0;
   std::map<std::size_t, std::pair<std::size_t, Round>> in_flight;
 
-  auto automaton_of = [&net](std::size_t p) -> MsWeakSetAutomaton& {
-    return dynamic_cast<MsWeakSetAutomaton&>(net.process(p).automaton());
-  };
   // One scratch snapshot reused across every operation: the weak-set's
   // ValueSet is already sorted-unique, so decoding is a linear append —
   // no per-op tree rebuild, no allocation once the capacity is warm.
   WsRegSnapshot snap;
   auto snapshot_of = [&](std::size_t p) -> const WsRegSnapshot& {
     snap.clear();
-    for (const Value& v : automaton_of(p).get())
+    for (const Value& v : peek(p).get())
       snap.push_back(WsRegElement::decode(v));
     return snap;
   };
 
-  net.run([&](const LockstepNet<ValueSet>& nn) {
+  net.run([&](const Net& nn) {
     const Round r = nn.round();
     for (auto it = in_flight.begin(); it != in_flight.end();) {
-      if (!automaton_of(it->first).add_blocked()) {
+      if (!peek(it->first).add_blocked()) {
         out.records[it->second.first].end = (r - 1) * 4 + 3;
         out.write_latency_rounds_total += (r - 1) - it->second.second;
         ++out.writes_completed;
@@ -187,12 +180,13 @@ RegisterRunResult run_register_over_ms(const EnvParams& env,
       rec.process = op.process;
       rec.start = r * 4 + 1;
       if (op.is_write) {
-        MsWeakSetAutomaton& a = automaton_of(op.process);
-        if (a.add_blocked()) continue;  // previous write still in flight
+        if (peek(op.process).add_blocked())
+          continue;  // previous write still in flight
         rec.kind = RegOpRecord::Kind::kWrite;
         rec.value = op.value;
-        a.start_add(make_write_element(op.value, snapshot_of(op.process))
-                        .encode());
+        start_add(op.process,
+                  make_write_element(op.value, snapshot_of(op.process))
+                      .encode());
         out.records.push_back(rec);
         in_flight[op.process] = {out.records.size() - 1, r};
       } else {
@@ -210,12 +204,93 @@ RegisterRunResult run_register_over_ms(const EnvParams& env,
   // the checker treats them as concurrent-with-everything-later.
   for (const auto& [p, rec] : in_flight) {
     (void)p;
-    out.records[rec.first].end = opt.max_rounds * 4 + 3;
+    out.records[rec.first].end = max_rounds * 4 + 3;
   }
   out.check = check_regular_register(out.records);
-  if (validate_env)
+  return out;
+}
+
+}  // namespace
+
+RegisterRunResult run_register_over_ms(const EnvParams& env,
+                                       const CrashPlan& crashes,
+                                       std::vector<RegScriptOp> script,
+                                       const WsRunOptions& ropt) {
+  const std::size_t n = env.n;
+  EnvDelayModel delays(env, crashes);
+  Round last_round = 1;
+  for (const auto& op : script) last_round = std::max(last_round, op.round);
+  const Round max_rounds = last_round + ropt.extra_rounds;
+  std::optional<FaultPlan> faults;
+  if (ropt.faults.active()) faults.emplace(ropt.faults, env.seed, n, &delays);
+
+  if (ropt.backend == WsBackend::kCohort) {
+    ANON_CHECK_MSG(!ropt.validate_env,
+                   "backend=cohort records no trace; set validate_env=false");
+    std::vector<CohortNet<ValueSet>::InitGroup> groups(1);
+    groups[0].automaton = std::make_unique<MsWeakSetAutomaton>();
+    groups[0].members.resize(n);
+    std::iota(groups[0].members.begin(), groups[0].members.end(), ProcId{0});
+    CohortOptions copt;
+    copt.seed = env.seed;
+    copt.max_rounds = max_rounds;
+    copt.faults = faults ? &*faults : nullptr;
+    copt.engine_threads = ropt.engine_threads;
+    copt.engine_shards = ropt.engine_shards;
+    CohortNet<ValueSet> net(std::move(groups), delays, crashes, copt);
+    RegisterRunResult out = run_reg_script(
+        net, crashes, std::move(script), max_rounds,
+        [&net](std::size_t p) -> const MsWeakSetAutomaton& {
+          return dynamic_cast<const MsWeakSetAutomaton&>(
+              net.automaton_view(p));
+        },
+        [&net](std::size_t p, Value v) {
+          net.mutate_member(p, [v](Automaton<ValueSet>& a) {
+            dynamic_cast<MsWeakSetAutomaton&>(a).start_add(v);
+          });
+        });
+    out.cohort_classes = net.stats().cohorts;
+    out.cohort_peak_classes = net.stats().max_cohorts;
+    return out;
+  }
+
+  std::vector<std::unique_ptr<Automaton<ValueSet>>> autos;
+  autos.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    autos.push_back(std::make_unique<MsWeakSetAutomaton>());
+  LockstepOptions opt;
+  opt.seed = env.seed;
+  opt.max_rounds = max_rounds;
+  opt.engine_threads = ropt.engine_threads;
+  opt.engine_shards = ropt.engine_shards;
+  opt.faults = faults ? &*faults : nullptr;
+  // The trace exists only to certify the environment: without the check it
+  // would be Θ(rounds·n²) of dead weight (fatal at the bench scales).
+  opt.record_trace = ropt.validate_env;
+  opt.record_deliveries = ropt.validate_env;
+  LockstepNet<ValueSet> net(std::move(autos), delays, crashes, opt);
+  RegisterRunResult out = run_reg_script(
+      net, crashes, std::move(script), max_rounds,
+      [&net](std::size_t p) -> const MsWeakSetAutomaton& {
+        return dynamic_cast<MsWeakSetAutomaton&>(net.process(p).automaton());
+      },
+      [&net](std::size_t p, Value v) {
+        dynamic_cast<MsWeakSetAutomaton&>(net.process(p).automaton())
+            .start_add(v);
+      });
+  if (ropt.validate_env)
     out.env_check = check_environment(net.trace(), n, crashes.correct(n));
   return out;
+}
+
+RegisterRunResult run_register_over_ms(const EnvParams& env,
+                                       const CrashPlan& crashes,
+                                       std::vector<RegScriptOp> script,
+                                       Round extra_rounds, bool validate_env) {
+  WsRunOptions opt;
+  opt.extra_rounds = extra_rounds;
+  opt.validate_env = validate_env;
+  return run_register_over_ms(env, crashes, std::move(script), opt);
 }
 
 }  // namespace anon

@@ -22,6 +22,7 @@
 #include "env/environment.hpp"
 #include "env/validate.hpp"
 #include "net/schedule.hpp"
+#include "weakset/ws_backend.hpp"
 
 namespace anon {
 
@@ -83,11 +84,20 @@ struct RegisterRunResult {
   std::uint64_t write_latency_rounds_total = 0;
   std::size_t writes_completed = 0;
   EnvCheckResult env_check;  // populated when validate_env
+  // Cohort backend only: final / peak equivalence-class counts.
+  std::size_t cohort_classes = 0;
+  std::size_t cohort_peak_classes = 0;
 };
 
 // Runs the Prop-1 register over Algorithm 4 in the given MS-class
-// environment; returns the timestamped operation history plus its
-// regularity verdict.
+// environment on the selected backend (ws_backend.hpp); returns the
+// timestamped operation history plus its regularity verdict.
+RegisterRunResult run_register_over_ms(const EnvParams& env,
+                                       const CrashPlan& crashes,
+                                       std::vector<RegScriptOp> script,
+                                       const WsRunOptions& opt);
+
+// Expanded-backend shorthand (the original signature).
 RegisterRunResult run_register_over_ms(const EnvParams& env,
                                        const CrashPlan& crashes,
                                        std::vector<RegScriptOp> script,

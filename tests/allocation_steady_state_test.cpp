@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "algo/es_consensus.hpp"
+#include "emul/echo.hpp"
+#include "emul/ms_emulation_cohort.hpp"
 #include "net/cohort.hpp"
 #include "net/lockstep.hpp"
 #include "net/schedule.hpp"
@@ -140,6 +142,52 @@ TEST(AllocationSteadyState, SerialCohortRoundsAreAllocationFree) {
 TEST(AllocationSteadyState, ShardedCohortRoundsAreAllocationFree) {
   EXPECT_EQ(cohort_steady_allocations(4), 0u)
       << "sharded CohortNet allocated on the steady-state round path";
+}
+
+// The cohort-collapsed emulation cannot be allocation-free — every emulated
+// round interns fresh elements and grows the visible log — but its round
+// cost must track the CLASS count, not n.  With identical echo seeds the
+// whole run is one class, so the per-window allocation count at n = 256
+// must stay at the n = 32 level (the expanded engine walks all n processes
+// and its Θ(r·n²) trace dwarfs this).
+std::size_t emulation_cohort_window_allocations(std::size_t n,
+                                                std::size_t engine_threads) {
+  std::vector<MsEmulationCohort<ValueSet>::InitGroup> groups(1);
+  groups[0].automaton = std::make_unique<EchoAutomaton>(7);
+  for (ProcId p = 0; p < n; ++p) groups[0].members.push_back(p);
+  MsEmulationCohortOptions copt;
+  copt.base.seed = 42;
+  copt.base.min_add_latency = 2;
+  copt.base.max_add_latency = 2;  // deterministic: no latency-draw splits
+  copt.engine_threads = engine_threads;
+  MsEmulationCohort<ValueSet> emu(std::move(groups), copt);
+  EXPECT_TRUE(emu.run_until_round(kWarmup));
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_TRUE(emu.run_until_round(kWarmup + kMeasure));
+  const std::size_t allocs =
+      g_allocations.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(emu.class_count(), 1u) << "identical probes must stay one class";
+  return allocs;
+}
+
+TEST(AllocationSteadyState, EmulationCohortRoundsAreClassBoundNotNBound) {
+  const std::size_t small = emulation_cohort_window_allocations(32, 1);
+  const std::size_t large = emulation_cohort_window_allocations(256, 1);
+  // One class either way: the window's allocation count must not scale
+  // with n (slack covers amortized vector doublings crossing the window).
+  EXPECT_LE(large, small + small / 2 + 64)
+      << "n=32 window: " << small << ", n=256 window: " << large;
+  // And the absolute level stays modest: a handful per emulated round
+  // (element interning + log growth), not hundreds.
+  EXPECT_LE(small, static_cast<std::size_t>(kMeasure) * 32)
+      << "n=32 window allocated " << small << " times";
+}
+
+TEST(AllocationSteadyState, ShardedEmulationCohortMatchesSerialAllocations) {
+  const std::size_t serial = emulation_cohort_window_allocations(64, 1);
+  const std::size_t sharded = emulation_cohort_window_allocations(64, 4);
+  EXPECT_LE(sharded, serial + serial / 2 + 64)
+      << "serial window: " << serial << ", sharded window: " << sharded;
 }
 
 }  // namespace

@@ -1,0 +1,310 @@
+// MsEmulationCohort ≡ MsEmulation: the cohort-collapsed Algorithm 5 engine
+// must reproduce the expanded engine's observable state byte-for-byte —
+// every report-feeding quantity, per-process automaton state, and the
+// weak-set content — across randomized (seed, shape, fault-plan) configs,
+// at every engine thread/shard mode, and across the max_ticks boundary.
+#include "emul/ms_emulation_cohort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "emul/echo.hpp"
+#include "emul/ms_emulation.hpp"
+#include "weakset/ms_weak_set.hpp"
+
+namespace anon {
+namespace {
+
+struct EmuConfig {
+  std::size_t n = 8;
+  std::uint64_t seed = 1;
+  std::uint64_t min_lat = 1, max_lat = 6;
+  std::vector<std::uint64_t> skew;        // empty = uniform
+  Round rounds = 6;
+  std::uint64_t max_ticks = 1000000;
+  bool weakset_inner = false;
+  std::vector<std::int64_t> echo_seeds;   // echo inner: per-process seed
+  std::vector<std::pair<ProcId, std::int64_t>> adds;  // weakset inner
+  FaultParams faults;
+  std::size_t threads = 1, shards = 0;
+};
+
+struct Observed {
+  bool ran = false;
+  std::uint64_t deliveries = 0;
+  std::uint64_t last_eor_tick = 0;
+  std::vector<Round> rounds;
+  std::size_t weak_set_size = 0;
+  std::size_t interned = 0;
+  // Weakset inner: per-process (blocked, get contents).
+  std::vector<bool> blocked;
+  std::vector<std::vector<std::int64_t>> gets;
+};
+
+MsEmulationOptions base_options(const EmuConfig& cfg) {
+  MsEmulationOptions opt;
+  opt.seed = cfg.seed;
+  opt.min_add_latency = cfg.min_lat;
+  opt.max_add_latency = cfg.max_lat;
+  opt.skew = cfg.skew;
+  opt.max_ticks = cfg.max_ticks;
+  if (cfg.faults.active())
+    opt.faults = EmulFaultModel(cfg.faults, cfg.seed, cfg.n);
+  return opt;
+}
+
+std::vector<std::int64_t> set_contents(const ValueSet& s) {
+  std::vector<std::int64_t> out;
+  for (const Value& v : s) out.push_back(v.get());
+  return out;
+}
+
+Observed run_expanded(const EmuConfig& cfg) {
+  std::vector<std::unique_ptr<Automaton<ValueSet>>> autos;
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    if (cfg.weakset_inner)
+      autos.push_back(std::make_unique<MsWeakSetAutomaton>());
+    else
+      autos.push_back(std::make_unique<EchoAutomaton>(cfg.echo_seeds[i]));
+  }
+  MsEmulation<ValueSet> emu(std::move(autos), base_options(cfg));
+  for (const auto& [p, v] : cfg.adds)
+    dynamic_cast<MsWeakSetAutomaton&>(
+        const_cast<GirafProcess<ValueSet>&>(emu.process(p)).automaton())
+        .start_add(Value(v));
+
+  Observed o;
+  o.ran = emu.run_until_round(cfg.rounds);
+  o.deliveries = emu.trace().deliveries().size();
+  o.last_eor_tick = emu.trace().end_of_rounds().back().time;
+  for (ProcId p = 0; p < cfg.n; ++p) o.rounds.push_back(emu.round(p));
+  o.weak_set_size = emu.weak_set_size();
+  o.interned = emu.interned_elements();
+  if (cfg.weakset_inner) {
+    for (ProcId p = 0; p < cfg.n; ++p) {
+      const auto& w =
+          dynamic_cast<const MsWeakSetAutomaton&>(emu.process(p).automaton());
+      o.blocked.push_back(w.add_blocked());
+      o.gets.push_back(set_contents(w.get()));
+    }
+  }
+  return o;
+}
+
+Observed run_cohort(const EmuConfig& cfg, EmulCohortStats* stats = nullptr) {
+  using Engine = MsEmulationCohort<ValueSet>;
+  std::vector<Engine::InitGroup> groups;
+  if (cfg.weakset_inner) {
+    Engine::InitGroup g;
+    g.automaton = std::make_unique<MsWeakSetAutomaton>();
+    for (ProcId p = 0; p < cfg.n; ++p) g.members.push_back(p);
+    groups.push_back(std::move(g));
+  } else {
+    std::map<std::int64_t, std::vector<ProcId>> by_seed;
+    for (ProcId p = 0; p < cfg.n; ++p) by_seed[cfg.echo_seeds[p]].push_back(p);
+    for (auto& [seed, members] : by_seed) {
+      Engine::InitGroup g;
+      g.automaton = std::make_unique<EchoAutomaton>(seed);
+      g.members = std::move(members);
+      groups.push_back(std::move(g));
+    }
+  }
+  MsEmulationCohortOptions copt;
+  copt.base = base_options(cfg);
+  copt.engine_threads = cfg.threads;
+  copt.engine_shards = cfg.shards;
+  Engine emu(std::move(groups), copt);
+  for (const auto& [p, v] : cfg.adds)
+    emu.mutate_member(p, [v = v](Automaton<ValueSet>& a) {
+      dynamic_cast<MsWeakSetAutomaton&>(a).start_add(Value(v));
+    });
+
+  Observed o;
+  o.ran = emu.run_until_round(cfg.rounds);
+  o.deliveries = emu.deliveries();
+  o.last_eor_tick = emu.last_eor_tick();
+  for (ProcId p = 0; p < cfg.n; ++p) o.rounds.push_back(emu.round(p));
+  o.weak_set_size = emu.weak_set_size();
+  o.interned = emu.interned_elements();
+  if (cfg.weakset_inner) {
+    for (ProcId p = 0; p < cfg.n; ++p) {
+      const auto& w = dynamic_cast<const MsWeakSetAutomaton&>(
+          emu.representative(p).automaton());
+      o.blocked.push_back(w.add_blocked());
+      o.gets.push_back(set_contents(w.get()));
+    }
+  }
+  if (stats != nullptr) *stats = emu.stats();
+  return o;
+}
+
+void expect_equal(const Observed& a, const Observed& b, const char* what) {
+  EXPECT_EQ(a.ran, b.ran) << what;
+  EXPECT_EQ(a.deliveries, b.deliveries) << what;
+  EXPECT_EQ(a.last_eor_tick, b.last_eor_tick) << what;
+  EXPECT_EQ(a.rounds, b.rounds) << what;
+  EXPECT_EQ(a.weak_set_size, b.weak_set_size) << what;
+  EXPECT_EQ(a.interned, b.interned) << what;
+  EXPECT_EQ(a.blocked, b.blocked) << what;
+  EXPECT_EQ(a.gets, b.gets) << what;
+}
+
+EmuConfig random_config(std::uint32_t idx) {
+  Rng rng(0xe16c0de + idx * 977);
+  EmuConfig cfg;
+  cfg.n = 2 + rng.below(13);
+  cfg.seed = 1 + rng.below(100000);
+  cfg.min_lat = 1 + rng.below(3);
+  cfg.max_lat = cfg.min_lat + rng.below(5);
+  cfg.rounds = 3 + static_cast<Round>(rng.below(7));
+  if (rng.below(2) == 0) {
+    cfg.skew.resize(cfg.n);
+    for (auto& s : cfg.skew) s = 1 + rng.below(3);
+  }
+  cfg.weakset_inner = idx % 2 == 1;
+  if (cfg.weakset_inner) {
+    const std::size_t adds = rng.below(std::min<std::size_t>(cfg.n, 4));
+    for (std::size_t a = 0; a < adds; ++a)
+      cfg.adds.emplace_back(static_cast<ProcId>((a * 5 + 1) % cfg.n),
+                            static_cast<std::int64_t>(10 + a));
+  } else {
+    cfg.echo_seeds.resize(cfg.n);
+    for (auto& s : cfg.echo_seeds)
+      s = static_cast<std::int64_t>(rng.below(4));
+  }
+  if (idx % 3 == 2) {
+    cfg.max_ticks = 3000;  // bound fault runs that may never finish
+    switch (rng.below(4)) {
+      case 0:
+        cfg.faults.loss_prob = 0.4;
+        break;
+      case 1:
+        cfg.faults.reorder_prob = 0.5;
+        cfg.faults.max_extra_delay = 3;
+        break;
+      case 2:
+        cfg.faults.omission_senders = {static_cast<ProcId>(rng.below(cfg.n))};
+        break;
+      default:
+        cfg.faults.churn = {{static_cast<ProcId>(rng.below(cfg.n)),
+                             static_cast<Round>(4 + rng.below(20)),
+                             static_cast<Round>(30 + rng.below(40))}};
+        break;
+    }
+  }
+  return cfg;
+}
+
+TEST(EmulationCohort, MatchesExpandedAcrossRandomConfigs) {
+  for (std::uint32_t idx = 0; idx < 30; ++idx) {
+    SCOPED_TRACE(idx);
+    const EmuConfig cfg = random_config(idx);
+    expect_equal(run_expanded(cfg), run_cohort(cfg), "config");
+  }
+}
+
+TEST(EmulationCohort, ThreadAndShardModesAreByteIdentical) {
+  const std::pair<std::size_t, std::size_t> kModes[] = {
+      {1, 0}, {2, 0}, {8, 0}, {1, 8}};
+  for (std::uint32_t idx : {0u, 1u, 5u, 8u}) {
+    SCOPED_TRACE(idx);
+    EmuConfig cfg = random_config(idx);
+    const Observed expanded = run_expanded(cfg);
+    for (const auto& [threads, shards] : kModes) {
+      cfg.threads = threads;
+      cfg.shards = shards;
+      expect_equal(expanded, run_cohort(cfg), "mode");
+    }
+  }
+}
+
+// Identical echo seeds with mixed skew: a lagging class catches up to
+// content a faster class already published, interning an element that is
+// already in the visible log — the exact per-member fallback must engage
+// and stay equivalent.
+TEST(EmulationCohort, CatchUpCornerStaysExact) {
+  EmuConfig cfg;
+  cfg.n = 10;
+  cfg.seed = 77;
+  cfg.rounds = 8;
+  cfg.echo_seeds.assign(cfg.n, 3);
+  cfg.skew.assign(cfg.n, 1);
+  cfg.skew[2] = 3;
+  cfg.skew[7] = 2;
+  EmulCohortStats stats;
+  expect_equal(run_expanded(cfg), run_cohort(cfg, &stats), "corner");
+  EXPECT_GE(stats.corner_ticks, 1u);
+}
+
+// An injected weakset add on one member of a collapsed class must split
+// that member off and still reproduce the expanded run exactly.
+TEST(EmulationCohort, InjectedAddSplitsOneMemberOut) {
+  EmuConfig cfg;
+  cfg.n = 12;
+  cfg.seed = 5;
+  cfg.rounds = 7;
+  cfg.weakset_inner = true;
+  cfg.adds = {{3, 42}};
+  EmulCohortStats stats;
+  expect_equal(run_expanded(cfg), run_cohort(cfg, &stats), "split");
+  EXPECT_GE(stats.splits, 1u);
+  EXPECT_GE(stats.clones, 1u);
+}
+
+// Anonymity pays: identical probes collapse to a class count driven by the
+// latency/round-drift support, which saturates — quadrupling n must not
+// come close to quadrupling the classes, and classes stay well under n.
+TEST(EmulationCohort, IdenticalProbesCollapse) {
+  std::size_t max_classes_small = 0, max_classes_large = 0;
+  for (const std::size_t n : {64u, 256u}) {
+    EmuConfig cfg;
+    cfg.n = n;
+    cfg.seed = 9;
+    cfg.rounds = 10;
+    cfg.echo_seeds.assign(cfg.n, 1);
+    EmulCohortStats stats;
+    expect_equal(run_expanded(cfg), run_cohort(cfg, &stats), "collapse");
+    (n == 64 ? max_classes_small : max_classes_large) = stats.max_classes;
+  }
+  EXPECT_LE(max_classes_large, 3 * max_classes_small);
+  EXPECT_LE(max_classes_large, 256u / 2);
+}
+
+// `ran` must flip at exactly the same max_ticks cutoff as the expanded
+// loop (including the completion-on-the-last-tick edge, which the
+// expanded engine reports as false).
+TEST(EmulationCohort, MaxTicksBoundaryMatches) {
+  for (std::uint64_t max_ticks = 2; max_ticks <= 48; ++max_ticks) {
+    SCOPED_TRACE(max_ticks);
+    EmuConfig cfg;
+    cfg.n = 6;
+    cfg.seed = 21;
+    cfg.rounds = 4;
+    cfg.max_ticks = max_ticks;
+    cfg.echo_seeds = {0, 1, 0, 1, 2, 0};
+    expect_equal(run_expanded(cfg), run_cohort(cfg), "boundary");
+  }
+}
+
+// A never-rejoining churn window pins its process down: both engines must
+// degrade gracefully to ran=false with identical partial progress.
+TEST(EmulationCohort, ChurnPinnedProcessDegradesGracefully) {
+  EmuConfig cfg;
+  cfg.n = 8;
+  cfg.seed = 13;
+  cfg.rounds = 6;
+  cfg.max_ticks = 800;
+  cfg.echo_seeds.assign(cfg.n, 2);
+  cfg.faults.churn = {{4, 10, 0}};  // leaves at tick 10, never returns
+  const Observed expanded = run_expanded(cfg);
+  EXPECT_FALSE(expanded.ran);
+  expect_equal(expanded, run_cohort(cfg), "churn");
+}
+
+}  // namespace
+}  // namespace anon

@@ -1,0 +1,93 @@
+// core/partition.hpp — the contiguous balanced partition shared by
+// LockstepNet (uniform weights) and CohortNet (class-member weights).
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace anon {
+namespace {
+
+void expect_contiguous_cover(const std::vector<ShardRange>& ranges,
+                             std::size_t count) {
+  ASSERT_FALSE(ranges.empty());
+  EXPECT_EQ(ranges.front().first, 0u);
+  for (std::size_t i = 1; i < ranges.size(); ++i)
+    EXPECT_EQ(ranges[i].first, ranges[i - 1].second);
+  EXPECT_EQ(ranges.back().second, count);
+}
+
+TEST(Partition, UniformMatchesBaseRemLayout) {
+  std::vector<ShardRange> ranges;
+  for (std::size_t count : {0u, 1u, 2u, 5u, 10u, 11u, 17u, 64u, 1000u}) {
+    for (std::size_t shards : {1u, 2u, 3u, 4u, 7u, 8u, 16u}) {
+      balanced_ranges(count, shards, &ranges);
+      expect_contiguous_cover(ranges, count);
+      if (count == 0) continue;
+      const std::size_t s = std::min(shards, count);
+      ASSERT_EQ(ranges.size(), s);
+      const std::size_t base = count / s, rem = count % s;
+      for (std::size_t i = 0; i < s; ++i)
+        EXPECT_EQ(ranges[i].second - ranges[i].first, base + (i < rem ? 1 : 0))
+            << "count=" << count << " shards=" << shards << " i=" << i;
+    }
+  }
+}
+
+TEST(Partition, WeightedIsolatesTheGiantItem) {
+  // The collapsed-run shape: one class holding almost every process plus
+  // singleton stragglers.  The giant must get a shard to itself and the
+  // stragglers must spread over the remaining shards, not pile onto one.
+  std::vector<std::uint64_t> weights = {1000000, 1, 1, 1, 1, 1, 1, 1, 1};
+  std::vector<ShardRange> ranges;
+  balanced_ranges_weighted(
+      weights.size(), 4, [&](std::size_t i) { return weights[i]; }, &ranges);
+  expect_contiguous_cover(ranges, weights.size());
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges[0], (ShardRange{0, 1}));  // the giant, alone
+  for (std::size_t s = 1; s < 4; ++s)
+    EXPECT_GE(ranges[s].second - ranges[s].first, 2u);
+}
+
+TEST(Partition, WeightedRandomizedInvariants) {
+  Rng rng(0xba1a9ce);
+  std::vector<std::uint64_t> weights;
+  std::vector<ShardRange> ranges;
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t count = 1 + rng.below(40);
+    const std::size_t shards = 1 + rng.below(12);
+    weights.clear();
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      weights.push_back(rng.below(100));
+      total += weights.back();
+    }
+    balanced_ranges_weighted(
+        count, shards, [&](std::size_t i) { return weights[i]; }, &ranges);
+    expect_contiguous_cover(ranges, count);
+    ASSERT_EQ(ranges.size(), std::min(shards, count));
+    // Every range non-empty, and no range except a single-item one may
+    // exceed the greedy target by more than its last item (the bound that
+    // matters: a shard is never more than one item past balanced).
+    for (const ShardRange& r : ranges) EXPECT_GT(r.second, r.first);
+    if (total > 0) {
+      const std::uint64_t ceil_avg =
+          (total + ranges.size() - 1) / ranges.size();
+      for (const ShardRange& r : ranges) {
+        if (r.second - r.first <= 1) continue;  // single item: unavoidable
+        std::uint64_t w = 0;
+        for (std::size_t i = r.first; i < r.second; ++i) w += weights[i];
+        const std::uint64_t last = weights[r.second - 1];
+        EXPECT_LE(w, ceil_avg + last);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anon

@@ -256,6 +256,143 @@ TEST(ScenarioSpecValidation, ValidateEnvNeedsTheFullTrace) {
       << res.errors_to_string();
 }
 
+TEST(ScenarioSpecValidation, WeaksetCohortBackendRoundTripsAndGates) {
+  // backend/engine_threads stay implicit at their defaults (goldens are
+  // untouched), round-trip when set, and cohort rejects validate_env.
+  ScenarioSpec spec;
+  spec.family = ScenarioFamily::kWeakset;
+  EXPECT_EQ(scenario_spec_to_json(spec).find("backend"), std::string::npos);
+
+  auto res = parse_scenario_spec(R"({
+    "family": "weakset",
+    "weakset": {"backend": "cohort", "engine_threads": 4, "gen_ops": 4,
+                "validate_env": false}
+  })");
+  ASSERT_TRUE(res.ok()) << res.errors_to_string();
+  EXPECT_EQ(res.spec->weakset.backend, WeaksetSpecSection::Backend::kCohort);
+  EXPECT_EQ(res.spec->weakset.engine_threads, 4u);
+  const std::string once = scenario_spec_to_json(*res.spec);
+  auto again = parse_scenario_spec(once);
+  ASSERT_TRUE(again.ok()) << again.errors_to_string();
+  EXPECT_EQ(once, scenario_spec_to_json(*again.spec));
+
+  auto bad = parse_scenario_spec(R"({
+    "family": "weakset",
+    "weakset": {"backend": "cohort", "validate_env": true}
+  })");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(has_error_at(bad.errors, "weakset.validate_env"))
+      << bad.errors_to_string();
+}
+
+TEST(ScenarioSpecValidation, EmulationCohortNeedsInternedAndNoCertify) {
+  auto ok = parse_scenario_spec(R"({
+    "family": "emulation",
+    "env": {"kind": "ms"},
+    "emulation": {"backend": "cohort", "certify": false, "engine_threads": 2}
+  })");
+  ASSERT_TRUE(ok.ok()) << ok.errors_to_string();
+  EXPECT_EQ(ok.spec->emulation.backend,
+            EmulationSpecSection::Backend::kCohort);
+
+  auto certify = parse_scenario_spec(R"({
+    "family": "emulation",
+    "env": {"kind": "ms"},
+    "emulation": {"backend": "cohort"}
+  })");
+  ASSERT_FALSE(certify.ok());
+  EXPECT_TRUE(has_error_at(certify.errors, "emulation.certify"))
+      << certify.errors_to_string();
+
+  auto ref = parse_scenario_spec(R"({
+    "family": "emulation",
+    "env": {"kind": "ms"},
+    "emulation": {"backend": "cohort", "engine": "ref", "certify": false}
+  })");
+  ASSERT_FALSE(ref.ok());
+  EXPECT_TRUE(has_error_at(ref.errors, "emulation.engine"))
+      << ref.errors_to_string();
+}
+
+TEST(ScenarioSpecValidation, EmulationProbeValuesShapeTheEchoSeeds) {
+  // probe_values round-trips (implicit at the historical 0..n-1 default)
+  // and is gated to the echo inner with value-shape rules.
+  auto ok = parse_scenario_spec(R"({
+    "family": "emulation",
+    "env": {"kind": "ms", "n": 6},
+    "emulation": {"probe_values": {"kind": "cycle", "base": 0, "period": 2}}
+  })");
+  ASSERT_TRUE(ok.ok()) << ok.errors_to_string();
+  EXPECT_EQ(ok.spec->emulation.probe_values.kind, ValueGenSpec::Kind::kCycle);
+  const std::string once = scenario_spec_to_json(*ok.spec);
+  auto again = parse_scenario_spec(once);
+  ASSERT_TRUE(again.ok()) << again.errors_to_string();
+  EXPECT_EQ(once, scenario_spec_to_json(*again.spec));
+
+  auto inner = parse_scenario_spec(R"({
+    "family": "emulation",
+    "env": {"kind": "ms"},
+    "emulation": {"inner": "weakset",
+                  "probe_values": {"kind": "identical", "base": 3}}
+  })");
+  ASSERT_FALSE(inner.ok());
+  EXPECT_TRUE(has_error_at(inner.errors, "emulation.probe_values"))
+      << inner.errors_to_string();
+
+  auto bivalent = parse_scenario_spec(R"({
+    "family": "emulation",
+    "env": {"kind": "ms"},
+    "emulation": {"probe_values": {"kind": "bivalent"}}
+  })");
+  ASSERT_FALSE(bivalent.ok());
+  EXPECT_TRUE(has_error_at(bivalent.errors, "emulation.probe_values.kind"))
+      << bivalent.errors_to_string();
+
+  auto sized = parse_scenario_spec(R"({
+    "family": "emulation",
+    "env": {"kind": "ms", "n": 4},
+    "emulation": {"probe_values": {"kind": "explicit", "values": [1, 2]}}
+  })");
+  ASSERT_FALSE(sized.ok());
+  EXPECT_TRUE(has_error_at(sized.errors, "emulation.probe_values.values"))
+      << sized.errors_to_string();
+}
+
+TEST(ScenarioSpecValidation, FaultPlansReachWeaksetAndInternedEmulation) {
+  // The env.faults gate: weakset accepts any plan, emulation accepts them
+  // on the interned engine only (the ref engine is the untouched oracle),
+  // and trace-free families still reject.
+  auto ws = parse_scenario_spec(R"({
+    "family": "weakset",
+    "env": {"faults": {"loss_prob": 0.25}},
+    "weakset": {"gen_ops": 4}
+  })");
+  EXPECT_TRUE(ws.ok()) << ws.errors_to_string();
+
+  auto emu = parse_scenario_spec(R"({
+    "family": "emulation",
+    "env": {"kind": "ms", "faults": {"loss_prob": 0.25}}
+  })");
+  EXPECT_TRUE(emu.ok()) << emu.errors_to_string();
+
+  auto ref = parse_scenario_spec(R"({
+    "family": "emulation",
+    "env": {"kind": "ms", "faults": {"loss_prob": 0.25}},
+    "emulation": {"engine": "ref"}
+  })");
+  ASSERT_FALSE(ref.ok());
+  EXPECT_TRUE(has_error_at(ref.errors, "env.faults"))
+      << ref.errors_to_string();
+
+  auto shm = parse_scenario_spec(R"({
+    "family": "weakset-shm",
+    "env": {"faults": {"loss_prob": 0.25}}
+  })");
+  ASSERT_FALSE(shm.ok());
+  EXPECT_TRUE(has_error_at(shm.errors, "env.faults"))
+      << shm.errors_to_string();
+}
+
 TEST(ScenarioSpecValidation, RandomCrashesMustLeaveACorrectProcess) {
   auto res = parse_scenario_spec(R"({
     "family": "consensus",

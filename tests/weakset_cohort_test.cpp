@@ -1,0 +1,269 @@
+// Backend equivalence for the Algorithm-4 harnesses: backend=cohort must
+// reproduce the expanded LockstepNet runs byte-for-byte — same operation
+// records (kind/value/result/timestamps), same latency accounting, same
+// completion flags — across environments, crash plans, link-fault plans
+// and thread/shard counts.  The cohort engine is only allowed to be
+// faster, never different.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "weakset/ms_weak_set.hpp"
+#include "weakset/ws_register.hpp"
+
+namespace anon {
+namespace {
+
+struct WsConfig {
+  EnvParams env;
+  CrashPlan crashes;
+  std::vector<WsScriptOp> script;
+  FaultParams faults;
+  Round extra_rounds = 30;
+};
+
+MsWeakSetRunResult run_set(const WsConfig& cfg, WsBackend backend,
+                           std::size_t threads = 1, std::size_t shards = 0) {
+  WsRunOptions opt;
+  opt.backend = backend;
+  opt.validate_env = false;  // cohort records no trace; compare like-for-like
+  opt.extra_rounds = cfg.extra_rounds;
+  opt.engine_threads = threads;
+  opt.engine_shards = shards;
+  opt.faults = cfg.faults;
+  return run_ms_weak_set(cfg.env, cfg.crashes, cfg.script, opt);
+}
+
+void expect_equal(const MsWeakSetRunResult& e, const MsWeakSetRunResult& c,
+                  const std::string& what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(e.records.size(), c.records.size());
+  for (std::size_t i = 0; i < e.records.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(e.records[i].kind, c.records[i].kind);
+    EXPECT_TRUE(e.records[i].value == c.records[i].value);
+    EXPECT_TRUE(e.records[i].result == c.records[i].result);
+    EXPECT_EQ(e.records[i].start, c.records[i].start);
+    EXPECT_EQ(e.records[i].end, c.records[i].end);
+    EXPECT_EQ(e.records[i].process, c.records[i].process);
+  }
+  EXPECT_EQ(e.all_adds_completed, c.all_adds_completed);
+  EXPECT_EQ(e.rounds_executed, c.rounds_executed);
+  EXPECT_EQ(e.add_latency_rounds_total, c.add_latency_rounds_total);
+  EXPECT_EQ(e.adds, c.adds);
+}
+
+// A randomized workload: adds and gets interleaved over rounds/processes.
+WsConfig random_config(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  WsConfig cfg;
+  cfg.env.n = 4 + rng() % 9;  // 4..12
+  cfg.env.seed = 1 + rng() % 1000;
+  switch (rng() % 3) {
+    case 0:
+      cfg.env.kind = EnvKind::kES;
+      cfg.env.stabilization = 0;
+      break;
+    case 1:
+      cfg.env.kind = EnvKind::kES;
+      cfg.env.stabilization = 3;
+      break;
+    default:
+      cfg.env.kind = EnvKind::kMS;
+      break;
+  }
+  const std::size_t n_crashes = rng() % 3;
+  for (std::size_t i = 0; i < n_crashes; ++i)
+    cfg.crashes.crash_at(rng() % cfg.env.n, 2 + rng() % 8);
+  switch (rng() % 4) {
+    case 0:
+      break;  // fault-free
+    case 1:
+      cfg.faults.loss_prob = 0.3;
+      break;
+    case 2:
+      cfg.faults.reorder_prob = 0.4;
+      cfg.faults.max_extra_delay = 3;
+      break;
+    default:
+      cfg.faults.churn.push_back(
+          {static_cast<ProcId>(rng() % cfg.env.n),
+           static_cast<Round>(2 + rng() % 4), static_cast<Round>(8 + rng() % 4)});
+      break;
+  }
+  const std::size_t ops = 6 + rng() % 10;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const Round r = 2 + static_cast<Round>(rng() % 20);
+    const std::size_t p = rng() % cfg.env.n;
+    if (rng() % 2 == 0) {
+      cfg.script.push_back(
+          {r, p, true, Value(100 + static_cast<std::int64_t>(rng() % 50))});
+    } else {
+      cfg.script.push_back({r, p, false, Value()});
+    }
+  }
+  return cfg;
+}
+
+TEST(WeaksetCohort, SetMatchesExpandedAcrossRandomConfigs) {
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const WsConfig cfg = random_config(seed);
+    const auto expanded = run_set(cfg, WsBackend::kExpanded);
+    const auto cohort = run_set(cfg, WsBackend::kCohort);
+    expect_equal(expanded, cohort, "config seed " + std::to_string(seed));
+  }
+}
+
+TEST(WeaksetCohort, ThreadAndShardModesAreByteIdentical) {
+  const WsConfig cfg = random_config(77);
+  const auto expanded = run_set(cfg, WsBackend::kExpanded);
+  const std::pair<std::size_t, std::size_t> modes[] = {
+      {1, 0}, {2, 0}, {8, 0}, {1, 8}};
+  for (const auto& [threads, shards] : modes) {
+    const auto cohort = run_set(cfg, WsBackend::kCohort, threads, shards);
+    expect_equal(expanded, cohort,
+                 "threads=" + std::to_string(threads) +
+                     " shards=" + std::to_string(shards));
+  }
+}
+
+// Directed split: in a uniform ES run every process is one class until an
+// add mutates ONE member.  A get by the adder in the same round already
+// observes its own value (PROPOSED is local); a get by anyone else does
+// not see it yet — the cohort engine must split the adder out to keep
+// those two gets distinguishable.
+TEST(WeaksetCohort, InjectedAddSplitsAdderAndGetsDiffer) {
+  WsConfig cfg;
+  cfg.env.kind = EnvKind::kES;
+  cfg.env.stabilization = 0;
+  cfg.env.n = 8;
+  cfg.env.seed = 5;
+  cfg.script = {{4, 3, true, Value(42)},   // add on p3
+                {4, 3, false, Value()},    // same-round get by the adder
+                {4, 5, false, Value()}};   // same-round get by a bystander
+  const auto expanded = run_set(cfg, WsBackend::kExpanded);
+  const auto cohort = run_set(cfg, WsBackend::kCohort);
+  expect_equal(expanded, cohort, "directed split");
+
+  ASSERT_EQ(cohort.records.size(), 3u);
+  EXPECT_EQ(cohort.records[1].result.count(Value(42)), 1u);  // adder sees it
+  EXPECT_EQ(cohort.records[2].result.count(Value(42)), 0u);  // bystander not
+  EXPECT_GE(cohort.cohort_peak_classes, 2u);  // the add split one member out
+  // Once the add completes the value is in everyone's PROPOSED and the
+  // adder re-converges with the rest.
+  EXPECT_LE(cohort.cohort_classes, 2u);
+}
+
+// A process crashing with its add still in flight: the expanded engine
+// keeps polling the dead automaton (frozen at its final compute); the
+// cohort engine serves the same reads from the death-time clone.  The
+// record must keep end = horizon on both.
+TEST(WeaksetCohort, CrashedAdderFrozenReadsMatch) {
+  for (Round crash_round = 4; crash_round <= 8; ++crash_round) {
+    WsConfig cfg;
+    cfg.env.kind = EnvKind::kMS;
+    cfg.env.n = 6;
+    cfg.env.seed = 11;
+    cfg.crashes.crash_at(2, crash_round);
+    cfg.script = {{4, 2, true, Value(7)},  // add racing the crash
+                  {6, 0, false, Value()},
+                  {10, 1, false, Value()}};
+    const auto expanded = run_set(cfg, WsBackend::kExpanded);
+    const auto cohort = run_set(cfg, WsBackend::kCohort);
+    expect_equal(expanded, cohort,
+                 "crash_round " + std::to_string(crash_round));
+  }
+}
+
+// Directed loss/churn (the weakset family's fault smoke): heavy loss slows
+// adds but never blocks them forever; a churn window spanning the add
+// delays completion past the rejoin.  Both backends agree on the degraded
+// timings.
+TEST(WeaksetCohort, DirectedLossAndChurnDegradeTimingOnly) {
+  WsConfig loss;
+  loss.env.kind = EnvKind::kES;
+  loss.env.stabilization = 2;
+  loss.env.n = 6;
+  loss.env.seed = 3;
+  loss.faults.loss_prob = 0.5;
+  loss.script = {{3, 1, true, Value(10)}, {3, 4, true, Value(11)},
+                 {12, 0, false, Value()}};
+  const auto loss_exp = run_set(loss, WsBackend::kExpanded);
+  const auto loss_coh = run_set(loss, WsBackend::kCohort);
+  expect_equal(loss_exp, loss_coh, "loss");
+  EXPECT_TRUE(loss_exp.all_adds_completed);
+
+  WsConfig churn = loss;
+  churn.faults = {};
+  churn.faults.churn.push_back({1, 3, 9});  // p1 disconnected over its add
+  const auto churn_exp = run_set(churn, WsBackend::kExpanded);
+  const auto churn_coh = run_set(churn, WsBackend::kCohort);
+  expect_equal(churn_exp, churn_coh, "churn");
+  EXPECT_TRUE(churn_exp.all_adds_completed);
+  // The disconnected process cannot finish inside the window: its add
+  // completes only after rejoin, so total latency exceeds the fault-free
+  // run's.
+  WsConfig clean = churn;
+  clean.faults = {};
+  const auto clean_exp = run_set(clean, WsBackend::kExpanded);
+  EXPECT_GT(churn_exp.add_latency_rounds_total,
+            clean_exp.add_latency_rounds_total);
+}
+
+// ---- Register mode (Proposition 1 over the same harness) ----
+
+RegisterRunResult run_reg(const WsConfig& cfg,
+                          const std::vector<RegScriptOp>& script,
+                          WsBackend backend) {
+  WsRunOptions opt;
+  opt.backend = backend;
+  opt.validate_env = false;
+  opt.extra_rounds = cfg.extra_rounds;
+  opt.faults = cfg.faults;
+  return run_register_over_ms(cfg.env, cfg.crashes, script, opt);
+}
+
+void expect_equal(const RegisterRunResult& e, const RegisterRunResult& c,
+                  const std::string& what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(e.records.size(), c.records.size());
+  for (std::size_t i = 0; i < e.records.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(e.records[i].kind, c.records[i].kind);
+    EXPECT_TRUE(e.records[i].value == c.records[i].value);
+    EXPECT_EQ(e.records[i].start, c.records[i].start);
+    EXPECT_EQ(e.records[i].end, c.records[i].end);
+    EXPECT_EQ(e.records[i].process, c.records[i].process);
+  }
+  EXPECT_EQ(e.check.ok, c.check.ok);
+  EXPECT_EQ(e.rounds_executed, c.rounds_executed);
+  EXPECT_EQ(e.write_latency_rounds_total, c.write_latency_rounds_total);
+  EXPECT_EQ(e.writes_completed, c.writes_completed);
+}
+
+TEST(WeaksetCohort, RegisterMatchesExpandedAcrossRandomConfigs) {
+  for (std::uint64_t seed = 101; seed <= 112; ++seed) {
+    const WsConfig cfg = random_config(seed);
+    std::mt19937_64 rng(seed * 31);
+    std::vector<RegScriptOp> script;
+    const std::size_t ops = 6 + rng() % 8;
+    for (std::size_t i = 0; i < ops; ++i) {
+      const Round r = 2 + static_cast<Round>(rng() % 18);
+      const std::size_t p = rng() % cfg.env.n;
+      if (rng() % 2 == 0)
+        script.push_back(
+            {r, p, true, Value(static_cast<std::int64_t>(rng() % 100))});
+      else
+        script.push_back({r, p, false, Value()});
+    }
+    const auto expanded = run_reg(cfg, script, WsBackend::kExpanded);
+    const auto cohort = run_reg(cfg, script, WsBackend::kCohort);
+    expect_equal(expanded, cohort, "config seed " + std::to_string(seed));
+    EXPECT_TRUE(expanded.check.ok) << expanded.check.violation;
+  }
+}
+
+}  // namespace
+}  // namespace anon
