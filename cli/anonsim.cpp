@@ -21,6 +21,12 @@
 // omission_senders, churn — need a spec file), and `--watchdog N` arms the
 // no-progress watchdog so fault-starved runs end `undecided` instead of
 // spinning to max_rounds.
+// `--transport sim|live` switches a spec between the simulators and the
+// anonsvc loopback service (real UDP/TCP sockets, one event-loop thread
+// per node); only the consensus, weakset and abd families are served live
+// — requesting live for any other family is a usage error (exit 2).
+// `anonsim describe` notes each preset's transport support next to its
+// backend support.
 // Exit codes: 0 success, 1 run failed to write output, 2 usage error,
 // 3 invalid spec (field-path diagnostics on stderr), 4 at least one cell
 // ended undecided and --fail-undecided was given.
@@ -43,7 +49,7 @@ int usage(std::ostream& os, int code) {
         "  anonsim describe <preset>\n"
         "  anonsim run  (--preset NAME | --spec FILE) [--threads N]\n"
         "               [--engine-threads N] [--backend expanded|cohort]\n"
-        "               [--json OUT] [--no-timing]\n"
+        "               [--transport sim|live] [--json OUT] [--no-timing]\n"
         "               [--quiet] [--faults K=V[,K=V...]] [--watchdog N]\n"
         "               [--fail-undecided]\n"
         "  anonsim schema (--preset NAME | --spec FILE) [--threads N]\n";
@@ -84,6 +90,13 @@ const char* family_backend_support(ScenarioFamily f) {
   }
 }
 
+// Which transports can execute a family: every family runs on the
+// simulators; the anonsvc live service hosts the paper's three objects.
+const char* family_transport_support(ScenarioFamily f) {
+  return family_live_supported(f) ? "sim, live (anonsvc loopback cluster)"
+                                  : "sim only";
+}
+
 int cmd_describe(const std::string& name) {
   const ScenarioPreset* p = ScenarioRegistry::instance().find_preset(name);
   if (p == nullptr) {
@@ -95,6 +108,8 @@ int cmd_describe(const std::string& name) {
   // the advisory note rides on stderr.
   std::cout << scenario_spec_to_json(p->spec);
   std::cerr << "backends: " << family_backend_support(p->spec.family) << "\n";
+  std::cerr << "transports: " << family_transport_support(p->spec.family)
+            << "\n";
   return 0;
 }
 
@@ -106,6 +121,7 @@ struct RunArgs {
   bool engine_threads_set = false;   // --engine-threads given on the cmdline
   std::size_t engine_threads = 1;    // override value when set
   std::string backend;               // --backend expanded|cohort override
+  std::string transport;             // --transport sim|live override
   std::string faults;                // --faults K=V,... override text
   bool faults_set = false;
   bool watchdog_set = false;
@@ -228,6 +244,14 @@ bool parse_run_args(const std::vector<std::string>& args, RunArgs* out,
         return false;
       }
       out->backend = *v;
+    } else if (a == "--transport") {
+      const std::string* v = value("--transport");
+      if (v == nullptr) return false;
+      if (*v != "sim" && *v != "live") {
+        *error = "--transport needs sim or live, got \"" + *v + "\"";
+        return false;
+      }
+      out->transport = *v;
     } else if (a == "--faults") {
       const std::string* v = value("--faults");
       if (v == nullptr) return false;
@@ -353,6 +377,20 @@ int cmd_run(const RunArgs& args, bool schema_only) {
         if (cohort) spec.emulation.certify = false;
         break;
     }
+  }
+  if (!args.transport.empty()) {
+    spec.transport = args.transport == "live" ? TransportKind::kLive
+                                              : TransportKind::kSim;
+    if (spec.transport == TransportKind::kSim) spec.live = LiveSpecSection{};
+  }
+  // Unserved family + live is a usage error (exit 2), whether the request
+  // came from --transport or the spec file itself.
+  if (spec.transport == TransportKind::kLive &&
+      !family_live_supported(spec.family)) {
+    std::cerr << "anonsim: transport \"live\" serves the consensus, weakset "
+                 "and abd families, not \""
+              << to_string(spec.family) << "\"\n";
+    return 2;
   }
   if (args.faults_set) {
     std::string error;

@@ -1,0 +1,206 @@
+// anonsvc — the live anonymous-service daemon and its command-line client.
+//
+//   anonsvc serve [--n N] [--socket udp|tcp] [--period-ms MS] [--seed S]
+//                 [--loss P] [--jitter-ms MS] [--watchdog ROUNDS]
+//                 [--duration-s S]
+//       Boots an N-node loopback cluster (one event-loop thread per node)
+//       serving consensus decisions, weak-set add/get and the ABD register
+//       to concurrent clients.  Prints one "client_port <i> <port>" line
+//       per node on stdout, then runs until SIGINT/SIGTERM (or the
+//       optional duration elapses).
+//
+//   anonsvc call --port P <op> [value] [--timeout-ms MS]
+//       One-shot client: op is status | decision | ws-add V | ws-get |
+//       reg-read | reg-write V.  Prints the response; exit 0 on kOk,
+//       4 on a node-reported timeout (the watchdog's undecided face),
+//       1 on any other failure.
+//
+// The daemon is the deployment face of the same stack the scenario layer
+// drives via `anonsim run --transport live`; see DESIGN.md (anonsvc
+// service) for the frame format and the synchrony-detection contract.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
+
+namespace {
+
+using namespace anon;
+
+std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+int usage(std::ostream& os, int code) {
+  os << "usage:\n"
+        "  anonsvc serve [--n N] [--socket udp|tcp] [--period-ms MS]\n"
+        "                [--seed S] [--loss P] [--jitter-ms MS]\n"
+        "                [--watchdog ROUNDS] [--duration-s S]\n"
+        "  anonsvc call --port P (status | decision | ws-add V | ws-get |\n"
+        "                         reg-read | reg-write V) [--timeout-ms MS]\n";
+  return code;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  *out = std::strtoull(s.c_str(), nullptr, 10);
+  return true;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  LiveClusterOptions opt;
+  std::uint64_t duration_s = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (i + 1 >= args.size()) {
+      std::cerr << "anonsvc: " << a << " needs a value\n";
+      return usage(std::cerr, 2);
+    }
+    const std::string v = args[++i];
+    std::uint64_t u = 0;
+    if (a == "--n" && parse_u64(v, &u) && u >= 1) {
+      opt.n = static_cast<std::size_t>(u);
+    } else if (a == "--socket" && (v == "udp" || v == "tcp")) {
+      opt.socket = v == "udp" ? SvcSocketKind::kUdp : SvcSocketKind::kTcp;
+    } else if (a == "--period-ms" && parse_u64(v, &u) && u >= 1) {
+      opt.period = std::chrono::milliseconds(u);
+    } else if (a == "--seed" && parse_u64(v, &u)) {
+      opt.seed = u;
+    } else if (a == "--loss") {
+      char* rest = nullptr;
+      const double d = std::strtod(v.c_str(), &rest);
+      if (v.empty() || *rest != '\0' || d < 0 || d > 1) {
+        std::cerr << "anonsvc: --loss needs a probability in [0, 1]\n";
+        return 2;
+      }
+      opt.loss = d;
+    } else if (a == "--jitter-ms" && parse_u64(v, &u)) {
+      opt.max_jitter = std::chrono::milliseconds(u);
+    } else if (a == "--watchdog" && parse_u64(v, &u)) {
+      opt.watchdog_rounds = static_cast<Round>(u);
+    } else if (a == "--duration-s" && parse_u64(v, &u)) {
+      duration_s = u;
+    } else {
+      std::cerr << "anonsvc: bad argument " << a << " " << v << "\n";
+      return usage(std::cerr, 2);
+    }
+  }
+
+  LiveCluster cluster(opt);
+  if (!cluster.start()) {
+    std::cerr << "anonsvc: cluster failed to start: " << cluster.error()
+              << "\n";
+    return 1;
+  }
+  for (std::size_t i = 0; i < cluster.n(); ++i)
+    std::cout << "client_port " << i << " " << cluster.client_port(i) << "\n";
+  std::cout.flush();
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  const auto started = std::chrono::steady_clock::now();
+  while (g_stop == 0) {
+    if (duration_s != 0 && std::chrono::steady_clock::now() - started >=
+                               std::chrono::seconds(duration_s))
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  cluster.stop_all();
+  cluster.join();
+  return 0;
+}
+
+void print_result(const SvcClient::Result& r) {
+  std::cout << "status " << static_cast<int>(r.status) << " info " << r.info;
+  std::cout << " values";
+  for (const Value& v : r.values) std::cout << " " << v.to_string();
+  std::cout << "\n";
+}
+
+int cmd_call(const std::vector<std::string>& args) {
+  std::uint64_t port = 0;
+  std::uint64_t timeout_ms = 10000;
+  std::string op;
+  std::int64_t value = 0;
+  bool has_value = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--port" || a == "--timeout-ms") {
+      if (i + 1 >= args.size() ||
+          !parse_u64(args[i + 1], a == "--port" ? &port : &timeout_ms)) {
+        std::cerr << "anonsvc: " << a << " needs a non-negative integer\n";
+        return 2;
+      }
+      ++i;
+    } else if (op.empty()) {
+      op = a;
+      if (op == "ws-add" || op == "reg-write") {
+        if (i + 1 >= args.size()) {
+          std::cerr << "anonsvc: " << op << " needs a value\n";
+          return 2;
+        }
+        value = std::strtoll(args[++i].c_str(), nullptr, 10);
+        has_value = true;
+      }
+    } else {
+      std::cerr << "anonsvc: bad argument " << a << "\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  if (port == 0 || op.empty()) {
+    std::cerr << "anonsvc: call needs --port and an operation\n";
+    return usage(std::cerr, 2);
+  }
+  (void)has_value;
+
+  SvcClient client;
+  if (!client.connect(static_cast<std::uint16_t>(port))) {
+    std::cerr << "anonsvc: connect failed: " << client.error() << "\n";
+    return 1;
+  }
+  const auto timeout = std::chrono::milliseconds(timeout_ms);
+  SvcClient::Result r;
+  if (op == "status")
+    r = client.status(timeout);
+  else if (op == "decision")
+    r = client.decision(timeout);
+  else if (op == "ws-add")
+    r = client.ws_add(value, timeout);
+  else if (op == "ws-get")
+    r = client.ws_get(timeout);
+  else if (op == "reg-read")
+    r = client.reg_read(timeout);
+  else if (op == "reg-write")
+    r = client.reg_write(value, timeout);
+  else {
+    std::cerr << "anonsvc: unknown operation \"" << op << "\"\n";
+    return usage(std::cerr, 2);
+  }
+  if (!r.transport_ok) {
+    std::cerr << "anonsvc: " << client.error() << "\n";
+    return 1;
+  }
+  print_result(r);
+  if (r.status == SvcStatus::kOk) return 0;
+  return r.status == SvcStatus::kTimeout ? 4 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage(std::cerr, 2);
+  const std::string cmd = args[0];
+  args.erase(args.begin());
+  if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "call") return cmd_call(args);
+  if (cmd == "--help" || cmd == "-h" || cmd == "help")
+    return usage(std::cout, 0);
+  std::cerr << "anonsvc: unknown command \"" << cmd << "\"\n";
+  return usage(std::cerr, 2);
+}

@@ -1,29 +1,34 @@
-// Real threads, real clock: anonymous consensus over an in-process
-// broadcast bus with per-link jitter — the deployment-shaped runtime.
-// Six OS threads (no IDs exchanged anywhere on the wire!) agree on a
+// Real sockets, real clock: anonymous consensus over loopback UDP — the
+// anonsvc deployment stack.  Six OS processes-worth of nodes (one event
+// loop thread each, no IDs exchanged anywhere on the wire!) agree on a
 // value; one of them dies three rounds in.
 //
-// The scenario itself arrives as a declarative spec — here parsed from
-// the JSON a deployment would ship (the exact format `anonsim describe`
-// prints) — and the realtime cluster is configured from it.  The lockstep
-// families run inside the scenario registry; this example shows the same
-// spec surface driving the wall-clock runtime instead.
+// The scenario arrives as the same declarative spec the simulators run —
+// here with `"transport": "live"`, the knob that swaps the lockstep
+// engine for a LiveCluster of UDP meshes paced by wall-clock deadlines
+// (src/svc/).  A blocking SvcClient then asks each node for its decision
+// exactly the way an external consumer of the service would.
 #include <chrono>
 #include <iostream>
 
-#include "runtime/realtime.hpp"
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
 #include "scenario/spec.hpp"
 
 int main() {
   using namespace anon;
+  using namespace std::chrono_literals;
 
-  // What an operator would put in lan.json (cf. `anonsim describe`).
+  // What an operator would put in lan.json (cf. `anonsim describe`; the
+  // same file runs on the simulator by flipping transport to "sim").
   static const char kLanScenario[] = R"json({
     "name": "realtime-lan",
     "family": "consensus",
     "seeds": [2026],
+    "transport": "live",
     "env": {"kind": "es", "n": 6, "stabilization": 0, "max_delay": 3,
             "timely_prob": 0.25},
+    "live": {"socket": "udp", "period_ms": 5, "jitter_ms": 2},
     "workload": {
       "initial": {"kind": "explicit", "values": [12, 55, 31, 55, 8, 47]},
       "crashes": {"kind": "explicit", "entries": [{"process": 4, "round": 3}]}
@@ -37,39 +42,65 @@ int main() {
     return 2;
   }
   const ScenarioSpec& spec = *decoded.spec;
-  const std::size_t n = spec.n;
 
-  // 2 ms of per-link jitter; a 10 ms round period keeps links timely
-  // (that's how a round period realizes the ES assumption in practice).
-  BroadcastBus bus(n, std::make_unique<JitterPolicy>(
-                          spec.seeds[0], std::chrono::milliseconds(2)));
-
-  std::vector<RealtimeEsCluster::AutomatonFactory> factories;
-  for (const Value& v : spec.initial_values())
-    factories.push_back([v](HistoryArena*) {
-      return std::make_unique<EsConsensus>(v);
-    });
-
-  RealtimeOptions opt;
-  opt.round_period = std::chrono::milliseconds(10);
+  // Configure the live cluster from the spec — the same mapping
+  // `anonsim run --transport live` applies (scenario/runner_live.cpp).
+  LiveClusterOptions opt;
+  opt.n = spec.n;
+  opt.seed = spec.seeds[0];
+  opt.period = std::chrono::milliseconds(spec.live.period_ms);
+  opt.max_jitter = std::chrono::milliseconds(spec.live.jitter_ms);
   opt.max_rounds = spec.consensus.max_rounds;
-  RealtimeEsCluster cluster(std::move(factories), &bus, opt);
+  opt.proposals = spec.initial_values();
+  opt.crash_at.assign(spec.n, 0);
   for (const auto& crash : spec.crashes.entries)
-    cluster.crash_before_round(crash.process, crash.round);
+    opt.crash_at[crash.process] = crash.round;
 
+  LiveCluster cluster(opt);
   const auto t0 = std::chrono::steady_clock::now();
-  const bool ok = cluster.run();
+  if (!cluster.start()) {
+    std::cerr << "cluster failed to start: " << cluster.error() << "\n";
+    return 1;
+  }
+
+  // Ask every surviving node for its decision over the client socket.
+  bool ok = true;
+  std::vector<std::string> lines;
+  for (std::size_t p = 0; p < cluster.n(); ++p) {
+    if (opt.crash_at[p] != 0) {
+      lines.push_back("(crashed)");
+      continue;
+    }
+    SvcClient client;
+    if (!client.connect(cluster.client_port(p))) {
+      lines.push_back("(unreachable: " + client.error() + ")");
+      ok = false;
+      continue;
+    }
+    const auto r = client.decision(10s);
+    if (r.ok() && r.values.size() == 1) {
+      lines.push_back(r.values[0].to_string());
+    } else {
+      lines.push_back("(undecided)");
+      ok = false;
+    }
+  }
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
+  cluster.stop_all();
+  cluster.join();
 
-  std::cout << "threads: " << n << " (thread 4 crashed before round 3)\n";
-  for (std::size_t p = 0; p < n; ++p) {
-    auto d = cluster.decision(p);
-    std::cout << "  thread " << p << ": rounds=" << cluster.rounds_executed(p)
-              << " decision=" << (d ? d->to_string() : "(crashed)") << "\n";
-  }
-  std::cout << "all alive threads decided: " << (ok ? "yes" : "NO") << " in "
-            << ms << " ms, " << bus.broadcasts() << " broadcasts\n";
+  std::uint64_t frames = 0;
+  for (std::size_t p = 0; p < cluster.n(); ++p)
+    frames += cluster.node(p).frames_sent();
+  std::cout << "nodes: " << cluster.n()
+            << " over loopback UDP (node 4 crashed at round 3)\n";
+  for (std::size_t p = 0; p < cluster.n(); ++p)
+    std::cout << "  node " << p
+              << ": rounds=" << cluster.node(p).rounds_executed()
+              << " decision=" << lines[p] << "\n";
+  std::cout << "all alive nodes decided: " << (ok ? "yes" : "NO") << " in "
+            << ms << " ms, " << frames << " service frames\n";
   return ok ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 // comparison point (E6/E9).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "common/inplace_function.hpp"
 #include "common/rng.hpp"
 #include "core/calendar.hpp"
+#include "env/faults.hpp"
 #include "giraf/types.hpp"
 
 namespace anon {
@@ -86,6 +88,25 @@ class AsyncNet {
   void crash(ProcId p) { crashed_[p] = true; }
   bool crashed(ProcId p) const { return crashed_[p]; }
 
+  // Layers a seeded fault plan onto every subsequent send — the same
+  // fault_stream_seed / hash_mix / hash_chance derivation the round-based
+  // FaultPlan and the live JitterPolicy use, keyed on the message sequence
+  // number instead of a round (this network has no rounds).  Loss and
+  // sender omission drop the event, reorder stretches the delay by up to
+  // max_extra_delay extra units, duplication schedules a second delivery
+  // dup_extra_delay units after the first.  Churn has no meaning without
+  // rounds and is rejected at spec validation.
+  void set_faults(const FaultParams& params, std::uint64_t run_seed) {
+    faults_ = params;
+    fault_seed_ = fault_stream_seed(run_seed, params.seed);
+    omission_.assign(n_, false);
+    for (ProcId p : params.omission_senders)
+      if (p < n_) omission_[p] = true;
+    faults_active_ = params.active();
+  }
+  std::uint64_t fault_drops() const { return fault_drops_; }
+  std::uint64_t fault_dups() const { return fault_dups_; }
+
   // Sends a message; `deliver` runs at the receiver unless it crashed by
   // delivery time (sender crash-mid-send is modeled by just not calling).
   // Templated on the callable so the caller's raw closure is stored inline
@@ -93,9 +114,29 @@ class AsyncNet {
   // allocate and overflow the event's inline buffer with a nested one).
   template <typename F>
   void send(ProcId from, ProcId to, F deliver) {
-    (void)from;
     ++messages_;
-    const std::uint64_t d = 1 + rng_.below(max_delay_);
+    std::uint64_t d = 1 + rng_.below(max_delay_);
+    if (faults_active_) {
+      const std::uint64_t seq = messages_;  // fate key: (seq, from, to)
+      if (omission_[from] ||
+          hash_chance(hash_mix(fault_seed_ ^ kLossSalt, seq, from, to),
+                      faults_.loss_prob)) {
+        ++fault_drops_;
+        return;
+      }
+      const std::uint64_t rh =
+          hash_mix(fault_seed_ ^ kReorderSalt, seq, from, to);
+      if (hash_chance(rh, faults_.reorder_prob))
+        d += 1 + rh % std::max<std::uint64_t>(faults_.max_extra_delay, 1);
+      if (hash_chance(hash_mix(fault_seed_ ^ kDupSalt, seq, from, to),
+                      faults_.dup_prob)) {
+        ++fault_dups_;
+        eq_.after(d + std::max<Round>(faults_.dup_extra_delay, 1),
+                  [this, to, deliver]() mutable {
+                    if (!crashed_[to]) deliver();
+                  });
+      }
+    }
     eq_.after(d, [this, to, deliver = std::move(deliver)]() mutable {
       if (!crashed_[to]) deliver();
     });
@@ -104,12 +145,22 @@ class AsyncNet {
   std::uint64_t messages_sent() const { return messages_; }
 
  private:
+  static constexpr std::uint64_t kLossSalt = 0xab5e9d1ce11e0001ULL;
+  static constexpr std::uint64_t kDupSalt = 0xab5e9d1ce11e0002ULL;
+  static constexpr std::uint64_t kReorderSalt = 0xab5e9d1ce11e0003ULL;
+
   std::size_t n_;
   Rng rng_;
   std::uint64_t max_delay_;
   std::vector<bool> crashed_;
   EventQueue eq_;
   std::uint64_t messages_ = 0;
+  FaultParams faults_;
+  std::uint64_t fault_seed_ = 0;
+  std::vector<bool> omission_;
+  bool faults_active_ = false;
+  std::uint64_t fault_drops_ = 0;
+  std::uint64_t fault_dups_ = 0;
 };
 
 }  // namespace anon

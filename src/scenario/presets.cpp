@@ -287,6 +287,63 @@ ScenarioSpec e6_abd_spec(const std::string& name, std::size_t n,
   return spec;
 }
 
+// --- E17: the anonsvc live service -------------------------------------------
+
+// E17 runs cells on the real-socket stack (transport "live"): a loopback
+// LiveCluster of UDP meshes paced by wall-clock deadlines instead of a
+// lockstep simulator, with blocking SvcClients as the workload.  Live
+// reports are NOT deterministic (round counts and frame totals are timing
+// artifacts), so E17 presets are exercised by the CI loopback smoke job
+// and BENCH_E17, never by byte-identity goldens.  The 2 ms period keeps a
+// smoke cell in the hundreds of milliseconds; a single seed keeps port
+// and thread churn bounded.
+ScenarioSpec e17_base(const std::string& name, ScenarioFamily family,
+                      std::size_t n) {
+  ScenarioSpec spec = base_spec(name, family, 1);
+  spec.seeds = {42};
+  spec.transport = TransportKind::kLive;
+  spec.n = n;
+  spec.live.period_ms = 2;
+  return spec;
+}
+
+ScenarioSpec e17_consensus_spec(const std::string& name, std::size_t n,
+                                double loss, std::uint64_t jitter_ms) {
+  ScenarioSpec spec = e17_base(name, ScenarioFamily::kConsensus, n);
+  spec.consensus.algo = ConsensusAlgo::kEs;
+  spec.live.loss = loss;
+  spec.live.jitter_ms = jitter_ms;
+  return spec;
+}
+
+ScenarioSpec e17_weakset_spec(const std::string& name, std::size_t n,
+                              std::size_t ops, std::size_t clients) {
+  ScenarioSpec spec = e17_base(name, ScenarioFamily::kWeakset, n);
+  spec.weakset.gen_ops = ops;
+  spec.live.clients = clients;
+  return spec;
+}
+
+ScenarioSpec e17_abd_spec(const std::string& name, std::size_t n) {
+  return e17_base(name, ScenarioFamily::kAbd, n);
+}
+
+// A watchdog deadline tighter than the earliest possible decision: with
+// distinct proposals, round 2's PROPOSED still holds foreign values, so no
+// node can have decided when the round-2 watchdog fires — every decision
+// probe must come back a clean kTimeout and the run must report
+// `undecided` instead of hanging.  This is the live face of the sim's
+// graceful-degradation contract (CI asserts `anonsim run --preset
+// e17-live-stall --fail-undecided` exits 4).  Loss cannot play the
+// stalling villain here: the exempt-source rule keeps every node hearing
+// the rotating source, so consensus terminates under any UDP loss rate —
+// which is the safety contract, not a gap in it.
+ScenarioSpec e17_stall_spec(const std::string& name) {
+  ScenarioSpec spec = e17_consensus_spec(name, 5, 0.0, 0);
+  spec.live.watchdog_rounds = 2;
+  return spec;
+}
+
 // --- the quickstart scenario (examples/quickstart.cpp) -----------------------
 
 ScenarioSpec quickstart_spec() {
@@ -397,6 +454,20 @@ void register_builtin_presets(ScenarioRegistry& reg) {
       e16_emulation_spec("e16-emul-cohort", 4096, 40));
   add("E16 emulation smoke cell: n=64, cohort backend, 25 rounds",
       e16_emulation_spec("e16-emul-fast", 64, 25));
+  add("E17 live consensus: 5-node loopback UDP cluster decides over real "
+      "sockets (anonsvc stack)",
+      e17_consensus_spec("e17-live-consensus", 5, 0.0, 0));
+  add("E17 live consensus under fire: loss 0.2 + 1 ms ingress jitter — "
+      "safety by source-gated rounds, termination slows only",
+      e17_consensus_spec("e17-live-lossy", 5, 0.2, 1));
+  add("E17 live weak-set: 8 adds from 4 concurrent clients, history "
+      "checked against the weak-set spec",
+      e17_weakset_spec("e17-live-weakset", 5, 8, 4));
+  add("E17 live ABD register: write/read probe over the loopback quorum",
+      e17_abd_spec("e17-live-abd", 5));
+  add("E17 stalled cluster: a watchdog tighter than the earliest decision "
+      "degrades the run to `undecided` instead of hanging",
+      e17_stall_spec("e17-live-stall"));
   add("The quickstart scenario: 5 anonymous processes, one mid-run crash "
       "(examples/quickstart.cpp)",
       quickstart_spec());

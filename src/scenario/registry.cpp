@@ -61,7 +61,9 @@ ScenarioReport ScenarioRegistry::run(const ScenarioSpec& spec,
                             to_string(spec.family));
 
   const auto start = std::chrono::steady_clock::now();
-  ScenarioReport rep = it->second(spec, opt);
+  ScenarioReport rep = spec.transport == TransportKind::kLive
+                           ? scenario_runners::run_live_family(spec, opt)
+                           : it->second(spec, opt);
   rep.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              start)
                    .count();

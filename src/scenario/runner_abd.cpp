@@ -13,6 +13,11 @@ namespace {
 
 AbdCellOutcome run_cell(const ScenarioSpec& spec, std::uint64_t seed) {
   AsyncNet net(spec.n, seed);
+  // env.faults rides the message layer here too (loss/dup/reorder/omission
+  // keyed on the message sequence — async, so no rounds and no churn); a
+  // crashed-majority OR fault-starved write just never completes, which is
+  // reported, not an error.
+  if (spec.faults.active()) net.set_faults(spec.faults, seed);
   for (std::size_t i = 0; i < spec.abd.crash_prefix; ++i)
     net.crash(spec.n - 1 - i);
   AbdRegister reg(&net);

@@ -1,0 +1,271 @@
+// transport "live": runs a ScenarioSpec cell on the anonsvc stack instead
+// of a simulator — one loopback LiveCluster per seed, real sockets, one
+// event-loop thread per node, blocking SvcClients as the workload.
+//
+// The report contract is the sim one (same tagged cells, same JSON keys);
+// what changes is *how* the numbers arise.  Round counts, frame totals and
+// latencies are wall-clock artifacts here, so live reports are not golden-
+// pinned — only the protocol outcomes (agreement, validity, checker-clean
+// histories, quorum completion) are asserted by tests and CI.  Seeds run
+// sequentially: each cell owns real ports and threads, and overlapping
+// clusters would just contend for the loopback.
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "scenario/runners.hpp"
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
+#include "weakset/weak_set.hpp"
+
+namespace anon::scenario_runners {
+
+namespace {
+
+LiveClusterOptions cluster_options(const ScenarioSpec& spec,
+                                   std::uint64_t seed) {
+  LiveClusterOptions opt;
+  opt.n = spec.n;
+  opt.seed = seed;
+  opt.socket = spec.live.socket == LiveSpecSection::Socket::kTcp
+                   ? SvcSocketKind::kTcp
+                   : SvcSocketKind::kUdp;
+  opt.period = std::chrono::milliseconds(spec.live.period_ms);
+  opt.max_jitter = std::chrono::milliseconds(spec.live.jitter_ms);
+  opt.loss = spec.live.loss;
+  opt.watchdog_rounds = spec.live.watchdog_rounds;
+  // The sim's GST knob becomes the pacemaker's streak length; 0 keeps the
+  // node default (the spec means "stabilization immediately", which a
+  // wall-clock mesh cannot promise — 5 timely rounds is the honest floor).
+  if (spec.stabilization != 0) opt.stabilize_after = spec.stabilization;
+  if (spec.family == ScenarioFamily::kConsensus) {
+    opt.max_rounds = spec.consensus.max_rounds;
+    opt.proposals = spec.initial_values();
+  }
+  if (spec.family == ScenarioFamily::kConsensus ||
+      spec.family == ScenarioFamily::kWeakset) {
+    const CrashPlan plan = spec.crash_plan(seed);
+    opt.crash_at.resize(spec.n, 0);
+    for (std::size_t p = 0; p < spec.n; ++p)
+      if (plan.crash_round(p) != kNeverCrashes)
+        opt.crash_at[p] = plan.crash_round(p);
+  }
+  return opt;
+}
+
+std::chrono::milliseconds op_timeout(const ScenarioSpec& spec) {
+  return std::chrono::milliseconds(spec.live.op_timeout_ms);
+}
+
+// Logical stamps for the live op histories: a shared ticket counter drawn
+// at the real start/end instants, so the checkers' real-time-order premise
+// (start < end, non-overlapping ops ordered) holds by construction.
+std::atomic<std::uint64_t> g_stamp{1};
+
+ConsensusCellOutcome run_consensus_cell(const ScenarioSpec& spec,
+                                        std::uint64_t seed) {
+  LiveCluster cluster(cluster_options(spec, seed));
+  if (!cluster.start())
+    throw std::runtime_error("live cluster failed to start: " +
+                             cluster.error());
+  const CrashPlan plan = spec.crash_plan(seed);
+  const std::vector<Value> proposals = spec.initial_values();
+
+  ConsensusCellOutcome cell;
+  ConsensusReport& rep = cell.report;
+  rep.all_correct_decided = true;
+  bool any_timeout = false;
+  std::vector<Value> decisions;
+  for (std::size_t i = 0; i < cluster.n(); ++i) {
+    if (plan.crash_round(i) != kNeverCrashes) continue;  // ask correct only
+    SvcClient client;
+    if (!client.connect(cluster.client_port(i))) {
+      rep.all_correct_decided = false;
+      continue;
+    }
+    const auto r = client.decision(op_timeout(spec));
+    if (r.ok() && r.values.size() == 1) {
+      decisions.push_back(r.values[0]);
+    } else {
+      rep.all_correct_decided = false;
+      if (r.transport_ok && r.status == SvcStatus::kTimeout)
+        any_timeout = true;  // the node's watchdog fired
+    }
+  }
+  cluster.stop_all();
+  cluster.join();
+
+  for (const Value& d : decisions) {
+    if (!(d == decisions[0])) rep.agreement = false;
+    bool proposed = false;
+    for (const Value& p : proposals) proposed |= p == d;
+    if (!proposed) rep.validity = false;
+  }
+  if (!decisions.empty()) rep.value = decisions[0];
+  rep.undecided = any_timeout && !rep.all_correct_decided;
+  for (std::size_t i = 0; i < cluster.n(); ++i) {
+    const LiveNode& node = cluster.node(i);
+    rep.rounds_executed = std::max(rep.rounds_executed,
+                                   node.rounds_executed());
+    rep.sends += node.frames_sent();
+    rep.bytes_sent += node.bytes_sent();
+    rep.deliveries += node.frames_received();
+    rep.fault_drops += node.fault_drops();
+    if (node.decision().has_value()) {
+      if (rep.first_decision_round == kNoRound ||
+          node.decision_round() < rep.first_decision_round)
+        rep.first_decision_round = node.decision_round();
+      if (plan.crash_round(i) == kNeverCrashes &&
+          (rep.last_decision_round == kNoRound ||
+           node.decision_round() > rep.last_decision_round))
+        rep.last_decision_round = node.decision_round();
+    }
+  }
+  rep.hit_round_limit =
+      !rep.all_correct_decided && rep.rounds_executed >= spec.consensus.max_rounds;
+  return cell;
+}
+
+WeaksetCellOutcome run_weakset_cell(const ScenarioSpec& spec,
+                                    std::uint64_t seed) {
+  LiveCluster cluster(cluster_options(spec, seed));
+  if (!cluster.start())
+    throw std::runtime_error("live cluster failed to start: " +
+                             cluster.error());
+
+  // gen_ops adds, dealt round-robin to live.clients concurrent clients
+  // (client c talks to node c mod n).  Each client finishes with a get, so
+  // the history exercises cross-node visibility; add values are distinct
+  // across the cell, as in the generated sim workload.
+  const std::size_t clients = spec.live.clients;
+  const std::size_t ops = spec.weakset.gen_ops;
+  std::vector<std::vector<WsOpRecord>> histories(clients);
+  std::vector<std::uint8_t> failed(clients, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      SvcClient client;
+      const std::size_t node = c % cluster.n();
+      if (!client.connect(cluster.client_port(node))) {
+        failed[c] = 1;
+        return;
+      }
+      for (std::size_t k = c; k < ops; k += clients) {
+        WsOpRecord rec;
+        rec.kind = WsOpRecord::Kind::kAdd;
+        rec.value = Value(static_cast<std::int64_t>(100 + k));
+        rec.process = node;
+        rec.start = g_stamp.fetch_add(1, std::memory_order_relaxed);
+        const auto r = client.ws_add(100 + static_cast<std::int64_t>(k),
+                                     op_timeout(spec));
+        rec.end = g_stamp.fetch_add(1, std::memory_order_relaxed);
+        if (!r.ok()) {
+          failed[c] = 1;
+          return;  // an unfinished add must not enter the history
+        }
+        histories[c].push_back(rec);
+      }
+      WsOpRecord get;
+      get.kind = WsOpRecord::Kind::kGet;
+      get.process = node;
+      get.start = g_stamp.fetch_add(1, std::memory_order_relaxed);
+      const auto r = client.ws_get(op_timeout(spec));
+      get.end = g_stamp.fetch_add(1, std::memory_order_relaxed);
+      if (!r.ok()) {
+        failed[c] = 1;
+        return;
+      }
+      for (const Value& v : r.values) get.result.insert(v);
+      histories[c].push_back(get);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  cluster.stop_all();
+  cluster.join();
+
+  WeaksetCellOutcome cell;
+  cell.adds = ops;
+  std::vector<WsOpRecord> records;
+  for (std::size_t c = 0; c < clients; ++c) {
+    if (failed[c]) cell.all_adds_completed = false;
+    for (const WsOpRecord& r : histories[c]) {
+      if (r.kind == WsOpRecord::Kind::kAdd)
+        cell.add_latency_total += r.end - r.start;
+      records.push_back(r);
+    }
+  }
+  const WsCheckResult check = check_weak_set_spec(records);
+  cell.spec_ok = check.ok;
+  cell.violation = check.violation;
+  for (std::size_t i = 0; i < cluster.n(); ++i)
+    cell.rounds = std::max(cell.rounds, cluster.node(i).rounds_executed());
+  if (spec.weakset.keep_records) cell.set_records = std::move(records);
+  return cell;
+}
+
+AbdCellOutcome run_abd_cell(const ScenarioSpec& spec, std::uint64_t seed) {
+  LiveClusterOptions copt = cluster_options(spec, seed);
+  // The abd family's crash model: the last crash_prefix replicas are down
+  // from the start (round 1 = before any service), mirroring the sim cell.
+  copt.crash_at.assign(spec.n, 0);
+  for (std::size_t k = 0; k < spec.abd.crash_prefix; ++k)
+    copt.crash_at[spec.n - 1 - k] = 1;
+  LiveCluster cluster(copt);
+  if (!cluster.start())
+    throw std::runtime_error("live cluster failed to start: " +
+                             cluster.error());
+
+  AbdCellOutcome cell;
+  SvcClient writer, reader;
+  const std::size_t reader_node =
+      spec.n > spec.abd.crash_prefix + 1 ? spec.n - spec.abd.crash_prefix - 1
+                                         : 0;
+  if (writer.connect(cluster.client_port(0)) &&
+      reader.connect(cluster.client_port(reader_node))) {
+    const auto w = writer.reg_write(spec.abd.write_value, op_timeout(spec));
+    if (w.ok()) {
+      const auto r = reader.reg_read(op_timeout(spec));
+      cell.completed = r.ok() && r.values.size() == 1 &&
+                       r.values[0] == Value(spec.abd.write_value);
+    }
+  }
+  cluster.stop_all();
+  cluster.join();
+  for (std::size_t i = 0; i < cluster.n(); ++i)
+    cell.messages += cluster.node(i).frames_sent();
+  cell.end_time = 0;  // wall-clock timing lives in the report's timing block
+  return cell;
+}
+
+}  // namespace
+
+ScenarioReport run_live_family(const ScenarioSpec& spec,
+                               const SweepOptions& opt) {
+  (void)opt;  // live cells are sequential — real ports, real threads
+  ScenarioReport rep;
+  for (std::uint64_t seed : spec.seeds) {
+    switch (spec.family) {
+      case ScenarioFamily::kConsensus:
+        rep.consensus_cells.push_back(run_consensus_cell(spec, seed));
+        break;
+      case ScenarioFamily::kWeakset:
+        rep.weakset_cells.push_back(run_weakset_cell(spec, seed));
+        break;
+      case ScenarioFamily::kAbd:
+        rep.abd_cells.push_back(run_abd_cell(spec, seed));
+        break;
+      default:
+        throw std::runtime_error(
+            std::string("family ") + to_string(spec.family) +
+            " has no live runner (validate_scenario_spec admits consensus, "
+            "weakset, abd)");
+    }
+  }
+  return rep;
+}
+
+}  // namespace anon::scenario_runners

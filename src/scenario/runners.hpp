@@ -22,4 +22,9 @@ ScenarioReport run_shm_family(const ScenarioSpec& spec,
 ScenarioReport run_abd_family(const ScenarioSpec& spec,
                               const SweepOptions& opt);
 
+// transport "live": dispatched by family from ScenarioRegistry::run —
+// boots a loopback LiveCluster per seed instead of a sim engine.
+ScenarioReport run_live_family(const ScenarioSpec& spec,
+                               const SweepOptions& opt);
+
 }  // namespace anon::scenario_runners

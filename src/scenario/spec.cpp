@@ -33,6 +33,16 @@ constexpr EnumName<EnvKind> kEnvKindNames[] = {
     {EnvKind::kESS, "ess"},
 };
 
+constexpr EnumName<TransportKind> kTransportNames[] = {
+    {TransportKind::kSim, "sim"},
+    {TransportKind::kLive, "live"},
+};
+
+constexpr EnumName<LiveSpecSection::Socket> kLiveSocketNames[] = {
+    {LiveSpecSection::Socket::kUdp, "udp"},
+    {LiveSpecSection::Socket::kTcp, "tcp"},
+};
+
 constexpr EnumName<ConsensusAlgo> kAlgoNames[] = {
     {ConsensusAlgo::kEs, "es"},
     {ConsensusAlgo::kEss, "ess"},
@@ -415,6 +425,27 @@ JsonValue encode_abd(const AbdSpecSection& a) {
   return v;
 }
 
+// Defaults-elided, like encode_faults: only attached for transport "live"
+// and only departures from the defaults are written.
+JsonValue encode_live(const LiveSpecSection& l) {
+  const LiveSpecSection defaults;
+  JsonValue v = JsonValue::object();
+  if (l.socket != defaults.socket)
+    v.set("socket", JsonValue::str(enum_name(kLiveSocketNames, l.socket)));
+  if (l.period_ms != defaults.period_ms)
+    v.set("period_ms", JsonValue::uint(l.period_ms));
+  if (l.jitter_ms != defaults.jitter_ms)
+    v.set("jitter_ms", JsonValue::uint(l.jitter_ms));
+  if (l.loss != defaults.loss) v.set("loss", JsonValue::number(l.loss));
+  if (l.op_timeout_ms != defaults.op_timeout_ms)
+    v.set("op_timeout_ms", JsonValue::uint(l.op_timeout_ms));
+  if (l.clients != defaults.clients)
+    v.set("clients", JsonValue::uint(l.clients));
+  if (l.watchdog_rounds != defaults.watchdog_rounds)
+    v.set("watchdog_rounds", JsonValue::uint(l.watchdog_rounds));
+  return v;
+}
+
 bool family_has_workload(ScenarioFamily f) {
   return f == ScenarioFamily::kConsensus || f == ScenarioFamily::kOmega ||
          f == ScenarioFamily::kWeakset;
@@ -433,6 +464,11 @@ JsonValue encode_scenario_spec(const ScenarioSpec& spec) {
   JsonValue seeds = JsonValue::array();
   for (std::uint64_t s : spec.seeds) seeds.push(JsonValue::uint(s));
   doc.set("seeds", std::move(seeds));
+  // Sim specs stay byte-identical: the transport key (and the live section
+  // below) only appear for the live backend.
+  if (spec.transport != TransportKind::kSim)
+    doc.set("transport",
+            JsonValue::str(enum_name(kTransportNames, spec.transport)));
 
   JsonValue env = JsonValue::object();
   env.set("kind", JsonValue::str(enum_name(kEnvKindNames, spec.env_kind)));
@@ -443,6 +479,9 @@ JsonValue encode_scenario_spec(const ScenarioSpec& spec) {
   if (spec.faults != FaultParams{})
     env.set("faults", encode_faults(spec.faults));
   doc.set("env", std::move(env));
+  if (spec.transport == TransportKind::kLive &&
+      !(spec.live == LiveSpecSection{}))
+    doc.set("live", encode_live(spec.live));
 
   if (family_has_workload(spec.family)) {
     JsonValue workload = JsonValue::object();
@@ -715,6 +754,20 @@ void decode_faults(Dec& d, const JsonValue& obj, const std::string& path,
   d.get_bool(obj, path, "exempt_source", &out->exempt_source);
 }
 
+void decode_live(Dec& d, const JsonValue& obj, const std::string& path,
+                 LiveSpecSection* out) {
+  d.check_keys(obj, path,
+               {"socket", "period_ms", "jitter_ms", "loss", "op_timeout_ms",
+                "clients", "watchdog_rounds"});
+  d.get_enum(obj, path, "socket", kLiveSocketNames, &out->socket);
+  d.get_uint(obj, path, "period_ms", &out->period_ms);
+  d.get_uint(obj, path, "jitter_ms", &out->jitter_ms);
+  d.get_double(obj, path, "loss", &out->loss);
+  d.get_uint(obj, path, "op_timeout_ms", &out->op_timeout_ms);
+  d.get_uint(obj, path, "clients", &out->clients);
+  d.get_uint(obj, path, "watchdog_rounds", &out->watchdog_rounds);
+}
+
 void decode_consensus(Dec& d, const JsonValue& obj, const std::string& path,
                       ConsensusSpecSection* out) {
   d.check_keys(obj, path,
@@ -872,10 +925,18 @@ SpecDecodeResult decode_scenario_spec(const JsonValue& doc) {
   }
   ScenarioSpec spec;
   d.check_keys(doc, "",
-               {"name", "family", "seeds", "env", "workload", "consensus",
-                "omega", "weakset", "emulation", "shm", "abd"});
+               {"name", "family", "seeds", "transport", "live", "env",
+                "workload", "consensus", "omega", "weakset", "emulation",
+                "shm", "abd"});
   d.get_string(doc, "", "name", &spec.name);
   d.get_enum(doc, "", "family", kFamilyNames, &spec.family);
+  d.get_enum(doc, "", "transport", kTransportNames, &spec.transport);
+  if (const JsonValue* live = d.object_field(doc, "", "live")) {
+    if (spec.transport != TransportKind::kLive)
+      d.err("live", "only valid for transport \"live\"");
+    else
+      decode_live(d, *live, "live", &spec.live);
+  }
   if (const JsonValue* arr = d.array_field(doc, "", "seeds")) {
     spec.seeds.clear();
     for (std::size_t i = 0; i < arr->items().size(); ++i) {
@@ -985,6 +1046,13 @@ SpecDecodeResult parse_scenario_spec(std::string_view json_text) {
 
 // ---------------------------------------------------------------- validate --
 
+bool family_live_supported(ScenarioFamily f) {
+  // The anonsvc daemon serves the paper's three objects: consensus,
+  // weak-set add/get, and the ABD register.
+  return f == ScenarioFamily::kConsensus || f == ScenarioFamily::kWeakset ||
+         f == ScenarioFamily::kAbd;
+}
+
 std::vector<SpecError> validate_scenario_spec(const ScenarioSpec& spec) {
   std::vector<SpecError> errs;
   auto err = [&](const std::string& path, const std::string& msg) {
@@ -995,6 +1063,47 @@ std::vector<SpecError> validate_scenario_spec(const ScenarioSpec& spec) {
   if (spec.n == 0) err("env.n", "must be >= 1");
   if (spec.timely_prob < 0 || spec.timely_prob > 1)
     err("env.timely_prob", "must be in [0, 1]");
+
+  // Live transport consistency.
+  if (spec.transport == TransportKind::kLive) {
+    if (!family_live_supported(spec.family))
+      err("transport", "the live service serves the consensus, weakset and "
+                       "abd families");
+    if (spec.env_kind != EnvKind::kES)
+      err("env.kind", "the live pacemaker realizes the ES round-source "
+                      "property — set \"es\"");
+    if (spec.faults.active())
+      err("env.faults", "the live transport models faults with live.loss / "
+                        "live.jitter_ms");
+    if (spec.family == ScenarioFamily::kConsensus) {
+      if (spec.consensus.schedule != ConsensusSpecSection::Schedule::kEnv)
+        err("consensus.schedule",
+            "live rounds are paced by wall-clock deadlines — adversarial "
+            "schedules are sim-only; set \"env\"");
+      if (spec.consensus.probe != ConsensusSpecSection::Probe::kDecision)
+        err("consensus.probe", "the live service observes decisions only");
+    }
+    if (spec.family == ScenarioFamily::kWeakset) {
+      if (spec.weakset.mode != WeaksetSpecSection::Mode::kSet)
+        err("weakset.mode",
+            "the live register is the abd family — set mode \"set\"");
+      if (!spec.weakset.script.empty())
+        err("weakset.script", "live adds are generated (weakset.gen_ops "
+                              "spread across live.clients) — leave empty");
+    }
+    const LiveSpecSection& l = spec.live;
+    if (l.loss < 0 || l.loss > 1) err("live.loss", "must be in [0, 1]");
+    if (l.loss > 0 && l.socket == LiveSpecSection::Socket::kTcp)
+      err("live.loss",
+          "TCP inbound cannot attribute senders, so the exempt-source "
+          "safety contract is unenforceable under loss — use socket "
+          "\"udp\"");
+    if (l.period_ms == 0) err("live.period_ms", "must be >= 1");
+    if (l.clients == 0) err("live.clients", "must be >= 1");
+    if (l.op_timeout_ms == 0) err("live.op_timeout_ms", "must be >= 1");
+  } else if (!(spec.live == LiveSpecSection{})) {
+    err("live", "only valid for transport \"live\"");
+  }
 
   // Fault plan consistency (env.faults).
   {
@@ -1047,10 +1156,19 @@ std::vector<SpecError> validate_scenario_spec(const ScenarioSpec& spec) {
                 "the reference emulation engine is the untouched oracle; "
                 "pick engine \"interned\"");
           break;
+        case ScenarioFamily::kAbd:
+          // The async point-to-point net takes loss/dup/reorder/omission
+          // (AsyncNet::set_faults, keyed on message sequence); churn is a
+          // round-window concept and this network has no rounds.
+          if (!f.churn.empty())
+            err("env.faults.churn",
+                "churn windows are round-based; the abd family's async "
+                "network has no rounds");
+          break;
         default:
           err("env.faults",
-              "fault plans are wired into the consensus, weakset and "
-              "emulation families");
+              "fault plans are wired into the consensus, weakset, emulation "
+              "and abd families");
           break;
       }
     }

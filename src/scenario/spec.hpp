@@ -44,6 +44,35 @@ const char* to_string(ScenarioFamily f);
 // All families, in registry/order of the paper's constructions.
 const std::vector<ScenarioFamily>& all_scenario_families();
 
+// ---- Transport --------------------------------------------------------------
+
+// Which backend executes the spec: the deterministic simulators (default),
+// or the anonsvc live service (src/svc/) — real loopback sockets, one
+// event-loop thread per node, wall-clock GIRAF rounds.  Live runs emit the
+// same tagged ScenarioReport; wall-clock effects live only in fields the
+// deterministic emission already excludes or that sim reports gate off.
+enum class TransportKind { kSim, kLive };
+
+// True for the families the live service hosts (consensus / weakset / abd
+// — the three objects a LiveNode serves).
+bool family_live_supported(ScenarioFamily f);
+
+// Live-transport knobs.  Only encoded for transport "live" (and then
+// defaults-elided), so every existing sim spec is byte-identical.
+struct LiveSpecSection {
+  enum class Socket { kUdp, kTcp };  // datagrams vs framed loopback streams
+  Socket socket = Socket::kUdp;
+  std::uint64_t period_ms = 4;       // pacemaker round cadence
+  std::uint64_t jitter_ms = 0;       // ingress JitterPolicy max extra delay
+  double loss = 0.0;                 // ingress loss (round-source exempt)
+  std::uint64_t op_timeout_ms = 10000;  // per client operation
+  std::size_t clients = 4;           // concurrent clients (weakset / abd)
+  Round watchdog_rounds = 0;  // decision waits degrade to undecided; 0 = off
+
+  friend bool operator==(const LiveSpecSection&,
+                         const LiveSpecSection&) = default;
+};
+
 // ---- Workload building blocks ---------------------------------------------
 
 // How the per-process initial/proposed values are produced.
@@ -231,6 +260,11 @@ struct ScenarioSpec {
   // One independent simulation per seed; multi-seed specs shard across
   // worker threads (results are index-aligned and thread-count invariant).
   std::vector<std::uint64_t> seeds = {1};
+
+  // Execution backend: the simulators (default) or the anonsvc live stack.
+  // Live seeds run sequentially — each one owns real sockets and threads.
+  TransportKind transport = TransportKind::kSim;
+  LiveSpecSection live;  // transport "live" only
 
   // Environment (EnvParams minus the seed, which comes from `seeds`).
   EnvKind env_kind = EnvKind::kES;

@@ -1,0 +1,172 @@
+#include "svc/client.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+namespace anon {
+
+namespace {
+
+constexpr std::size_t kMaxResponseBytes = 1u << 20;
+
+using Clock = std::chrono::steady_clock;
+
+std::chrono::milliseconds remaining(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() < 0 ? std::chrono::milliseconds(0) : left;
+}
+
+}  // namespace
+
+bool SvcClient::connect(std::uint16_t port, std::chrono::milliseconds timeout) {
+  close();
+  const auto deadline = Clock::now() + timeout;
+  // The node may still be binding its listener; retry until the deadline.
+  for (;;) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      error_ = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return true;
+    }
+    ::close(fd_);
+    fd_ = -1;
+    if (remaining(deadline).count() == 0) {
+      error_ = std::string("connect: ") + std::strerror(errno);
+      return false;
+    }
+    struct timespec nap {0, 2'000'000};  // 2ms
+    nanosleep(&nap, nullptr);
+  }
+}
+
+void SvcClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buf_.clear();
+}
+
+SvcClient::Result SvcClient::status(std::chrono::milliseconds timeout) {
+  return call(SvcOp::kStatus, false, 0, timeout);
+}
+
+SvcClient::Result SvcClient::decision(std::chrono::milliseconds timeout) {
+  return call(SvcOp::kDecision, false, 0, timeout);
+}
+
+SvcClient::Result SvcClient::ws_add(std::int64_t value,
+                                    std::chrono::milliseconds timeout) {
+  return call(SvcOp::kWsAdd, true, value, timeout);
+}
+
+SvcClient::Result SvcClient::ws_get(std::chrono::milliseconds timeout) {
+  return call(SvcOp::kWsGet, false, 0, timeout);
+}
+
+SvcClient::Result SvcClient::reg_read(std::chrono::milliseconds timeout) {
+  return call(SvcOp::kRegRead, false, 0, timeout);
+}
+
+SvcClient::Result SvcClient::reg_write(std::int64_t value,
+                                       std::chrono::milliseconds timeout) {
+  return call(SvcOp::kRegWrite, true, value, timeout);
+}
+
+SvcClient::Result SvcClient::call(SvcOp op, bool has_value, std::int64_t value,
+                                  std::chrono::milliseconds timeout) {
+  Result result;
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return result;
+  }
+  const auto deadline = Clock::now() + timeout;
+
+  ClientRequest req;
+  req.op = op;
+  req.request_id = next_id_++;
+  req.has_value = has_value;
+  req.value = value;
+  const Bytes body = encode_client_request(req);
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  Bytes framed = w.take();
+  framed.insert(framed.end(), body.begin(), body.end());
+  if (::send(fd_, framed.data(), framed.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(framed.size())) {
+    error_ = std::string("send: ") + std::strerror(errno);
+    close();
+    return result;
+  }
+
+  // Read frames until the response matching our request id arrives (the
+  // stream is ordered, but a node may interleave failure responses).
+  for (;;) {
+    // Extract any complete frame already buffered.
+    while (buf_.size() >= 4) {
+      std::uint32_t len = 0;
+      for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(buf_[i]) << (8 * i);
+      if (len > kMaxResponseBytes) {
+        error_ = "corrupt response stream";
+        close();
+        return result;
+      }
+      if (buf_.size() - 4 < len) break;
+      Bytes frame(buf_.begin() + 4, buf_.begin() + 4 + len);
+      buf_.erase(buf_.begin(), buf_.begin() + 4 + len);
+      auto resp = decode_client_response(frame);
+      if (!resp) {
+        error_ = "undecodable response";
+        close();
+        return result;
+      }
+      if (resp->request_id != req.request_id && resp->request_id != 0) continue;
+      result.transport_ok = true;
+      result.status = resp->status;
+      result.info = resp->info;
+      result.values = std::move(resp->values);
+      return result;
+    }
+
+    const auto left = remaining(deadline);
+    if (left.count() == 0) {
+      result.status = SvcStatus::kTimeout;
+      error_ = "deadline expired";
+      return result;
+    }
+    struct pollfd p {fd_, POLLIN, 0};
+    const int rc = ::poll(&p, 1, static_cast<int>(left.count()));
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) {
+      result.status = SvcStatus::kTimeout;
+      error_ = "deadline expired";
+      return result;
+    }
+    std::uint8_t tmp[4096];
+    const ssize_t got = ::recv(fd_, tmp, sizeof(tmp), 0);
+    if (got <= 0) {
+      error_ = "connection closed by node";
+      close();
+      return result;
+    }
+    buf_.insert(buf_.end(), tmp, tmp + got);
+  }
+}
+
+}  // namespace anon

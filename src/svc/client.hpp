@@ -1,0 +1,61 @@
+// SvcClient: the blocking client API of the anonsvc service.
+//
+// One TCP connection to one node's client port; requests and responses are
+// u32-length-framed ClientRequest/ClientResponse records (frame.hpp).
+// Every call takes a deadline: kTimeout with transport_ok=false means the
+// socket-level wait expired (distinct from a node-reported kTimeout, e.g.
+// the decision watchdog, which arrives with transport_ok=true).
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "svc/frame.hpp"
+
+namespace anon {
+
+class SvcClient {
+ public:
+  SvcClient() = default;
+  ~SvcClient() { close(); }
+
+  SvcClient(const SvcClient&) = delete;
+  SvcClient& operator=(const SvcClient&) = delete;
+
+  bool connect(std::uint16_t port,
+               std::chrono::milliseconds timeout = std::chrono::seconds(2));
+  bool connected() const { return fd_ >= 0; }
+  void close();
+  const std::string& error() const { return error_; }
+
+  struct Result {
+    bool transport_ok = false;  // false ⇒ socket error / client-side timeout
+    SvcStatus status = SvcStatus::kError;
+    std::uint64_t info = 0;
+    std::vector<Value> values;
+    bool ok() const { return transport_ok && status == SvcStatus::kOk; }
+  };
+
+  // info = the node's current round; values = {decision} when decided.
+  Result status(std::chrono::milliseconds timeout);
+  // Blocks server-side until the node decides (or its watchdog fires).
+  Result decision(std::chrono::milliseconds timeout);
+  // Blocks server-side until the value reaches WRITTEN (Algorithm 4).
+  Result ws_add(std::int64_t value, std::chrono::milliseconds timeout);
+  Result ws_get(std::chrono::milliseconds timeout);
+  // ABD register: read returns values = {v} (empty before any write).
+  Result reg_read(std::chrono::milliseconds timeout);
+  Result reg_write(std::int64_t value, std::chrono::milliseconds timeout);
+
+ private:
+  Result call(SvcOp op, bool has_value, std::int64_t value,
+              std::chrono::milliseconds timeout);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  Bytes buf_;  // partially read response stream
+  std::string error_;
+};
+
+}  // namespace anon

@@ -1,0 +1,61 @@
+#include "svc/daemon.hpp"
+
+namespace anon {
+
+LiveCluster::LiveCluster(LiveClusterOptions opt) : opt_(std::move(opt)) {}
+
+LiveCluster::~LiveCluster() {
+  stop_all();
+  join();
+}
+
+bool LiveCluster::start() {
+  nodes_.clear();
+  nodes_.reserve(opt_.n);
+  for (std::size_t i = 0; i < opt_.n; ++i) {
+    LiveNodeOptions nopt;
+    nopt.index = i;
+    nopt.n = opt_.n;
+    nopt.epoch = opt_.epoch;
+    nopt.seed = opt_.seed;
+    nopt.socket = opt_.socket;
+    nopt.period = opt_.period;
+    nopt.max_jitter = opt_.max_jitter;
+    nopt.loss = opt_.loss;
+    nopt.max_rounds = opt_.max_rounds;
+    nopt.watchdog_rounds = opt_.watchdog_rounds;
+    nopt.stabilize_after = opt_.stabilize_after;
+    nopt.proposal = i < opt_.proposals.size()
+                        ? opt_.proposals[i]
+                        : Value(static_cast<std::int64_t>(i));
+    if (i < opt_.crash_at.size() && opt_.crash_at[i] != 0)
+      nopt.crash_at = opt_.crash_at[i];
+    nodes_.push_back(std::make_unique<LiveNode>(nopt));
+    if (!nodes_.back()->open()) {
+      error_ = nodes_.back()->error();
+      nodes_.clear();
+      return false;
+    }
+  }
+  std::vector<SvcEndpoint> endpoints;
+  endpoints.reserve(opt_.n);
+  for (const auto& node : nodes_)
+    endpoints.push_back(SvcEndpoint{node->data_port()});
+  for (auto& node : nodes_) node->connect_peers(endpoints);
+  threads_.reserve(opt_.n);
+  for (auto& node : nodes_)
+    threads_.emplace_back([raw = node.get()] { raw->run(); });
+  return true;
+}
+
+void LiveCluster::stop_all() {
+  for (auto& node : nodes_) node->stop();
+}
+
+void LiveCluster::join() {
+  for (std::thread& t : threads_)
+    if (t.joinable()) t.join();
+  threads_.clear();
+}
+
+}  // namespace anon

@@ -1,0 +1,65 @@
+// LiveCluster: hosts the N anonymous LiveNodes of one anonsvc deployment.
+//
+// Lifecycle: construct → start() (binds every node's sockets, exchanges the
+// discovered endpoints — the out-of-band "configuration" a real deployment
+// would read from a config file — and launches one event-loop thread per
+// node) → clients connect to client_port(i) → stop_all()/join() → read
+// per-node observations.  Nodes are anonymous to each other: the endpoint
+// list is positional only, no identities ride the wire (frame.hpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/node.hpp"
+
+namespace anon {
+
+struct LiveClusterOptions {
+  std::size_t n = 3;
+  std::uint64_t epoch = 1;
+  std::uint64_t seed = 1;
+  SvcSocketKind socket = SvcSocketKind::kUdp;
+  std::chrono::milliseconds period{4};
+  std::chrono::milliseconds max_jitter{0};  // per-node ingress jitter
+  double loss = 0.0;                        // per-node ingress loss
+  Round max_rounds = 100000;
+  Round watchdog_rounds = 0;
+  Round stabilize_after = 5;
+  // Per-node knobs; empty ⇒ defaults (proposal i, never crashes).
+  std::vector<Value> proposals;
+  std::vector<Round> crash_at;
+};
+
+class LiveCluster {
+ public:
+  explicit LiveCluster(LiveClusterOptions opt);
+  ~LiveCluster();
+
+  LiveCluster(const LiveCluster&) = delete;
+  LiveCluster& operator=(const LiveCluster&) = delete;
+
+  // Opens every node, distributes the endpoint list, starts the threads.
+  bool start();
+  const std::string& error() const { return error_; }
+
+  std::size_t n() const { return nodes_.size(); }
+  LiveNode& node(std::size_t i) { return *nodes_[i]; }
+  const LiveNode& node(std::size_t i) const { return *nodes_[i]; }
+  std::uint16_t client_port(std::size_t i) const {
+    return nodes_[i]->client_port();
+  }
+
+  void stop_all();
+  void join();
+
+ private:
+  LiveClusterOptions opt_;
+  std::vector<std::unique_ptr<LiveNode>> nodes_;
+  std::vector<std::thread> threads_;
+  std::string error_;
+};
+
+}  // namespace anon

@@ -1,0 +1,225 @@
+#include "svc/frame.hpp"
+
+#include <algorithm>
+
+namespace anon {
+
+namespace {
+
+// Sanity bound shared with runtime/codec.cpp: a corrupt count field must
+// not drive a multi-gigabyte allocation before the per-element decodes
+// fail.  Real batches are tiny (≤ n messages of ≤ 4 values each).
+constexpr std::uint32_t kMaxCount = 1u << 24;
+
+void put_value(ByteWriter& w, const Value& v) {
+  if (v.is_bottom()) {
+    w.u8(0);
+  } else {
+    w.u8(1);
+    w.i64(v.get());
+  }
+}
+
+std::optional<Value> get_value(ByteReader& r) {
+  auto kind = r.u8();
+  if (!kind) return std::nullopt;
+  if (*kind == 0) return Value::Bottom();
+  if (*kind != 1) return std::nullopt;
+  auto payload = r.i64();
+  if (!payload) return std::nullopt;
+  return Value(*payload);
+}
+
+bool valid_frame_kind(std::uint8_t k) {
+  return k >= static_cast<std::uint8_t>(SvcFrameKind::kConsensusRound) &&
+         k <= static_cast<std::uint8_t>(SvcFrameKind::kHeartbeat);
+}
+
+}  // namespace
+
+Bytes encode_service_frame(const ServiceFrame& f) {
+  ByteWriter w;
+  w.u8(kSvcMagic);
+  w.u8(f.version);
+  w.u8(static_cast<std::uint8_t>(f.kind));
+  w.u64(f.epoch);
+  w.u64(f.round);
+  w.u32(static_cast<std::uint32_t>(f.payload.size()));
+  for (std::uint8_t b : f.payload) w.u8(b);
+  return w.take();
+}
+
+std::optional<ServiceFrame> decode_service_frame(const Bytes& in) {
+  ByteReader r(in);
+  auto magic = r.u8();
+  if (!magic || *magic != kSvcMagic) return std::nullopt;
+  auto version = r.u8();
+  if (!version || *version != kSvcWireVersion) return std::nullopt;
+  auto kind = r.u8();
+  if (!kind || !valid_frame_kind(*kind)) return std::nullopt;
+  auto epoch = r.u64();
+  auto round = r.u64();
+  auto len = r.u32();
+  if (!epoch || !round || !len) return std::nullopt;
+  // The length must match the bytes actually present: a frame is one
+  // datagram, so trailing garbage means corruption, not pipelining.
+  constexpr std::size_t kHeader = 3 + 8 + 8 + 4;
+  if (in.size() != kHeader + *len) return std::nullopt;
+  ServiceFrame f;
+  f.version = *version;
+  f.kind = static_cast<SvcFrameKind>(*kind);
+  f.epoch = *epoch;
+  f.round = *round;
+  f.payload.assign(in.begin() + kHeader, in.end());
+  return f;
+}
+
+Bytes encode_valueset_batch(const std::vector<ValueSet>& batch) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(batch.size()));
+  for (const ValueSet& m : batch) {
+    const Bytes b = encode_es_message(m);
+    w.u32(static_cast<std::uint32_t>(b.size()));
+    for (std::uint8_t byte : b) w.u8(byte);
+  }
+  return w.take();
+}
+
+std::optional<std::vector<ValueSet>> decode_valueset_batch(const Bytes& in) {
+  ByteReader r(in);
+  auto count = r.u32();
+  if (!count || *count > kMaxCount) return std::nullopt;
+  std::vector<ValueSet> batch;
+  // Each message occupies at least its u32 length prefix, so the buffer
+  // size bounds any plausible count.
+  batch.reserve(std::min<std::size_t>(*count, in.size() / 4 + 1));
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto len = r.u32();
+    if (!len || *len > in.size()) return std::nullopt;
+    Bytes body;
+    body.reserve(*len);
+    for (std::uint32_t j = 0; j < *len; ++j) {
+      auto byte = r.u8();
+      if (!byte) return std::nullopt;
+      body.push_back(*byte);
+    }
+    auto m = decode_es_message(body);
+    if (!m) return std::nullopt;
+    batch.push_back(std::move(*m));
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return batch;
+}
+
+Bytes encode_abd_wire(const AbdWire& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(m.type));
+  w.u64(m.op_id);
+  w.u32(m.origin);
+  w.u32(m.replica);
+  w.u64(m.ts);
+  w.u32(m.wid);
+  w.u8(m.has_value ? 1 : 0);
+  w.i64(m.value);
+  return w.take();
+}
+
+std::optional<AbdWire> decode_abd_wire(const Bytes& in) {
+  ByteReader r(in);
+  auto type = r.u8();
+  if (!type || *type < static_cast<std::uint8_t>(AbdWireType::kQuery) ||
+      *type > static_cast<std::uint8_t>(AbdWireType::kStoreAck))
+    return std::nullopt;
+  auto op_id = r.u64();
+  auto origin = r.u32();
+  auto replica = r.u32();
+  auto ts = r.u64();
+  auto wid = r.u32();
+  auto has_value = r.u8();
+  auto value = r.i64();
+  if (!op_id || !origin || !replica || !ts || !wid || !has_value || !value)
+    return std::nullopt;
+  if (*has_value > 1 || !r.exhausted()) return std::nullopt;
+  AbdWire out;
+  out.type = static_cast<AbdWireType>(*type);
+  out.op_id = *op_id;
+  out.origin = *origin;
+  out.replica = *replica;
+  out.ts = *ts;
+  out.wid = *wid;
+  out.has_value = *has_value == 1;
+  out.value = *value;
+  return out;
+}
+
+Bytes encode_client_request(const ClientRequest& r) {
+  ByteWriter w;
+  w.u8(r.version);
+  w.u8(static_cast<std::uint8_t>(r.op));
+  w.u64(r.request_id);
+  w.u8(r.has_value ? 1 : 0);
+  w.i64(r.value);
+  return w.take();
+}
+
+std::optional<ClientRequest> decode_client_request(const Bytes& in) {
+  ByteReader r(in);
+  auto version = r.u8();
+  if (!version || *version != kSvcWireVersion) return std::nullopt;
+  auto op = r.u8();
+  if (!op || *op < static_cast<std::uint8_t>(SvcOp::kStatus) ||
+      *op > static_cast<std::uint8_t>(SvcOp::kRegWrite))
+    return std::nullopt;
+  auto request_id = r.u64();
+  auto has_value = r.u8();
+  auto value = r.i64();
+  if (!request_id || !has_value || !value) return std::nullopt;
+  if (*has_value > 1 || !r.exhausted()) return std::nullopt;
+  ClientRequest out;
+  out.version = *version;
+  out.op = static_cast<SvcOp>(*op);
+  out.request_id = *request_id;
+  out.has_value = *has_value == 1;
+  out.value = *value;
+  return out;
+}
+
+Bytes encode_client_response(const ClientResponse& r) {
+  ByteWriter w;
+  w.u8(r.version);
+  w.u8(static_cast<std::uint8_t>(r.status));
+  w.u64(r.request_id);
+  w.u64(r.info);
+  w.u32(static_cast<std::uint32_t>(r.values.size()));
+  for (const Value& v : r.values) put_value(w, v);
+  return w.take();
+}
+
+std::optional<ClientResponse> decode_client_response(const Bytes& in) {
+  ByteReader r(in);
+  auto version = r.u8();
+  if (!version || *version != kSvcWireVersion) return std::nullopt;
+  auto status = r.u8();
+  if (!status || *status > static_cast<std::uint8_t>(SvcStatus::kError))
+    return std::nullopt;
+  auto request_id = r.u64();
+  auto info = r.u64();
+  auto count = r.u32();
+  if (!request_id || !info || !count || *count > kMaxCount)
+    return std::nullopt;
+  ClientResponse out;
+  out.version = *version;
+  out.status = static_cast<SvcStatus>(*status);
+  out.request_id = *request_id;
+  out.info = *info;
+  out.values.reserve(std::min<std::size_t>(*count, in.size()));
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto v = get_value(r);
+    if (!v) return std::nullopt;
+    out.values.push_back(*v);
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return out;
+}
+
+}  // namespace anon

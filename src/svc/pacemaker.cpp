@@ -1,0 +1,134 @@
+#include "svc/pacemaker.hpp"
+
+#include "common/check.hpp"
+#include "net/schedule.hpp"
+
+namespace anon {
+
+RoundPacemaker::RoundPacemaker(PacemakerOptions opt, Clock::time_point start)
+    : opt_(opt) {
+  ANON_CHECK(opt_.period.count() >= 1);
+  ANON_CHECK(opt_.min_timeout <= opt_.max_timeout);
+  heard_.assign(opt_.peers, false);
+  last_heard_.assign(opt_.peers, 0);
+  window_start_ = start;
+  deadline_ = start + opt_.period;
+}
+
+void RoundPacemaker::note_frame(std::size_t peer, Round frame_round,
+                                Clock::time_point now) {
+  (void)now;  // timeliness = arrived while the round was open (GIRAF's
+              // "before end-of-round"), and note_frame only fires then
+  // Always track the highest tag seen — it tells close_round whether the
+  // mesh has moved ahead of us (a recovered node sprints to rejoin).
+  if (frame_round > max_tag_) max_tag_ = frame_round;
+  // Source gating: record the highest tag t whose frame came from the
+  // round-t source (t mod peers).  Cumulative, never reset — a source
+  // frame for a round we already left still proves the rotation is alive.
+  if (opt_.peers > 0 && peer < opt_.peers &&
+      peer == frame_round % opt_.peers && frame_round > src_tag_)
+    src_tag_ = frame_round;
+  ++frames_any_;  // liveness: peers are talking, whatever round they're in
+  // A round-k batch is broadcast the instant its sender closes round k and
+  // advances, so at a same-paced receiver it lands with frame_round ==
+  // round_ - 1; frame_round == round_ is a laggard receiver (sender's
+  // deadline fired first).  Anything else is late/early — not timely.
+  if (frame_round + 1 != round_ && frame_round != round_) return;
+  ++frames_this_round_;
+  if (peer < heard_.size()) {
+    if (!heard_[peer]) {
+      heard_[peer] = true;
+      ++heard_count_;
+    }
+    last_heard_[peer] = round_;
+  }
+}
+
+bool RoundPacemaker::can_close(Clock::time_point now) const {
+  if (now < deadline_) return false;
+  if (!opt_.gate_on_source || opt_.peers <= 1) return true;
+  // We are this round's source: our own frame only exists once we close.
+  if (round_ % opt_.peers == opt_.self) return true;
+  // The round source's batch arrived — the view is complete where it
+  // matters, close and compute.
+  if (src_tag_ >= round_) return true;
+  // Source dead or stalled: give up after the randomized stretch so a dead
+  // rotation slot costs one timeout, not the run.
+  return now >= hard_deadline();
+}
+
+RoundPacemaker::Clock::time_point RoundPacemaker::hard_deadline() const {
+  return deadline_ + draw_timeout(round_);
+}
+
+bool RoundPacemaker::close_round(Clock::time_point now) {
+  // Timely = every expected peer was heard in this window or the previous
+  // one.  The one-round hysteresis absorbs deadline-boundary races: a peer
+  // whose phase sits right at our deadline alternates between landing just
+  // before and just after it, which would otherwise leave every other
+  // window without that peer's frame.  Transports that cannot attribute
+  // senders (TCP inbound) still count frames, so n on-time frames also
+  // qualify.
+  std::size_t fresh = 0;
+  for (const Round lh : last_heard_)
+    if (lh > 0 && lh + 1 >= round_) ++fresh;
+  const bool timely = opt_.peers == 0 || fresh >= opt_.peers ||
+                      frames_this_round_ >= opt_.peers;
+  if (timely) {
+    ++streak_;
+    ++timely_total_;
+    if (stabilized_at_ == 0 && streak_ >= opt_.stabilize_after)
+      stabilized_at_ = round_;
+  } else {
+    streak_ = 0;
+  }
+  // Cadence.  The default is an *absolute* drift-free schedule (deadline
+  // += period): `now + period` would compound each node's per-round lag
+  // into a random walk that slowly tears round numbers apart, while an
+  // absolute schedule pins every node to start + k·period, so equal
+  // periods keep tags inside the ±1 window forever.  Two exceptions:
+  //
+  //  * behind — frames carry tags ahead of our round: the mesh moved on
+  //    without us (we stalled or backed off).  Sprint: close rounds
+  //    back-to-back until the round number catches up, then resume cadence
+  //    from the new phase.
+  //  * silent — a full-length window with no frames at all (peers dead or
+  //    stalled; sprint/catch-up windows are compressed and do not count).
+  //    Back off by a randomized timeout so recovering peers do not
+  //    stampede in lockstep.
+  const bool full_window = now - window_start_ >= opt_.period;
+  const bool silent = opt_.peers > 1 && frames_any_ == 0 && full_window;
+  const bool behind = max_tag_ > round_;
+  ++round_;
+  heard_.assign(heard_.size(), false);
+  heard_count_ = 0;
+  frames_this_round_ = 0;
+  frames_any_ = 0;
+  max_tag_ = 0;
+  window_start_ = now;
+  if (behind)
+    deadline_ = now;
+  else if (silent)
+    deadline_ = now + draw_timeout(round_);
+  else
+    deadline_ += opt_.period;
+  // A hard stall (OS paused us for many periods) would otherwise trigger a
+  // long catch-up burst; re-base and let the behind-sprint fix the round
+  // number instead.
+  if (deadline_ + 4 * opt_.period < now) deadline_ = now;
+  return timely;
+}
+
+Round RoundPacemaker::last_heard(std::size_t peer) const {
+  return peer < last_heard_.size() ? last_heard_[peer] : 0;
+}
+
+std::chrono::milliseconds RoundPacemaker::draw_timeout(Round k) const {
+  const std::uint64_t span = static_cast<std::uint64_t>(
+      (opt_.max_timeout - opt_.min_timeout).count());
+  const std::uint64_t h = hash_mix(opt_.seed, k, 0x70ACEu, 0);
+  return opt_.min_timeout + std::chrono::milliseconds(
+                                static_cast<std::int64_t>(hash_below(h, span + 1)));
+}
+
+}  // namespace anon

@@ -1,0 +1,102 @@
+// The anonsvc pacemaker: paces GIRAF rounds on wall-clock deadlines and
+// watches the link layer for GST-style stabilization — the realtime
+// analogue of the ES/ESS environment definitions.
+//
+// Round k closes at a deadline; frames for the current round that arrive
+// before it count toward timeliness.  A round during which every expected
+// peer (or, on transports that cannot attribute senders, at least n
+// frames) arrived on time is *timely*; after `stabilize_after` consecutive
+// timely rounds the pacemaker declares the run stabilized — the moment a
+// deployment would treat as "GST has passed" (rounds behave like the
+// post-stabilization suffix of an ES environment).
+//
+// Cadence: while the link layer shows any life the pacemaker holds a fixed
+// period — equal periods re-align misaligned round numbers by themselves,
+// and stretching would desynchronize them for good.  Only a *silent* round
+// (no frames at all: peers dead or stalled) stretches the next deadline by
+// a randomized timeout drawn from [min_timeout, max_timeout] — the
+// ArangoDB-Constituent idiom: randomization de-synchronizes recovery so
+// reconnecting peers do not stampede in lockstep.  The draw is a pure
+// hash_mix(seed, round) function, so a seeded run re-draws the same
+// timeouts.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "giraf/types.hpp"
+
+namespace anon {
+
+struct PacemakerOptions {
+  std::chrono::milliseconds period{4};       // timely-round cadence
+  std::chrono::milliseconds min_timeout{6};  // randomized stretch after a
+  std::chrono::milliseconds max_timeout{20}; // silent round / dead source
+  std::uint64_t seed = 1;
+  std::size_t peers = 0;           // frames expected per round (n, incl. self)
+  Round stabilize_after = 5;       // consecutive timely rounds ⇒ stabilized
+  // Source gating (transports that attribute senders, i.e. UDP): round k
+  // may not close before the rotating source's (k mod peers) round-k frame
+  // has arrived — the live construction of the environments' round-source
+  // property, and what makes decisions trustworthy under loss: every
+  // compute sees the source's batch.  `self` identifies our own index
+  // (self-source rounds close on the deadline alone; our own frame only
+  // exists after the close).  A randomized hard timeout bounds the wait
+  // when the source is dead.
+  bool gate_on_source = false;
+  std::size_t self = static_cast<std::size_t>(-1);
+};
+
+class RoundPacemaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RoundPacemaker(PacemakerOptions opt, Clock::time_point start);
+
+  Round round() const { return round_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  // True once the round may close at `now`: the deadline passed and — with
+  // source gating — the round's source batch arrived (or the hard timeout
+  // expired, or we are the source ourselves).
+  bool can_close(Clock::time_point now) const;
+  // The give-up point of a gated wait (deadline + randomized stretch).
+  Clock::time_point hard_deadline() const;
+
+  // A round-k frame arrived (peer may be Transport::kUnknownPeer).
+  void note_frame(std::size_t peer, Round frame_round, Clock::time_point now);
+
+  // Closes the current round at `now` and schedules the next deadline.
+  // Returns whether the closing round was timely.
+  bool close_round(Clock::time_point now);
+
+  bool stabilized() const { return stabilized_at_ != 0; }
+  Round stabilized_at() const { return stabilized_at_; }
+  Round timely_streak() const { return streak_; }
+  Round timely_rounds() const { return timely_total_; }
+
+  // Per-link diagnostics: the last round a frame attributed to `peer`
+  // arrived in time (0 = never heard).
+  Round last_heard(std::size_t peer) const;
+
+ private:
+  std::chrono::milliseconds draw_timeout(Round k) const;
+
+  PacemakerOptions opt_;
+  Round round_ = 1;
+  Clock::time_point deadline_;
+  std::vector<bool> heard_;        // this round, per attributed peer
+  std::vector<Round> last_heard_;  // per peer
+  std::size_t heard_count_ = 0;    // distinct attributed peers this round
+  std::size_t frames_this_round_ = 0;  // in-window, incl. unattributed
+  std::size_t frames_any_ = 0;         // any tag: link-layer liveness
+  Round max_tag_ = 0;                  // highest tag seen this window
+  Round src_tag_ = 0;  // highest tag t whose source (t mod peers) was heard
+  Clock::time_point window_start_;
+  Round streak_ = 0;
+  Round timely_total_ = 0;
+  Round stabilized_at_ = 0;
+};
+
+}  // namespace anon

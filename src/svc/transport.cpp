@@ -1,0 +1,346 @@
+#include "svc/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+
+namespace anon {
+
+namespace {
+
+// Frames are one round batch or one quorum message — kilobytes at most.
+// A datagram larger than this is garbage and is dropped on receive.
+constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+std::uint16_t bound_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return 0;
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace
+
+int poll_fds(std::vector<struct pollfd>& fds,
+             std::chrono::milliseconds timeout) {
+  const int ms = static_cast<int>(
+      std::min<std::int64_t>(timeout.count(), 60'000));
+  const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                        ms < 0 ? 0 : ms);
+  return rc < 0 ? 0 : rc;
+}
+
+// ---- UDP -------------------------------------------------------------------
+
+class UdpTransport final : public Transport {
+ public:
+  ~UdpTransport() override { close(); }
+
+  bool open() override {
+    fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd_ < 0) {
+      error_ = errno_message("socket(udp)");
+      return false;
+    }
+    sockaddr_in addr = loopback_addr(0);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      error_ = errno_message("bind(udp)");
+      close();
+      return false;
+    }
+    if (!set_nonblocking(fd_)) {
+      error_ = errno_message("fcntl(udp)");
+      close();
+      return false;
+    }
+    port_ = bound_port(fd_);
+    return port_ != 0;
+  }
+
+  std::uint16_t port() const override { return port_; }
+
+  void connect_peers(const std::vector<SvcEndpoint>& peers) override {
+    peers_.clear();
+    peers_.reserve(peers.size());
+    for (const SvcEndpoint& p : peers) peers_.push_back(loopback_addr(p.port));
+  }
+
+  void broadcast(const Bytes& frame) override {
+    for (std::size_t i = 0; i < peers_.size(); ++i) send_to(i, frame);
+  }
+
+  void send_to(std::size_t peer, const Bytes& frame) override {
+    if (fd_ < 0 || peer >= peers_.size()) return;
+    // Loss on a full socket buffer is indistinguishable from network loss
+    // — exactly the failure model the algorithms already tolerate.
+    const ssize_t rc = ::sendto(fd_, frame.data(), frame.size(), 0,
+                                reinterpret_cast<const sockaddr*>(&peers_[peer]),
+                                sizeof(peers_[peer]));
+    if (rc == static_cast<ssize_t>(frame.size())) {
+      ++frames_sent_;
+      bytes_sent_ += frame.size();
+    }
+  }
+
+  std::size_t append_pollfds(std::vector<struct pollfd>* fds) override {
+    if (fd_ < 0) return 0;
+    fds->push_back(pollfd{fd_, POLLIN, 0});
+    return 1;
+  }
+
+  void drain(const struct pollfd* fds, std::size_t count,
+             std::vector<Datagram>* out) override {
+    if (count == 0 || fd_ < 0 || (fds[0].revents & POLLIN) == 0) return;
+    std::uint8_t buf[65536];
+    for (;;) {
+      sockaddr_in src{};
+      socklen_t srclen = sizeof(src);
+      const ssize_t got = ::recvfrom(fd_, buf, sizeof(buf), 0,
+                                     reinterpret_cast<sockaddr*>(&src), &srclen);
+      if (got < 0) return;  // EAGAIN: drained
+      if (got == 0 || static_cast<std::size_t>(got) > kMaxFrameBytes) continue;
+      Datagram d;
+      d.payload.assign(buf, buf + got);
+      d.peer = peer_of(src);
+      ++frames_received_;
+      out->push_back(std::move(d));
+    }
+  }
+
+  void close() override {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  std::size_t peer_of(const sockaddr_in& src) const {
+    const std::uint16_t port = ntohs(src.sin_port);
+    for (std::size_t i = 0; i < peers_.size(); ++i)
+      if (ntohs(peers_[i].sin_port) == port) return i;
+    return kUnknownPeer;
+  }
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<sockaddr_in> peers_;
+};
+
+// ---- TCP mesh --------------------------------------------------------------
+
+// One listen socket per node; broadcast writes the frame down a lazily
+// connected outbound stream per peer.  Inbound streams are accepted and
+// read with u32 length-prefix framing; they carry no peer identity
+// (kUnknownPeer) — the mesh is anonymous in the receive direction just
+// like UDP with address spoofing would be.
+class TcpMeshTransport final : public Transport {
+ public:
+  ~TcpMeshTransport() override { close(); }
+
+  bool open() override {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      error_ = errno_message("socket(tcp)");
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = loopback_addr(0);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      error_ = errno_message("bind(tcp)");
+      close();
+      return false;
+    }
+    if (::listen(listen_fd_, 64) != 0) {
+      error_ = errno_message("listen(tcp)");
+      close();
+      return false;
+    }
+    if (!set_nonblocking(listen_fd_)) {
+      error_ = errno_message("fcntl(tcp)");
+      close();
+      return false;
+    }
+    port_ = bound_port(listen_fd_);
+    return port_ != 0;
+  }
+
+  std::uint16_t port() const override { return port_; }
+
+  void connect_peers(const std::vector<SvcEndpoint>& peers) override {
+    peers_ = peers;
+    out_fds_.assign(peers.size(), -1);
+  }
+
+  void broadcast(const Bytes& frame) override {
+    for (std::size_t i = 0; i < peers_.size(); ++i) send_to(i, frame);
+  }
+
+  void send_to(std::size_t peer, const Bytes& frame) override {
+    if (peer >= peers_.size()) return;
+    int& fd = out_fds_[peer];
+    if (fd < 0) fd = dial(peers_[peer].port);
+    if (fd < 0) return;  // peer not up yet — a lost frame, retried next round
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(frame.size()));
+    Bytes framed = w.take();
+    framed.insert(framed.end(), frame.begin(), frame.end());
+    // Frames are far below the socket buffer; a partial/failed write means
+    // the peer died — drop the stream and let the next round redial.
+    const ssize_t rc = ::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL);
+    if (rc != static_cast<ssize_t>(framed.size())) {
+      ::close(fd);
+      fd = -1;
+      return;
+    }
+    ++frames_sent_;
+    bytes_sent_ += frame.size();
+  }
+
+  std::size_t append_pollfds(std::vector<struct pollfd>* fds) override {
+    std::size_t added = 0;
+    if (listen_fd_ >= 0) {
+      fds->push_back(pollfd{listen_fd_, POLLIN, 0});
+      ++added;
+    }
+    for (const Conn& c : conns_) {
+      fds->push_back(pollfd{c.fd, POLLIN, 0});
+      ++added;
+    }
+    return added;
+  }
+
+  void drain(const struct pollfd* fds, std::size_t count,
+             std::vector<Datagram>* out) override {
+    std::size_t idx = 0;
+    if (listen_fd_ >= 0 && idx < count) {
+      if (fds[idx].revents & POLLIN) accept_all();
+      ++idx;
+    }
+    // conns_ may have grown in accept_all(); only the polled prefix has
+    // revents.  Dead connections are compacted afterwards.
+    for (std::size_t c = 0; c < conns_.size() && idx < count; ++c, ++idx)
+      if (fds[idx].revents & (POLLIN | POLLHUP | POLLERR))
+        read_conn(conns_[c], out);
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const Conn& c) { return c.fd < 0; }),
+                 conns_.end());
+  }
+
+  void close() override {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    for (Conn& c : conns_)
+      if (c.fd >= 0) ::close(c.fd);
+    conns_.clear();
+    for (int& fd : out_fds_)
+      if (fd >= 0) ::close(fd), fd = -1;
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    Bytes buf;  // partially read framed stream
+  };
+
+  int dial(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr = loopback_addr(port);
+    // Blocking connect on loopback completes immediately when the peer's
+    // listen queue exists; ECONNREFUSED just means "not up yet".
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+  }
+
+  void accept_all() {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      if (!set_nonblocking(fd)) {
+        ::close(fd);
+        continue;
+      }
+      conns_.push_back(Conn{fd, {}});
+    }
+  }
+
+  void read_conn(Conn& c, std::vector<Datagram>* out) {
+    std::uint8_t buf[65536];
+    for (;;) {
+      const ssize_t got = ::recv(c.fd, buf, sizeof(buf), 0);
+      if (got < 0) break;  // EAGAIN: drained for now
+      if (got == 0) {      // orderly shutdown
+        ::close(c.fd);
+        c.fd = -1;
+        break;
+      }
+      c.buf.insert(c.buf.end(), buf, buf + got);
+    }
+    // Extract complete frames.
+    std::size_t pos = 0;
+    while (c.buf.size() - pos >= 4) {
+      std::uint32_t len = 0;
+      for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(c.buf[pos + i]) << (8 * i);
+      if (len > kMaxFrameBytes) {  // corrupt stream: drop the connection
+        if (c.fd >= 0) ::close(c.fd);
+        c.fd = -1;
+        c.buf.clear();
+        return;
+      }
+      if (c.buf.size() - pos - 4 < len) break;
+      Datagram d;
+      d.payload.assign(c.buf.begin() + pos + 4, c.buf.begin() + pos + 4 + len);
+      d.peer = kUnknownPeer;
+      ++frames_received_;
+      out->push_back(std::move(d));
+      pos += 4 + len;
+    }
+    if (pos > 0) c.buf.erase(c.buf.begin(), c.buf.begin() + pos);
+  }
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<SvcEndpoint> peers_;
+  std::vector<int> out_fds_;
+  std::vector<Conn> conns_;
+};
+
+std::unique_ptr<Transport> make_transport(SvcSocketKind kind) {
+  if (kind == SvcSocketKind::kTcp)
+    return std::make_unique<TcpMeshTransport>();
+  return std::make_unique<UdpTransport>();
+}
+
+}  // namespace anon

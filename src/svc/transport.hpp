@@ -1,0 +1,92 @@
+// The anonsvc connection layer: real loopback sockets under a poll()
+// event loop (the xlane-style connection-layer / logic-layer split — the
+// logic layer above never sees a file descriptor).
+//
+// Two interchangeable implementations:
+//   * UdpTransport      one AF_INET datagram socket per node, broadcast =
+//                       sendto every peer (including self); the native
+//                       shape for anonymous all-to-all rounds.
+//   * TcpMeshTransport  a listen socket plus one outbound stream per peer
+//                       with u32 length-prefix framing — the fallback for
+//                       environments that police datagrams.
+//
+// Anonymity on the wire: frames carry no sender identity.  drain() does
+// report a best-effort `peer` index (UDP source-port match; TCP inbound
+// streams are kUnknownPeer) — that index feeds the pacemaker's timeliness
+// accounting and metrics only, never the protocol logic, mirroring how the
+// simulator's DelayModel knows link identities while processes stay
+// anonymous.
+//
+// All sockets bind 127.0.0.1 with port 0 by default; the bound port is
+// discovered via getsockname and exchanged out-of-band by the daemon
+// (LiveCluster) before connect_peers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/codec.hpp"
+
+struct pollfd;  // <poll.h> kept out of the header
+
+namespace anon {
+
+struct SvcEndpoint {
+  std::uint16_t port = 0;  // 127.0.0.1:<port>
+
+  friend bool operator==(const SvcEndpoint&, const SvcEndpoint&) = default;
+};
+
+enum class SvcSocketKind : std::uint8_t { kUdp, kTcp };
+
+class Transport {
+ public:
+  static constexpr std::size_t kUnknownPeer = static_cast<std::size_t>(-1);
+
+  struct Datagram {
+    Bytes payload;
+    std::size_t peer = kUnknownPeer;  // diagnostics only (see header note)
+  };
+
+  virtual ~Transport() = default;
+
+  // Binds the local socket(s); false (with error()) on failure.
+  virtual bool open() = 0;
+  virtual std::uint16_t port() const = 0;
+  // Learns where the peers live (index-aligned with the cluster).
+  virtual void connect_peers(const std::vector<SvcEndpoint>& peers) = 0;
+
+  virtual void broadcast(const Bytes& frame) = 0;          // every peer + self
+  virtual void send_to(std::size_t peer, const Bytes& frame) = 0;
+
+  // Event-loop integration: the node owns one poll() across the transport
+  // and its client sockets.  append_pollfds() returns how many entries it
+  // appended; after poll() the same slice is handed back to drain().
+  virtual std::size_t append_pollfds(std::vector<struct pollfd>* fds) = 0;
+  virtual void drain(const struct pollfd* fds, std::size_t count,
+                     std::vector<Datagram>* out) = 0;
+
+  virtual void close() = 0;
+
+  const std::string& error() const { return error_; }
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_received() const { return frames_received_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ protected:
+  std::string error_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+std::unique_ptr<Transport> make_transport(SvcSocketKind kind);
+
+// Shared helper: poll() the given fds for up to `timeout`; returns the
+// number of ready descriptors (0 on timeout, <0 swallowed to 0 on EINTR).
+int poll_fds(std::vector<struct pollfd>& fds, std::chrono::milliseconds timeout);
+
+}  // namespace anon

@@ -1,0 +1,271 @@
+// Codec hardening: every wire decoder in the tree — the runtime message
+// codecs and the anonsvc service-frame surface — must treat the buffer as
+// hostile.  Truncated prefixes, single-bit flips, random garbage and
+// oversized length fields yield nullopt (or a well-formed value for the
+// rare flip that lands on another valid encoding), never UB; the CI
+// sanitizer job runs this file under ASan+UBSan so "never UB" is checked,
+// not assumed.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.hpp"
+#include "runtime/codec.hpp"
+#include "svc/frame.hpp"
+
+namespace anon {
+namespace {
+
+// Exemplar encodings, one per codec, exercised by every attack below.
+Bytes sample_es() {
+  EsMessage m;
+  m.insert(Value(3));
+  m.insert(Value(-44));
+  m.insert(Value::Bottom());
+  return encode_es_message(m);
+}
+
+Bytes sample_ess() {
+  HistoryArena arena;
+  History h = arena.of({Value(1), Value(2)});
+  CounterMap c;
+  c.set(h, 9);
+  return encode_ess_message(EssMessage{ValueSet{Value(5)}, h, c});
+}
+
+Bytes sample_service_frame() {
+  ServiceFrame f;
+  f.kind = SvcFrameKind::kConsensusRound;
+  f.epoch = 7;
+  f.round = 12;
+  f.payload = encode_valueset_batch({ValueSet{Value(1)}, ValueSet{Value(2)}});
+  return encode_service_frame(f);
+}
+
+Bytes sample_batch() {
+  return encode_valueset_batch(
+      {ValueSet{Value(10), Value(20)}, ValueSet{}, ValueSet{Value(-3)}});
+}
+
+Bytes sample_abd() {
+  AbdWire m;
+  m.type = AbdWireType::kStore;
+  m.op_id = 41;
+  m.origin = 2;
+  m.replica = 1;
+  m.ts = 6;
+  m.wid = 2;
+  m.has_value = true;
+  m.value = 99;
+  return encode_abd_wire(m);
+}
+
+Bytes sample_request() {
+  ClientRequest r;
+  r.op = SvcOp::kWsAdd;
+  r.request_id = 77;
+  r.has_value = true;
+  r.value = -5;
+  return encode_client_request(r);
+}
+
+Bytes sample_response() {
+  ClientResponse r;
+  r.status = SvcStatus::kOk;
+  r.request_id = 77;
+  r.info = 4;
+  r.values = {Value(1), Value(2)};
+  return encode_client_response(r);
+}
+
+// Run every decoder over one buffer; none may crash (values are fine).
+void feed_all(const Bytes& b) {
+  HistoryArena arena;
+  (void)decode_es_message(b);
+  (void)decode_ess_message(b, &arena);
+  (void)decode_service_frame(b);
+  (void)decode_valueset_batch(b);
+  (void)decode_abd_wire(b);
+  (void)decode_client_request(b);
+  (void)decode_client_response(b);
+}
+
+TEST(CodecHarden, RoundTripBaselines) {
+  // The attacks below only mean something if the exemplars are valid.
+  HistoryArena arena;
+  EXPECT_TRUE(decode_es_message(sample_es()).has_value());
+  EXPECT_TRUE(decode_ess_message(sample_ess(), &arena).has_value());
+  const auto frame = decode_service_frame(sample_service_frame());
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->kind, SvcFrameKind::kConsensusRound);
+  EXPECT_EQ(frame->epoch, 7u);
+  EXPECT_EQ(frame->round, 12u);
+  EXPECT_TRUE(decode_valueset_batch(frame->payload).has_value());
+  const auto batch = decode_valueset_batch(sample_batch());
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->size(), 3u);
+  EXPECT_TRUE(decode_abd_wire(sample_abd()).has_value());
+  EXPECT_TRUE(decode_client_request(sample_request()).has_value());
+  EXPECT_TRUE(decode_client_response(sample_response()).has_value());
+}
+
+TEST(CodecHarden, EveryStrictPrefixIsRejected) {
+  // All codecs are self-delimiting with a trailing exhausted() check, so a
+  // truncated buffer is never "close enough".
+  HistoryArena arena;
+  const Bytes es = sample_es();
+  for (std::size_t cut = 0; cut < es.size(); ++cut)
+    EXPECT_FALSE(
+        decode_es_message(Bytes(es.begin(), es.begin() + cut)).has_value());
+  const Bytes ess = sample_ess();
+  for (std::size_t cut = 0; cut < ess.size(); ++cut)
+    EXPECT_FALSE(decode_ess_message(Bytes(ess.begin(), ess.begin() + cut),
+                                    &arena)
+                     .has_value());
+  for (const Bytes& full : {sample_service_frame(), sample_batch(),
+                            sample_abd(), sample_request(),
+                            sample_response()}) {
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      const Bytes truncated(full.begin(), full.begin() + cut);
+      feed_all(truncated);  // no decoder may crash on any prefix
+    }
+  }
+  const Bytes frame = sample_service_frame();
+  for (std::size_t cut = 0; cut < frame.size(); ++cut)
+    EXPECT_FALSE(
+        decode_service_frame(Bytes(frame.begin(), frame.begin() + cut))
+            .has_value());
+  const Bytes abd = sample_abd();
+  for (std::size_t cut = 0; cut < abd.size(); ++cut)
+    EXPECT_FALSE(
+        decode_abd_wire(Bytes(abd.begin(), abd.begin() + cut)).has_value());
+  const Bytes req = sample_request();
+  for (std::size_t cut = 0; cut < req.size(); ++cut)
+    EXPECT_FALSE(decode_client_request(Bytes(req.begin(), req.begin() + cut))
+                     .has_value());
+  const Bytes resp = sample_response();
+  for (std::size_t cut = 0; cut < resp.size(); ++cut)
+    EXPECT_FALSE(decode_client_response(Bytes(resp.begin(), resp.begin() + cut))
+                     .has_value());
+}
+
+TEST(CodecHarden, SingleBitFlipsNeverCrash) {
+  // A flipped bit may still decode (e.g. inside a value payload) — that is
+  // a payload corruption, not a framing violation.  What must never happen
+  // is UB: every (byte, bit) position of every exemplar goes through every
+  // decoder under the sanitizers.
+  for (const Bytes& original : {sample_es(), sample_ess(),
+                                sample_service_frame(), sample_batch(),
+                                sample_abd(), sample_request(),
+                                sample_response()}) {
+    Bytes mutated = original;
+    for (std::size_t byte = 0; byte < mutated.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        feed_all(mutated);
+        mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      }
+    }
+    ASSERT_EQ(mutated, original);
+  }
+  SUCCEED();
+}
+
+TEST(CodecHarden, FlippedFramingFieldsAreRejected) {
+  // Structural bytes, as opposed to payload bytes, must reject: the
+  // service frame's magic and version gate everything behind them.
+  Bytes frame = sample_service_frame();
+  Bytes bad = frame;
+  bad[0] ^= 0xFF;  // magic
+  EXPECT_FALSE(decode_service_frame(bad).has_value());
+  bad = frame;
+  bad[1] ^= 0xFF;  // version
+  EXPECT_FALSE(decode_service_frame(bad).has_value());
+  bad = frame;
+  bad[2] = 0;  // kind 0 is not a SvcFrameKind
+  EXPECT_FALSE(decode_service_frame(bad).has_value());
+}
+
+TEST(CodecHarden, OversizedLengthFieldsAreRejected) {
+  // Length/count fields claiming more data than the buffer holds must not
+  // drive allocation or reads past the end.  Each writer below mirrors its
+  // codec's layout with a hostile count.
+  {
+    ByteWriter w;  // EsMessage: tag, count = 2^32-1, no elements
+    w.u8('E');
+    w.u32(std::numeric_limits<std::uint32_t>::max());
+    EXPECT_FALSE(decode_es_message(w.take()).has_value());
+  }
+  {
+    ByteWriter w;  // batch: count = 2^32-1, one truncated element
+    w.u32(std::numeric_limits<std::uint32_t>::max());
+    w.u32(8);
+    EXPECT_FALSE(decode_valueset_batch(w.take()).has_value());
+  }
+  {
+    ByteWriter w;  // service frame claiming a 4 GiB payload
+    w.u8(kSvcMagic);
+    w.u8(kSvcWireVersion);
+    w.u8(static_cast<std::uint8_t>(SvcFrameKind::kHeartbeat));
+    w.u64(1);
+    w.u64(1);
+    w.u32(std::numeric_limits<std::uint32_t>::max());
+    EXPECT_FALSE(decode_service_frame(w.take()).has_value());
+  }
+  {
+    ByteWriter w;  // client response with a hostile value count
+    w.u8(kSvcWireVersion);
+    w.u8(0);  // kOk
+    w.u64(1);
+    w.u64(1);
+    w.u32(std::numeric_limits<std::uint32_t>::max());
+    EXPECT_FALSE(decode_client_response(w.take()).has_value());
+  }
+}
+
+TEST(CodecHarden, TrailingGarbageIsRejected) {
+  // Self-delimiting means exact: a valid encoding plus one byte is not a
+  // valid encoding.
+  HistoryArena arena;
+  Bytes b = sample_es();
+  b.push_back(0);
+  EXPECT_FALSE(decode_es_message(b).has_value());
+  b = sample_ess();
+  b.push_back(0);
+  EXPECT_FALSE(decode_ess_message(b, &arena).has_value());
+  b = sample_service_frame();
+  b.push_back(0);
+  EXPECT_FALSE(decode_service_frame(b).has_value());
+  b = sample_abd();
+  b.push_back(0);
+  EXPECT_FALSE(decode_abd_wire(b).has_value());
+  b = sample_request();
+  b.push_back(0);
+  EXPECT_FALSE(decode_client_request(b).has_value());
+  b = sample_response();
+  b.push_back(0);
+  EXPECT_FALSE(decode_client_response(b).has_value());
+}
+
+TEST(CodecHarden, RandomGarbageNeverCrashesAnyDecoder) {
+  Rng rng(0xc0dec);
+  for (int iter = 0; iter < 2000; ++iter) {
+    Bytes junk;
+    const std::size_t len = rng.below(96);
+    junk.reserve(len);
+    for (std::size_t i = 0; i < len; ++i)
+      junk.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    // Half the iterations start with plausible framing so the fuzz reaches
+    // past the cheap magic/version checks.
+    if (rng.chance(0.5) && junk.size() >= 3) {
+      junk[0] = kSvcMagic;
+      junk[1] = kSvcWireVersion;
+      junk[2] = 1 + static_cast<std::uint8_t>(rng.below(4));
+    }
+    feed_all(junk);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace anon

@@ -523,6 +523,58 @@ TEST(ScenarioSpecValidation, ActiveFaultsNeedTheEnvDecisionPath) {
   EXPECT_TRUE(ok.ok()) << ok.errors_to_string();
 }
 
+TEST(ScenarioSpecValidation, LiveTransportGates) {
+  // A live consensus spec with the live knobs round-trips and validates.
+  auto ok = parse_scenario_spec(R"({
+    "family": "consensus",
+    "transport": "live",
+    "env": {"n": 5},
+    "live": {"period_ms": 2, "loss": 0.2, "jitter_ms": 1}
+  })");
+  EXPECT_TRUE(ok.ok()) << ok.errors_to_string();
+
+  // Unserved family.
+  auto emu = parse_scenario_spec(R"({
+    "family": "emulation",
+    "transport": "live",
+    "env": {"kind": "ms"}
+  })");
+  ASSERT_FALSE(emu.ok());
+  EXPECT_TRUE(has_error_at(emu.errors, "transport"))
+      << emu.errors_to_string();
+
+  // env.faults is the sim fault surface; live faults are live.loss/jitter.
+  auto faults = parse_scenario_spec(R"({
+    "family": "consensus",
+    "transport": "live",
+    "env": {"n": 5, "faults": {"loss_prob": 0.1}}
+  })");
+  ASSERT_FALSE(faults.ok());
+  EXPECT_TRUE(has_error_at(faults.errors, "env.faults"))
+      << faults.errors_to_string();
+
+  // TCP cannot attribute senders, so loss would hit the rotating source's
+  // frames too and break the exempt-source safety contract.
+  auto tcp = parse_scenario_spec(R"({
+    "family": "consensus",
+    "transport": "live",
+    "env": {"n": 5},
+    "live": {"socket": "tcp", "loss": 0.2}
+  })");
+  ASSERT_FALSE(tcp.ok());
+  EXPECT_TRUE(has_error_at(tcp.errors, "live.loss"))
+      << tcp.errors_to_string();
+
+  // A live section on a sim spec is a diagnostic, not silently ignored.
+  auto sim = parse_scenario_spec(R"({
+    "family": "consensus",
+    "env": {"n": 5},
+    "live": {"period_ms": 2}
+  })");
+  ASSERT_FALSE(sim.ok());
+  EXPECT_TRUE(has_error_at(sim.errors, "live")) << sim.errors_to_string();
+}
+
 // ---- preset goldens ---------------------------------------------------------
 
 // Every registered preset's canonical spec encoding is pinned to a golden
